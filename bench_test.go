@@ -1,0 +1,357 @@
+// Benchmarks regenerating every experiment of DESIGN.md §5: one benchmark
+// (or sub-benchmark) per figure/example verdict, per theorem checker, per
+// optimization report, and the STM performance experiments S4/S5.
+//
+// Run with: go test -bench=. -benchmem .
+package modtx_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"modtx"
+	"modtx/internal/core"
+	"modtx/internal/litmus"
+	"modtx/internal/ltrf"
+	"modtx/internal/opt"
+	"modtx/internal/prog"
+	"modtx/internal/rel"
+	"modtx/internal/stm"
+)
+
+// BenchmarkFigures re-checks every paper figure (experiments E05–E33's
+// execution-graph entries) per iteration.
+func BenchmarkFigures(b *testing.B) {
+	for _, f := range litmus.Figures() {
+		f := f
+		b.Run(f.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, r := range litmus.RunFigure(f) {
+					if !r.Pass() {
+						b.Fatalf("figure disagreement: %s", r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrograms re-enumerates every paper litmus program (experiments
+// E01–E33's program entries) per iteration.
+func BenchmarkPrograms(b *testing.B) {
+	for _, p := range litmus.Programs() {
+		p := p
+		b.Run(p.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, r := range litmus.RunProgram(p) {
+					if !r.Pass() {
+						b.Fatalf("program disagreement: %s", r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTheorem41 regenerates the SC-LTRF check (T41) on the
+// privatization program: Σ generation plus the decomposition search.
+func BenchmarkTheorem41(b *testing.B) {
+	p := litmus.PrivatizationProgram(false)
+	for i := 0; i < b.N; i++ {
+		ts, err := ltrf.GenerateTraces(p, core.Programmer, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, cexs := ts.CheckTheorem41(nil); len(cexs) > 0 {
+			b.Fatalf("counterexample: %v", cexs[0])
+		}
+	}
+}
+
+// BenchmarkTheorem42 regenerates the aborted-removal check (T42).
+func BenchmarkTheorem42(b *testing.B) {
+	p := litmus.PrivatizationProgram(false)
+	ts, err := ltrf.GenerateTraces(p, core.Programmer, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, fails := ts.CheckTheorem42(); len(fails) > 0 {
+			b.Fatal("theorem 4.2 failure")
+		}
+	}
+}
+
+// BenchmarkLemmaC1 regenerates the happens-before decomposition check (LC1)
+// over the figure catalog.
+func BenchmarkLemmaC1(b *testing.B) {
+	figs := litmus.Figures()
+	for i := 0; i < b.N; i++ {
+		for _, f := range figs {
+			x := f.Build()
+			if missing, extra := ltrf.CheckLemmaC1(x); len(missing)+len(extra) > 0 {
+				b.Fatalf("%s: decomposition mismatch", f.ID)
+			}
+		}
+	}
+}
+
+// BenchmarkLemmaC2 regenerates the suborder-consistency equivalence (LC2).
+func BenchmarkLemmaC2(b *testing.B) {
+	figs := litmus.Figures()
+	for i := 0; i < b.N; i++ {
+		for _, f := range figs {
+			x := f.Build()
+			if ltrf.ConsistentBySuborders(x) != core.Consistent(x, core.Implementation) {
+				b.Fatalf("%s: characterization mismatch", f.ID)
+			}
+		}
+	}
+}
+
+// BenchmarkLemma51 regenerates the implementation→programmer transfer (L51)
+// on the fenced privatization program.
+func BenchmarkLemma51(b *testing.B) {
+	p := litmus.PrivatizationProgram(true)
+	for i := 0; i < b.N; i++ {
+		ts, err := ltrf.GenerateTraces(p, core.Implementation, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tau := range ts.Traces {
+			if app, holds := ltrf.CheckLemma51(tau); app && !holds {
+				b.Fatal("lemma 5.1 failure")
+			}
+		}
+	}
+}
+
+// BenchmarkOptimizations regenerates the §5 transformation suite (O1–O5).
+func BenchmarkOptimizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reps, err := opt.StandardReports()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reps {
+			if r.Sound != r.Expected {
+				b.Fatalf("%s: verdict mismatch", r.Transform)
+			}
+		}
+	}
+}
+
+// BenchmarkHBFixpoint measures the happens-before computation on the
+// cascade figure (the deepest HBww fixpoint in the catalog).
+func BenchmarkHBFixpoint(b *testing.B) {
+	var cascade litmus.Figure
+	for _, f := range litmus.Figures() {
+		if f.ID == "E09" {
+			cascade = f
+		}
+	}
+	x := cascade.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !core.Consistent(x, core.Programmer) {
+			b.Fatal("cascade inconsistent")
+		}
+	}
+}
+
+// BenchmarkRelClosure measures the bitset relation substrate.
+func BenchmarkRelClosure(b *testing.B) {
+	r := rel.New(64)
+	for i := 0; i < 63; i++ {
+		r.Add(i, i+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !r.TransitiveClosure().Irreflexive() {
+			b.Fatal("chain became cyclic")
+		}
+	}
+}
+
+// BenchmarkEnumerator measures exhaustive enumeration throughput
+// (candidates per second) on the IRIW program.
+func BenchmarkEnumerator(b *testing.B) {
+	p := &prog.Program{
+		Name: "iriw-bench",
+		Locs: []string{"x", "y", "z"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{prog.Atomic{Name: "wx", Body: []prog.Stmt{prog.Write{Loc: prog.At("x"), Val: prog.Const(1)}}}}},
+			{Name: "t2", Body: []prog.Stmt{prog.Atomic{Name: "wy", Body: []prog.Stmt{prog.Write{Loc: prog.At("y"), Val: prog.Const(1)}}}}},
+			{Name: "t3", Body: []prog.Stmt{
+				prog.Atomic{Name: "c1", Body: []prog.Stmt{prog.Read{RegName: "r1", Loc: prog.At("x")}}},
+				prog.Write{Loc: prog.At("z"), Val: prog.Const(1)},
+				prog.Atomic{Name: "c2", Body: []prog.Stmt{prog.Read{RegName: "r2", Loc: prog.At("y")}}},
+			}},
+			{Name: "t4", Body: []prog.Stmt{
+				prog.Atomic{Name: "d1", Body: []prog.Stmt{prog.Read{RegName: "q1", Loc: prog.At("y")}}},
+				prog.Write{Loc: prog.At("z"), Val: prog.Const(2)},
+				prog.Atomic{Name: "d2", Body: []prog.Stmt{prog.Read{RegName: "q2", Loc: prog.At("x")}}},
+			}},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := modtx.Outcomes(p, modtx.Programmer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- STM performance experiments (S4, S5) ---
+
+var stmEngines = []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock}
+
+// BenchmarkSTMCounter (S5): contended read-modify-write throughput per
+// engine.
+func BenchmarkSTMCounter(b *testing.B) {
+	for _, e := range stmEngines {
+		e := e
+		b.Run(e.String(), func(b *testing.B) {
+			s := stm.New(stm.Options{Engine: e})
+			c := s.NewVar("c", 0)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					_ = s.Atomically(func(tx *stm.Tx) error {
+						tx.Write(c, tx.Read(c)+1)
+						return nil
+					})
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSTMReadOnly (S5): read-only transaction throughput over a
+// shared array (no conflicts; lazy commits without locking).
+func BenchmarkSTMReadOnly(b *testing.B) {
+	for _, e := range stmEngines {
+		e := e
+		b.Run(e.String(), func(b *testing.B) {
+			s := stm.New(stm.Options{Engine: e})
+			vars := make([]*stm.Var, 16)
+			for i := range vars {
+				vars[i] = s.NewVar(fmt.Sprintf("v%d", i), int64(i))
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					_ = s.Atomically(func(tx *stm.Tx) error {
+						var sum int64
+						for _, v := range vars {
+							sum += tx.Read(v)
+						}
+						_ = sum
+						return nil
+					})
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSTMBank (S5): bank-transfer workload over 64 accounts.
+func BenchmarkSTMBank(b *testing.B) {
+	for _, e := range stmEngines {
+		e := e
+		b.Run(e.String(), func(b *testing.B) {
+			s := stm.New(stm.Options{Engine: e})
+			accts := make([]*stm.Var, 64)
+			for i := range accts {
+				accts[i] = s.NewVar(fmt.Sprintf("a%d", i), 1000)
+			}
+			var ctr int
+			var mu sync.Mutex
+			nextPair := func() (int, int) {
+				mu.Lock()
+				defer mu.Unlock()
+				ctr++
+				return ctr % 64, (ctr*7 + 13) % 64
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					from, to := nextPair()
+					if from == to {
+						continue
+					}
+					_ = s.Atomically(func(tx *stm.Tx) error {
+						bal := tx.Read(accts[from])
+						tx.Write(accts[from], bal-1)
+						tx.Write(accts[to], tx.Read(accts[to])+1)
+						return nil
+					})
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSTMFence (S4): quiescence-fence overhead — the privatization
+// pattern with and without Quiesce, mirroring the §6 discussion of fence
+// cost.
+func BenchmarkSTMFence(b *testing.B) {
+	for _, fenced := range []bool{false, true} {
+		name := "unfenced"
+		if fenced {
+			name = "quiesce"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := stm.New(stm.Options{Engine: stm.Lazy})
+			x := s.NewVar("x", 0)
+			y := s.NewVar("y", 0)
+			for i := 0; i < b.N; i++ {
+				_ = s.Atomically(func(tx *stm.Tx) error {
+					tx.Write(y, 1)
+					return nil
+				})
+				if fenced {
+					s.Quiesce(x)
+				}
+				x.Store(int64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkSTMPlainAccess (S4): mixed-mode plain access runs at native
+// atomic speed (the model's "non-volatile accesses are not slowed" claim).
+func BenchmarkSTMPlainAccess(b *testing.B) {
+	s := stm.New(stm.Options{Engine: stm.Lazy})
+	x := s.NewVar("x", 0)
+	b.Run("store", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x.Store(int64(i))
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			sink += x.Load()
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkSTMStressSuite (S1–S3): the probabilistic stress scenarios.
+func BenchmarkSTMStressSuite(b *testing.B) {
+	b.Run("privatization-fenced", func(b *testing.B) {
+		s := stm.New(stm.Options{Engine: stm.Lazy})
+		for i := 0; i < b.N; i++ {
+			if r := stm.Privatization(s, 1, true); r.Violations != 0 {
+				b.Fatal("fenced privatization violated")
+			}
+		}
+	})
+	b.Run("publication", func(b *testing.B) {
+		s := stm.New(stm.Options{Engine: stm.Lazy})
+		for i := 0; i < b.N; i++ {
+			if r := stm.Publication(s, 1); r.Violations != 0 {
+				b.Fatal("publication violated")
+			}
+		}
+	})
+}

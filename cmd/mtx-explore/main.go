@@ -1,0 +1,96 @@
+// Command mtx-explore enumerates the consistent executions of a litmus
+// program under a chosen model and prints the reachable outcomes.
+//
+// Usage:
+//
+//	mtx-explore [-model programmer|implementation|tso|strongest]
+//	            [-execs N] [file.lit]
+//
+// With no file argument the program is read from stdin. The -execs flag
+// additionally pretty-prints up to N consistent executions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"modtx/internal/core"
+	"modtx/internal/event"
+	"modtx/internal/exec"
+	"modtx/internal/prog"
+)
+
+func main() {
+	model := flag.String("model", "programmer", "model config: programmer, implementation, tso, strongest")
+	execs := flag.Int("execs", 0, "pretty-print up to N consistent executions")
+	flag.Parse()
+
+	cfg, err := configByName(*model)
+	if err != nil {
+		fatal(err)
+	}
+
+	var src []byte
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	p, err := prog.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("program %s under the %s model\n\n", p.Name, cfg.Name)
+	printed := 0
+	summary, err := exec.Enumerate(p, exec.Options{
+		Config: cfg,
+		Visit: func(x *event.Execution, o *exec.Outcome) bool {
+			if printed < *execs {
+				printed++
+				fmt.Printf("--- execution %d ---\n%s\n", printed, event.Pretty(x))
+			}
+			return true
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	keys := make([]string, 0, len(summary.Outcomes))
+	for k := range summary.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("reachable outcomes (%d):\n", len(keys))
+	for _, k := range keys {
+		fmt.Println("  " + k)
+	}
+	fmt.Printf("\n%d consistent executions, %d candidates checked, value universe %v\n",
+		summary.Consistent, summary.Candidates, summary.Universe)
+}
+
+func configByName(name string) (core.Config, error) {
+	switch name {
+	case "programmer":
+		return core.Programmer, nil
+	case "implementation":
+		return core.Implementation, nil
+	case "tso":
+		return core.TSO, nil
+	case "strongest":
+		return core.Strongest, nil
+	}
+	return core.Config{}, fmt.Errorf("unknown model %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mtx-explore:", err)
+	os.Exit(1)
+}

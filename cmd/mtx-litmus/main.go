@@ -1,0 +1,42 @@
+// Command mtx-litmus runs the full paper catalog — every figure and litmus
+// program with its expected verdict — and prints one row per check. This
+// regenerates the paper's tables and figures (experiments E01–E33 of
+// DESIGN.md / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mtx-litmus [-q]
+//
+// Exit status 1 if any check disagrees with the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"modtx/internal/litmus"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "print only failures and the summary")
+	flag.Parse()
+
+	results := litmus.RunAll(true)
+	pass, fail := 0, 0
+	for _, r := range results {
+		if r.Pass() {
+			pass++
+			if !*quiet {
+				fmt.Println(r)
+			}
+		} else {
+			fail++
+			fmt.Println(r)
+		}
+	}
+	fmt.Printf("\n%d checks: %d pass, %d fail\n", pass+fail, pass, fail)
+	if fail > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,290 @@
+// Package conform records the behaviour of real STM runs (internal/stm)
+// and checks whether the observed execution is explainable by the paper's
+// axiomatic model: does there exist a coherence order and a well-formed
+// trace making the observation consistent under a given configuration?
+//
+// This ties the runtime to the semantics: the lazy engine's forced
+// privatization anomaly is explainable in the implementation model but not
+// in the programmer model (the Lemma 5.1 gap), and the eager engine's
+// dirty read is explainable in neither (WF7).
+package conform
+
+import (
+	"fmt"
+	"sync"
+
+	"modtx/internal/core"
+	"modtx/internal/event"
+	"modtx/internal/ltrf"
+	"modtx/internal/stm"
+)
+
+// Session wraps an STM instance with recording. Scenarios create named
+// vars and per-goroutine Thread handles, run, then Build an execution.
+type Session struct {
+	S *stm.STM
+
+	mu      sync.Mutex
+	names   []string
+	vars    map[string]*stm.Var
+	threads []*Thread
+}
+
+// NewSession wraps the STM instance.
+func NewSession(s *stm.STM) *Session {
+	return &Session{S: s, vars: make(map[string]*stm.Var)}
+}
+
+// Var creates (or returns) a named recorded variable.
+func (s *Session) Var(name string, init int64) *stm.Var {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.vars[name]; ok {
+		return v
+	}
+	v := s.S.NewVar(name, init)
+	s.vars[name] = v
+	s.names = append(s.names, name)
+	return v
+}
+
+// Thread creates a recording handle. Each handle must be used by a single
+// goroutine.
+type Thread struct {
+	s   *Session
+	ops []op
+}
+
+type op struct {
+	kind event.Kind
+	loc  string
+	val  int64
+	tx   int // block marker: >=0 within a transaction
+}
+
+// Thread registers a new thread handle.
+func (s *Session) Thread() *Thread {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &Thread{s: s}
+	s.threads = append(s.threads, t)
+	return t
+}
+
+// Load performs and records a plain read.
+func (t *Thread) Load(name string) int64 {
+	v := t.s.Var(name, 0)
+	x := v.Load()
+	t.ops = append(t.ops, op{kind: event.KRead, loc: name, val: x, tx: -1})
+	return x
+}
+
+// Store performs and records a plain write.
+func (t *Thread) Store(name string, x int64) {
+	v := t.s.Var(name, 0)
+	v.Store(x)
+	t.ops = append(t.ops, op{kind: event.KWrite, loc: name, val: x, tx: -1})
+}
+
+// Quiesce performs and records a quiescence fence on the named location.
+func (t *Thread) Quiesce(name string) {
+	v := t.s.Var(name, 0)
+	t.s.S.Quiesce(v)
+	t.ops = append(t.ops, op{kind: event.KFence, loc: name, tx: -1})
+}
+
+// TxRec records transactional operations of one attempt.
+type TxRec struct {
+	t   *Thread
+	tx  *stm.Tx
+	ops []op
+}
+
+// Read performs and records a transactional read.
+func (h *TxRec) Read(name string) int64 {
+	v := h.t.s.Var(name, 0)
+	x := h.tx.Read(v)
+	h.ops = append(h.ops, op{kind: event.KRead, loc: name, val: x})
+	return x
+}
+
+// Write performs and records a transactional write.
+func (h *TxRec) Write(name string, x int64) {
+	v := h.t.s.Var(name, 0)
+	h.tx.Write(v, x)
+	h.ops = append(h.ops, op{kind: event.KWrite, loc: name, val: x})
+}
+
+// Atomically runs a recorded transaction. Only the final attempt's
+// operations enter the log (conflicted attempts are retried by the engine
+// and leave no trace, matching the model where only the resolved
+// transaction appears).
+func (t *Thread) Atomically(fn func(*TxRec) error) error {
+	var rec *TxRec
+	err := t.s.S.Atomically(func(tx *stm.Tx) error {
+		rec = &TxRec{t: t, tx: tx} // fresh buffer per attempt
+		return fn(rec)
+	})
+	kind := event.KCommit
+	if err != nil {
+		kind = event.KAbort
+	}
+	txid := 0 // block id is positional; Build renumbers
+	t.ops = append(t.ops, op{kind: event.KBegin, tx: txid})
+	for _, o := range rec.ops {
+		o.tx = txid
+		t.ops = append(t.ops, o)
+	}
+	t.ops = append(t.ops, op{kind: kind, tx: txid})
+	return err
+}
+
+// Recorded is a finished observation: the execution graph plus the final
+// memory state, which constrains the coherence order during explanation.
+type Recorded struct {
+	X      *event.Execution
+	Finals map[int]int64 // loc id -> observed final value
+}
+
+// Build converts the recorded run into an execution graph: events in
+// per-thread order, reads-from resolved by unique value matching, the
+// coherence order left open (see ExplainedBy), and the final memory state
+// captured. Recording must use values that uniquely identify writes per
+// location, and all threads must have finished.
+func (s *Session) Build() (*Recorded, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	x := &event.Execution{
+		Locs:     append([]string(nil), s.names...),
+		NThreads: len(s.threads) + 1,
+		TxStatus: []event.Status{event.Committed},
+		TxName:   []string{"init"},
+		WR:       make(map[int]int),
+		WW:       make(map[int][]int),
+	}
+	locID := make(map[string]int, len(s.names))
+	for i, n := range s.names {
+		locID[n] = i
+	}
+	add := func(e event.Event) int {
+		e.ID = len(x.Events)
+		x.Events = append(x.Events, e)
+		return e.ID
+	}
+	add(event.Event{Thread: event.InitThread, Kind: event.KBegin, Loc: event.NoLoc, Tx: event.InitTx})
+	for loc := range s.names {
+		id := add(event.Event{Thread: event.InitThread, Kind: event.KWrite, Loc: loc, Tx: event.InitTx})
+		x.WW[loc] = append(x.WW[loc], id)
+	}
+	add(event.Event{Thread: event.InitThread, Kind: event.KCommit, Loc: event.NoLoc, Tx: event.InitTx})
+
+	for ti, th := range s.threads {
+		thread := ti + 1
+		curTx := event.NoTx
+		for _, o := range th.ops {
+			switch o.kind {
+			case event.KBegin:
+				curTx = len(x.TxStatus)
+				x.TxStatus = append(x.TxStatus, event.Live)
+				x.TxName = append(x.TxName, fmt.Sprintf("t%d.tx", thread))
+				add(event.Event{Thread: thread, Kind: event.KBegin, Loc: event.NoLoc, Tx: curTx})
+			case event.KCommit, event.KAbort:
+				if o.kind == event.KCommit {
+					x.TxStatus[curTx] = event.Committed
+				} else {
+					x.TxStatus[curTx] = event.Aborted
+				}
+				add(event.Event{Thread: thread, Kind: o.kind, Loc: event.NoLoc, Tx: curTx})
+				curTx = event.NoTx
+			case event.KFence:
+				add(event.Event{Thread: thread, Kind: event.KFence, Loc: locID[o.loc], Tx: event.NoTx})
+			default:
+				tx := event.NoTx
+				if o.tx >= 0 {
+					tx = curTx
+				}
+				loc, ok := locID[o.loc]
+				if !ok {
+					return nil, fmt.Errorf("conform: unknown location %q", o.loc)
+				}
+				id := add(event.Event{Thread: thread, Kind: o.kind, Loc: loc, Val: int(o.val), Tx: tx})
+				if o.kind == event.KWrite {
+					x.WW[loc] = append(x.WW[loc], id)
+				}
+			}
+		}
+	}
+	// Resolve reads-from by unique value match.
+	for _, e := range x.Events {
+		if e.Kind != event.KRead {
+			continue
+		}
+		cand := -1
+		for _, w := range x.WW[e.Loc] {
+			if x.Events[w].Val == e.Val {
+				if cand != -1 {
+					return nil, fmt.Errorf("conform: ambiguous read of %s=%d; use unique write values",
+						x.Locs[e.Loc], e.Val)
+				}
+				cand = w
+			}
+		}
+		if cand == -1 {
+			return nil, fmt.Errorf("conform: read of %s=%d matches no write (dirty read of a rolled-back value?)",
+				x.Locs[e.Loc], e.Val)
+		}
+		x.WR[e.ID] = cand
+	}
+	finals := make(map[int]int64, len(s.names))
+	for loc, name := range s.names {
+		finals[loc] = s.vars[name].Load()
+	}
+	return &Recorded{X: x, Finals: finals}, nil
+}
+
+// ExplainedBy reports whether the recorded execution is explainable under
+// cfg: some coherence order reproduces the observed final memory state and
+// makes the graph axiomatically consistent and well-formed-linearizable.
+// Quiescence fences are encoded as committed writing transactions (§5)
+// before checking.
+func (r *Recorded) ExplainedBy(cfg core.Config) bool {
+	g := r.X.EncodeFences()
+	// Enumerate coherence orders per location over non-init writes.
+	locs := make([]int, 0, len(g.WW))
+	for loc, order := range g.WW {
+		if len(order) > 1 {
+			locs = append(locs, loc)
+		}
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(locs) {
+			for loc, want := range r.Finals {
+				if got, ok := g.FinalValue(loc); !ok || got != int(want) {
+					return false
+				}
+			}
+			return core.Consistent(g, cfg) && ltrf.ExistsWellFormedTrace(g)
+		}
+		loc := locs[i]
+		writes := append([]int(nil), g.WW[loc][1:]...)
+		perm := writes
+		var permute func(k int) bool
+		permute = func(k int) bool {
+			if k == len(perm) {
+				g.WW[loc] = append(g.WW[loc][:1], perm...)
+				return rec(i + 1)
+			}
+			for j := k; j < len(perm); j++ {
+				perm[k], perm[j] = perm[j], perm[k]
+				if permute(k + 1) {
+					return true
+				}
+				perm[k], perm[j] = perm[j], perm[k]
+			}
+			return false
+		}
+		return permute(0)
+	}
+	return rec(0)
+}

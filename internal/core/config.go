@@ -1,0 +1,170 @@
+// Package core implements the memory model of "Modular Transactions:
+// Bounding Mixed Races in Space and Time" (PPoPP 2019): derived and lifted
+// relations (§2), the happens-before order with its design-space of
+// extensions (§2, Example 2.3), the consistency axioms (Causality,
+// Coherence, Observation, Atom), quiescence-fence ordering (§5), and the
+// L-race definitions (§4, §5).
+package core
+
+// HBVariant identifies one of the six happens-before extension rules of
+// Example 2.3. The unprimed rules order a transactional action before a
+// later plain action; the primed rules order an earlier plain action before
+// a transactional action.
+type HBVariant uint8
+
+const (
+	// HBww: a hb→ c if c is plain, a lww→ c and a crw→ b hb→ c.
+	// This is the rule of the programmer model (§2); it validates
+	// privatization (Example 2.1).
+	HBww HBVariant = iota
+	// HBrw: a hb→ c if c is plain, a lrw→ c and a crw→ b hb→ c.
+	HBrw
+	// HBwr: a hb→ c if c is plain, a lwr→ c and a crw→ b hb→ c.
+	HBwr
+	// HBwwP (HB′ww): a hb→ c if a is plain, a lww→ c and a hb→ b crw→ c.
+	HBwwP
+	// HBrwP (HB′rw): a hb→ c if a is plain, a lrw→ c and a hb→ b crw→ c.
+	HBrwP
+	// HBwrP (HB′wr): a hb→ c if a is plain, a lwr→ c and a hb→ b crw→ c.
+	HBwrP
+)
+
+func (v HBVariant) String() string {
+	switch v {
+	case HBww:
+		return "HBww"
+	case HBrw:
+		return "HBrw"
+	case HBwr:
+		return "HBwr"
+	case HBwwP:
+		return "HB'ww"
+	case HBrwP:
+		return "HB'rw"
+	case HBwrP:
+		return "HB'wr"
+	}
+	return "HB?"
+}
+
+// Atom identifies one of the antidependency axioms accompanying the HB
+// variants (Example 2.3). The lwr-based variants need no axiom
+// (Causality suffices).
+type Atom uint8
+
+const (
+	// AtomWW: (crw→ ; hb→ ; lww→) is irreflexive. Required by the
+	// programmer model (forbids Example 2.2).
+	AtomWW Atom = iota
+	// AtomRW: (crw→ ; hb→ ; lrw→) is irreflexive.
+	AtomRW
+	// AtomWWP (Atom′ww): (hb→ ; crw→ ; lww→) is irreflexive.
+	AtomWWP
+	// AtomRWP (Atom′rw): (hb→ ; crw→ ; lrw→) is irreflexive.
+	// Imposes publication by antidependence (Example 3.1).
+	AtomRWP
+)
+
+func (a Atom) String() string {
+	switch a {
+	case AtomWW:
+		return "Atomww"
+	case AtomRW:
+		return "Atomrw"
+	case AtomWWP:
+		return "Atom'ww"
+	case AtomRWP:
+		return "Atom'rw"
+	}
+	return "Atom?"
+}
+
+// Config selects a model from the paper's design space.
+type Config struct {
+	Name string
+
+	// HB lists the enabled happens-before extension rules.
+	HB []HBVariant
+	// Atoms lists the enabled antidependency axioms.
+	Atoms []Atom
+
+	// XWRInHB replaces cwr with xwr in the happens-before base. The paper
+	// rejects this choice because it causes publication through aborted
+	// reads (§2, "Consistency" discussion); the flag exists to reproduce
+	// that discussion.
+	XWRInHB bool
+
+	// RWInHB includes crw in the happens-before base, as x86-TSO does
+	// (§6: "In x86-TSO, crw order is included in hb").
+	RWInHB bool
+}
+
+// HasHB reports whether the variant is enabled.
+func (c Config) HasHB(v HBVariant) bool {
+	for _, h := range c.HB {
+		if h == v {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAtom reports whether the axiom is enabled.
+func (c Config) HasAtom(a Atom) bool {
+	for _, x := range c.Atoms {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Programmer is the paper's programmer model (§2): happens-before includes
+// HBww, and consistency requires Causality, Coherence, Observation and
+// Atomww. Privatization is race-free by definition.
+var Programmer = Config{
+	Name:  "programmer",
+	HB:    []HBVariant{HBww},
+	Atoms: []Atom{AtomWW},
+}
+
+// Implementation is the paper's implementation model (§5): HBww and Atomww
+// are dropped; ordering without direct dependency must come from quiescence
+// fences (HBCQ/HBQB, or the fence-as-writing-transaction encoding).
+var Implementation = Config{
+	Name: "implementation",
+}
+
+// Strongest enables all six HB variants and all four Atom axioms
+// (§6: validated by x86-TSO).
+var Strongest = Config{
+	Name:  "strongest",
+	HB:    []HBVariant{HBww, HBrw, HBwr, HBwwP, HBrwP, HBwrP},
+	Atoms: []Atom{AtomWW, AtomRW, AtomWWP, AtomRWP},
+}
+
+// TSO models x86-TSO's treatment at the axiomatic level: crw is included
+// in happens-before, which subsumes every HB variant and Atom axiom (§6).
+var TSO = Config{
+	Name:   "tso",
+	RWInHB: true,
+}
+
+// Variant returns the implementation model extended with exactly one HB
+// rule and its matching Atom axiom (Example 2.3's design points).
+func Variant(v HBVariant) Config {
+	c := Config{Name: "variant-" + v.String(), HB: []HBVariant{v}}
+	switch v {
+	case HBww:
+		c.Atoms = []Atom{AtomWW}
+	case HBrw:
+		c.Atoms = []Atom{AtomRW}
+	case HBwwP:
+		c.Atoms = []Atom{AtomWWP}
+	case HBrwP:
+		c.Atoms = []Atom{AtomRWP}
+	}
+	// HBwr and HBwrP need no Atom axiom: "The exceptions involve lwr,
+	// for which Causality suffices."
+	return c
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"modtx/internal/event"
+	"modtx/internal/rel"
+)
+
+// Axiom names used in Verdict.Violations.
+const (
+	AxCausality   = "Causality"
+	AxCoherence   = "Coherence"
+	AxObservation = "Observation"
+)
+
+// Verdict is the result of a consistency check.
+type Verdict struct {
+	Consistent bool
+	Violations []string // names of violated axioms
+	HB         *rel.Rel // the computed happens-before order
+}
+
+func (v Verdict) String() string {
+	if v.Consistent {
+		return "consistent"
+	}
+	return "inconsistent (" + strings.Join(v.Violations, ", ") + ")"
+}
+
+// Check evaluates the consistency axioms of §2 under cfg:
+//
+//	Causality:   (hb→ ∪ lwr→ ∪ xrw→) is acyclic
+//	Coherence:   (hb→ ; lww→) is irreflexive
+//	Observation: (hb→ ; lrw→) is irreflexive
+//	Atom axioms per cfg (e.g. Atomww: (crw→ ; hb→ ; lww→) irreflexive)
+//
+// The execution is assumed structurally valid (Execution.Validate);
+// well-formedness of the trace view is checked separately by event.WellFormed.
+func Check(x *event.Execution, cfg Config) Verdict {
+	r := Derive(x)
+	return CheckRels(r, cfg)
+}
+
+// CheckRels is Check for callers that already derived the relations.
+func CheckRels(r *Rels, cfg Config) Verdict {
+	hb := HB(r, cfg)
+	v := Verdict{Consistent: true, HB: hb}
+	fail := func(name string) {
+		v.Consistent = false
+		v.Violations = append(v.Violations, name)
+	}
+
+	if !rel.UnionOf(hb, r.LWR, r.XRW).Acyclic() {
+		fail(AxCausality)
+	}
+	if !rel.Compose(hb, r.LWW).Irreflexive() {
+		fail(AxCoherence)
+	}
+	if !rel.Compose(hb, r.LRW).Irreflexive() {
+		fail(AxObservation)
+	}
+	for _, a := range cfg.Atoms {
+		if !atomHolds(r, hb, a) {
+			fail(a.String())
+		}
+	}
+	return v
+}
+
+func atomHolds(r *Rels, hb *rel.Rel, a Atom) bool {
+	switch a {
+	case AtomWW:
+		return rel.Compose(rel.Compose(r.CRW, hb), r.LWW).Irreflexive()
+	case AtomRW:
+		return rel.Compose(rel.Compose(r.CRW, hb), r.LRW).Irreflexive()
+	case AtomWWP:
+		return rel.Compose(rel.Compose(hb, r.CRW), r.LWW).Irreflexive()
+	case AtomRWP:
+		return rel.Compose(rel.Compose(hb, r.CRW), r.LRW).Irreflexive()
+	}
+	panic(fmt.Sprintf("core: unknown atom axiom %d", a))
+}
+
+// Consistent reports whether the execution satisfies all axioms of cfg.
+func Consistent(x *event.Execution, cfg Config) bool {
+	return Check(x, cfg).Consistent
+}

@@ -1,0 +1,519 @@
+package core
+
+import (
+	"testing"
+
+	"modtx/internal/event"
+)
+
+// --- Executions from the paper used as ground truth ---
+
+// Example 2.1: atomic_a { if !y then x:=1 } || atomic_b { y:=1 }; x:=2
+// with a reading y=0 and ww(x) = Wx1 → Wx2.
+func ex21(t testing.TB) *event.Execution {
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.R("y", 0)
+	wx1 := t1.W("x", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.W("y", 1)
+	t2.Commit()
+	wx2 := t2.W("x", 2)
+	b.WWOrder("x", wx1, wx2)
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// Example 2.2: atomic_a { if !y then x:=2 } || atomic_b { y:=1 }; x:=1
+// with the reverse lww order: plain Wx1 ww→ transactional Wx2.
+func ex22(t testing.TB) *event.Execution {
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.R("y", 0)
+	wx2 := t1.W("x", 2)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.W("y", 1)
+	t2.Commit()
+	wx1 := t2.W("x", 1)
+	b.WWOrder("x", wx1, wx2)
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestExample21Privatization(t *testing.T) {
+	x := ex21(t)
+	v := Check(x, Programmer)
+	if !v.Consistent {
+		t.Fatalf("Example 2.1 must be consistent in the programmer model: %v", v)
+	}
+	// HBww orders Wx1 before Wx2, so the execution is race free.
+	if races := GraphRaces(x, Programmer, nil); len(races) != 0 {
+		t.Errorf("Example 2.1 must be race-free under HBww, got races %v\n%s", races, event.Pretty(x))
+	}
+	// Without HBww (implementation model) the two writes to x race.
+	if races := GraphRaces(x, Implementation, nil); len(races) == 0 {
+		t.Error("Example 2.1 must be racy without HBww")
+	}
+	if MixedRaceFree(x, Implementation) {
+		t.Error("the privatization race is a mixed (write-write, tx-vs-plain) race")
+	}
+	if !Consistent(x, Implementation) {
+		t.Error("Example 2.1 remains consistent in the implementation model")
+	}
+}
+
+func TestExample22AtomWW(t *testing.T) {
+	x := ex22(t)
+	v := Check(x, Programmer)
+	if v.Consistent {
+		t.Fatalf("Example 2.2 must be inconsistent in the programmer model\n%s", event.Pretty(x))
+	}
+	found := false
+	for _, name := range v.Violations {
+		if name == AtomWW.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Example 2.2 must violate Atomww, got %v", v.Violations)
+	}
+	// The implementation model drops Atomww and allows it (§5).
+	if !Consistent(x, Implementation) {
+		t.Error("Example 2.2 must be consistent in the implementation model")
+	}
+}
+
+func TestHBwwCascade(t *testing.T) {
+	// §2: "Order from HBww can cascade". Two chained privatizations; the
+	// final plain writes x':=2; x:=2 must be hb-after the transactional
+	// writes x':=1 and x:=1.
+	b := event.NewBuilder("x", "y", "u", "v") // u,v play x',y'
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.R("y", 0)
+	wx1 := t1.W("x", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.W("y", 1)
+	t2.Commit()
+	t2.Begin("a'")
+	t2.R("v", 0)
+	wu1 := t2.W("u", 1)
+	t2.Commit()
+	t3 := b.Thread()
+	t3.Begin("b'")
+	t3.W("v", 1)
+	t3.Commit()
+	wu2 := t3.W("u", 2)
+	wx2 := t3.W("x", 2)
+	b.WWOrder("x", wx1, wx2)
+	b.WWOrder("u", wu1, wu2)
+	x := b.MustBuild()
+
+	v := Check(x, Programmer)
+	if !v.Consistent {
+		t.Fatalf("cascade must be consistent: %v", v)
+	}
+	if races := GraphRaces(x, Programmer, nil); len(races) != 0 {
+		t.Errorf("cascade must be race-free, got %v", races)
+	}
+	// Both hb edges must be present (the second requires the first).
+	if !v.HB.Has(wu1, wu2) {
+		t.Error("hb missing Wu1 → Wu2")
+	}
+	if !v.HB.Has(wx1, wx2) {
+		t.Error("hb missing cascaded Wx1 → Wx2")
+	}
+}
+
+func TestLoadBufferingForbidden(t *testing.T) {
+	// §2: Causality includes lwr, forbidding load buffering.
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	rx := t1.R("x", 1)
+	t1.W("y", 1)
+	t2 := b.Thread()
+	ry := t2.R("y", 1)
+	wx := t2.W("x", 1)
+	_ = rx
+	_ = ry
+	_ = wx
+	x := b.MustBuild()
+	v := Check(x, Programmer)
+	if v.Consistent {
+		t.Fatal("load buffering must be forbidden")
+	}
+	if v.Violations[0] != AxCausality {
+		t.Errorf("load buffering must violate Causality, got %v", v.Violations)
+	}
+}
+
+func TestStoreBufferingAllowed(t *testing.T) {
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.W("x", 1)
+	t1.R("y", 0)
+	t2 := b.Thread()
+	t2.W("y", 1)
+	t2.R("x", 0)
+	x := b.MustBuild()
+	if !Consistent(x, Programmer) {
+		t.Fatal("store buffering must be allowed (plain antidependencies are only irreflexive)")
+	}
+}
+
+// abortedReadPublication builds the §2 "allowed" execution:
+// committed tx {Wx1, Wy1} || aborted tx {Ry1}; plain Rx0.
+func abortedReadPublication(t testing.TB) *event.Execution {
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.Begin("w")
+	t1.W("x", 1)
+	t1.W("y", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("r")
+	t2.R("y", 1)
+	t2.Abort()
+	t2.R("x", 0)
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestAbortedReadPublication(t *testing.T) {
+	x := abortedReadPublication(t)
+	if !Consistent(x, Programmer) {
+		t.Fatal("publication through an aborted read must be allowed with cwr in hb")
+	}
+	// "would be disallowed if hb included xwr rather than cwr"
+	cfg := Programmer
+	cfg.XWRInHB = true
+	if Consistent(x, cfg) {
+		t.Fatal("with xwr in hb the execution must be forbidden")
+	}
+}
+
+func TestOpacityAbortedIRIW(t *testing.T) {
+	// §2 "Forbidden": singleton committed writer transactions; two aborted
+	// reader transactions observing them in opposite orders. Opacity
+	// requires a total order over all transactions, so this is forbidden.
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.Begin("wx")
+	t1.W("x", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("wy")
+	t2.W("y", 1)
+	t2.Commit()
+	t3 := b.Thread()
+	t3.Begin("c")
+	t3.R("x", 1)
+	t3.R("y", 0)
+	t3.Abort()
+	t4 := b.Thread()
+	t4.Begin("d")
+	t4.R("y", 1)
+	t4.R("x", 0)
+	t4.Abort()
+	x := b.MustBuild()
+	v := Check(x, Programmer)
+	if v.Consistent {
+		t.Fatal("aborted IRIW must be forbidden (opacity)")
+	}
+	if v.Violations[0] != AxCausality {
+		t.Errorf("expected Causality violation, got %v", v.Violations)
+	}
+}
+
+func TestPlainWWCycleAllowed(t *testing.T) {
+	// §2 "Allowed": plain po ∪ ww cycles are permitted (this is why
+	// Causality cannot use lww).
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	wx2 := t1.W("x", 2)
+	wy1 := t1.W("y", 1)
+	t2 := b.Thread()
+	wy2 := t2.W("y", 2)
+	wx1 := t2.W("x", 1)
+	b.WWOrder("x", wx1, wx2)
+	b.WWOrder("y", wy1, wy2)
+	x := b.MustBuild()
+	if !Consistent(x, Programmer) {
+		t.Fatal("plain po∪ww cycle must be allowed")
+	}
+}
+
+func TestCoherenceStrongerThanJava(t *testing.T) {
+	// §2 "Forbidden": after synchronizing via a committed transaction on y,
+	// a stale read of x is forbidden by Observation.
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	wx1 := t1.W("x", 1)
+	t1.Begin("wy")
+	t1.W("y", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	wx2 := t2.W("x", 2)
+	t2.Begin("ry")
+	t2.R("y", 1)
+	t2.Commit()
+	r2 := t2.R("x", 2)
+	r1 := t2.R("x", 1)
+	b.WWOrder("x", wx1, wx2)
+	b.RF(wx2, r2)
+	b.RF(wx1, r1)
+	x := b.MustBuild()
+	v := Check(x, Programmer)
+	if v.Consistent {
+		t.Fatal("stale read after synchronization must be forbidden")
+	}
+}
+
+func TestCoherenceWeakerThanHardware(t *testing.T) {
+	// §2 "Allowed": reading 2, 1, 2 from unsynchronized plain writes is
+	// allowed (needed for common subexpression elimination).
+	b := event.NewBuilder("x")
+	t1 := b.Thread()
+	wx1 := t1.W("x", 1)
+	wx2 := t1.W("x", 2)
+	t2 := b.Thread()
+	ra := t2.R("x", 2)
+	rb := t2.R("x", 1)
+	rc := t2.R("x", 2)
+	b.WWOrder("x", wx1, wx2)
+	b.RF(wx2, ra)
+	b.RF(wx1, rb)
+	b.RF(wx2, rc)
+	x := b.MustBuild()
+	if !Consistent(x, Programmer) {
+		t.Fatal("2,1,2 read sequence of plain writes must be allowed")
+	}
+}
+
+// ex31 builds Example 3.1 (publication by antidependence is NOT enforced):
+// x:=1; atomic_a { r:=y } || atomic_b { q:=x; y:=1 } with r=q=0.
+func ex31(t testing.TB) *event.Execution {
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.W("x", 1)
+	t1.Begin("a")
+	t1.R("y", 0)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.R("x", 0)
+	t2.W("y", 1)
+	t2.Commit()
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestExample31PublicationByAntidependence(t *testing.T) {
+	x := ex31(t)
+	if !Consistent(x, Programmer) {
+		t.Fatal("Example 3.1 (r=q=0) must be allowed in the programmer model")
+	}
+	// Forbidden by any model that enforces Atom'rw.
+	if Consistent(x, Variant(HBrwP)) {
+		t.Fatal("Example 3.1 must be forbidden under Atom'rw")
+	}
+	// x86-TSO includes crw in hb and also forbids it (§6).
+	if Consistent(x, TSO) {
+		t.Fatal("Example 3.1 must be forbidden under TSO")
+	}
+}
+
+func TestExample32NoGlobalLockAtomicity(t *testing.T) {
+	// x:=1; atomic_a { y:=1 }; r:=z || atomic_b { q:=x; z:=1 } with r=q=0:
+	// allowed by all variants including Atom'rw.
+	b := event.NewBuilder("x", "y", "z")
+	t1 := b.Thread()
+	t1.W("x", 1)
+	t1.Begin("a")
+	t1.W("y", 1)
+	t1.Commit()
+	t1.R("z", 0)
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.R("x", 0)
+	t2.W("z", 1)
+	t2.Commit()
+	x := b.MustBuild()
+	for _, cfg := range []Config{Programmer, Implementation, Strongest} {
+		if !Consistent(x, cfg) {
+			t.Errorf("Example 3.2 must be allowed under %s", cfg.Name)
+		}
+	}
+}
+
+func TestExample33RacyPublicationForbidden(t *testing.T) {
+	// x:=1; atomic_a { y:=1 } || q:=2; atomic_b { r:=x; if y then q:=r }:
+	// b reading x=0 and y=1 violates Observation.
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.W("x", 1)
+	t1.Begin("a")
+	t1.W("y", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.R("x", 0)
+	t2.R("y", 1)
+	t2.Commit()
+	x := b.MustBuild()
+	v := Check(x, Programmer)
+	if v.Consistent {
+		t.Fatal("Example 3.3: reading x=0, y=1 must be forbidden")
+	}
+}
+
+func TestQuiescenceFenceOrders(t *testing.T) {
+	// Implementation-model privatization with a fence: the fence creates
+	// hb between the transactional write and the later plain write,
+	// removing the mixed race (§5).
+	build := func(withFence bool) *event.Execution {
+		b := event.NewBuilder("x", "y")
+		t1 := b.Thread()
+		t1.Begin("a")
+		t1.R("y", 0)
+		wx1 := t1.W("x", 1)
+		t1.Commit()
+		t2 := b.Thread()
+		t2.Begin("b")
+		t2.W("y", 1)
+		t2.Commit()
+		if withFence {
+			t2.Q("x")
+		}
+		wx2 := t2.W("x", 2)
+		b.WWOrder("x", wx1, wx2)
+		return b.MustBuild()
+	}
+	noFence := build(false)
+	if MixedRaceFree(noFence, Implementation) {
+		t.Fatal("unfenced privatization must have a mixed race in the implementation model")
+	}
+	fenced := build(true)
+	if vs := event.WellFormed(fenced); len(vs) != 0 {
+		t.Fatalf("fenced trace not well-formed: %v", vs)
+	}
+	if !MixedRaceFree(fenced, Implementation) {
+		t.Fatalf("fenced privatization must be mixed-race-free\n%s", event.Pretty(fenced))
+	}
+	if !Consistent(fenced, Implementation) {
+		t.Fatal("fenced privatization must be consistent")
+	}
+}
+
+func TestLiftedRelationExample(t *testing.T) {
+	// §2 "Lifted Relations": b1:Wy1, b2:Wx1 in one committed transaction;
+	// c: plain Ry1; d: plain Wx2.
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.Begin("b")
+	b1 := t1.W("y", 1)
+	b2 := t1.W("x", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	c := t2.R("y", 1)
+	d := t2.W("x", 2)
+	b.WWOrder("x", b2, d)
+	x := b.MustBuild()
+	r := Derive(x)
+
+	if !r.WR.Has(b1, c) {
+		t.Error("base wr missing b1 → c")
+	}
+	if r.WR.Has(b2, c) {
+		t.Error("base wr must not relate b2 → c")
+	}
+	if !r.LWR.Has(b2, c) {
+		t.Error("lifted lwr must relate b2 → c")
+	}
+	if !r.LWW.Has(b1, d) {
+		t.Error("lifted lww must relate b1 → d")
+	}
+	if r.WW.Has(b1, d) {
+		t.Error("base ww must not relate b1 → d (different locations)")
+	}
+	// The "x" variants exclude the plain d; the "c" variants also exclude c.
+	if r.XWW.Has(b1, d) || r.XWR.Has(b2, c) {
+		t.Error("x-variants must exclude plain endpoints")
+	}
+}
+
+func TestVariantConfigs(t *testing.T) {
+	for _, v := range []HBVariant{HBww, HBrw, HBwr, HBwwP, HBrwP, HBwrP} {
+		cfg := Variant(v)
+		if !cfg.HasHB(v) {
+			t.Errorf("Variant(%v) does not enable %v", v, v)
+		}
+		switch v {
+		case HBwr, HBwrP:
+			if len(cfg.Atoms) != 0 {
+				t.Errorf("Variant(%v) must not add an Atom axiom", v)
+			}
+		default:
+			if len(cfg.Atoms) != 1 {
+				t.Errorf("Variant(%v) must add exactly one Atom axiom", v)
+			}
+		}
+	}
+}
+
+func TestDoomedTransactionForbidden(t *testing.T) {
+	// §4: atomic_a { if !y then while x do skip } || atomic_b { y:=1 }; x:=1.
+	// A live transaction a that read y=0 and then x=1 is inconsistent.
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.R("y", 0)
+	t1.R("x", 1) // spinning: observed the plain write
+	// a never resolves: live.
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.W("y", 1)
+	t2.Commit()
+	t2.W("x", 1)
+	x := b.MustBuild()
+	if Consistent(x, Programmer) {
+		t.Fatal("doomed transaction execution must be inconsistent")
+	}
+}
+
+func TestTheorem42RemoveAborted(t *testing.T) {
+	// Removing aborted transactions preserves consistency on the corpus.
+	execs := []*event.Execution{
+		ex21(t), ex22(t), ex31(t), abortedReadPublication(t),
+	}
+	for i, x := range execs {
+		before := Consistent(x, Programmer)
+		y := x.RemoveAborted()
+		if err := y.Validate(); err != nil {
+			t.Fatalf("exec %d: removal broke validity: %v", i, err)
+		}
+		if before && !Consistent(y, Programmer) {
+			t.Errorf("exec %d: consistency lost after removing aborted transactions", i)
+		}
+	}
+}

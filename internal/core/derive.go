@@ -1,0 +1,100 @@
+package core
+
+import (
+	"modtx/internal/event"
+	"modtx/internal/rel"
+)
+
+// Rels bundles every relation the model derives from an execution (§2).
+// Lifted relations follow the paper's notation: the "l" variants lift to
+// transaction granularity, the "x" variants restrict lifting to
+// transactional actions, and the "c" variants further restrict to
+// committed-or-live (nonaborted) transactions.
+type Rels struct {
+	X *event.Execution
+
+	PO   *rel.Rel // program order
+	Init *rel.Rel // initialization order
+	WW   *rel.Rel // write-to-write (coherence, from timestamps)
+	WR   *rel.Rel // write-to-read (reads-from)
+	RW   *rel.Rel // read-to-write (antidependency)
+
+	LWW, LWR, LRW *rel.Rel
+	XWW, XWR, XRW *rel.Rel
+	CWW, CWR, CRW *rel.Rel
+}
+
+// Derive computes all base and lifted relations of the execution.
+func Derive(x *event.Execution) *Rels {
+	r := &Rels{
+		X:    x,
+		PO:   x.PO(),
+		Init: x.InitRel(),
+		WW:   x.WWRel(),
+		WR:   x.WRRel(),
+		RW:   x.RWRel(),
+	}
+	r.LWW = Lift(x, r.WW)
+	r.LWR = Lift(x, r.WR)
+	r.LRW = Lift(x, r.RW)
+	r.XWW = restrictX(x, r.LWW)
+	r.XWR = restrictX(x, r.LWR)
+	r.XRW = restrictX(x, r.LRW)
+	r.CWW = restrictC(x, r.XWW)
+	r.CWR = restrictC(x, r.XWR)
+	r.CRW = restrictC(x, r.XRW)
+	return r
+}
+
+// Lift implements the lifting of §2:
+//
+//	a lR→ b iff a R→ b, or a′ R→ b′ for some a′ tx∼ a ≁tx b tx∼ b′.
+//
+// Cross-transaction base edges are expanded to the full product of the two
+// transactions' action sets (begin/commit/abort actions included, matching
+// the paper's use of tx∼ with B/C/A in §5); same-transaction base edges
+// are kept as-is.
+func Lift(x *event.Execution, base *rel.Rel) *rel.Rel {
+	classes := txClasses(x)
+	out := base.Clone()
+	base.Each(func(a, b int) {
+		if x.SameTx(a, b) {
+			return
+		}
+		for _, a2 := range classOf(x, classes, a) {
+			for _, b2 := range classOf(x, classes, b) {
+				out.Add(a2, b2)
+			}
+		}
+	})
+	return out
+}
+
+// txClasses returns, per transaction id, the ids of all its events.
+func txClasses(x *event.Execution) [][]int {
+	classes := make([][]int, x.NTx())
+	for _, e := range x.Events {
+		if e.Tx != event.NoTx {
+			classes[e.Tx] = append(classes[e.Tx], e.ID)
+		}
+	}
+	return classes
+}
+
+func classOf(x *event.Execution, classes [][]int, id int) []int {
+	if tx := x.Ev(id).Tx; tx != event.NoTx {
+		return classes[tx]
+	}
+	return []int{id}
+}
+
+// restrictX keeps pairs whose endpoints are both transactional ("x" variant).
+func restrictX(x *event.Execution, r *rel.Rel) *rel.Rel {
+	return r.Restrict(x.Transactional)
+}
+
+// restrictC keeps pairs whose endpoints are both in committed or live
+// transactions ("c" variant).
+func restrictC(x *event.Execution, r *rel.Rel) *rel.Rel {
+	return r.Restrict(x.CommittedOrLive)
+}

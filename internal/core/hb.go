@@ -1,0 +1,118 @@
+package core
+
+import (
+	"modtx/internal/event"
+	"modtx/internal/rel"
+)
+
+// HB computes the happens-before order of the execution under the given
+// model configuration, as the least relation closed under (§2):
+//
+//	HBdef:   init→ ∪ po→ ∪ cwr→ ∪ cww→  ⊆  hb→
+//	HBtrans: hb→ is transitive
+//	plus the enabled HB extension rules (Example 2.3)
+//	plus, when the execution contains quiescence fences, the §5 rules
+//	HBCQ and HBQB (trace order = event ID order).
+//
+// Extension rules reference hb itself, so the computation is a monotone
+// fixpoint: alternate transitive closure with rule application until no
+// edge is added.
+func HB(r *Rels, cfg Config) *rel.Rel {
+	x := r.X
+	base := rel.UnionOf(r.Init, r.PO, r.CWW)
+	if cfg.XWRInHB {
+		base.Union(r.XWR)
+	} else {
+		base.Union(r.CWR)
+	}
+	if cfg.RWInHB {
+		base.Union(r.CRW)
+	}
+	addFenceEdges(x, base)
+
+	hb := base.TransitiveClosure()
+	for {
+		added := false
+		for _, v := range cfg.HB {
+			if applyVariant(r, v, hb) {
+				added = true
+			}
+		}
+		if !added {
+			return hb
+		}
+		hb = hb.TransitiveClosure()
+	}
+}
+
+// applyVariant adds the edges demanded by one HB extension rule given the
+// current hb approximation. Returns whether any edge was new.
+func applyVariant(r *Rels, v HBVariant, hb *rel.Rel) bool {
+	x := r.X
+	var lifted *rel.Rel
+	switch v {
+	case HBww, HBwwP:
+		lifted = r.LWW
+	case HBrw, HBrwP:
+		lifted = r.LRW
+	case HBwr, HBwrP:
+		lifted = r.LWR
+	}
+	added := false
+	switch v {
+	case HBww, HBrw, HBwr:
+		// a hb→ c if c is plain, a lR→ c and a crw→ b hb→ c.
+		lifted.Each(func(a, c int) {
+			if hb.Has(a, c) || !x.IsPlain(c) {
+				return
+			}
+			for _, b := range r.CRW.Successors(a) {
+				if hb.Has(b, c) {
+					hb.Add(a, c)
+					added = true
+					return
+				}
+			}
+		})
+	case HBwwP, HBrwP, HBwrP:
+		// a hb→ c if a is plain, a lR→ c and a hb→ b crw→ c.
+		lifted.Each(func(a, c int) {
+			if hb.Has(a, c) || !x.IsPlain(a) {
+				return
+			}
+			for _, b := range hb.Successors(a) {
+				if r.CRW.Has(b, c) {
+					hb.Add(a, c)
+					added = true
+					return
+				}
+			}
+		})
+	}
+	return added
+}
+
+// addFenceEdges installs the §5 quiescence-fence rules, using event ID
+// order as the trace's index order:
+//
+//	HBCQ: ⟨a:Cb⟩ hb→ ⟨c:Qx⟩ if a index→ c and b touches x
+//	HBQB: ⟨c:Qx⟩ hb→ ⟨b:B⟩  if c index→ b and b touches x
+func addFenceEdges(x *event.Execution, base *rel.Rel) {
+	for _, f := range x.Events {
+		if f.Kind != event.KFence {
+			continue
+		}
+		for _, e := range x.Events {
+			switch e.Kind {
+			case event.KCommit:
+				if e.ID < f.ID && x.TxTouches(e.Tx, f.Loc) {
+					base.Add(e.ID, f.ID)
+				}
+			case event.KBegin:
+				if f.ID < e.ID && x.TxTouches(e.Tx, f.Loc) {
+					base.Add(f.ID, e.ID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"modtx/internal/event"
+	"modtx/internal/rel"
+)
+
+// Race is an ordered pair of conflicting events.
+type Race struct {
+	A, B int // event ids; for trace races, A index→ B
+	Loc  int
+}
+
+// LConflict implements §4: two actions are in L-conflict if they both
+// access the same x ∈ L, at least one is plain, at least one is a write,
+// and neither is aborted. (Two transactional actions cannot race.)
+func LConflict(x *event.Execution, L map[int]bool, a, b int) bool {
+	ea, eb := x.Ev(a), x.Ev(b)
+	if !isAccess(ea.Kind) || !isAccess(eb.Kind) {
+		return false
+	}
+	if ea.Loc != eb.Loc || (L != nil && !L[ea.Loc]) {
+		return false
+	}
+	if !x.IsPlain(a) && !x.IsPlain(b) {
+		return false
+	}
+	if ea.Kind != event.KWrite && eb.Kind != event.KWrite {
+		return false
+	}
+	return x.NonAborted(a) && x.NonAborted(b)
+}
+
+func isAccess(k event.Kind) bool { return k == event.KRead || k == event.KWrite }
+
+// TraceRaces returns the L-races of the trace view (§4): pairs (b, c) in
+// L-conflict with b index→ c but not b hb→ c. L == nil means all locations.
+func TraceRaces(x *event.Execution, cfg Config, L map[int]bool) []Race {
+	hb := HB(Derive(x), cfg)
+	return traceRacesHB(x, hb, L)
+}
+
+func traceRacesHB(x *event.Execution, hb *rel.Rel, L map[int]bool) []Race {
+	var races []Race
+	for b := 0; b < x.N(); b++ {
+		for c := b + 1; c < x.N(); c++ {
+			if LConflict(x, L, b, c) && !hb.Has(b, c) {
+				races = append(races, Race{A: b, B: c, Loc: x.Ev(b).Loc})
+			}
+		}
+	}
+	return races
+}
+
+// GraphRaces returns conflicting pairs unordered by hb in either direction.
+// This is the order-insensitive view used for execution-graph figures,
+// where no trace index is intended.
+func GraphRaces(x *event.Execution, cfg Config, L map[int]bool) []Race {
+	hb := HB(Derive(x), cfg)
+	var races []Race
+	for b := 0; b < x.N(); b++ {
+		for c := b + 1; c < x.N(); c++ {
+			if LConflict(x, L, b, c) && !hb.Has(b, c) && !hb.Has(c, b) {
+				races = append(races, Race{A: b, B: c, Loc: x.Ev(b).Loc})
+			}
+		}
+	}
+	return races
+}
+
+// RaceFree reports whether the execution has no races at all (graph view).
+func RaceFree(x *event.Execution, cfg Config) bool {
+	return len(GraphRaces(x, cfg, nil)) == 0
+}
+
+// MixedRaces returns the §5 mixed races: L-races between a transactional
+// write and a plain write, over any location set (we use all locations,
+// which is the union over all L ⊆ Loc).
+func MixedRaces(x *event.Execution, cfg Config) []Race {
+	var mixed []Race
+	for _, r := range TraceRaces(x, cfg, nil) {
+		ea, eb := x.Ev(r.A), x.Ev(r.B)
+		if ea.Kind != event.KWrite || eb.Kind != event.KWrite {
+			continue
+		}
+		if x.IsPlain(r.A) != x.IsPlain(r.B) {
+			mixed = append(mixed, r)
+		}
+	}
+	return mixed
+}
+
+// MixedRaceFree reports whether the execution has no mixed race under cfg.
+func MixedRaceFree(x *event.Execution, cfg Config) bool {
+	return len(MixedRaces(x, cfg)) == 0
+}
+
+// LocSet builds a location set from names, for use as the L parameter.
+func LocSet(x *event.Execution, names ...string) map[int]bool {
+	L := make(map[int]bool, len(names))
+	for _, n := range names {
+		if id := x.LocID(n); id >= 0 {
+			L[id] = true
+		}
+	}
+	return L
+}

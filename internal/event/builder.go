@@ -1,0 +1,228 @@
+package event
+
+import "fmt"
+
+// Builder constructs executions for tests, the figure catalog and the
+// enumerator. Events are appended in call order, which becomes the trace
+// order; per-thread call order becomes program order.
+//
+// NewBuilder seeds the execution with the initializing transaction of WF1
+// (thread init, one write of 0 per location, committed).
+type Builder struct {
+	x       *Execution
+	openTx  map[int]int // thread -> currently open tx id
+	rf      map[int]int // explicit read -> write bindings
+	wwExpl  map[int][]int
+	nextThr int
+	err     error
+}
+
+// ThreadBuilder appends events for one thread.
+type ThreadBuilder struct {
+	b  *Builder
+	id int
+}
+
+// NewBuilder returns a Builder over the named locations.
+func NewBuilder(locs ...string) *Builder {
+	if len(locs) == 0 {
+		panic("event: NewBuilder needs at least one location")
+	}
+	x := &Execution{
+		Locs:     append([]string(nil), locs...),
+		NThreads: 1,
+		TxStatus: []Status{Committed},
+		TxName:   []string{"init"},
+		WR:       make(map[int]int),
+		WW:       make(map[int][]int),
+	}
+	b := &Builder{
+		x:       x,
+		openTx:  make(map[int]int),
+		rf:      make(map[int]int),
+		wwExpl:  make(map[int][]int),
+		nextThr: 1,
+	}
+	b.append(Event{Thread: InitThread, Kind: KBegin, Loc: NoLoc, Tx: InitTx})
+	for loc := range locs {
+		id := b.append(Event{Thread: InitThread, Kind: KWrite, Loc: loc, Val: 0, Tx: InitTx})
+		x.WW[loc] = append(x.WW[loc], id)
+	}
+	b.append(Event{Thread: InitThread, Kind: KCommit, Loc: NoLoc, Tx: InitTx})
+	return b
+}
+
+func (b *Builder) append(e Event) int {
+	e.ID = len(b.x.Events)
+	b.x.Events = append(b.x.Events, e)
+	return e.ID
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("event builder: "+format, args...)
+	}
+}
+
+// Thread registers a new thread and returns its builder.
+func (b *Builder) Thread() *ThreadBuilder {
+	id := b.nextThr
+	b.nextThr++
+	b.x.NThreads = b.nextThr
+	return &ThreadBuilder{b: b, id: id}
+}
+
+func (b *Builder) locID(name string) int {
+	for i, n := range b.x.Locs {
+		if n == name {
+			return i
+		}
+	}
+	b.fail("unknown location %q", name)
+	return 0
+}
+
+// Begin opens a new transaction on the thread. name is for diagnostics.
+func (t *ThreadBuilder) Begin(name string) *ThreadBuilder {
+	b := t.b
+	if _, open := b.openTx[t.id]; open {
+		b.fail("thread %d: Begin with transaction already open (nesting unsupported, WF4/WF5)", t.id)
+		return t
+	}
+	tx := len(b.x.TxStatus)
+	b.x.TxStatus = append(b.x.TxStatus, Live)
+	b.x.TxName = append(b.x.TxName, name)
+	b.openTx[t.id] = tx
+	b.append(Event{Thread: t.id, Kind: KBegin, Loc: NoLoc, Tx: tx})
+	return t
+}
+
+// Commit resolves the open transaction as committed.
+func (t *ThreadBuilder) Commit() *ThreadBuilder { return t.resolve(KCommit, Committed) }
+
+// Abort resolves the open transaction as aborted.
+func (t *ThreadBuilder) Abort() *ThreadBuilder { return t.resolve(KAbort, Aborted) }
+
+func (t *ThreadBuilder) resolve(k Kind, s Status) *ThreadBuilder {
+	b := t.b
+	tx, open := b.openTx[t.id]
+	if !open {
+		b.fail("thread %d: %v with no open transaction", t.id, k)
+		return t
+	}
+	delete(b.openTx, t.id)
+	b.x.TxStatus[tx] = s
+	b.append(Event{Thread: t.id, Kind: k, Loc: NoLoc, Tx: tx})
+	return t
+}
+
+func (t *ThreadBuilder) curTx() int {
+	if tx, open := t.b.openTx[t.id]; open {
+		return tx
+	}
+	return NoTx
+}
+
+// R appends a read of val from loc and returns the event id.
+func (t *ThreadBuilder) R(loc string, val int) int {
+	return t.b.append(Event{Thread: t.id, Kind: KRead, Loc: t.b.locID(loc), Val: val, Tx: t.curTx()})
+}
+
+// W appends a write of val to loc and returns the event id. The write joins
+// its location's coherence order at the next position (override with WWOrder).
+func (t *ThreadBuilder) W(loc string, val int) int {
+	b := t.b
+	l := b.locID(loc)
+	id := b.append(Event{Thread: t.id, Kind: KWrite, Loc: l, Val: val, Tx: t.curTx()})
+	b.x.WW[l] = append(b.x.WW[l], id)
+	return id
+}
+
+// Q appends a quiescence fence on loc (§5) and returns the event id.
+func (t *ThreadBuilder) Q(loc string) int {
+	b := t.b
+	if tx, open := b.openTx[t.id]; open {
+		b.fail("thread %d: fence inside transaction %d", t.id, tx)
+	}
+	return b.append(Event{Thread: t.id, Kind: KFence, Loc: b.locID(loc), Tx: NoTx})
+}
+
+// RF binds read r to write w explicitly (overrides value-based matching).
+func (b *Builder) RF(w, r int) *Builder {
+	b.rf[r] = w
+	return b
+}
+
+// InitWrite returns the event id of the initializing write of loc, for
+// explicit RF bindings when a program also writes 0 to the location.
+func (b *Builder) InitWrite(loc string) int {
+	l := b.locID(loc)
+	return b.x.WW[l][0]
+}
+
+// WWOrder sets the full coherence order of loc's non-init writes. The init
+// write keeps timestamp 0 (first position).
+func (b *Builder) WWOrder(loc string, ids ...int) *Builder {
+	b.wwExpl[b.locID(loc)] = append([]int(nil), ids...)
+	return b
+}
+
+// Build finalizes the execution. Unresolved transactions remain live.
+// Reads without an explicit RF binding are matched to the unique write
+// with the same location and value; ambiguity is an error.
+func (b *Builder) Build() (*Execution, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	x := b.x
+	for loc, ids := range b.wwExpl {
+		want := len(x.WW[loc]) - 1 // non-init writes
+		if len(ids) != want {
+			return nil, fmt.Errorf("event builder: WWOrder(%s) lists %d writes, location has %d",
+				x.Locs[loc], len(ids), want)
+		}
+		x.WW[loc] = append(x.WW[loc][:1], ids...)
+	}
+	for _, e := range x.Events {
+		if e.Kind != KRead {
+			continue
+		}
+		if w, ok := b.rf[e.ID]; ok {
+			we := x.Events[w]
+			if we.Kind != KWrite || we.Loc != e.Loc || we.Val != e.Val {
+				return nil, fmt.Errorf("event builder: RF(%d,%d) mismatches loc/value", w, e.ID)
+			}
+			x.WR[e.ID] = w
+			continue
+		}
+		cand := -1
+		for _, w := range x.WW[e.Loc] {
+			if x.Events[w].Val == e.Val {
+				if cand != -1 {
+					return nil, fmt.Errorf("event builder: read %d of %s=%d is ambiguous (writes %d and %d); use RF",
+						e.ID, x.Locs[e.Loc], e.Val, cand, w)
+				}
+				cand = w
+			}
+		}
+		if cand == -1 {
+			return nil, fmt.Errorf("event builder: read %d of %s=%d has no matching write",
+				e.ID, x.Locs[e.Loc], e.Val)
+		}
+		x.WR[e.ID] = cand
+	}
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// MustBuild is Build, panicking on error. Intended for tests and the
+// figure catalog, where executions are static.
+func (b *Builder) MustBuild() *Execution {
+	x, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return x
+}

@@ -1,0 +1,614 @@
+// Package event defines the action and execution structures of the paper
+// "Modular Transactions: Bounding Mixed Races in Space and Time"
+// (Dongol, Jagadeesan, Riely; PPoPP 2019), §2.
+//
+// An Execution holds a finite set of actions (events) together with the
+// reads-from map (wr, encoded explicitly instead of via rational
+// timestamps) and the per-location coherence order (ww, the timestamp
+// order of WF3). Event IDs are positions in the Events slice; the slice
+// order doubles as the trace order ("index" in the paper) for the trace
+// view, while the graph view only consumes the order through po.
+//
+// Well-formedness conditions WF1–WF12 are implemented in wf.go. The model
+// layer (derived/lifted relations, happens-before, consistency) lives in
+// internal/core.
+package event
+
+import (
+	"fmt"
+
+	"modtx/internal/rel"
+)
+
+// Kind classifies actions (§2, "Actions").
+type Kind uint8
+
+const (
+	KBegin  Kind = iota // ⟨b:sB⟩   transaction begin
+	KRead               // ⟨a:sRxvq⟩
+	KWrite              // ⟨a:sWxvq⟩
+	KCommit             // ⟨a:sCb⟩  commit of transaction b
+	KAbort              // ⟨a:sAb⟩  abort of transaction b
+	KFence              // ⟨a:sQx⟩  quiescence fence (§5 implementation model)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KBegin:
+		return "B"
+	case KRead:
+		return "R"
+	case KWrite:
+		return "W"
+	case KCommit:
+		return "C"
+	case KAbort:
+		return "A"
+	case KFence:
+		return "Q"
+	}
+	return "?"
+}
+
+// Status is the resolution state of a transaction (§2, "Traces and
+// Transactions"): committed and aborted transactions are resolved;
+// committed and live transactions are nonaborted.
+type Status uint8
+
+const (
+	Committed Status = iota
+	Aborted
+	Live
+)
+
+func (s Status) String() string {
+	switch s {
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	case Live:
+		return "live"
+	}
+	return "?"
+}
+
+// NoTx marks a plain (nontransactional) event.
+const NoTx = -1
+
+// NoLoc marks events without a location (begin/commit/abort).
+const NoLoc = -1
+
+// InitThread is the reserved thread id used for initialization (§2).
+const InitThread = 0
+
+// InitTx is the transaction id of the initializing transaction (WF1).
+const InitTx = 0
+
+// SentinelVal is the value written by fence events when fences are encoded
+// as writing transactions (§5 "Suborders"). It never appears in programs,
+// is excluded from final states, and no read may read it.
+const SentinelVal = -999
+
+// Event is a single action. ID equals the event's index in
+// Execution.Events.
+type Event struct {
+	ID     int
+	Thread int
+	Kind   Kind
+	Loc    int // location index, or NoLoc
+	Val    int // value read/written (reads: the fulfilled value)
+	Tx     int // transaction id, or NoTx for plain events
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case KBegin:
+		return fmt.Sprintf("e%d:t%d.B(tx%d)", e.ID, e.Thread, e.Tx)
+	case KCommit:
+		return fmt.Sprintf("e%d:t%d.C(tx%d)", e.ID, e.Thread, e.Tx)
+	case KAbort:
+		return fmt.Sprintf("e%d:t%d.A(tx%d)", e.ID, e.Thread, e.Tx)
+	case KFence:
+		return fmt.Sprintf("e%d:t%d.Q(loc%d)", e.ID, e.Thread, e.Loc)
+	default:
+		return fmt.Sprintf("e%d:t%d.%s(loc%d)=%d", e.ID, e.Thread, e.Kind, e.Loc, e.Val)
+	}
+}
+
+// Execution is a set of actions with explicit reads-from and coherence.
+//
+// Invariants (established by Builder or the enumerator, checked by Validate):
+//   - Events[i].ID == i.
+//   - per thread, event order in Events is program order.
+//   - WW[loc] lists every write event to loc exactly once; the init write
+//     is first (timestamp 0 of WF1).
+//   - WR maps every read event to a write event on the same location with
+//     the same value.
+type Execution struct {
+	Events   []Event
+	Locs     []string // location names (index = loc id)
+	NThreads int      // number of threads including InitThread
+	TxStatus []Status // per transaction id
+	TxName   []string // diagnostics; "" if unnamed
+	WR       map[int]int
+	WW       map[int][]int
+
+	po *rel.Rel // cached
+}
+
+// N returns the number of events.
+func (x *Execution) N() int { return len(x.Events) }
+
+// NTx returns the number of transactions (including the init transaction).
+func (x *Execution) NTx() int { return len(x.TxStatus) }
+
+// Ev returns the event with the given id.
+func (x *Execution) Ev(id int) Event { return x.Events[id] }
+
+// IsPlain reports whether event id is plain (belongs to no transaction).
+func (x *Execution) IsPlain(id int) bool { return x.Events[id].Tx == NoTx }
+
+// Transactional reports whether event id belongs to a transaction
+// (begin/commit/abort actions count as belonging to their transaction;
+// cf. the use of tx∼ with B/C/A actions in §5).
+func (x *Execution) Transactional(id int) bool { return x.Events[id].Tx != NoTx }
+
+// SameTx implements the tx∼ equivalence of §2: a tx∼ b iff a = b or a and
+// b belong to the same transaction. Plain actions relate only to themselves.
+func (x *Execution) SameTx(a, b int) bool {
+	if a == b {
+		return true
+	}
+	ta, tb := x.Events[a].Tx, x.Events[b].Tx
+	return ta != NoTx && ta == tb
+}
+
+// StatusOfEvent returns the resolution status of the event's transaction.
+// It panics for plain events; use IsPlain first.
+func (x *Execution) StatusOfEvent(id int) Status {
+	tx := x.Events[id].Tx
+	if tx == NoTx {
+		panic(fmt.Sprintf("event: StatusOfEvent on plain event %d", id))
+	}
+	return x.TxStatus[tx]
+}
+
+// NonAborted reports whether the event is plain or belongs to a committed
+// or live transaction ("neither is aborted" in the race definition; "c is
+// either plain or nonaborted" in the rw definition).
+func (x *Execution) NonAborted(id int) bool {
+	tx := x.Events[id].Tx
+	return tx == NoTx || x.TxStatus[tx] != Aborted
+}
+
+// CommittedOrLive reports whether the event belongs to a committed or live
+// transaction. Plain events return false (used by the "c" lifted variants,
+// which restrict to transactions).
+func (x *Execution) CommittedOrLive(id int) bool {
+	tx := x.Events[id].Tx
+	return tx != NoTx && x.TxStatus[tx] != Aborted
+}
+
+// IsInit reports whether the event belongs to the initializing thread.
+func (x *Execution) IsInit(id int) bool { return x.Events[id].Thread == InitThread }
+
+// TxEvents returns the event ids belonging to transaction tx, in id order.
+func (x *Execution) TxEvents(tx int) []int {
+	var out []int
+	for _, e := range x.Events {
+		if e.Tx == tx {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// TxTouches reports whether transaction tx reads or writes location loc
+// (fences do not count as touching; begin/commit/abort have no location).
+func (x *Execution) TxTouches(tx, loc int) bool {
+	for _, e := range x.Events {
+		if e.Tx == tx && e.Loc == loc && (e.Kind == KRead || e.Kind == KWrite) {
+			return true
+		}
+	}
+	return false
+}
+
+// LocID returns the index of the named location, or -1 if unknown.
+func (x *Execution) LocID(name string) int {
+	for i, n := range x.Locs {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// PO returns program order: a po→ b iff a precedes b in Events and both
+// belong to the same thread. The result is cached; callers must not mutate.
+func (x *Execution) PO() *rel.Rel {
+	if x.po != nil {
+		return x.po
+	}
+	po := rel.New(x.N())
+	last := make(map[int][]int) // thread -> earlier event ids
+	for _, e := range x.Events {
+		for _, p := range last[e.Thread] {
+			po.Add(p, e.ID)
+		}
+		last[e.Thread] = append(last[e.Thread], e.ID)
+	}
+	x.po = po
+	return po
+}
+
+// InitRel returns initialization order: ⟨a:s⟩ init→ ⟨b:t⟩ iff s = init ≠ t.
+func (x *Execution) InitRel() *rel.Rel {
+	r := rel.New(x.N())
+	for _, a := range x.Events {
+		if a.Thread != InitThread {
+			continue
+		}
+		for _, b := range x.Events {
+			if b.Thread != InitThread {
+				r.Add(a.ID, b.ID)
+			}
+		}
+	}
+	return r
+}
+
+// WWRel returns write-to-write (coherence) order derived from WW: for each
+// location, earlier-timestamped writes relate to later ones (transitive).
+func (x *Execution) WWRel() *rel.Rel {
+	r := rel.New(x.N())
+	for _, order := range x.WW {
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				r.Add(order[i], order[j])
+			}
+		}
+	}
+	return r
+}
+
+// WRRel returns write-to-read order (reads-from).
+func (x *Execution) WRRel() *rel.Rel {
+	r := rel.New(x.N())
+	for rd, wr := range x.WR {
+		r.Add(wr, rd)
+	}
+	return r
+}
+
+// RWRel returns the antidependency relation of §2:
+//
+//	b rw→ c iff a wr→ b and a ww→ c for some a, and c is either plain or
+//	nonaborted.
+func (x *Execution) RWRel() *rel.Rel {
+	ww := x.WWRel()
+	r := rel.New(x.N())
+	for rd, w := range x.WR {
+		for _, c := range x.Events {
+			if c.Kind != KWrite || c.ID == w {
+				continue
+			}
+			if ww.Has(w, c.ID) && x.NonAborted(c.ID) {
+				r.Add(rd, c.ID)
+			}
+		}
+	}
+	return r
+}
+
+// WriteIDs returns every write event to loc in coherence (timestamp) order.
+func (x *Execution) WriteIDs(loc int) []int { return x.WW[loc] }
+
+// FinalValue returns the final value of loc: the value of the
+// coherence-maximal write that is plain or committed (aborted writes are
+// rolled back; live writes are not yet visible). ok is false when the only
+// writes are from unresolved or aborted transactions and no plain or
+// committed write exists (cannot happen in well-formed executions, which
+// include the committed init write).
+func (x *Execution) FinalValue(loc int) (val int, ok bool) {
+	order := x.WW[loc]
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		tx := x.Events[id].Tx
+		if tx == NoTx || x.TxStatus[tx] == Committed {
+			if x.Events[id].Val == SentinelVal {
+				continue // fence-encoded writes carry no value
+			}
+			return x.Events[id].Val, true
+		}
+	}
+	return 0, false
+}
+
+// Validate checks the structural invariants documented on Execution.
+// It is cheaper and more basic than WellFormed: it guards against malformed
+// construction rather than checking the paper's WF conditions.
+func (x *Execution) Validate() error {
+	for i, e := range x.Events {
+		if e.ID != i {
+			return fmt.Errorf("event %d has ID %d", i, e.ID)
+		}
+		if e.Tx != NoTx && (e.Tx < 0 || e.Tx >= len(x.TxStatus)) {
+			return fmt.Errorf("event %d references unknown tx %d", i, e.Tx)
+		}
+		if (e.Kind == KRead || e.Kind == KWrite || e.Kind == KFence) && (e.Loc < 0 || e.Loc >= len(x.Locs)) {
+			return fmt.Errorf("event %d references unknown loc %d", i, e.Loc)
+		}
+	}
+	seen := make(map[int]bool)
+	for loc, order := range x.WW {
+		for _, id := range order {
+			e := x.Events[id]
+			if e.Kind != KWrite || e.Loc != loc {
+				return fmt.Errorf("WW[%d] lists non-write or wrong-loc event %d", loc, id)
+			}
+			if seen[id] {
+				return fmt.Errorf("event %d appears twice in WW", id)
+			}
+			seen[id] = true
+		}
+	}
+	for _, e := range x.Events {
+		if e.Kind == KWrite && !seen[e.ID] {
+			return fmt.Errorf("write event %d missing from WW", e.ID)
+		}
+	}
+	for rd, w := range x.WR {
+		re, we := x.Events[rd], x.Events[w]
+		if re.Kind != KRead || we.Kind != KWrite {
+			return fmt.Errorf("WR pair (%d,%d) has wrong kinds", w, rd)
+		}
+		if re.Loc != we.Loc || re.Val != we.Val {
+			return fmt.Errorf("WR pair (%d,%d) mismatches loc/value", w, rd)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the execution (caches dropped).
+func (x *Execution) Clone() *Execution {
+	c := &Execution{
+		Events:   append([]Event(nil), x.Events...),
+		Locs:     append([]string(nil), x.Locs...),
+		NThreads: x.NThreads,
+		TxStatus: append([]Status(nil), x.TxStatus...),
+		TxName:   append([]string(nil), x.TxName...),
+		WR:       make(map[int]int, len(x.WR)),
+		WW:       make(map[int][]int, len(x.WW)),
+	}
+	for k, v := range x.WR {
+		c.WR[k] = v
+	}
+	for k, v := range x.WW {
+		c.WW[k] = append([]int(nil), v...)
+	}
+	return c
+}
+
+// Reorder returns a copy of the execution whose trace order is the given
+// permutation of event ids (order[i] = old id at new position i). Event IDs
+// are renumbered; WR/WW are remapped. Program order must be preserved by
+// the permutation for the result to make sense; this is the caller's
+// responsibility (checked by WellFormed via WF bracketing if desired).
+func (x *Execution) Reorder(order []int) *Execution {
+	if len(order) != x.N() {
+		panic("event: Reorder permutation has wrong length")
+	}
+	newID := make([]int, x.N())
+	for pos, old := range order {
+		newID[old] = pos
+	}
+	c := x.Clone()
+	c.po = nil
+	c.Events = make([]Event, x.N())
+	for pos, old := range order {
+		e := x.Events[old]
+		e.ID = pos
+		c.Events[pos] = e
+	}
+	c.WR = make(map[int]int, len(x.WR))
+	for rd, w := range x.WR {
+		c.WR[newID[rd]] = newID[w]
+	}
+	c.WW = make(map[int][]int, len(x.WW))
+	for loc, ord := range x.WW {
+		no := make([]int, len(ord))
+		for i, id := range ord {
+			no[i] = newID[id]
+		}
+		c.WW[loc] = no
+	}
+	return c
+}
+
+// Prefix returns the sub-execution consisting of the first k events in
+// trace order. Transactions cut before their resolution become live.
+// Reads-from pairs and coherence orders are restricted to surviving events.
+// Panics if a surviving read lost its fulfilling write (violates WF8 for
+// the original trace).
+func (x *Execution) Prefix(k int) *Execution {
+	if k < 0 || k > x.N() {
+		panic("event: Prefix length out of range")
+	}
+	c := &Execution{
+		Events:   append([]Event(nil), x.Events[:k]...),
+		Locs:     append([]string(nil), x.Locs...),
+		NThreads: x.NThreads,
+		TxStatus: append([]Status(nil), x.TxStatus...),
+		TxName:   append([]string(nil), x.TxName...),
+		WR:       make(map[int]int),
+		WW:       make(map[int][]int),
+	}
+	// Recompute statuses: a transaction whose resolution was cut is live.
+	resolved := make([]bool, len(x.TxStatus))
+	began := make([]bool, len(x.TxStatus))
+	for _, e := range c.Events {
+		switch e.Kind {
+		case KBegin:
+			began[e.Tx] = true
+		case KCommit:
+			resolved[e.Tx] = true
+			c.TxStatus[e.Tx] = Committed
+		case KAbort:
+			resolved[e.Tx] = true
+			c.TxStatus[e.Tx] = Aborted
+		}
+	}
+	for tx := range c.TxStatus {
+		if began[tx] && !resolved[tx] {
+			c.TxStatus[tx] = Live
+		}
+	}
+	for rd, w := range x.WR {
+		if rd < k {
+			if w >= k {
+				panic("event: Prefix drops fulfilling write of surviving read (WF8 violated in source)")
+			}
+			c.WR[rd] = w
+		}
+	}
+	for loc, ord := range x.WW {
+		var no []int
+		for _, id := range ord {
+			if id < k {
+				no = append(no, id)
+			}
+		}
+		if len(no) > 0 {
+			c.WW[loc] = no
+		}
+	}
+	return c
+}
+
+// Subsequence returns the sub-execution consisting of the events whose ids
+// satisfy keep, renumbered in their original relative order. Reads whose
+// fulfilling write is dropped are themselves dropped from WR (callers that
+// need WF6 must keep fulfilling writes). Transaction statuses are preserved.
+func (x *Execution) Subsequence(keep func(id int) bool) *Execution {
+	var order []int
+	for id := range x.Events {
+		if keep(id) {
+			order = append(order, id)
+		}
+	}
+	newID := make(map[int]int, len(order))
+	for pos, old := range order {
+		newID[old] = pos
+	}
+	c := &Execution{
+		Locs:     append([]string(nil), x.Locs...),
+		NThreads: x.NThreads,
+		TxStatus: append([]Status(nil), x.TxStatus...),
+		TxName:   append([]string(nil), x.TxName...),
+		WR:       make(map[int]int),
+		WW:       make(map[int][]int),
+	}
+	for pos, old := range order {
+		e := x.Events[old]
+		e.ID = pos
+		c.Events = append(c.Events, e)
+	}
+	for rd, w := range x.WR {
+		nr, okR := newID[rd]
+		nw, okW := newID[w]
+		if okR && okW {
+			c.WR[nr] = nw
+		}
+	}
+	for loc, ord := range x.WW {
+		var no []int
+		for _, id := range ord {
+			if ni, ok := newID[id]; ok {
+				no = append(no, ni)
+			}
+		}
+		if len(no) > 0 {
+			c.WW[loc] = no
+		}
+	}
+	return c
+}
+
+// RemoveAborted returns the execution with all events of aborted
+// transactions removed (Theorem 4.2).
+func (x *Execution) RemoveAborted() *Execution {
+	return x.Subsequence(func(id int) bool {
+		tx := x.Events[id].Tx
+		return tx == NoTx || x.TxStatus[tx] != Aborted
+	})
+}
+
+// EncodeFences returns an execution in which every quiescence fence ⟨Qx⟩
+// is replaced by a committed singleton transaction writing x (§5
+// "Suborders": "The quiescent fence ⟨Qx⟩ has the same ordering properties
+// as a committed transaction that writes x: ⟨a:B⟩⟨Qx⟩⟨Ca⟩. ... we encode
+// quiescent fences thusly as writing transactions."). The write carries
+// SentinelVal, is appended at its fence's position in every coherence
+// order position chosen by the caller — here: coherence position is left
+// to the caller via WW, so the fence write is placed last in its
+// location's order by default; enumerators typically re-enumerate WW.
+func (x *Execution) EncodeFences() *Execution {
+	hasFence := false
+	for _, e := range x.Events {
+		if e.Kind == KFence {
+			hasFence = true
+			break
+		}
+	}
+	if !hasFence {
+		return x.Clone()
+	}
+	c := &Execution{
+		Locs:     append([]string(nil), x.Locs...),
+		NThreads: x.NThreads,
+		TxStatus: append([]Status(nil), x.TxStatus...),
+		TxName:   append([]string(nil), x.TxName...),
+		WR:       make(map[int]int),
+		WW:       make(map[int][]int),
+	}
+	newID := make([]int, x.N())
+	for _, e := range x.Events {
+		if e.Kind != KFence {
+			ne := e
+			ne.ID = len(c.Events)
+			newID[e.ID] = ne.ID
+			c.Events = append(c.Events, ne)
+			continue
+		}
+		tx := len(c.TxStatus)
+		c.TxStatus = append(c.TxStatus, Committed)
+		c.TxName = append(c.TxName, fmt.Sprintf("q%d", e.ID))
+		b := Event{ID: len(c.Events), Thread: e.Thread, Kind: KBegin, Loc: NoLoc, Tx: tx}
+		c.Events = append(c.Events, b)
+		w := Event{ID: len(c.Events), Thread: e.Thread, Kind: KWrite, Loc: e.Loc, Val: SentinelVal, Tx: tx}
+		newID[e.ID] = w.ID
+		c.Events = append(c.Events, w)
+		cm := Event{ID: len(c.Events), Thread: e.Thread, Kind: KCommit, Loc: NoLoc, Tx: tx}
+		c.Events = append(c.Events, cm)
+	}
+	for rd, wr := range x.WR {
+		c.WR[newID[rd]] = newID[wr]
+	}
+	for loc, ord := range x.WW {
+		no := make([]int, len(ord))
+		for i, id := range ord {
+			no[i] = newID[id]
+		}
+		c.WW[loc] = no
+	}
+	// Fence writes join the coherence order of their location; default
+	// placement is at the end. Enumerators override WW wholesale.
+	for _, e := range c.Events {
+		if e.Kind == KWrite && e.Val == SentinelVal {
+			c.WW[e.Loc] = append(c.WW[e.Loc], e.ID)
+		}
+	}
+	return c
+}

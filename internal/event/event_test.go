@@ -1,0 +1,547 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+// privatizationExec builds the Example 2.1 execution:
+//
+//	atomic_a { if !y then x:=1 } || atomic_b { y:=1 }; x:=2
+//
+// with a reading y=0 (from init), a writing x=1, b writing y=1, and the
+// plain write x=2 last in x's coherence order.
+func privatizationExec(t testing.TB) *Execution {
+	b := NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.R("y", 0)
+	wx1 := t1.W("x", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.W("y", 1)
+	t2.Commit()
+	wx2 := t2.W("x", 2)
+	b.WWOrder("x", wx1, wx2)
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestBuilderBasics(t *testing.T) {
+	x := privatizationExec(t)
+	if x.N() != 4+3+3+1 { // init(B,Wx,Wy,C) + a(B,R,W,C is 4)... recount below
+		// init: B Wx0 Wy0 C = 4; t1: B Ry W x1 C = 4; t2: B Wy1 C Wx2 = 4
+		if x.N() != 12 {
+			t.Fatalf("unexpected event count %d", x.N())
+		}
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := WellFormed(x); len(vs) != 0 {
+		t.Fatalf("execution not well-formed: %v", vs)
+	}
+	// The read of y must be fulfilled by the init write.
+	for rd, w := range x.WR {
+		if x.Events[rd].Loc == x.LocID("y") && x.Events[rd].Val == 0 {
+			if !x.IsInit(w) {
+				t.Errorf("read of y=0 fulfilled by %v, want init write", x.Events[w])
+			}
+		}
+	}
+	if v, ok := x.FinalValue(x.LocID("x")); !ok || v != 2 {
+		t.Errorf("final x = %d (ok=%v), want 2", v, ok)
+	}
+	if v, ok := x.FinalValue(x.LocID("y")); !ok || v != 1 {
+		t.Errorf("final y = %d, want 1", v)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("unknown location", func(t *testing.T) {
+		b := NewBuilder("x")
+		b.Thread().W("zz", 1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error for unknown location")
+		}
+	})
+	t.Run("ambiguous read", func(t *testing.T) {
+		b := NewBuilder("x")
+		t1 := b.Thread()
+		t1.W("x", 1)
+		t1.W("x", 1)
+		t1.R("x", 1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected ambiguity error")
+		}
+	})
+	t.Run("unmatched read", func(t *testing.T) {
+		b := NewBuilder("x")
+		b.Thread().R("x", 7)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected no-matching-write error")
+		}
+	})
+	t.Run("nested begin", func(t *testing.T) {
+		b := NewBuilder("x")
+		t1 := b.Thread()
+		t1.Begin("a")
+		t1.Begin("b")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected nesting error")
+		}
+	})
+	t.Run("resolve without begin", func(t *testing.T) {
+		b := NewBuilder("x")
+		b.Thread().Commit()
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected resolution error")
+		}
+	})
+	t.Run("fence inside transaction", func(t *testing.T) {
+		b := NewBuilder("x")
+		t1 := b.Thread()
+		t1.Begin("a")
+		t1.Q("x")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected fence-in-tx error")
+		}
+	})
+	t.Run("bad explicit RF", func(t *testing.T) {
+		b := NewBuilder("x", "y")
+		t1 := b.Thread()
+		w := t1.W("x", 1)
+		r := t1.R("y", 0)
+		b.RF(w, r)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected RF mismatch error")
+		}
+	})
+}
+
+func TestLiveTransaction(t *testing.T) {
+	b := NewBuilder("x")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.R("x", 0)
+	x := b.MustBuild()
+	if x.TxStatus[1] != Live {
+		t.Fatalf("unresolved tx has status %v, want live", x.TxStatus[1])
+	}
+	if vs := WellFormed(x); len(vs) != 0 {
+		t.Fatalf("live-tx trace should be well-formed: %v", vs)
+	}
+}
+
+func TestWF7AbortedVisibility(t *testing.T) {
+	// A plain read seeing an aborted transactional write violates WF7
+	// (Example D.1: "wr cannot originate from an aborted transaction").
+	b := NewBuilder("x")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.W("x", 1)
+	t1.Abort()
+	t2 := b.Thread()
+	t2.R("x", 1)
+	x := b.MustBuild()
+	found := false
+	for _, v := range WellFormed(x) {
+		if v.Rule == "WF7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected WF7 violation for read of aborted write")
+	}
+}
+
+func TestWF8ReadFromFuture(t *testing.T) {
+	b := NewBuilder("x")
+	t1 := b.Thread()
+	r := t1.R("x", 1)
+	t2 := b.Thread()
+	w := t2.W("x", 1)
+	b.RF(w, r)
+	x := b.MustBuild()
+	found := false
+	for _, v := range WellFormed(x) {
+		if v.Rule == "WF8" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected WF8 violation for read-from-future")
+	}
+}
+
+func TestWF9TransactionalWriteOrder(t *testing.T) {
+	// ⟨c:Wx2⟩⟨b:Wx1⟩ both transactional committed: forbidden by WF9.
+	b := NewBuilder("x")
+	t1 := b.Thread()
+	t1.Begin("c")
+	w2 := t1.W("x", 2)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("b")
+	w1 := t2.W("x", 1)
+	t2.Commit()
+	b.WWOrder("x", w1, w2) // b's write has the smaller timestamp
+	x := b.MustBuild()
+	found := false
+	for _, v := range WellFormed(x) {
+		if v.Rule == "WF9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected WF9 violation")
+	}
+
+	// The same shape with plain writes is allowed ("We allow the trace
+	// ⟨Wx2 2⟩⟨Wx1 1⟩").
+	b2 := NewBuilder("x")
+	u1 := b2.Thread()
+	p2 := u1.W("x", 2)
+	u2 := b2.Thread()
+	p1 := u2.W("x", 1)
+	b2.WWOrder("x", p1, p2)
+	x2 := b2.MustBuild()
+	if vs := WellFormed(x2); len(vs) != 0 {
+		t.Fatalf("plain out-of-order writes should be well-formed: %v", vs)
+	}
+}
+
+func TestWF10ObscuredTransactionalRead(t *testing.T) {
+	// ⟨aWx1⟩⟨cWx2⟩⟨bRx1⟩ all transactional: forbidden by WF10.
+	b := NewBuilder("x")
+	t1 := b.Thread()
+	t1.Begin("a")
+	w1 := t1.W("x", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("c")
+	w2 := t2.W("x", 2)
+	t2.Commit()
+	t3 := b.Thread()
+	t3.Begin("b")
+	r := t3.R("x", 1)
+	t3.Commit()
+	b.WWOrder("x", w1, w2)
+	b.RF(w1, r)
+	x := b.MustBuild()
+	found := false
+	for _, v := range WellFormed(x) {
+		if v.Rule == "WF10" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected WF10 violation")
+	}
+}
+
+func TestWF11SameTxObscuredRead(t *testing.T) {
+	// ⟨aWx1⟩⟨cWx2⟩⟨bRx1⟩ where c and b are in the same transaction.
+	b := NewBuilder("x")
+	t1 := b.Thread()
+	w1 := t1.W("x", 1) // plain so WF10 does not also fire
+	t2 := b.Thread()
+	t2.Begin("b")
+	w2 := t2.W("x", 2)
+	r := t2.R("x", 1)
+	t2.Commit()
+	b.WWOrder("x", w1, w2)
+	b.RF(w1, r)
+	x := b.MustBuild()
+	found := false
+	for _, v := range WellFormed(x) {
+		if v.Rule == "WF11" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected WF11 violation, got %v", WellFormed(x))
+	}
+}
+
+func TestWF12FenceInterleaving(t *testing.T) {
+	// A fence on x between a transaction's begin and resolution, where the
+	// transaction touches x, violates WF12.
+	b := NewBuilder("x")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.W("x", 1)
+	t2 := b.Thread()
+	t2.Q("x")
+	x := b.MustBuild()
+	// t1's transaction is live and touches x; the fence follows its begin.
+	found := false
+	for _, v := range WellFormed(x) {
+		if v.Rule == "WF12" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected WF12 violation")
+	}
+
+	// Fence on a different location is fine.
+	b2 := NewBuilder("x", "y")
+	u1 := b2.Thread()
+	u1.Begin("a")
+	u1.W("x", 1)
+	u2 := b2.Thread()
+	u2.Q("y")
+	x2 := b2.MustBuild()
+	for _, v := range WellFormed(x2) {
+		if v.Rule == "WF12" {
+			t.Fatalf("unexpected WF12 violation: %v", v)
+		}
+	}
+}
+
+func TestPOAndRelations(t *testing.T) {
+	x := privatizationExec(t)
+	po := x.PO()
+	// Within thread 1: begin → read → write → commit.
+	var t1events []int
+	for _, e := range x.Events {
+		if e.Thread == 1 {
+			t1events = append(t1events, e.ID)
+		}
+	}
+	for i := 0; i < len(t1events); i++ {
+		for j := i + 1; j < len(t1events); j++ {
+			if !po.Has(t1events[i], t1events[j]) {
+				t.Errorf("po missing %d→%d", t1events[i], t1events[j])
+			}
+		}
+	}
+	// Cross-thread pairs are not in po.
+	if po.Has(t1events[0], x.N()-1) && x.Events[x.N()-1].Thread != 1 {
+		t.Error("po relates events of different threads")
+	}
+	// init→ relates init events to all others.
+	ir := x.InitRel()
+	if !ir.Has(1, t1events[0]) {
+		t.Error("init order missing")
+	}
+	// ww on x: wx1 → wx2.
+	ww := x.WWRel()
+	xs := x.WriteIDs(x.LocID("x"))
+	if len(xs) != 3 { // init, wx1, wx2
+		t.Fatalf("x has %d writes, want 3", len(xs))
+	}
+	if !ww.Has(xs[1], xs[2]) || ww.Has(xs[2], xs[1]) {
+		t.Error("ww order wrong on x")
+	}
+	// rw: read of y=0 (from init) anti-depends on Wy1 (committed).
+	rw := x.RWRel()
+	var ry, wy int
+	for _, e := range x.Events {
+		if e.Kind == KRead && e.Loc == x.LocID("y") {
+			ry = e.ID
+		}
+		if e.Kind == KWrite && e.Loc == x.LocID("y") && e.Val == 1 {
+			wy = e.ID
+		}
+	}
+	if !rw.Has(ry, wy) {
+		t.Error("rw missing read-of-init → Wy1")
+	}
+}
+
+func TestRWExcludesAborted(t *testing.T) {
+	// §2: if the obscuring write c is in an aborted transaction, there is
+	// no antidependency.
+	b := NewBuilder("x")
+	t1 := b.Thread()
+	w1 := t1.W("x", 1)
+	r := t1.R("x", 1)
+	t2 := b.Thread()
+	t2.Begin("c")
+	w2 := t2.W("x", 2)
+	t2.Abort()
+	b.WWOrder("x", w1, w2)
+	b.RF(w1, r)
+	x := b.MustBuild()
+	if x.RWRel().Has(r, w2) {
+		t.Error("rw must not target aborted writes")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	x := privatizationExec(t)
+	// Cut inside thread 2's transaction: it becomes live.
+	// Find position right after b's begin.
+	var cut int
+	for _, e := range x.Events {
+		if e.Kind == KBegin && e.Thread == 2 {
+			cut = e.ID + 1
+		}
+	}
+	p := x.Prefix(cut)
+	if p.N() != cut {
+		t.Fatalf("prefix has %d events, want %d", p.N(), cut)
+	}
+	if p.TxStatus[2] != Live {
+		t.Errorf("cut transaction has status %v, want live", p.TxStatus[2])
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := WellFormed(p); len(vs) != 0 {
+		t.Fatalf("prefix not well-formed: %v", vs)
+	}
+}
+
+func TestRemoveAborted(t *testing.T) {
+	b := NewBuilder("x")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.W("x", 1)
+	t1.Abort()
+	t2 := b.Thread()
+	t2.W("x", 2)
+	x := b.MustBuild()
+	y := x.RemoveAborted()
+	for _, e := range y.Events {
+		if e.Tx != NoTx && y.TxStatus[e.Tx] == Aborted {
+			t.Fatalf("aborted event survived: %v", e)
+		}
+	}
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := y.FinalValue(0); v != 2 {
+		t.Errorf("final x = %d, want 2", v)
+	}
+}
+
+func TestReorder(t *testing.T) {
+	x := privatizationExec(t)
+	// Identity permutation preserves everything.
+	order := make([]int, x.N())
+	for i := range order {
+		order[i] = i
+	}
+	y := x.Reorder(order)
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(WellFormed(y)) != 0 {
+		t.Fatal("identity reorder broke well-formedness")
+	}
+	// Swap the two independent committed transactions (t1's block after
+	// t2's block): still well-formed since po within threads is preserved.
+	var t1ids, t2ids, initIDs, plainIDs []int
+	for _, e := range x.Events {
+		switch e.Thread {
+		case 0:
+			initIDs = append(initIDs, e.ID)
+		case 1:
+			t1ids = append(t1ids, e.ID)
+		default:
+			if e.Kind == KWrite && e.Tx == NoTx {
+				plainIDs = append(plainIDs, e.ID)
+			} else {
+				t2ids = append(t2ids, e.ID)
+			}
+		}
+	}
+	perm := append(append(append(append([]int{}, initIDs...), t2ids...), t1ids...), plainIDs...)
+	z := x.Reorder(perm)
+	if err := z.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// wr is preserved under renumbering: read of y=1? (none) — check read
+	// of y=0 still reads from an init write.
+	for rd, w := range z.WR {
+		if z.Events[rd].Val == 0 && !z.IsInit(w) {
+			t.Error("reorder broke reads-from")
+		}
+	}
+}
+
+func TestContiguity(t *testing.T) {
+	x := privatizationExec(t)
+	if !AllContiguous(x) {
+		t.Error("builder trace with sequential blocks should be contiguous")
+	}
+	// Interleave: t2's write between t1's begin and commit.
+	b := NewBuilder("x")
+	t1 := b.Thread()
+	t2 := b.Thread()
+	t1.Begin("a")
+	t1.R("x", 0)
+	t2.W("x", 5) // foreign action while a is open
+	t1.W("x", 1)
+	t1.Commit()
+	y := b.MustBuild()
+	if ContiguousTx(y, 1) {
+		t.Error("interleaved transaction reported contiguous")
+	}
+}
+
+func TestEncodeFences(t *testing.T) {
+	b := NewBuilder("x")
+	t1 := b.Thread()
+	t1.Q("x")
+	t1.W("x", 2)
+	x := b.MustBuild()
+	y := x.EncodeFences()
+	// The fence becomes B, W(sentinel), C in a fresh committed tx.
+	var fenceWrites int
+	for _, e := range y.Events {
+		if e.Kind == KFence {
+			t.Fatal("fence survived encoding")
+		}
+		if e.Kind == KWrite && e.Val == SentinelVal {
+			fenceWrites++
+			if e.Tx == NoTx || y.TxStatus[e.Tx] != Committed {
+				t.Error("fence write not in a committed transaction")
+			}
+		}
+	}
+	if fenceWrites != 1 {
+		t.Fatalf("fence writes = %d, want 1", fenceWrites)
+	}
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Final value skips the sentinel.
+	if v, ok := y.FinalValue(0); !ok || v != 2 {
+		t.Errorf("final x = %d (ok=%v), want 2", v, ok)
+	}
+}
+
+func TestPretty(t *testing.T) {
+	x := privatizationExec(t)
+	s := Pretty(x)
+	for _, want := range []string{"init:", "t1:", "t2:", "Wx=2", "Ry=0", "wr:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Pretty output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSubsequenceKeepsStructure(t *testing.T) {
+	x := privatizationExec(t)
+	// Keep only thread 2's events plus init.
+	y := x.Subsequence(func(id int) bool {
+		th := x.Events[id].Thread
+		return th == 0 || th == 2
+	})
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range y.Events {
+		if e.Thread == 1 {
+			t.Fatal("dropped thread survived")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package event
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pretty renders the execution in a compact human-readable form: one line
+// per thread with transactions in brackets, followed by the reads-from and
+// coherence components. Used by the cmd tools and test failure output.
+func Pretty(x *Execution) string {
+	var sb strings.Builder
+	for t := 0; t < x.NThreads; t++ {
+		var parts []string
+		for _, e := range x.Events {
+			if e.Thread != t {
+				continue
+			}
+			switch e.Kind {
+			case KBegin:
+				status := x.TxStatus[e.Tx]
+				name := x.TxName[e.Tx]
+				if name == "" {
+					name = fmt.Sprintf("tx%d", e.Tx)
+				}
+				parts = append(parts, fmt.Sprintf("%s%s[", name, statusMark(status)))
+			case KCommit, KAbort:
+				parts = append(parts, "]")
+			case KRead:
+				parts = append(parts, fmt.Sprintf("R%s=%d#%d", x.Locs[e.Loc], e.Val, e.ID))
+			case KWrite:
+				parts = append(parts, fmt.Sprintf("W%s=%d#%d", x.Locs[e.Loc], e.Val, e.ID))
+			case KFence:
+				parts = append(parts, fmt.Sprintf("Q%s#%d", x.Locs[e.Loc], e.ID))
+			}
+		}
+		label := fmt.Sprintf("t%d", t)
+		if t == InitThread {
+			label = "init"
+		}
+		fmt.Fprintf(&sb, "%-5s %s\n", label+":", strings.Join(parts, " "))
+	}
+	var rf []string
+	for rd, w := range x.WR {
+		rf = append(rf, fmt.Sprintf("%d→%d", w, rd))
+	}
+	fmt.Fprintf(&sb, "wr: {%s}\n", strings.Join(sortStrings(rf), ", "))
+	for loc, order := range x.WW {
+		if len(order) > 1 {
+			fmt.Fprintf(&sb, "ww(%s): %v\n", x.Locs[loc], order)
+		}
+	}
+	return sb.String()
+}
+
+func statusMark(s Status) string {
+	switch s {
+	case Aborted:
+		return "✗"
+	case Live:
+		return "…"
+	}
+	return ""
+}
+
+func sortStrings(ss []string) []string {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+	return ss
+}

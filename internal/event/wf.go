@@ -1,0 +1,284 @@
+package event
+
+import "fmt"
+
+// Violation reports a failed well-formedness condition.
+type Violation struct {
+	Rule string // "WF1" .. "WF12"
+	Msg  string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Msg }
+
+// WellFormed checks conditions WF1–WF12 of §2 (and §5 for WF12) against the
+// trace view of the execution: event ID order is the trace's index order.
+// It returns all violations found (empty means well-formed).
+//
+// Interpretation notes, documented because the paper leaves them implicit:
+//   - WF9/WF10 quantify over "committed or live c", which we read as
+//     "non-aborted c" including plain writes ("we ignore aborted writes
+//     because they are not visible"). The transactional-only reading is
+//     too weak: it admits traces in which a live transactional write takes
+//     a timestamp below an earlier plain write, and such traces have no
+//     L-sequential extension exhibiting the race (Atomww forbids the
+//     later-timestamp variant), falsifying Theorem 4.1. Plain writes among
+//     themselves may still appear out of timestamp order (the paper's
+//     ⟨Wx2⟩⟨Wx1⟩ example), since WF9 only constrains transactional b.
+//   - WF2 and WF3 hold by construction (IDs are slice positions; Validate
+//     enforces that each write occurs exactly once in WW).
+func WellFormed(x *Execution) []Violation {
+	var vs []Violation
+	add := func(rule, format string, args ...any) {
+		vs = append(vs, Violation{Rule: rule, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	// WF1: the trace starts with an initializing transaction containing
+	// exactly one write per location at timestamp 0.
+	nLocs := len(x.Locs)
+	if x.N() < nLocs+2 {
+		add("WF1", "trace too short for initializing transaction")
+	} else {
+		if e := x.Events[0]; e.Kind != KBegin || e.Thread != InitThread || e.Tx != InitTx {
+			add("WF1", "trace does not start with init begin: %v", e)
+		}
+		seen := make(map[int]bool)
+		for i := 1; i <= nLocs && i < x.N(); i++ {
+			e := x.Events[i]
+			if e.Kind != KWrite || e.Thread != InitThread || e.Tx != InitTx || e.Val != 0 {
+				add("WF1", "event %d is not an init write of 0: %v", i, e)
+				continue
+			}
+			if seen[e.Loc] {
+				add("WF1", "location %s initialized twice", x.Locs[e.Loc])
+			}
+			seen[e.Loc] = true
+		}
+		for loc := range x.Locs {
+			if !seen[loc] {
+				add("WF1", "location %s not initialized", x.Locs[loc])
+			}
+		}
+		if nLocs+1 < x.N() {
+			if e := x.Events[nLocs+1]; e.Kind != KCommit || e.Tx != InitTx {
+				add("WF1", "init transaction not committed at position %d: %v", nLocs+1, e)
+			}
+		}
+		for loc, order := range x.WW {
+			if len(order) == 0 || x.Events[order[0]].Thread != InitThread {
+				add("WF1", "init write of %s is not timestamp-minimal", x.Locs[loc])
+			}
+		}
+		if x.TxStatus[InitTx] != Committed {
+			add("WF1", "init transaction is not committed")
+		}
+	}
+
+	// WF4 + WF5: bracketing. Per thread, scan for begin/resolution
+	// discipline; per transaction, exactly one begin and at most one
+	// resolution, all on one thread.
+	type txInfo struct {
+		begins, res int
+		thread      int
+	}
+	info := make([]txInfo, x.NTx())
+	for i := range info {
+		info[i].thread = -1
+	}
+	open := make(map[int]int) // thread -> open tx
+	for _, e := range x.Events {
+		if e.Tx == NoTx {
+			continue
+		}
+		ti := &info[e.Tx]
+		if ti.thread == -1 {
+			ti.thread = e.Thread
+		} else if ti.thread != e.Thread {
+			add("WF5", "transaction %d spans threads %d and %d", e.Tx, ti.thread, e.Thread)
+		}
+		switch e.Kind {
+		case KBegin:
+			ti.begins++
+			if cur, ok := open[e.Thread]; ok {
+				add("WF5", "begin of tx %d while tx %d open on thread %d", e.Tx, cur, e.Thread)
+			}
+			open[e.Thread] = e.Tx
+		case KCommit, KAbort:
+			ti.res++
+			if cur, ok := open[e.Thread]; !ok || cur != e.Tx {
+				add("WF5", "resolution of tx %d without matching open begin on thread %d", e.Tx, e.Thread)
+			}
+			delete(open, e.Thread)
+		default:
+			if cur, ok := open[e.Thread]; !ok || cur != e.Tx {
+				add("WF5", "event %v belongs to tx %d but that tx is not open", e, e.Tx)
+			}
+		}
+	}
+	for tx, ti := range info {
+		if ti.thread == -1 {
+			continue // no events in this trace (e.g. cut away by Prefix)
+		}
+		if ti.begins != 1 {
+			add("WF4", "transaction %d has %d begin actions", tx, ti.begins)
+		}
+		if ti.res > 1 {
+			add("WF4", "transaction %d has %d resolutions", tx, ti.res)
+		}
+		if ti.res == 0 && x.TxStatus[tx] != Live {
+			add("WF4", "transaction %d is %v but has no resolution action", tx, x.TxStatus[tx])
+		}
+	}
+
+	// WF6: every read is fulfilled.
+	for _, e := range x.Events {
+		if e.Kind == KRead {
+			if _, ok := x.WR[e.ID]; !ok {
+				add("WF6", "read %v is unfulfilled", e)
+			}
+		}
+	}
+
+	ww := x.WWRel()
+	for rd, w := range x.WR {
+		// WF7: aborted/live writes are visible only inside their own
+		// transaction.
+		if !x.IsPlain(w) && x.StatusOfEvent(w) != Committed && !x.SameTx(w, rd) {
+			add("WF7", "read %d sees %v write %d across transactions", rd, x.StatusOfEvent(w), w)
+		}
+		// WF8: reads see only the absolute past.
+		if w >= rd {
+			add("WF8", "read %d precedes its fulfilling write %d in the trace", rd, w)
+		}
+	}
+
+	// WF9: a transactional write must not be timestamp-ordered before an
+	// earlier (in trace order) non-aborted write.
+	for _, b := range x.Events {
+		if b.Kind != KWrite || b.Tx == NoTx {
+			continue
+		}
+		for _, c := range x.Events {
+			if c.ID >= b.ID || !x.NonAborted(c.ID) {
+				continue
+			}
+			if ww.Has(b.ID, c.ID) {
+				add("WF9", "transactional write %d is ww-before earlier %v", b.ID, c)
+			}
+		}
+	}
+
+	// WF10: a transactional read from a transactional write a must not
+	// follow (in trace order) a non-aborted write c with a ww→ c.
+	for rd, w := range x.WR {
+		if x.IsPlain(rd) || x.IsPlain(w) {
+			continue
+		}
+		for _, c := range x.Events {
+			if c.ID >= rd || !x.NonAborted(c.ID) {
+				continue
+			}
+			if ww.Has(w, c.ID) {
+				add("WF10", "transactional read %d sees write %d obscured by earlier %v", rd, w, c)
+			}
+		}
+	}
+
+	// WF11: a transactional read must not follow a same-transaction write
+	// that obscures its fulfilling write.
+	for rd, w := range x.WR {
+		if x.IsPlain(rd) {
+			continue
+		}
+		for _, c := range x.Events {
+			if c.ID >= rd || !x.SameTx(c.ID, rd) {
+				continue
+			}
+			if ww.Has(w, c.ID) {
+				add("WF11", "read %d sees write %d obscured by same-tx earlier write %v", rd, w, c)
+			}
+		}
+	}
+
+	// WF12: a fence ⟨Qx⟩ may not be interleaved with a transaction that
+	// touches x.
+	for _, f := range x.Events {
+		if f.Kind != KFence {
+			continue
+		}
+		for tx := range x.TxStatus {
+			bid, rid := x.txBeginRes(tx)
+			if bid == -1 || bid >= f.ID {
+				continue
+			}
+			if rid != -1 && rid < f.ID {
+				continue
+			}
+			if x.TxTouches(tx, f.Loc) {
+				add("WF12", "fence %d on %s interleaved with transaction %d", f.ID, x.Locs[f.Loc], tx)
+			}
+		}
+	}
+
+	return vs
+}
+
+// txBeginRes returns the event ids of tx's begin and resolution (-1 if absent).
+func (x *Execution) txBeginRes(tx int) (begin, res int) {
+	begin, res = -1, -1
+	for _, e := range x.Events {
+		if e.Tx != tx {
+			continue
+		}
+		switch e.Kind {
+		case KBegin:
+			begin = e.ID
+		case KCommit, KAbort:
+			res = e.ID
+		}
+	}
+	return begin, res
+}
+
+// ContiguousTx reports whether transaction tx is contiguous in the trace
+// (§4): once tx begins, no other thread acts until tx resolves — except
+// that threads may act after the owning thread's final action (allowing
+// multiple live transactions at the end of a trace).
+func ContiguousTx(x *Execution, tx int) bool {
+	begin, res := x.txBeginRes(tx)
+	if begin == -1 {
+		return true
+	}
+	s := x.Events[begin].Thread
+	lastOfS := -1
+	for _, e := range x.Events {
+		if e.Thread == s {
+			lastOfS = e.ID
+		}
+	}
+	for _, c := range x.Events {
+		if c.ID <= begin || c.Thread == s {
+			continue
+		}
+		if res != -1 && res < c.ID {
+			continue // tx resolved before c
+		}
+		// No action of s may follow c.
+		if lastOfS > c.ID {
+			return false
+		}
+	}
+	return true
+}
+
+// AllContiguous reports whether every transaction is contiguous.
+func AllContiguous(x *Execution) bool {
+	for tx := range x.TxStatus {
+		if !ContiguousTx(x, tx) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsWellFormed is a convenience wrapper over WellFormed.
+func IsWellFormed(x *Execution) bool { return len(WellFormed(x)) == 0 }

@@ -1,0 +1,387 @@
+// Package exec exhaustively enumerates the consistent executions of a
+// litmus program under a model configuration from internal/core.
+//
+// The enumeration follows the axiomatic ("candidate execution") style:
+//
+//  1. each thread is unfolded into its control-flow paths, forking reads
+//     over the program's value universe (internal/prog);
+//  2. for each path combination, every per-location coherence order (ww)
+//     and every reads-from assignment (wr) is explored;
+//  3. candidates are filtered by the consistency axioms. Consistency is
+//     monotone in wr edges, so the reads-from search is a DFS with
+//     early pruning: a partial assignment that is already inconsistent
+//     cannot be completed to a consistent execution.
+//
+// Final outcomes (registers + final memory) are collected from complete
+// executions (no thread diverged).
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"modtx/internal/core"
+	"modtx/internal/event"
+	"modtx/internal/prog"
+)
+
+// Options controls the enumeration.
+type Options struct {
+	Config core.Config
+	// MaxNodes caps the number of consistency checks; exceeding it returns
+	// ErrBudget. Zero means the default of 2,000,000.
+	MaxNodes int
+	// Visit, when non-nil, is called for every consistent execution
+	// (complete or not). The execution is reused across calls; clone it to
+	// retain. Returning false stops the enumeration early.
+	Visit func(x *event.Execution, o *Outcome) bool
+}
+
+// ErrBudget reports that the node budget was exhausted.
+var ErrBudget = errors.New("exec: enumeration budget exhausted")
+
+// Outcome is the observable result of a complete execution.
+type Outcome struct {
+	Regs map[string]int // "thread.reg" -> value
+	Mem  map[string]int // location -> final value
+}
+
+// Key returns a canonical string for the outcome.
+func (o *Outcome) Key() string {
+	var parts []string
+	for k, v := range o.Regs {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(parts)
+	var mem []string
+	for k, v := range o.Mem {
+		mem = append(mem, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(mem)
+	return strings.Join(parts, " ") + " | " + strings.Join(mem, " ")
+}
+
+// Summary aggregates an enumeration.
+type Summary struct {
+	Outcomes   map[string]*Outcome // complete consistent outcomes by Key
+	Consistent int                 // number of consistent executions (incl. incomplete)
+	Candidates int                 // consistency checks performed
+	Universe   []int               // read-value universe used
+}
+
+// Enumerate explores all candidate executions of p under opt.
+func Enumerate(p *prog.Program, opt Options) (*Summary, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = 2_000_000
+	}
+	universe := prog.ValueUniverse(p)
+	paths := make([][]prog.Path, len(p.Threads))
+	for i, th := range p.Threads {
+		paths[i] = prog.ThreadPaths(th, universe)
+	}
+	e := &enumerator{
+		p:        p,
+		opt:      opt,
+		universe: universe,
+		summary: &Summary{
+			Outcomes: make(map[string]*Outcome),
+			Universe: universe,
+		},
+	}
+	combo := make([]prog.Path, len(p.Threads))
+	if err := e.combine(paths, 0, combo); err != nil && err != errStop {
+		return e.summary, err
+	}
+	return e.summary, nil
+}
+
+var errStop = errors.New("exec: stopped by visitor")
+
+type enumerator struct {
+	p        *prog.Program
+	opt      Options
+	universe []int
+	summary  *Summary
+}
+
+func (e *enumerator) combine(paths [][]prog.Path, i int, combo []prog.Path) error {
+	if i == len(paths) {
+		return e.candidate(combo)
+	}
+	for _, pth := range paths[i] {
+		combo[i] = pth
+		if err := e.combine(paths, i+1, combo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// candidate builds the event skeleton for one path combination and explores
+// its coherence orders and reads-from assignments.
+func (e *enumerator) candidate(combo []prog.Path) error {
+	x, reads, writesByLoc, err := e.skeleton(combo)
+	if err != nil {
+		return err
+	}
+	// Quick feasibility: every read needs at least one value-matching write.
+	cands := make([][]int, len(reads))
+	for i, rd := range reads {
+		cands[i] = e.readCandidates(x, rd)
+		if len(cands[i]) == 0 {
+			return nil
+		}
+	}
+	complete := true
+	for _, pth := range combo {
+		if !pth.Complete {
+			complete = false
+		}
+	}
+	locs := make([]int, 0, len(writesByLoc))
+	for loc := range writesByLoc {
+		locs = append(locs, loc)
+	}
+	sort.Ints(locs)
+	return e.wwPerms(x, locs, 0, writesByLoc, reads, cands, combo, complete)
+}
+
+// skeleton constructs the execution's events (init transaction + one block
+// per thread) with empty WR and construction-order WW.
+func (e *enumerator) skeleton(combo []prog.Path) (*event.Execution, []int, map[int][]int, error) {
+	p := e.p
+	locID := make(map[string]int, len(p.Locs))
+	for i, n := range p.Locs {
+		locID[n] = i
+	}
+	x := &event.Execution{
+		Locs:     append([]string(nil), p.Locs...),
+		NThreads: len(p.Threads) + 1,
+		TxStatus: []event.Status{event.Committed},
+		TxName:   []string{"init"},
+		WR:       make(map[int]int),
+		WW:       make(map[int][]int),
+	}
+	add := func(ev event.Event) int {
+		ev.ID = len(x.Events)
+		x.Events = append(x.Events, ev)
+		return ev.ID
+	}
+	add(event.Event{Thread: event.InitThread, Kind: event.KBegin, Loc: event.NoLoc, Tx: event.InitTx})
+	for loc := range p.Locs {
+		id := add(event.Event{Thread: event.InitThread, Kind: event.KWrite, Loc: loc, Tx: event.InitTx})
+		x.WW[loc] = append(x.WW[loc], id)
+	}
+	add(event.Event{Thread: event.InitThread, Kind: event.KCommit, Loc: event.NoLoc, Tx: event.InitTx})
+
+	var reads []int
+	writesByLoc := make(map[int][]int)
+	for ti, pth := range combo {
+		thread := ti + 1
+		curTx := event.NoTx
+		for _, pe := range pth.Events {
+			switch pe.Kind {
+			case event.KBegin:
+				curTx = len(x.TxStatus)
+				x.TxStatus = append(x.TxStatus, event.Live)
+				x.TxName = append(x.TxName, pe.Tx)
+				add(event.Event{Thread: thread, Kind: event.KBegin, Loc: event.NoLoc, Tx: curTx})
+			case event.KCommit:
+				x.TxStatus[curTx] = event.Committed
+				add(event.Event{Thread: thread, Kind: event.KCommit, Loc: event.NoLoc, Tx: curTx})
+				curTx = event.NoTx
+			case event.KAbort:
+				x.TxStatus[curTx] = event.Aborted
+				add(event.Event{Thread: thread, Kind: event.KAbort, Loc: event.NoLoc, Tx: curTx})
+				curTx = event.NoTx
+			case event.KRead, event.KWrite:
+				loc, ok := locID[pe.Loc]
+				if !ok {
+					return nil, nil, nil, fmt.Errorf("exec: program %s touches undeclared location %q", e.p.Name, pe.Loc)
+				}
+				id := add(event.Event{Thread: thread, Kind: pe.Kind, Loc: loc, Val: pe.Val, Tx: curTx})
+				if pe.Kind == event.KRead {
+					reads = append(reads, id)
+				} else {
+					writesByLoc[loc] = append(writesByLoc[loc], id)
+					x.WW[loc] = append(x.WW[loc], id)
+				}
+			}
+		}
+	}
+	return x, reads, writesByLoc, nil
+}
+
+// readCandidates returns the writes that may fulfil the read: same
+// location and value, and — per WF7 — aborted or live writers are visible
+// only within their own transaction.
+func (e *enumerator) readCandidates(x *event.Execution, rd int) []int {
+	re := x.Ev(rd)
+	var out []int
+	for _, w := range x.WW[re.Loc] {
+		we := x.Ev(w)
+		if we.Val != re.Val {
+			continue
+		}
+		if !x.IsPlain(w) && x.StatusOfEvent(w) != event.Committed && !x.SameTx(w, rd) {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// wwPerms enumerates coherence orders location by location, then hands the
+// fully ordered execution to the reads-from DFS. The init write stays at
+// timestamp 0.
+func (e *enumerator) wwPerms(x *event.Execution, locs []int, li int,
+	writesByLoc map[int][]int, reads []int, cands [][]int, combo []prog.Path, complete bool) error {
+	if li == len(locs) {
+		// Prune whole subtree if the execution is inconsistent before any
+		// read is assigned (consistency is monotone in wr edges).
+		if !e.check(x) {
+			return e.budget()
+		}
+		return e.assignReads(x, reads, cands, 0, combo, complete)
+	}
+	loc := locs[li]
+	writes := writesByLoc[loc]
+	perm := append([]int(nil), writes...)
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(perm) {
+			x.WW[loc] = append(x.WW[loc][:1], perm...)
+			return e.wwPerms(x, locs, li+1, writesByLoc, reads, cands, combo, complete)
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return err
+	}
+	x.WW[loc] = append(x.WW[loc][:1], writes...)
+	return nil
+}
+
+// assignReads runs the pruned DFS over reads-from assignments.
+func (e *enumerator) assignReads(x *event.Execution, reads []int, cands [][]int,
+	i int, combo []prog.Path, complete bool) error {
+	if i == len(reads) {
+		e.summary.Consistent++
+		var out *Outcome
+		if complete {
+			out = e.outcome(x, combo)
+			if _, dup := e.summary.Outcomes[out.Key()]; !dup {
+				e.summary.Outcomes[out.Key()] = out
+			}
+		}
+		if e.opt.Visit != nil && !e.opt.Visit(x, out) {
+			return errStop
+		}
+		return nil
+	}
+	rd := reads[i]
+	for _, w := range cands[i] {
+		x.WR[rd] = w
+		ok := e.check(x)
+		if err := e.budget(); err != nil {
+			delete(x.WR, rd)
+			return err
+		}
+		if ok {
+			if err := e.assignReads(x, reads, cands, i+1, combo, complete); err != nil {
+				delete(x.WR, rd)
+				return err
+			}
+		}
+	}
+	delete(x.WR, rd)
+	return nil
+}
+
+func (e *enumerator) check(x *event.Execution) bool {
+	e.summary.Candidates++
+	return core.Consistent(x, e.opt.Config)
+}
+
+func (e *enumerator) budget() error {
+	if e.summary.Candidates > e.opt.MaxNodes {
+		return ErrBudget
+	}
+	return nil
+}
+
+func (e *enumerator) outcome(x *event.Execution, combo []prog.Path) *Outcome {
+	o := &Outcome{Regs: make(map[string]int), Mem: make(map[string]int)}
+	for ti, pth := range combo {
+		name := e.p.Threads[ti].Name
+		for reg, v := range pth.Regs {
+			o.Regs[name+"."+reg] = v
+		}
+	}
+	for loc, name := range x.Locs {
+		if v, ok := x.FinalValue(loc); ok {
+			o.Mem[name] = v
+		}
+	}
+	return o
+}
+
+// Outcomes enumerates and returns the set of complete consistent outcomes.
+func Outcomes(p *prog.Program, cfg core.Config) (map[string]*Outcome, error) {
+	s, err := Enumerate(p, Options{Config: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return s.Outcomes, nil
+}
+
+// Allowed reports whether some complete consistent execution satisfies pred.
+func Allowed(p *prog.Program, cfg core.Config, pred func(*Outcome) bool) (bool, error) {
+	found := false
+	_, err := Enumerate(p, Options{
+		Config: cfg,
+		Visit: func(_ *event.Execution, o *Outcome) bool {
+			if o != nil && pred(o) {
+				found = true
+				return false
+			}
+			return true
+		},
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
+// AnyConsistent reports whether some consistent execution (complete or not)
+// satisfies the execution-level predicate.
+func AnyConsistent(p *prog.Program, cfg core.Config, pred func(*event.Execution) bool) (bool, error) {
+	found := false
+	_, err := Enumerate(p, Options{
+		Config: cfg,
+		Visit: func(x *event.Execution, _ *Outcome) bool {
+			if pred(x) {
+				found = true
+				return false
+			}
+			return true
+		},
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
+}

@@ -1,0 +1,436 @@
+package exec
+
+import (
+	"testing"
+
+	"modtx/internal/core"
+	"modtx/internal/event"
+	"modtx/internal/prog"
+)
+
+// privatization is the §1/Example 2.1 program:
+//
+//	atomic_a { if !y then x:=1 } || atomic_b { y:=1 }; x:=2
+func privatization(fence bool) *prog.Program {
+	t2 := []prog.Stmt{
+		prog.Atomic{Name: "b", Body: []prog.Stmt{prog.Write{Loc: prog.At("y"), Val: prog.Const(1)}}},
+	}
+	if fence {
+		t2 = append(t2, prog.Fence{Loc: prog.At("x")})
+	}
+	t2 = append(t2, prog.Write{Loc: prog.At("x"), Val: prog.Const(2)})
+	return &prog.Program{
+		Name: "privatization",
+		Locs: []string{"x", "y"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				prog.Atomic{Name: "a", Body: []prog.Stmt{
+					prog.Read{RegName: "r", Loc: prog.At("y")},
+					prog.If{Cond: prog.Not{E: prog.Reg("r")}, Then: []prog.Stmt{
+						prog.Write{Loc: prog.At("x"), Val: prog.Const(1)},
+					}},
+				}},
+			}},
+			{Name: "t2", Body: t2},
+		},
+	}
+}
+
+func TestSequentialSingleThread(t *testing.T) {
+	p := &prog.Program{
+		Name: "seq",
+		Locs: []string{"x"},
+		Threads: []prog.Thread{{Name: "t1", Body: []prog.Stmt{
+			prog.Write{Loc: prog.At("x"), Val: prog.Const(1)},
+			prog.Read{RegName: "r", Loc: prog.At("x")},
+		}}},
+	}
+	outs, err := Outcomes(p, core.Programmer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("got %d outcomes, want 1: %v", len(outs), keys(outs))
+	}
+	for _, o := range outs {
+		if o.Regs["t1.r"] != 1 || o.Mem["x"] != 1 {
+			t.Errorf("outcome wrong: %v", o.Key())
+		}
+	}
+}
+
+func TestCoherentSingleLocation(t *testing.T) {
+	// Two sequential reads of x by the same thread while another thread
+	// writes once, with no synchronization. LTRF's plain coherence is
+	// weaker than hardware coherence (§2, the CSE "Allowed" figure): all
+	// four outcomes are allowed, including the backwards (1,0).
+	p := &prog.Program{
+		Name: "coherence",
+		Locs: []string{"x"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				prog.Read{RegName: "r1", Loc: prog.At("x")},
+				prog.Read{RegName: "r2", Loc: prog.At("x")},
+			}},
+			{Name: "t2", Body: []prog.Stmt{prog.Write{Loc: prog.At("x"), Val: prog.Const(1)}}},
+		},
+	}
+	outs, err := Outcomes(p, core.Programmer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := map[[2]int]bool{}
+	for _, o := range outs {
+		saw[[2]int{o.Regs["t1.r1"], o.Regs["t1.r2"]}] = true
+	}
+	for _, want := range [][2]int{{0, 0}, {0, 1}, {1, 1}, {1, 0}} {
+		if !saw[want] {
+			t.Errorf("missing outcome r1,r2 = %v (got %v)", want, saw)
+		}
+	}
+
+	// With the writer inside a committed transaction and the reads
+	// transactional too, the backwards outcome (1,0) is forbidden: wr into
+	// transactions is cwr and creates hb, and Observation then rejects the
+	// stale second read ("stronger than Java", §2).
+	pt := &prog.Program{
+		Name: "coherence-tx",
+		Locs: []string{"x"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				prog.Atomic{Name: "c1", Body: []prog.Stmt{prog.Read{RegName: "r1", Loc: prog.At("x")}}},
+				prog.Atomic{Name: "c2", Body: []prog.Stmt{prog.Read{RegName: "r2", Loc: prog.At("x")}}},
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				prog.Atomic{Name: "w", Body: []prog.Stmt{prog.Write{Loc: prog.At("x"), Val: prog.Const(1)}}},
+			}},
+		},
+	}
+	allowed, err := Allowed(pt, core.Programmer, func(o *Outcome) bool {
+		return o.Regs["t1.r1"] == 1 && o.Regs["t1.r2"] == 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allowed {
+		t.Error("transactional stale read (1 then 0) must be forbidden")
+	}
+}
+
+func TestPrivatizationProgrammerModel(t *testing.T) {
+	p := privatization(false)
+	outs, err := Outcomes(p, core.Programmer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) == 0 {
+		t.Fatal("no outcomes")
+	}
+	for _, o := range outs {
+		if o.Mem["x"] != 2 {
+			t.Errorf("programmer model must end with x=2, got %s", o.Key())
+		}
+	}
+}
+
+func TestPrivatizationImplementationModel(t *testing.T) {
+	// Without a fence the implementation model admits the delayed-commit
+	// anomaly: final x = 1 (§5). The execution has a mixed race.
+	p := privatization(false)
+	allowed, err := Allowed(p, core.Implementation, func(o *Outcome) bool {
+		return o.Mem["x"] == 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allowed {
+		t.Error("implementation model must allow final x=1 without a fence")
+	}
+
+	racy, err := AnyConsistent(p, core.Implementation, func(x *event.Execution) bool {
+		return !core.MixedRaceFree(x, core.Implementation)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !racy {
+		t.Error("unfenced privatization must exhibit a mixed race in the implementation model")
+	}
+}
+
+func TestPrivatizationWithFence(t *testing.T) {
+	// With a quiescence fence before the plain write, the implementation
+	// model forbids x=1 and the mixed race disappears.
+	p := privatization(true)
+	outs, err := Outcomes(p, core.Implementation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) == 0 {
+		t.Fatal("no outcomes")
+	}
+	for _, o := range outs {
+		if o.Mem["x"] != 2 {
+			t.Errorf("fenced implementation model must end with x=2, got %s", o.Key())
+		}
+	}
+	racy, err := AnyConsistent(p, core.Implementation, func(x *event.Execution) bool {
+		return !core.MixedRaceFree(x, core.Implementation)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if racy {
+		t.Error("fenced privatization must be mixed-race-free")
+	}
+}
+
+// publication is the §1 program:
+//
+//	x:=1; atomic_a { y:=1 } || atomic_b { z:=2; if y then z:=x }
+func publication() *prog.Program {
+	return &prog.Program{
+		Name: "publication",
+		Locs: []string{"x", "y", "z"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				prog.Write{Loc: prog.At("x"), Val: prog.Const(1)},
+				prog.Atomic{Name: "a", Body: []prog.Stmt{prog.Write{Loc: prog.At("y"), Val: prog.Const(1)}}},
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				prog.Atomic{Name: "b", Body: []prog.Stmt{
+					prog.Write{Loc: prog.At("z"), Val: prog.Const(2)},
+					prog.Read{RegName: "r", Loc: prog.At("y")},
+					prog.If{Cond: prog.Reg("r"), Then: []prog.Stmt{
+						prog.Read{RegName: "q", Loc: prog.At("x")},
+						prog.Write{Loc: prog.At("z"), Val: prog.Reg("q")},
+					}},
+				}},
+			}},
+		},
+	}
+}
+
+func TestPublicationForbidsZZero(t *testing.T) {
+	outs, err := Outcomes(publication(), core.Programmer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := map[int]bool{}
+	for _, o := range outs {
+		saw[o.Mem["z"]] = true
+	}
+	if saw[0] {
+		t.Error("publication must not end with z=0")
+	}
+	if !saw[1] || !saw[2] {
+		t.Errorf("expected z ∈ {1,2} reachable, got %v", saw)
+	}
+}
+
+func TestStoreBufferingProgram(t *testing.T) {
+	p := &prog.Program{
+		Name: "sb",
+		Locs: []string{"x", "y"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				prog.Write{Loc: prog.At("x"), Val: prog.Const(1)},
+				prog.Read{RegName: "r", Loc: prog.At("y")},
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				prog.Write{Loc: prog.At("y"), Val: prog.Const(1)},
+				prog.Read{RegName: "q", Loc: prog.At("x")},
+			}},
+		},
+	}
+	allowed, err := Allowed(p, core.Programmer, func(o *Outcome) bool {
+		return o.Regs["t1.r"] == 0 && o.Regs["t2.q"] == 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allowed {
+		t.Error("store buffering (r=q=0) must be allowed")
+	}
+}
+
+func TestLoadBufferingProgram(t *testing.T) {
+	p := &prog.Program{
+		Name: "lb",
+		Locs: []string{"x", "y"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				prog.Read{RegName: "r", Loc: prog.At("x")},
+				prog.Write{Loc: prog.At("y"), Val: prog.Const(1)},
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				prog.Read{RegName: "q", Loc: prog.At("y")},
+				prog.Write{Loc: prog.At("x"), Val: prog.Const(1)},
+			}},
+		},
+	}
+	allowed, err := Allowed(p, core.Programmer, func(o *Outcome) bool {
+		return o.Regs["t1.r"] == 1 && o.Regs["t2.q"] == 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allowed {
+		t.Error("load buffering (r=q=1) must be forbidden")
+	}
+}
+
+// iriw is the §1 IRIW program with plain writes to z interposed.
+func iriw() *prog.Program {
+	atomicW := func(name, loc string) prog.Stmt {
+		return prog.Atomic{Name: name, Body: []prog.Stmt{prog.Write{Loc: prog.At(loc), Val: prog.Const(1)}}}
+	}
+	atomicR := func(name, reg, loc string) prog.Stmt {
+		return prog.Atomic{Name: name, Body: []prog.Stmt{prog.Read{RegName: reg, Loc: prog.At(loc)}}}
+	}
+	return &prog.Program{
+		Name: "iriw-z",
+		Locs: []string{"x", "y", "z"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{atomicW("wx", "x")}},
+			{Name: "t2", Body: []prog.Stmt{atomicW("wy", "y")}},
+			{Name: "t3", Body: []prog.Stmt{
+				atomicR("c1", "r1", "x"),
+				prog.Write{Loc: prog.At("z"), Val: prog.Const(1)},
+				atomicR("c2", "r2", "y"),
+			}},
+			{Name: "t4", Body: []prog.Stmt{
+				atomicR("d1", "q1", "y"),
+				prog.Write{Loc: prog.At("z"), Val: prog.Const(2)},
+				atomicR("d2", "q2", "x"),
+			}},
+		},
+	}
+}
+
+func TestIRIWForbiddenDespiteZRaces(t *testing.T) {
+	// SC-LTRF: no transactional variable is racy, so the transactional
+	// portion is sequential; the IRIW pattern is forbidden even though the
+	// plain writes to z race.
+	p := iriw()
+	allowed, err := Allowed(p, core.Programmer, func(o *Outcome) bool {
+		return o.Regs["t3.r1"] == 1 && o.Regs["t3.r2"] == 0 &&
+			o.Regs["t4.q1"] == 1 && o.Regs["t4.q2"] == 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allowed {
+		t.Error("IRIW read pattern must be forbidden in the programmer model")
+	}
+	// The z writes do race.
+	racy, err := AnyConsistent(p, core.Programmer, func(x *event.Execution) bool {
+		return len(core.GraphRaces(x, core.Programmer, core.LocSet(x, "z"))) > 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !racy {
+		t.Error("the plain writes to z must race")
+	}
+}
+
+func TestDoomedTransactionProgram(t *testing.T) {
+	// §4: atomic_a { if !y then while x do skip } || atomic_b { y:=1 }; x:=1.
+	// No consistent execution lets a read y=0 and then x=1.
+	p := &prog.Program{
+		Name: "doomed",
+		Locs: []string{"x", "y"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				prog.Atomic{Name: "a", Body: []prog.Stmt{
+					prog.Read{RegName: "r", Loc: prog.At("y")},
+					prog.If{Cond: prog.Not{E: prog.Reg("r")}, Then: []prog.Stmt{
+						prog.Read{RegName: "s", Loc: prog.At("x")},
+						prog.While{Cond: prog.Reg("s"), Body: []prog.Stmt{
+							prog.Read{RegName: "s", Loc: prog.At("x")},
+						}, Bound: 1},
+					}},
+				}},
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				prog.Atomic{Name: "b", Body: []prog.Stmt{prog.Write{Loc: prog.At("y"), Val: prog.Const(1)}}},
+				prog.Write{Loc: prog.At("x"), Val: prog.Const(1)},
+			}},
+		},
+	}
+	doomed, err := AnyConsistent(p, core.Programmer, func(x *event.Execution) bool {
+		// Transaction a (named "a") read y=0 and x=1.
+		var sawY0, sawX1 bool
+		for _, e := range x.Events {
+			if e.Kind != event.KRead || e.Tx == event.NoTx {
+				continue
+			}
+			if x.TxName[e.Tx] != "a" {
+				continue
+			}
+			if x.Locs[e.Loc] == "y" && e.Val == 0 {
+				sawY0 = true
+			}
+			if x.Locs[e.Loc] == "x" && e.Val == 1 {
+				sawX1 = true
+			}
+		}
+		return sawY0 && sawX1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doomed {
+		t.Error("doomed transaction (read y=0 then x=1) must be impossible")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	p := privatization(false)
+	_, err := Enumerate(p, Options{Config: core.Programmer, MaxNodes: 1})
+	if err != ErrBudget {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+}
+
+func TestVisitorEarlyStop(t *testing.T) {
+	p := privatization(false)
+	n := 0
+	_, err := Enumerate(p, Options{
+		Config: core.Programmer,
+		Visit: func(*event.Execution, *Outcome) bool {
+			n++
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("visitor called %d times after requesting stop", n)
+	}
+}
+
+func TestUndeclaredCellError(t *testing.T) {
+	p := &prog.Program{
+		Name: "badcell",
+		Locs: []string{"x", "z[0]"},
+		Threads: []prog.Thread{{Name: "t1", Body: []prog.Stmt{
+			prog.Read{RegName: "q", Loc: prog.At("x")},
+			prog.Write{Loc: prog.AtIdx("z", prog.Reg("q")), Val: prog.Const(1)},
+		}}},
+		ExtraValues: []int{5}, // q=5 → z[5] undeclared
+	}
+	if _, err := Enumerate(p, Options{Config: core.Programmer}); err == nil {
+		t.Fatal("expected undeclared-cell error")
+	}
+}
+
+func keys(m map[string]*Outcome) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

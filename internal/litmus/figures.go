@@ -1,0 +1,874 @@
+package litmus
+
+import (
+	"modtx/internal/core"
+	"modtx/internal/event"
+)
+
+// Figures returns the catalog of hand-encoded executions from the paper.
+// IDs follow the experiment index in DESIGN.md.
+func Figures() []Figure {
+	return []Figure{
+		figE05TraceVisualization(),
+		figE06StaleRead(),
+		figE07StaleReadAborted(),
+		figE08Privatization(),
+		figE09Cascade(),
+		figE10ReversedWW(),
+		figE11LoadBuffering(),
+		figE12StoreBuffering(),
+		figE13AbortedReadPublication(),
+		figE14OpacityAbortedIRIW(),
+		figE15PlainWWCycle(),
+		figE16CoherenceJava(),
+		figE17CoherenceCSE(),
+		figE18aHBww(),
+		figE18bHBrw(),
+		figE18cHBwr(),
+		figE18dHBwwPrime(),
+		figE18eHBrwPrime(),
+		figE18fHBwrPrime(),
+		figE22EagerVersioning(),
+		figE23aLazyVersioning(),
+		figE23bLazyVersioningReversed(),
+		figE25FromDToT1(),
+		figE25FromDToT2(),
+		figE26Doomed(),
+		figE27Dagger(),
+		figE27DaggerReordered(),
+		figE29Stability(),
+		figE33OverlappedWrites(),
+	}
+}
+
+func figE05TraceVisualization() Figure {
+	return Figure{
+		ID:    "E05",
+		Ref:   "§2 fig.1",
+		Title: "visualized trace: committed writer, aborted reader, plain write",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.Begin("b")
+			t1.W("y", 1)
+			wx1 := t1.W("x", 1)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("c")
+			t2.R("y", 1)
+			t2.Abort()
+			wx2 := t2.W("x", 2)
+			b.WWOrder("x", wx1, wx2)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropWellFormed, Want: true},
+			{Model: core.Programmer, Prop: PropConsistent, Want: true},
+			{Model: core.Programmer, Prop: PropAllContiguous, Want: true},
+		},
+	}
+}
+
+func figE06StaleRead() Figure {
+	return Figure{
+		ID:    "E06",
+		Ref:   "§2 antidep",
+		Title: "same-thread stale read ⟨Wx1⟩⟨Wx2⟩⟨Rx1⟩",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x")
+			t1 := b.Thread()
+			w1 := t1.W("x", 1)
+			w2 := t1.W("x", 2)
+			r := t1.R("x", 1)
+			b.WWOrder("x", w1, w2)
+			b.RF(w1, r)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: false,
+				Note: "c po→ b rw→ c violates Observation"},
+			{Model: core.Implementation, Prop: PropConsistent, Want: false},
+		},
+	}
+}
+
+func figE07StaleReadAborted() Figure {
+	return Figure{
+		ID:    "E07",
+		Ref:   "§2 antidep",
+		Title: "stale read allowed when the obscuring write aborted",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x")
+			t1 := b.Thread()
+			w1 := t1.W("x", 1)
+			t1.Begin("c")
+			w2 := t1.W("x", 2)
+			t1.Abort()
+			r := t1.R("x", 1)
+			b.WWOrder("x", w1, w2)
+			b.RF(w1, r)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true,
+				Note: "rw ignores aborted writes"},
+		},
+	}
+}
+
+// privatizationExec is the Example 2.1 execution, shared by several figures.
+func privatizationExec() *event.Execution {
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.R("y", 0)
+	wx1 := t1.W("x", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.W("y", 1)
+	t2.Commit()
+	wx2 := t2.W("x", 2)
+	b.WWOrder("x", wx1, wx2)
+	return b.MustBuild()
+}
+
+func figE08Privatization() Figure {
+	return Figure{
+		ID:    "E08",
+		Ref:   "Example 2.1",
+		Title: "privatization execution",
+		Build: privatizationExec,
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true},
+			{Model: core.Programmer, Prop: PropRaceFree, Want: true,
+				Note: "HBww orders Wx1 before Wx2"},
+			{Model: core.Implementation, Prop: PropConsistent, Want: true},
+			{Model: core.Implementation, Prop: PropRaceFree, Want: false,
+				Note: "without HBww the x writes race"},
+			{Model: core.Implementation, Prop: PropMixedRaceFree, Want: false},
+			{Model: core.TSO, Prop: PropRaceFree, Want: true,
+				Note: "§6: x86-TSO validates privatization"},
+		},
+	}
+}
+
+func figE09Cascade() Figure {
+	return Figure{
+		ID:    "E09",
+		Ref:   "§2 cascade",
+		Title: "HBww order cascades across two privatizations",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y", "u", "v")
+			t1 := b.Thread()
+			t1.Begin("a")
+			t1.R("y", 0)
+			wx1 := t1.W("x", 1)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("b")
+			t2.W("y", 1)
+			t2.Commit()
+			t2.Begin("a'")
+			t2.R("v", 0)
+			wu1 := t2.W("u", 1)
+			t2.Commit()
+			t3 := b.Thread()
+			t3.Begin("b'")
+			t3.W("v", 1)
+			t3.Commit()
+			wu2 := t3.W("u", 2)
+			wx2 := t3.W("x", 2)
+			b.WWOrder("x", wx1, wx2)
+			b.WWOrder("u", wu1, wu2)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true},
+			{Model: core.Programmer, Prop: PropRaceFree, Want: true},
+			{Model: core.Implementation, Prop: PropRaceFree, Want: false},
+		},
+	}
+}
+
+func figE10ReversedWW() Figure {
+	return Figure{
+		ID:    "E10",
+		Ref:   "Example 2.2",
+		Title: "privatization with reversed coherence order",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.Begin("a")
+			t1.R("y", 0)
+			wx2 := t1.W("x", 2)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("b")
+			t2.W("y", 1)
+			t2.Commit()
+			wx1 := t2.W("x", 1)
+			b.WWOrder("x", wx1, wx2)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: false,
+				Note: "Atomww: required for SC-LTRF"},
+			{Model: core.Implementation, Prop: PropConsistent, Want: true,
+				Note: "§5 drops Atomww"},
+		},
+	}
+}
+
+func figE11LoadBuffering() Figure {
+	return Figure{
+		ID:    "E11",
+		Ref:   "§2 LB",
+		Title: "load buffering",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.R("x", 1)
+			t1.W("y", 1)
+			t2 := b.Thread()
+			t2.R("y", 1)
+			t2.W("x", 1)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: false,
+				Note: "Causality includes lwr"},
+			{Model: core.Implementation, Prop: PropConsistent, Want: false},
+		},
+	}
+}
+
+func figE12StoreBuffering() Figure {
+	return Figure{
+		ID:    "E12",
+		Ref:   "§2 SB",
+		Title: "store buffering",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.W("x", 1)
+			t1.R("y", 0)
+			t2 := b.Thread()
+			t2.W("y", 1)
+			t2.R("x", 0)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true,
+				Note: "plain antidependencies are only irreflexive"},
+		},
+	}
+}
+
+func figE13AbortedReadPublication() Figure {
+	return Figure{
+		ID:    "E13",
+		Ref:   "§2 xwr",
+		Title: "publication through an aborted read",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.Begin("w")
+			t1.W("x", 1)
+			t1.W("y", 1)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("r")
+			t2.R("y", 1)
+			t2.Abort()
+			t2.R("x", 0)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true},
+			{Model: withXWR(core.Programmer), Prop: PropConsistent, Want: false,
+				Note: "xwr in hb would force publication through aborted reads"},
+		},
+	}
+}
+
+func withXWR(c core.Config) core.Config {
+	c.Name = c.Name + "+xwr"
+	c.XWRInHB = true
+	return c
+}
+
+func figE14OpacityAbortedIRIW() Figure {
+	return Figure{
+		ID:    "E14",
+		Ref:   "§2 opacity",
+		Title: "aborted transactions observe writer transactions in opposite orders",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.Begin("wx")
+			t1.W("x", 1)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("wy")
+			t2.W("y", 1)
+			t2.Commit()
+			t3 := b.Thread()
+			t3.Begin("c")
+			t3.R("x", 1)
+			t3.R("y", 0)
+			t3.Abort()
+			t4 := b.Thread()
+			t4.Begin("d")
+			t4.R("y", 1)
+			t4.R("x", 0)
+			t4.Abort()
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: false,
+				Note: "xrw in Causality gives opacity"},
+		},
+	}
+}
+
+func figE15PlainWWCycle() Figure {
+	return Figure{
+		ID:    "E15",
+		Ref:   "§2 ww cycle",
+		Title: "plain po ∪ ww cycle",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			wx2 := t1.W("x", 2)
+			wy1 := t1.W("y", 1)
+			t2 := b.Thread()
+			wy2 := t2.W("y", 2)
+			wx1 := t2.W("x", 1)
+			b.WWOrder("x", wx1, wx2)
+			b.WWOrder("y", wy1, wy2)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true,
+				Note: "why Causality cannot use lww"},
+		},
+	}
+}
+
+func figE16CoherenceJava() Figure {
+	return Figure{
+		ID:    "E16",
+		Ref:   "§2 coherence",
+		Title: "stale read after transactional synchronization (Java allows)",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			wx1 := t1.W("x", 1)
+			t1.Begin("wy")
+			t1.W("y", 1)
+			t1.Commit()
+			t2 := b.Thread()
+			wx2 := t2.W("x", 2)
+			t2.Begin("ry")
+			t2.R("y", 1)
+			t2.Commit()
+			r2 := t2.R("x", 2)
+			r1 := t2.R("x", 1)
+			b.WWOrder("x", wx1, wx2)
+			b.RF(wx2, r2)
+			b.RF(wx1, r1)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: false,
+				Note: "LTRF coherence is stronger than Java"},
+		},
+	}
+}
+
+func figE17CoherenceCSE() Figure {
+	return Figure{
+		ID:    "E17",
+		Ref:   "§2 coherence",
+		Title: "2,1,2 read sequence of plain writes (CSE-compatible)",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x")
+			t1 := b.Thread()
+			wx1 := t1.W("x", 1)
+			wx2 := t1.W("x", 2)
+			t2 := b.Thread()
+			ra := t2.R("x", 2)
+			rb := t2.R("x", 1)
+			rc := t2.R("x", 2)
+			b.WWOrder("x", wx1, wx2)
+			b.RF(wx2, ra)
+			b.RF(wx1, rb)
+			b.RF(wx2, rc)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true,
+				Note: "LTRF coherence is weaker than hardware/C++"},
+		},
+	}
+}
+
+// Example 2.3: each HB variant validated by its illustrating execution.
+// With the variant enabled the conflicting pair is ordered (race-free);
+// without it (implementation model) the pair races.
+
+func figE18aHBww() Figure {
+	return Figure{
+		ID:    "E18a",
+		Ref:   "Example 2.3",
+		Title: "HBww: atomic_a{r:=y; x:=1} || atomic_b{y:=1}; x:=2",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.Begin("a")
+			t1.R("y", 0)
+			wx1 := t1.W("x", 1)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("b")
+			t2.W("y", 1)
+			t2.Commit()
+			wx2 := t2.W("x", 2)
+			b.WWOrder("x", wx1, wx2)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Variant(core.HBww), Prop: PropRaceFree, Want: true},
+			{Model: core.Variant(core.HBww), Prop: PropConsistent, Want: true},
+			{Model: core.Implementation, Prop: PropRaceFree, Want: false},
+		},
+	}
+}
+
+func figE18bHBrw() Figure {
+	return Figure{
+		ID:    "E18b",
+		Ref:   "Example 2.3",
+		Title: "HBrw: atomic_a{r:=y; q:=x} || atomic_b{y:=1}; x:=1",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.Begin("a")
+			t1.R("y", 0)
+			t1.R("x", 0)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("b")
+			t2.W("y", 1)
+			t2.Commit()
+			t2.W("x", 1)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Variant(core.HBrw), Prop: PropRaceFree, Want: true},
+			{Model: core.Variant(core.HBrw), Prop: PropConsistent, Want: true},
+			{Model: core.Implementation, Prop: PropRaceFree, Want: false},
+		},
+	}
+}
+
+func figE18cHBwr() Figure {
+	return Figure{
+		ID:    "E18c",
+		Ref:   "Example 2.3",
+		Title: "HBwr: atomic_a{r:=y; x:=1} || atomic_b{y:=1}; q:=x",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.Begin("a")
+			t1.R("y", 0)
+			t1.W("x", 1)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("b")
+			t2.W("y", 1)
+			t2.Commit()
+			t2.R("x", 1)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Variant(core.HBwr), Prop: PropRaceFree, Want: true},
+			{Model: core.Variant(core.HBwr), Prop: PropConsistent, Want: true},
+			{Model: core.Implementation, Prop: PropRaceFree, Want: false},
+		},
+	}
+}
+
+func figE18dHBwwPrime() Figure {
+	return Figure{
+		ID:    "E18d",
+		Ref:   "Example 2.3",
+		Title: "HB'ww: x:=1; atomic_b{r:=y} || atomic_c{x:=2; y:=1}",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			wx1 := t1.W("x", 1)
+			t1.Begin("b")
+			t1.R("y", 0)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("c")
+			wx2 := t2.W("x", 2)
+			t2.W("y", 1)
+			t2.Commit()
+			b.WWOrder("x", wx1, wx2)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Variant(core.HBwwP), Prop: PropRaceFree, Want: true},
+			{Model: core.Variant(core.HBwwP), Prop: PropConsistent, Want: true},
+			{Model: core.Implementation, Prop: PropRaceFree, Want: false},
+			{Model: core.Programmer, Prop: PropRaceFree, Want: false,
+				Note: "the unprimed HBww does not order plain-first pairs"},
+		},
+	}
+}
+
+func figE18eHBrwPrime() Figure {
+	return Figure{
+		ID:    "E18e",
+		Ref:   "Example 2.3",
+		Title: "HB'rw: q:=x; atomic_b{r:=y} || atomic_c{x:=1; y:=1}",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.R("x", 0)
+			t1.Begin("b")
+			t1.R("y", 0)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("c")
+			t2.W("x", 1)
+			t2.W("y", 1)
+			t2.Commit()
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Variant(core.HBrwP), Prop: PropRaceFree, Want: true},
+			{Model: core.Variant(core.HBrwP), Prop: PropConsistent, Want: true},
+			{Model: core.Implementation, Prop: PropRaceFree, Want: false},
+		},
+	}
+}
+
+func figE18fHBwrPrime() Figure {
+	return Figure{
+		ID:    "E18f",
+		Ref:   "Example 2.3",
+		Title: "HB'wr: x:=1; atomic_b{r:=y} || atomic_c{q:=x; y:=1}",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.W("x", 1)
+			t1.Begin("b")
+			t1.R("y", 0)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("c")
+			t2.R("x", 1)
+			t2.W("y", 1)
+			t2.Commit()
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Variant(core.HBwrP), Prop: PropRaceFree, Want: true},
+			{Model: core.Variant(core.HBwrP), Prop: PropConsistent, Want: true},
+			{Model: core.Implementation, Prop: PropRaceFree, Want: false},
+		},
+	}
+}
+
+func figE22EagerVersioning() Figure {
+	return Figure{
+		ID:    "E22",
+		Ref:   "Example 3.4",
+		Title: "eager versioning: aborted speculative write, plain write not lost",
+		Build: func() *event.Execution {
+			// atomic_a{if !y then x:=1; abort}; atomic_b{if !y then x:=1}; r:=x
+			// || x:=2; y:=1; q:=x — first drawn execution: a aborts after
+			// writing x=1; b sees y=1 and skips; both threads read x=2.
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.Begin("a")
+			t1.R("y", 0)
+			wx1 := t1.W("x", 1)
+			t1.Abort()
+			t1.Begin("b")
+			t1.R("y", 1)
+			t1.Commit()
+			r1 := t1.R("x", 2)
+			t2 := b.Thread()
+			wx2 := t2.W("x", 2)
+			t2.W("y", 1)
+			r2 := t2.R("x", 2)
+			b.WWOrder("x", wx1, wx2)
+			b.RF(wx2, r1)
+			b.RF(wx2, r2)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true,
+				Note: "the plain Wx2 is not lost"},
+		},
+	}
+}
+
+// Example 3.5 (lazy versioning). The drawn execution (E23a) has coherence
+// order init → Wz[0]1 (transaction b) → Wz[0]0 (plain), with the two plain
+// reads of z[0] returning 0 then 1. The paper states this r1≠r2 outcome is
+// disallowed by the Example 2.3 variants with the read-antidependency Atom
+// axiom (Atomrw) — the plain read of z[0]=0 anti-depends on b while b must
+// serialize before a. Reversing the coherence order (E23b) is ruled out by
+// Atomww itself, so "z[0] ≠ 0 is forbidden by our model".
+func lazyVersioningExec(reverse bool) *event.Execution {
+	b := event.NewBuilder("x", "z[0]")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.R("x", 0)
+	t1.W("x", 42)
+	t1.Commit()
+	r1 := t1.R("z[0]", 0)
+	r2 := t1.R("z[0]", 1)
+	w0 := t1.W("z[0]", 0)
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.R("x", 0)
+	rz := t2.R("z[0]", 0)
+	w1 := t2.W("z[0]", 1)
+	t2.Commit()
+	b.RF(w1, r2)
+	// Both reads of z[0]=0 (r1 and rz) read the init write; value-based
+	// matching would be ambiguous with the plain w0, so bind explicitly.
+	b.RF(b.InitWrite("z[0]"), r1)
+	b.RF(b.InitWrite("z[0]"), rz)
+	if reverse {
+		b.WWOrder("z[0]", w0, w1)
+	} else {
+		b.WWOrder("z[0]", w1, w0)
+	}
+	return b.MustBuild()
+}
+
+func figE23aLazyVersioning() Figure {
+	return Figure{
+		ID:    "E23a",
+		Ref:   "Example 3.5",
+		Title: "lazy versioning: r1≠r2 with drawn coherence order",
+		Build: func() *event.Execution { return lazyVersioningExec(false) },
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true,
+				Note: "base programmer model (Atomww only) admits the drawn order"},
+			{Model: core.Variant(core.HBrw), Prop: PropConsistent, Want: false,
+				Note: "Atomrw variants disallow the r1≠r2 outcome"},
+		},
+	}
+}
+
+func figE23bLazyVersioningReversed() Figure {
+	return Figure{
+		ID:    "E23b",
+		Ref:   "Example 3.5",
+		Title: "lazy versioning: reversed coherence order (z[0]≠0)",
+		Build: func() *event.Execution { return lazyVersioningExec(true) },
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: false,
+				Note: "Atomww forbids z[0]≠0"},
+			{Model: core.Implementation, Prop: PropConsistent, Want: true},
+		},
+	}
+}
+
+func figE25FromDToT1() Figure {
+	return Figure{
+		ID:    "E25.1",
+		Ref:   "§4 From D to T",
+		Title: "transactional read of a plain write races",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x")
+			t1 := b.Thread()
+			wx1 := t1.W("x", 1)
+			t1.Begin("b")
+			wx2 := t1.W("x", 2)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("c")
+			r := t2.R("x", 1)
+			t2.Commit()
+			b.WWOrder("x", wx1, wx2)
+			b.RF(wx1, r)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true},
+			{Model: core.Programmer, Prop: PropRaceFree, Want: false,
+				Note: "wr from a plain write does not synchronize"},
+		},
+	}
+}
+
+func figE25FromDToT2() Figure {
+	return Figure{
+		ID:    "E25.2",
+		Ref:   "§4 From D to T",
+		Title: "transactional read of the transactional write is race-free",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x")
+			t1 := b.Thread()
+			wx1 := t1.W("x", 1)
+			t1.Begin("b")
+			wx2 := t1.W("x", 2)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("c")
+			r := t2.R("x", 2)
+			t2.Commit()
+			b.WWOrder("x", wx1, wx2)
+			b.RF(wx2, r)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true},
+			{Model: core.Programmer, Prop: PropRaceFree, Want: true,
+				Note: "cwr creates hb; Wx1 po→ b cwr→ c"},
+		},
+	}
+}
+
+func figE26Doomed() Figure {
+	return Figure{
+		ID:    "E26",
+		Ref:   "§4 doomed",
+		Title: "doomed transaction reading y=0 then x=1",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			t1.Begin("a")
+			t1.R("y", 0)
+			t1.R("x", 1)
+			// a stays live (spinning forever).
+			t2 := b.Thread()
+			t2.Begin("b")
+			t2.W("y", 1)
+			t2.Commit()
+			t2.W("x", 1)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: false,
+				Note: "SC-LTRF covers live transactions (opacity)"},
+		},
+	}
+}
+
+func daggerExec(readZBeforeWriteX bool) *event.Execution {
+	b := event.NewBuilder("x", "y", "z")
+	t1 := b.Thread()
+	t1.W("z", 1)
+	t1.Begin("a")
+	t1.R("y", 0)
+	wx1 := t1.W("x", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.W("y", 1)
+	t2.Commit()
+	var wx2 int
+	if readZBeforeWriteX {
+		t2.R("z", 0)
+		wx2 = t2.W("x", 2)
+	} else {
+		wx2 = t2.W("x", 2)
+		t2.R("z", 0)
+	}
+	b.WWOrder("x", wx1, wx2)
+	return b.MustBuild()
+}
+
+func figE27Dagger() Figure {
+	return Figure{
+		ID:    "E27",
+		Ref:   "§5 (‡)",
+		Title: "z:=1; atomic_a{..x:=1} || atomic_b{y:=1}; x:=2; r:=z reading z=0",
+		Build: func() *event.Execution { return daggerExec(false) },
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: false,
+				Note: "HBww gives Wz1 hb→ Rz0; Causality rejects"},
+			{Model: core.Implementation, Prop: PropConsistent, Want: true},
+		},
+	}
+}
+
+func figE27DaggerReordered() Figure {
+	return Figure{
+		ID:    "E27r",
+		Ref:   "§5 (‡)",
+		Title: "reordered r:=z; x:=2 — reading z=0 becomes allowed",
+		Build: func() *event.Execution { return daggerExec(true) },
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true,
+				Note: "why W;R reordering is invalid in the programmer model"},
+		},
+	}
+}
+
+func figE29Stability() Figure {
+	return Figure{
+		ID:    "E29",
+		Ref:   "Example A.1",
+		Title: "stability decomposition witness",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y")
+			t1 := b.Thread()
+			wx1 := t1.W("x", 1)
+			t1.Begin("a")
+			wx2 := t1.W("x", 2)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("b")
+			r := t2.R("x", 1)
+			t2.W("y", 1)
+			t2.Commit()
+			b.WWOrder("x", wx1, wx2)
+			b.RF(wx1, r)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: true},
+		},
+	}
+}
+
+func figE33OverlappedWrites() Figure {
+	return Figure{
+		ID:    "E33f",
+		Ref:   "Example D.4",
+		Title: "lazy version copies may not overlap publication",
+		Build: func() *event.Execution {
+			b := event.NewBuilder("x", "y", "z[4]")
+			t1 := b.Thread()
+			t1.Begin("a")
+			t1.W("y", 4)
+			t1.W("z[4]", 1)
+			t1.W("x", 4)
+			t1.Commit()
+			t2 := b.Thread()
+			t2.Begin("q")
+			t2.R("x", 4)
+			t2.Commit()
+			t2.R("z[4]", 0)
+			return b.MustBuild()
+		},
+		Checks: []FigureCheck{
+			{Model: core.Programmer, Prop: PropConsistent, Want: false,
+				Note: "cwr publishes the whole transaction; Observation rejects"},
+			{Model: core.Implementation, Prop: PropConsistent, Want: false,
+				Note: "direct dependency: ordered even without fences"},
+		},
+	}
+}

@@ -1,0 +1,171 @@
+// Package litmus catalogs every figure and example program of the paper
+// together with its expected verdict, forming the repository's experiment
+// suite (see DESIGN.md §5 and EXPERIMENTS.md).
+//
+// Two catalog kinds mirror the paper's two presentation styles:
+//
+//   - Figures are hand-encoded executions (event graphs with explicit
+//     reads-from and coherence), checked for consistency and raciness
+//     under specific model configurations.
+//   - Programs are litmus programs handed to the exhaustive enumerator;
+//     checks assert that outcomes or execution shapes are allowed or
+//     forbidden under specific model configurations.
+package litmus
+
+import (
+	"fmt"
+
+	"modtx/internal/core"
+	"modtx/internal/event"
+	"modtx/internal/exec"
+	"modtx/internal/prog"
+)
+
+// Property is a checkable predicate of a figure execution.
+type Property string
+
+// Figure properties.
+const (
+	PropConsistent    Property = "consistent"
+	PropRaceFree      Property = "race-free"
+	PropMixedRaceFree Property = "mixed-race-free"
+	PropWellFormed    Property = "well-formed"
+	PropNotWellFormed Property = "not-well-formed"
+	PropAllContiguous Property = "contiguous"
+)
+
+// FigureCheck is one expectation about a figure.
+type FigureCheck struct {
+	Model core.Config
+	Prop  Property
+	Want  bool
+	Note  string
+}
+
+// Figure is a hand-encoded execution from the paper.
+type Figure struct {
+	ID     string // experiment id, e.g. "E10"
+	Ref    string // paper reference, e.g. "Example 2.2"
+	Title  string
+	Build  func() *event.Execution
+	Checks []FigureCheck
+}
+
+// ProgramCheck is one expectation about a program's behaviours.
+type ProgramCheck struct {
+	Desc  string
+	Model core.Config
+	// Outcome, when non-nil, asks whether some complete consistent
+	// execution satisfies the predicate.
+	Outcome func(*exec.Outcome) bool
+	// Exec, when non-nil, asks whether some consistent execution
+	// (complete or not) satisfies the predicate.
+	Exec func(*event.Execution) bool
+	// Want is the expected answer (true = allowed/exists).
+	Want bool
+}
+
+// ProgramEntry is a litmus program from the paper.
+type ProgramEntry struct {
+	ID     string
+	Ref    string
+	Title  string
+	Prog   *prog.Program
+	Checks []ProgramCheck
+	// Slow marks entries whose enumeration takes more than ~1s; they are
+	// skipped by short test runs but included by cmd/mtx-litmus and the
+	// benchmark harness.
+	Slow bool
+}
+
+// Result is the outcome of one executed check.
+type Result struct {
+	ID   string
+	Ref  string
+	Desc string
+	Want bool
+	Got  bool
+	Err  error
+}
+
+// Pass reports whether the check matched its expectation.
+func (r Result) Pass() bool { return r.Err == nil && r.Got == r.Want }
+
+func (r Result) String() string {
+	status := "PASS"
+	if !r.Pass() {
+		status = "FAIL"
+	}
+	if r.Err != nil {
+		return fmt.Sprintf("%-4s %-5s %-14s %s: error: %v", status, r.ID, r.Ref, r.Desc, r.Err)
+	}
+	return fmt.Sprintf("%-4s %-5s %-14s %s (got %v, want %v)", status, r.ID, r.Ref, r.Desc, r.Got, r.Want)
+}
+
+// RunFigure evaluates all checks of a figure.
+func RunFigure(f Figure) []Result {
+	x := f.Build()
+	out := make([]Result, 0, len(f.Checks))
+	for _, c := range f.Checks {
+		desc := fmt.Sprintf("%s under %s", c.Prop, c.Model.Name)
+		if c.Note != "" {
+			desc += " — " + c.Note
+		}
+		got := evalProperty(x, c.Model, c.Prop)
+		out = append(out, Result{ID: f.ID, Ref: f.Ref, Desc: desc, Want: c.Want, Got: got})
+	}
+	return out
+}
+
+func evalProperty(x *event.Execution, cfg core.Config, p Property) bool {
+	switch p {
+	case PropConsistent:
+		return core.Consistent(x, cfg)
+	case PropRaceFree:
+		return core.RaceFree(x, cfg)
+	case PropMixedRaceFree:
+		return core.MixedRaceFree(x, cfg)
+	case PropWellFormed:
+		return event.IsWellFormed(x)
+	case PropNotWellFormed:
+		return !event.IsWellFormed(x)
+	case PropAllContiguous:
+		return event.AllContiguous(x)
+	}
+	panic("litmus: unknown property " + string(p))
+}
+
+// RunProgram evaluates all checks of a program entry.
+func RunProgram(p ProgramEntry) []Result {
+	out := make([]Result, 0, len(p.Checks))
+	for _, c := range p.Checks {
+		var got bool
+		var err error
+		switch {
+		case c.Outcome != nil:
+			got, err = exec.Allowed(p.Prog, c.Model, c.Outcome)
+		case c.Exec != nil:
+			got, err = exec.AnyConsistent(p.Prog, c.Model, c.Exec)
+		default:
+			err = fmt.Errorf("check %q has no predicate", c.Desc)
+		}
+		out = append(out, Result{ID: p.ID, Ref: p.Ref, Desc: c.Desc, Want: c.Want, Got: got, Err: err})
+	}
+	return out
+}
+
+// RunAll executes the full catalog. Slow program entries are skipped unless
+// includeSlow is set.
+func RunAll(includeSlow bool) []Result {
+	var out []Result
+	for _, f := range Figures() {
+		out = append(out, RunFigure(f)...)
+	}
+	for _, p := range Programs() {
+		if p.Slow && !includeSlow {
+			continue
+		}
+		out = append(out, RunProgram(p)...)
+	}
+	return out
+}

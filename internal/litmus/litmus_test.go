@@ -1,0 +1,77 @@
+package litmus
+
+import (
+	"testing"
+)
+
+// TestFigures checks every figure expectation in the catalog against the
+// model checker. Each failing row is one disagreement with the paper.
+func TestFigures(t *testing.T) {
+	for _, f := range Figures() {
+		f := f
+		t.Run(f.ID+"_"+f.Title, func(t *testing.T) {
+			for _, res := range RunFigure(f) {
+				if !res.Pass() {
+					t.Errorf("%s", res)
+				}
+			}
+		})
+	}
+}
+
+// TestPrograms checks every program expectation via exhaustive enumeration.
+func TestPrograms(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.ID+"_"+p.Prog.Name, func(t *testing.T) {
+			if p.Slow && testing.Short() {
+				t.Skip("slow entry skipped in -short")
+			}
+			if p.Slow {
+				t.Parallel()
+			}
+			for _, res := range RunProgram(p) {
+				if !res.Pass() {
+					t.Errorf("%s", res)
+				}
+			}
+		})
+	}
+}
+
+// TestCatalogShape guards against accidental catalog regressions: every
+// entry must have an ID, a reference and at least one check, and IDs must
+// be unique within each catalog.
+func TestCatalogShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range Figures() {
+		if f.ID == "" || f.Ref == "" || len(f.Checks) == 0 {
+			t.Errorf("figure %q is underspecified", f.Title)
+		}
+		if seen[f.ID] {
+			t.Errorf("duplicate figure id %s", f.ID)
+		}
+		seen[f.ID] = true
+		if f.Build == nil {
+			t.Errorf("figure %s has no builder", f.ID)
+			continue
+		}
+		x := f.Build()
+		if err := x.Validate(); err != nil {
+			t.Errorf("figure %s builds an invalid execution: %v", f.ID, err)
+		}
+	}
+	seen = map[string]bool{}
+	for _, p := range Programs() {
+		if p.ID == "" || p.Ref == "" || len(p.Checks) == 0 {
+			t.Errorf("program %q is underspecified", p.Title)
+		}
+		if seen[p.ID] {
+			t.Errorf("duplicate program id %s", p.ID)
+		}
+		seen[p.ID] = true
+		if err := p.Prog.Validate(); err != nil {
+			t.Errorf("program %s invalid: %v", p.ID, err)
+		}
+	}
+}

@@ -1,0 +1,599 @@
+package litmus
+
+import (
+	"modtx/internal/core"
+	"modtx/internal/event"
+	"modtx/internal/exec"
+	"modtx/internal/prog"
+)
+
+// Shorthand constructors for catalog programs.
+func w(loc string, v int) prog.Stmt                 { return prog.Write{Loc: prog.At(loc), Val: prog.Const(v)} }
+func r(reg, loc string) prog.Stmt                   { return prog.Read{RegName: reg, Loc: prog.At(loc)} }
+func atomic(name string, ss ...prog.Stmt) prog.Stmt { return prog.Atomic{Name: name, Body: ss} }
+func ifnz(cond prog.Expr, then ...prog.Stmt) prog.Stmt {
+	return prog.If{Cond: cond, Then: then}
+}
+
+// Programs returns the catalog of litmus programs from the paper.
+func Programs() []ProgramEntry {
+	return []ProgramEntry{
+		progE01Privatization(),
+		progE02Publication(),
+		progE03IRIW(),
+		progE04TemporalIRIW(),
+		progE19PublicationByAntidep(),
+		progE20GlobalLockAtomicity(),
+		progE21RacyPublication(),
+		progE22EagerVersioning(),
+		progE23LazyVersioning(),
+		progE24LDRFPublication(),
+		progE28FencedPrivatization(),
+		progE30OpaqueWrites(),
+		progE31RaceFreeSpeculation(),
+		progE32DirtyReads(),
+		progE33OverlappedWrites(),
+	}
+}
+
+// PrivatizationProgram builds the §1 privatization idiom, optionally with a
+// quiescence fence before the plain write (used by E01, E28 and benches).
+func PrivatizationProgram(fence bool) *prog.Program {
+	t2 := []prog.Stmt{atomic("b", w("y", 1))}
+	if fence {
+		t2 = append(t2, prog.Fence{Loc: prog.At("x")})
+	}
+	t2 = append(t2, w("x", 2))
+	return &prog.Program{
+		Name: "privatization",
+		Locs: []string{"x", "y"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				atomic("a",
+					r("r", "y"),
+					ifnz(prog.Not{E: prog.Reg("r")}, w("x", 1)),
+				),
+			}},
+			{Name: "t2", Body: t2},
+		},
+	}
+}
+
+func progE01Privatization() ProgramEntry {
+	p := PrivatizationProgram(false)
+	return ProgramEntry{
+		ID: "E01", Ref: "§1/Ex 2.1", Title: "privatization", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "final x=1 forbidden (programmer)", Model: core.Programmer,
+				Outcome: memEq("x", 1), Want: false},
+			{Desc: "final x=2 reachable (programmer)", Model: core.Programmer,
+				Outcome: memEq("x", 2), Want: true},
+			{Desc: "final x=1 allowed (implementation, unfenced)", Model: core.Implementation,
+				Outcome: memEq("x", 1), Want: true},
+			{Desc: "mixed race exists (implementation)", Model: core.Implementation,
+				Exec: hasMixedRace(core.Implementation), Want: true},
+			{Desc: "race-free under TSO", Model: core.TSO,
+				Exec: hasRace(core.TSO), Want: false},
+		},
+	}
+}
+
+func progE02Publication() ProgramEntry {
+	p := &prog.Program{
+		Name: "publication",
+		Locs: []string{"x", "y", "z"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				w("x", 1),
+				atomic("a", w("y", 1)),
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				atomic("b",
+					w("z", 2),
+					r("r", "y"),
+					ifnz(prog.Reg("r"),
+						r("q", "x"),
+						prog.Write{Loc: prog.At("z"), Val: prog.Reg("q")},
+					),
+				),
+			}},
+		},
+	}
+	return ProgramEntry{
+		ID: "E02", Ref: "§1", Title: "publication", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "final z=0 forbidden", Model: core.Programmer,
+				Outcome: memEq("z", 0), Want: false},
+			{Desc: "final z=1 reachable", Model: core.Programmer,
+				Outcome: memEq("z", 1), Want: true},
+			{Desc: "final z=2 reachable", Model: core.Programmer,
+				Outcome: memEq("z", 2), Want: true},
+			{Desc: "z=0 forbidden even in implementation model (direct dependency)",
+				Model: core.Implementation, Outcome: memEq("z", 0), Want: false},
+		},
+	}
+}
+
+func progE03IRIW() ProgramEntry {
+	p := &prog.Program{
+		Name: "iriw-z",
+		Locs: []string{"x", "y", "z"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{atomic("wx", w("x", 1))}},
+			{Name: "t2", Body: []prog.Stmt{atomic("wy", w("y", 1))}},
+			{Name: "t3", Body: []prog.Stmt{
+				atomic("c1", r("r1", "x")),
+				w("z", 1),
+				atomic("c2", r("r2", "y")),
+			}},
+			{Name: "t4", Body: []prog.Stmt{
+				atomic("d1", r("q1", "y")),
+				w("z", 2),
+				atomic("d2", r("q2", "x")),
+			}},
+		},
+	}
+	return ProgramEntry{
+		ID: "E03", Ref: "§1 IRIW", Title: "IRIW with racy plain writes to z", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "IRIW pattern forbidden despite z races", Model: core.Programmer,
+				Outcome: regsEq(map[string]int{"t3.r1": 1, "t3.r2": 0, "t4.q1": 1, "t4.q2": 0}),
+				Want:    false},
+			{Desc: "both-see-both reachable", Model: core.Programmer,
+				Outcome: regsEq(map[string]int{"t3.r1": 1, "t3.r2": 1, "t4.q1": 1, "t4.q2": 1}),
+				Want:    true},
+			{Desc: "z writes race", Model: core.Programmer,
+				Exec: func(x *event.Execution) bool {
+					return len(core.GraphRaces(x, core.Programmer, core.LocSet(x, "z"))) > 0
+				},
+				Want: true},
+		},
+	}
+}
+
+// progE04TemporalIRIW adapts the §1 temporal-locality example. The paper
+// spawns IRIW after a guard inside one thread; a static-thread language
+// cannot fork, so the two reader threads each guard on the same condition
+// (both F increments observed). The racy location w is only written before
+// the guards become true, so SC-LTRF reasoning applies to the IRIW part.
+func progE04TemporalIRIW() ProgramEntry {
+	guard := prog.Bin{Op: prog.OpEq, L: prog.Reg("g"), R: prog.Const(2)}
+	inc := atomic("f", r("t", "F"), prog.Write{Loc: prog.At("F"), Val: prog.Bin{Op: prog.OpAdd, L: prog.Reg("t"), R: prog.Const(1)}})
+	p := &prog.Program{
+		Name:     "temporal-iriw",
+		Locs:     []string{"w", "F", "x", "y", "z"},
+		Universe: []int{0, 1, 2, 3},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{w("w", 1), inc}},
+			{Name: "t2", Body: []prog.Stmt{w("w", 2), inc}},
+			{Name: "t3", Body: []prog.Stmt{atomic("wx", w("x", 1))}},
+			{Name: "t4", Body: []prog.Stmt{atomic("wy", w("y", 1))}},
+			{Name: "t5", Body: []prog.Stmt{
+				atomic("g5", r("g", "F")),
+				ifnz(guard,
+					atomic("c1", r("r1", "x")),
+					w("z", 1),
+					atomic("c2", r("r2", "y")),
+				),
+			}},
+			{Name: "t6", Body: []prog.Stmt{
+				atomic("g6", r("g", "F")),
+				ifnz(guard,
+					atomic("d1", r("q1", "y")),
+					w("z", 2),
+					atomic("d2", r("q2", "x")),
+				),
+			}},
+		},
+	}
+	post := map[string]int{"t5.g": 2, "t6.g": 2}
+	forbidden := map[string]int{"t5.r1": 1, "t5.r2": 0, "t6.q1": 1, "t6.q2": 0}
+	allowed := map[string]int{"t5.r1": 1, "t5.r2": 1, "t6.q1": 1, "t6.q2": 1}
+	merge := func(a, b map[string]int) map[string]int {
+		m := make(map[string]int, len(a)+len(b))
+		for k, v := range a {
+			m[k] = v
+		}
+		for k, v := range b {
+			m[k] = v
+		}
+		return m
+	}
+	return ProgramEntry{
+		ID: "E04", Ref: "§1 temporal", Title: "IRIW guarded behind racy prologue", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "post-guard IRIW pattern forbidden", Model: core.Programmer,
+				Outcome: regsEq(merge(post, forbidden)), Want: false},
+			{Desc: "post-guard both-see-both reachable", Model: core.Programmer,
+				Outcome: regsEq(merge(post, allowed)), Want: true},
+			{Desc: "w races before the guard", Model: core.Programmer,
+				Exec: func(x *event.Execution) bool {
+					return len(core.GraphRaces(x, core.Programmer, core.LocSet(x, "w"))) > 0
+				},
+				Want: true},
+		},
+	}
+}
+
+func progE19PublicationByAntidep() ProgramEntry {
+	p := &prog.Program{
+		Name: "pub-by-antidep",
+		Locs: []string{"x", "y"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				w("x", 1),
+				atomic("a", r("r", "y")),
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				atomic("b", r("q", "x"), w("y", 1)),
+			}},
+		},
+	}
+	rq00 := regsEq(map[string]int{"t1.r": 0, "t2.q": 0})
+	return ProgramEntry{
+		ID: "E19", Ref: "Example 3.1", Title: "no publication by antidependence", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "r=q=0 allowed (programmer)", Model: core.Programmer, Outcome: rq00, Want: true},
+			{Desc: "r=q=0 forbidden under Atom'rw", Model: core.Variant(core.HBrwP), Outcome: rq00, Want: false},
+			{Desc: "r=q=0 forbidden under TSO", Model: core.TSO, Outcome: rq00, Want: false},
+		},
+	}
+}
+
+func progE20GlobalLockAtomicity() ProgramEntry {
+	p := &prog.Program{
+		Name: "no-gla",
+		Locs: []string{"x", "y", "z"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				w("x", 1),
+				atomic("a", w("y", 1)),
+				r("r", "z"),
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				atomic("b", r("q", "x"), w("z", 1)),
+			}},
+		},
+	}
+	rq00 := regsEq(map[string]int{"t1.r": 0, "t2.q": 0})
+	return ProgramEntry{
+		ID: "E20", Ref: "Example 3.2", Title: "no global lock atomicity", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "r=q=0 allowed (programmer)", Model: core.Programmer, Outcome: rq00, Want: true},
+			{Desc: "r=q=0 allowed (strongest variant)", Model: core.Strongest, Outcome: rq00, Want: true},
+			{Desc: "r=q=0 allowed (implementation)", Model: core.Implementation, Outcome: rq00, Want: true},
+		},
+	}
+}
+
+func progE21RacyPublication() ProgramEntry {
+	p := &prog.Program{
+		Name: "racy-publication",
+		Locs: []string{"x", "y", "q"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				w("x", 1),
+				atomic("a", w("y", 1)),
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				w("q", 2),
+				atomic("b",
+					r("r", "x"),
+					r("s", "y"),
+					ifnz(prog.Reg("s"), prog.Write{Loc: prog.At("q"), Val: prog.Reg("r")}),
+				),
+			}},
+		},
+	}
+	return ProgramEntry{
+		ID: "E21", Ref: "Example 3.3", Title: "benign racy publication is rejected", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "final q=0 forbidden", Model: core.Programmer, Outcome: memEq("q", 0), Want: false},
+			{Desc: "final q=1 reachable", Model: core.Programmer, Outcome: memEq("q", 1), Want: true},
+			{Desc: "final q=2 reachable", Model: core.Programmer, Outcome: memEq("q", 2), Want: true},
+		},
+	}
+}
+
+func progE22EagerVersioning() ProgramEntry {
+	p := &prog.Program{
+		Name: "eager-versioning",
+		Locs: []string{"x", "y"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				atomic("a",
+					r("r0", "y"),
+					ifnz(prog.Not{E: prog.Reg("r0")}, w("x", 1), prog.AbortStmt{}),
+				),
+				atomic("b",
+					r("r1", "y"),
+					ifnz(prog.Not{E: prog.Reg("r1")}, w("x", 1)),
+				),
+				r("r", "x"),
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				w("x", 2),
+				w("y", 1),
+				r("q", "x"),
+			}},
+		},
+	}
+	return ProgramEntry{
+		ID: "E22", Ref: "Example 3.4", Title: "no speculative lost update", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "q=0 forbidden (Wx2 is not lost)", Model: core.Programmer,
+				Outcome: regEq("t2.q", 0), Want: false},
+			{Desc: "q=2 reachable", Model: core.Programmer, Outcome: regEq("t2.q", 2), Want: true},
+			{Desc: "r=2 reachable", Model: core.Programmer, Outcome: regEq("t1.r", 2), Want: true},
+			{Desc: "r=0 reachable", Model: core.Programmer, Outcome: regEq("t1.r", 0), Want: true},
+			{Desc: "q=0 forbidden even in implementation model", Model: core.Implementation,
+				Outcome: regEq("t2.q", 0), Want: false},
+		},
+	}
+}
+
+func progE23LazyVersioning() ProgramEntry {
+	p := &prog.Program{
+		Name:     "lazy-versioning",
+		Locs:     []string{"x", "z[0]", "z[1]", "z[2]", "z[42]"},
+		Universe: []int{0, 1, 2, 42},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				atomic("a", r("r", "x"), w("x", 42)),
+				prog.Read{RegName: "r1", Loc: prog.AtIdx("z", prog.Reg("r"))},
+				prog.Read{RegName: "r2", Loc: prog.AtIdx("z", prog.Reg("r"))},
+				prog.Write{Loc: prog.AtIdx("z", prog.Reg("r")), Val: prog.Const(0)},
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				atomic("b",
+					r("q", "x"),
+					ifnz(prog.Bin{Op: prog.OpNe, L: prog.Reg("q"), R: prog.Const(42)},
+						prog.Read{RegName: "s", Loc: prog.AtIdx("z", prog.Reg("q"))},
+						prog.Write{Loc: prog.AtIdx("z", prog.Reg("q")),
+							Val: prog.Bin{Op: prog.OpAdd, L: prog.Reg("s"), R: prog.Const(1)}},
+					),
+				),
+			}},
+		},
+	}
+	neq := func(o *exec.Outcome) bool { return o.Regs["t1.r1"] != o.Regs["t1.r2"] }
+	return ProgramEntry{
+		ID: "E23", Ref: "Example 3.5", Title: "lazy versioning privatization of an array cell", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "final z[0]≠0 forbidden (Atomww)", Model: core.Programmer,
+				Outcome: func(o *exec.Outcome) bool { return o.Mem["z[0]"] != 0 }, Want: false},
+			{Desc: "r1≠r2 forbidden under Atomrw variant", Model: core.Variant(core.HBrw),
+				Outcome: neq, Want: false},
+			{Desc: "r1≠r2 admitted by base programmer model", Model: core.Programmer,
+				Outcome: neq, Want: true},
+			{Desc: "final z[0]≠0 allowed in implementation model", Model: core.Implementation,
+				Outcome: func(o *exec.Outcome) bool { return o.Mem["z[0]"] != 0 }, Want: true},
+		},
+	}
+}
+
+func progE24LDRFPublication() ProgramEntry {
+	p := &prog.Program{
+		Name: "ldrf-publication",
+		Locs: []string{"x", "y", "F", "z"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				w("x", 1),
+				w("y", 1),
+				atomic("a", w("F", 1)),
+				w("z", 1),
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				w("y", 2),
+				atomic("b", r("r", "F")),
+				w("z", 2),
+				ifnz(prog.Reg("r"),
+					r("rx", "x"),
+					r("ry1", "y"),
+					r("ry2", "y"),
+				),
+			}},
+		},
+	}
+	return ProgramEntry{
+		ID: "E24", Ref: "§4", Title: "local reasoning past y and z races", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "r=1 implies x published and y reads agree", Model: core.Programmer,
+				Outcome: func(o *exec.Outcome) bool {
+					return o.Regs["t2.r"] == 1 &&
+						(o.Regs["t2.rx"] != 1 || o.Regs["t2.ry1"] != o.Regs["t2.ry2"])
+				},
+				Want: false},
+			{Desc: "r=1 with published values reachable", Model: core.Programmer,
+				Outcome: func(o *exec.Outcome) bool {
+					return o.Regs["t2.r"] == 1 && o.Regs["t2.rx"] == 1 &&
+						o.Regs["t2.ry1"] == o.Regs["t2.ry2"]
+				},
+				Want: true},
+			{Desc: "races on y exist", Model: core.Programmer,
+				Exec: func(x *event.Execution) bool {
+					return len(core.GraphRaces(x, core.Programmer, core.LocSet(x, "y"))) > 0
+				},
+				Want: true},
+		},
+	}
+}
+
+func progE28FencedPrivatization() ProgramEntry {
+	p := PrivatizationProgram(true)
+	return ProgramEntry{
+		ID: "E28", Ref: "§5", Title: "privatization with quiescence fence", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "final x=1 forbidden (implementation, fenced)", Model: core.Implementation,
+				Outcome: memEq("x", 1), Want: false},
+			{Desc: "final x=2 reachable", Model: core.Implementation,
+				Outcome: memEq("x", 2), Want: true},
+			{Desc: "mixed race gone (implementation, fenced)", Model: core.Implementation,
+				Exec: hasMixedRace(core.Implementation), Want: false},
+		},
+	}
+}
+
+func progE30OpaqueWrites() ProgramEntry {
+	p := &prog.Program{
+		Name: "opaque-writes",
+		Locs: []string{"x"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{atomic("a", w("x", 1), prog.AbortStmt{})}},
+			{Name: "t2", Body: []prog.Stmt{atomic("b", r("r", "x"))}},
+		},
+	}
+	return ProgramEntry{
+		ID: "E30", Ref: "Example D.1", Title: "opaque writes", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "r=1 forbidden (WF7)", Model: core.Programmer, Outcome: regEq("t2.r", 1), Want: false},
+			{Desc: "r=0 reachable", Model: core.Programmer, Outcome: regEq("t2.r", 0), Want: true},
+		},
+	}
+}
+
+func progE31RaceFreeSpeculation() ProgramEntry {
+	incr := func(loc string) []prog.Stmt {
+		return []prog.Stmt{
+			prog.Read{RegName: "t" + loc, Loc: prog.At(loc)},
+			prog.Write{Loc: prog.At(loc), Val: prog.Bin{Op: prog.OpAdd, L: prog.Reg("t" + loc), R: prog.Const(1)}},
+		}
+	}
+	body := append(incr("x"), incr("y")...)
+	p := &prog.Program{
+		Name:     "race-free-speculation",
+		Locs:     []string{"x", "y", "z"},
+		Universe: []int{0, 1, 2},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{prog.Atomic{Name: "a", Body: body}}},
+			{Name: "t2", Body: []prog.Stmt{
+				atomic("b",
+					r("bx", "x"),
+					r("by", "y"),
+					ifnz(prog.Bin{Op: prog.OpNe, L: prog.Reg("bx"), R: prog.Reg("by")},
+						w("z", 1),
+						prog.AbortStmt{},
+					),
+				),
+			}},
+			{Name: "t3", Body: []prog.Stmt{
+				w("z", 2),
+				r("r", "z"),
+			}},
+		},
+	}
+	return ProgramEntry{
+		ID: "E31", Ref: "Example D.2", Title: "race-free speculation", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "r=2 is the only outcome", Model: core.Programmer,
+				Outcome: func(o *exec.Outcome) bool { return o.Regs["t3.r"] != 2 }, Want: false},
+			{Desc: "r=2 reachable", Model: core.Programmer, Outcome: regEq("t3.r", 2), Want: true},
+			{Desc: "transaction b never observes x≠y", Model: core.Programmer,
+				Exec: func(x *event.Execution) bool {
+					for _, e := range x.Events {
+						if e.Kind == event.KWrite && e.Tx != event.NoTx &&
+							x.TxName[e.Tx] == "b" && x.Locs[e.Loc] == "z" {
+							return true
+						}
+					}
+					return false
+				},
+				Want: false},
+		},
+	}
+}
+
+func progE32DirtyReads() ProgramEntry {
+	p := &prog.Program{
+		Name: "dirty-reads",
+		Locs: []string{"x", "y"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				atomic("a",
+					r("r", "y"),
+					ifnz(prog.Not{E: prog.Reg("r")}, w("x", 1), prog.AbortStmt{}),
+				),
+				atomic("b",
+					r("s", "y"),
+					ifnz(prog.Not{E: prog.Reg("s")}, w("x", 1)),
+				),
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				r("q", "x"),
+				ifnz(prog.Bin{Op: prog.OpEq, L: prog.Reg("q"), R: prog.Const(1)}, w("y", 1)),
+			}},
+		},
+	}
+	return ProgramEntry{
+		ID: "E32", Ref: "Example D.3", Title: "dirty reads", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "x=0 ∧ y=1 forbidden", Model: core.Programmer,
+				Outcome: func(o *exec.Outcome) bool { return o.Mem["x"] == 0 && o.Mem["y"] == 1 },
+				Want:    false},
+			{Desc: "x=1 ∧ y=1 reachable", Model: core.Programmer,
+				Outcome: func(o *exec.Outcome) bool { return o.Mem["x"] == 1 && o.Mem["y"] == 1 },
+				Want:    true},
+			{Desc: "x=1 ∧ y=0 reachable", Model: core.Programmer,
+				Outcome: func(o *exec.Outcome) bool { return o.Mem["x"] == 1 && o.Mem["y"] == 0 },
+				Want:    true},
+		},
+	}
+}
+
+func progE33OverlappedWrites() ProgramEntry {
+	p := &prog.Program{
+		Name:     "overlapped-writes",
+		Locs:     []string{"x", "y", "z[1]", "z[4]"},
+		Universe: []int{0, 1, 4},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				atomic("a", w("y", 4), w("z[4]", 1), w("x", 4)),
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				prog.Let{RegName: "r", Val: prog.Const(1)},
+				atomic("q", r("q", "x")),
+				ifnz(prog.Bin{Op: prog.OpNe, L: prog.Reg("q"), R: prog.Const(0)},
+					prog.Read{RegName: "r", Loc: prog.AtIdx("z", prog.Reg("q"))},
+				),
+			}},
+		},
+	}
+	return ProgramEntry{
+		ID: "E33", Ref: "Example D.4", Title: "no overlapped writes", Prog: p,
+		Checks: []ProgramCheck{
+			{Desc: "r=0 forbidden", Model: core.Programmer, Outcome: regEq("t2.r", 0), Want: false},
+			{Desc: "r=1 reachable", Model: core.Programmer, Outcome: regEq("t2.r", 1), Want: true},
+			{Desc: "r=0 forbidden in implementation model too", Model: core.Implementation,
+				Outcome: regEq("t2.r", 0), Want: false},
+		},
+	}
+}
+
+// --- predicate helpers ---
+
+func memEq(loc string, v int) func(*exec.Outcome) bool {
+	return func(o *exec.Outcome) bool { return o.Mem[loc] == v }
+}
+
+func regEq(reg string, v int) func(*exec.Outcome) bool {
+	return func(o *exec.Outcome) bool { return o.Regs[reg] == v }
+}
+
+func regsEq(want map[string]int) func(*exec.Outcome) bool {
+	return func(o *exec.Outcome) bool {
+		for k, v := range want {
+			if o.Regs[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func hasMixedRace(cfg core.Config) func(*event.Execution) bool {
+	return func(x *event.Execution) bool { return !core.MixedRaceFree(x, cfg) }
+}
+
+func hasRace(cfg core.Config) func(*event.Execution) bool {
+	return func(x *event.Execution) bool { return len(core.GraphRaces(x, cfg, nil)) > 0 }
+}

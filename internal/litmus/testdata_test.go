@@ -1,0 +1,91 @@
+package litmus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"modtx/internal/core"
+	"modtx/internal/exec"
+	"modtx/internal/prog"
+)
+
+// TestLitFiles parses every testdata litmus file and checks its headline
+// verdict, exercising the parser → enumerator pipeline end to end.
+func TestLitFiles(t *testing.T) {
+	expectations := map[string]struct {
+		model   core.Config
+		desc    string
+		pred    func(*exec.Outcome) bool
+		allowed bool
+	}{
+		"privatization.lit": {
+			model: core.Programmer, desc: "final x=1 forbidden",
+			pred:    func(o *exec.Outcome) bool { return o.Mem["x"] == 1 },
+			allowed: false,
+		},
+		"publication.lit": {
+			model: core.Programmer, desc: "final z=0 forbidden",
+			pred:    func(o *exec.Outcome) bool { return o.Mem["z"] == 0 },
+			allowed: false,
+		},
+		"mp-mixed.lit": {
+			model: core.Programmer, desc: "flag seen but payload stale forbidden",
+			pred: func(o *exec.Outcome) bool {
+				return o.Regs["t2.r"] == 1 && o.Regs["t2.q"] == 0
+			},
+			allowed: false,
+		},
+		"fenced-privatization.lit": {
+			model: core.Implementation, desc: "final x=1 forbidden with fence",
+			pred:    func(o *exec.Outcome) bool { return o.Mem["x"] == 1 },
+			allowed: false,
+		},
+		"dekker-tx.lit": {
+			model: core.Programmer, desc: "transactional both-read-zero forbidden",
+			pred: func(o *exec.Outcome) bool {
+				return o.Regs["t1.r"] == 0 && o.Regs["t2.q"] == 0
+			},
+			allowed: false,
+		},
+	}
+	files, err := filepath.Glob("testdata/*.lit")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata files: %v", err)
+	}
+	if len(files) != len(expectations) {
+		t.Fatalf("have %d files but %d expectations", len(files), len(expectations))
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := prog.Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			ex, ok := expectations[filepath.Base(file)]
+			if !ok {
+				t.Fatalf("no expectation for %s", file)
+			}
+			got, err := exec.Allowed(p, ex.model, ex.pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ex.allowed {
+				t.Errorf("%s: allowed=%v, want %v", ex.desc, got, ex.allowed)
+			}
+			// Sanity: the program has at least one reachable outcome.
+			outs, err := exec.Outcomes(p, ex.model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(outs) == 0 {
+				t.Error("no reachable outcomes")
+			}
+		})
+	}
+}

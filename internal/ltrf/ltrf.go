@@ -1,0 +1,168 @@
+// Package ltrf implements the machinery of §4 of the paper — L-sequential
+// actions, L-stable prefixes, their transactional variants, causal closure
+// — and bounded checkers for the paper's metatheory: the SC-LTRF theorem
+// (Theorem 4.1), removal of aborted transactions (Theorem 4.2), the
+// suborder decomposition of happens-before (Lemma C.1) and the suborder
+// characterization of consistency (Lemma C.2).
+//
+// All definitions are evaluated on the trace view of an execution: the
+// event ID order is the paper's index order.
+package ltrf
+
+import (
+	"modtx/internal/core"
+	"modtx/internal/event"
+	"modtx/internal/rel"
+)
+
+// touchesL reports whether the event accesses a location in L
+// (nil L means all locations).
+func touchesL(x *event.Execution, L map[int]bool, id int) bool {
+	e := x.Ev(id)
+	if e.Kind != event.KRead && e.Kind != event.KWrite {
+		return false
+	}
+	return L == nil || L[e.Loc]
+}
+
+// LSequential implements §4: action c is L-sequential if it does not touch
+// L, or is a begin/commit/abort action, or
+//
+//  1. there is no b index→ c such that c ww→ b (writes: the chosen
+//     timestamp exceeds all preceding timestamps), and
+//  2. if a wr→ c then there is no b index→ c such that a ww→ b (reads:
+//     c reads the preceding write with the largest timestamp).
+func LSequential(x *event.Execution, L map[int]bool, c int) bool {
+	e := x.Ev(c)
+	if !touchesL(x, L, c) {
+		return true
+	}
+	ww := x.WWRel()
+	switch e.Kind {
+	case event.KWrite:
+		for b := 0; b < c; b++ {
+			if ww.Has(c, b) {
+				return false
+			}
+		}
+	case event.KRead:
+		a, ok := x.WR[c]
+		if !ok {
+			return false // unfulfilled reads are not sequential
+		}
+		for b := 0; b < c; b++ {
+			if ww.Has(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LWeak is the negation of LSequential for actions that touch L.
+func LWeak(x *event.Execution, L map[int]bool, c int) bool {
+	return !LSequential(x, L, c)
+}
+
+// AllLSequential reports whether every action of the trace is L-sequential.
+func AllLSequential(x *event.Execution, L map[int]bool) bool {
+	for id := 0; id < x.N(); id++ {
+		if !LSequential(x, L, id) {
+			return false
+		}
+	}
+	return true
+}
+
+// TransactionallyLSequential reports whether the trace is transactionally
+// L-sequential (§4): every action is L-sequential and every transaction is
+// contiguous.
+func TransactionallyLSequential(x *event.Execution, L map[int]bool) bool {
+	return AllLSequential(x, L) && event.AllContiguous(x)
+}
+
+// LRaceBetween reports whether (b, c) is an L-race in the trace (§4):
+// b and c are in L-conflict, b index→ c, and not b hb→ c.
+func LRaceBetween(x *event.Execution, cfg core.Config, L map[int]bool, b, c int) bool {
+	if b >= c || !core.LConflict(x, L, b, c) {
+		return false
+	}
+	hb := core.HB(core.Derive(x), cfg)
+	return !hb.Has(b, c)
+}
+
+// LRaces returns all L-races of the trace.
+func LRaces(x *event.Execution, cfg core.Config, L map[int]bool) []core.Race {
+	return core.TraceRaces(x, cfg, L)
+}
+
+// CausalClosure computes σ ↓ a (supplementary material §A): the
+// subsequence of x obtained by removing every event that causally follows
+// a, i.e. b is removed iff a (hb ∪ lwr ∪ xrw)⁺ b. Note a itself survives.
+func CausalClosure(x *event.Execution, cfg core.Config, a int) *event.Execution {
+	r := core.Derive(x)
+	hb := core.HB(r, cfg)
+	causal := rel.UnionOf(hb, r.LWR, r.XRW).TransitiveClosure()
+	return x.Subsequence(func(id int) bool { return !causal.Has(a, id) })
+}
+
+// CausalClosureSet removes the causal upclosure of every event in as.
+func CausalClosureSet(x *event.Execution, cfg core.Config, as []int) *event.Execution {
+	r := core.Derive(x)
+	hb := core.HB(r, cfg)
+	causal := rel.UnionOf(hb, r.LWR, r.XRW).TransitiveClosure()
+	return x.Subsequence(func(id int) bool {
+		for _, a := range as {
+			if causal.Has(a, id) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Fingerprint identifies an action across traces of the same program:
+// thread id plus position within the thread. The paper's act∼ relation
+// additionally fixes kind and location while allowing the value and
+// timestamp to differ.
+type Fingerprint struct {
+	Thread int
+	Pos    int
+}
+
+// FingerprintOf computes the fingerprint of an event.
+func FingerprintOf(x *event.Execution, id int) Fingerprint {
+	th := x.Ev(id).Thread
+	pos := 0
+	for i := 0; i < id; i++ {
+		if x.Ev(i).Thread == th {
+			pos++
+		}
+	}
+	return Fingerprint{Thread: th, Pos: pos}
+}
+
+// ActSim implements act∼ across two traces: same thread, same per-thread
+// position, same kind and same location (value and timestamp free).
+func ActSim(x1 *event.Execution, id1 int, x2 *event.Execution, id2 int) bool {
+	e1, e2 := x1.Ev(id1), x2.Ev(id2)
+	if e1.Kind != e2.Kind || e1.Loc != e2.Loc {
+		return false
+	}
+	return FingerprintOf(x1, id1) == FingerprintOf(x2, id2)
+}
+
+// FindByFingerprint returns the event of x with the given fingerprint, or -1.
+func FindByFingerprint(x *event.Execution, f Fingerprint) int {
+	pos := 0
+	for id := 0; id < x.N(); id++ {
+		if x.Ev(id).Thread != f.Thread {
+			continue
+		}
+		if pos == f.Pos {
+			return id
+		}
+		pos++
+	}
+	return -1
+}

@@ -1,0 +1,382 @@
+package ltrf
+
+import (
+	"testing"
+
+	"modtx/internal/core"
+	"modtx/internal/event"
+	"modtx/internal/exec"
+	"modtx/internal/litmus"
+	"modtx/internal/prog"
+)
+
+// --- small programs used for Σ generation ---
+
+func miniMixed() *prog.Program {
+	// x:=1 || atomic{r:=x} — one mixed race.
+	return &prog.Program{
+		Name: "mini-mixed",
+		Locs: []string{"x"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{prog.Write{Loc: prog.At("x"), Val: prog.Const(1)}}},
+			{Name: "t2", Body: []prog.Stmt{
+				prog.Atomic{Name: "a", Body: []prog.Stmt{prog.Read{RegName: "r", Loc: prog.At("x")}}},
+			}},
+		},
+	}
+}
+
+func miniPrivatization() *prog.Program {
+	return litmus.PrivatizationProgram(false)
+}
+
+func miniPublication() *prog.Program {
+	// x:=1; atomic{y:=1} || atomic{r:=y}; q:=x
+	return &prog.Program{
+		Name: "mini-publication",
+		Locs: []string{"x", "y"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				prog.Write{Loc: prog.At("x"), Val: prog.Const(1)},
+				prog.Atomic{Name: "a", Body: []prog.Stmt{prog.Write{Loc: prog.At("y"), Val: prog.Const(1)}}},
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				prog.Atomic{Name: "b", Body: []prog.Stmt{prog.Read{RegName: "r", Loc: prog.At("y")}}},
+				prog.Read{RegName: "q", Loc: prog.At("x")},
+			}},
+		},
+	}
+}
+
+func storeBuffering() *prog.Program {
+	return &prog.Program{
+		Name: "sb",
+		Locs: []string{"x", "y"},
+		Threads: []prog.Thread{
+			{Name: "t1", Body: []prog.Stmt{
+				prog.Write{Loc: prog.At("x"), Val: prog.Const(1)},
+				prog.Read{RegName: "r", Loc: prog.At("y")},
+			}},
+			{Name: "t2", Body: []prog.Stmt{
+				prog.Write{Loc: prog.At("y"), Val: prog.Const(1)},
+				prog.Read{RegName: "q", Loc: prog.At("x")},
+			}},
+		},
+	}
+}
+
+func genTraces(t *testing.T, p *prog.Program) *TraceSet {
+	t.Helper()
+	ts, err := GenerateTraces(p, core.Programmer, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Traces) == 0 {
+		t.Fatal("empty trace set")
+	}
+	return ts
+}
+
+func TestLSequentialBasics(t *testing.T) {
+	// A read of the latest write is sequential; a stale read is weak.
+	b := event.NewBuilder("x")
+	t1 := b.Thread()
+	w1 := t1.W("x", 1)
+	w2 := t1.W("x", 2)
+	t2 := b.Thread()
+	rStale := t2.R("x", 1)
+	rFresh := t2.R("x", 2)
+	b.WWOrder("x", w1, w2)
+	b.RF(w1, rStale)
+	b.RF(w2, rFresh)
+	x := b.MustBuild()
+	if LSequential(x, nil, rStale) {
+		t.Error("stale read must be L-weak")
+	}
+	if !LSequential(x, nil, rFresh) {
+		t.Error("fresh read must be L-sequential")
+	}
+	// Writes: w1 precedes w2 in trace and timestamp: both sequential.
+	if !LSequential(x, nil, w1) || !LSequential(x, nil, w2) {
+		t.Error("in-order writes must be L-sequential")
+	}
+	// An out-of-timestamp-order write is weak.
+	b2 := event.NewBuilder("x")
+	u1 := b2.Thread()
+	v2 := u1.W("x", 2)
+	u2 := b2.Thread()
+	v1 := u2.W("x", 1)
+	b2.WWOrder("x", v1, v2)
+	y := b2.MustBuild()
+	if LSequential(y, nil, v1) {
+		t.Error("write with timestamp below an earlier write must be L-weak")
+	}
+	_ = v2
+	// Restricting L to another location makes everything sequential.
+	if !AllLSequential(x, map[int]bool{99: true}) {
+		t.Error("actions not touching L are L-sequential")
+	}
+}
+
+func TestLWeakImpliesRace(t *testing.T) {
+	// Lemma A.4: an L-weak action at the end of a consistent trace
+	// participates in an L-race. Checked over Σ of the mixed program.
+	ts := genTraces(t, miniMixed())
+	for i, tau := range ts.Traces {
+		last := tau.N() - 1
+		if !LWeak(tau, nil, last) {
+			continue
+		}
+		races := LRaces(tau, ts.Config, nil)
+		found := false
+		for _, r := range races {
+			if r.B == last {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("trace %d: L-weak final action without an L-race\n%s", i, event.Pretty(tau))
+		}
+	}
+}
+
+func TestCausalClosure(t *testing.T) {
+	x := func() *event.Execution {
+		b := event.NewBuilder("x", "y")
+		t1 := b.Thread()
+		t1.Begin("a")
+		t1.W("x", 1)
+		t1.Commit()
+		t2 := b.Thread()
+		t2.Begin("b")
+		t2.R("x", 1)
+		t2.W("y", 1)
+		t2.Commit()
+		return b.MustBuild()
+	}()
+	// Closing under the transactional write removes the reading transaction.
+	var wx int
+	for _, e := range x.Events {
+		if e.Kind == event.KWrite && e.Val == 1 && x.Locs[e.Loc] == "x" && !x.IsInit(e.ID) {
+			wx = e.ID
+		}
+	}
+	y := CausalClosure(x, core.Programmer, wx)
+	for _, e := range y.Events {
+		if e.Kind == event.KRead && y.Locs[e.Loc] == "x" {
+			t.Error("causal successor (reading transaction) survived closure")
+		}
+	}
+	// The pivot itself survives.
+	found := false
+	for _, e := range y.Events {
+		if e.Kind == event.KWrite && y.Locs[e.Loc] == "x" && e.Val == 1 && !y.IsInit(e.ID) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("pivot removed by its own closure")
+	}
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateTracesShape(t *testing.T) {
+	ts := genTraces(t, miniMixed())
+	for i, tau := range ts.Traces {
+		if !event.IsWellFormed(tau) {
+			t.Fatalf("trace %d not well-formed", i)
+		}
+		if !core.Consistent(tau, ts.Config) {
+			t.Fatalf("trace %d not consistent", i)
+		}
+	}
+	// Prefix closure: every proper prefix of every trace is in Σ.
+	for _, tau := range ts.Traces {
+		for k := ts.InitLen; k < tau.N(); k++ {
+			if !ts.Contains(tau.Prefix(k)) {
+				t.Fatalf("prefix of length %d missing from Σ", k)
+			}
+		}
+	}
+}
+
+func TestTheorem41(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *prog.Program
+		locs []string // L; nil = all
+	}{
+		{"mini-mixed/all", miniMixed(), nil},
+		{"mini-publication/all", miniPublication(), nil},
+		{"mini-publication/x", miniPublication(), []string{"x"}},
+		{"store-buffering/all", storeBuffering(), nil},
+		{"privatization/all", miniPrivatization(), nil},
+		{"privatization/x", miniPrivatization(), []string{"x"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			ts := genTraces(t, c.prog)
+			var L map[int]bool
+			if c.locs != nil {
+				L = core.LocSet(ts.Traces[0], c.locs...)
+			}
+			checked, cexs := ts.CheckTheorem41(L)
+			if len(cexs) > 0 {
+				t.Fatalf("SC-LTRF counterexample (checked %d):\n%s", checked, cexs[0])
+			}
+			if checked == 0 {
+				t.Logf("note: no decomposition satisfied the hypotheses (|Σ|=%d)", len(ts.Traces))
+			} else {
+				t.Logf("theorem verified on %d decompositions (|Σ|=%d)", checked, len(ts.Traces))
+			}
+		})
+	}
+}
+
+func TestTheorem42OverTraceSets(t *testing.T) {
+	for _, p := range []*prog.Program{miniMixed(), miniPublication(), storeBuffering()} {
+		ts := genTraces(t, p)
+		checked, failures := ts.CheckTheorem42()
+		if len(failures) > 0 {
+			t.Errorf("%s: aborted-removal broke consistency on %d/%d traces", p.Name, len(failures), checked)
+		}
+	}
+}
+
+func TestLemmaC1OnCatalog(t *testing.T) {
+	for _, f := range litmus.Figures() {
+		x := f.Build()
+		hasFence := false
+		for _, e := range x.Events {
+			if e.Kind == event.KFence {
+				hasFence = true
+			}
+		}
+		if hasFence {
+			continue // HBCQ/HBQB edges are outside the decomposition
+		}
+		missing, extra := CheckLemmaC1(x)
+		if len(missing) > 0 || len(extra) > 0 {
+			t.Errorf("%s: hb ≠ init ∪ hbe ∪ po (missing %v, extra %v)", f.ID, missing, extra)
+		}
+	}
+}
+
+func TestLemmaC1OnEnumerated(t *testing.T) {
+	for _, p := range []*prog.Program{miniPublication(), miniPrivatization(), storeBuffering()} {
+		n := 0
+		_, err := exec.Enumerate(p, exec.Options{
+			Config: core.Implementation,
+			Visit: func(x *event.Execution, _ *exec.Outcome) bool {
+				missing, extra := CheckLemmaC1(x)
+				if len(missing) > 0 || len(extra) > 0 {
+					t.Errorf("%s: decomposition mismatch (missing %v, extra %v)\n%s",
+						p.Name, missing, extra, event.Pretty(x))
+					return false
+				}
+				n++
+				return true
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Errorf("%s: no executions checked", p.Name)
+		}
+	}
+}
+
+func TestLemmaC2Equivalence(t *testing.T) {
+	// The suborder characterization must agree with the axiom-based
+	// implementation-model consistency on every catalog figure (consistent
+	// and inconsistent alike) and on coherence-perturbed variants.
+	for _, f := range litmus.Figures() {
+		x := f.Build()
+		hasFence := false
+		for _, e := range x.Events {
+			if e.Kind == event.KFence {
+				hasFence = true
+			}
+		}
+		if hasFence {
+			continue
+		}
+		want := core.Consistent(x, core.Implementation)
+		got := ConsistentBySuborders(x)
+		if got != want {
+			t.Errorf("%s: suborder consistency %v, axiom consistency %v", f.ID, got, want)
+		}
+	}
+}
+
+func TestLemma51(t *testing.T) {
+	// Over all implementation-consistent executions of the catalog's core
+	// programs: mixed-race-freedom transfers consistency to the programmer
+	// model.
+	progs := []*prog.Program{
+		miniPublication(),
+		miniPrivatization(),
+		litmus.PrivatizationProgram(true), // fenced variant
+		storeBuffering(),
+	}
+	applicable := 0
+	for _, p := range progs {
+		_, err := exec.Enumerate(p, exec.Options{
+			Config: core.Implementation,
+			Visit: func(x *event.Execution, _ *exec.Outcome) bool {
+				app, holds := CheckLemma51(x)
+				if app {
+					applicable++
+					if !holds {
+						t.Errorf("%s: Lemma 5.1 violated\n%s", p.Name, event.Pretty(x))
+						return false
+					}
+				}
+				return true
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if applicable == 0 {
+		t.Error("Lemma 5.1 hypotheses never held; test is vacuous")
+	} else {
+		t.Logf("Lemma 5.1 verified on %d executions", applicable)
+	}
+}
+
+func TestFingerprints(t *testing.T) {
+	x := privExec()
+	y := privExec()
+	for id := 0; id < x.N(); id++ {
+		if !ActSim(x, id, y, id) {
+			t.Errorf("event %d not act-similar to itself across identical traces", id)
+		}
+		f := FingerprintOf(x, id)
+		if got := FindByFingerprint(y, f); got != id {
+			t.Errorf("fingerprint roundtrip: %d → %d", id, got)
+		}
+	}
+}
+
+func privExec() *event.Execution {
+	b := event.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.R("y", 0)
+	wx1 := t1.W("x", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.W("y", 1)
+	t2.Commit()
+	wx2 := t2.W("x", 2)
+	b.WWOrder("x", wx1, wx2)
+	return b.MustBuild()
+}

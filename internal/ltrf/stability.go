@@ -1,0 +1,120 @@
+package ltrf
+
+import (
+	"fmt"
+	"sort"
+
+	"modtx/internal/core"
+	"modtx/internal/event"
+)
+
+// LStable implements §4: a trace σ (given as trace index into Σ, or as a
+// prefix of other traces by token matching) is L-stable for Σ if for every
+// L-sequential δ such that σδ ∈ Σ, there is no a ∈ σ, b ∈ δ such that
+// (a, b) is an L-race.
+//
+// sigma must itself be a member of Σ (its tokens are matched literally).
+func (ts *TraceSet) LStable(sigma *event.Execution, L map[int]bool) bool {
+	prefix := Signature(sigma)
+	n := sigma.N()
+	for _, i := range ts.ExtensionsOf(prefix) {
+		tau := ts.Traces[i]
+		if tau.N() == n {
+			continue
+		}
+		// δ = tau[n:]; require every δ action L-sequential in tau.
+		seq := true
+		for id := n; id < tau.N(); id++ {
+			if !LSequential(tau, L, id) {
+				seq = false
+				break
+			}
+		}
+		if !seq {
+			continue
+		}
+		// No L-race between a ∈ σ and b ∈ δ.
+		hb := ts.hbOf(i)
+		for a := 0; a < n; a++ {
+			for b := n; b < tau.N(); b++ {
+				if core.LConflict(tau, L, a, b) && !hb.Has(a, b) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TransactionallyLStable implements §4: σ is transactionally L-stable for
+// Σ if it is L-stable, every transaction of σ is contiguous and resolved,
+// and no extension σδ ∈ Σ contains an action β touching L with β xrw→ α
+// for some α ∈ σ (new conflicting transactions must serialize afterwards;
+// see Example A.1).
+func (ts *TraceSet) TransactionallyLStable(sigma *event.Execution, L map[int]bool) bool {
+	key := sigKey(sigma, L)
+	if ts.stableCache == nil {
+		ts.stableCache = make(map[string]bool)
+	}
+	if v, ok := ts.stableCache[key]; ok {
+		return v
+	}
+	v := ts.transactionallyLStable(sigma, L)
+	ts.stableCache[key] = v
+	return v
+}
+
+func sigKey(x *event.Execution, L map[int]bool) string {
+	locs := make([]int, 0, len(L))
+	for loc := range L {
+		locs = append(locs, loc)
+	}
+	sort.Ints(locs)
+	key := fmt.Sprintf("%v|", locs)
+	for _, t := range Signature(x) {
+		key += t + " "
+	}
+	return key
+}
+
+func (ts *TraceSet) transactionallyLStable(sigma *event.Execution, L map[int]bool) bool {
+	if !ts.LStable(sigma, L) {
+		return false
+	}
+	if !event.AllContiguous(sigma) {
+		return false
+	}
+	// Every transaction of σ must be resolved. Status entries for
+	// transactions without events here (cut away by Prefix) are ignored.
+	present := make([]bool, sigma.NTx())
+	for _, e := range sigma.Events {
+		if e.Tx != event.NoTx {
+			present[e.Tx] = true
+		}
+	}
+	for tx, st := range sigma.TxStatus {
+		if present[tx] && st == event.Live {
+			return false
+		}
+	}
+	prefix := Signature(sigma)
+	n := sigma.N()
+	for _, i := range ts.ExtensionsOf(prefix) {
+		tau := ts.Traces[i]
+		if tau.N() == n {
+			continue
+		}
+		xrw := core.Derive(tau).XRW
+		for b := n; b < tau.N(); b++ {
+			if !touchesL(tau, L, b) {
+				continue
+			}
+			for a := 0; a < n; a++ {
+				if xrw.Has(b, a) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package ltrf
+
+import (
+	"modtx/internal/core"
+	"modtx/internal/event"
+	"modtx/internal/rel"
+)
+
+// Suborders carries the §5 decomposition of program order and the derived
+// external relations used by Lemmas C.1 and C.2.
+//
+// Following the paper, the po-suborders quantify over non-boundary actions
+// (Act \ TAct, i.e. reads/writes/fences) and never relate actions of the
+// same transaction:
+//
+//	a po-T→ b  iff a po→ b, a ≁tx b, b transactional in a writing transaction
+//	a poT-→ b  iff a po→ b, a ≁tx b, a transactional
+//	a poTT→ b  iff a poT-→ b and a po-T→ b
+//	a poRW→ b  iff a po→ b, a a read, b a write
+//	a poCon→ b iff a po→ b and a conflicts with b
+//
+// swe is the external transactional communication (cwr ∪ cww) \ po, and
+// hbe the external component of happens-before.
+//
+// Note on hbe: the paper writes hbe = po-T;(swe;poTT)?;swe;poT-. Because
+// our lifted relations are transaction-granular, two swe steps may meet at
+// the same middle transaction (enter at its read, leave from its write)
+// with no poTT step in between; we therefore compute
+//
+//	hbe = opt(po-T) ; (swe ∪ poTT)⁺ ; opt(poT-)
+//
+// which absorbs such chains (pure-poTT chains are contained in po and are
+// harmless in the unions of C.1/C.2). The C.1 test validates the
+// decomposition against the fixpoint hb on the whole catalog.
+type Suborders struct {
+	PoT   *rel.Rel // po-T
+	PoTm  *rel.Rel // poT-
+	PoTT  *rel.Rel
+	PoRW  *rel.Rel
+	PoCon *rel.Rel
+	SWE   *rel.Rel
+	HBE   *rel.Rel
+	WRE   *rel.Rel // lwr \ po
+	XRWE  *rel.Rel // xrw \ po
+}
+
+// DeriveSuborders computes the §5 suborders of the execution.
+func DeriveSuborders(x *event.Execution, r *core.Rels) *Suborders {
+	n := x.N()
+	s := &Suborders{
+		PoT:   rel.New(n),
+		PoTm:  rel.New(n),
+		PoTT:  rel.New(n),
+		PoRW:  rel.New(n),
+		PoCon: rel.New(n),
+	}
+	isBoundary := func(id int) bool {
+		switch x.Ev(id).Kind {
+		case event.KBegin, event.KCommit, event.KAbort:
+			return true
+		}
+		return false
+	}
+	writingTx := make([]bool, x.NTx())
+	for _, e := range x.Events {
+		if e.Tx != event.NoTx && e.Kind == event.KWrite {
+			writingTx[e.Tx] = true
+		}
+	}
+	r.PO.Each(func(a, b int) {
+		if isBoundary(a) || isBoundary(b) {
+			return
+		}
+		ea, eb := x.Ev(a), x.Ev(b)
+		if !x.SameTx(a, b) {
+			if eb.Tx != event.NoTx && writingTx[eb.Tx] {
+				s.PoT.Add(a, b)
+			}
+			if ea.Tx != event.NoTx {
+				s.PoTm.Add(a, b)
+			}
+		}
+		if ea.Kind == event.KRead && eb.Kind == event.KWrite {
+			s.PoRW.Add(a, b)
+		}
+		conflict := ea.Loc == eb.Loc && ea.Loc != event.NoLoc &&
+			(ea.Kind == event.KWrite || eb.Kind == event.KWrite)
+		if conflict {
+			s.PoCon.Add(a, b)
+		}
+	})
+	s.PoTT = s.PoT.Clone().Intersect(s.PoTm)
+
+	s.SWE = rel.UnionOf(r.CWR, r.CWW).Minus(r.PO)
+	s.WRE = r.LWR.Clone().Minus(r.PO)
+	s.XRWE = r.XRW.Clone().Minus(r.PO)
+
+	// hbe = opt(po-T) ; (swe ∪ poTT)⁺ ; opt(poT-)
+	mid := rel.UnionOf(s.SWE, s.PoTT).TransitiveClosure()
+	hbe := mid.Clone()
+	hbe.Union(rel.Compose(s.PoT, mid))
+	hbe.Union(rel.Compose(mid, s.PoTm))
+	hbe.Union(rel.Compose(rel.Compose(s.PoT, mid), s.PoTm))
+	s.HBE = hbe
+	return s
+}
+
+// CheckLemmaC1 verifies hb = init ∪ hbe ∪ po for the implementation model.
+// It returns the two difference sets (pairs missing from the decomposition
+// and pairs the decomposition adds); both empty means the lemma holds on
+// this execution.
+func CheckLemmaC1(x *event.Execution) (missing, extra [][2]int) {
+	r := core.Derive(x)
+	hb := core.HB(r, core.Implementation)
+	s := DeriveSuborders(x, r)
+	decomp := rel.UnionOf(r.Init, s.HBE, r.PO)
+	hb.Each(func(a, b int) {
+		if !decomp.Has(a, b) {
+			missing = append(missing, [2]int{a, b})
+		}
+	})
+	decomp.Each(func(a, b int) {
+		if !hb.Has(a, b) {
+			extra = append(extra, [2]int{a, b})
+		}
+	})
+	return missing, extra
+}
+
+// ConsistentBySuborders evaluates the Lemma C.2 characterization of
+// implementation-model consistency:
+//
+//	(hbe ∪ poT- ∪ po-T ∪ poRW ∪ wre ∪ xrwe) is acyclic
+//	((init ∪ hbe ∪ poCon) ; lww) is irreflexive
+//	((init ∪ hbe ∪ poCon) ; lrw) is irreflexive
+func ConsistentBySuborders(x *event.Execution) bool {
+	r := core.Derive(x)
+	s := DeriveSuborders(x, r)
+	if !rel.UnionOf(s.HBE, s.PoTm, s.PoT, s.PoRW, s.WRE, s.XRWE).Acyclic() {
+		return false
+	}
+	base := rel.UnionOf(r.Init, s.HBE, s.PoCon)
+	if !rel.Compose(base, r.LWW).Irreflexive() {
+		return false
+	}
+	if !rel.Compose(base, r.LRW).Irreflexive() {
+		return false
+	}
+	return true
+}
+
+// DropFences removes native quiescence-fence events (Lemma 5.1: "the
+// induced execution in the programmer model obtained by dropping all the
+// quiescence fences"). Fences encoded as sentinel-writing transactions are
+// removed as well.
+func DropFences(x *event.Execution) *event.Execution {
+	sentinelTx := make(map[int]bool)
+	for _, e := range x.Events {
+		if e.Kind == event.KWrite && e.Val == event.SentinelVal && e.Tx != event.NoTx {
+			sentinelTx[e.Tx] = true
+		}
+	}
+	return x.Subsequence(func(id int) bool {
+		e := x.Ev(id)
+		if e.Kind == event.KFence {
+			return false
+		}
+		return e.Tx == event.NoTx || !sentinelTx[e.Tx]
+	})
+}
+
+// CheckLemma51 verifies Lemma 5.1 on one execution: if x is consistent in
+// the implementation model and has no mixed races, then dropping fences
+// yields an execution consistent in the programmer model. Returns
+// (applicable, holds): applicable is false when the hypotheses fail.
+func CheckLemma51(x *event.Execution) (applicable, holds bool) {
+	if !core.Consistent(x, core.Implementation) {
+		return false, true
+	}
+	if !core.MixedRaceFree(x, core.Implementation) {
+		return false, true
+	}
+	y := DropFences(x)
+	return true, core.Consistent(y, core.Programmer)
+}

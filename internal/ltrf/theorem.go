@@ -1,0 +1,180 @@
+package ltrf
+
+import (
+	"fmt"
+
+	"modtx/internal/core"
+	"modtx/internal/event"
+)
+
+// Counterexample reports a decomposition σδγ satisfying Theorem 4.1's
+// hypotheses for which no witness race was found.
+type Counterexample struct {
+	TraceIndex int
+	Split      int
+	Gamma      int
+	Detail     string
+}
+
+func (c Counterexample) String() string {
+	return fmt.Sprintf("trace %d split %d gamma %d: %s", c.TraceIndex, c.Split, c.Gamma, c.Detail)
+}
+
+// CheckTheorem41 exhaustively checks the SC-LTRF theorem over Σ:
+//
+//	For every σδγ ∈ Σ with σ transactionally L-stable, δ transactionally
+//	L-sequential in σδ, δ free of L-races in σδ, and γ L-weak in σδγ,
+//	there exist b ∈ δ, γ′ act∼ γ and σδ′γ′ ∈ Σ such that δ′γ′ is
+//	transactionally L-sequential in σδ′γ′ and (b, γ′) is an L-race
+//	in σδ′γ′.
+//
+// Returns all hypothesis-satisfying decompositions that lack a witness
+// (the theorem predicts none). checked counts the decompositions whose
+// hypotheses held.
+func (ts *TraceSet) CheckTheorem41(L map[int]bool) (checked int, cexs []Counterexample) {
+	for ti, tau := range ts.Traces {
+		n := tau.N()
+		if n <= ts.InitLen {
+			continue
+		}
+		gamma := n - 1
+		if !LWeak(tau, L, gamma) {
+			continue
+		}
+		sigmaDelta := tau.Prefix(n - 1)
+		for split := ts.InitLen; split < n; split++ {
+			if !ts.deltaTransactionallyLSequential(sigmaDelta, split) {
+				continue
+			}
+			if ts.deltaHasLRace(sigmaDelta, split, L) {
+				continue
+			}
+			sigma := tau.Prefix(split)
+			if !ts.TransactionallyLStable(sigma, L) {
+				continue
+			}
+			checked++
+			if !ts.witnessExists(tau, split, gamma, L) {
+				cexs = append(cexs, Counterexample{
+					TraceIndex: ti,
+					Split:      split,
+					Gamma:      gamma,
+					Detail:     "no sequential extension exhibits the race\n" + event.Pretty(tau),
+				})
+			}
+		}
+	}
+	return checked, cexs
+}
+
+// deltaTransactionallyLSequential checks that every action of δ (positions
+// ≥ split) is Loc-sequential in σδ and every transaction owning a δ action
+// is contiguous. Following the theorem's use of act∼ over all locations,
+// sequentiality here is judged over all locations (Loc), matching the
+// sequentially-closed condition.
+func (ts *TraceSet) deltaTransactionallyLSequential(sigmaDelta *event.Execution, split int) bool {
+	for id := split; id < sigmaDelta.N(); id++ {
+		if !LSequential(sigmaDelta, nil, id) {
+			return false
+		}
+		if tx := sigmaDelta.Ev(id).Tx; tx != event.NoTx && !event.ContiguousTx(sigmaDelta, tx) {
+			return false
+		}
+	}
+	return true
+}
+
+// deltaHasLRace reports whether σδ contains an L-race whose later action
+// lies in δ.
+func (ts *TraceSet) deltaHasLRace(sigmaDelta *event.Execution, split int, L map[int]bool) bool {
+	hb := core.HB(core.Derive(sigmaDelta), ts.Config)
+	for b := 0; b < sigmaDelta.N(); b++ {
+		for c := max(b+1, split); c < sigmaDelta.N(); c++ {
+			if core.LConflict(sigmaDelta, L, b, c) && !hb.Has(b, c) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// witnessExists searches Σ for σδ′γ′ with γ′ act∼ γ, δ′γ′ transactionally
+// L-sequential, and an L-race (b, γ′) for some b occurring in δ (matched
+// across traces by fingerprint).
+func (ts *TraceSet) witnessExists(tau *event.Execution, split, gamma int, L map[int]bool) bool {
+	gammaFP := FingerprintOf(tau, gamma)
+	gammaEv := tau.Ev(gamma)
+	// Fingerprints of candidate b's in δ.
+	var deltaFPs []Fingerprint
+	for id := split; id < gamma; id++ {
+		deltaFPs = append(deltaFPs, FingerprintOf(tau, id))
+	}
+	prefix := Signature(tau.Prefix(split))
+	for _, i := range ts.ExtensionsOf(prefix) {
+		cand := ts.Traces[i]
+		if cand.N() <= split {
+			continue
+		}
+		last := cand.N() - 1
+		le := cand.Ev(last)
+		if le.Kind != gammaEv.Kind || le.Loc != gammaEv.Loc || FingerprintOf(cand, last) != gammaFP {
+			continue
+		}
+		// δ′γ′ transactionally L-sequential in σδ′γ′.
+		ok := true
+		for id := split; id <= last; id++ {
+			if !LSequential(cand, nil, id) {
+				ok = false
+				break
+			}
+			if tx := cand.Ev(id).Tx; tx != event.NoTx && !event.ContiguousTx(cand, tx) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// (b, γ′) is an L-race for some b from δ present in δ′.
+		hb := ts.hbOf(i)
+		for b := split; b < last; b++ {
+			fp := FingerprintOf(cand, b)
+			inDelta := false
+			for _, f := range deltaFPs {
+				if f == fp {
+					inDelta = true
+					break
+				}
+			}
+			if !inDelta {
+				continue
+			}
+			if core.LConflict(cand, L, b, last) && !hb.Has(b, last) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckTheorem42 verifies that removing aborted transactions preserves
+// consistency for every trace of Σ (Theorem 4.2).
+func (ts *TraceSet) CheckTheorem42() (checked int, failures []int) {
+	for i, tau := range ts.Traces {
+		if !core.Consistent(tau, ts.Config) {
+			continue // Σ only holds consistent traces; defensive
+		}
+		checked++
+		if !core.Consistent(tau.RemoveAborted(), ts.Config) {
+			failures = append(failures, i)
+		}
+	}
+	return checked, failures
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

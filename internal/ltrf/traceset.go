@@ -1,0 +1,224 @@
+package ltrf
+
+import (
+	"fmt"
+	"strings"
+
+	"modtx/internal/core"
+	"modtx/internal/event"
+	"modtx/internal/exec"
+	"modtx/internal/prog"
+	"modtx/internal/rel"
+)
+
+// TraceSet is a finite, explicitly enumerated program semantics Σ: the set
+// of well-formed consistent traces of a program, closed under prefixes
+// (which subsumes the operational notion of partial execution). Traces are
+// deduplicated by signature.
+type TraceSet struct {
+	Config  core.Config
+	Traces  []*event.Execution
+	sigs    map[string]int
+	tokens  [][]string // token sequence per trace (aligned with Traces)
+	InitLen int        // events of the initializing transaction
+
+	hbCache     []*rel.Rel      // memoized happens-before per trace
+	stableCache map[string]bool // memoized TransactionallyLStable by σ signature
+}
+
+// hbOf returns the memoized happens-before order of trace i.
+func (ts *TraceSet) hbOf(i int) *rel.Rel {
+	if ts.hbCache == nil {
+		ts.hbCache = make([]*rel.Rel, len(ts.Traces))
+	}
+	if ts.hbCache[i] == nil {
+		ts.hbCache[i] = core.HB(core.Derive(ts.Traces[i]), ts.Config)
+	}
+	return ts.hbCache[i]
+}
+
+// Signature renders a trace as prefix-stable tokens: one token per event.
+// Writes encode their relative coherence insertion point (the number of
+// previously placed same-location writes that are timestamp-later); reads
+// encode the fingerprint of their fulfilling write. The token sequence
+// uniquely determines the trace up to event renaming.
+func Signature(x *event.Execution) []string {
+	toks := make([]string, 0, x.N())
+	ww := x.WWRel()
+	for id := 0; id < x.N(); id++ {
+		e := x.Ev(id)
+		switch e.Kind {
+		case event.KWrite:
+			later := 0
+			for j := 0; j < id; j++ {
+				ej := x.Ev(j)
+				if ej.Kind == event.KWrite && ej.Loc == e.Loc && ww.Has(id, j) {
+					later++
+				}
+			}
+			toks = append(toks, fmt.Sprintf("t%d:W%d=%d^%d", e.Thread, e.Loc, e.Val, later))
+		case event.KRead:
+			w, ok := x.WR[id]
+			src := "?"
+			if ok {
+				f := FingerprintOf(x, w)
+				src = fmt.Sprintf("%d.%d", f.Thread, f.Pos)
+			}
+			toks = append(toks, fmt.Sprintf("t%d:R%d=%d<-%s", e.Thread, e.Loc, e.Val, src))
+		case event.KFence:
+			toks = append(toks, fmt.Sprintf("t%d:Q%d", e.Thread, e.Loc))
+		default:
+			toks = append(toks, fmt.Sprintf("t%d:%s", e.Thread, e.Kind))
+		}
+	}
+	return toks
+}
+
+// GenerateTraces enumerates Σ for the program: every well-formed
+// linearization of every consistent execution, closed under prefixes.
+// maxTraces caps the result as a safety valve (0 = 100000).
+func GenerateTraces(p *prog.Program, cfg core.Config, maxTraces int) (*TraceSet, error) {
+	if maxTraces == 0 {
+		maxTraces = 100000
+	}
+	ts := &TraceSet{
+		Config:  cfg,
+		sigs:    make(map[string]int),
+		InitLen: len(p.Locs) + 2,
+	}
+	var overflow bool
+	_, err := exec.Enumerate(p, exec.Options{
+		Config: cfg,
+		Visit: func(x *event.Execution, _ *exec.Outcome) bool {
+			g := x.Clone()
+			linearizations(g, func(tr *event.Execution) bool {
+				for k := ts.InitLen; k <= tr.N(); k++ {
+					if len(ts.Traces) >= maxTraces {
+						overflow = true
+						return false
+					}
+					ts.add(tr.Prefix(k))
+				}
+				return true
+			})
+			return !overflow
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if overflow {
+		return nil, fmt.Errorf("ltrf: trace set exceeds %d traces", maxTraces)
+	}
+	return ts, nil
+}
+
+func (ts *TraceSet) add(x *event.Execution) {
+	sig := Signature(x)
+	key := strings.Join(sig, " ")
+	if _, dup := ts.sigs[key]; dup {
+		return
+	}
+	ts.sigs[key] = len(ts.Traces)
+	ts.Traces = append(ts.Traces, x)
+	ts.tokens = append(ts.tokens, sig)
+}
+
+// Contains reports whether the trace is in Σ.
+func (ts *TraceSet) Contains(x *event.Execution) bool {
+	_, ok := ts.sigs[strings.Join(Signature(x), " ")]
+	return ok
+}
+
+// ExtensionsOf returns the indices of all traces having the given token
+// sequence as a proper or improper prefix.
+func (ts *TraceSet) ExtensionsOf(prefix []string) []int {
+	var out []int
+	for i, toks := range ts.tokens {
+		if len(toks) < len(prefix) {
+			continue
+		}
+		match := true
+		for j := range prefix {
+			if toks[j] != prefix[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Tokens returns the token sequence of trace i.
+func (ts *TraceSet) Tokens(i int) []string { return ts.tokens[i] }
+
+// ExistsWellFormedTrace reports whether the execution graph has at least
+// one well-formed linearization (WF1–WF12). This realizes the paper's
+// observation that the trace conditions WF8–WF11 are "redundant with
+// respect to consistency" — consistent graphs can be laid out as traces —
+// and is used by internal/conform to reject runtime behaviours that no
+// trace of the model explains (e.g. dirty reads of aborted writes, WF7).
+func ExistsWellFormedTrace(x *event.Execution) bool {
+	found := false
+	linearizations(x, func(*event.Execution) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// linearizations enumerates every well-formed trace ordering of the
+// execution graph: interleavings that respect program order and place
+// every write before its readers (WF8), filtered by full well-formedness.
+// yield returning false stops the enumeration.
+func linearizations(x *event.Execution, yield func(*event.Execution) bool) bool {
+	byThread := make([][]int, x.NThreads)
+	for id := 0; id < x.N(); id++ {
+		th := x.Ev(id).Thread
+		byThread[th] = append(byThread[th], id)
+	}
+	next := make([]int, x.NThreads)
+	placed := make([]bool, x.N())
+	order := make([]int, 0, x.N())
+
+	// WF1 pins the initializing transaction to the front.
+	for _, id := range byThread[event.InitThread] {
+		placed[id] = true
+		order = append(order, id)
+	}
+	next[event.InitThread] = len(byThread[event.InitThread])
+
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == x.N() {
+			tr := x.Reorder(order)
+			if event.IsWellFormed(tr) {
+				return yield(tr)
+			}
+			return true
+		}
+		for th := 1; th < x.NThreads; th++ {
+			if next[th] >= len(byThread[th]) {
+				continue
+			}
+			id := byThread[th][next[th]]
+			if w, ok := x.WR[id]; ok && !placed[w] && w != id {
+				continue // reads must follow their fulfilling write
+			}
+			next[th]++
+			placed[id] = true
+			order = append(order, id)
+			if !rec() {
+				return false
+			}
+			order = order[:len(order)-1]
+			placed[id] = false
+			next[th]--
+		}
+		return true
+	}
+	return rec()
+}

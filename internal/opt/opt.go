@@ -1,0 +1,200 @@
+// Package opt implements the §5 program transformations and a soundness
+// harness: a transformation P ⇛ Q is valid when it introduces no new
+// behaviour, i.e. every outcome of Q is an outcome of P under the model.
+// Validity is decided by exhaustive enumeration (internal/exec).
+//
+// The §5 results target the implementation model; the harness also probes
+// the programmer model, where the paper shows some reorderings fail (the
+// (‡) example).
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"modtx/internal/core"
+	"modtx/internal/exec"
+	"modtx/internal/prog"
+)
+
+// Report is the result of a soundness check.
+type Report struct {
+	Transform string
+	Model     string
+	Sound     bool
+	// NewBehaviours lists outcome keys of the transformed program that the
+	// original cannot produce (empty iff Sound).
+	NewBehaviours []string
+}
+
+func (r Report) String() string {
+	if r.Sound {
+		return fmt.Sprintf("%-22s %-14s sound", r.Transform, r.Model)
+	}
+	return fmt.Sprintf("%-22s %-14s UNSOUND (%d new behaviours, e.g. %s)",
+		r.Transform, r.Model, len(r.NewBehaviours), r.NewBehaviours[0])
+}
+
+// Sound checks behaviour inclusion outcomes(q) ⊆ outcomes(p) under cfg.
+func Sound(name string, p, q *prog.Program, cfg core.Config) (Report, error) {
+	po, err := exec.Outcomes(p, cfg)
+	if err != nil {
+		return Report{}, fmt.Errorf("opt: enumerating %s: %w", p.Name, err)
+	}
+	qo, err := exec.Outcomes(q, cfg)
+	if err != nil {
+		return Report{}, fmt.Errorf("opt: enumerating %s: %w", q.Name, err)
+	}
+	rep := Report{Transform: name, Model: cfg.Name, Sound: true}
+	for key := range qo {
+		if _, ok := po[key]; !ok {
+			rep.Sound = false
+			rep.NewBehaviours = append(rep.NewBehaviours, key)
+		}
+	}
+	sort.Strings(rep.NewBehaviours)
+	return rep, nil
+}
+
+// ReplaceThread returns a copy of p with thread ti's body replaced.
+func ReplaceThread(p *prog.Program, ti int, body []prog.Stmt) *prog.Program {
+	q := &prog.Program{
+		Name:        p.Name + "'",
+		Locs:        append([]string(nil), p.Locs...),
+		ExtraValues: append([]int(nil), p.ExtraValues...),
+		Universe:    append([]int(nil), p.Universe...),
+	}
+	for i, th := range p.Threads {
+		nb := th.Body
+		if i == ti {
+			nb = body
+		}
+		q.Threads = append(q.Threads, prog.Thread{Name: th.Name, Body: nb})
+	}
+	return q
+}
+
+// FuseAdjacent implements atomic{P}; atomic{Q} ⇛ atomic{P;Q} on the first
+// adjacent transaction pair of the statement list.
+func FuseAdjacent(body []prog.Stmt) ([]prog.Stmt, bool) {
+	for i := 0; i+1 < len(body); i++ {
+		a, okA := body[i].(prog.Atomic)
+		b, okB := body[i+1].(prog.Atomic)
+		if okA && okB {
+			fused := prog.Atomic{Name: a.Name + "+" + b.Name,
+				Body: append(append([]prog.Stmt(nil), a.Body...), b.Body...)}
+			out := append([]prog.Stmt(nil), body[:i]...)
+			out = append(out, fused)
+			out = append(out, body[i+2:]...)
+			return out, true
+		}
+	}
+	return body, false
+}
+
+// SplitFirst implements the (invalid in general) converse of fusion:
+// atomic{P;Q} ⇛ atomic{P}; atomic{Q}, splitting the first transaction with
+// at least two statements after its first statement.
+func SplitFirst(body []prog.Stmt) ([]prog.Stmt, bool) {
+	for i, s := range body {
+		a, ok := s.(prog.Atomic)
+		if !ok || len(a.Body) < 2 {
+			continue
+		}
+		first := prog.Atomic{Name: a.Name + ".1", Body: a.Body[:1]}
+		rest := prog.Atomic{Name: a.Name + ".2", Body: a.Body[1:]}
+		out := append([]prog.Stmt(nil), body[:i]...)
+		out = append(out, first, rest)
+		out = append(out, body[i+1:]...)
+		return out, true
+	}
+	return body, false
+}
+
+// RoachMotel implements P; atomic{R}; Q ⇛ atomic{P;R;Q}: the first
+// transaction absorbs its immediate plain neighbours.
+func RoachMotel(body []prog.Stmt) ([]prog.Stmt, bool) {
+	for i, s := range body {
+		a, ok := s.(prog.Atomic)
+		if !ok {
+			continue
+		}
+		lo, hi := i, i+1
+		var pre, post []prog.Stmt
+		if i > 0 && isPlainAccess(body[i-1]) {
+			pre = []prog.Stmt{body[i-1]}
+			lo = i - 1
+		}
+		if i+1 < len(body) && isPlainAccess(body[i+1]) {
+			post = []prog.Stmt{body[i+1]}
+			hi = i + 2
+		}
+		if pre == nil && post == nil {
+			continue
+		}
+		grown := prog.Atomic{Name: a.Name + "*",
+			Body: append(append(append([]prog.Stmt(nil), pre...), a.Body...), post...)}
+		out := append([]prog.Stmt(nil), body[:lo]...)
+		out = append(out, grown)
+		out = append(out, body[hi:]...)
+		return out, true
+	}
+	return body, false
+}
+
+// Extrude implements the (invalid in general) converse of roach motel:
+// atomic{R;P} ⇛ atomic{R}; P, hoisting the last statement of the first
+// multi-statement transaction out. The hoisted access becomes plain, which
+// can introduce new racy behaviours.
+func Extrude(body []prog.Stmt) ([]prog.Stmt, bool) {
+	for i, s := range body {
+		a, ok := s.(prog.Atomic)
+		if !ok || len(a.Body) < 2 || !isPlainAccess(a.Body[len(a.Body)-1]) {
+			continue
+		}
+		rest := prog.Atomic{Name: a.Name + "-", Body: a.Body[:len(a.Body)-1]}
+		out := append([]prog.Stmt(nil), body[:i]...)
+		out = append(out, rest, a.Body[len(a.Body)-1])
+		out = append(out, body[i+1:]...)
+		return out, true
+	}
+	return body, false
+}
+
+// ElideEmpty implements P; atomic{}; Q ⇛ P; Q.
+func ElideEmpty(body []prog.Stmt) ([]prog.Stmt, bool) {
+	for i, s := range body {
+		if a, ok := s.(prog.Atomic); ok && len(a.Body) == 0 {
+			out := append([]prog.Stmt(nil), body[:i]...)
+			out = append(out, body[i+1:]...)
+			return out, true
+		}
+	}
+	return body, false
+}
+
+// InsertEmpty is the converse of ElideEmpty (also valid): it inserts an
+// empty transaction at the given position.
+func InsertEmpty(body []prog.Stmt, at int, name string) []prog.Stmt {
+	out := append([]prog.Stmt(nil), body[:at]...)
+	out = append(out, prog.Atomic{Name: name})
+	return append(out, body[at:]...)
+}
+
+// SwapAdjacent swaps statements i and i+1 of the body.
+func SwapAdjacent(body []prog.Stmt, i int) ([]prog.Stmt, bool) {
+	if i < 0 || i+1 >= len(body) {
+		return body, false
+	}
+	out := append([]prog.Stmt(nil), body...)
+	out[i], out[i+1] = out[i+1], out[i]
+	return out, true
+}
+
+func isPlainAccess(s prog.Stmt) bool {
+	switch s.(type) {
+	case prog.Read, prog.Write, prog.Let:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,218 @@
+package opt
+
+import (
+	"testing"
+
+	"modtx/internal/core"
+	"modtx/internal/prog"
+)
+
+func w(loc string, v int) prog.Stmt { return prog.Write{Loc: prog.At(loc), Val: prog.Const(v)} }
+func r(reg, loc string) prog.Stmt   { return prog.Read{RegName: reg, Loc: prog.At(loc)} }
+func atomic(name string, ss ...prog.Stmt) prog.Stmt {
+	return prog.Atomic{Name: name, Body: ss}
+}
+
+func mkProg(name string, locs []string, bodies ...[]prog.Stmt) *prog.Program {
+	p := &prog.Program{Name: name, Locs: locs}
+	for i, b := range bodies {
+		p.Threads = append(p.Threads, prog.Thread{Name: tname(i), Body: b})
+	}
+	return p
+}
+
+func checkSound(t *testing.T, name string, p, q *prog.Program, cfg core.Config, want bool) {
+	t.Helper()
+	rep, err := Sound(name, p, q, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if rep.Sound != want {
+		t.Errorf("%s under %s: sound=%v, want %v (%v)", name, cfg.Name, rep.Sound, want, rep.NewBehaviours)
+	}
+}
+
+// O1a: R;W → W;R reordering (load-buffering direction) is invalid in both
+// models: Causality includes lwr.
+func TestReadWriteReorderInvalid(t *testing.T) {
+	orig := mkProg("rw-orig", []string{"x", "y"},
+		[]prog.Stmt{r("r", "x"), w("y", 1)},
+		[]prog.Stmt{r("q", "y"), w("x", 1)},
+	)
+	body, ok := SwapAdjacent(orig.Threads[0].Body, 0)
+	if !ok {
+		t.Fatal("swap failed")
+	}
+	trans := ReplaceThread(orig, 0, body)
+	checkSound(t, "R;W→W;R", orig, trans, core.Programmer, false)
+	checkSound(t, "R;W→W;R", orig, trans, core.Implementation, false)
+}
+
+// O1b: W;R → R;W reordering after a transaction fails in the programmer
+// model due to HBww (the (‡) example) but is valid in the implementation
+// model, which drops HBww.
+func TestWriteReadReorderDagger(t *testing.T) {
+	t2 := []prog.Stmt{
+		atomic("b", w("y", 1)),
+		w("x", 2),
+		r("q", "z"),
+	}
+	orig := mkProg("dagger", []string{"x", "y", "z"},
+		[]prog.Stmt{
+			w("z", 1),
+			atomic("a",
+				r("r", "y"),
+				prog.If{Cond: prog.Not{E: prog.Reg("r")}, Then: []prog.Stmt{w("x", 1)}},
+			),
+		},
+		t2,
+	)
+	body, ok := SwapAdjacent(t2, 1) // x:=2 ; q:=z  →  q:=z ; x:=2
+	if !ok {
+		t.Fatal("swap failed")
+	}
+	trans := ReplaceThread(orig, 1, body)
+	checkSound(t, "W;R→R;W (‡)", orig, trans, core.Programmer, false)
+	checkSound(t, "W;R→R;W (‡)", orig, trans, core.Implementation, true)
+}
+
+// O2: P; atomic{Q} → atomic{Q}; P for write-only plain P and read-only Q
+// with no conflicts (§5) is sound in the implementation model.
+func TestReadOnlyTxSwap(t *testing.T) {
+	t1orig := []prog.Stmt{w("x", 1), atomic("a", r("r", "y"))}
+	t1trans := []prog.Stmt{atomic("a", r("r", "y")), w("x", 1)}
+	obs := []prog.Stmt{atomic("b", w("y", 1)), r("q", "x")}
+	orig := mkProg("roswap", []string{"x", "y"}, t1orig, obs)
+	trans := ReplaceThread(orig, 0, t1trans)
+	checkSound(t, "P;atomic{RO}→atomic{RO};P", orig, trans, core.Implementation, true)
+}
+
+// O3: roach motel P; atomic{R}; Q ⇛ atomic{P;R;Q} is sound; the converse
+// extrusion is not (the hoisted access becomes racy).
+func TestRoachMotelAndExtrusion(t *testing.T) {
+	t1 := []prog.Stmt{w("x", 1), atomic("a", w("y", 1)), r("q", "z")}
+	obs := []prog.Stmt{
+		atomic("o", r("r1", "y"), r("r2", "x")),
+		w("z", 1),
+	}
+	orig := mkProg("roach", []string{"x", "y", "z"}, t1, obs)
+	grown, ok := RoachMotel(t1)
+	if !ok {
+		t.Fatal("roach motel not applicable")
+	}
+	trans := ReplaceThread(orig, 0, grown)
+	checkSound(t, "roach motel", orig, trans, core.Implementation, true)
+	checkSound(t, "roach motel", orig, trans, core.Programmer, true)
+
+	// Extrusion: atomic{x:=1; y:=1} ⇛ atomic{x:=1}; y:=1 lets a
+	// transactional observer see y=1 without x=1.
+	t1x := []prog.Stmt{atomic("a", w("x", 1), w("y", 1))}
+	obsx := []prog.Stmt{atomic("o", r("r1", "y"), r("r2", "x"))}
+	origx := mkProg("extrude", []string{"x", "y"}, t1x, obsx)
+	hoisted, ok := Extrude(t1x)
+	if !ok {
+		t.Fatal("extrude not applicable")
+	}
+	transx := ReplaceThread(origx, 0, hoisted)
+	checkSound(t, "extrusion", origx, transx, core.Programmer, false)
+}
+
+// O4: fusing adjacent transactions is sound; splitting is not.
+func TestFusionAndSplit(t *testing.T) {
+	t1 := []prog.Stmt{atomic("a", w("x", 1)), atomic("b", w("y", 1))}
+	obs := []prog.Stmt{atomic("o", r("r1", "x"), w("y", 5))}
+	orig := mkProg("fusion", []string{"x", "y"}, t1, obs)
+	fused, ok := FuseAdjacent(t1)
+	if !ok {
+		t.Fatal("fusion not applicable")
+	}
+	trans := ReplaceThread(orig, 0, fused)
+	checkSound(t, "fusion", orig, trans, core.Implementation, true)
+	checkSound(t, "fusion", orig, trans, core.Programmer, true)
+
+	// Splitting the fused transaction admits the observer between the
+	// halves: a new behaviour.
+	fusedProg := trans
+	split, ok := SplitFirst(fused)
+	if !ok {
+		t.Fatal("split not applicable")
+	}
+	splitProg := ReplaceThread(fusedProg, 0, split)
+	checkSound(t, "split", fusedProg, splitProg, core.Programmer, false)
+	checkSound(t, "split", fusedProg, splitProg, core.Implementation, false)
+}
+
+// O5: empty transactions can be elided and inserted freely.
+func TestEmptyTransactionElision(t *testing.T) {
+	t1 := []prog.Stmt{w("x", 1), prog.Atomic{Name: "e"}, r("q", "y")}
+	obs := []prog.Stmt{atomic("b", w("y", 1)), r("p", "x")}
+	orig := mkProg("elide", []string{"x", "y"}, t1, obs)
+	elided, ok := ElideEmpty(t1)
+	if !ok {
+		t.Fatal("elision not applicable")
+	}
+	trans := ReplaceThread(orig, 0, elided)
+	checkSound(t, "elide empty tx", orig, trans, core.Programmer, true)
+	checkSound(t, "elide empty tx", orig, trans, core.Implementation, true)
+
+	// Insertion (the converse) is sound too.
+	inserted := InsertEmpty(elided, 1, "e2")
+	trans2 := ReplaceThread(orig, 0, inserted)
+	checkSound(t, "insert empty tx", trans, trans2, core.Programmer, true)
+}
+
+// Independent plain accesses commute (LDRF peephole reorderings).
+func TestIndependentReorders(t *testing.T) {
+	t1 := []prog.Stmt{w("x", 1), w("y", 1)}
+	obs := []prog.Stmt{r("r1", "y"), r("r2", "x")}
+	orig := mkProg("ww-swap", []string{"x", "y"}, t1, obs)
+	body, _ := SwapAdjacent(t1, 0)
+	trans := ReplaceThread(orig, 0, body)
+	checkSound(t, "independent W;W swap", orig, trans, core.Programmer, true)
+	checkSound(t, "independent W;W swap", orig, trans, core.Implementation, true)
+
+	// Independent reads commute as well.
+	t2 := []prog.Stmt{r("r1", "x"), r("r2", "y")}
+	wrs := []prog.Stmt{w("x", 1), w("y", 1)}
+	orig2 := mkProg("rr-swap", []string{"x", "y"}, t2, wrs)
+	body2, _ := SwapAdjacent(t2, 0)
+	trans2 := ReplaceThread(orig2, 0, body2)
+	checkSound(t, "independent R;R swap", orig2, trans2, core.Programmer, true)
+}
+
+func TestTransformHelpers(t *testing.T) {
+	if _, ok := FuseAdjacent([]prog.Stmt{w("x", 1)}); ok {
+		t.Error("fusion applied without adjacent transactions")
+	}
+	if _, ok := ElideEmpty([]prog.Stmt{atomic("a", w("x", 1))}); ok {
+		t.Error("elision applied to non-empty transaction")
+	}
+	if _, ok := SwapAdjacent([]prog.Stmt{w("x", 1)}, 0); ok {
+		t.Error("swap applied at end of body")
+	}
+	if _, ok := Extrude([]prog.Stmt{atomic("a", w("x", 1))}); ok {
+		t.Error("extrude applied to singleton transaction")
+	}
+	if _, ok := RoachMotel([]prog.Stmt{atomic("a", w("x", 1))}); ok {
+		t.Error("roach motel applied without plain neighbours")
+	}
+	if _, ok := SplitFirst([]prog.Stmt{atomic("a", w("x", 1))}); ok {
+		t.Error("split applied to singleton transaction")
+	}
+}
+
+// StandardReports runs the full §5 suite; shared with cmd/mtx-opt.
+func TestStandardReports(t *testing.T) {
+	reps, err := StandardReports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) < 10 {
+		t.Fatalf("expected a full report set, got %d", len(reps))
+	}
+	for _, rep := range reps {
+		if rep.Sound != rep.Expected {
+			t.Errorf("%s under %s: sound=%v, expected %v", rep.Transform, rep.Model, rep.Sound, rep.Expected)
+		}
+	}
+}

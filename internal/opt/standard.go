@@ -1,0 +1,150 @@
+package opt
+
+import (
+	"modtx/internal/core"
+	"modtx/internal/prog"
+)
+
+// ExpectedReport pairs a soundness report with the paper's verdict.
+type ExpectedReport struct {
+	Report
+	Expected bool
+}
+
+func tname(i int) string { return string(rune('a'+i)) + "thread" }
+
+// StandardReports runs the full §5 transformation suite (experiments
+// O1–O5 of DESIGN.md) and returns each report with its expected verdict.
+// Used by the tests, cmd/mtx-opt and the benchmark harness.
+func StandardReports() ([]ExpectedReport, error) {
+	var out []ExpectedReport
+	add := func(name string, p, q *prog.Program, cfg core.Config, expected bool) error {
+		rep, err := Sound(name, p, q, cfg)
+		if err != nil {
+			return err
+		}
+		out = append(out, ExpectedReport{Report: rep, Expected: expected})
+		return nil
+	}
+
+	wr := func(loc string, v int) prog.Stmt { return prog.Write{Loc: prog.At(loc), Val: prog.Const(v)} }
+	rd := func(reg, loc string) prog.Stmt { return prog.Read{RegName: reg, Loc: prog.At(loc)} }
+	at := func(name string, ss ...prog.Stmt) prog.Stmt { return prog.Atomic{Name: name, Body: ss} }
+	mk := func(name string, locs []string, bodies ...[]prog.Stmt) *prog.Program {
+		p := &prog.Program{Name: name, Locs: locs}
+		for i, b := range bodies {
+			p.Threads = append(p.Threads, prog.Thread{Name: tname(i), Body: b})
+		}
+		return p
+	}
+
+	// O1a: R;W → W;R (forbidden load buffering appears).
+	lb := mk("rw-orig", []string{"x", "y"},
+		[]prog.Stmt{rd("r", "x"), wr("y", 1)},
+		[]prog.Stmt{rd("q", "y"), wr("x", 1)})
+	lbBody, _ := SwapAdjacent(lb.Threads[0].Body, 0)
+	lbT := ReplaceThread(lb, 0, lbBody)
+	if err := add("R;W → W;R", lb, lbT, core.Programmer, false); err != nil {
+		return nil, err
+	}
+	if err := add("R;W → W;R", lb, lbT, core.Implementation, false); err != nil {
+		return nil, err
+	}
+
+	// O1b: W;R → R;W after a transaction — the (‡) example.
+	daggerT2 := []prog.Stmt{at("b", wr("y", 1)), wr("x", 2), rd("q", "z")}
+	dagger := mk("dagger", []string{"x", "y", "z"},
+		[]prog.Stmt{
+			wr("z", 1),
+			at("a", rd("r", "y"),
+				prog.If{Cond: prog.Not{E: prog.Reg("r")}, Then: []prog.Stmt{wr("x", 1)}}),
+		},
+		daggerT2)
+	dagBody, _ := SwapAdjacent(daggerT2, 1)
+	dagT := ReplaceThread(dagger, 1, dagBody)
+	if err := add("W;R → R;W (‡)", dagger, dagT, core.Programmer, false); err != nil {
+		return nil, err
+	}
+	if err := add("W;R → R;W (‡)", dagger, dagT, core.Implementation, true); err != nil {
+		return nil, err
+	}
+
+	// O2: write-only plain before read-only transaction.
+	ro := mk("roswap", []string{"x", "y"},
+		[]prog.Stmt{wr("x", 1), at("a", rd("r", "y"))},
+		[]prog.Stmt{at("b", wr("y", 1)), rd("q", "x")})
+	roT := ReplaceThread(ro, 0, []prog.Stmt{at("a", rd("r", "y")), wr("x", 1)})
+	if err := add("P;atomic{RO} → atomic{RO};P", ro, roT, core.Implementation, true); err != nil {
+		return nil, err
+	}
+
+	// O3: roach motel and extrusion.
+	roachT1 := []prog.Stmt{wr("x", 1), at("a", wr("y", 1)), rd("q", "z")}
+	roach := mk("roach", []string{"x", "y", "z"},
+		roachT1,
+		[]prog.Stmt{at("o", rd("r1", "y"), rd("r2", "x")), wr("z", 1)})
+	grown, _ := RoachMotel(roachT1)
+	roachT := ReplaceThread(roach, 0, grown)
+	if err := add("roach motel", roach, roachT, core.Implementation, true); err != nil {
+		return nil, err
+	}
+	if err := add("roach motel", roach, roachT, core.Programmer, true); err != nil {
+		return nil, err
+	}
+
+	extr1 := []prog.Stmt{at("a", wr("x", 1), wr("y", 1))}
+	extr := mk("extrude", []string{"x", "y"},
+		extr1,
+		[]prog.Stmt{at("o", rd("r1", "y"), rd("r2", "x"))})
+	hoisted, _ := Extrude(extr1)
+	extrT := ReplaceThread(extr, 0, hoisted)
+	if err := add("extrusion (converse)", extr, extrT, core.Programmer, false); err != nil {
+		return nil, err
+	}
+
+	// O4: fusion and split.
+	fuse1 := []prog.Stmt{at("a", wr("x", 1)), at("b", wr("y", 1))}
+	fuse := mk("fusion", []string{"x", "y"},
+		fuse1,
+		[]prog.Stmt{at("o", rd("r1", "x"), wr("y", 5))})
+	fused, _ := FuseAdjacent(fuse1)
+	fuseT := ReplaceThread(fuse, 0, fused)
+	if err := add("fusion", fuse, fuseT, core.Implementation, true); err != nil {
+		return nil, err
+	}
+	if err := add("fusion", fuse, fuseT, core.Programmer, true); err != nil {
+		return nil, err
+	}
+	split, _ := SplitFirst(fused)
+	splitT := ReplaceThread(fuseT, 0, split)
+	if err := add("split (converse)", fuseT, splitT, core.Programmer, false); err != nil {
+		return nil, err
+	}
+
+	// O5: elide and insert empty transactions.
+	el1 := []prog.Stmt{wr("x", 1), prog.Atomic{Name: "e"}, rd("q", "y")}
+	el := mk("elide", []string{"x", "y"},
+		el1,
+		[]prog.Stmt{at("b", wr("y", 1)), rd("p", "x")})
+	elided, _ := ElideEmpty(el1)
+	elT := ReplaceThread(el, 0, elided)
+	if err := add("elide empty tx", el, elT, core.Programmer, true); err != nil {
+		return nil, err
+	}
+	if err := add("insert empty tx", elT, el, core.Programmer, true); err != nil {
+		return nil, err
+	}
+
+	// LDRF peephole: independent plain writes commute.
+	ww1 := []prog.Stmt{wr("x", 1), wr("y", 1)}
+	ww := mk("ww-swap", []string{"x", "y"},
+		ww1,
+		[]prog.Stmt{rd("r1", "y"), rd("r2", "x")})
+	wwBody, _ := SwapAdjacent(ww1, 0)
+	wwT := ReplaceThread(ww, 0, wwBody)
+	if err := add("independent W;W swap", ww, wwT, core.Programmer, true); err != nil {
+		return nil, err
+	}
+
+	return out, nil
+}

@@ -1,0 +1,420 @@
+// Package prog defines a small concurrent-program AST for litmus tests:
+// threads of plain/transactional reads and writes over integer locations,
+// with conditionals, bounded loops, explicit aborts and quiescence fences.
+// It is the input language of the exhaustive enumerator in internal/exec
+// and of the paper-program catalog in internal/litmus.
+package prog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Env is a thread-local register file.
+type Env map[string]int
+
+// Expr is an integer expression over registers. Boolean results use 0/1.
+type Expr interface {
+	Eval(env Env) int
+	String() string
+	regs(set map[string]bool)
+}
+
+// Const is an integer literal.
+type Const int
+
+// Eval implements Expr.
+func (c Const) Eval(Env) int             { return int(c) }
+func (c Const) String() string           { return fmt.Sprintf("%d", int(c)) }
+func (c Const) regs(set map[string]bool) {}
+
+// Reg reads a register (unset registers read as 0).
+type Reg string
+
+// Eval implements Expr.
+func (r Reg) Eval(env Env) int         { return env[string(r)] }
+func (r Reg) String() string           { return string(r) }
+func (r Reg) regs(set map[string]bool) { set[string(r)] = true }
+
+// BinOp is a binary operator.
+type BinOp string
+
+// Supported operators.
+const (
+	OpAdd BinOp = "+"
+	OpSub BinOp = "-"
+	OpMul BinOp = "*"
+	OpEq  BinOp = "=="
+	OpNe  BinOp = "!="
+	OpLt  BinOp = "<"
+	OpAnd BinOp = "&&"
+	OpOr  BinOp = "||"
+)
+
+// Bin applies a binary operator to two subexpressions.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b Bin) Eval(env Env) int {
+	l, r := b.L.Eval(env), b.R.Eval(env)
+	switch b.Op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	case OpEq:
+		return b2i(l == r)
+	case OpNe:
+		return b2i(l != r)
+	case OpLt:
+		return b2i(l < r)
+	case OpAnd:
+		return b2i(l != 0 && r != 0)
+	case OpOr:
+		return b2i(l != 0 || r != 0)
+	}
+	panic("prog: unknown operator " + string(b.Op))
+}
+
+func (b Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+func (b Bin) regs(set map[string]bool) { b.L.regs(set); b.R.regs(set) }
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(env Env) int         { return b2i(n.E.Eval(env) == 0) }
+func (n Not) String() string           { return "!" + n.E.String() }
+func (n Not) regs(set map[string]bool) { n.E.regs(set) }
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// LocExpr designates a location: a scalar name, or an array cell whose
+// index is evaluated at runtime (cell names are "base[i]").
+type LocExpr struct {
+	Base  string
+	Index Expr // nil for scalars
+}
+
+// Name returns the flattened location name under env.
+func (l LocExpr) Name(env Env) string {
+	if l.Index == nil {
+		return l.Base
+	}
+	return fmt.Sprintf("%s[%d]", l.Base, l.Index.Eval(env))
+}
+
+func (l LocExpr) String() string {
+	if l.Index == nil {
+		return l.Base
+	}
+	return fmt.Sprintf("%s[%s]", l.Base, l.Index)
+}
+
+// At builds a scalar location expression.
+func At(name string) LocExpr { return LocExpr{Base: name} }
+
+// AtIdx builds an array-cell location expression.
+func AtIdx(base string, idx Expr) LocExpr { return LocExpr{Base: base, Index: idx} }
+
+// Cell returns the flattened name of a concrete array cell.
+func Cell(base string, i int) string { return fmt.Sprintf("%s[%d]", base, i) }
+
+// Stmt is a program statement.
+type Stmt interface {
+	stmt()
+	String() string
+}
+
+// Read loads a location into a register: reg := loc.
+type Read struct {
+	RegName string
+	Loc     LocExpr
+}
+
+// Write stores an expression to a location: loc := val.
+type Write struct {
+	Loc LocExpr
+	Val Expr
+}
+
+// Atomic runs Body as a transaction named Name.
+type Atomic struct {
+	Name string
+	Body []Stmt
+}
+
+// AbortStmt aborts the enclosing transaction immediately.
+type AbortStmt struct{}
+
+// If branches on Cond (non-zero = true).
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops on Cond for at most Bound iterations; exhausting the bound
+// marks the thread's path incomplete (used for potentially-divergent
+// programs such as the doomed-transaction example of §4).
+type While struct {
+	Cond  Expr
+	Body  []Stmt
+	Bound int
+}
+
+// Fence is a quiescence fence on a location (§5).
+type Fence struct{ Loc LocExpr }
+
+// Let assigns an expression to a register without touching memory
+// (no event is emitted).
+type Let struct {
+	RegName string
+	Val     Expr
+}
+
+func (Read) stmt()      {}
+func (Write) stmt()     {}
+func (Atomic) stmt()    {}
+func (AbortStmt) stmt() {}
+func (If) stmt()        {}
+func (While) stmt()     {}
+func (Fence) stmt()     {}
+func (Let) stmt()       {}
+
+func (s Read) String() string  { return fmt.Sprintf("%s := %s", s.RegName, s.Loc) }
+func (s Write) String() string { return fmt.Sprintf("%s := %s", s.Loc, s.Val) }
+func (s Atomic) String() string {
+	return fmt.Sprintf("atomic %s { %s }", s.Name, stmtList(s.Body))
+}
+func (AbortStmt) String() string { return "abort" }
+func (s If) String() string {
+	out := fmt.Sprintf("if %s { %s }", s.Cond, stmtList(s.Then))
+	if len(s.Else) > 0 {
+		out += fmt.Sprintf(" else { %s }", stmtList(s.Else))
+	}
+	return out
+}
+func (s While) String() string {
+	return fmt.Sprintf("while %s { %s }", s.Cond, stmtList(s.Body))
+}
+func (s Fence) String() string { return fmt.Sprintf("fence(%s)", s.Loc) }
+func (s Let) String() string   { return fmt.Sprintf("let %s := %s", s.RegName, s.Val) }
+
+func stmtList(ss []Stmt) string {
+	parts := make([]string, len(ss))
+	for i, s := range ss {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Thread is one sequential component of a program.
+type Thread struct {
+	Name string
+	Body []Stmt
+}
+
+// Program is a parallel composition of threads over declared locations.
+type Program struct {
+	Name    string
+	Locs    []string // all locations, including array cells
+	Threads []Thread
+	// ExtraValues extends the read-value universe beyond the fixpoint of
+	// constants and computed writes (rarely needed).
+	ExtraValues []int
+	// Universe, when non-nil, overrides the computed read-value universe
+	// entirely (0 is always included). Useful to bound enumeration for
+	// programs whose write-value fixpoint grows without converging, such
+	// as counters; unmatched read values are discarded by the enumerator,
+	// so a too-large universe costs only time, while a too-small one
+	// hides executions (the caller asserts it covers all producible
+	// values).
+	Universe []int
+}
+
+// Validate checks static sanity: declared locations, no abort outside a
+// transaction, no nested transactions, no fence inside a transaction,
+// positive loop bounds.
+func (p *Program) Validate() error {
+	locs := make(map[string]bool, len(p.Locs))
+	for _, l := range p.Locs {
+		if locs[l] {
+			return fmt.Errorf("prog %s: duplicate location %q", p.Name, l)
+		}
+		locs[l] = true
+	}
+	for _, th := range p.Threads {
+		if err := validateStmts(p, th.Body, false, locs); err != nil {
+			return fmt.Errorf("prog %s, thread %s: %w", p.Name, th.Name, err)
+		}
+	}
+	return nil
+}
+
+func validateStmts(p *Program, ss []Stmt, inTx bool, locs map[string]bool) error {
+	checkLoc := func(l LocExpr) error {
+		if l.Index != nil {
+			// Array cells are validated dynamically against declared names.
+			return nil
+		}
+		if !locs[l.Base] {
+			return fmt.Errorf("undeclared location %q", l.Base)
+		}
+		return nil
+	}
+	for _, s := range ss {
+		switch s := s.(type) {
+		case Read:
+			if err := checkLoc(s.Loc); err != nil {
+				return err
+			}
+		case Write:
+			if err := checkLoc(s.Loc); err != nil {
+				return err
+			}
+		case Atomic:
+			if inTx {
+				return fmt.Errorf("nested transaction %q", s.Name)
+			}
+			if err := validateStmts(p, s.Body, true, locs); err != nil {
+				return err
+			}
+		case AbortStmt:
+			if !inTx {
+				return fmt.Errorf("abort outside transaction")
+			}
+		case If:
+			if err := validateStmts(p, s.Then, inTx, locs); err != nil {
+				return err
+			}
+			if err := validateStmts(p, s.Else, inTx, locs); err != nil {
+				return err
+			}
+		case While:
+			if s.Bound <= 0 {
+				return fmt.Errorf("while loop needs a positive bound")
+			}
+			if err := validateStmts(p, s.Body, inTx, locs); err != nil {
+				return err
+			}
+		case Fence:
+			if inTx {
+				return fmt.Errorf("fence inside transaction")
+			}
+			if err := checkLoc(s.Loc); err != nil {
+				return err
+			}
+		case Let:
+			// Pure register assignment; nothing to check.
+		default:
+			return fmt.Errorf("unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+// Constants returns all integer literals appearing in the program.
+func (p *Program) Constants() []int {
+	set := map[int]bool{0: true}
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case Const:
+			set[int(e)] = true
+		case Bin:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case Not:
+			walkExpr(e.E)
+		}
+	}
+	var walk func([]Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case Write:
+				walkExpr(s.Val)
+				if s.Loc.Index != nil {
+					walkExpr(s.Loc.Index)
+				}
+			case Let:
+				walkExpr(s.Val)
+			case Read:
+				if s.Loc.Index != nil {
+					walkExpr(s.Loc.Index)
+				}
+			case Atomic:
+				walk(s.Body)
+			case If:
+				walkExpr(s.Cond)
+				walk(s.Then)
+				walk(s.Else)
+			case While:
+				walkExpr(s.Cond)
+				walk(s.Body)
+			}
+		}
+	}
+	for _, th := range p.Threads {
+		walk(th.Body)
+	}
+	for _, v := range p.ExtraValues {
+		set[v] = true
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the program in litmus-file syntax (parseable by Parse).
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "name: %s\nlocs: %s\n", p.Name, strings.Join(p.Locs, " "))
+	for _, th := range p.Threads {
+		fmt.Fprintf(&sb, "thread %s:\n", th.Name)
+		writeStmts(&sb, th.Body, "  ")
+	}
+	return sb.String()
+}
+
+func writeStmts(sb *strings.Builder, ss []Stmt, indent string) {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case Atomic:
+			fmt.Fprintf(sb, "%satomic %s {\n", indent, s.Name)
+			writeStmts(sb, s.Body, indent+"  ")
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case If:
+			fmt.Fprintf(sb, "%sif %s {\n", indent, s.Cond)
+			writeStmts(sb, s.Then, indent+"  ")
+			if len(s.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", indent)
+				writeStmts(sb, s.Else, indent+"  ")
+			}
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case While:
+			fmt.Fprintf(sb, "%swhile %s bound %d {\n", indent, s.Cond, s.Bound)
+			writeStmts(sb, s.Body, indent+"  ")
+			fmt.Fprintf(sb, "%s}\n", indent)
+		default:
+			fmt.Fprintf(sb, "%s%s\n", indent, s)
+		}
+	}
+}

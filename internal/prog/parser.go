@@ -1,0 +1,561 @@
+package prog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a litmus program in the textual format emitted by
+// Program.String:
+//
+//	name: privatization
+//	locs: x y z[0]
+//	universe: 0 1 2          # optional explicit value universe
+//	thread t1:
+//	  atomic a {
+//	    r := y
+//	    if !r { x := 1 }
+//	  }
+//	thread t2:
+//	  atomic b { y := 1 }
+//	  fence(x)
+//	  x := 2
+//
+// Statements: reads/writes `lhs := expr` (lhs is a write target when its
+// base name is a declared location, otherwise a register read when the rhs
+// is a bare location, otherwise `let`), `atomic name { ... }`, `abort`,
+// `if e { ... } else { ... }`, `while e bound n { ... }`, `fence(loc)`,
+// `let r := e`. Comments run from '#' to end of line.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type token struct {
+	kind string // "ident", "num", or the symbol itself
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	symbols := []string{":=", "==", "!=", "&&", "||", "{", "}", "(", ")", "[", "]", ":", "!", "<", "+", "-", "*"}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: "num", text: src[i:j], line: line})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '\'' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: "ident", text: src[i:j], line: line})
+			i = j
+		default:
+			matched := false
+			for _, s := range symbols {
+				if strings.HasPrefix(src[i:], s) {
+					toks = append(toks, token{kind: s, text: s, line: line})
+					i += len(s)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	locs map[string]bool // declared base names and cells
+}
+
+func (p *parser) peek() token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return token{kind: "eof"}
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(kind string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("line %d: expected %q, got %q", t.line, kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) accept(kind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	p.locs = make(map[string]bool)
+	for {
+		t := p.peek()
+		if t.kind == "eof" {
+			break
+		}
+		if t.kind != "ident" {
+			return nil, fmt.Errorf("line %d: expected section keyword, got %q", t.line, t.text)
+		}
+		switch t.text {
+		case "name":
+			p.next()
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			id, err := p.expect("ident")
+			if err != nil {
+				return nil, err
+			}
+			prog.Name = id.text
+		case "locs":
+			p.next()
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			for p.peek().kind == "ident" && !isSection(p.peek().text) {
+				name := p.next().text
+				if p.accept("[", "") {
+					idx, err := p.expect("num")
+					if err != nil {
+						return nil, err
+					}
+					if _, err := p.expect("]"); err != nil {
+						return nil, err
+					}
+					name = fmt.Sprintf("%s[%s]", name, idx.text)
+				}
+				prog.Locs = append(prog.Locs, name)
+				p.locs[name] = true
+				p.locs[baseOf(name)] = true
+			}
+		case "universe":
+			p.next()
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			for p.peek().kind == "num" {
+				v, _ := strconv.Atoi(p.next().text)
+				prog.Universe = append(prog.Universe, v)
+			}
+		case "thread":
+			p.next()
+			id, err := p.expect("ident")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.stmts(func() bool {
+				nx := p.peek()
+				return nx.kind == "eof" || (nx.kind == "ident" && (nx.text == "thread"))
+			})
+			if err != nil {
+				return nil, err
+			}
+			prog.Threads = append(prog.Threads, Thread{Name: id.text, Body: body})
+		default:
+			return nil, fmt.Errorf("line %d: unknown section %q", t.line, t.text)
+		}
+	}
+	return prog, nil
+}
+
+func isSection(s string) bool {
+	switch s {
+	case "name", "locs", "universe", "thread":
+		return true
+	}
+	return false
+}
+
+func baseOf(name string) string {
+	if i := strings.IndexByte(name, '['); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// stmts parses statements until stop() or a closing brace.
+func (p *parser) stmts(stop func() bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if stop != nil && stop() {
+			return out, nil
+		}
+		t := p.peek()
+		if t.kind == "}" || t.kind == "eof" {
+			return out, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmts(nil)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == "ident" && t.text == "atomic":
+		p.next()
+		name := "tx"
+		if p.peek().kind == "ident" {
+			name = p.next().text
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return Atomic{Name: name, Body: body}, nil
+
+	case t.kind == "ident" && t.text == "abort":
+		p.next()
+		return AbortStmt{}, nil
+
+	case t.kind == "ident" && t.text == "if":
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.peek().kind == "ident" && p.peek().text == "else" {
+			p.next()
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+
+	case t.kind == "ident" && t.text == "while":
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		bound := 2
+		if p.peek().kind == "ident" && p.peek().text == "bound" {
+			p.next()
+			n, err := p.expect("num")
+			if err != nil {
+				return nil, err
+			}
+			bound, _ = strconv.Atoi(n.text)
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return While{Cond: cond, Body: body, Bound: bound}, nil
+
+	case t.kind == "ident" && t.text == "fence":
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		loc, err := p.locExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Fence{Loc: loc}, nil
+
+	case t.kind == "ident" && t.text == "let":
+		p.next()
+		reg, err := p.expect("ident")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(":="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return Let{RegName: reg.text, Val: e}, nil
+
+	case t.kind == "ident":
+		// Assignment: write if the base name is a declared location.
+		name := p.next().text
+		var idx Expr
+		if p.accept("[", "") {
+			var err error
+			idx, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(":="); err != nil {
+			return nil, err
+		}
+		if p.locs[name] {
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return Write{Loc: LocExpr{Base: name, Index: idx}, Val: val}, nil
+		}
+		if idx != nil {
+			return nil, fmt.Errorf("line %d: indexed write to undeclared location %q", t.line, name)
+		}
+		// Register target: a read when the rhs is a bare location,
+		// otherwise a let.
+		save := p.pos
+		if rhs := p.peek(); rhs.kind == "ident" && p.locs[rhs.text] {
+			base := p.next().text
+			var ridx Expr
+			if p.accept("[", "") {
+				var err error
+				ridx, err = p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect("]"); err != nil {
+					return nil, err
+				}
+			}
+			// A bare location (not part of a larger expression).
+			if nx := p.peek().kind; nx != "+" && nx != "-" && nx != "*" && nx != "==" && nx != "!=" && nx != "<" && nx != "&&" && nx != "||" {
+				return Read{RegName: name, Loc: LocExpr{Base: base, Index: ridx}}, nil
+			}
+			p.pos = save
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return Let{RegName: name, Val: e}, nil
+	}
+	return nil, fmt.Errorf("line %d: unexpected token %q", t.line, t.text)
+}
+
+func (p *parser) locExpr() (LocExpr, error) {
+	id, err := p.expect("ident")
+	if err != nil {
+		return LocExpr{}, err
+	}
+	l := LocExpr{Base: id.text}
+	if p.accept("[", "") {
+		idx, err := p.expr()
+		if err != nil {
+			return LocExpr{}, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return LocExpr{}, err
+		}
+		l.Index = idx
+	}
+	return l, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+// or → and → cmp → add → mul → unary → atom.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == "||" {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == "&&" {
+		p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.peek().kind {
+		case "==":
+			op = OpEq
+		case "!=":
+			op = OpNe
+		case "<":
+			op = OpLt
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.peek().kind {
+		case "+":
+			op = OpAdd
+		case "-":
+			op = OpSub
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == "*" {
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: OpMul, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.peek().kind == "!" {
+		p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return p.atom()
+}
+
+func (p *parser) atom() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case "num":
+		v, _ := strconv.Atoi(t.text)
+		return Const(v), nil
+	case "ident":
+		return Reg(t.text), nil
+	case "(":
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("line %d: unexpected token %q in expression", t.line, t.text)
+}

@@ -1,0 +1,189 @@
+package prog
+
+import (
+	"testing"
+
+	"modtx/internal/event"
+)
+
+const privatizationSrc = `
+# The privatization idiom of §1.
+name: privatization
+locs: x y
+thread t1:
+  atomic a {
+    r := y
+    if !r { x := 1 }
+  }
+thread t2:
+  atomic b { y := 1 }
+  fence(x)
+  x := 2
+`
+
+func TestParsePrivatization(t *testing.T) {
+	p, err := Parse(privatizationSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "privatization" || len(p.Locs) != 2 || len(p.Threads) != 2 {
+		t.Fatalf("parsed shape wrong: %+v", p)
+	}
+	a, ok := p.Threads[0].Body[0].(Atomic)
+	if !ok || a.Name != "a" || len(a.Body) != 2 {
+		t.Fatalf("thread 1 body wrong: %v", p.Threads[0].Body)
+	}
+	if _, ok := a.Body[0].(Read); !ok {
+		t.Errorf("first statement should be a read: %v", a.Body[0])
+	}
+	iff, ok := a.Body[1].(If)
+	if !ok {
+		t.Fatalf("second statement should be if: %v", a.Body[1])
+	}
+	if _, ok := iff.Then[0].(Write); !ok {
+		t.Errorf("branch should write: %v", iff.Then[0])
+	}
+	if _, ok := p.Threads[1].Body[1].(Fence); !ok {
+		t.Errorf("expected fence: %v", p.Threads[1].Body[1])
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Parse(privatizationSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse of String() failed: %v\n%s", err, p.String())
+	}
+	if q.String() != p.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", p.String(), q.String())
+	}
+}
+
+func TestParseWhileAndArrays(t *testing.T) {
+	src := `
+name: arrays
+locs: x z[0] z[1]
+universe: 0 1
+thread t1:
+  q := x
+  while q bound 3 { q := x }
+  z[q] := q + 1
+  let m := q * 2
+  atomic a { abort }
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := p.Threads[0].Body
+	if _, ok := body[1].(While); !ok {
+		t.Errorf("expected while: %v", body[1])
+	}
+	w, ok := body[2].(Write)
+	if !ok || w.Loc.Index == nil {
+		t.Errorf("expected indexed write: %v", body[2])
+	}
+	if _, ok := body[3].(Let); !ok {
+		t.Errorf("expected let: %v", body[3])
+	}
+	if len(p.Universe) != 2 {
+		t.Errorf("universe = %v", p.Universe)
+	}
+	// The loop exits only with q=0, so completed paths write z[0]=1;
+	// always-1 paths exhaust the bound and diverge.
+	paths := ThreadPaths(p.Threads[0], []int{0, 1})
+	var wroteZ0, diverged bool
+	for _, pt := range paths {
+		if !pt.Complete {
+			diverged = true
+		}
+		for _, e := range pt.Events {
+			if e.Kind == event.KWrite && e.Loc == "z[0]" && e.Val == 1 {
+				wroteZ0 = true
+			}
+		}
+	}
+	if !wroteZ0 || !diverged {
+		t.Errorf("wroteZ0=%v diverged=%v, want both", wroteZ0, diverged)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	src := `
+name: expr
+locs: x
+thread t:
+  let a := 1 + 2 * 3
+  let b := (1 + 2) * 3
+  let c := a == 7 && b == 9
+  let d := !(a < b) || a != b
+  x := c + d
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{}
+	for _, s := range p.Threads[0].Body {
+		if l, ok := s.(Let); ok {
+			env[l.RegName] = l.Val.Eval(env)
+		}
+	}
+	if env["a"] != 7 || env["b"] != 9 || env["c"] != 1 || env["d"] != 1 {
+		t.Errorf("env = %v", env)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"name:",                                 // missing name
+		"locs: x\nthread t:\n  y[0] := 1",       // indexed write to undeclared base
+		"locs: x\nthread t:\n  atomic a { x :=", // truncated
+		"locs: x\nthread t:\n  x := $",          // bad character
+		"locs: x\nthread t:\n  abort",           // abort outside tx
+		"bogus: 1",                              // unknown section
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse/validate error for %q", src)
+		}
+	}
+	// Assignment to an undeclared name is a register let, not an error.
+	if _, err := Parse("locs: x\nthread t:\n  y := 1"); err != nil {
+		t.Errorf("register let misparsed: %v", err)
+	}
+}
+
+func TestParsedProgramString(t *testing.T) {
+	// Every catalog-like construct survives String() → Parse().
+	src := `
+name: everything
+locs: x y z[0]
+universe: 0 1 2
+thread t1:
+  let r := 0
+  atomic a {
+    q := x
+    if q == 0 { x := 1 } else { abort }
+  }
+  while r < 1 bound 2 { r := y }
+  fence(x)
+  z[0] := r + q
+thread t2:
+  y := 2
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, p.String())
+	}
+	if len(q.Threads) != 2 {
+		t.Errorf("threads = %d", len(q.Threads))
+	}
+}

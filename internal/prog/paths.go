@@ -1,0 +1,231 @@
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"modtx/internal/event"
+)
+
+// PathEvent is one action emitted by a thread along a control-flow path.
+// Loc is the flattened location name; Tx names the transaction for KBegin.
+type PathEvent struct {
+	Kind event.Kind
+	Loc  string
+	Val  int
+	Tx   string
+}
+
+// Path is one resolved control-flow path of a thread: every read has been
+// assigned an oracle value from the universe, so branches are decided.
+// Complete is false when a loop bound was exhausted (the thread "diverges"
+// and any open transaction stays live).
+type Path struct {
+	Events   []PathEvent
+	Complete bool
+	Regs     Env
+}
+
+type stopMode uint8
+
+const (
+	stopNone stopMode = iota
+	stopAbort
+	stopDiverge
+)
+
+type pathState struct {
+	env    Env
+	events []PathEvent
+	stop   stopMode
+	nfence int
+}
+
+func (st *pathState) clone() *pathState {
+	env := make(Env, len(st.env))
+	for k, v := range st.env {
+		env[k] = v
+	}
+	return &pathState{
+		env:    env,
+		events: append([]PathEvent(nil), st.events...),
+		stop:   st.stop,
+		nfence: st.nfence,
+	}
+}
+
+func (st *pathState) emit(k event.Kind, loc string, val int, tx string) {
+	st.events = append(st.events, PathEvent{Kind: k, Loc: loc, Val: val, Tx: tx})
+}
+
+// ThreadPaths enumerates every control-flow path of the thread, forking at
+// each read over the value universe. Quiescence fences are emitted as
+// committed singleton transactions writing event.SentinelVal, following the
+// paper's §5 encoding (the enumerator explores their coherence position).
+func ThreadPaths(th Thread, universe []int) []Path {
+	init := &pathState{env: make(Env)}
+	finals := execStmts(th.Body, []*pathState{init}, universe, th.Name)
+	out := make([]Path, 0, len(finals))
+	for _, st := range finals {
+		out = append(out, Path{
+			Events:   st.events,
+			Complete: st.stop != stopDiverge,
+			Regs:     st.env,
+		})
+	}
+	return out
+}
+
+func execStmts(ss []Stmt, states []*pathState, universe []int, thName string) []*pathState {
+	for _, s := range ss {
+		var next []*pathState
+		for _, st := range states {
+			if st.stop != stopNone {
+				next = append(next, st)
+				continue
+			}
+			next = append(next, execStmt(s, st, universe, thName)...)
+		}
+		states = next
+	}
+	return states
+}
+
+func execStmt(s Stmt, st *pathState, universe []int, thName string) []*pathState {
+	switch s := s.(type) {
+	case Read:
+		loc := s.Loc.Name(st.env)
+		out := make([]*pathState, 0, len(universe))
+		for _, v := range universe {
+			ns := st.clone()
+			ns.emit(event.KRead, loc, v, "")
+			ns.env[s.RegName] = v
+			out = append(out, ns)
+		}
+		return out
+
+	case Write:
+		st.emit(event.KWrite, s.Loc.Name(st.env), s.Val.Eval(st.env), "")
+		return []*pathState{st}
+
+	case Atomic:
+		st.emit(event.KBegin, "", 0, s.Name)
+		results := execStmts(s.Body, []*pathState{st}, universe, thName)
+		var out []*pathState
+		for _, res := range results {
+			switch res.stop {
+			case stopAbort:
+				res.emit(event.KAbort, "", 0, s.Name)
+				res.stop = stopNone
+			case stopDiverge:
+				// Transaction stays live; thread ends.
+			default:
+				res.emit(event.KCommit, "", 0, s.Name)
+			}
+			out = append(out, res)
+		}
+		return out
+
+	case AbortStmt:
+		st.stop = stopAbort
+		return []*pathState{st}
+
+	case If:
+		if s.Cond.Eval(st.env) != 0 {
+			return execStmts(s.Then, []*pathState{st}, universe, thName)
+		}
+		return execStmts(s.Else, []*pathState{st}, universe, thName)
+
+	case While:
+		states := []*pathState{st}
+		for i := 0; i < s.Bound; i++ {
+			var iterate, done []*pathState
+			for _, cur := range states {
+				if cur.stop != stopNone {
+					done = append(done, cur)
+				} else if cur.Cond(s.Cond) {
+					iterate = append(iterate, cur)
+				} else {
+					done = append(done, cur)
+				}
+			}
+			if len(iterate) == 0 {
+				states = done
+				break
+			}
+			states = append(done, execStmts(s.Body, iterate, universe, thName)...)
+		}
+		// Any state whose condition still holds after the bound diverges.
+		for _, cur := range states {
+			if cur.stop == stopNone && cur.Cond(s.Cond) {
+				cur.stop = stopDiverge
+			}
+		}
+		return states
+
+	case Let:
+		st.env[s.RegName] = s.Val.Eval(st.env)
+		return []*pathState{st}
+
+	case Fence:
+		// §5 encoding: a fence behaves like a committed transaction
+		// writing the location.
+		st.nfence++
+		tx := fmt.Sprintf("%s.q%d", thName, st.nfence)
+		st.emit(event.KBegin, "", 0, tx)
+		st.emit(event.KWrite, s.Loc.Name(st.env), event.SentinelVal, "")
+		st.emit(event.KCommit, "", 0, tx)
+		return []*pathState{st}
+	}
+	panic(fmt.Sprintf("prog: unknown statement %T", s))
+}
+
+// Cond evaluates an expression as a boolean in the state's register file.
+func (st *pathState) Cond(e Expr) bool { return e.Eval(st.env) != 0 }
+
+// ValueUniverse computes the read-value universe of the program: the least
+// set containing 0, every constant, every ExtraValue, and every value any
+// path can write when reads range over the universe. The fixpoint is capped
+// at eight rounds (sufficient for all catalog programs; capped growth is
+// sound for forbidden-outcome checks because unmatched read values are
+// discarded by the enumerator).
+func ValueUniverse(p *Program) []int {
+	if p.Universe != nil {
+		set := map[int]bool{0: true}
+		for _, v := range p.Universe {
+			set[v] = true
+		}
+		u := make([]int, 0, len(set))
+		for v := range set {
+			u = append(u, v)
+		}
+		sort.Ints(u)
+		return u
+	}
+	u := p.Constants()
+	for iter := 0; iter < 8; iter++ {
+		set := make(map[int]bool, len(u))
+		for _, v := range u {
+			set[v] = true
+		}
+		before := len(set)
+		for _, th := range p.Threads {
+			for _, path := range ThreadPaths(th, u) {
+				for _, ev := range path.Events {
+					if ev.Kind == event.KWrite && ev.Val != event.SentinelVal {
+						set[ev.Val] = true
+					}
+				}
+			}
+		}
+		if len(set) == before {
+			return u
+		}
+		u = u[:0]
+		for v := range set {
+			u = append(u, v)
+		}
+		sort.Ints(u)
+	}
+	return u
+}

@@ -1,0 +1,307 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"modtx/internal/event"
+)
+
+func TestExprEval(t *testing.T) {
+	env := Env{"r": 3, "q": 0}
+	cases := []struct {
+		e    Expr
+		want int
+	}{
+		{Const(7), 7},
+		{Reg("r"), 3},
+		{Reg("unset"), 0},
+		{Bin{OpAdd, Reg("r"), Const(2)}, 5},
+		{Bin{OpSub, Reg("r"), Const(1)}, 2},
+		{Bin{OpMul, Reg("r"), Const(2)}, 6},
+		{Bin{OpEq, Reg("r"), Const(3)}, 1},
+		{Bin{OpNe, Reg("r"), Const(3)}, 0},
+		{Bin{OpLt, Reg("q"), Reg("r")}, 1},
+		{Bin{OpAnd, Reg("r"), Reg("q")}, 0},
+		{Bin{OpOr, Reg("r"), Reg("q")}, 1},
+		{Not{Reg("q")}, 1},
+		{Not{Reg("r")}, 0},
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(env); got != c.want {
+			t.Errorf("%s = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestLocExpr(t *testing.T) {
+	env := Env{"i": 2}
+	if got := At("x").Name(env); got != "x" {
+		t.Errorf("scalar name = %q", got)
+	}
+	if got := AtIdx("z", Reg("i")).Name(env); got != "z[2]" {
+		t.Errorf("cell name = %q", got)
+	}
+	if Cell("z", 0) != "z[0]" {
+		t.Error("Cell naming broken")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Program{
+		Name: "ok",
+		Locs: []string{"x"},
+		Threads: []Thread{{Name: "t1", Body: []Stmt{
+			Atomic{Name: "a", Body: []Stmt{Write{At("x"), Const(1)}, AbortStmt{}}},
+		}}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Program{
+		{Name: "dup", Locs: []string{"x", "x"}},
+		{Name: "undeclared", Locs: []string{"x"}, Threads: []Thread{
+			{Name: "t", Body: []Stmt{Write{At("y"), Const(1)}}}}},
+		{Name: "abort-outside", Locs: []string{"x"}, Threads: []Thread{
+			{Name: "t", Body: []Stmt{AbortStmt{}}}}},
+		{Name: "nested", Locs: []string{"x"}, Threads: []Thread{
+			{Name: "t", Body: []Stmt{Atomic{Name: "a", Body: []Stmt{Atomic{Name: "b"}}}}}}},
+		{Name: "fence-in-tx", Locs: []string{"x"}, Threads: []Thread{
+			{Name: "t", Body: []Stmt{Atomic{Name: "a", Body: []Stmt{Fence{At("x")}}}}}}},
+		{Name: "bad-bound", Locs: []string{"x"}, Threads: []Thread{
+			{Name: "t", Body: []Stmt{While{Cond: Const(1), Bound: 0}}}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %s validated but should not", p.Name)
+		}
+	}
+}
+
+func TestThreadPathsStraightLine(t *testing.T) {
+	th := Thread{Name: "t", Body: []Stmt{
+		Write{At("x"), Const(1)},
+		Read{"r", At("x")},
+	}}
+	paths := ThreadPaths(th, []int{0, 1})
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2 (read forks over universe)", len(paths))
+	}
+	for _, p := range paths {
+		if !p.Complete {
+			t.Error("straight-line path marked incomplete")
+		}
+		if len(p.Events) != 2 {
+			t.Errorf("path has %d events, want 2", len(p.Events))
+		}
+		if p.Events[0].Kind != event.KWrite || p.Events[0].Val != 1 {
+			t.Errorf("first event wrong: %+v", p.Events[0])
+		}
+	}
+}
+
+func TestThreadPathsBranch(t *testing.T) {
+	th := Thread{Name: "t", Body: []Stmt{
+		Read{"r", At("y")},
+		If{Cond: Not{Reg("r")}, Then: []Stmt{Write{At("x"), Const(1)}}},
+	}}
+	paths := ThreadPaths(th, []int{0, 1})
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	wrote := map[int]bool{}
+	for _, p := range paths {
+		hasWrite := false
+		for _, e := range p.Events {
+			if e.Kind == event.KWrite {
+				hasWrite = true
+			}
+		}
+		wrote[p.Regs["r"]] = hasWrite
+	}
+	if !wrote[0] || wrote[1] {
+		t.Errorf("branch paths wrong: %v", wrote)
+	}
+}
+
+func TestThreadPathsAbort(t *testing.T) {
+	th := Thread{Name: "t", Body: []Stmt{
+		Atomic{Name: "a", Body: []Stmt{
+			Read{"r", At("y")},
+			If{Cond: Not{Reg("r")}, Then: []Stmt{Write{At("x"), Const(1)}, AbortStmt{}}},
+		}},
+		Write{At("z"), Const(5)},
+	}}
+	paths := ThreadPaths(th, []int{0, 1})
+	for _, p := range paths {
+		kinds := make([]event.Kind, len(p.Events))
+		for i, e := range p.Events {
+			kinds[i] = e.Kind
+		}
+		if p.Regs["r"] == 0 {
+			// Begin, Read, Write, Abort, Write z
+			want := []event.Kind{event.KBegin, event.KRead, event.KWrite, event.KAbort, event.KWrite}
+			if len(kinds) != len(want) {
+				t.Fatalf("abort path kinds = %v", kinds)
+			}
+			for i := range want {
+				if kinds[i] != want[i] {
+					t.Fatalf("abort path kinds = %v", kinds)
+				}
+			}
+		} else {
+			// Begin, Read, Commit, Write z
+			if kinds[len(kinds)-2] != event.KCommit {
+				t.Fatalf("commit path kinds = %v", kinds)
+			}
+		}
+		if !p.Complete {
+			t.Error("aborting path should still complete the thread")
+		}
+	}
+}
+
+func TestThreadPathsWhileDiverges(t *testing.T) {
+	// r := x; while r { r := x }  with universe {0,1}: the path that always
+	// reads 1 exhausts the bound and diverges.
+	th := Thread{Name: "t", Body: []Stmt{
+		Read{"r", At("x")},
+		While{Cond: Reg("r"), Body: []Stmt{Read{"r", At("x")}}, Bound: 2},
+		Write{At("y"), Const(1)},
+	}}
+	paths := ThreadPaths(th, []int{0, 1})
+	var complete, diverged int
+	for _, p := range paths {
+		if p.Complete {
+			complete++
+			if p.Events[len(p.Events)-1].Kind != event.KWrite {
+				t.Error("complete path missing trailing write")
+			}
+		} else {
+			diverged++
+			for _, e := range p.Events {
+				if e.Kind == event.KWrite && e.Loc == "y" {
+					t.Error("diverged path executed code after the loop")
+				}
+			}
+		}
+	}
+	if complete == 0 || diverged == 0 {
+		t.Fatalf("complete=%d diverged=%d, want both nonzero", complete, diverged)
+	}
+}
+
+func TestThreadPathsLiveTxOnDivergence(t *testing.T) {
+	// Divergence inside a transaction leaves it unresolved (live).
+	th := Thread{Name: "t", Body: []Stmt{
+		Atomic{Name: "a", Body: []Stmt{
+			Read{"r", At("x")},
+			While{Cond: Reg("r"), Body: []Stmt{Read{"r", At("x")}}, Bound: 1},
+		}},
+	}}
+	for _, p := range ThreadPaths(th, []int{0, 1}) {
+		if p.Complete {
+			continue
+		}
+		for _, e := range p.Events {
+			if e.Kind == event.KCommit || e.Kind == event.KAbort {
+				t.Error("diverged transaction must stay unresolved")
+			}
+		}
+	}
+}
+
+func TestFenceEncoding(t *testing.T) {
+	th := Thread{Name: "t", Body: []Stmt{Fence{At("x")}}}
+	paths := ThreadPaths(th, []int{0})
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	ev := paths[0].Events
+	if len(ev) != 3 || ev[0].Kind != event.KBegin || ev[1].Kind != event.KWrite || ev[2].Kind != event.KCommit {
+		t.Fatalf("fence encoding wrong: %+v", ev)
+	}
+	if ev[1].Val != event.SentinelVal || ev[1].Loc != "x" {
+		t.Errorf("fence write wrong: %+v", ev[1])
+	}
+}
+
+func TestArrayCells(t *testing.T) {
+	th := Thread{Name: "t", Body: []Stmt{
+		Read{"q", At("x")},
+		Write{AtIdx("z", Reg("q")), Bin{OpAdd, Reg("q"), Const(1)}},
+	}}
+	paths := ThreadPaths(th, []int{0, 1})
+	locs := map[string]bool{}
+	for _, p := range paths {
+		for _, e := range p.Events {
+			if e.Kind == event.KWrite {
+				locs[e.Loc] = true
+			}
+		}
+	}
+	if !locs["z[0]"] || !locs["z[1]"] {
+		t.Errorf("array writes = %v", locs)
+	}
+}
+
+func TestValueUniverseFixpoint(t *testing.T) {
+	// F++ twice: universe must grow to include 1 and 2.
+	inc := []Stmt{
+		Atomic{Name: "a", Body: []Stmt{
+			Read{"r", At("F")},
+			Write{At("F"), Bin{OpAdd, Reg("r"), Const(1)}},
+		}},
+	}
+	p := &Program{
+		Name: "incr",
+		Locs: []string{"F"},
+		Threads: []Thread{
+			{Name: "t1", Body: inc},
+			{Name: "t2", Body: inc},
+		},
+	}
+	u := ValueUniverse(p)
+	has := func(v int) bool {
+		for _, x := range u {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0) || !has(1) || !has(2) {
+		t.Errorf("universe = %v, want ⊇ {0,1,2}", u)
+	}
+}
+
+func TestConstantsAndString(t *testing.T) {
+	p := &Program{
+		Name: "demo",
+		Locs: []string{"x", "y"},
+		Threads: []Thread{{Name: "t1", Body: []Stmt{
+			Atomic{Name: "a", Body: []Stmt{
+				Read{"r", At("y")},
+				If{Cond: Not{Reg("r")}, Then: []Stmt{Write{At("x"), Const(42)}}},
+			}},
+			While{Cond: Reg("r"), Body: []Stmt{Read{"r", At("x")}}, Bound: 1},
+			Fence{At("x")},
+		}}},
+	}
+	cs := p.Constants()
+	found := false
+	for _, c := range cs {
+		if c == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Constants() = %v, missing 42", cs)
+	}
+	s := p.String()
+	for _, want := range []string{"name: demo", "locs: x y", "atomic a {", "x := 42", "while", "fence(x)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

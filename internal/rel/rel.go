@@ -1,0 +1,343 @@
+// Package rel provides a small dense bitset-based binary-relation algebra.
+//
+// Executions in this repository are tiny (tens of events), so relations are
+// represented as n×n bit matrices with one []uint64 row group per source
+// element. All operations used by the memory-model layer — union,
+// composition, transitive closure, acyclicity and irreflexivity checks — are
+// provided here so that the model code in internal/core reads like the
+// paper's definitions.
+package rel
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Rel is a binary relation over {0..n-1} represented as a dense bit matrix.
+// The zero value is not usable; create instances with New.
+type Rel struct {
+	n     int
+	words int // words per row
+	bits  []uint64
+}
+
+// New returns the empty relation over {0..n-1}.
+func New(n int) *Rel {
+	if n < 0 {
+		panic("rel: negative size")
+	}
+	words := (n + 63) / 64
+	return &Rel{n: n, words: words, bits: make([]uint64, n*words)}
+}
+
+// Size returns the size of the carrier set.
+func (r *Rel) Size() int { return r.n }
+
+// Add adds the pair (i, j) to the relation.
+func (r *Rel) Add(i, j int) {
+	r.check(i, j)
+	r.bits[i*r.words+j/64] |= 1 << uint(j%64)
+}
+
+// Remove deletes the pair (i, j) from the relation.
+func (r *Rel) Remove(i, j int) {
+	r.check(i, j)
+	r.bits[i*r.words+j/64] &^= 1 << uint(j%64)
+}
+
+// Has reports whether the pair (i, j) is in the relation.
+func (r *Rel) Has(i, j int) bool {
+	r.check(i, j)
+	return r.bits[i*r.words+j/64]&(1<<uint(j%64)) != 0
+}
+
+func (r *Rel) check(i, j int) {
+	if i < 0 || i >= r.n || j < 0 || j >= r.n {
+		panic(fmt.Sprintf("rel: index (%d,%d) out of range for size %d", i, j, r.n))
+	}
+}
+
+// Clone returns a deep copy.
+func (r *Rel) Clone() *Rel {
+	c := New(r.n)
+	copy(c.bits, r.bits)
+	return c
+}
+
+// Union adds every pair of s to r (in place) and returns r.
+func (r *Rel) Union(s *Rel) *Rel {
+	r.sameSize(s)
+	for i := range r.bits {
+		r.bits[i] |= s.bits[i]
+	}
+	return r
+}
+
+// Minus removes every pair of s from r (in place) and returns r.
+func (r *Rel) Minus(s *Rel) *Rel {
+	r.sameSize(s)
+	for i := range r.bits {
+		r.bits[i] &^= s.bits[i]
+	}
+	return r
+}
+
+// Intersect keeps only pairs present in both r and s (in place) and returns r.
+func (r *Rel) Intersect(s *Rel) *Rel {
+	r.sameSize(s)
+	for i := range r.bits {
+		r.bits[i] &= s.bits[i]
+	}
+	return r
+}
+
+func (r *Rel) sameSize(s *Rel) {
+	if r.n != s.n {
+		panic(fmt.Sprintf("rel: size mismatch %d vs %d", r.n, s.n))
+	}
+}
+
+// UnionOf returns the union of the given relations (all must share a size).
+// At least one relation must be supplied.
+func UnionOf(rs ...*Rel) *Rel {
+	if len(rs) == 0 {
+		panic("rel: UnionOf needs at least one relation")
+	}
+	u := rs[0].Clone()
+	for _, s := range rs[1:] {
+		u.Union(s)
+	}
+	return u
+}
+
+// Compose returns the relational composition r;s
+// = { (i,k) | ∃j. (i,j) ∈ r ∧ (j,k) ∈ s }.
+func Compose(r, s *Rel) *Rel {
+	r.sameSize(s)
+	out := New(r.n)
+	for i := 0; i < r.n; i++ {
+		row := r.bits[i*r.words : (i+1)*r.words]
+		dst := out.bits[i*out.words : (i+1)*out.words]
+		for w, word := range row {
+			for word != 0 {
+				b := trailingZeros(word)
+				word &^= 1 << uint(b)
+				j := w*64 + b
+				src := s.bits[j*s.words : (j+1)*s.words]
+				for k := range dst {
+					dst[k] |= src[k]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TransitiveClosure returns the transitive closure r⁺ (not reflexive).
+func (r *Rel) TransitiveClosure() *Rel {
+	c := r.Clone()
+	// Floyd–Warshall over bit rows: for each intermediate j, every i with
+	// (i,j) absorbs row j.
+	for j := 0; j < c.n; j++ {
+		rowJ := c.bits[j*c.words : (j+1)*c.words]
+		for i := 0; i < c.n; i++ {
+			if i == j || !c.Has(i, j) {
+				continue
+			}
+			rowI := c.bits[i*c.words : (i+1)*c.words]
+			for w := range rowI {
+				rowI[w] |= rowJ[w]
+			}
+		}
+	}
+	return c
+}
+
+// ReflexiveTransitiveClosure returns r* = r⁺ ∪ id.
+func (r *Rel) ReflexiveTransitiveClosure() *Rel {
+	c := r.TransitiveClosure()
+	for i := 0; i < c.n; i++ {
+		c.Add(i, i)
+	}
+	return c
+}
+
+// Irreflexive reports whether no (i,i) pair is present.
+func (r *Rel) Irreflexive() bool {
+	for i := 0; i < r.n; i++ {
+		if r.Has(i, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Acyclic reports whether the relation, viewed as a directed graph,
+// contains no cycle (equivalently, its transitive closure is irreflexive).
+func (r *Rel) Acyclic() bool {
+	return r.TransitiveClosure().Irreflexive()
+}
+
+// Equal reports whether r and s contain exactly the same pairs.
+func (r *Rel) Equal(s *Rel) bool {
+	if r.n != s.n {
+		return false
+	}
+	for i := range r.bits {
+		if r.bits[i] != s.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every pair of r is also in s.
+func (r *Rel) SubsetOf(s *Rel) bool {
+	r.sameSize(s)
+	for i := range r.bits {
+		if r.bits[i]&^s.bits[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsEmpty reports whether the relation has no pairs.
+func (r *Rel) IsEmpty() bool {
+	for _, w := range r.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of pairs in the relation.
+func (r *Rel) Len() int {
+	n := 0
+	for _, w := range r.bits {
+		n += popCount(w)
+	}
+	return n
+}
+
+// Pairs returns all pairs (i,j) in the relation in row-major order.
+func (r *Rel) Pairs() [][2]int {
+	var out [][2]int
+	r.Each(func(i, j int) { out = append(out, [2]int{i, j}) })
+	return out
+}
+
+// Each calls f for every pair (i, j) in the relation in row-major order.
+func (r *Rel) Each(f func(i, j int)) {
+	for i := 0; i < r.n; i++ {
+		row := r.bits[i*r.words : (i+1)*r.words]
+		for w, word := range row {
+			for word != 0 {
+				b := trailingZeros(word)
+				word &^= 1 << uint(b)
+				f(i, w*64+b)
+			}
+		}
+	}
+}
+
+// Successors returns all j such that (i,j) ∈ r.
+func (r *Rel) Successors(i int) []int {
+	var out []int
+	row := r.bits[i*r.words : (i+1)*r.words]
+	for w, word := range row {
+		for word != 0 {
+			b := trailingZeros(word)
+			word &^= 1 << uint(b)
+			out = append(out, w*64+b)
+		}
+	}
+	return out
+}
+
+// Restrict returns the subrelation of pairs whose endpoints both satisfy keep.
+func (r *Rel) Restrict(keep func(int) bool) *Rel {
+	out := New(r.n)
+	r.Each(func(i, j int) {
+		if keep(i) && keep(j) {
+			out.Add(i, j)
+		}
+	})
+	return out
+}
+
+// Filter returns the subrelation of pairs satisfying keep.
+func (r *Rel) Filter(keep func(i, j int) bool) *Rel {
+	out := New(r.n)
+	r.Each(func(i, j int) {
+		if keep(i, j) {
+			out.Add(i, j)
+		}
+	})
+	return out
+}
+
+// Inverse returns the converse relation { (j,i) | (i,j) ∈ r }.
+func (r *Rel) Inverse() *Rel {
+	out := New(r.n)
+	r.Each(func(i, j int) { out.Add(j, i) })
+	return out
+}
+
+// TopoSort returns a topological order of {0..n-1} consistent with the
+// relation, or ok=false if the relation is cyclic. Ties are broken by
+// preferring smaller indices, making the output deterministic.
+func (r *Rel) TopoSort() (order []int, ok bool) {
+	indeg := make([]int, r.n)
+	r.Each(func(i, j int) {
+		if i != j {
+			indeg[j]++
+		} else {
+			indeg[j] += r.n + 1 // self loop: never ready
+		}
+	})
+	order = make([]int, 0, r.n)
+	ready := make([]bool, r.n)
+	for {
+		next := -1
+		for i := 0; i < r.n; i++ {
+			if !ready[i] && indeg[i] == 0 {
+				next = i
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		ready[next] = true
+		order = append(order, next)
+		for _, j := range r.Successors(next) {
+			if j != next {
+				indeg[j]--
+			}
+		}
+	}
+	return order, len(order) == r.n
+}
+
+// String renders the relation as a list of arrows, for debugging.
+func (r *Rel) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	r.Each(func(i, j int) {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d→%d", i, j)
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+func popCount(x uint64) int { return bits.OnesCount64(x) }

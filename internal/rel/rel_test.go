@@ -1,0 +1,258 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	r := New(70) // spans more than one word per row
+	pairs := [][2]int{{0, 0}, {0, 69}, {69, 0}, {13, 64}, {64, 63}}
+	for _, p := range pairs {
+		if r.Has(p[0], p[1]) {
+			t.Fatalf("empty relation has (%d,%d)", p[0], p[1])
+		}
+		r.Add(p[0], p[1])
+		if !r.Has(p[0], p[1]) {
+			t.Fatalf("pair (%d,%d) missing after Add", p[0], p[1])
+		}
+	}
+	if got := r.Len(); got != len(pairs) {
+		t.Fatalf("Len = %d, want %d", got, len(pairs))
+	}
+	r.Remove(0, 69)
+	if r.Has(0, 69) {
+		t.Fatal("pair (0,69) present after Remove")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	New(3).Add(0, 3)
+}
+
+func TestUnionMinusIntersect(t *testing.T) {
+	a := New(5)
+	a.Add(0, 1)
+	a.Add(1, 2)
+	b := New(5)
+	b.Add(1, 2)
+	b.Add(2, 3)
+
+	u := a.Clone().Union(b)
+	for _, p := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if !u.Has(p[0], p[1]) {
+			t.Errorf("union missing (%d,%d)", p[0], p[1])
+		}
+	}
+	m := a.Clone().Minus(b)
+	if !m.Has(0, 1) || m.Has(1, 2) {
+		t.Errorf("minus wrong: %v", m)
+	}
+	i := a.Clone().Intersect(b)
+	if i.Has(0, 1) || !i.Has(1, 2) || i.Has(2, 3) {
+		t.Errorf("intersect wrong: %v", i)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	r := New(4)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	s := New(4)
+	s.Add(1, 3)
+	s.Add(2, 0)
+	c := Compose(r, s)
+	want := [][2]int{{0, 3}, {1, 0}}
+	if c.Len() != len(want) {
+		t.Fatalf("compose has %d pairs, want %d: %v", c.Len(), len(want), c)
+	}
+	for _, p := range want {
+		if !c.Has(p[0], p[1]) {
+			t.Errorf("compose missing (%d,%d)", p[0], p[1])
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := New(5)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 3)
+	c := r.TransitiveClosure()
+	for _, p := range [][2]int{{0, 2}, {0, 3}, {1, 3}} {
+		if !c.Has(p[0], p[1]) {
+			t.Errorf("closure missing (%d,%d)", p[0], p[1])
+		}
+	}
+	if c.Has(3, 0) {
+		t.Error("closure has spurious (3,0)")
+	}
+	if !c.Irreflexive() {
+		t.Error("closure of a chain should be irreflexive")
+	}
+}
+
+func TestAcyclic(t *testing.T) {
+	r := New(4)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	if !r.Acyclic() {
+		t.Error("chain reported cyclic")
+	}
+	r.Add(2, 0)
+	if r.Acyclic() {
+		t.Error("3-cycle reported acyclic")
+	}
+	s := New(2)
+	s.Add(0, 0)
+	if s.Acyclic() {
+		t.Error("self-loop reported acyclic")
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	r := New(5)
+	r.Add(3, 1)
+	r.Add(1, 0)
+	r.Add(2, 0)
+	order, ok := r.TopoSort()
+	if !ok {
+		t.Fatal("acyclic relation failed to sort")
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	r.Each(func(i, j int) {
+		if pos[i] >= pos[j] {
+			t.Errorf("order violates edge %d→%d", i, j)
+		}
+	})
+
+	r.Add(0, 3) // introduces a cycle 3→1→0→3
+	if _, ok := r.TopoSort(); ok {
+		t.Error("cyclic relation sorted")
+	}
+}
+
+func TestSubsetEqualEmpty(t *testing.T) {
+	a := New(4)
+	a.Add(0, 1)
+	b := a.Clone()
+	b.Add(1, 2)
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("subset check wrong")
+	}
+	if a.Equal(b) || !a.Equal(a.Clone()) {
+		t.Error("equality check wrong")
+	}
+	if a.IsEmpty() || !New(4).IsEmpty() {
+		t.Error("emptiness check wrong")
+	}
+}
+
+func TestInverseRestrictFilter(t *testing.T) {
+	r := New(4)
+	r.Add(0, 1)
+	r.Add(2, 3)
+	inv := r.Inverse()
+	if !inv.Has(1, 0) || !inv.Has(3, 2) || inv.Len() != 2 {
+		t.Errorf("inverse wrong: %v", inv)
+	}
+	res := r.Restrict(func(i int) bool { return i < 2 })
+	if !res.Has(0, 1) || res.Has(2, 3) {
+		t.Errorf("restrict wrong: %v", res)
+	}
+	fil := r.Filter(func(i, j int) bool { return j == 3 })
+	if fil.Has(0, 1) || !fil.Has(2, 3) {
+		t.Errorf("filter wrong: %v", fil)
+	}
+}
+
+func TestSuccessorsPairsEach(t *testing.T) {
+	r := New(70)
+	r.Add(1, 0)
+	r.Add(1, 65)
+	succ := r.Successors(1)
+	if len(succ) != 2 || succ[0] != 0 || succ[1] != 65 {
+		t.Errorf("Successors = %v", succ)
+	}
+	if got := r.Pairs(); len(got) != 2 {
+		t.Errorf("Pairs = %v", got)
+	}
+}
+
+func randomRel(rng *rand.Rand, n, edges int) *Rel {
+	r := New(n)
+	for e := 0; e < edges; e++ {
+		r.Add(rng.Intn(n), rng.Intn(n))
+	}
+	return r
+}
+
+// Property: transitive closure is idempotent and contains the original.
+func TestClosureProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		r := randomRel(rng, 12, rng.Intn(30))
+		c := r.TransitiveClosure()
+		if !r.SubsetOf(c) {
+			t.Fatal("closure does not contain original")
+		}
+		if !c.TransitiveClosure().Equal(c) {
+			t.Fatal("closure not idempotent")
+		}
+		// Closure must be transitively closed: c;c ⊆ c.
+		if !Compose(c, c).SubsetOf(c) {
+			t.Fatal("closure not transitive")
+		}
+	}
+}
+
+// Property: composition is associative.
+func TestComposeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 100; iter++ {
+		a := randomRel(rng, 10, 15)
+		b := randomRel(rng, 10, 15)
+		c := randomRel(rng, 10, 15)
+		left := Compose(Compose(a, b), c)
+		right := Compose(a, Compose(b, c))
+		if !left.Equal(right) {
+			t.Fatal("composition not associative")
+		}
+	}
+}
+
+// Property: TopoSort succeeds iff relation is acyclic.
+func TestTopoSortIffAcyclic(t *testing.T) {
+	f := func(seed int64, nEdges uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRel(rng, 9, int(nEdges%40))
+		_, ok := r.TopoSort()
+		return ok == r.Acyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is the least upper bound (both operands are subsets).
+func TestUnionProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomRel(rng, 8, 12)
+		b := randomRel(rng, 8, 12)
+		u := UnionOf(a, b)
+		return a.SubsetOf(u) && b.SubsetOf(u) && u.Len() <= a.Len()+b.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

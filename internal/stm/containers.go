@@ -1,0 +1,179 @@
+package stm
+
+// Transactional containers built on the Var primitive, demonstrating the
+// composability that motivates STM (§7: "Transactions are motivated by the
+// issues that arise with lock-based programming"). All operations run
+// inside caller-supplied or self-managed transactions and compose with
+// arbitrary other transactional state.
+
+// Queue is a bounded transactional FIFO of int64.
+type Queue struct {
+	s          *STM
+	buf        []*Var
+	head, tail *Var // indices modulo len(buf)
+	size       *Var
+}
+
+// NewQueue creates a bounded transactional queue.
+func (s *STM) NewQueue(name string, capacity int) *Queue {
+	if capacity <= 0 {
+		panic("stm: queue capacity must be positive")
+	}
+	q := &Queue{
+		s:    s,
+		buf:  make([]*Var, capacity),
+		head: s.NewVar(name+".head", 0),
+		tail: s.NewVar(name+".tail", 0),
+		size: s.NewVar(name+".size", 0),
+	}
+	for i := range q.buf {
+		q.buf[i] = s.NewVar(name+".buf", 0)
+	}
+	return q
+}
+
+// EnqueueTx appends v inside an existing transaction; reports false when
+// the queue is full.
+func (q *Queue) EnqueueTx(tx *Tx, v int64) bool {
+	n := tx.Read(q.size)
+	if int(n) == len(q.buf) {
+		return false
+	}
+	t := tx.Read(q.tail)
+	tx.Write(q.buf[t], v)
+	tx.Write(q.tail, (t+1)%int64(len(q.buf)))
+	tx.Write(q.size, n+1)
+	return true
+}
+
+// DequeueTx removes the head inside an existing transaction; ok is false
+// when the queue is empty.
+func (q *Queue) DequeueTx(tx *Tx) (v int64, ok bool) {
+	n := tx.Read(q.size)
+	if n == 0 {
+		return 0, false
+	}
+	h := tx.Read(q.head)
+	v = tx.Read(q.buf[h])
+	tx.Write(q.head, (h+1)%int64(len(q.buf)))
+	tx.Write(q.size, n-1)
+	return v, true
+}
+
+// Enqueue runs EnqueueTx in its own transaction.
+func (q *Queue) Enqueue(v int64) (ok bool, err error) {
+	err = q.s.Atomically(func(tx *Tx) error {
+		ok = q.EnqueueTx(tx, v)
+		return nil
+	})
+	return ok, err
+}
+
+// Dequeue runs DequeueTx in its own transaction.
+func (q *Queue) Dequeue() (v int64, ok bool, err error) {
+	err = q.s.Atomically(func(tx *Tx) error {
+		v, ok = q.DequeueTx(tx)
+		return nil
+	})
+	return v, ok, err
+}
+
+// Len returns the current size (its own read-only transaction).
+func (q *Queue) Len() (int, error) {
+	var n int64
+	err := q.s.Atomically(func(tx *Tx) error {
+		n = tx.Read(q.size)
+		return nil
+	})
+	return int(n), err
+}
+
+// Set is a fixed-capacity transactional hash set of int64 with open
+// addressing. Capacity is fixed at creation; Add reports false when full.
+type Set struct {
+	s     *STM
+	slots []*Var // 0 = empty; values are stored biased by +1
+	count *Var
+}
+
+// NewSet creates a transactional set with the given slot capacity.
+func (s *STM) NewSet(name string, capacity int) *Set {
+	if capacity <= 0 {
+		panic("stm: set capacity must be positive")
+	}
+	set := &Set{s: s, slots: make([]*Var, capacity), count: s.NewVar(name+".count", 0)}
+	for i := range set.slots {
+		set.slots[i] = s.NewVar(name+".slot", 0)
+	}
+	return set
+}
+
+func (s *Set) probe(v int64) int {
+	h := uint64(v*2654435761) % uint64(len(s.slots))
+	return int(h)
+}
+
+// AddTx inserts v (must be non-negative) inside a transaction; returns
+// false if the set is full. Idempotent for present values.
+func (s *Set) AddTx(tx *Tx, v int64) bool {
+	key := v + 1
+	i := s.probe(v)
+	for n := 0; n < len(s.slots); n++ {
+		cur := tx.Read(s.slots[i])
+		if cur == key {
+			return true
+		}
+		if cur == 0 {
+			tx.Write(s.slots[i], key)
+			tx.Write(s.count, tx.Read(s.count)+1)
+			return true
+		}
+		i = (i + 1) % len(s.slots)
+	}
+	return false
+}
+
+// ContainsTx reports membership inside a transaction.
+func (s *Set) ContainsTx(tx *Tx, v int64) bool {
+	key := v + 1
+	i := s.probe(v)
+	for n := 0; n < len(s.slots); n++ {
+		cur := tx.Read(s.slots[i])
+		if cur == key {
+			return true
+		}
+		if cur == 0 {
+			return false
+		}
+		i = (i + 1) % len(s.slots)
+	}
+	return false
+}
+
+// Add runs AddTx in its own transaction.
+func (s *Set) Add(v int64) (ok bool, err error) {
+	err = s.s.Atomically(func(tx *Tx) error {
+		ok = s.AddTx(tx, v)
+		return nil
+	})
+	return ok, err
+}
+
+// Contains runs ContainsTx in its own transaction.
+func (s *Set) Contains(v int64) (ok bool, err error) {
+	err = s.s.Atomically(func(tx *Tx) error {
+		ok = s.ContainsTx(tx, v)
+		return nil
+	})
+	return ok, err
+}
+
+// Size returns the element count.
+func (s *Set) Size() (int, error) {
+	var n int64
+	err := s.s.Atomically(func(tx *Tx) error {
+		n = tx.Read(s.count)
+		return nil
+	})
+	return int(n), err
+}

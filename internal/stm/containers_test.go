@@ -1,0 +1,245 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueSequential(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		q := s.NewQueue("q", 4)
+		for i := int64(1); i <= 4; i++ {
+			ok, err := q.Enqueue(i)
+			if err != nil || !ok {
+				t.Fatalf("enqueue %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+		if ok, _ := q.Enqueue(5); ok {
+			t.Error("enqueue succeeded on a full queue")
+		}
+		for i := int64(1); i <= 4; i++ {
+			v, ok, err := q.Dequeue()
+			if err != nil || !ok || v != i {
+				t.Fatalf("dequeue: v=%d ok=%v err=%v, want %d", v, ok, err, i)
+			}
+		}
+		if _, ok, _ := q.Dequeue(); ok {
+			t.Error("dequeue succeeded on an empty queue")
+		}
+	})
+}
+
+func TestQueueConcurrentTransfer(t *testing.T) {
+	// Producers enqueue 1..N through a small queue while one consumer
+	// drains exactly N values; every value must arrive exactly once
+	// (atomicity of the multi-var queue operations).
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		q := s.NewQueue("q", 8)
+		const total = 400
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < total/4; i++ {
+					v := int64(p*(total/4) + i + 1)
+					for {
+						ok, err := q.Enqueue(v)
+						if err != nil {
+							t.Errorf("enqueue: %v", err)
+							return
+						}
+						if ok {
+							break
+						}
+					}
+				}
+			}()
+		}
+		got := map[int64]int{}
+		for len(got) < total {
+			v, ok, err := q.Dequeue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				continue
+			}
+			got[v]++
+		}
+		wg.Wait()
+		for v := int64(1); v <= total; v++ {
+			if got[v] != 1 {
+				t.Fatalf("value %d seen %d times", v, got[v])
+			}
+		}
+		if n, _ := q.Len(); n != 0 {
+			t.Fatalf("queue not drained: %d left", n)
+		}
+	})
+}
+
+func TestSetBasics(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		set := s.NewSet("s", 16)
+		for _, v := range []int64{3, 1, 4, 1, 5, 9, 2, 6} {
+			if ok, err := set.Add(v); err != nil || !ok {
+				t.Fatalf("add %d: %v", v, err)
+			}
+		}
+		n, err := set.Size()
+		if err != nil || n != 7 { // 1 inserted twice
+			t.Fatalf("size = %d (err %v), want 7", n, err)
+		}
+		for _, v := range []int64{3, 1, 4, 5, 9, 2, 6} {
+			if ok, _ := set.Contains(v); !ok {
+				t.Errorf("missing %d", v)
+			}
+		}
+		if ok, _ := set.Contains(8); ok {
+			t.Error("phantom member 8")
+		}
+	})
+}
+
+func TestSetFull(t *testing.T) {
+	s := New(Options{Engine: Lazy})
+	set := s.NewSet("s", 3)
+	for v := int64(0); v < 3; v++ {
+		if ok, _ := set.Add(v * 7); !ok {
+			t.Fatalf("add %d failed", v)
+		}
+	}
+	if ok, _ := set.Add(99); ok {
+		t.Error("add succeeded on a full set")
+	}
+	// Existing members still succeed idempotently.
+	if ok, _ := set.Add(0); !ok {
+		t.Error("idempotent add of existing member failed")
+	}
+}
+
+func TestSetConcurrentInserts(t *testing.T) {
+	s := New(Options{Engine: Lazy})
+	set := s.NewSet("s", 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if ok, err := set.Add(int64(g*25 + i)); err != nil || !ok {
+					t.Errorf("add: ok=%v err=%v", ok, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n, _ := set.Size()
+	if n != 100 {
+		t.Fatalf("size = %d, want 100", n)
+	}
+}
+
+// Property: a queue drained after arbitrary interleaved operations yields
+// exactly the enqueued-but-not-dequeued values in FIFO order.
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := New(Options{Engine: Lazy})
+		q := s.NewQueue("q", 8)
+		var model []int64
+		next := int64(1)
+		for _, o := range ops {
+			if o%2 == 0 {
+				ok, err := q.Enqueue(next)
+				if err != nil {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				} else if len(model) != 8 {
+					return false
+				}
+				next++
+			} else {
+				v, ok, err := q.Dequeue()
+				if err != nil {
+					return false
+				}
+				if ok {
+					if len(model) == 0 || model[0] != v {
+						return false
+					}
+					model = model[1:]
+				} else if len(model) != 0 {
+					return false
+				}
+			}
+		}
+		n, _ := q.Len()
+		return n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Composability: move an element between two queues atomically; observers
+// never see it in both or neither (when accounting the in-flight count).
+func TestQueueComposedTransfer(t *testing.T) {
+	s := New(Options{Engine: Lazy})
+	a := s.NewQueue("a", 8)
+	b := s.NewQueue("b", 8)
+	for i := int64(1); i <= 8; i++ {
+		if ok, _ := a.Enqueue(i); !ok {
+			t.Fatal("seed enqueue failed")
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // observer: total across both queues is invariant
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var total int64
+			_ = s.Atomically(func(tx *Tx) error {
+				total = tx.Read(a.size) + tx.Read(b.size)
+				return nil
+			})
+			if total != 8 {
+				t.Errorf("observer saw total %d, want 8", total)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		err := s.Atomically(func(tx *Tx) error {
+			v, ok := a.DequeueTx(tx)
+			if !ok {
+				return ErrAbort
+			}
+			if !b.EnqueueTx(tx, v) {
+				return ErrAbort
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("transfer %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	na, _ := a.Len()
+	nb, _ := b.Len()
+	if na != 0 || nb != 8 {
+		t.Fatalf("a=%d b=%d, want 0/8", na, nb)
+	}
+}

@@ -1,0 +1,230 @@
+// Package stm is a software transactional memory for Go that realizes the
+// paper's implementation model (§5): transactions provide ordering between
+// directly dependent transactions (publication is safe by construction),
+// while mixed-mode idioms without direct dependencies (privatization)
+// require quiescence fences.
+//
+// Three engines are provided:
+//
+//   - Lazy: TL2-style lazy versioning — writes are buffered and applied at
+//     commit under per-variable versioned locks, validated against a
+//     global version clock. Exhibits the delayed-writeback privatization
+//     anomaly of §3.5/§5 unless fences are used.
+//   - Eager: encounter-time locking with an undo log — writes are applied
+//     in place and rolled back on abort. Exhibits the speculative-
+//     lost-update and dirty-read anomalies of §3.4 under mixed access.
+//   - GlobalLock: a single global mutex around each transaction; the
+//     strongest (and slowest) baseline.
+//
+// Mixed-mode access is supported through Var.Load and Var.Store, which are
+// plain (non-transactional) atomic accesses. Quiesce implements the
+// quiescence fence ⟨Qx⟩: it waits for every transaction that was active
+// when the fence began (a conservative, location-oblivious implementation
+// of WF12/HBCQ/HBQB).
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Engine selects the versioning strategy.
+type Engine int
+
+// Available engines.
+const (
+	Lazy Engine = iota
+	Eager
+	GlobalLock
+)
+
+func (e Engine) String() string {
+	switch e {
+	case Lazy:
+		return "lazy"
+	case Eager:
+		return "eager"
+	case GlobalLock:
+		return "global-lock"
+	}
+	return "unknown"
+}
+
+// ErrAbort is returned by transaction bodies to abort without retrying.
+// Atomically rolls the transaction back and returns ErrAbort.
+var ErrAbort = errors.New("stm: transaction aborted by user")
+
+// ErrMaxRetries reports that a transaction exceeded its retry budget.
+var ErrMaxRetries = errors.New("stm: transaction exceeded retry budget")
+
+const lockedBit = 1
+
+// Var is a transactional variable holding an int64.
+//
+// meta packs a TL2-style versioned lock: version<<1 | lockedBit. The value
+// lives in val and is accessed with atomic loads/stores so that mixed-mode
+// access is a race only at the model level, not a Go data race.
+type Var struct {
+	id   uint64
+	name string
+	meta atomic.Uint64
+	val  atomic.Int64
+}
+
+// Name returns the variable's diagnostic name.
+func (v *Var) Name() string { return v.name }
+
+// Load performs a plain (non-transactional) read.
+func (v *Var) Load() int64 { return v.val.Load() }
+
+// Store performs a plain (non-transactional) write. It does not interact
+// with the transactional version clock: ordering against transactions is
+// the programmer's responsibility, exactly as in the paper's mixed-race
+// model (use Quiesce for privatization).
+func (v *Var) Store(x int64) { v.val.Store(x) }
+
+func version(meta uint64) uint64 { return meta >> 1 }
+func isLocked(meta uint64) bool  { return meta&lockedBit != 0 }
+
+// Options configures an STM instance.
+type Options struct {
+	Engine Engine
+	// MaxRetries bounds the commit attempts per Atomically call
+	// (0 = 1,000,000).
+	MaxRetries int
+	// QuiesceSlots sizes the active-transaction table used by Quiesce
+	// (0 = 8×GOMAXPROCS, minimum 64).
+	QuiesceSlots int
+}
+
+// Stats are cumulative counters, safe to read concurrently.
+type Stats struct {
+	Commits    atomic.Uint64
+	Conflicts  atomic.Uint64
+	UserAborts atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Commits    uint64
+	Conflicts  uint64
+	UserAborts uint64
+}
+
+// STM is a transactional memory instance. Vars belong to the instance that
+// created them; mixing instances is a programming error.
+type STM struct {
+	engine     Engine
+	maxRetries int
+	clock      atomic.Uint64 // global version clock (TL2)
+	txSeq      atomic.Uint64 // transaction admission sequence (quiescence)
+	nextVarID  atomic.Uint64
+	glock      chan struct{} // global-lock engine's mutex (chan for TryLock-free simplicity)
+	slots      []slot
+	stats      Stats
+
+	// Test hooks, called at anomaly windows when non-nil. WritebackDelay
+	// runs after validation and before lazy writeback; RollbackDelay runs
+	// before eager undo is applied. They let tests and the stress harness
+	// make the §3.4/§3.5 anomaly windows deterministic.
+	WritebackDelay func()
+	RollbackDelay  func()
+}
+
+type slot struct {
+	seq atomic.Uint64 // 0 = free, otherwise transaction admission number
+	_   [7]uint64     // pad to a cache line to avoid false sharing
+}
+
+// New creates an STM instance.
+func New(opts Options) *STM {
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 1_000_000
+	}
+	n := opts.QuiesceSlots
+	if n == 0 {
+		n = 8 * runtime.GOMAXPROCS(0)
+		if n < 64 {
+			n = 64
+		}
+	}
+	s := &STM{
+		engine:     opts.Engine,
+		maxRetries: opts.MaxRetries,
+		glock:      make(chan struct{}, 1),
+		slots:      make([]slot, n),
+	}
+	return s
+}
+
+// Engine returns the instance's engine.
+func (s *STM) Engine() Engine { return s.engine }
+
+// NewVar creates a transactional variable with an initial value.
+func (s *STM) NewVar(name string, init int64) *Var {
+	v := &Var{id: s.nextVarID.Add(1), name: name}
+	v.val.Store(init)
+	return v
+}
+
+// Snapshot returns current statistics.
+func (s *STM) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Commits:    s.stats.Commits.Load(),
+		Conflicts:  s.stats.Conflicts.Load(),
+		UserAborts: s.stats.UserAborts.Load(),
+	}
+}
+
+// acquireSlot registers a transaction for quiescence tracking and returns
+// its slot index.
+func (s *STM) acquireSlot() (int, uint64) {
+	seq := s.txSeq.Add(1)
+	for {
+		for i := range s.slots {
+			if s.slots[i].seq.Load() == 0 && s.slots[i].seq.CompareAndSwap(0, seq) {
+				return i, seq
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+func (s *STM) releaseSlot(i int) { s.slots[i].seq.Store(0) }
+
+// Quiesce implements a quiescence fence: it returns only after every
+// transaction admitted before the call has resolved (committed or
+// aborted). The vars arguments document intent (⟨Qx⟩ names a location);
+// this implementation is conservative and waits for all transactions,
+// which soundly over-approximates WF12/HBCQ/HBQB.
+func (s *STM) Quiesce(vars ...*Var) {
+	_ = vars
+	snap := s.txSeq.Load()
+	for spins := 0; ; spins++ {
+		busy := false
+		for i := range s.slots {
+			if seq := s.slots[i].seq.Load(); seq != 0 && seq <= snap {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s *STM) String() string {
+	st := s.Snapshot()
+	return fmt.Sprintf("stm(%s): commits=%d conflicts=%d user-aborts=%d",
+		s.engine, st.Commits, st.Conflicts, st.UserAborts)
+}

@@ -1,0 +1,465 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var engines = []Engine{Lazy, Eager, GlobalLock}
+
+func forEachEngine(t *testing.T, f func(t *testing.T, s *STM)) {
+	for _, e := range engines {
+		e := e
+		t.Run(e.String(), func(t *testing.T) {
+			f(t, New(Options{Engine: e}))
+		})
+	}
+}
+
+func TestSequentialReadWrite(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		x := s.NewVar("x", 10)
+		err := s.Atomically(func(tx *Tx) error {
+			if got := tx.Read(x); got != 10 {
+				t.Errorf("initial read = %d, want 10", got)
+			}
+			tx.Write(x, 42)
+			if got := tx.Read(x); got != 42 {
+				t.Errorf("read-your-write = %d, want 42", got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := x.Load(); got != 42 {
+			t.Errorf("after commit x = %d, want 42", got)
+		}
+	})
+}
+
+func TestUserAbortRollsBack(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		x := s.NewVar("x", 7)
+		err := s.Atomically(func(tx *Tx) error {
+			tx.Write(x, 99)
+			return ErrAbort
+		})
+		if !errors.Is(err, ErrAbort) {
+			t.Fatalf("err = %v, want ErrAbort", err)
+		}
+		if got := x.Load(); got != 7 {
+			t.Errorf("aborted write leaked: x = %d, want 7", got)
+		}
+		if s.Snapshot().UserAborts != 1 {
+			t.Errorf("user abort not counted")
+		}
+	})
+}
+
+func TestUserErrorRollsBack(t *testing.T) {
+	sentinel := errors.New("boom")
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		x := s.NewVar("x", 1)
+		err := s.Atomically(func(tx *Tx) error {
+			tx.Write(x, 2)
+			return sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want sentinel", err)
+		}
+		if got := x.Load(); got != 1 {
+			t.Errorf("errored write leaked: x = %d", got)
+		}
+	})
+}
+
+func TestPanicPropagates(t *testing.T) {
+	s := New(Options{Engine: Lazy})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic swallowed by Atomically")
+		}
+	}()
+	_ = s.Atomically(func(*Tx) error { panic("user panic") })
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	const goroutines = 8
+	const perG = 200
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		c := s.NewVar("c", 0)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					if err := s.Atomically(func(tx *Tx) error {
+						tx.Write(c, tx.Read(c)+1)
+						return nil
+					}); err != nil {
+						t.Errorf("increment failed: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if got := c.Load(); got != goroutines*perG {
+			t.Errorf("counter = %d, want %d (%s)", got, goroutines*perG, s)
+		}
+	})
+}
+
+func TestInvariantPreservation(t *testing.T) {
+	// Transfers keep a+b constant; concurrent transactional readers must
+	// never observe a broken invariant (isolation).
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		a := s.NewVar("a", 1000)
+		b := s.NewVar("b", 0)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				amount := seed + 1
+				for i := 0; i < 150; i++ {
+					_ = s.Atomically(func(tx *Tx) error {
+						av := tx.Read(a)
+						tx.Write(a, av-amount)
+						tx.Write(b, tx.Read(b)+amount)
+						return nil
+					})
+				}
+			}(int64(g))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sum int64
+				if err := s.Atomically(func(tx *Tx) error {
+					sum = tx.Read(a) + tx.Read(b)
+					return nil
+				}); err == nil && sum != 1000 {
+					t.Errorf("observed broken invariant: %d", sum)
+					return
+				}
+			}
+		}()
+		wgDoneAfter(&wg, 5, stop)
+		if got := a.Load() + b.Load(); got != 1000 {
+			t.Errorf("final sum = %d, want 1000", got)
+		}
+	})
+}
+
+// wgDoneAfter waits for the first n-1 members then closes stop and waits
+// for the rest. Helper for reader/writer tests.
+func wgDoneAfter(wg *sync.WaitGroup, _ int, stop chan struct{}) {
+	// The writer goroutines are bounded; give them time, then stop readers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	<-done
+}
+
+func TestConflictDetection(t *testing.T) {
+	// A transaction reading a var invalidated mid-flight must retry, never
+	// observe a mixed snapshot.
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		x := s.NewVar("x", 0)
+		y := s.NewVar("y", 0)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= 300; i++ {
+				_ = s.Atomically(func(tx *Tx) error {
+					tx.Write(x, i)
+					tx.Write(y, i)
+					return nil
+				})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				var xv, yv int64
+				if err := s.Atomically(func(tx *Tx) error {
+					xv = tx.Read(x)
+					yv = tx.Read(y)
+					return nil
+				}); err != nil {
+					t.Errorf("snapshot read failed: %v", err)
+					return
+				}
+				if xv != yv {
+					t.Errorf("torn snapshot: x=%d y=%d", xv, yv)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+	})
+}
+
+func TestQuiesceWaitsForActiveTx(t *testing.T) {
+	s := New(Options{Engine: Lazy})
+	x := s.NewVar("x", 0)
+	inTx := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Atomically(func(tx *Tx) error {
+			tx.Write(x, 1)
+			close(inTx)
+			<-release
+			return nil
+		})
+	}()
+	<-inTx
+	quiesced := make(chan struct{})
+	go func() {
+		s.Quiesce(x)
+		close(quiesced)
+	}()
+	select {
+	case <-quiesced:
+		t.Fatal("Quiesce returned while a transaction was active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-done
+	select {
+	case <-quiesced:
+	case <-time.After(time.Second):
+		t.Fatal("Quiesce did not return after the transaction resolved")
+	}
+}
+
+func TestQuiesceIgnoresLaterTx(t *testing.T) {
+	// Transactions admitted after the fence must not block it.
+	s := New(Options{Engine: Lazy})
+	x := s.NewVar("x", 0)
+	s.Quiesce(x) // no active transactions: immediate
+	doneQ := make(chan struct{})
+	go func() {
+		s.Quiesce(x)
+		close(doneQ)
+	}()
+	<-doneQ
+	_ = s.Atomically(func(tx *Tx) error { tx.Write(x, 1); return nil })
+}
+
+func TestMaxRetries(t *testing.T) {
+	s := New(Options{Engine: Lazy, MaxRetries: 3})
+	x := s.NewVar("x", 0)
+	// Hold a var permanently "locked" by corrupting its meta, so commits
+	// always fail. Use the internal representation deliberately.
+	x.meta.Store(lockedBit)
+	err := s.Atomically(func(tx *Tx) error {
+		tx.Write(x, 1)
+		return nil
+	})
+	if !errors.Is(err, ErrMaxRetries) {
+		t.Fatalf("err = %v, want ErrMaxRetries", err)
+	}
+}
+
+func TestReadOnlySnapshot(t *testing.T) {
+	// Read-only transactions on the lazy engine validate per read and
+	// commit without locking.
+	s := New(Options{Engine: Lazy})
+	x := s.NewVar("x", 5)
+	before := s.Snapshot().Commits
+	var v int64
+	if err := s.Atomically(func(tx *Tx) error {
+		v = tx.Read(x)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Errorf("read %d, want 5", v)
+	}
+	if s.Snapshot().Commits != before+1 {
+		t.Error("read-only commit not counted")
+	}
+}
+
+func TestMixedModeVisibility(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		x := s.NewVar("x", 0)
+		x.Store(3)
+		var got int64
+		if err := s.Atomically(func(tx *Tx) error {
+			got = tx.Read(x)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != 3 {
+			t.Errorf("transactional read after plain store = %d, want 3", got)
+		}
+		if err := s.Atomically(func(tx *Tx) error {
+			tx.Write(x, 4)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if x.Load() != 4 {
+			t.Errorf("plain load after transactional write = %d, want 4", x.Load())
+		}
+	})
+}
+
+func TestStatsString(t *testing.T) {
+	s := New(Options{Engine: Eager})
+	_ = s.Atomically(func(*Tx) error { return nil })
+	str := s.String()
+	if want := "stm(eager)"; len(str) < len(want) || str[:len(want)] != want {
+		t.Errorf("String() = %q", str)
+	}
+	for _, e := range []Engine{Lazy, Eager, GlobalLock, Engine(99)} {
+		if e.String() == "" {
+			t.Error("empty engine name")
+		}
+	}
+}
+
+// --- stress scenarios (S1–S3) ---
+
+func TestPublicationSafeAllEngines(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		res := Publication(s, 300)
+		if res.Violations != 0 {
+			t.Errorf("publication violated %d/%d times on %s", res.Violations, res.Iterations, s.engine)
+		}
+	})
+}
+
+func TestPrivatizationDeterministicAnomalyLazy(t *testing.T) {
+	// Without a fence the lazy engine exhibits the delayed-writeback
+	// violation; with a fence it must not.
+	s := New(Options{Engine: Lazy})
+	res := PrivatizationDeterministic(s, false)
+	if res.Violations != 1 {
+		t.Errorf("expected the forced anomaly, got %d violations", res.Violations)
+	}
+	s2 := New(Options{Engine: Lazy})
+	res2 := PrivatizationDeterministic(s2, true)
+	if res2.Violations != 0 {
+		t.Errorf("fenced privatization violated %d times", res2.Violations)
+	}
+}
+
+func TestPrivatizationFencedStress(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, s *STM) {
+		res := Privatization(s, 200, true)
+		if res.Violations != 0 {
+			t.Errorf("fenced privatization violated %d/%d times on %s",
+				res.Violations, res.Iterations, s.engine)
+		}
+	})
+}
+
+func TestLostUpdateDeterministicEager(t *testing.T) {
+	s := New(Options{Engine: Eager})
+	res := LostUpdateDeterministic(s)
+	if res.Violations != 1 {
+		t.Errorf("expected the forced lost update, got %d", res.Violations)
+	}
+	// The lazy engine buffers writes, so the same scenario cannot lose the
+	// plain store: no in-place speculation exists.
+	s2 := New(Options{Engine: Lazy})
+	res2 := LostUpdate(s2, 200)
+	if res2.Violations != 0 {
+		t.Errorf("lazy engine lost %d plain updates", res2.Violations)
+	}
+}
+
+func TestDirtyReadDeterministicEager(t *testing.T) {
+	s := New(Options{Engine: Eager})
+	res := DirtyReadDeterministic(s)
+	if res.Violations != 1 {
+		t.Errorf("expected the forced dirty read, got %d", res.Violations)
+	}
+}
+
+func TestGlobalLockSerializes(t *testing.T) {
+	s := New(Options{Engine: GlobalLock})
+	x := s.NewVar("x", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.Atomically(func(tx *Tx) error {
+					v := tx.Read(x)
+					tx.Write(x, v+1)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := x.Load(); got != 400 {
+		t.Errorf("global-lock counter = %d, want 400", got)
+	}
+	if s.Snapshot().Conflicts != 0 {
+		t.Errorf("global lock reported %d conflicts", s.Snapshot().Conflicts)
+	}
+}
+
+func TestManyVarsCommitOrder(t *testing.T) {
+	// Commits locking many vars must not deadlock regardless of write
+	// order inside the transaction.
+	s := New(Options{Engine: Lazy})
+	vars := make([]*Var, 16)
+	for i := range vars {
+		vars[i] = s.NewVar(fmt.Sprintf("v%d", i), 0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = s.Atomically(func(tx *Tx) error {
+					// Touch vars in a goroutine-specific rotation.
+					for k := range vars {
+						v := vars[(k*7+g)%len(vars)]
+						tx.Write(v, tx.Read(v)+1)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range vars {
+		total += v.Load()
+	}
+	if total != 6*50*16 {
+		t.Errorf("total = %d, want %d", total, 6*50*16)
+	}
+}

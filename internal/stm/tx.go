@@ -1,0 +1,305 @@
+package stm
+
+import (
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Tx is the per-attempt transaction handle passed to Atomically bodies.
+// It must not escape the body or be used concurrently.
+type Tx struct {
+	s  *STM
+	rv uint64 // read version (TL2 snapshot)
+
+	// Lazy engine.
+	reads  []readEntry
+	writes map[*Var]int64
+	worder []*Var // write order for deterministic locking
+
+	// Eager and global-lock engines.
+	undo   []undoEntry
+	locked map[*Var]uint64 // var -> meta observed before locking
+}
+
+type readEntry struct {
+	v    *Var
+	meta uint64
+}
+
+type undoEntry struct {
+	v   *Var
+	old int64
+}
+
+// conflictSignal aborts the current attempt; Atomically recovers it.
+type conflictSignal struct{}
+
+func (tx *Tx) conflict() {
+	panic(conflictSignal{})
+}
+
+// Atomically runs fn as a transaction, retrying on conflicts until commit
+// or the retry budget is exhausted. If fn returns ErrAbort the transaction
+// is rolled back and ErrAbort is returned; any other non-nil error also
+// rolls back and is returned verbatim (the transaction takes no effect).
+func (s *STM) Atomically(fn func(*Tx) error) error {
+	for attempt := 0; attempt < s.maxRetries; attempt++ {
+		slotIdx, _ := s.acquireSlot()
+		if s.engine == GlobalLock {
+			s.glock <- struct{}{}
+		}
+		tx := &Tx{s: s, rv: s.clock.Load()}
+		err, conflicted := tx.runBody(fn)
+		switch {
+		case conflicted:
+			tx.rollback()
+			s.finish(slotIdx)
+			s.stats.Conflicts.Add(1)
+			backoff(attempt)
+			continue
+		case err != nil:
+			tx.rollback()
+			s.finish(slotIdx)
+			s.stats.UserAborts.Add(1)
+			return err
+		}
+		if tx.commit() {
+			s.finish(slotIdx)
+			s.stats.Commits.Add(1)
+			return nil
+		}
+		tx.rollback()
+		s.finish(slotIdx)
+		s.stats.Conflicts.Add(1)
+		backoff(attempt)
+	}
+	return ErrMaxRetries
+}
+
+func (s *STM) finish(slotIdx int) {
+	if s.engine == GlobalLock {
+		<-s.glock
+	}
+	s.releaseSlot(slotIdx)
+}
+
+// runBody executes fn, converting conflict signals into a flag.
+func (tx *Tx) runBody(fn func(*Tx) error) (err error, conflicted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(conflictSignal); ok {
+				conflicted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(tx), false
+}
+
+func backoff(attempt int) {
+	switch {
+	case attempt < 8:
+		runtime.Gosched()
+	case attempt < 20:
+		time.Sleep(time.Microsecond << uint(attempt-8))
+	default:
+		time.Sleep(4 * time.Millisecond)
+	}
+}
+
+// Read returns the transactional value of v.
+func (tx *Tx) Read(v *Var) int64 {
+	switch tx.s.engine {
+	case Lazy:
+		if val, ok := tx.writes[v]; ok {
+			return val
+		}
+		for {
+			m1 := v.meta.Load()
+			if isLocked(m1) {
+				tx.conflict()
+			}
+			val := v.val.Load()
+			if m2 := v.meta.Load(); m1 != m2 {
+				continue // torn read; retry the sample
+			}
+			if version(m1) > tx.rv {
+				tx.conflict() // written by a transaction after our snapshot
+			}
+			tx.reads = append(tx.reads, readEntry{v: v, meta: m1})
+			return val
+		}
+	case Eager:
+		if _, mine := tx.locked[v]; mine {
+			return v.val.Load()
+		}
+		for {
+			m1 := v.meta.Load()
+			if isLocked(m1) {
+				tx.conflict()
+			}
+			val := v.val.Load()
+			if m2 := v.meta.Load(); m1 != m2 {
+				continue
+			}
+			if version(m1) > tx.rv {
+				tx.conflict()
+			}
+			tx.reads = append(tx.reads, readEntry{v: v, meta: m1})
+			return val
+		}
+	default: // GlobalLock: the global mutex serializes transactions.
+		return v.val.Load()
+	}
+}
+
+// Write sets the transactional value of v.
+func (tx *Tx) Write(v *Var, x int64) {
+	switch tx.s.engine {
+	case Lazy:
+		if tx.writes == nil {
+			tx.writes = make(map[*Var]int64, 4)
+		}
+		if _, seen := tx.writes[v]; !seen {
+			tx.worder = append(tx.worder, v)
+		}
+		tx.writes[v] = x
+	case Eager:
+		if _, mine := tx.locked[v]; !mine {
+			m := v.meta.Load()
+			if isLocked(m) || version(m) > tx.rv || !v.meta.CompareAndSwap(m, m|lockedBit) {
+				tx.conflict()
+			}
+			if tx.locked == nil {
+				tx.locked = make(map[*Var]uint64, 4)
+			}
+			tx.locked[v] = m
+			tx.undo = append(tx.undo, undoEntry{v: v, old: v.val.Load()})
+		}
+		v.val.Store(x)
+	default: // GlobalLock
+		tx.undo = append(tx.undo, undoEntry{v: v, old: v.val.Load()})
+		v.val.Store(x)
+	}
+}
+
+// Abort aborts the current attempt and makes Atomically return ErrAbort.
+// Provided for symmetry with the paper's abort statement; equivalent to
+// returning ErrAbort from the body.
+func (tx *Tx) Abort() error { return ErrAbort }
+
+// commit attempts to make the transaction's effects visible. It reports
+// success; on failure the caller rolls back and retries.
+func (tx *Tx) commit() bool {
+	s := tx.s
+	switch s.engine {
+	case Lazy:
+		if len(tx.worder) == 0 {
+			// Read-only transactions validated each read against rv.
+			return true
+		}
+		// Lock the write set in id order to avoid deadlock.
+		sort.Slice(tx.worder, func(i, j int) bool { return tx.worder[i].id < tx.worder[j].id })
+		lockedMeta := make(map[*Var]uint64, len(tx.worder))
+		for i, v := range tx.worder {
+			m := v.meta.Load()
+			if isLocked(m) || version(m) > tx.rv || !v.meta.CompareAndSwap(m, m|lockedBit) {
+				for _, u := range tx.worder[:i] {
+					u.meta.Store(lockedMeta[u])
+				}
+				return false
+			}
+			lockedMeta[v] = m
+		}
+		wv := s.clock.Add(1)
+		// Validate the read set.
+		for _, re := range tx.reads {
+			cur := re.v.meta.Load()
+			if _, mine := lockedMeta[re.v]; mine {
+				if version(cur) != version(re.meta) {
+					// Someone updated between our read and our lock.
+					for _, u := range tx.worder {
+						u.meta.Store(lockedMeta[u])
+					}
+					return false
+				}
+				continue
+			}
+			if isLocked(cur) || version(cur) > tx.rv {
+				for _, u := range tx.worder {
+					u.meta.Store(lockedMeta[u])
+				}
+				return false
+			}
+		}
+		// The anomaly window of §3.5: the transaction is logically
+		// committed but its buffered writes are not yet applied.
+		if s.WritebackDelay != nil {
+			s.WritebackDelay()
+		}
+		for _, v := range tx.worder {
+			v.val.Store(tx.writes[v])
+			v.meta.Store(wv << 1) // release with the new version
+		}
+		return true
+
+	case Eager:
+		wv := s.clock.Add(1)
+		for _, re := range tx.reads {
+			cur := re.v.meta.Load()
+			if _, mine := tx.locked[re.v]; mine {
+				continue // we hold the lock; value unchanged since read
+			}
+			if isLocked(cur) || version(cur) > tx.rv {
+				return false
+			}
+		}
+		for v := range tx.locked {
+			v.meta.Store(wv << 1)
+		}
+		tx.locked = nil
+		tx.undo = nil
+		return true
+
+	default: // GlobalLock
+		wv := s.clock.Add(1)
+		for _, u := range tx.undo {
+			u.v.meta.Store(wv << 1)
+		}
+		tx.undo = nil
+		return true
+	}
+}
+
+// rollback undoes in-place effects (eager and global-lock engines); the
+// lazy engine simply drops its buffers.
+func (tx *Tx) rollback() {
+	s := tx.s
+	switch s.engine {
+	case Eager:
+		if s.RollbackDelay != nil && len(tx.undo) > 0 {
+			// The anomaly window of §3.4: speculative values are visible
+			// to plain accesses until the undo log is applied.
+			s.RollbackDelay()
+		}
+		for i := len(tx.undo) - 1; i >= 0; i-- {
+			tx.undo[i].v.val.Store(tx.undo[i].old)
+		}
+		for v, m := range tx.locked {
+			v.meta.Store(m) // release, version unchanged
+		}
+		tx.locked = nil
+		tx.undo = nil
+	case GlobalLock:
+		for i := len(tx.undo) - 1; i >= 0; i-- {
+			tx.undo[i].v.val.Store(tx.undo[i].old)
+		}
+		tx.undo = nil
+	default: // Lazy: nothing was published.
+		tx.reads = nil
+		tx.writes = nil
+		tx.worder = nil
+	}
+}

@@ -1,0 +1,124 @@
+// Package modtx reproduces "Modular Transactions: Bounding Mixed Races in
+// Space and Time" (Dongol, Jagadeesan, Riely; PPoPP 2019) as a Go library:
+//
+//   - an executable axiomatic memory model for transactions with
+//     mixed-mode access — well-formed traces, lifted relations,
+//     happens-before with the paper's design space of extensions, the
+//     consistency axioms, and L-race definitions (internal/event,
+//     internal/core);
+//   - an exhaustive litmus enumerator and the full catalog of the paper's
+//     figures and example programs with expected verdicts (internal/prog,
+//     internal/exec, internal/litmus);
+//   - bounded checkers for the metatheory: SC-LTRF (Theorem 4.1),
+//     aborted-transaction removal (Theorem 4.2), the implementation-model
+//     correspondence (Lemma 5.1) and the suborder characterizations
+//     (Lemmas C.1/C.2) (internal/ltrf);
+//   - the §5 compiler-optimization soundness suite (internal/opt);
+//   - a production STM runtime with lazy (TL2-style), eager (undo-log) and
+//     global-lock engines, mixed-mode variables and quiescence fences
+//     (internal/stm), plus conformance checking of recorded runs against
+//     the model (internal/conform).
+//
+// This file re-exports the most useful entry points so that module-local
+// tools and benchmarks can use one import. See README.md for a tour and
+// EXPERIMENTS.md for the paper-versus-measured index.
+package modtx
+
+import (
+	"modtx/internal/core"
+	"modtx/internal/event"
+	"modtx/internal/exec"
+	"modtx/internal/ltrf"
+	"modtx/internal/prog"
+	"modtx/internal/stm"
+)
+
+// Model layer.
+type (
+	// Execution is an event graph with reads-from and coherence orders.
+	Execution = event.Execution
+	// Builder constructs executions event by event.
+	Builder = event.Builder
+	// Config selects a model from the paper's design space.
+	Config = core.Config
+	// Verdict is a consistency-check result.
+	Verdict = core.Verdict
+	// Program is a litmus program.
+	Program = prog.Program
+	// Outcome is the observable result of a complete execution.
+	Outcome = exec.Outcome
+	// TraceSet is an explicitly enumerated program semantics Σ.
+	TraceSet = ltrf.TraceSet
+)
+
+// Model configurations.
+var (
+	// Programmer is the §2 model (HBww + Atomww): privatization race-free.
+	Programmer = core.Programmer
+	// Implementation is the §5 model: fences required for privatization.
+	Implementation = core.Implementation
+	// TSO includes crw in happens-before, as x86-TSO does (§6).
+	TSO = core.TSO
+	// Strongest enables all six HB variants and all Atom axioms.
+	Strongest = core.Strongest
+)
+
+// NewBuilder starts an execution over the named locations (the init
+// transaction writing 0 everywhere is added automatically, per WF1).
+func NewBuilder(locs ...string) *Builder { return event.NewBuilder(locs...) }
+
+// Check evaluates the consistency axioms of the configuration.
+func Check(x *Execution, cfg Config) Verdict { return core.Check(x, cfg) }
+
+// WellFormed returns the violated well-formedness conditions (WF1–WF12) of
+// the trace view; empty means well-formed.
+func WellFormed(x *Execution) []event.Violation { return event.WellFormed(x) }
+
+// ParseProgram reads a litmus program in the textual format (see
+// internal/prog.Parse for the grammar).
+func ParseProgram(src string) (*Program, error) { return prog.Parse(src) }
+
+// Outcomes enumerates the reachable outcomes of a program under cfg.
+func Outcomes(p *Program, cfg Config) (map[string]*Outcome, error) {
+	return exec.Outcomes(p, cfg)
+}
+
+// Allowed reports whether some complete consistent execution of p
+// satisfies the predicate under cfg.
+func Allowed(p *Program, cfg Config, pred func(*Outcome) bool) (bool, error) {
+	return exec.Allowed(p, cfg, pred)
+}
+
+// GenerateTraces builds the explicit trace-set semantics Σ used by the
+// SC-LTRF theorem checker.
+func GenerateTraces(p *Program, cfg Config, maxTraces int) (*TraceSet, error) {
+	return ltrf.GenerateTraces(p, cfg, maxTraces)
+}
+
+// Runtime layer.
+type (
+	// STM is a software transactional memory instance.
+	STM = stm.STM
+	// Var is a transactional variable supporting mixed-mode access.
+	Var = stm.Var
+	// Tx is a transaction handle.
+	Tx = stm.Tx
+	// STMOptions configures an STM instance.
+	STMOptions = stm.Options
+)
+
+// STM engines.
+const (
+	// LazySTM buffers writes and applies them at commit (TL2-style).
+	LazySTM = stm.Lazy
+	// EagerSTM writes in place with an undo log.
+	EagerSTM = stm.Eager
+	// GlobalLockSTM serializes transactions under one mutex.
+	GlobalLockSTM = stm.GlobalLock
+)
+
+// ErrAbort aborts a transaction without retry when returned from its body.
+var ErrAbort = stm.ErrAbort
+
+// NewSTM creates a software transactional memory instance.
+func NewSTM(opts STMOptions) *STM { return stm.New(opts) }

@@ -1,0 +1,107 @@
+package modtx_test
+
+import (
+	"testing"
+
+	"modtx"
+)
+
+// TestFacadeModelLayer exercises the re-exported model API end to end:
+// build Example 2.1, check it, parse and enumerate the privatization
+// program.
+func TestFacadeModelLayer(t *testing.T) {
+	b := modtx.NewBuilder("x", "y")
+	t1 := b.Thread()
+	t1.Begin("a")
+	t1.R("y", 0)
+	wx1 := t1.W("x", 1)
+	t1.Commit()
+	t2 := b.Thread()
+	t2.Begin("b")
+	t2.W("y", 1)
+	t2.Commit()
+	wx2 := t2.W("x", 2)
+	b.WWOrder("x", wx1, wx2)
+	x := b.MustBuild()
+
+	if vs := modtx.WellFormed(x); len(vs) != 0 {
+		t.Fatalf("not well-formed: %v", vs)
+	}
+	if v := modtx.Check(x, modtx.Programmer); !v.Consistent {
+		t.Fatalf("Example 2.1 inconsistent: %v", v)
+	}
+	if v := modtx.Check(x, modtx.Implementation); !v.Consistent {
+		t.Fatalf("implementation model rejects Example 2.1: %v", v)
+	}
+
+	p, err := modtx.ParseProgram(`
+name: privatization
+locs: x y
+thread t1:
+  atomic a {
+    r := y
+    if !r { x := 1 }
+  }
+thread t2:
+  atomic b { y := 1 }
+  x := 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := modtx.Outcomes(p, modtx.Programmer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, o := range outs {
+		if o.Mem["x"] != 2 {
+			t.Errorf("programmer model allowed %s", key)
+		}
+	}
+	allowed, err := modtx.Allowed(p, modtx.Implementation, func(o *modtx.Outcome) bool {
+		return o.Mem["x"] == 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allowed {
+		t.Error("implementation model must allow x=1")
+	}
+
+	ts, err := modtx.GenerateTraces(p, modtx.Programmer, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked, cexs := ts.CheckTheorem41(nil); len(cexs) > 0 {
+		t.Fatalf("SC-LTRF counterexample (checked %d): %v", checked, cexs[0])
+	}
+}
+
+// TestFacadeRuntimeLayer exercises the re-exported STM API.
+func TestFacadeRuntimeLayer(t *testing.T) {
+	for _, e := range []modtx.STMOptions{
+		{Engine: modtx.LazySTM},
+		{Engine: modtx.EagerSTM},
+		{Engine: modtx.GlobalLockSTM},
+	} {
+		s := modtx.NewSTM(e)
+		x := s.NewVar("x", 0)
+		if err := s.Atomically(func(tx *modtx.Tx) error {
+			tx.Write(x, tx.Read(x)+41)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Atomically(func(tx *modtx.Tx) error {
+			tx.Write(x, 0)
+			return modtx.ErrAbort
+		}); err != modtx.ErrAbort {
+			t.Fatalf("err = %v", err)
+		}
+		x.Store(x.Load() + 1)
+		s.Quiesce(x)
+		if got := x.Load(); got != 42 {
+			t.Errorf("x = %d, want 42", got)
+		}
+	}
+}
