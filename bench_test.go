@@ -12,6 +12,7 @@ import (
 
 	"modtx"
 	"modtx/internal/core"
+	"modtx/internal/kv"
 	"modtx/internal/litmus"
 	"modtx/internal/ltrf"
 	"modtx/internal/opt"
@@ -354,4 +355,66 @@ func BenchmarkSTMStressSuite(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkKVFastPath (S6): the internal/kv lock-free plain-read path —
+// one atomic pointer load, one map lookup, one atomic value load.
+func BenchmarkKVFastPath(b *testing.B) {
+	for _, e := range stmEngines {
+		e := e
+		b.Run(e.String(), func(b *testing.B) {
+			store := kv.New(kv.Options{Shards: 64, Engine: e})
+			keys := make([]string, 1024)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%04d", i)
+			}
+			store.EnsureKeys(keys...)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, ok := store.FastGet(keys[i&1023]); !ok {
+						b.Fatal("missing key")
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkKVCrossShardTxn (S6): two-key transfers that two-phase across
+// shards via stm.AtomicallyMulti.
+func BenchmarkKVCrossShardTxn(b *testing.B) {
+	for _, e := range stmEngines {
+		e := e
+		b.Run(e.String(), func(b *testing.B) {
+			store := kv.New(kv.Options{Shards: 64, Engine: e})
+			keys := make([]string, 1024)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%04d", i)
+			}
+			store.EnsureKeys(keys...)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					from := keys[i&1023]
+					to := keys[(i*7+13)&1023]
+					i++
+					if from == to {
+						continue
+					}
+					err := store.Update([]string{from, to}, func(t *kv.Txn) error {
+						t.Add(from, -1)
+						t.Add(to, 1)
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }

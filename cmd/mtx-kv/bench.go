@@ -1,0 +1,163 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modtx/internal/kv"
+	"modtx/internal/stm"
+)
+
+// runBench drives the store in-process with a configurable mixed workload
+// and reports throughput and latency percentiles per engine.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	engineName := fs.String("engine", "all", "engine to bench: lazy, eager, global-lock or all")
+	shards := fs.Int("shards", 64, "shard count (rounded up to a power of two)")
+	nkeys := fs.Int("keys", 65536, "number of preloaded keys")
+	goroutines := fs.Int("goroutines", 8, "concurrent load goroutines")
+	duration := fs.Duration("duration", 2*time.Second, "run time per engine")
+	fastPct := fs.Int("fastread-pct", 70, "percent of ops that are lock-free FastGets")
+	readPct := fs.Int("read-pct", 20, "percent of ops that are transactional Gets")
+	writePct := fs.Int("write-pct", 5, "percent of ops that are transactional Sets (remainder: cross-key TXN transfers)")
+	zipfS := fs.Float64("zipf", 1.2, "Zipf skew parameter s (<=1 means uniform key choice)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fastPct+*readPct+*writePct > 100 {
+		return fmt.Errorf("op percentages exceed 100")
+	}
+	engines, err := parseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("mtx-kv bench: %d keys, %d shards, %d goroutines, %v per engine\n",
+		*nkeys, *shards, *goroutines, *duration)
+	fmt.Printf("op mix: %d%% fastget / %d%% get / %d%% set / %d%% txn-transfer, zipf=%.2f\n\n",
+		*fastPct, *readPct, *writePct, 100-*fastPct-*readPct-*writePct, *zipfS)
+	fmt.Printf("%-12s %12s %12s %10s %10s %10s %10s %12s\n",
+		"engine", "ops", "ops/sec", "p50", "p95", "p99", "max", "conflicts")
+
+	for _, e := range engines {
+		r := benchOne(e, *shards, *nkeys, *goroutines, *duration, *fastPct, *readPct, *writePct, *zipfS)
+		fmt.Printf("%-12s %12d %12.0f %10v %10v %10v %10v %12d\n",
+			e, r.ops, r.opsPerSec, r.p50, r.p95, r.p99, r.max, r.conflicts)
+	}
+	return nil
+}
+
+type benchResult struct {
+	ops                uint64
+	opsPerSec          float64
+	p50, p95, p99, max time.Duration
+	conflicts          uint64
+}
+
+// benchOne runs the workload against a fresh store on one engine.
+func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
+	fastPct, readPct, writePct int, zipfS float64) benchResult {
+
+	s := kv.New(kv.Options{Shards: shards, Engine: e})
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%08d", i)
+	}
+	s.EnsureKeys(keys...)
+
+	var ops atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	samples := make([][]time.Duration, goroutines)
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 1)))
+			var zipf *rand.Zipf
+			if zipfS > 1 {
+				zipf = rand.NewZipf(rng, zipfS, 1, uint64(nkeys-1))
+			}
+			pick := func() string {
+				if zipf != nil {
+					return keys[zipf.Uint64()]
+				}
+				return keys[rng.Intn(nkeys)]
+			}
+			local := make([]time.Duration, 0, 1<<16)
+			var n uint64
+			for {
+				select {
+				case <-stop:
+					ops.Add(n)
+					samples[g] = local
+					return
+				default:
+				}
+				p := rng.Intn(100)
+				// Sample every 16th op's latency to keep the timer
+				// overhead off the hot path.
+				sample := n&15 == 0
+				var start time.Time
+				if sample {
+					start = time.Now()
+				}
+				switch {
+				case p < fastPct:
+					s.FastGet(pick())
+				case p < fastPct+readPct:
+					_, _, _ = s.Get(pick())
+				case p < fastPct+readPct+writePct:
+					_ = s.Set(pick(), int64(p))
+				default:
+					from, to := pick(), pick()
+					if from == to {
+						break
+					}
+					_ = s.Update([]string{from, to}, func(t *kv.Txn) error {
+						t.Add(from, -1)
+						t.Add(to, 1)
+						return nil
+					})
+				}
+				if sample {
+					local = append(local, time.Since(start))
+				}
+				n++
+			}
+		}(g)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+
+	var all []time.Duration
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(float64(len(all)-1) * p)
+		return all[i]
+	}
+	st := s.Stats()
+	total := ops.Load()
+	return benchResult{
+		ops:       total,
+		opsPerSec: float64(total) / dur.Seconds(),
+		p50:       pct(0.50),
+		p95:       pct(0.95),
+		p99:       pct(0.99),
+		max:       pct(1.0),
+		conflicts: st.Conflicts,
+	}
+}

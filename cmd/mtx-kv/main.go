@@ -1,0 +1,72 @@
+// Command mtx-kv serves a sharded transactional key-value store
+// (internal/kv) over a minimal RESP-like text protocol, and ships a
+// built-in load generator for per-engine performance comparison.
+//
+// Usage:
+//
+//	mtx-kv serve [-addr :7700] [-shards 64] [-engine lazy]
+//	mtx-kv bench [-engine all] [-shards 64] [-keys 65536] [-goroutines 8]
+//	             [-duration 2s] [-fastread-pct 70] [-read-pct 20]
+//	             [-write-pct 5] [-zipf 1.2]
+//
+// Protocol (one command per line, space-separated; responses are one line):
+//
+//	PING                      -> PONG
+//	GET key                   -> VALUE n | NIL
+//	FGET key                  -> VALUE n | NIL      (lock-free plain read)
+//	SET key n                 -> OK
+//	ADD key d                 -> VALUE n            (new value)
+//	MGET k1 k2 ...            -> VALUES v1 v2 ...   (nil for missing keys)
+//	MSET k1 v1 k2 v2 ...      -> OK
+//	TXN ADD k1 d1 k2 d2 ...   -> VALUES n1 n2 ...   (one cross-shard txn)
+//	STATS                     -> STATS ...
+//	QUIT                      -> BYE (connection closes)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"modtx/internal/stm"
+)
+
+func main() {
+	args := os.Args[1:]
+	cmd := "serve"
+	if len(args) > 0 {
+		cmd = args[0]
+		args = args[1:]
+	}
+	switch cmd {
+	case "serve":
+		if err := runServe(args); err != nil {
+			fmt.Fprintln(os.Stderr, "mtx-kv serve:", err)
+			os.Exit(1)
+		}
+	case "bench":
+		if err := runBench(args); err != nil {
+			fmt.Fprintln(os.Stderr, "mtx-kv bench:", err)
+			os.Exit(1)
+		}
+	case "-h", "--help", "help":
+		fmt.Println("usage: mtx-kv {serve|bench} [flags]  (see -h of each subcommand)")
+	default:
+		fmt.Fprintf(os.Stderr, "mtx-kv: unknown subcommand %q (want serve or bench)\n", cmd)
+		os.Exit(2)
+	}
+}
+
+// parseEngine maps a flag value to engines; "all" returns every engine.
+func parseEngine(name string) ([]stm.Engine, error) {
+	switch name {
+	case "lazy":
+		return []stm.Engine{stm.Lazy}, nil
+	case "eager":
+		return []stm.Engine{stm.Eager}, nil
+	case "global-lock", "global":
+		return []stm.Engine{stm.GlobalLock}, nil
+	case "all":
+		return []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock}, nil
+	}
+	return nil, fmt.Errorf("unknown engine %q (want lazy, eager, global-lock or all)", name)
+}

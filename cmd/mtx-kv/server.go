@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"modtx/internal/kv"
+)
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7700", "listen address")
+	shards := fs.Int("shards", 64, "shard count (rounded up to a power of two)")
+	engineName := fs.String("engine", "lazy", "STM engine: lazy, eager or global-lock")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engines, err := parseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	if len(engines) != 1 {
+		return fmt.Errorf("serve needs a single engine, not %q", *engineName)
+	}
+	srv := &server{store: kv.New(kv.Options{Shards: *shards, Engine: engines[0]})}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mtx-kv: serving %s engine, %d shards on %s\n",
+		engines[0], srv.store.NumShards(), l.Addr())
+	return srv.serve(l)
+}
+
+// server wraps a kv.Store with the line protocol. One goroutine per
+// connection; the store itself is the only shared state.
+type server struct {
+	store *kv.Store
+}
+
+func (s *server) serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		resp, quit := s.exec(strings.Fields(line))
+		w.WriteString(resp)
+		w.WriteByte('\n')
+		w.Flush()
+		if quit {
+			return
+		}
+	}
+}
+
+// exec runs one protocol command and returns the response line.
+func (s *server) exec(f []string) (resp string, quit bool) {
+	switch strings.ToUpper(f[0]) {
+	case "PING":
+		return "PONG", false
+
+	case "GET", "FGET":
+		if len(f) != 2 {
+			return "ERR usage: GET key", false
+		}
+		var v int64
+		var ok bool
+		if strings.ToUpper(f[0]) == "FGET" {
+			v, ok = s.store.FastGet(f[1])
+		} else {
+			var err error
+			v, ok, err = s.store.Get(f[1])
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+		}
+		if !ok {
+			return "NIL", false
+		}
+		return "VALUE " + strconv.FormatInt(v, 10), false
+
+	case "SET":
+		if len(f) != 3 {
+			return "ERR usage: SET key value", false
+		}
+		n, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return "ERR value: " + err.Error(), false
+		}
+		if err := s.store.Set(f[1], n); err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "OK", false
+
+	case "ADD":
+		if len(f) != 3 {
+			return "ERR usage: ADD key delta", false
+		}
+		d, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return "ERR delta: " + err.Error(), false
+		}
+		v, err := s.store.Add(f[1], d)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "VALUE " + strconv.FormatInt(v, 10), false
+
+	case "MGET":
+		if len(f) < 2 {
+			return "ERR usage: MGET key...", false
+		}
+		keys := f[1:]
+		got, err := s.store.MGet(keys...)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		parts := make([]string, 0, len(keys)+1)
+		parts = append(parts, "VALUES")
+		for _, k := range keys {
+			if v, ok := got[k]; ok {
+				parts = append(parts, strconv.FormatInt(v, 10))
+			} else {
+				parts = append(parts, "nil")
+			}
+		}
+		return strings.Join(parts, " "), false
+
+	case "MSET":
+		if len(f) < 3 || len(f)%2 != 1 {
+			return "ERR usage: MSET key value [key value ...]", false
+		}
+		vals := make(map[string]int64, (len(f)-1)/2)
+		for i := 1; i < len(f); i += 2 {
+			n, err := strconv.ParseInt(f[i+1], 10, 64)
+			if err != nil {
+				return "ERR value for " + f[i] + ": " + err.Error(), false
+			}
+			vals[f[i]] = n
+		}
+		if err := s.store.MSet(vals); err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "OK", false
+
+	case "TXN":
+		if len(f) < 2 {
+			return "ERR usage: TXN ADD key delta [key delta ...]", false
+		}
+		if strings.ToUpper(f[1]) != "ADD" {
+			return "ERR unknown TXN op " + f[1] + " (want ADD)", false
+		}
+		rest := f[2:]
+		if len(rest) == 0 || len(rest)%2 != 0 {
+			return "ERR usage: TXN ADD key delta [key delta ...]", false
+		}
+		keys := make([]string, 0, len(rest)/2)
+		deltas := make([]int64, 0, len(rest)/2)
+		for i := 0; i < len(rest); i += 2 {
+			d, err := strconv.ParseInt(rest[i+1], 10, 64)
+			if err != nil {
+				return "ERR delta for " + rest[i] + ": " + err.Error(), false
+			}
+			keys = append(keys, rest[i])
+			deltas = append(deltas, d)
+		}
+		news := make([]int64, len(keys))
+		err := s.store.Update(keys, func(t *kv.Txn) error {
+			for i, k := range keys {
+				news[i] = t.Add(k, deltas[i])
+			}
+			return nil
+		})
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		parts := make([]string, 0, len(news)+1)
+		parts = append(parts, "VALUES")
+		for _, v := range news {
+			parts = append(parts, strconv.FormatInt(v, 10))
+		}
+		return strings.Join(parts, " "), false
+
+	case "STATS":
+		return "STATS " + s.store.Stats().String(), false
+
+	case "QUIT":
+		return "BYE", true
+	}
+	return "ERR unknown command " + f[0], false
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+
+	"modtx/internal/kv"
+	"modtx/internal/stm"
+)
+
+// TestServerProtocol drives the TCP server end to end over a loopback
+// connection.
+func TestServerProtocol(t *testing.T) {
+	srv := &server{store: kv.New(kv.Options{Shards: 4, Engine: stm.Lazy})}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.serve(l)
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	roundtrip := func(cmd string) string {
+		t.Helper()
+		if _, err := conn.Write([]byte(cmd + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		return strings.TrimSpace(line)
+	}
+
+	for _, tc := range []struct{ cmd, want string }{
+		{"PING", "PONG"},
+		{"GET a", "NIL"},
+		{"SET a 5", "OK"},
+		{"GET a", "VALUE 5"},
+		{"FGET a", "VALUE 5"},
+		{"ADD a 3", "VALUE 8"},
+		{"MSET x 1 y 2 z 3", "OK"},
+		{"MGET x y z missing", "VALUES 1 2 3 nil"},
+		{"TXN ADD x -1 y 1", "VALUES 0 3"},
+		{"MGET x y", "VALUES 0 3"},
+		{"SET a", "ERR usage: SET key value"},
+		{"TXN MUL x 2", "ERR unknown TXN op MUL (want ADD)"},
+		{"NOPE", "ERR unknown command NOPE"},
+	} {
+		if got := roundtrip(tc.cmd); got != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.cmd, got, tc.want)
+		}
+	}
+	if got := roundtrip("STATS"); !strings.HasPrefix(got, "STATS kv: shards=4") {
+		t.Errorf("STATS: got %q", got)
+	}
+	if got := roundtrip("QUIT"); got != "BYE" {
+		t.Errorf("QUIT: got %q", got)
+	}
+}

@@ -1,0 +1,3 @@
+module modtx
+
+go 1.24

@@ -1,0 +1,120 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"modtx/internal/stm"
+)
+
+func benchStore(b *testing.B, e stm.Engine, nkeys int) (*Store, []string) {
+	b.Helper()
+	s := New(Options{Shards: 64, Engine: e})
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%06d", i)
+	}
+	s.EnsureKeys(keys...)
+	return s, keys
+}
+
+func forEachEngineB(b *testing.B, f func(b *testing.B, e stm.Engine)) {
+	for _, e := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock} {
+		b.Run(e.String(), func(b *testing.B) { f(b, e) })
+	}
+}
+
+// BenchmarkKVFastGet measures the lock-free plain-access read path.
+func BenchmarkKVFastGet(b *testing.B) {
+	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
+		s, keys := benchStore(b, e, 4096)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(1))
+			for pb.Next() {
+				if _, ok := s.FastGet(keys[rng.Intn(len(keys))]); !ok {
+					b.Fatal("missing key")
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkKVGet measures the single-key transactional read path.
+func BenchmarkKVGet(b *testing.B) {
+	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
+		s, keys := benchStore(b, e, 4096)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(2))
+			for pb.Next() {
+				if _, ok, err := s.Get(keys[rng.Intn(len(keys))]); err != nil || !ok {
+					b.Fatal("missing key")
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkKVSet measures the single-key transactional write path.
+func BenchmarkKVSet(b *testing.B) {
+	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
+		s, keys := benchStore(b, e, 4096)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(3))
+			for pb.Next() {
+				if err := s.Set(keys[rng.Intn(len(keys))], 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkKVTxnTransfer measures cross-shard two-key transactions.
+func BenchmarkKVTxnTransfer(b *testing.B) {
+	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
+		s, keys := benchStore(b, e, 4096)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(4))
+			for pb.Next() {
+				from := keys[rng.Intn(len(keys))]
+				to := keys[rng.Intn(len(keys))]
+				if from == to {
+					continue
+				}
+				err := s.Update([]string{from, to}, func(t *Txn) error {
+					t.Add(from, -1)
+					t.Add(to, 1)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkKVMGet measures consistent cross-shard snapshot reads of 8 keys.
+func BenchmarkKVMGet(b *testing.B) {
+	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
+		s, keys := benchStore(b, e, 4096)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(5))
+			batch := make([]string, 8)
+			for pb.Next() {
+				for i := range batch {
+					batch[i] = keys[rng.Intn(len(keys))]
+				}
+				if _, err := s.MGet(batch...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}

@@ -1,0 +1,440 @@
+// Package kv is a sharded, string-keyed transactional key-value store
+// built on the internal/stm runtime. It is the repo's first serving-scale
+// workload: transactional cross-key updates mixed with plain fast-path
+// reads, which is exactly the mixed-mode territory the paper bounds.
+//
+// Keys hash (FNV-1a) to one of N power-of-two shards. Each shard owns its
+// own stm.STM instance and a copy-on-write key→*stm.Var table, so the
+// plain-access path (FastGet) is lock-free: one atomic pointer load, one
+// map lookup, one atomic value load. Multi-key operations run as a single
+// transaction two-phased across the shards touched via stm.AtomicallyMulti
+// with the shards in ascending index order, which makes cross-shard
+// commits deadlock-free and invisible in partial states to consistent
+// transactional readers.
+//
+// Mixed-mode access follows the paper's §5 implementation model:
+//
+//   - FastGet is a plain read. Against the lazy engine it can miss a
+//     logically-committed-but-unwritten value (the delayed-writeback
+//     anomaly of §3.5); the store never promises otherwise.
+//   - Privatize issues quiescence fences on the owning shards and hands
+//     back raw Var handles, after which plain access cannot race with
+//     in-flight transactional writeback.
+//   - Publish performs plain writes and then a sentinel transaction per
+//     owning shard, so transactional readers that observe the sentinel
+//     are ordered after the plain writes (publication by direct
+//     dependency, safe by construction).
+package kv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"modtx/internal/stm"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Shards is the shard count; it is rounded up to a power of two.
+	// 0 means 16.
+	Shards int
+	// Engine selects the STM engine backing every shard.
+	Engine stm.Engine
+	// MaxRetries bounds commit attempts per operation (0 = stm default).
+	MaxRetries int
+}
+
+// Store is a sharded transactional key-value store. All methods are safe
+// for concurrent use.
+type Store struct {
+	shards []*shard
+	mask   uint64
+	engine stm.Engine
+
+	fastGets atomic.Uint64
+}
+
+type shard struct {
+	stm *stm.STM
+	pub *stm.Var // publication sentinel (see Publish)
+
+	mu   sync.Mutex                          // guards insertions into vars
+	vars atomic.Pointer[map[string]*stm.Var] // copy-on-write key table
+}
+
+// New creates a Store.
+func New(opts Options) *Store {
+	n := opts.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so shard routing is a mask.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	n = p
+	s := &Store{
+		shards: make([]*shard, n),
+		mask:   uint64(n - 1),
+		engine: opts.Engine,
+	}
+	for i := range s.shards {
+		inst := stm.New(stm.Options{Engine: opts.Engine, MaxRetries: opts.MaxRetries})
+		sh := &shard{stm: inst, pub: inst.NewVar(fmt.Sprintf("shard%d.pub", i), 0)}
+		empty := make(map[string]*stm.Var)
+		sh.vars.Store(&empty)
+		s.shards[i] = sh
+	}
+	return s
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined to keep FastGet allocation-free.
+func fnv1a(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Engine returns the engine backing the store.
+func (s *Store) Engine() stm.Engine { return s.engine }
+
+// ShardOf returns the index of the shard owning key.
+func (s *Store) ShardOf(key string) int { return int(fnv1a(key) & s.mask) }
+
+// ShardSTM exposes shard i's STM instance for stats, anomaly hooks and
+// tests.
+func (s *Store) ShardSTM(i int) *stm.STM { return s.shards[i].stm }
+
+func (sh *shard) lookup(key string) *stm.Var {
+	return (*sh.vars.Load())[key]
+}
+
+// ensure returns the key's variable, creating it (initialized to 0) on
+// first use. Creation copies the shard's table, so steady-state reads stay
+// lock-free; use EnsureKeys to amortize bulk loads.
+func (sh *shard) ensure(key string) *stm.Var {
+	if v := sh.lookup(key); v != nil {
+		return v
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := *sh.vars.Load()
+	if v := old[key]; v != nil {
+		return v
+	}
+	next := make(map[string]*stm.Var, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	v := sh.stm.NewVar(key, 0)
+	next[key] = v
+	sh.vars.Store(&next)
+	return v
+}
+
+// EnsureKeys creates all missing keys (initialized to 0) with one table
+// copy per shard instead of one per key.
+func (s *Store) EnsureKeys(keys ...string) {
+	byShard := make(map[int][]string)
+	for _, k := range keys {
+		i := s.ShardOf(k)
+		byShard[i] = append(byShard[i], k)
+	}
+	for i, ks := range byShard {
+		sh := s.shards[i]
+		sh.mu.Lock()
+		old := *sh.vars.Load()
+		next := make(map[string]*stm.Var, len(old)+len(ks))
+		for k, v := range old {
+			next[k] = v
+		}
+		for _, k := range ks {
+			if next[k] == nil {
+				next[k] = sh.stm.NewVar(k, 0)
+			}
+		}
+		sh.vars.Store(&next)
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the number of keys present.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(*sh.vars.Load())
+	}
+	return n
+}
+
+// FastGet is the lock-free mixed-mode read: a plain (non-transactional)
+// load of the key's variable. It reports false when the key has never been
+// written. Per the §5 implementation model it may miss a value whose
+// transaction has validated but not yet written back (lazy engine); use
+// Get for a consistent transactional read, or Privatize to fence.
+func (s *Store) FastGet(key string) (int64, bool) {
+	s.fastGets.Add(1)
+	v := s.shards[s.ShardOf(key)].lookup(key)
+	if v == nil {
+		return 0, false
+	}
+	return v.Load(), true
+}
+
+// Get performs a consistent transactional read of one key. ok reports
+// whether the key exists; a non-nil error (retry-budget exhaustion) means
+// the value could not be read and val is meaningless.
+func (s *Store) Get(key string) (val int64, ok bool, err error) {
+	sh := s.shards[s.ShardOf(key)]
+	v := sh.lookup(key)
+	if v == nil {
+		return 0, false, nil
+	}
+	err = sh.stm.Atomically(func(tx *stm.Tx) error {
+		val = tx.Read(v)
+		return nil
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return val, true, nil
+}
+
+// Set transactionally writes one key, creating it if absent.
+func (s *Store) Set(key string, val int64) error {
+	sh := s.shards[s.ShardOf(key)]
+	v := sh.ensure(key)
+	return sh.stm.Atomically(func(tx *stm.Tx) error {
+		tx.Write(v, val)
+		return nil
+	})
+}
+
+// Add transactionally adds delta to one key (creating it at 0 if absent)
+// and returns the new value.
+func (s *Store) Add(key string, delta int64) (int64, error) {
+	sh := s.shards[s.ShardOf(key)]
+	v := sh.ensure(key)
+	var out int64
+	err := sh.stm.Atomically(func(tx *stm.Tx) error {
+		out = tx.Read(v) + delta
+		tx.Write(v, out)
+		return nil
+	})
+	return out, err
+}
+
+// MGet reads the given keys in one transaction spanning every shard
+// touched; the snapshot is consistent across shards. Missing keys are
+// omitted from the result.
+func (s *Store) MGet(keys ...string) (map[string]int64, error) {
+	out := make(map[string]int64, len(keys))
+	err := s.Update(keys, func(t *Txn) error {
+		for _, k := range keys {
+			if v, ok := t.Get(k); ok {
+				out[k] = v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MSet writes the given keys in one cross-shard transaction.
+func (s *Store) MSet(vals map[string]int64) error {
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	return s.Update(keys, func(t *Txn) error {
+		for k, v := range vals {
+			t.Set(k, v)
+		}
+		return nil
+	})
+}
+
+// Txn is the handle passed to Update bodies. Accesses are restricted to
+// the shards owning the declared footprint; an access outside it makes the
+// transaction fail with an error (no partial effects).
+type Txn struct {
+	s   *Store
+	txs map[int]*stm.Tx // shard index -> per-shard transaction handle
+	err error
+}
+
+func (t *Txn) fail(key string) {
+	if t.err == nil {
+		t.err = fmt.Errorf("kv: key %q is outside the transaction footprint", key)
+	}
+}
+
+// Get reads key inside the transaction; ok is false when the key is
+// absent.
+func (t *Txn) Get(key string) (int64, bool) {
+	i := t.s.ShardOf(key)
+	tx, declared := t.txs[i]
+	if !declared {
+		t.fail(key)
+		return 0, false
+	}
+	v := t.s.shards[i].lookup(key)
+	if v == nil {
+		return 0, false
+	}
+	return tx.Read(v), true
+}
+
+// Set writes key inside the transaction, creating it if absent.
+func (t *Txn) Set(key string, val int64) {
+	i := t.s.ShardOf(key)
+	tx, declared := t.txs[i]
+	if !declared {
+		t.fail(key)
+		return
+	}
+	tx.Write(t.s.shards[i].ensure(key), val)
+}
+
+// Add adds delta to key inside the transaction and returns the new value.
+// The key is routed and resolved once (this is the hot path of TXN ADD and
+// the transfer benchmarks).
+func (t *Txn) Add(key string, delta int64) int64 {
+	i := t.s.ShardOf(key)
+	tx, declared := t.txs[i]
+	if !declared {
+		t.fail(key)
+		return 0
+	}
+	v := t.s.shards[i].ensure(key)
+	nv := tx.Read(v) + delta
+	tx.Write(v, nv)
+	return nv
+}
+
+// shardSet returns the sorted, deduplicated shard indices owning keys.
+func (s *Store) shardSet(keys []string) []int {
+	seen := make(map[int]bool, len(keys))
+	idxs := make([]int, 0, len(keys))
+	for _, k := range keys {
+		if i := s.ShardOf(k); !seen[i] {
+			seen[i] = true
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+// stmsFor maps shard indices to their STM instances, preserving order.
+func (s *Store) stmsFor(idxs []int) []*stm.STM {
+	stms := make([]*stm.STM, len(idxs))
+	for j, i := range idxs {
+		stms[j] = s.shards[i].stm
+	}
+	return stms
+}
+
+// Update runs fn as one transaction over the shards owning keys (the
+// transaction's footprint). The per-shard transactions two-phase in
+// ascending shard order: every shard prepares (locks + validation) before
+// any publishes, so concurrent transactional readers never observe a
+// partial cross-shard commit, and the consistent lock order avoids
+// deadlock. fn may touch any key routed to a declared shard, not just the
+// declared keys; it may be re-executed on conflict and must be pure.
+func (s *Store) Update(keys []string, fn func(*Txn) error) error {
+	idxs := s.shardSet(keys)
+	return stm.AtomicallyMulti(s.stmsFor(idxs), func(txs []*stm.Tx) error {
+		t := &Txn{s: s, txs: make(map[int]*stm.Tx, len(idxs))}
+		for j, i := range idxs {
+			t.txs[i] = txs[j]
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+		return t.err
+	})
+}
+
+// Privatize fences the shards owning keys and returns the keys' raw
+// variable handles, aligned with keys (creating missing keys at 0). When
+// it returns, every transaction admitted before the call on those shards
+// has resolved, so the §3.5 delayed-writeback race is excluded and the
+// caller may use plain Load/Store on the handles — provided it has already
+// made the keys logically private (e.g. cleared a routing flag inside a
+// transaction), exactly as in the paper's privatization idiom.
+func (s *Store) Privatize(keys ...string) []*stm.Var {
+	vars := make([]*stm.Var, len(keys))
+	for i, k := range keys {
+		vars[i] = s.shards[s.ShardOf(k)].ensure(k)
+	}
+	for _, i := range s.shardSet(keys) {
+		s.shards[i].stm.Quiesce()
+	}
+	return vars
+}
+
+// Publish plainly stores vals and then commits a sentinel transaction on
+// each owning shard. A transactional reader ordered after the sentinel
+// write (any transaction on the shard that starts after Publish returns,
+// or one that observes the bumped sentinel) also sees the plain writes:
+// publication by direct dependency, safe on every engine without fences.
+func (s *Store) Publish(vals map[string]int64) error {
+	keys := make([]string, 0, len(vals))
+	for k, v := range vals {
+		s.shards[s.ShardOf(k)].ensure(k).Store(v)
+		keys = append(keys, k)
+	}
+	idxs := s.shardSet(keys)
+	return stm.AtomicallyMulti(s.stmsFor(idxs), func(txs []*stm.Tx) error {
+		for j, i := range idxs {
+			txs[j].Write(s.shards[i].pub, txs[j].Read(s.shards[i].pub)+1)
+		}
+		return nil
+	})
+}
+
+// Stats is an aggregate snapshot across shards.
+type Stats struct {
+	Shards       int
+	Keys         int
+	FastGets     uint64
+	Commits      uint64
+	Conflicts    uint64
+	UserAborts   uint64
+	MultiCommits uint64
+	Quiesces     uint64
+}
+
+// Stats aggregates per-shard STM counters and store-level counters.
+func (s *Store) Stats() Stats {
+	st := Stats{Shards: len(s.shards), FastGets: s.fastGets.Load()}
+	for _, sh := range s.shards {
+		st.Keys += len(*sh.vars.Load())
+		snap := sh.stm.Snapshot()
+		st.Commits += snap.Commits
+		st.Conflicts += snap.Conflicts
+		st.UserAborts += snap.UserAborts
+		st.MultiCommits += snap.MultiCommits
+		st.Quiesces += snap.Quiesces
+	}
+	return st
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (st Stats) String() string {
+	return fmt.Sprintf("kv: shards=%d keys=%d fastgets=%d commits=%d conflicts=%d user-aborts=%d multi-commits=%d quiesces=%d",
+		st.Shards, st.Keys, st.FastGets, st.Commits, st.Conflicts, st.UserAborts, st.MultiCommits, st.Quiesces)
+}

@@ -1,0 +1,233 @@
+package kv
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"modtx/internal/stm"
+)
+
+var kvEngines = []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock}
+
+func TestShardRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 16}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {7, 8}, {8, 8}, {9, 16}, {33, 64},
+	} {
+		if got := New(Options{Shards: tc.in}).NumShards(); got != tc.want {
+			t.Errorf("Shards=%d: got %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestShardRouting(t *testing.T) {
+	s := New(Options{Shards: 16})
+	hit := make([]int, s.NumShards())
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		i1 := s.ShardOf(k)
+		i2 := s.ShardOf(k)
+		if i1 != i2 {
+			t.Fatalf("routing is not deterministic: %d vs %d", i1, i2)
+		}
+		if i1 < 0 || i1 >= s.NumShards() {
+			t.Fatalf("shard %d out of range", i1)
+		}
+		hit[i1]++
+	}
+	// FNV-1a should spread 10k keys so every one of 16 shards gets a
+	// reasonable share (binomial mean 625; tolerate wide slack).
+	for i, n := range hit {
+		if n < 300 || n > 1000 {
+			t.Errorf("shard %d got %d of 10000 keys: suspicious skew", i, n)
+		}
+	}
+	// A key's route must agree with where operations land.
+	s2 := New(Options{Shards: 4})
+	if err := s2.Set("alpha", 7); err != nil {
+		t.Fatal(err)
+	}
+	sh := s2.shards[s2.ShardOf("alpha")]
+	if sh.lookup("alpha") == nil {
+		t.Fatal("Set stored the key on a different shard than ShardOf reports")
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	for _, e := range kvEngines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(Options{Shards: 4, Engine: e})
+			if _, ok, _ := s.Get("missing"); ok {
+				t.Fatal("Get of missing key reported present")
+			}
+			if _, ok := s.FastGet("missing"); ok {
+				t.Fatal("FastGet of missing key reported present")
+			}
+			if err := s.Set("a", 1); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok, err := s.Get("a"); err != nil || !ok || v != 1 {
+				t.Fatalf("Get(a)=%d,%v want 1,true", v, ok)
+			}
+			if v, ok := s.FastGet("a"); !ok || v != 1 {
+				t.Fatalf("FastGet(a)=%d,%v want 1,true", v, ok)
+			}
+			if v, err := s.Add("ctr", 5); err != nil || v != 5 {
+				t.Fatalf("Add(ctr,5)=%d,%v", v, err)
+			}
+			if v, err := s.Add("ctr", -2); err != nil || v != 3 {
+				t.Fatalf("Add(ctr,-2)=%d,%v", v, err)
+			}
+			if err := s.MSet(map[string]int64{"x": 10, "y": 20, "z": 30}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.MGet("x", "y", "z", "missing")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 3 || got["x"] != 10 || got["y"] != 20 || got["z"] != 30 {
+				t.Fatalf("MGet=%v", got)
+			}
+			if n := s.Len(); n != 5 {
+				t.Fatalf("Len=%d, want 5", n)
+			}
+			st := s.Stats()
+			if st.Commits == 0 || st.FastGets == 0 || st.Keys != 5 {
+				t.Fatalf("stats not plumbed: %v", st)
+			}
+		})
+	}
+}
+
+func TestUpdateFootprint(t *testing.T) {
+	s := New(Options{Shards: 8})
+	s.EnsureKeys("in")
+	// Find a key routed to a different shard than "in".
+	other := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if s.ShardOf(k) != s.ShardOf("in") {
+			other = k
+			break
+		}
+	}
+	err := s.Update([]string{"in"}, func(t *Txn) error {
+		t.Set(other, 1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("out-of-footprint write did not error")
+	}
+	if _, ok, _ := s.Get(other); ok {
+		t.Fatal("out-of-footprint write took effect")
+	}
+	// Undeclared keys on declared shards are fine.
+	same := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if k != "in" && s.ShardOf(k) == s.ShardOf("in") {
+			same = k
+			break
+		}
+	}
+	if err := s.Update([]string{"in"}, func(t *Txn) error {
+		t.Set(same, 42)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := s.Get(same); !ok || v != 42 {
+		t.Fatalf("same-shard undeclared write lost: %d,%v", v, ok)
+	}
+}
+
+func TestEnsureKeysBulk(t *testing.T) {
+	s := New(Options{Shards: 4})
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%03d", i)
+	}
+	s.EnsureKeys(keys...)
+	if n := s.Len(); n != 500 {
+		t.Fatalf("Len=%d, want 500", n)
+	}
+	s.EnsureKeys(keys...) // idempotent
+	if n := s.Len(); n != 500 {
+		t.Fatalf("Len after re-ensure=%d, want 500", n)
+	}
+	for _, k := range keys {
+		if _, ok := s.FastGet(k); !ok {
+			t.Fatalf("key %s missing after EnsureKeys", k)
+		}
+	}
+}
+
+// TestFastGetQuiesceConsistency forces the §3.5 delayed-writeback anomaly
+// on the lazy engine and shows that (a) the plain fast path can miss a
+// logically committed value, and (b) Privatize's quiescence fence restores
+// agreement between FastGet and the transactional state.
+func TestFastGetQuiesceConsistency(t *testing.T) {
+	s := New(Options{Shards: 1, Engine: stm.Lazy})
+	s.EnsureKeys("x")
+	inst := s.ShardSTM(0)
+
+	inWindow := make(chan struct{})
+	resume := make(chan struct{})
+	var armed atomic.Bool
+	armed.Store(true)
+	inst.WritebackDelay = func() {
+		if armed.CompareAndSwap(true, false) {
+			close(inWindow)
+			<-resume
+		}
+	}
+	defer func() { inst.WritebackDelay = nil }()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := s.Set("x", 1); err != nil {
+			t.Errorf("Set: %v", err)
+		}
+	}()
+	<-inWindow
+	// The writer has validated (logically committed) but not written back:
+	// the plain fast path still sees the old value. This is the anomaly,
+	// not a bug — the model admits it for unfenced mixed access.
+	if v, _ := s.FastGet("x"); v != 0 {
+		t.Fatalf("expected stale fast read inside the writeback window, got %d", v)
+	}
+	go func() { close(resume) }()
+	// Privatize fences: after it returns, the writer has drained and the
+	// plain path must agree with the transactional state.
+	vars := s.Privatize("x")
+	if v := vars[0].Load(); v != 1 {
+		t.Fatalf("after Privatize fence: handle reads %d, want 1", v)
+	}
+	if v, _ := s.FastGet("x"); v != 1 {
+		t.Fatalf("after Privatize fence: FastGet=%d, want 1", v)
+	}
+	<-done
+	if st := s.Stats(); st.Quiesces == 0 {
+		t.Fatalf("quiesce counter not plumbed: %v", st)
+	}
+}
+
+func TestPublish(t *testing.T) {
+	for _, e := range kvEngines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(Options{Shards: 4, Engine: e})
+			if err := s.Publish(map[string]int64{"p": 9, "q": 8}); err != nil {
+				t.Fatal(err)
+			}
+			// A transaction starting after Publish observes the values.
+			got, err := s.MGet("p", "q")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got["p"] != 9 || got["q"] != 8 {
+				t.Fatalf("published values not visible transactionally: %v", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"modtx/internal/stm"
+)
+
+// TestCrossShardTransferStress is the acceptance stress test: 4 goroutines
+// doing bank-style transfers between accounts spread over 2 shards, with a
+// consistent transactional observer and a mixed-mode plain reader running
+// concurrently. The total balance must hold at every transactional
+// snapshot and at the end. Run under -race in CI.
+func TestCrossShardTransferStress(t *testing.T) {
+	for _, e := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock} {
+		t.Run(e.String(), func(t *testing.T) {
+			const (
+				accounts = 64
+				initial  = 1000
+				workers  = 4
+				iters    = 400
+			)
+			s := New(Options{Shards: 2, Engine: e})
+			keys := make([]string, accounts)
+			vals := make(map[string]int64, accounts)
+			shardsHit := make(map[int]bool)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("acct-%02d", i)
+				vals[keys[i]] = initial
+				shardsHit[s.ShardOf(keys[i])] = true
+			}
+			if len(shardsHit) < 2 {
+				t.Fatalf("accounts all landed on one shard; need a cross-shard workload")
+			}
+			if err := s.MSet(vals); err != nil {
+				t.Fatal(err)
+			}
+			const total = accounts * initial
+
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						from := keys[rng.Intn(accounts)]
+						to := keys[rng.Intn(accounts)]
+						if from == to {
+							continue
+						}
+						amt := int64(rng.Intn(20) + 1)
+						err := s.Update([]string{from, to}, func(tx *Txn) error {
+							tx.Add(from, -amt)
+							tx.Add(to, amt)
+							return nil
+						})
+						if err != nil {
+							t.Errorf("transfer %s->%s: %v", from, to, err)
+							return
+						}
+					}
+				}(int64(w + 1))
+			}
+
+			// Consistent observer: a cross-shard transactional snapshot of
+			// every account must always sum to the invariant.
+			obsErr := make(chan error, 1)
+			var obsWg sync.WaitGroup
+			obsWg.Add(1)
+			go func() {
+				defer obsWg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					snap, err := s.MGet(keys...)
+					if err != nil {
+						obsErr <- err
+						return
+					}
+					var sum int64
+					for _, v := range snap {
+						sum += v
+					}
+					if sum != total {
+						obsErr <- fmt.Errorf("torn cross-shard snapshot: sum=%d, want %d", sum, total)
+						return
+					}
+				}
+			}()
+
+			// Mixed-mode plain reader: values are racy by design; this
+			// exercises the FastGet path for the race detector, asserting
+			// only that present keys stay present.
+			var fastWg sync.WaitGroup
+			fastWg.Add(1)
+			go func() {
+				defer fastWg.Done()
+				rng := rand.New(rand.NewSource(99))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, ok := s.FastGet(keys[rng.Intn(accounts)]); !ok {
+						t.Error("account key vanished from the fast path")
+						return
+					}
+				}
+			}()
+
+			wg.Wait()
+			close(stop)
+			obsWg.Wait()
+			fastWg.Wait()
+			select {
+			case err := <-obsErr:
+				t.Fatal(err)
+			default:
+			}
+
+			final, err := s.MGet(keys...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum int64
+			for _, v := range final {
+				sum += v
+			}
+			if sum != total {
+				t.Fatalf("final sum=%d, want %d", sum, total)
+			}
+			if st := s.Stats(); st.MultiCommits == 0 {
+				t.Fatalf("expected cross-shard commits in stats: %v", st)
+			}
+		})
+	}
+}

@@ -60,6 +60,11 @@ var ErrAbort = errors.New("stm: transaction aborted by user")
 // ErrMaxRetries reports that a transaction exceeded its retry budget.
 var ErrMaxRetries = errors.New("stm: transaction exceeded retry budget")
 
+// ErrDuplicateInstance reports that AtomicallyMulti was given the same STM
+// instance more than once (which would self-deadlock on the global-lock
+// engine).
+var ErrDuplicateInstance = errors.New("stm: duplicate STM instance in AtomicallyMulti")
+
 const lockedBit = 1
 
 // Var is a transactional variable holding an int64.
@@ -102,16 +107,20 @@ type Options struct {
 
 // Stats are cumulative counters, safe to read concurrently.
 type Stats struct {
-	Commits    atomic.Uint64
-	Conflicts  atomic.Uint64
-	UserAborts atomic.Uint64
+	Commits      atomic.Uint64
+	Conflicts    atomic.Uint64
+	UserAborts   atomic.Uint64
+	MultiCommits atomic.Uint64 // commits that were part of an AtomicallyMulti
+	Quiesces     atomic.Uint64 // quiescence fences executed
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
 type StatsSnapshot struct {
-	Commits    uint64
-	Conflicts  uint64
-	UserAborts uint64
+	Commits      uint64
+	Conflicts    uint64
+	UserAborts   uint64
+	MultiCommits uint64
+	Quiesces     uint64
 }
 
 // STM is a transactional memory instance. Vars belong to the instance that
@@ -173,9 +182,11 @@ func (s *STM) NewVar(name string, init int64) *Var {
 // Snapshot returns current statistics.
 func (s *STM) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Commits:    s.stats.Commits.Load(),
-		Conflicts:  s.stats.Conflicts.Load(),
-		UserAborts: s.stats.UserAborts.Load(),
+		Commits:      s.stats.Commits.Load(),
+		Conflicts:    s.stats.Conflicts.Load(),
+		UserAborts:   s.stats.UserAborts.Load(),
+		MultiCommits: s.stats.MultiCommits.Load(),
+		Quiesces:     s.stats.Quiesces.Load(),
 	}
 }
 
@@ -202,6 +213,7 @@ func (s *STM) releaseSlot(i int) { s.slots[i].seq.Store(0) }
 // which soundly over-approximates WF12/HBCQ/HBQB.
 func (s *STM) Quiesce(vars ...*Var) {
 	_ = vars
+	s.stats.Quiesces.Add(1)
 	snap := s.txSeq.Load()
 	for spins := 0; ; spins++ {
 		busy := false

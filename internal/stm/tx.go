@@ -9,13 +9,15 @@ import (
 // Tx is the per-attempt transaction handle passed to Atomically bodies.
 // It must not escape the body or be used concurrently.
 type Tx struct {
-	s  *STM
-	rv uint64 // read version (TL2 snapshot)
+	s       *STM
+	rv      uint64 // read version (TL2 snapshot)
+	slotIdx int    // quiescence slot held for the attempt's lifetime
 
 	// Lazy engine.
-	reads  []readEntry
-	writes map[*Var]int64
-	worder []*Var // write order for deterministic locking
+	reads      []readEntry
+	writes     map[*Var]int64
+	worder     []*Var          // write order for deterministic locking
+	lockedMeta map[*Var]uint64 // commit-time lock state while prepared
 
 	// Eager and global-lock engines.
 	undo   []undoEntry
@@ -39,53 +41,172 @@ func (tx *Tx) conflict() {
 	panic(conflictSignal{})
 }
 
+// begin opens an unmanaged transaction attempt: it registers the
+// quiescence slot, takes the global lock when the engine demands it, and
+// snapshots the read version. The caller owns the attempt's lifecycle and
+// must end it with finishTx (after commitPrepared) or abortAttempt.
+func (s *STM) begin() *Tx {
+	slotIdx, _ := s.acquireSlot()
+	if s.engine == GlobalLock {
+		s.glock <- struct{}{}
+	}
+	return &Tx{s: s, rv: s.clock.Load(), slotIdx: slotIdx}
+}
+
 // Atomically runs fn as a transaction, retrying on conflicts until commit
 // or the retry budget is exhausted. If fn returns ErrAbort the transaction
 // is rolled back and ErrAbort is returned; any other non-nil error also
 // rolls back and is returned verbatim (the transaction takes no effect).
 func (s *STM) Atomically(fn func(*Tx) error) error {
 	for attempt := 0; attempt < s.maxRetries; attempt++ {
-		slotIdx, _ := s.acquireSlot()
-		if s.engine == GlobalLock {
-			s.glock <- struct{}{}
-		}
-		tx := &Tx{s: s, rv: s.clock.Load()}
+		tx := s.begin()
 		err, conflicted := tx.runBody(fn)
 		switch {
 		case conflicted:
-			tx.rollback()
-			s.finish(slotIdx)
+			tx.abortAttempt()
 			s.stats.Conflicts.Add(1)
 			backoff(attempt)
 			continue
 		case err != nil:
-			tx.rollback()
-			s.finish(slotIdx)
+			tx.abortAttempt()
 			s.stats.UserAborts.Add(1)
 			return err
 		}
-		if tx.commit() {
-			s.finish(slotIdx)
+		if tx.prepare() {
+			tx.commitPrepared()
+			tx.finishTx()
 			s.stats.Commits.Add(1)
 			return nil
 		}
-		tx.rollback()
-		s.finish(slotIdx)
+		tx.abortAttempt()
 		s.stats.Conflicts.Add(1)
 		backoff(attempt)
 	}
 	return ErrMaxRetries
 }
 
-func (s *STM) finish(slotIdx int) {
+// AtomicallyMulti runs fn as one transaction spanning several STM
+// instances, passing it per-instance handles aligned with stms. Commit is
+// two-phase: every instance prepares (commit-time locks taken, read sets
+// validated), and only when all have prepared do the write sets become
+// visible, so no consistent transactional reader observes a partial
+// cross-instance commit. Callers that may contend on overlapping instance
+// sets must pass stms in a globally consistent order (e.g. sorted by shard
+// index, as internal/kv does) — instance-level locks are taken in argument
+// order, and a consistent order makes the global-lock engine deadlock-free.
+//
+// The instances may use different engines, but the retry budget is taken
+// from stms[0]. An empty stms runs fn(nil) once, transactionally vacuous.
+func AtomicallyMulti(stms []*STM, fn func(txs []*Tx) error) error {
+	if len(stms) == 0 {
+		return fn(nil)
+	}
+	if len(stms) == 1 {
+		return stms[0].Atomically(func(tx *Tx) error { return fn([]*Tx{tx}) })
+	}
+	for i := 1; i < len(stms); i++ {
+		for j := 0; j < i; j++ {
+			if stms[i] == stms[j] {
+				// A duplicated GlobalLock instance would self-deadlock on
+				// its mutex; reject all duplicates uniformly.
+				return ErrDuplicateInstance
+			}
+		}
+	}
+	txs := make([]*Tx, len(stms))
+	abortAll := func() {
+		// Unwind in reverse so global locks release LIFO.
+		for i := len(txs) - 1; i >= 0; i-- {
+			txs[i].abortAttempt()
+		}
+	}
+	for attempt := 0; attempt < stms[0].maxRetries; attempt++ {
+		for i, s := range stms {
+			txs[i] = s.begin()
+		}
+		err, conflicted := runMultiBody(txs, fn)
+		switch {
+		case conflicted:
+			abortAll()
+			for _, s := range stms {
+				s.stats.Conflicts.Add(1)
+			}
+			backoff(attempt)
+			continue
+		case err != nil:
+			abortAll()
+			for _, s := range stms {
+				s.stats.UserAborts.Add(1)
+			}
+			return err
+		}
+		// Two-phase, whole-footprint commit: first take every instance's
+		// commit-time locks, and only then validate every instance's read
+		// set. Validating inside the global lock window is what makes the
+		// cross-instance transaction serializable — validating per
+		// instance as it prepares would admit write skew (instance A's
+		// reads could be invalidated while instance B is still locking),
+		// and a read-only instance must be validated here too, since its
+		// begin-time snapshot may predate the commit point.
+		prepared := true
+		for _, tx := range txs {
+			if !tx.lockWrites() {
+				prepared = false
+				break
+			}
+		}
+		if prepared {
+			for _, tx := range txs {
+				if !tx.validateReads() {
+					prepared = false
+					break
+				}
+			}
+		}
+		if !prepared {
+			abortAll()
+			for _, s := range stms {
+				s.stats.Conflicts.Add(1)
+			}
+			backoff(attempt)
+			continue
+		}
+		for _, tx := range txs {
+			tx.commitPrepared()
+		}
+		for i := len(txs) - 1; i >= 0; i-- {
+			txs[i].finishTx()
+		}
+		for _, s := range stms {
+			s.stats.Commits.Add(1)
+			s.stats.MultiCommits.Add(1)
+		}
+		return nil
+	}
+	return ErrMaxRetries
+}
+
+// finishTx releases the engine-level resources of a resolved attempt.
+func (tx *Tx) finishTx() {
+	s := tx.s
 	if s.engine == GlobalLock {
 		<-s.glock
 	}
-	s.releaseSlot(slotIdx)
+	s.releaseSlot(tx.slotIdx)
 }
 
-// runBody executes fn, converting conflict signals into a flag.
-func (tx *Tx) runBody(fn func(*Tx) error) (err error, conflicted bool) {
+// abortAttempt rolls back an attempt (releasing any prepare-phase locks)
+// and finishes it.
+func (tx *Tx) abortAttempt() {
+	tx.releasePrepared()
+	tx.rollback()
+	tx.finishTx()
+}
+
+// catchConflict runs fn, converting conflict signals into a flag. Both the
+// single- and multi-instance bodies funnel through it so the abort
+// protocol lives in one place.
+func catchConflict(fn func() error) (err error, conflicted bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(conflictSignal); ok {
@@ -95,7 +216,18 @@ func (tx *Tx) runBody(fn func(*Tx) error) (err error, conflicted bool) {
 			panic(r)
 		}
 	}()
-	return fn(tx), false
+	return fn(), false
+}
+
+// runBody executes fn, converting conflict signals into a flag.
+func (tx *Tx) runBody(fn func(*Tx) error) (error, bool) {
+	return catchConflict(func() error { return fn(tx) })
+}
+
+// runMultiBody executes fn over the attempt's handles; a conflict raised
+// by any participating instance aborts the whole attempt.
+func runMultiBody(txs []*Tx, fn func([]*Tx) error) (error, bool) {
+	return catchConflict(func() error { return fn(txs) })
 }
 
 func backoff(attempt int) {
@@ -190,14 +322,32 @@ func (tx *Tx) Write(v *Var, x int64) {
 // returning ErrAbort from the body.
 func (tx *Tx) Abort() error { return ErrAbort }
 
-// commit attempts to make the transaction's effects visible. It reports
-// success; on failure the caller rolls back and retries.
-func (tx *Tx) commit() bool {
-	s := tx.s
-	switch s.engine {
+// prepare is commit phase one for a single-instance transaction: take the
+// commit-time locks on the write set and validate the read set, publishing
+// nothing. After a successful prepare the transaction is guaranteed
+// committable; the caller must follow with commitPrepared (or
+// abortAttempt/releasePrepared to back out). On failure the caller's
+// abortAttempt releases any locks taken. Multi-instance commits call
+// lockWrites and validateReads separately, with a barrier between the two
+// phases across instances.
+func (tx *Tx) prepare() bool {
+	if tx.s.engine == Lazy && len(tx.worder) == 0 {
+		// Single-instance read-only fast path: every read was validated
+		// against rv at read time, so the snapshot is consistent as of rv.
+		// (Not sound for multi-instance commits, whose serialization point
+		// is later than rv — they always run validateReads.)
+		return true
+	}
+	return tx.lockWrites() && tx.validateReads()
+}
+
+// lockWrites (commit phase 1a) acquires the commit-time locks on the write
+// set. Locks taken are recorded in tx.lockedMeta so releasePrepared — run
+// by abortAttempt on any later failure — can restore them.
+func (tx *Tx) lockWrites() bool {
+	switch tx.s.engine {
 	case Lazy:
 		if len(tx.worder) == 0 {
-			// Read-only transactions validated each read against rv.
 			return true
 		}
 		// Lock the write set in id order to avoid deadlock.
@@ -213,27 +363,61 @@ func (tx *Tx) commit() bool {
 			}
 			lockedMeta[v] = m
 		}
-		wv := s.clock.Add(1)
-		// Validate the read set.
+		tx.lockedMeta = lockedMeta
+		return true
+	default:
+		// Eager locked at encounter time; GlobalLock holds the mutex.
+		return true
+	}
+}
+
+// validateReads (commit phase 1b) checks the read set against the
+// begin-time snapshot while the write locks are held.
+func (tx *Tx) validateReads() bool {
+	switch tx.s.engine {
+	case Lazy:
 		for _, re := range tx.reads {
-			cur := re.v.meta.Load()
-			if _, mine := lockedMeta[re.v]; mine {
-				if version(cur) != version(re.meta) {
-					// Someone updated between our read and our lock.
-					for _, u := range tx.worder {
-						u.meta.Store(lockedMeta[u])
-					}
-					return false
+			if mv, mine := tx.lockedMeta[re.v]; mine {
+				if version(re.meta) != version(mv) {
+					return false // someone updated between our read and our lock
 				}
 				continue
 			}
+			cur := re.v.meta.Load()
 			if isLocked(cur) || version(cur) > tx.rv {
-				for _, u := range tx.worder {
-					u.meta.Store(lockedMeta[u])
-				}
 				return false
 			}
 		}
+		return true
+
+	case Eager:
+		for _, re := range tx.reads {
+			if _, mine := tx.locked[re.v]; mine {
+				continue // we hold the lock; value unchanged since read
+			}
+			cur := re.v.meta.Load()
+			if isLocked(cur) || version(cur) > tx.rv {
+				return false
+			}
+		}
+		return true
+
+	default: // GlobalLock: the mutex serialized this instance.
+		return true
+	}
+}
+
+// commitPrepared is commit phase two: it publishes the write set and
+// releases the commit-time locks with a fresh version. Only legal after a
+// successful prepare.
+func (tx *Tx) commitPrepared() {
+	s := tx.s
+	switch s.engine {
+	case Lazy:
+		if len(tx.worder) == 0 {
+			return
+		}
+		wv := s.clock.Add(1)
 		// The anomaly window of §3.5: the transaction is logically
 		// committed but its buffered writes are not yet applied.
 		if s.WritebackDelay != nil {
@@ -243,25 +427,15 @@ func (tx *Tx) commit() bool {
 			v.val.Store(tx.writes[v])
 			v.meta.Store(wv << 1) // release with the new version
 		}
-		return true
+		tx.lockedMeta = nil
 
 	case Eager:
 		wv := s.clock.Add(1)
-		for _, re := range tx.reads {
-			cur := re.v.meta.Load()
-			if _, mine := tx.locked[re.v]; mine {
-				continue // we hold the lock; value unchanged since read
-			}
-			if isLocked(cur) || version(cur) > tx.rv {
-				return false
-			}
-		}
 		for v := range tx.locked {
 			v.meta.Store(wv << 1)
 		}
 		tx.locked = nil
 		tx.undo = nil
-		return true
 
 	default: // GlobalLock
 		wv := s.clock.Add(1)
@@ -269,8 +443,19 @@ func (tx *Tx) commit() bool {
 			u.v.meta.Store(wv << 1)
 		}
 		tx.undo = nil
-		return true
 	}
+}
+
+// releasePrepared drops the phase-one locks without publishing, restoring
+// the pre-prepare lock words. A no-op unless prepare succeeded.
+func (tx *Tx) releasePrepared() {
+	if tx.lockedMeta == nil {
+		return
+	}
+	for _, v := range tx.worder {
+		v.meta.Store(tx.lockedMeta[v])
+	}
+	tx.lockedMeta = nil
 }
 
 // rollback undoes in-place effects (eager and global-lock engines); the

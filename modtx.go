@@ -28,6 +28,7 @@ import (
 	"modtx/internal/core"
 	"modtx/internal/event"
 	"modtx/internal/exec"
+	"modtx/internal/kv"
 	"modtx/internal/ltrf"
 	"modtx/internal/prog"
 	"modtx/internal/stm"
@@ -122,3 +123,25 @@ var ErrAbort = stm.ErrAbort
 
 // NewSTM creates a software transactional memory instance.
 func NewSTM(opts STMOptions) *STM { return stm.New(opts) }
+
+// AtomicallyMulti runs fn as one transaction spanning several STM
+// instances with a two-phase cross-instance commit (see stm.AtomicallyMulti).
+func AtomicallyMulti(stms []*STM, fn func(txs []*Tx) error) error {
+	return stm.AtomicallyMulti(stms, fn)
+}
+
+// Serving layer.
+type (
+	// KV is a sharded transactional key-value store backed by the STM
+	// runtime (see internal/kv and cmd/mtx-kv).
+	KV = kv.Store
+	// KVOptions configures a KV store.
+	KVOptions = kv.Options
+	// KVTxn is the handle passed to KV.Update transaction bodies.
+	KVTxn = kv.Txn
+	// KVStats is an aggregate statistics snapshot across shards.
+	KVStats = kv.Stats
+)
+
+// NewKV creates a sharded transactional key-value store.
+func NewKV(opts KVOptions) *KV { return kv.New(opts) }
