@@ -214,7 +214,7 @@ func BenchmarkSTMCounter(b *testing.B) {
 	for _, e := range stmEngines {
 		e := e
 		b.Run(e.String(), func(b *testing.B) {
-			s := stm.New(stm.Options{Engine: e})
+			s := stm.New(stm.WithEngine(e))
 			c := s.NewVar("c", 0)
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
@@ -234,7 +234,7 @@ func BenchmarkSTMReadOnly(b *testing.B) {
 	for _, e := range stmEngines {
 		e := e
 		b.Run(e.String(), func(b *testing.B) {
-			s := stm.New(stm.Options{Engine: e})
+			s := stm.New(stm.WithEngine(e))
 			vars := make([]*stm.Var, 16)
 			for i := range vars {
 				vars[i] = s.NewVar(fmt.Sprintf("v%d", i), int64(i))
@@ -260,7 +260,7 @@ func BenchmarkSTMBank(b *testing.B) {
 	for _, e := range stmEngines {
 		e := e
 		b.Run(e.String(), func(b *testing.B) {
-			s := stm.New(stm.Options{Engine: e})
+			s := stm.New(stm.WithEngine(e))
 			accts := make([]*stm.Var, 64)
 			for i := range accts {
 				accts[i] = s.NewVar(fmt.Sprintf("a%d", i), 1000)
@@ -301,7 +301,7 @@ func BenchmarkSTMFence(b *testing.B) {
 			name = "quiesce"
 		}
 		b.Run(name, func(b *testing.B) {
-			s := stm.New(stm.Options{Engine: stm.Lazy})
+			s := stm.New(stm.WithEngine(stm.Lazy))
 			x := s.NewVar("x", 0)
 			y := s.NewVar("y", 0)
 			for i := 0; i < b.N; i++ {
@@ -321,7 +321,7 @@ func BenchmarkSTMFence(b *testing.B) {
 // BenchmarkSTMPlainAccess (S4): mixed-mode plain access runs at native
 // atomic speed (the model's "non-volatile accesses are not slowed" claim).
 func BenchmarkSTMPlainAccess(b *testing.B) {
-	s := stm.New(stm.Options{Engine: stm.Lazy})
+	s := stm.New(stm.WithEngine(stm.Lazy))
 	x := s.NewVar("x", 0)
 	b.Run("store", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -340,7 +340,7 @@ func BenchmarkSTMPlainAccess(b *testing.B) {
 // BenchmarkSTMStressSuite (S1–S3): the probabilistic stress scenarios.
 func BenchmarkSTMStressSuite(b *testing.B) {
 	b.Run("privatization-fenced", func(b *testing.B) {
-		s := stm.New(stm.Options{Engine: stm.Lazy})
+		s := stm.New(stm.WithEngine(stm.Lazy))
 		for i := 0; i < b.N; i++ {
 			if r := stm.Privatization(s, 1, true); r.Violations != 0 {
 				b.Fatal("fenced privatization violated")
@@ -348,7 +348,7 @@ func BenchmarkSTMStressSuite(b *testing.B) {
 		}
 	})
 	b.Run("publication", func(b *testing.B) {
-		s := stm.New(stm.Options{Engine: stm.Lazy})
+		s := stm.New(stm.WithEngine(stm.Lazy))
 		for i := 0; i < b.N; i++ {
 			if r := stm.Publication(s, 1); r.Violations != 0 {
 				b.Fatal("publication violated")
@@ -357,18 +357,49 @@ func BenchmarkSTMStressSuite(b *testing.B) {
 	})
 }
 
-// BenchmarkKVFastPath (S6): the internal/kv lock-free plain-read path —
-// one atomic pointer load, one map lookup, one atomic value load.
+// BenchmarkKVFastPath (S6): the internal/kv lock-free plain-read path on
+// the int64 specialization — one atomic pointer load, one map lookup, one
+// atomic value load, no boxing.
 func BenchmarkKVFastPath(b *testing.B) {
 	for _, e := range stmEngines {
 		e := e
 		b.Run(e.String(), func(b *testing.B) {
-			store := kv.New(kv.Options{Shards: 64, Engine: e})
+			store := kv.New(kv.WithShards(64), kv.WithEngine(e))
 			keys := make([]string, 1024)
 			for i := range keys {
 				keys[i] = fmt.Sprintf("key-%04d", i)
 			}
-			store.EnsureKeys(keys...)
+			store.EnsureCounters(keys...)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, ok := store.FastCounterGet(keys[i&1023]); !ok {
+						b.Fatal("missing key")
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkKVFastPathBytes (S6): the same plain-read path on byte values
+// (typed lane): one extra pointer indirection over the specialization.
+func BenchmarkKVFastPathBytes(b *testing.B) {
+	for _, e := range stmEngines {
+		e := e
+		b.Run(e.String(), func(b *testing.B) {
+			store := kv.New(kv.WithShards(64), kv.WithEngine(e))
+			vals := make(map[string][]byte, 1024)
+			keys := make([]string, 1024)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%04d", i)
+				vals[keys[i]] = []byte("payload")
+			}
+			if err := store.MSet(vals); err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				i := 0
@@ -389,12 +420,12 @@ func BenchmarkKVCrossShardTxn(b *testing.B) {
 	for _, e := range stmEngines {
 		e := e
 		b.Run(e.String(), func(b *testing.B) {
-			store := kv.New(kv.Options{Shards: 64, Engine: e})
+			store := kv.New(kv.WithShards(64), kv.WithEngine(e))
 			keys := make([]string, 1024)
 			for i := range keys {
 				keys[i] = fmt.Sprintf("key-%04d", i)
 			}
-			store.EnsureKeys(keys...)
+			store.EnsureCounters(keys...)
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				i := 0

@@ -63,12 +63,16 @@ type benchResult struct {
 func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 	fastPct, readPct, writePct int, zipfS float64) benchResult {
 
-	s := kv.New(kv.Options{Shards: shards, Engine: e})
+	s := kv.New(kv.WithShards(shards), kv.WithEngine(e))
 	keys := make([]string, nkeys)
+	ctrs := make([]string, nkeys)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("key-%08d", i)
+		ctrs[i] = fmt.Sprintf("ctr-%08d", i)
 	}
 	s.EnsureKeys(keys...)
+	s.EnsureCounters(ctrs...)
+	val := []byte("benchmark-payload-value")
 
 	var ops atomic.Uint64
 	var wg sync.WaitGroup
@@ -84,11 +88,11 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 			if zipfS > 1 {
 				zipf = rand.NewZipf(rng, zipfS, 1, uint64(nkeys-1))
 			}
-			pick := func() string {
+			pickIdx := func() int {
 				if zipf != nil {
-					return keys[zipf.Uint64()]
+					return int(zipf.Uint64())
 				}
-				return keys[rng.Intn(nkeys)]
+				return rng.Intn(nkeys)
 			}
 			local := make([]time.Duration, 0, 1<<16)
 			var n uint64
@@ -110,13 +114,13 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 				}
 				switch {
 				case p < fastPct:
-					s.FastGet(pick())
+					s.FastGet(keys[pickIdx()])
 				case p < fastPct+readPct:
-					_, _, _ = s.Get(pick())
+					_, _, _ = s.Get(keys[pickIdx()])
 				case p < fastPct+readPct+writePct:
-					_ = s.Set(pick(), int64(p))
+					_ = s.Set(keys[pickIdx()], val)
 				default:
-					from, to := pick(), pick()
+					from, to := ctrs[pickIdx()], ctrs[pickIdx()]
 					if from == to {
 						break
 					}

@@ -9,15 +9,18 @@
 //	             [-duration 2s] [-fastread-pct 70] [-read-pct 20]
 //	             [-write-pct 5] [-zipf 1.2]
 //
-// Protocol (one command per line, space-separated; responses are one line):
+// Protocol (one command per line). Values are arbitrary byte strings
+// without newlines: SET takes everything after the key, so values may
+// contain spaces. A key holds either a string value or an int64 counter
+// (ADD / TXN ADD), fixed at first use; reads format counters as decimal.
 //
 //	PING                      -> PONG
-//	GET key                   -> VALUE n | NIL
-//	FGET key                  -> VALUE n | NIL      (lock-free plain read)
-//	SET key n                 -> OK
-//	ADD key d                 -> VALUE n            (new value)
-//	MGET k1 k2 ...            -> VALUES v1 v2 ...   (nil for missing keys)
-//	MSET k1 v1 k2 v2 ...      -> OK
+//	GET key                   -> VALUE v | NIL
+//	FGET key                  -> VALUE v | NIL      (lock-free plain read)
+//	SET key value...          -> OK                 (value = rest of line)
+//	ADD key d                 -> VALUE n            (counter; new value)
+//	MGET k1 k2 ...            -> VALUES n, then one VALUE v | NIL line per key
+//	MSET k1 v1 k2 v2 ...      -> OK                 (token values, no spaces)
 //	TXN ADD k1 d1 k2 d2 ...   -> VALUES n1 n2 ...   (one cross-shard txn)
 //	STATS                     -> STATS ...
 //	QUIT                      -> BYE (connection closes)

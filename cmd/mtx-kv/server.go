@@ -7,6 +7,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"modtx/internal/kv"
 )
@@ -26,7 +27,7 @@ func runServe(args []string) error {
 	if len(engines) != 1 {
 		return fmt.Errorf("serve needs a single engine, not %q", *engineName)
 	}
-	srv := &server{store: kv.New(kv.Options{Shards: *shards, Engine: engines[0]})}
+	srv := &server{store: kv.New(kv.WithShards(*shards), kv.WithEngine(engines[0]))}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -58,11 +59,14 @@ func (s *server) handleConn(conn net.Conn) {
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+		// Trim only the CR of CRLF clients: SET values must keep their
+		// trailing bytes, and Fields-based dispatch tolerates leading
+		// whitespace on its own.
+		line := strings.TrimRight(sc.Text(), "\r")
+		if strings.TrimSpace(line) == "" {
 			continue
 		}
-		resp, quit := s.exec(strings.Fields(line))
+		resp, quit := s.exec(line)
 		w.WriteString(resp)
 		w.WriteByte('\n')
 		w.Flush()
@@ -72,8 +76,13 @@ func (s *server) handleConn(conn net.Conn) {
 	}
 }
 
-// exec runs one protocol command and returns the response line.
-func (s *server) exec(f []string) (resp string, quit bool) {
+// exec runs one protocol command and returns the response (which may span
+// several lines, e.g. MGET). Values are arbitrary byte strings without
+// newlines: SET takes everything after the key as the value, so spaces
+// round-trip; the token-based multi-key commands (MSET) carry values
+// without spaces.
+func (s *server) exec(line string) (resp string, quit bool) {
+	f := strings.Fields(line)
 	switch strings.ToUpper(f[0]) {
 	case "PING":
 		return "PONG", false
@@ -82,7 +91,7 @@ func (s *server) exec(f []string) (resp string, quit bool) {
 		if len(f) != 2 {
 			return "ERR usage: GET key", false
 		}
-		var v int64
+		var v []byte
 		var ok bool
 		if strings.ToUpper(f[0]) == "FGET" {
 			v, ok = s.store.FastGet(f[1])
@@ -96,17 +105,22 @@ func (s *server) exec(f []string) (resp string, quit bool) {
 		if !ok {
 			return "NIL", false
 		}
-		return "VALUE " + strconv.FormatInt(v, 10), false
+		return "VALUE " + string(v), false
 
 	case "SET":
-		if len(f) != 3 {
+		// SET key value — the value is everything after the key (leading
+		// whitespace trimmed, trailing bytes preserved), so it may contain
+		// spaces but not newlines. Parse by peeling the Fields tokens off
+		// the raw line with the same whitespace definition Fields uses,
+		// so no run of separators can shift the key or bleed into the
+		// value.
+		if len(f) < 3 {
 			return "ERR usage: SET key value", false
 		}
-		n, err := strconv.ParseInt(f[2], 10, 64)
-		if err != nil {
-			return "ERR value: " + err.Error(), false
-		}
-		if err := s.store.Set(f[1], n); err != nil {
+		rest := strings.TrimLeftFunc(line, unicode.IsSpace)            // at the command
+		rest = strings.TrimLeftFunc(rest[len(f[0]):], unicode.IsSpace) // at the key
+		val := strings.TrimLeftFunc(rest[len(f[1]):], unicode.IsSpace) // the value
+		if err := s.store.Set(f[1], []byte(val)); err != nil {
 			return "ERR " + err.Error(), false
 		}
 		return "OK", false
@@ -119,7 +133,7 @@ func (s *server) exec(f []string) (resp string, quit bool) {
 		if err != nil {
 			return "ERR delta: " + err.Error(), false
 		}
-		v, err := s.store.Add(f[1], d)
+		v, err := s.store.CounterAdd(f[1], d)
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
@@ -134,28 +148,26 @@ func (s *server) exec(f []string) (resp string, quit bool) {
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		parts := make([]string, 0, len(keys)+1)
-		parts = append(parts, "VALUES")
+		// Multi-line reply: a count header, then one VALUE/NIL line per
+		// key — unambiguous even when values contain spaces.
+		var b strings.Builder
+		fmt.Fprintf(&b, "VALUES %d", len(keys))
 		for _, k := range keys {
 			if v, ok := got[k]; ok {
-				parts = append(parts, strconv.FormatInt(v, 10))
+				b.WriteString("\nVALUE " + string(v))
 			} else {
-				parts = append(parts, "nil")
+				b.WriteString("\nNIL")
 			}
 		}
-		return strings.Join(parts, " "), false
+		return b.String(), false
 
 	case "MSET":
 		if len(f) < 3 || len(f)%2 != 1 {
-			return "ERR usage: MSET key value [key value ...]", false
+			return "ERR usage: MSET key value [key value ...] (token values)", false
 		}
-		vals := make(map[string]int64, (len(f)-1)/2)
+		vals := make(map[string][]byte, (len(f)-1)/2)
 		for i := 1; i < len(f); i += 2 {
-			n, err := strconv.ParseInt(f[i+1], 10, 64)
-			if err != nil {
-				return "ERR value for " + f[i] + ": " + err.Error(), false
-			}
-			vals[f[i]] = n
+			vals[f[i]] = []byte(f[i+1])
 		}
 		if err := s.store.MSet(vals); err != nil {
 			return "ERR " + err.Error(), false

@@ -11,9 +11,10 @@ import (
 )
 
 // TestServerProtocol drives the TCP server end to end over a loopback
-// connection.
+// connection, including arbitrary (space-containing) string values and
+// the counter lane.
 func TestServerProtocol(t *testing.T) {
-	srv := &server{store: kv.New(kv.Options{Shards: 4, Engine: stm.Lazy})}
+	srv := &server{store: kv.New(kv.WithShards(4), kv.WithEngine(stm.Lazy))}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -27,29 +28,39 @@ func TestServerProtocol(t *testing.T) {
 	}
 	defer conn.Close()
 	r := bufio.NewReader(conn)
+	readLine := func() string {
+		t.Helper()
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimRight(line, "\n")
+	}
 	roundtrip := func(cmd string) string {
 		t.Helper()
 		if _, err := conn.Write([]byte(cmd + "\n")); err != nil {
 			t.Fatal(err)
 		}
-		line, err := r.ReadString('\n')
-		if err != nil {
-			t.Fatalf("%s: %v", cmd, err)
-		}
-		return strings.TrimSpace(line)
+		return readLine()
 	}
 
 	for _, tc := range []struct{ cmd, want string }{
 		{"PING", "PONG"},
 		{"GET a", "NIL"},
-		{"SET a 5", "OK"},
-		{"GET a", "VALUE 5"},
-		{"FGET a", "VALUE 5"},
-		{"ADD a 3", "VALUE 8"},
-		{"MSET x 1 y 2 z 3", "OK"},
-		{"MGET x y z missing", "VALUES 1 2 3 nil"},
-		{"TXN ADD x -1 y 1", "VALUES 0 3"},
-		{"MGET x y", "VALUES 0 3"},
+		{"SET a some value with spaces", "OK"},
+		{"GET a", "VALUE some value with spaces"},
+		{"FGET a", "VALUE some value with spaces"},
+		{"SET a short", "OK"},
+		{"GET a", "VALUE short"},
+		{"SET   sp\t padded  value", "OK"}, // token runs must not shift the key
+		{"GET sp", "VALUE padded  value"},
+		{"ADD ctr 3", "VALUE 3"},
+		{"ADD ctr 5", "VALUE 8"},
+		{"GET ctr", "VALUE 8"}, // counters read back as decimal
+		{"FGET ctr", "VALUE 8"},
+		{"ADD a 1", "ERR " + `kv: key "a": ` + kv.ErrWrongType.Error()},
+		{"MSET x 1 y two z 3", "OK"},
+		{"TXN ADD c1 -1 c2 1", "VALUES -1 1"},
 		{"SET a", "ERR usage: SET key value"},
 		{"TXN MUL x 2", "ERR unknown TXN op MUL (want ADD)"},
 		{"NOPE", "ERR unknown command NOPE"},
@@ -58,6 +69,17 @@ func TestServerProtocol(t *testing.T) {
 			t.Errorf("%s: got %q, want %q", tc.cmd, got, tc.want)
 		}
 	}
+
+	// MGET replies with a count header and one line per key.
+	if got := roundtrip("MGET x y z missing"); got != "VALUES 4" {
+		t.Fatalf("MGET header: got %q", got)
+	}
+	for i, want := range []string{"VALUE 1", "VALUE two", "VALUE 3", "NIL"} {
+		if got := readLine(); got != want {
+			t.Errorf("MGET line %d: got %q, want %q", i, got, want)
+		}
+	}
+
 	if got := roundtrip("STATS"); !strings.HasPrefix(got, "STATS kv: shards=4") {
 		t.Errorf("STATS: got %q", got)
 	}

@@ -25,10 +25,10 @@ func main() {
 
 	bad := false
 	for _, engine := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock} {
-		s := stm.New(stm.Options{Engine: engine})
+		s := stm.New(stm.WithEngine(engine))
 		row(stm.Publication(s, *iters))
 		for _, fenced := range []bool{false, true} {
-			r := stm.Privatization(stm.New(stm.Options{Engine: engine}), *iters, fenced)
+			r := stm.Privatization(stm.New(stm.WithEngine(engine)), *iters, fenced)
 			row(r)
 			if fenced && r.Violations > 0 {
 				bad = true
@@ -37,15 +37,15 @@ func main() {
 	}
 
 	// Deterministic anomaly demonstrations (forced windows).
-	lazy := stm.New(stm.Options{Engine: stm.Lazy})
+	lazy := stm.New(stm.WithEngine(stm.Lazy))
 	row(stm.PrivatizationDeterministic(lazy, false))
-	lazyF := stm.New(stm.Options{Engine: stm.Lazy})
+	lazyF := stm.New(stm.WithEngine(stm.Lazy))
 	row(stm.PrivatizationDeterministic(lazyF, true))
-	eager := stm.New(stm.Options{Engine: stm.Eager})
+	eager := stm.New(stm.WithEngine(stm.Eager))
 	row(stm.LostUpdateDeterministic(eager))
-	eager2 := stm.New(stm.Options{Engine: stm.Eager})
+	eager2 := stm.New(stm.WithEngine(stm.Eager))
 	row(stm.DirtyReadDeterministic(eager2))
-	lazy2 := stm.New(stm.Options{Engine: stm.Lazy})
+	lazy2 := stm.New(stm.WithEngine(stm.Lazy))
 	row(stm.LostUpdate(lazy2, *iters))
 
 	fmt.Println("\nexpected: fenced privatization and publication show zero violations;")

@@ -19,7 +19,7 @@ const (
 )
 
 func main() {
-	s := stm.New(stm.Options{Engine: stm.Lazy})
+	s := stm.New(stm.WithEngine(stm.Lazy))
 	book := make([]*stm.Var, accounts)
 	for i := range book {
 		book[i] = s.NewVar(fmt.Sprintf("acct%d", i), initialEa)

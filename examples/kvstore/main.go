@@ -1,6 +1,7 @@
-// Example kvstore: the sharded transactional key-value store — cross-shard
-// transactions, the lock-free mixed-mode fast path, and the §5
-// privatization/publication idioms at the store level.
+// Example kvstore: the sharded transactional key-value store — byte
+// values on the typed core, int64 counters on the zero-cost
+// specialization, cross-shard transactions, the lock-free mixed-mode fast
+// path, and the §5 privatization/publication idioms at the store level.
 package main
 
 import (
@@ -12,43 +13,53 @@ import (
 
 func main() {
 	// 8 shards, each backed by its own TL2-style lazy STM instance.
-	store := kv.New(kv.Options{Shards: 8, Engine: stm.Lazy})
+	store := kv.New(kv.WithShards(8), kv.WithEngine(stm.Lazy))
 
-	// Single-key operations are per-shard transactions.
-	_ = store.Set("alice", 100)
-	_ = store.Set("bob", 100)
+	// Values are arbitrary byte strings end-to-end.
+	_ = store.Set("user:alice", []byte(`{"name":"Alice","plan":"pro"}`))
+	_ = store.Set("user:bob", []byte(`{"name":"Bob","plan":"free"}`))
+
+	// Counters ride the int64 specialization: no boxing on the hot path.
+	_, _ = store.CounterAdd("balance:alice", 100)
+	_, _ = store.CounterAdd("balance:bob", 100)
 
 	// Cross-key updates run as ONE transaction two-phased across the
 	// shards touched: no consistent reader can see the money in flight.
-	err := store.Update([]string{"alice", "bob"}, func(t *kv.Txn) error {
-		t.Add("alice", -30)
-		t.Add("bob", +30)
+	err := store.Update([]string{"balance:alice", "balance:bob"}, func(t *kv.Txn) error {
+		t.Add("balance:alice", -30)
+		t.Add("balance:bob", +30)
 		return nil
 	})
 	fmt.Println("transfer err:", err)
 
-	// MGet is a consistent cross-shard snapshot.
-	snap, _ := store.MGet("alice", "bob")
-	fmt.Printf("snapshot: alice=%d bob=%d (sum %d)\n",
-		snap["alice"], snap["bob"], snap["alice"]+snap["bob"])
+	// MGet is a consistent cross-shard snapshot; counters read as decimal.
+	snap, _ := store.MGet("balance:alice", "balance:bob", "user:alice")
+	fmt.Printf("snapshot: alice=%s bob=%s profile=%s\n",
+		snap["balance:alice"], snap["balance:bob"], snap["user:alice"])
 
 	// FastGet is the plain (non-transactional) mixed-mode read: lock-free,
 	// but — per the paper's implementation model — allowed to miss a
 	// logically-committed-but-unwritten value on the lazy engine.
-	v, _ := store.FastGet("alice")
-	fmt.Println("fast read alice:", v)
+	v, _ := store.FastGet("user:alice")
+	fmt.Println("fast read alice:", string(v))
+	bal, _ := store.FastCounterGet("balance:alice")
+	fmt.Println("fast counter read alice:", bal)
 
 	// Privatization: fence the owning shards, then use plain access on the
-	// returned handles without racing transactional writeback (§5).
-	vars := store.Privatize("alice")
-	vars[0].Store(vars[0].Load() + 1) // plain read-modify-write, now safe
-	fmt.Println("after privatized bump:", vars[0].Load())
+	// returned typed handles without racing transactional writeback (§5).
+	vars, err := store.Privatize("user:alice")
+	if err != nil {
+		panic(err)
+	}
+	doc := vars[0].Load()
+	vars[0].Store(append(append([]byte(nil), doc...), " //audited"...))
+	fmt.Println("after privatized edit:", string(vars[0].Load()))
 
 	// Publication: plain writes become visible to transactional readers
 	// through a sentinel transaction per shard — safe by construction.
-	_ = store.Publish(map[string]int64{"carol": 500})
-	c, _, _ := store.Get("carol")
-	fmt.Println("published carol:", c)
+	_ = store.Publish(map[string][]byte{"user:carol": []byte(`{"name":"Carol"}`)})
+	c, _, _ := store.Get("user:carol")
+	fmt.Println("published carol:", string(c))
 
 	fmt.Println(store.Stats())
 }

@@ -13,7 +13,7 @@ import (
 )
 
 func run(fenced bool) int64 {
-	s := stm.New(stm.Options{Engine: stm.Lazy})
+	s := stm.New(stm.WithEngine(stm.Lazy))
 	x := s.NewVar("x", 0)
 	y := s.NewVar("y", 0) // y=1 means "x is privatized"
 

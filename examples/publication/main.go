@@ -15,7 +15,7 @@ import (
 
 func main() {
 	for _, engine := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock} {
-		s := stm.New(stm.Options{Engine: engine})
+		s := stm.New(stm.WithEngine(engine))
 		const rounds = 5000
 		violations := 0
 		for i := 0; i < rounds; i++ {

@@ -11,7 +11,7 @@ import (
 
 func main() {
 	// Create an STM instance with the TL2-style lazy engine.
-	s := stm.New(stm.Options{Engine: stm.Lazy})
+	s := stm.New(stm.WithEngine(stm.Lazy))
 
 	// Transactional variables hold int64 values.
 	balance := s.NewVar("balance", 100)

@@ -10,7 +10,7 @@ import (
 )
 
 func TestSequentialRunExplained(t *testing.T) {
-	s := NewSession(stm.New(stm.Options{Engine: stm.Lazy}))
+	s := NewSession(stm.New(stm.WithEngine(stm.Lazy)))
 	th := s.Thread()
 	s.Var("x", 0)
 	err := th.Atomically(func(h *TxRec) error {
@@ -37,7 +37,7 @@ func TestSequentialRunExplained(t *testing.T) {
 
 func TestPublicationRunExplained(t *testing.T) {
 	for _, engine := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock} {
-		s := NewSession(stm.New(stm.Options{Engine: engine}))
+		s := NewSession(stm.New(stm.WithEngine(engine)))
 		s.Var("x", 0)
 		s.Var("y", 0)
 		t1 := s.Thread()
@@ -79,7 +79,7 @@ func TestPublicationRunExplained(t *testing.T) {
 // the implementation model (it has a mixed race) but not in the programmer
 // model.
 func TestPrivatizationAnomalyLemma51Gap(t *testing.T) {
-	eng := stm.New(stm.Options{Engine: stm.Lazy})
+	eng := stm.New(stm.WithEngine(stm.Lazy))
 	s := NewSession(eng)
 	s.Var("x", 0)
 	s.Var("y", 0)
@@ -132,7 +132,7 @@ func TestPrivatizationAnomalyLemma51Gap(t *testing.T) {
 // TestFencedPrivatizationExplained records the fenced idiom; the result is
 // explainable in both models.
 func TestFencedPrivatizationExplained(t *testing.T) {
-	eng := stm.New(stm.Options{Engine: stm.Lazy})
+	eng := stm.New(stm.WithEngine(stm.Lazy))
 	s := NewSession(eng)
 	s.Var("x", 0)
 	s.Var("y", 0)
@@ -172,7 +172,7 @@ func TestFencedPrivatizationExplained(t *testing.T) {
 // observation matches no model trace (WF7 forbids reading aborted writes),
 // surfacing as an unmatched read during Build.
 func TestDirtyReadUnexplainable(t *testing.T) {
-	eng := stm.New(stm.Options{Engine: stm.Eager})
+	eng := stm.New(stm.WithEngine(stm.Eager))
 	s := NewSession(eng)
 	s.Var("x", 0)
 	t1 := s.Thread()
@@ -221,7 +221,7 @@ func TestDirtyReadUnexplainable(t *testing.T) {
 }
 
 func TestAmbiguousValuesRejected(t *testing.T) {
-	s := NewSession(stm.New(stm.Options{Engine: stm.Lazy}))
+	s := NewSession(stm.New(stm.WithEngine(stm.Lazy)))
 	th := s.Thread()
 	s.Var("x", 0)
 	th.Store("x", 7)

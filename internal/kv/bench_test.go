@@ -8,15 +8,23 @@ import (
 	"modtx/internal/stm"
 )
 
-func benchStore(b *testing.B, e stm.Engine, nkeys int) (*Store, []string) {
+// benchStore preloads nkeys byte-valued keys and nkeys counters.
+func benchStore(b *testing.B, e stm.Engine, nkeys int) (*Store, []string, []string) {
 	b.Helper()
-	s := New(Options{Shards: 64, Engine: e})
+	s := New(WithShards(64), WithEngine(e))
 	keys := make([]string, nkeys)
+	ctrs := make([]string, nkeys)
+	vals := make(map[string][]byte, nkeys)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("key-%06d", i)
+		ctrs[i] = fmt.Sprintf("ctr-%06d", i)
+		vals[keys[i]] = []byte(fmt.Sprintf("value-%06d", i))
 	}
-	s.EnsureKeys(keys...)
-	return s, keys
+	if err := s.MSet(vals); err != nil {
+		b.Fatal(err)
+	}
+	s.EnsureCounters(ctrs...)
+	return s, keys, ctrs
 }
 
 func forEachEngineB(b *testing.B, f func(b *testing.B, e stm.Engine)) {
@@ -25,10 +33,11 @@ func forEachEngineB(b *testing.B, f func(b *testing.B, e stm.Engine)) {
 	}
 }
 
-// BenchmarkKVFastGet measures the lock-free plain-access read path.
+// BenchmarkKVFastGet measures the lock-free plain-access read path on
+// byte values.
 func BenchmarkKVFastGet(b *testing.B) {
 	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
-		s, keys := benchStore(b, e, 4096)
+		s, keys, _ := benchStore(b, e, 4096)
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			rng := rand.New(rand.NewSource(1))
@@ -41,10 +50,27 @@ func BenchmarkKVFastGet(b *testing.B) {
 	})
 }
 
+// BenchmarkKVFastCounterGet measures the plain path on the int64
+// specialization (no boxing, no formatting).
+func BenchmarkKVFastCounterGet(b *testing.B) {
+	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
+		s, _, ctrs := benchStore(b, e, 4096)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(1))
+			for pb.Next() {
+				if _, ok := s.FastCounterGet(ctrs[rng.Intn(len(ctrs))]); !ok {
+					b.Fatal("missing counter")
+				}
+			}
+		})
+	})
+}
+
 // BenchmarkKVGet measures the single-key transactional read path.
 func BenchmarkKVGet(b *testing.B) {
 	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
-		s, keys := benchStore(b, e, 4096)
+		s, keys, _ := benchStore(b, e, 4096)
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			rng := rand.New(rand.NewSource(2))
@@ -57,15 +83,17 @@ func BenchmarkKVGet(b *testing.B) {
 	})
 }
 
-// BenchmarkKVSet measures the single-key transactional write path.
+// BenchmarkKVSet measures the single-key transactional write path
+// (includes the defensive value copy).
 func BenchmarkKVSet(b *testing.B) {
 	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
-		s, keys := benchStore(b, e, 4096)
+		s, keys, _ := benchStore(b, e, 4096)
+		val := []byte("benchmark-value")
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			rng := rand.New(rand.NewSource(3))
 			for pb.Next() {
-				if err := s.Set(keys[rng.Intn(len(keys))], 1); err != nil {
+				if err := s.Set(keys[rng.Intn(len(keys))], val); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -73,16 +101,33 @@ func BenchmarkKVSet(b *testing.B) {
 	})
 }
 
-// BenchmarkKVTxnTransfer measures cross-shard two-key transactions.
+// BenchmarkKVCounterAdd measures the int64-specialized counter hot path.
+func BenchmarkKVCounterAdd(b *testing.B) {
+	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
+		s, _, ctrs := benchStore(b, e, 4096)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(6))
+			for pb.Next() {
+				if _, err := s.CounterAdd(ctrs[rng.Intn(len(ctrs))], 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkKVTxnTransfer measures cross-shard two-key counter
+// transactions.
 func BenchmarkKVTxnTransfer(b *testing.B) {
 	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
-		s, keys := benchStore(b, e, 4096)
+		s, _, ctrs := benchStore(b, e, 4096)
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			rng := rand.New(rand.NewSource(4))
 			for pb.Next() {
-				from := keys[rng.Intn(len(keys))]
-				to := keys[rng.Intn(len(keys))]
+				from := ctrs[rng.Intn(len(ctrs))]
+				to := ctrs[rng.Intn(len(ctrs))]
 				if from == to {
 					continue
 				}
@@ -99,10 +144,11 @@ func BenchmarkKVTxnTransfer(b *testing.B) {
 	})
 }
 
-// BenchmarkKVMGet measures consistent cross-shard snapshot reads of 8 keys.
+// BenchmarkKVMGet measures consistent cross-shard snapshot reads of 8
+// byte-valued keys.
 func BenchmarkKVMGet(b *testing.B) {
 	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
-		s, keys := benchStore(b, e, 4096)
+		s, keys, _ := benchStore(b, e, 4096)
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			rng := rand.New(rand.NewSource(5))

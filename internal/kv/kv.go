@@ -3,8 +3,16 @@
 // workload: transactional cross-key updates mixed with plain fast-path
 // reads, which is exactly the mixed-mode territory the paper bounds.
 //
+// Values are arbitrary byte strings, carried end-to-end on the typed core
+// (stm.TVar[[]byte]); numeric counters get a compatibility lane on the
+// int64 specialization (stm.Var) via CounterAdd / FastCounterGet, so the
+// hottest numeric path pays no boxing. A key holds exactly one kind —
+// bytes or counter — fixed at first use; accessing it through the other
+// kind's mutators fails with ErrWrongType (reads format counters as
+// decimal, so GET works uniformly).
+//
 // Keys hash (FNV-1a) to one of N power-of-two shards. Each shard owns its
-// own stm.STM instance and a copy-on-write key→*stm.Var table, so the
+// own stm.STM instance and a copy-on-write key→entry table, so the
 // plain-access path (FastGet) is lock-free: one atomic pointer load, one
 // map lookup, one atomic value load. Multi-key operations run as a single
 // transaction two-phased across the shards touched via stm.AtomicallyMulti
@@ -18,7 +26,7 @@
 //     logically-committed-but-unwritten value (the delayed-writeback
 //     anomaly of §3.5); the store never promises otherwise.
 //   - Privatize issues quiescence fences on the owning shards and hands
-//     back raw Var handles, after which plain access cannot race with
+//     back raw TVar handles, after which plain access cannot race with
 //     in-flight transactional writeback.
 //   - Publish performs plain writes and then a sentinel transaction per
 //     owning shard, so transactional readers that observe the sentinel
@@ -27,46 +35,83 @@
 package kv
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"modtx/internal/stm"
 )
 
-// Options configures a Store.
-type Options struct {
-	// Shards is the shard count; it is rounded up to a power of two.
-	// 0 means 16.
-	Shards int
-	// Engine selects the STM engine backing every shard.
-	Engine stm.Engine
-	// MaxRetries bounds commit attempts per operation (0 = stm default).
-	MaxRetries int
+// ErrWrongType reports an operation against a key holding the other kind
+// of value (bytes vs. counter).
+var ErrWrongType = errors.New("kv: operation against a key holding the wrong kind of value")
+
+// Option configures a Store (see New).
+type Option func(*config)
+
+type config struct {
+	shards     int
+	engine     stm.Engine
+	maxRetries int
 }
 
+// WithShards sets the shard count, rounded up to a power of two
+// (default 16).
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithEngine selects the STM engine backing every shard (default Lazy).
+func WithEngine(e stm.Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithMaxRetries bounds commit attempts per operation (default: the stm
+// package default).
+func WithMaxRetries(n int) Option { return func(c *config) { c.maxRetries = n } }
+
+// entry is one key's storage: exactly one of b (bytes kind) or c
+// (counter kind) is non-nil, fixed at creation.
+type entry struct {
+	b *stm.TVar[[]byte]
+	c *stm.Var
+}
+
+func (e *entry) isCounter() bool { return e.c != nil }
+
 // Store is a sharded transactional key-value store. All methods are safe
-// for concurrent use.
+// for concurrent use. Byte slices returned by reads are the stored boxes:
+// treat them as read-only (writes always install defensive copies).
 type Store struct {
 	shards []*shard
 	mask   uint64
 	engine stm.Engine
 
-	fastGets atomic.Uint64
+	// fastGets is indexed by shard and cache-line padded: the lock-free
+	// read path must not false-share one hot counter word across cores.
+	fastGets []paddedCount
+}
+
+type paddedCount struct {
+	n atomic.Uint64
+	_ [7]uint64
 }
 
 type shard struct {
 	stm *stm.STM
 	pub *stm.Var // publication sentinel (see Publish)
 
-	mu   sync.Mutex                          // guards insertions into vars
-	vars atomic.Pointer[map[string]*stm.Var] // copy-on-write key table
+	mu   sync.Mutex                        // guards insertions into vars
+	vars atomic.Pointer[map[string]*entry] // copy-on-write key table
 }
 
 // New creates a Store.
-func New(opts Options) *Store {
-	n := opts.Shards
+func New(opts ...Option) *Store {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	n := c.shards
 	if n <= 0 {
 		n = 16
 	}
@@ -77,14 +122,19 @@ func New(opts Options) *Store {
 	}
 	n = p
 	s := &Store{
-		shards: make([]*shard, n),
-		mask:   uint64(n - 1),
-		engine: opts.Engine,
+		shards:   make([]*shard, n),
+		mask:     uint64(n - 1),
+		engine:   c.engine,
+		fastGets: make([]paddedCount, n),
+	}
+	stmOpts := []stm.Option{stm.WithEngine(c.engine)}
+	if c.maxRetries > 0 {
+		stmOpts = append(stmOpts, stm.WithMaxRetries(c.maxRetries))
 	}
 	for i := range s.shards {
-		inst := stm.New(stm.Options{Engine: opts.Engine, MaxRetries: opts.MaxRetries})
+		inst := stm.New(stmOpts...)
 		sh := &shard{stm: inst, pub: inst.NewVar(fmt.Sprintf("shard%d.pub", i), 0)}
-		empty := make(map[string]*stm.Var)
+		empty := make(map[string]*entry)
 		sh.vars.Store(&empty)
 		s.shards[i] = sh
 	}
@@ -114,36 +164,66 @@ func (s *Store) ShardOf(key string) int { return int(fnv1a(key) & s.mask) }
 // tests.
 func (s *Store) ShardSTM(i int) *stm.STM { return s.shards[i].stm }
 
-func (sh *shard) lookup(key string) *stm.Var {
+func (sh *shard) lookup(key string) *entry {
 	return (*sh.vars.Load())[key]
 }
 
-// ensure returns the key's variable, creating it (initialized to 0) on
-// first use. Creation copies the shard's table, so steady-state reads stay
-// lock-free; use EnsureKeys to amortize bulk loads.
-func (sh *shard) ensure(key string) *stm.Var {
-	if v := sh.lookup(key); v != nil {
-		return v
+func wrongType(key string) error {
+	return fmt.Errorf("kv: key %q: %w", key, ErrWrongType)
+}
+
+// checkBytesKinds rejects keys that already exist as counters, without
+// creating anything. Callers still handle ensure errors: a key created
+// concurrently between this check and ensure is caught there.
+func (s *Store) checkBytesKinds(keys []string) error {
+	for _, k := range keys {
+		if e := s.shards[s.ShardOf(k)].lookup(k); e != nil && e.isCounter() {
+			return wrongType(k)
+		}
+	}
+	return nil
+}
+
+func (sh *shard) newEntry(key string, counter bool) *entry {
+	if counter {
+		return &entry{c: sh.stm.NewVar(key, 0)}
+	}
+	return &entry{b: stm.NewTVar(sh.stm, key, []byte(nil))}
+}
+
+// ensure returns the key's entry of the requested kind, creating it on
+// first use (bytes keys start nil-valued but present; counters start 0).
+// Creation copies the shard's table, so steady-state reads stay
+// lock-free; use EnsureKeys / EnsureCounters to amortize bulk loads.
+func (sh *shard) ensure(key string, counter bool) (*entry, error) {
+	if e := sh.lookup(key); e != nil {
+		if e.isCounter() != counter {
+			return nil, wrongType(key)
+		}
+		return e, nil
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	old := *sh.vars.Load()
-	if v := old[key]; v != nil {
-		return v
+	if e := old[key]; e != nil {
+		if e.isCounter() != counter {
+			return nil, wrongType(key)
+		}
+		return e, nil
 	}
-	next := make(map[string]*stm.Var, len(old)+1)
+	next := make(map[string]*entry, len(old)+1)
 	for k, v := range old {
 		next[k] = v
 	}
-	v := sh.stm.NewVar(key, 0)
-	next[key] = v
+	e := sh.newEntry(key, counter)
+	next[key] = e
 	sh.vars.Store(&next)
-	return v
+	return e, nil
 }
 
-// EnsureKeys creates all missing keys (initialized to 0) with one table
-// copy per shard instead of one per key.
-func (s *Store) EnsureKeys(keys ...string) {
+// ensureBulk creates all missing keys of one kind with one table copy per
+// shard instead of one per key. Existing keys keep their kind.
+func (s *Store) ensureBulk(counter bool, keys []string) {
 	byShard := make(map[int][]string)
 	for _, k := range keys {
 		i := s.ShardOf(k)
@@ -153,19 +233,25 @@ func (s *Store) EnsureKeys(keys ...string) {
 		sh := s.shards[i]
 		sh.mu.Lock()
 		old := *sh.vars.Load()
-		next := make(map[string]*stm.Var, len(old)+len(ks))
+		next := make(map[string]*entry, len(old)+len(ks))
 		for k, v := range old {
 			next[k] = v
 		}
 		for _, k := range ks {
 			if next[k] == nil {
-				next[k] = sh.stm.NewVar(k, 0)
+				next[k] = sh.newEntry(k, counter)
 			}
 		}
 		sh.vars.Store(&next)
 		sh.mu.Unlock()
 	}
 }
+
+// EnsureKeys creates all missing keys as bytes keys (present, nil value).
+func (s *Store) EnsureKeys(keys ...string) { s.ensureBulk(false, keys) }
+
+// EnsureCounters creates all missing keys as counters initialized to 0.
+func (s *Store) EnsureCounters(keys ...string) { s.ensureBulk(true, keys) }
 
 // Len returns the number of keys present.
 func (s *Store) Len() int {
@@ -176,31 +262,88 @@ func (s *Store) Len() int {
 	return n
 }
 
-// FastGet is the lock-free mixed-mode read: a plain (non-transactional)
-// load of the key's variable. It reports false when the key has never been
-// written. Per the §5 implementation model it may miss a value whose
-// transaction has validated but not yet written back (lazy engine); use
-// Get for a consistent transactional read, or Privatize to fence.
-func (s *Store) FastGet(key string) (int64, bool) {
-	s.fastGets.Add(1)
-	v := s.shards[s.ShardOf(key)].lookup(key)
-	if v == nil {
-		return 0, false
+// copyVal defensively copies an incoming value so later caller mutation
+// of its buffer cannot corrupt the store. Stored boxes are immutable.
+func copyVal(val []byte) []byte {
+	if val == nil {
+		return nil
 	}
-	return v.Load(), true
+	return append([]byte(nil), val...)
 }
 
-// Get performs a consistent transactional read of one key. ok reports
-// whether the key exists; a non-nil error (retry-budget exhaustion) means
-// the value could not be read and val is meaningless.
-func (s *Store) Get(key string) (val int64, ok bool, err error) {
+// formatCounter renders a counter the way reads surface it.
+func formatCounter(v int64) []byte { return strconv.AppendInt(nil, v, 10) }
+
+// FastGet is the lock-free mixed-mode read: a plain (non-transactional)
+// load of the key's variable. It reports false when the key has never
+// been written; counter keys are formatted as decimal. Per the §5
+// implementation model it may miss a value whose transaction has
+// validated but not yet written back (lazy engine); use Get for a
+// consistent transactional read, or Privatize to fence.
+func (s *Store) FastGet(key string) ([]byte, bool) {
+	i := s.ShardOf(key)
+	s.fastGets[i].n.Add(1)
+	e := s.shards[i].lookup(key)
+	switch {
+	case e == nil:
+		return nil, false
+	case e.isCounter():
+		return formatCounter(e.c.Load()), true
+	default:
+		return e.b.Load(), true
+	}
+}
+
+// FastCounterGet is FastGet on the int64 specialization: a single plain
+// atomic load with no formatting and no allocation. ok is false when the
+// key is absent or holds bytes.
+func (s *Store) FastCounterGet(key string) (int64, bool) {
+	i := s.ShardOf(key)
+	s.fastGets[i].n.Add(1)
+	e := s.shards[i].lookup(key)
+	if e == nil || !e.isCounter() {
+		return 0, false
+	}
+	return e.c.Load(), true
+}
+
+// Get performs a consistent transactional read of one key (counters are
+// formatted as decimal). ok reports whether the key exists; a non-nil
+// error (retry-budget exhaustion) means the value could not be read and
+// val is meaningless.
+func (s *Store) Get(key string) (val []byte, ok bool, err error) {
 	sh := s.shards[s.ShardOf(key)]
-	v := sh.lookup(key)
-	if v == nil {
-		return 0, false, nil
+	e := sh.lookup(key)
+	if e == nil {
+		return nil, false, nil
 	}
 	err = sh.stm.Atomically(func(tx *stm.Tx) error {
-		val = tx.Read(v)
+		if e.isCounter() {
+			val = formatCounter(tx.Read(e.c))
+		} else {
+			val = stm.ReadT(tx, e.b)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return val, true, nil
+}
+
+// CounterGet transactionally reads a counter key. ok is false when the
+// key is absent; a bytes key returns ErrWrongType.
+func (s *Store) CounterGet(key string) (val int64, ok bool, err error) {
+	sh := s.shards[s.ShardOf(key)]
+	e := sh.lookup(key)
+	if e == nil {
+		return 0, false, nil
+	}
+	if !e.isCounter() {
+		return 0, false, wrongType(key)
+	}
+	err = sh.stm.Atomically(func(tx *stm.Tx) error {
+		val = tx.Read(e.c)
 		return nil
 	})
 	if err != nil {
@@ -209,25 +352,34 @@ func (s *Store) Get(key string) (val int64, ok bool, err error) {
 	return val, true, nil
 }
 
-// Set transactionally writes one key, creating it if absent.
-func (s *Store) Set(key string, val int64) error {
+// Set transactionally writes one bytes key, creating it if absent. The
+// value is copied on the way in.
+func (s *Store) Set(key string, val []byte) error {
 	sh := s.shards[s.ShardOf(key)]
-	v := sh.ensure(key)
+	e, err := sh.ensure(key, false)
+	if err != nil {
+		return err
+	}
+	cp := copyVal(val)
 	return sh.stm.Atomically(func(tx *stm.Tx) error {
-		tx.Write(v, val)
+		stm.WriteT(tx, e.b, cp)
 		return nil
 	})
 }
 
-// Add transactionally adds delta to one key (creating it at 0 if absent)
-// and returns the new value.
-func (s *Store) Add(key string, delta int64) (int64, error) {
+// CounterAdd transactionally adds delta to a counter key (creating it at
+// 0 if absent) and returns the new value. This is the compatibility lane
+// on the int64 specialization: no boxing, no formatting.
+func (s *Store) CounterAdd(key string, delta int64) (int64, error) {
 	sh := s.shards[s.ShardOf(key)]
-	v := sh.ensure(key)
+	e, err := sh.ensure(key, true)
+	if err != nil {
+		return 0, err
+	}
 	var out int64
-	err := sh.stm.Atomically(func(tx *stm.Tx) error {
-		out = tx.Read(v) + delta
-		tx.Write(v, out)
+	err = sh.stm.Atomically(func(tx *stm.Tx) error {
+		out = tx.Read(e.c) + delta
+		tx.Write(e.c, out)
 		return nil
 	})
 	return out, err
@@ -235,9 +387,9 @@ func (s *Store) Add(key string, delta int64) (int64, error) {
 
 // MGet reads the given keys in one transaction spanning every shard
 // touched; the snapshot is consistent across shards. Missing keys are
-// omitted from the result.
-func (s *Store) MGet(keys ...string) (map[string]int64, error) {
-	out := make(map[string]int64, len(keys))
+// omitted from the result; counters are formatted as decimal.
+func (s *Store) MGet(keys ...string) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(keys))
 	err := s.Update(keys, func(t *Txn) error {
 		for _, k := range keys {
 			if v, ok := t.Get(k); ok {
@@ -252,8 +404,8 @@ func (s *Store) MGet(keys ...string) (map[string]int64, error) {
 	return out, nil
 }
 
-// MSet writes the given keys in one cross-shard transaction.
-func (s *Store) MSet(vals map[string]int64) error {
+// MSet writes the given bytes keys in one cross-shard transaction.
+func (s *Store) MSet(vals map[string][]byte) error {
 	keys := make([]string, 0, len(vals))
 	for k := range vals {
 		keys = append(keys, k)
@@ -267,60 +419,78 @@ func (s *Store) MSet(vals map[string]int64) error {
 }
 
 // Txn is the handle passed to Update bodies. Accesses are restricted to
-// the shards owning the declared footprint; an access outside it makes the
-// transaction fail with an error (no partial effects).
+// the shards owning the declared footprint; an access outside it — or
+// against a key of the wrong kind — makes the transaction fail with an
+// error (no partial effects).
 type Txn struct {
 	s   *Store
 	txs map[int]*stm.Tx // shard index -> per-shard transaction handle
 	err error
 }
 
-func (t *Txn) fail(key string) {
+func (t *Txn) fail(err error) {
 	if t.err == nil {
-		t.err = fmt.Errorf("kv: key %q is outside the transaction footprint", key)
+		t.err = err
 	}
+}
+
+func (t *Txn) outside(key string) error {
+	return fmt.Errorf("kv: key %q is outside the transaction footprint", key)
 }
 
 // Get reads key inside the transaction; ok is false when the key is
-// absent.
-func (t *Txn) Get(key string) (int64, bool) {
+// absent. Counter keys are formatted as decimal.
+func (t *Txn) Get(key string) ([]byte, bool) {
 	i := t.s.ShardOf(key)
 	tx, declared := t.txs[i]
 	if !declared {
-		t.fail(key)
-		return 0, false
+		t.fail(t.outside(key))
+		return nil, false
 	}
-	v := t.s.shards[i].lookup(key)
-	if v == nil {
-		return 0, false
+	e := t.s.shards[i].lookup(key)
+	if e == nil {
+		return nil, false
 	}
-	return tx.Read(v), true
+	if e.isCounter() {
+		return formatCounter(tx.Read(e.c)), true
+	}
+	return stm.ReadT(tx, e.b), true
 }
 
-// Set writes key inside the transaction, creating it if absent.
-func (t *Txn) Set(key string, val int64) {
+// Set writes a bytes key inside the transaction, creating it if absent.
+// The value is copied on the way in.
+func (t *Txn) Set(key string, val []byte) {
 	i := t.s.ShardOf(key)
 	tx, declared := t.txs[i]
 	if !declared {
-		t.fail(key)
+		t.fail(t.outside(key))
 		return
 	}
-	tx.Write(t.s.shards[i].ensure(key), val)
+	e, err := t.s.shards[i].ensure(key, false)
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	stm.WriteT(tx, e.b, copyVal(val))
 }
 
-// Add adds delta to key inside the transaction and returns the new value.
-// The key is routed and resolved once (this is the hot path of TXN ADD and
-// the transfer benchmarks).
+// Add adds delta to a counter key inside the transaction and returns the
+// new value. The key is routed and resolved once (this is the hot path of
+// TXN ADD and the transfer benchmarks).
 func (t *Txn) Add(key string, delta int64) int64 {
 	i := t.s.ShardOf(key)
 	tx, declared := t.txs[i]
 	if !declared {
-		t.fail(key)
+		t.fail(t.outside(key))
 		return 0
 	}
-	v := t.s.shards[i].ensure(key)
-	nv := tx.Read(v) + delta
-	tx.Write(v, nv)
+	e, err := t.s.shards[i].ensure(key, true)
+	if err != nil {
+		t.fail(err)
+		return 0
+	}
+	nv := tx.Read(e.c) + delta
+	tx.Write(e.c, nv)
 	return nv
 }
 
@@ -355,8 +525,15 @@ func (s *Store) stmsFor(idxs []int) []*stm.STM {
 // deadlock. fn may touch any key routed to a declared shard, not just the
 // declared keys; it may be re-executed on conflict and must be pure.
 func (s *Store) Update(keys []string, fn func(*Txn) error) error {
+	return s.UpdateCtx(context.Background(), keys, fn)
+}
+
+// UpdateCtx is Update honoring ctx between retry attempts (see
+// stm.AtomicallyMultiCtx): cancellation surfaces as an error wrapping
+// stm.ErrCanceled and the context's error.
+func (s *Store) UpdateCtx(ctx context.Context, keys []string, fn func(*Txn) error) error {
 	idxs := s.shardSet(keys)
-	return stm.AtomicallyMulti(s.stmsFor(idxs), func(txs []*stm.Tx) error {
+	return stm.AtomicallyMultiCtx(ctx, s.stmsFor(idxs), func(txs []*stm.Tx) error {
 		t := &Txn{s: s, txs: make(map[int]*stm.Tx, len(idxs))}
 		for j, i := range idxs {
 			t.txs[i] = txs[j]
@@ -369,33 +546,61 @@ func (s *Store) Update(keys []string, fn func(*Txn) error) error {
 }
 
 // Privatize fences the shards owning keys and returns the keys' raw
-// variable handles, aligned with keys (creating missing keys at 0). When
-// it returns, every transaction admitted before the call on those shards
-// has resolved, so the §3.5 delayed-writeback race is excluded and the
-// caller may use plain Load/Store on the handles — provided it has already
-// made the keys logically private (e.g. cleared a routing flag inside a
-// transaction), exactly as in the paper's privatization idiom.
-func (s *Store) Privatize(keys ...string) []*stm.Var {
-	vars := make([]*stm.Var, len(keys))
+// typed handles, aligned with keys (creating missing keys as nil-valued
+// bytes keys). When it returns, every transaction admitted before the
+// call on those shards has resolved, so the §3.5 delayed-writeback race
+// is excluded and the caller may use plain Load/Store on the handles —
+// provided it has already made the keys logically private (e.g. cleared a
+// routing flag inside a transaction), exactly as in the paper's
+// privatization idiom. Counter keys return ErrWrongType.
+func (s *Store) Privatize(keys ...string) ([]*stm.TVar[[]byte], error) {
+	// Check kinds before creating anything, so a wrong-type failure does
+	// not leave phantom bytes keys behind for the keys processed first.
+	if err := s.checkBytesKinds(keys); err != nil {
+		return nil, err
+	}
+	vars := make([]*stm.TVar[[]byte], len(keys))
 	for i, k := range keys {
-		vars[i] = s.shards[s.ShardOf(k)].ensure(k)
+		e, err := s.shards[s.ShardOf(k)].ensure(k, false)
+		if err != nil {
+			return nil, err
+		}
+		vars[i] = e.b
 	}
 	for _, i := range s.shardSet(keys) {
 		s.shards[i].stm.Quiesce()
 	}
-	return vars
+	return vars, nil
 }
 
-// Publish plainly stores vals and then commits a sentinel transaction on
-// each owning shard. A transactional reader ordered after the sentinel
-// write (any transaction on the shard that starts after Publish returns,
-// or one that observes the bumped sentinel) also sees the plain writes:
-// publication by direct dependency, safe on every engine without fences.
-func (s *Store) Publish(vals map[string]int64) error {
+// Publish plainly stores vals (copied on the way in) and then commits a
+// sentinel transaction on each owning shard. A transactional reader
+// ordered after the sentinel write (any transaction on the shard that
+// starts after Publish returns, or one that observes the bumped sentinel)
+// also sees the plain writes: publication by direct dependency, safe on
+// every engine without fences. Counter keys return ErrWrongType before
+// any write happens.
+func (s *Store) Publish(vals map[string][]byte) error {
 	keys := make([]string, 0, len(vals))
-	for k, v := range vals {
-		s.shards[s.ShardOf(k)].ensure(k).Store(v)
+	for k := range vals {
 		keys = append(keys, k)
+	}
+	// Check kinds before creating anything, so a wrong-type failure does
+	// not leave phantom bytes keys behind (the map iterates in random
+	// order, so "before any write" would otherwise be best-effort).
+	if err := s.checkBytesKinds(keys); err != nil {
+		return err
+	}
+	entries := make([]*entry, 0, len(vals))
+	for _, k := range keys {
+		e, err := s.shards[s.ShardOf(k)].ensure(k, false)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+	}
+	for j, k := range keys {
+		entries[j].b.Store(copyVal(vals[k]))
 	}
 	idxs := s.shardSet(keys)
 	return stm.AtomicallyMulti(s.stmsFor(idxs), func(txs []*stm.Tx) error {
@@ -420,8 +625,9 @@ type Stats struct {
 
 // Stats aggregates per-shard STM counters and store-level counters.
 func (s *Store) Stats() Stats {
-	st := Stats{Shards: len(s.shards), FastGets: s.fastGets.Load()}
-	for _, sh := range s.shards {
+	st := Stats{Shards: len(s.shards)}
+	for i, sh := range s.shards {
+		st.FastGets += s.fastGets[i].n.Load()
 		st.Keys += len(*sh.vars.Load())
 		snap := sh.stm.Snapshot()
 		st.Commits += snap.Commits

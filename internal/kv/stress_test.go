@@ -10,10 +10,11 @@ import (
 )
 
 // TestCrossShardTransferStress is the acceptance stress test: 4 goroutines
-// doing bank-style transfers between accounts spread over 2 shards, with a
-// consistent transactional observer and a mixed-mode plain reader running
-// concurrently. The total balance must hold at every transactional
-// snapshot and at the end. Run under -race in CI.
+// doing bank-style transfers between counter accounts spread over 2
+// shards, with a consistent transactional observer and a mixed-mode plain
+// reader running concurrently, while a fourth lane hammers byte-valued
+// keys through Set/Get. The total balance must hold at every
+// transactional snapshot and at the end. Run under -race in CI.
 func TestCrossShardTransferStress(t *testing.T) {
 	for _, e := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock} {
 		t.Run(e.String(), func(t *testing.T) {
@@ -23,19 +24,23 @@ func TestCrossShardTransferStress(t *testing.T) {
 				workers  = 4
 				iters    = 400
 			)
-			s := New(Options{Shards: 2, Engine: e})
+			s := New(WithShards(2), WithEngine(e))
 			keys := make([]string, accounts)
-			vals := make(map[string]int64, accounts)
 			shardsHit := make(map[int]bool)
 			for i := range keys {
 				keys[i] = fmt.Sprintf("acct-%02d", i)
-				vals[keys[i]] = initial
 				shardsHit[s.ShardOf(keys[i])] = true
 			}
 			if len(shardsHit) < 2 {
 				t.Fatalf("accounts all landed on one shard; need a cross-shard workload")
 			}
-			if err := s.MSet(vals); err != nil {
+			s.EnsureCounters(keys...)
+			if err := s.Update(keys, func(tx *Txn) error {
+				for _, k := range keys {
+					tx.Add(k, initial)
+				}
+				return nil
+			}); err != nil {
 				t.Fatal(err)
 			}
 			const total = accounts * initial
@@ -81,14 +86,17 @@ func TestCrossShardTransferStress(t *testing.T) {
 						return
 					default:
 					}
-					snap, err := s.MGet(keys...)
+					var sum int64
+					err := s.Update(keys, func(tx *Txn) error {
+						sum = 0
+						for _, k := range keys {
+							sum += tx.Add(k, 0)
+						}
+						return nil
+					})
 					if err != nil {
 						obsErr <- err
 						return
-					}
-					var sum int64
-					for _, v := range snap {
-						sum += v
 					}
 					if sum != total {
 						obsErr <- fmt.Errorf("torn cross-shard snapshot: sum=%d, want %d", sum, total)
@@ -98,8 +106,8 @@ func TestCrossShardTransferStress(t *testing.T) {
 			}()
 
 			// Mixed-mode plain reader: values are racy by design; this
-			// exercises the FastGet path for the race detector, asserting
-			// only that present keys stay present.
+			// exercises the FastCounterGet path for the race detector,
+			// asserting only that present keys stay present.
 			var fastWg sync.WaitGroup
 			fastWg.Add(1)
 			go func() {
@@ -111,8 +119,34 @@ func TestCrossShardTransferStress(t *testing.T) {
 						return
 					default:
 					}
-					if _, ok := s.FastGet(keys[rng.Intn(accounts)]); !ok {
+					if _, ok := s.FastCounterGet(keys[rng.Intn(accounts)]); !ok {
 						t.Error("account key vanished from the fast path")
+						return
+					}
+				}
+			}()
+
+			// Byte-value lane: concurrent Set/Get/FastGet of blobs on the
+			// same store must not disturb the counter invariant.
+			var blobWg sync.WaitGroup
+			blobWg.Add(1)
+			go func() {
+				defer blobWg.Done()
+				rng := rand.New(rand.NewSource(7))
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := fmt.Sprintf("blob-%d", rng.Intn(16))
+					if err := s.Set(k, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+						t.Errorf("blob set: %v", err)
+						return
+					}
+					s.FastGet(k)
+					if _, _, err := s.Get(k); err != nil {
+						t.Errorf("blob get: %v", err)
 						return
 					}
 				}
@@ -122,18 +156,19 @@ func TestCrossShardTransferStress(t *testing.T) {
 			close(stop)
 			obsWg.Wait()
 			fastWg.Wait()
+			blobWg.Wait()
 			select {
 			case err := <-obsErr:
 				t.Fatal(err)
 			default:
 			}
 
-			final, err := s.MGet(keys...)
-			if err != nil {
-				t.Fatal(err)
-			}
 			var sum int64
-			for _, v := range final {
+			for _, k := range keys {
+				v, ok, err := s.CounterGet(k)
+				if err != nil || !ok {
+					t.Fatalf("CounterGet(%s): %v,%v", k, ok, err)
+				}
 				sum += v
 			}
 			if sum != total {

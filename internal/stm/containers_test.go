@@ -8,7 +8,7 @@ import (
 
 func TestQueueSequential(t *testing.T) {
 	forEachEngine(t, func(t *testing.T, s *STM) {
-		q := s.NewQueue("q", 4)
+		q := NewQueue[int64](s, "q", 4)
 		for i := int64(1); i <= 4; i++ {
 			ok, err := q.Enqueue(i)
 			if err != nil || !ok {
@@ -35,7 +35,7 @@ func TestQueueConcurrentTransfer(t *testing.T) {
 	// drains exactly N values; every value must arrive exactly once
 	// (atomicity of the multi-var queue operations).
 	forEachEngine(t, func(t *testing.T, s *STM) {
-		q := s.NewQueue("q", 8)
+		q := NewQueue[int64](s, "q", 8)
 		const total = 400
 		var wg sync.WaitGroup
 		for p := 0; p < 4; p++ {
@@ -105,7 +105,7 @@ func TestSetBasics(t *testing.T) {
 }
 
 func TestSetFull(t *testing.T) {
-	s := New(Options{Engine: Lazy})
+	s := New(WithEngine(Lazy))
 	set := s.NewSet("s", 3)
 	for v := int64(0); v < 3; v++ {
 		if ok, _ := set.Add(v * 7); !ok {
@@ -122,7 +122,7 @@ func TestSetFull(t *testing.T) {
 }
 
 func TestSetConcurrentInserts(t *testing.T) {
-	s := New(Options{Engine: Lazy})
+	s := New(WithEngine(Lazy))
 	set := s.NewSet("s", 128)
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
@@ -148,8 +148,8 @@ func TestSetConcurrentInserts(t *testing.T) {
 // exactly the enqueued-but-not-dequeued values in FIFO order.
 func TestQueueFIFOProperty(t *testing.T) {
 	f := func(ops []uint8) bool {
-		s := New(Options{Engine: Lazy})
-		q := s.NewQueue("q", 8)
+		s := New(WithEngine(Lazy))
+		q := NewQueue[int64](s, "q", 8)
 		var model []int64
 		next := int64(1)
 		for _, o := range ops {
@@ -190,9 +190,9 @@ func TestQueueFIFOProperty(t *testing.T) {
 // Composability: move an element between two queues atomically; observers
 // never see it in both or neither (when accounting the in-flight count).
 func TestQueueComposedTransfer(t *testing.T) {
-	s := New(Options{Engine: Lazy})
-	a := s.NewQueue("a", 8)
-	b := s.NewQueue("b", 8)
+	s := New(WithEngine(Lazy))
+	a := NewQueue[int64](s, "a", 8)
+	b := NewQueue[int64](s, "b", 8)
 	for i := int64(1); i <= 8; i++ {
 		if ok, _ := a.Enqueue(i); !ok {
 			t.Fatal("seed enqueue failed")

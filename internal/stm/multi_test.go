@@ -10,8 +10,8 @@ import (
 func TestMultiBasic(t *testing.T) {
 	for _, e := range engines {
 		t.Run(e.String(), func(t *testing.T) {
-			s1 := New(Options{Engine: e})
-			s2 := New(Options{Engine: e})
+			s1 := New(WithEngine(e))
+			s2 := New(WithEngine(e))
 			a := s1.NewVar("a", 10)
 			b := s2.NewVar("b", 0)
 			err := AtomicallyMulti([]*STM{s1, s2}, func(txs []*Tx) error {
@@ -38,8 +38,8 @@ func TestMultiBasic(t *testing.T) {
 func TestMultiUserAbort(t *testing.T) {
 	for _, e := range engines {
 		t.Run(e.String(), func(t *testing.T) {
-			s1 := New(Options{Engine: e})
-			s2 := New(Options{Engine: e})
+			s1 := New(WithEngine(e))
+			s2 := New(WithEngine(e))
 			a := s1.NewVar("a", 1)
 			b := s2.NewVar("b", 2)
 			err := AtomicallyMulti([]*STM{s1, s2}, func(txs []*Tx) error {
@@ -59,7 +59,7 @@ func TestMultiUserAbort(t *testing.T) {
 
 // TestMultiSingleAndEmpty covers the degenerate arities.
 func TestMultiSingleAndEmpty(t *testing.T) {
-	s := New(Options{Engine: Lazy})
+	s := New(WithEngine(Lazy))
 	x := s.NewVar("x", 0)
 	if err := AtomicallyMulti([]*STM{s}, func(txs []*Tx) error {
 		txs[0].Write(x, 7)
@@ -85,8 +85,8 @@ func TestMultiSingleAndEmpty(t *testing.T) {
 func TestMultiNoTornCommit(t *testing.T) {
 	for _, e := range engines {
 		t.Run(e.String(), func(t *testing.T) {
-			s1 := New(Options{Engine: e})
-			s2 := New(Options{Engine: e})
+			s1 := New(WithEngine(e))
+			s2 := New(WithEngine(e))
 			a := s1.NewVar("a", 500)
 			b := s2.NewVar("b", 500)
 			stms := []*STM{s1, s2}
@@ -158,11 +158,93 @@ type errTorn int64
 
 func (e errTorn) Error() string { return fmt.Sprintf("torn cross-instance read: sum=%d", int64(e)) }
 
+// TestMultiMixedEngines runs one transaction across THREE instances each
+// on a different engine (lazy + eager + global-lock): transfers circulate
+// value among them under contention while a cross-instance observer
+// checks the conserved total, exercising the two-phase commit's
+// engine-heterogeneous path.
+func TestMultiMixedEngines(t *testing.T) {
+	s1 := New(WithEngine(Lazy))
+	s2 := New(WithEngine(Eager))
+	s3 := New(WithEngine(GlobalLock))
+	stms := []*STM{s1, s2, s3}
+	vars := []*Var{s1.NewVar("a", 300), s2.NewVar("b", 300), s3.NewVar("c", 300)}
+	const total = 900
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				from := (w + i) % 3
+				to := (from + 1) % 3
+				err := AtomicallyMulti(stms, func(txs []*Tx) error {
+					txs[from].Write(vars[from], txs[from].Read(vars[from])-1)
+					txs[to].Write(vars[to], txs[to].Read(vars[to])+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("mixed-engine transfer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	obsErr := make(chan error, 1)
+	var obsWg sync.WaitGroup
+	obsWg.Add(1)
+	go func() {
+		defer obsWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sum int64
+			err := AtomicallyMulti(stms, func(txs []*Tx) error {
+				sum = 0
+				for i, v := range vars {
+					sum += txs[i].Read(v)
+				}
+				return nil
+			})
+			if err != nil {
+				obsErr <- err
+				return
+			}
+			if sum != total {
+				obsErr <- errTorn(sum)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	obsWg.Wait()
+	select {
+	case err := <-obsErr:
+		t.Fatal(err)
+	default:
+	}
+	if got := vars[0].Load() + vars[1].Load() + vars[2].Load(); got != total {
+		t.Fatalf("final sum=%d, want %d", got, total)
+	}
+	for i, s := range stms {
+		if s.Snapshot().MultiCommits == 0 {
+			t.Errorf("instance %d (%s) recorded no multi-commits", i, s.Engine())
+		}
+	}
+}
+
 // TestMultiDuplicateInstance checks that passing the same instance twice
 // is rejected rather than self-deadlocking.
 func TestMultiDuplicateInstance(t *testing.T) {
 	for _, e := range engines {
-		s := New(Options{Engine: e})
+		s := New(WithEngine(e))
 		err := AtomicallyMulti([]*STM{s, s}, func(txs []*Tx) error { return nil })
 		if err != ErrDuplicateInstance {
 			t.Errorf("%s: err=%v, want ErrDuplicateInstance", e, err)
@@ -183,8 +265,8 @@ func TestMultiNoWriteSkew(t *testing.T) {
 	for _, e := range []Engine{Lazy, Eager} {
 		t.Run(e.String(), func(t *testing.T) {
 			for round := 0; round < 50; round++ {
-				s1 := New(Options{Engine: e})
-				s2 := New(Options{Engine: e})
+				s1 := New(WithEngine(e))
+				s2 := New(WithEngine(e))
 				a := s1.NewVar("a", 0)
 				b := s2.NewVar("b", 0)
 				stms := []*STM{s1, s2}

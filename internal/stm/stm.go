@@ -16,15 +16,22 @@
 //   - GlobalLock: a single global mutex around each transaction; the
 //     strongest (and slowest) baseline.
 //
-// Mixed-mode access is supported through Var.Load and Var.Store, which are
-// plain (non-transactional) atomic accesses. Quiesce implements the
-// quiescence fence ⟨Qx⟩: it waits for every transaction that was active
-// when the fence began (a conservative, location-oblivious implementation
-// of WF12/HBCQ/HBQB).
+// Transactional locations come in two shapes sharing one engine:
+//
+//   - Var holds an int64 in an atomic.Int64 — the zero-cost word
+//     specialization used for counters and hot numeric state.
+//   - TVar[T] holds any T behind a word-sized atomic.Pointer[T] box, so
+//     strings, byte slices and structs get the same mixed-mode and
+//     transactional semantics at the cost of one pointer indirection.
+//
+// Mixed-mode access is supported through Load and Store on both shapes,
+// which are plain (non-transactional) atomic accesses. Quiesce implements
+// the quiescence fence ⟨Qx⟩: it waits for every transaction that was
+// active when the fence began (a conservative, location-oblivious
+// implementation of WF12/HBCQ/HBQB).
 package stm
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -53,34 +60,42 @@ func (e Engine) String() string {
 	return "unknown"
 }
 
-// ErrAbort is returned by transaction bodies to abort without retrying.
-// Atomically rolls the transaction back and returns ErrAbort.
-var ErrAbort = errors.New("stm: transaction aborted by user")
-
-// ErrMaxRetries reports that a transaction exceeded its retry budget.
-var ErrMaxRetries = errors.New("stm: transaction exceeded retry budget")
-
-// ErrDuplicateInstance reports that AtomicallyMulti was given the same STM
-// instance more than once (which would self-deadlock on the global-lock
-// engine).
-var ErrDuplicateInstance = errors.New("stm: duplicate STM instance in AtomicallyMulti")
-
 const lockedBit = 1
 
-// Var is a transactional variable holding an int64.
-//
-// meta packs a TL2-style versioned lock: version<<1 | lockedBit. The value
-// lives in val and is accessed with atomic loads/stores so that mixed-mode
-// access is a race only at the model level, not a Go data race.
-type Var struct {
+// varBase is the engine-facing core every transactional variable embeds:
+// a stable identity for deterministic lock ordering, a diagnostic name,
+// and a TL2-style versioned lock packed as version<<1 | lockedBit.
+type varBase struct {
 	id   uint64
 	name string
 	meta atomic.Uint64
-	val  atomic.Int64
 }
 
 // Name returns the variable's diagnostic name.
-func (v *Var) Name() string { return v.name }
+func (vb *varBase) Name() string { return vb.name }
+
+func version(meta uint64) uint64 { return meta >> 1 }
+func isLocked(meta uint64) bool  { return meta&lockedBit != 0 }
+
+// tryLock CASes the lock bit in, failing when the variable is locked or
+// was written after the snapshot rv. On success the pre-lock meta is
+// returned for restoration on abort.
+func (vb *varBase) tryLock(rv uint64) (uint64, bool) {
+	m := vb.meta.Load()
+	if isLocked(m) || version(m) > rv || !vb.meta.CompareAndSwap(m, m|lockedBit) {
+		return 0, false
+	}
+	return m, true
+}
+
+// Var is a transactional variable holding an int64 — the word-sized
+// specialization of the typed API. Its value lives in an atomic.Int64 and
+// is accessed with atomic loads/stores so that mixed-mode access is a
+// race only at the model level, not a Go data race.
+type Var struct {
+	varBase
+	val atomic.Int64
+}
 
 // Load performs a plain (non-transactional) read.
 func (v *Var) Load() int64 { return v.val.Load() }
@@ -91,19 +106,25 @@ func (v *Var) Load() int64 { return v.val.Load() }
 // model (use Quiesce for privatization).
 func (v *Var) Store(x int64) { v.val.Store(x) }
 
-func version(meta uint64) uint64 { return meta >> 1 }
-func isLocked(meta uint64) bool  { return meta&lockedBit != 0 }
+// Option configures an STM instance (see New).
+type Option func(*config)
 
-// Options configures an STM instance.
-type Options struct {
-	Engine Engine
-	// MaxRetries bounds the commit attempts per Atomically call
-	// (0 = 1,000,000).
-	MaxRetries int
-	// QuiesceSlots sizes the active-transaction table used by Quiesce
-	// (0 = 8×GOMAXPROCS, minimum 64).
-	QuiesceSlots int
+type config struct {
+	engine       Engine
+	maxRetries   int
+	quiesceSlots int
 }
+
+// WithEngine selects the versioning strategy (default Lazy).
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithMaxRetries bounds the commit attempts per Atomically call
+// (default 1,000,000).
+func WithMaxRetries(n int) Option { return func(c *config) { c.maxRetries = n } }
+
+// WithQuiesceSlots sizes the active-transaction table used by Quiesce
+// (default 8×GOMAXPROCS, minimum 64).
+func WithQuiesceSlots(n int) Option { return func(c *config) { c.quiesceSlots = n } }
 
 // Stats are cumulative counters, safe to read concurrently.
 type Stats struct {
@@ -149,32 +170,38 @@ type slot struct {
 }
 
 // New creates an STM instance.
-func New(opts Options) *STM {
-	if opts.MaxRetries == 0 {
-		opts.MaxRetries = 1_000_000
+func New(opts ...Option) *STM {
+	var c config
+	for _, o := range opts {
+		o(&c)
 	}
-	n := opts.QuiesceSlots
+	if c.maxRetries == 0 {
+		c.maxRetries = 1_000_000
+	}
+	n := c.quiesceSlots
 	if n == 0 {
 		n = 8 * runtime.GOMAXPROCS(0)
 		if n < 64 {
 			n = 64
 		}
 	}
-	s := &STM{
-		engine:     opts.Engine,
-		maxRetries: opts.MaxRetries,
+	return &STM{
+		engine:     c.engine,
+		maxRetries: c.maxRetries,
 		glock:      make(chan struct{}, 1),
 		slots:      make([]slot, n),
 	}
-	return s
 }
 
 // Engine returns the instance's engine.
 func (s *STM) Engine() Engine { return s.engine }
 
-// NewVar creates a transactional variable with an initial value.
+// MaxRetries returns the per-call retry budget.
+func (s *STM) MaxRetries() int { return s.maxRetries }
+
+// NewVar creates an int64 transactional variable with an initial value.
 func (s *STM) NewVar(name string, init int64) *Var {
-	v := &Var{id: s.nextVarID.Add(1), name: name}
+	v := &Var{varBase: varBase{id: s.nextVarID.Add(1), name: name}}
 	v.val.Store(init)
 	return v
 }

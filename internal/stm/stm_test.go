@@ -14,7 +14,7 @@ func forEachEngine(t *testing.T, f func(t *testing.T, s *STM)) {
 	for _, e := range engines {
 		e := e
 		t.Run(e.String(), func(t *testing.T) {
-			f(t, New(Options{Engine: e}))
+			f(t, New(WithEngine(e)))
 		})
 	}
 }
@@ -78,7 +78,7 @@ func TestUserErrorRollsBack(t *testing.T) {
 }
 
 func TestPanicPropagates(t *testing.T) {
-	s := New(Options{Engine: Lazy})
+	s := New(WithEngine(Lazy))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("panic swallowed by Atomically")
@@ -219,7 +219,7 @@ func TestConflictDetection(t *testing.T) {
 }
 
 func TestQuiesceWaitsForActiveTx(t *testing.T) {
-	s := New(Options{Engine: Lazy})
+	s := New(WithEngine(Lazy))
 	x := s.NewVar("x", 0)
 	inTx := make(chan struct{})
 	release := make(chan struct{})
@@ -255,7 +255,7 @@ func TestQuiesceWaitsForActiveTx(t *testing.T) {
 
 func TestQuiesceIgnoresLaterTx(t *testing.T) {
 	// Transactions admitted after the fence must not block it.
-	s := New(Options{Engine: Lazy})
+	s := New(WithEngine(Lazy))
 	x := s.NewVar("x", 0)
 	s.Quiesce(x) // no active transactions: immediate
 	doneQ := make(chan struct{})
@@ -268,7 +268,7 @@ func TestQuiesceIgnoresLaterTx(t *testing.T) {
 }
 
 func TestMaxRetries(t *testing.T) {
-	s := New(Options{Engine: Lazy, MaxRetries: 3})
+	s := New(WithEngine(Lazy), WithMaxRetries(3))
 	x := s.NewVar("x", 0)
 	// Hold a var permanently "locked" by corrupting its meta, so commits
 	// always fail. Use the internal representation deliberately.
@@ -285,7 +285,7 @@ func TestMaxRetries(t *testing.T) {
 func TestReadOnlySnapshot(t *testing.T) {
 	// Read-only transactions on the lazy engine validate per read and
 	// commit without locking.
-	s := New(Options{Engine: Lazy})
+	s := New(WithEngine(Lazy))
 	x := s.NewVar("x", 5)
 	before := s.Snapshot().Commits
 	var v int64
@@ -330,7 +330,7 @@ func TestMixedModeVisibility(t *testing.T) {
 }
 
 func TestStatsString(t *testing.T) {
-	s := New(Options{Engine: Eager})
+	s := New(WithEngine(Eager))
 	_ = s.Atomically(func(*Tx) error { return nil })
 	str := s.String()
 	if want := "stm(eager)"; len(str) < len(want) || str[:len(want)] != want {
@@ -357,12 +357,12 @@ func TestPublicationSafeAllEngines(t *testing.T) {
 func TestPrivatizationDeterministicAnomalyLazy(t *testing.T) {
 	// Without a fence the lazy engine exhibits the delayed-writeback
 	// violation; with a fence it must not.
-	s := New(Options{Engine: Lazy})
+	s := New(WithEngine(Lazy))
 	res := PrivatizationDeterministic(s, false)
 	if res.Violations != 1 {
 		t.Errorf("expected the forced anomaly, got %d violations", res.Violations)
 	}
-	s2 := New(Options{Engine: Lazy})
+	s2 := New(WithEngine(Lazy))
 	res2 := PrivatizationDeterministic(s2, true)
 	if res2.Violations != 0 {
 		t.Errorf("fenced privatization violated %d times", res2.Violations)
@@ -380,14 +380,14 @@ func TestPrivatizationFencedStress(t *testing.T) {
 }
 
 func TestLostUpdateDeterministicEager(t *testing.T) {
-	s := New(Options{Engine: Eager})
+	s := New(WithEngine(Eager))
 	res := LostUpdateDeterministic(s)
 	if res.Violations != 1 {
 		t.Errorf("expected the forced lost update, got %d", res.Violations)
 	}
 	// The lazy engine buffers writes, so the same scenario cannot lose the
 	// plain store: no in-place speculation exists.
-	s2 := New(Options{Engine: Lazy})
+	s2 := New(WithEngine(Lazy))
 	res2 := LostUpdate(s2, 200)
 	if res2.Violations != 0 {
 		t.Errorf("lazy engine lost %d plain updates", res2.Violations)
@@ -395,7 +395,7 @@ func TestLostUpdateDeterministicEager(t *testing.T) {
 }
 
 func TestDirtyReadDeterministicEager(t *testing.T) {
-	s := New(Options{Engine: Eager})
+	s := New(WithEngine(Eager))
 	res := DirtyReadDeterministic(s)
 	if res.Violations != 1 {
 		t.Errorf("expected the forced dirty read, got %d", res.Violations)
@@ -403,7 +403,7 @@ func TestDirtyReadDeterministicEager(t *testing.T) {
 }
 
 func TestGlobalLockSerializes(t *testing.T) {
-	s := New(Options{Engine: GlobalLock})
+	s := New(WithEngine(GlobalLock))
 	x := s.NewVar("x", 0)
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
@@ -431,7 +431,7 @@ func TestGlobalLockSerializes(t *testing.T) {
 func TestManyVarsCommitOrder(t *testing.T) {
 	// Commits locking many vars must not deadlock regardless of write
 	// order inside the transaction.
-	s := New(Options{Engine: Lazy})
+	s := New(WithEngine(Lazy))
 	vars := make([]*Var, 16)
 	for i := range vars {
 		vars[i] = s.NewVar(fmt.Sprintf("v%d", i), 0)

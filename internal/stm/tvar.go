@@ -1,0 +1,59 @@
+package stm
+
+import "sync/atomic"
+
+// TVar is a transactional variable holding any T. The value lives behind
+// a word-sized atomic.Pointer[T] box, so plain (mixed-mode) access is a
+// single pointer load/store and the engines move boxes, not values: the
+// generic API costs one indirection over the int64 specialization (Var)
+// and nothing else.
+//
+// Values handed out by Load / ReadT are the stored boxes themselves:
+// treat them as immutable (copy before mutating reference types such as
+// slices and maps), and Store / WriteT install a fresh box per write.
+type TVar[T any] struct {
+	varBase
+	val atomic.Pointer[T]
+}
+
+// NewTVar creates a typed transactional variable with an initial value.
+// (A free function because Go methods cannot introduce type parameters.)
+func NewTVar[T any](s *STM, name string, init T) *TVar[T] {
+	v := &TVar[T]{varBase: varBase{id: s.nextVarID.Add(1), name: name}}
+	v.val.Store(&init)
+	return v
+}
+
+// Load performs a plain (non-transactional) read.
+func (v *TVar[T]) Load() T { return *v.val.Load() }
+
+// Store performs a plain (non-transactional) write. Like Var.Store it
+// does not interact with the transactional version clock; use Quiesce for
+// privatization.
+func (v *TVar[T]) Store(x T) { v.val.Store(&x) }
+
+// boxed is the untyped, engine-facing view of a TVar: the engines log and
+// move opaque boxes (a box is the *T behind the interface — interface
+// conversion of a pointer does not allocate), while the typed wrappers
+// ReadT and WriteT do the only casts.
+type boxed interface {
+	base() *varBase
+	loadBox() any // current box; never nil after NewTVar
+	storeBox(any) // install a box produced by the same TVar's lane
+}
+
+func (v *TVar[T]) base() *varBase { return &v.varBase }
+func (v *TVar[T]) loadBox() any   { return v.val.Load() }
+func (v *TVar[T]) storeBox(b any) { v.val.Store(b.(*T)) }
+
+// ReadT returns the transactional value of v, exactly as Tx.Read does for
+// int64 vars: consistent against the begin-time snapshot, with
+// read-your-own-writes within the transaction.
+func ReadT[T any](tx *Tx, v *TVar[T]) T {
+	return *tx.readBoxed(v).(*T)
+}
+
+// WriteT sets the transactional value of v.
+func WriteT[T any](tx *Tx, v *TVar[T], x T) {
+	tx.writeBoxed(v, &x)
+}

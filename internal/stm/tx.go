@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"time"
@@ -8,30 +9,45 @@ import (
 
 // Tx is the per-attempt transaction handle passed to Atomically bodies.
 // It must not escape the body or be used concurrently.
+//
+// The engines run two value lanes over one protocol: an int64 lane for
+// Var (values logged inline, zero boxing) and a pointer lane for TVar[T]
+// (opaque boxes logged behind the boxed interface). The read set, lock
+// sets and commit protocol are shared — only value movement is per-lane.
 type Tx struct {
 	s       *STM
 	rv      uint64 // read version (TL2 snapshot)
 	slotIdx int    // quiescence slot held for the attempt's lifetime
 
-	// Lazy engine.
-	reads      []readEntry
-	writes     map[*Var]int64
-	worder     []*Var          // write order for deterministic locking
-	lockedMeta map[*Var]uint64 // commit-time lock state while prepared
+	// Read set, shared by both lanes (validation is meta-only).
+	reads []readEntry
+
+	// Lazy engine write sets.
+	writes     map[*Var]int64      // int64 lane
+	worder     []*Var              // int64 lane write order
+	pwrites    map[boxed]any       // pointer lane (pending boxes)
+	pworder    []boxed             // pointer lane write order
+	lockedMeta map[*varBase]uint64 // commit-time lock state while prepared
 
 	// Eager and global-lock engines.
-	undo   []undoEntry
-	locked map[*Var]uint64 // var -> meta observed before locking
+	undo   []undoEntry         // int64 lane
+	pundo  []pundoEntry        // pointer lane
+	locked map[*varBase]uint64 // var -> meta observed before locking
 }
 
 type readEntry struct {
-	v    *Var
+	vb   *varBase
 	meta uint64
 }
 
 type undoEntry struct {
 	v   *Var
 	old int64
+}
+
+type pundoEntry struct {
+	b   boxed
+	old any
 }
 
 // conflictSignal aborts the current attempt; Atomically recovers it.
@@ -53,18 +69,52 @@ func (s *STM) begin() *Tx {
 	return &Tx{s: s, rv: s.clock.Load(), slotIdx: slotIdx}
 }
 
+// ctxErr returns the context's error if the context is cancelable and
+// done; a nil context means "no cancellation" and costs nothing.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // Atomically runs fn as a transaction, retrying on conflicts until commit
-// or the retry budget is exhausted. If fn returns ErrAbort the transaction
-// is rolled back and ErrAbort is returned; any other non-nil error also
-// rolls back and is returned verbatim (the transaction takes no effect).
+// or the retry budget is exhausted. If fn returns ErrAborted the
+// transaction is rolled back and ErrAborted is returned; any other
+// non-nil error also rolls back and is returned verbatim (the transaction
+// takes no effect). Budget exhaustion returns a *TxError wrapping
+// ErrMaxRetries.
 func (s *STM) Atomically(fn func(*Tx) error) error {
+	return s.atomically(nil, fn)
+}
+
+// AtomicallyCtx is Atomically honoring ctx between retry attempts: when
+// the context is canceled or its deadline passes, the call stops retrying
+// and returns a *TxError wrapping ErrCanceled and the context's error.
+// An attempt already executing is never interrupted mid-body, so a nil
+// return still means exactly one committed execution of fn.
+func (s *STM) AtomicallyCtx(ctx context.Context, fn func(*Tx) error) error {
+	return s.atomically(ctx, fn)
+}
+
+func (s *STM) atomically(ctx context.Context, fn func(*Tx) error) error {
+	conflicts := 0
 	for attempt := 0; attempt < s.maxRetries; attempt++ {
+		if err := ctxErr(ctx); err != nil {
+			return s.txError("atomically", attempt, conflicts, ErrCanceled, err)
+		}
 		tx := s.begin()
 		err, conflicted := tx.runBody(fn)
 		switch {
 		case conflicted:
 			tx.abortAttempt()
 			s.stats.Conflicts.Add(1)
+			conflicts++
 			backoff(attempt)
 			continue
 		case err != nil:
@@ -80,9 +130,10 @@ func (s *STM) Atomically(fn func(*Tx) error) error {
 		}
 		tx.abortAttempt()
 		s.stats.Conflicts.Add(1)
+		conflicts++
 		backoff(attempt)
 	}
-	return ErrMaxRetries
+	return s.txError("atomically", s.maxRetries, conflicts, ErrMaxRetries, nil)
 }
 
 // AtomicallyMulti runs fn as one transaction spanning several STM
@@ -98,11 +149,26 @@ func (s *STM) Atomically(fn func(*Tx) error) error {
 // The instances may use different engines, but the retry budget is taken
 // from stms[0]. An empty stms runs fn(nil) once, transactionally vacuous.
 func AtomicallyMulti(stms []*STM, fn func(txs []*Tx) error) error {
+	return atomicallyMulti(nil, stms, fn)
+}
+
+// AtomicallyMultiCtx is AtomicallyMulti honoring ctx between retry
+// attempts, with the same contract as AtomicallyCtx.
+func AtomicallyMultiCtx(ctx context.Context, stms []*STM, fn func(txs []*Tx) error) error {
+	return atomicallyMulti(ctx, stms, fn)
+}
+
+func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error) error {
 	if len(stms) == 0 {
+		// Transactionally vacuous, but the cancellation contract still
+		// holds: a canceled context fails before the body runs.
+		if err := ctxErr(ctx); err != nil {
+			return &TxError{Op: "atomically-multi", Err: ErrCanceled, Cause: err}
+		}
 		return fn(nil)
 	}
 	if len(stms) == 1 {
-		return stms[0].Atomically(func(tx *Tx) error { return fn([]*Tx{tx}) })
+		return stms[0].atomically(ctx, func(tx *Tx) error { return fn([]*Tx{tx}) })
 	}
 	for i := 1; i < len(stms); i++ {
 		for j := 0; j < i; j++ {
@@ -120,7 +186,11 @@ func AtomicallyMulti(stms []*STM, fn func(txs []*Tx) error) error {
 			txs[i].abortAttempt()
 		}
 	}
+	conflicts := 0
 	for attempt := 0; attempt < stms[0].maxRetries; attempt++ {
+		if err := ctxErr(ctx); err != nil {
+			return stms[0].txError("atomically-multi", attempt, conflicts, ErrCanceled, err)
+		}
 		for i, s := range stms {
 			txs[i] = s.begin()
 		}
@@ -131,6 +201,7 @@ func AtomicallyMulti(stms []*STM, fn func(txs []*Tx) error) error {
 			for _, s := range stms {
 				s.stats.Conflicts.Add(1)
 			}
+			conflicts++
 			backoff(attempt)
 			continue
 		case err != nil:
@@ -168,6 +239,7 @@ func AtomicallyMulti(stms []*STM, fn func(txs []*Tx) error) error {
 			for _, s := range stms {
 				s.stats.Conflicts.Add(1)
 			}
+			conflicts++
 			backoff(attempt)
 			continue
 		}
@@ -183,7 +255,7 @@ func AtomicallyMulti(stms []*STM, fn func(txs []*Tx) error) error {
 		}
 		return nil
 	}
-	return ErrMaxRetries
+	return stms[0].txError("atomically-multi", stms[0].maxRetries, conflicts, ErrMaxRetries, nil)
 }
 
 // finishTx releases the engine-level resources of a resolved attempt.
@@ -241,7 +313,7 @@ func backoff(attempt int) {
 	}
 }
 
-// Read returns the transactional value of v.
+// Read returns the transactional value of v (int64 lane).
 func (tx *Tx) Read(v *Var) int64 {
 	switch tx.s.engine {
 	case Lazy:
@@ -260,11 +332,11 @@ func (tx *Tx) Read(v *Var) int64 {
 			if version(m1) > tx.rv {
 				tx.conflict() // written by a transaction after our snapshot
 			}
-			tx.reads = append(tx.reads, readEntry{v: v, meta: m1})
+			tx.reads = append(tx.reads, readEntry{vb: &v.varBase, meta: m1})
 			return val
 		}
 	case Eager:
-		if _, mine := tx.locked[v]; mine {
+		if _, mine := tx.locked[&v.varBase]; mine {
 			return v.val.Load()
 		}
 		for {
@@ -279,7 +351,7 @@ func (tx *Tx) Read(v *Var) int64 {
 			if version(m1) > tx.rv {
 				tx.conflict()
 			}
-			tx.reads = append(tx.reads, readEntry{v: v, meta: m1})
+			tx.reads = append(tx.reads, readEntry{vb: &v.varBase, meta: m1})
 			return val
 		}
 	default: // GlobalLock: the global mutex serializes transactions.
@@ -287,7 +359,7 @@ func (tx *Tx) Read(v *Var) int64 {
 	}
 }
 
-// Write sets the transactional value of v.
+// Write sets the transactional value of v (int64 lane).
 func (tx *Tx) Write(v *Var, x int64) {
 	switch tx.s.engine {
 	case Lazy:
@@ -299,15 +371,16 @@ func (tx *Tx) Write(v *Var, x int64) {
 		}
 		tx.writes[v] = x
 	case Eager:
-		if _, mine := tx.locked[v]; !mine {
-			m := v.meta.Load()
-			if isLocked(m) || version(m) > tx.rv || !v.meta.CompareAndSwap(m, m|lockedBit) {
+		vb := &v.varBase
+		if _, mine := tx.locked[vb]; !mine {
+			m, ok := vb.tryLock(tx.rv)
+			if !ok {
 				tx.conflict()
 			}
 			if tx.locked == nil {
-				tx.locked = make(map[*Var]uint64, 4)
+				tx.locked = make(map[*varBase]uint64, 4)
 			}
-			tx.locked[v] = m
+			tx.locked[vb] = m
 			tx.undo = append(tx.undo, undoEntry{v: v, old: v.val.Load()})
 		}
 		v.val.Store(x)
@@ -317,10 +390,76 @@ func (tx *Tx) Write(v *Var, x int64) {
 	}
 }
 
-// Abort aborts the current attempt and makes Atomically return ErrAbort.
+// readBoxed is the pointer-lane twin of Read: same sampling, validation
+// and read-set protocol, moving an opaque box instead of an int64. Only
+// the own-write shortcut differs per engine; the versioned sample loop is
+// shared.
+func (tx *Tx) readBoxed(b boxed) any {
+	vb := b.base()
+	switch tx.s.engine {
+	case Lazy:
+		if box, ok := tx.pwrites[b]; ok {
+			return box
+		}
+	case Eager:
+		if _, mine := tx.locked[vb]; mine {
+			return b.loadBox()
+		}
+	default: // GlobalLock: the global mutex serializes transactions.
+		return b.loadBox()
+	}
+	for {
+		m1 := vb.meta.Load()
+		if isLocked(m1) {
+			tx.conflict()
+		}
+		box := b.loadBox()
+		if m2 := vb.meta.Load(); m1 != m2 {
+			continue // torn sample; retry
+		}
+		if version(m1) > tx.rv {
+			tx.conflict() // written by a transaction after our snapshot
+		}
+		tx.reads = append(tx.reads, readEntry{vb: vb, meta: m1})
+		return box
+	}
+}
+
+// writeBoxed is the pointer-lane twin of Write.
+func (tx *Tx) writeBoxed(b boxed, box any) {
+	switch tx.s.engine {
+	case Lazy:
+		if tx.pwrites == nil {
+			tx.pwrites = make(map[boxed]any, 4)
+		}
+		if _, seen := tx.pwrites[b]; !seen {
+			tx.pworder = append(tx.pworder, b)
+		}
+		tx.pwrites[b] = box
+	case Eager:
+		vb := b.base()
+		if _, mine := tx.locked[vb]; !mine {
+			m, ok := vb.tryLock(tx.rv)
+			if !ok {
+				tx.conflict()
+			}
+			if tx.locked == nil {
+				tx.locked = make(map[*varBase]uint64, 4)
+			}
+			tx.locked[vb] = m
+			tx.pundo = append(tx.pundo, pundoEntry{b: b, old: b.loadBox()})
+		}
+		b.storeBox(box)
+	default: // GlobalLock
+		tx.pundo = append(tx.pundo, pundoEntry{b: b, old: b.loadBox()})
+		b.storeBox(box)
+	}
+}
+
+// Abort aborts the current attempt and makes Atomically return ErrAborted.
 // Provided for symmetry with the paper's abort statement; equivalent to
-// returning ErrAbort from the body.
-func (tx *Tx) Abort() error { return ErrAbort }
+// returning ErrAborted from the body.
+func (tx *Tx) Abort() error { return ErrAborted }
 
 // prepare is commit phase one for a single-instance transaction: take the
 // commit-time locks on the write set and validate the read set, publishing
@@ -331,7 +470,7 @@ func (tx *Tx) Abort() error { return ErrAbort }
 // lockWrites and validateReads separately, with a barrier between the two
 // phases across instances.
 func (tx *Tx) prepare() bool {
-	if tx.s.engine == Lazy && len(tx.worder) == 0 {
+	if tx.s.engine == Lazy && len(tx.worder)+len(tx.pworder) == 0 {
 		// Single-instance read-only fast path: every read was validated
 		// against rv at read time, so the snapshot is consistent as of rv.
 		// (Not sound for multi-instance commits, whose serialization point
@@ -347,21 +486,30 @@ func (tx *Tx) prepare() bool {
 func (tx *Tx) lockWrites() bool {
 	switch tx.s.engine {
 	case Lazy:
-		if len(tx.worder) == 0 {
+		n := len(tx.worder) + len(tx.pworder)
+		if n == 0 {
 			return true
 		}
-		// Lock the write set in id order to avoid deadlock.
-		sort.Slice(tx.worder, func(i, j int) bool { return tx.worder[i].id < tx.worder[j].id })
-		lockedMeta := make(map[*Var]uint64, len(tx.worder))
-		for i, v := range tx.worder {
-			m := v.meta.Load()
-			if isLocked(m) || version(m) > tx.rv || !v.meta.CompareAndSwap(m, m|lockedBit) {
-				for _, u := range tx.worder[:i] {
+		// Lock the combined write set of both lanes in id order to avoid
+		// deadlock against concurrent committers.
+		targets := make([]*varBase, 0, n)
+		for _, v := range tx.worder {
+			targets = append(targets, &v.varBase)
+		}
+		for _, b := range tx.pworder {
+			targets = append(targets, b.base())
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
+		lockedMeta := make(map[*varBase]uint64, n)
+		for i, vb := range targets {
+			m, ok := vb.tryLock(tx.rv)
+			if !ok {
+				for _, u := range targets[:i] {
 					u.meta.Store(lockedMeta[u])
 				}
 				return false
 			}
-			lockedMeta[v] = m
+			lockedMeta[vb] = m
 		}
 		tx.lockedMeta = lockedMeta
 		return true
@@ -372,18 +520,19 @@ func (tx *Tx) lockWrites() bool {
 }
 
 // validateReads (commit phase 1b) checks the read set against the
-// begin-time snapshot while the write locks are held.
+// begin-time snapshot while the write locks are held. The read set is
+// lane-agnostic: only lock words are examined.
 func (tx *Tx) validateReads() bool {
 	switch tx.s.engine {
 	case Lazy:
 		for _, re := range tx.reads {
-			if mv, mine := tx.lockedMeta[re.v]; mine {
+			if mv, mine := tx.lockedMeta[re.vb]; mine {
 				if version(re.meta) != version(mv) {
 					return false // someone updated between our read and our lock
 				}
 				continue
 			}
-			cur := re.v.meta.Load()
+			cur := re.vb.meta.Load()
 			if isLocked(cur) || version(cur) > tx.rv {
 				return false
 			}
@@ -392,10 +541,10 @@ func (tx *Tx) validateReads() bool {
 
 	case Eager:
 		for _, re := range tx.reads {
-			if _, mine := tx.locked[re.v]; mine {
+			if _, mine := tx.locked[re.vb]; mine {
 				continue // we hold the lock; value unchanged since read
 			}
-			cur := re.v.meta.Load()
+			cur := re.vb.meta.Load()
 			if isLocked(cur) || version(cur) > tx.rv {
 				return false
 			}
@@ -414,7 +563,7 @@ func (tx *Tx) commitPrepared() {
 	s := tx.s
 	switch s.engine {
 	case Lazy:
-		if len(tx.worder) == 0 {
+		if len(tx.worder)+len(tx.pworder) == 0 {
 			return
 		}
 		wv := s.clock.Add(1)
@@ -427,22 +576,31 @@ func (tx *Tx) commitPrepared() {
 			v.val.Store(tx.writes[v])
 			v.meta.Store(wv << 1) // release with the new version
 		}
+		for _, b := range tx.pworder {
+			b.storeBox(tx.pwrites[b])
+			b.base().meta.Store(wv << 1)
+		}
 		tx.lockedMeta = nil
 
 	case Eager:
 		wv := s.clock.Add(1)
-		for v := range tx.locked {
-			v.meta.Store(wv << 1)
+		for vb := range tx.locked {
+			vb.meta.Store(wv << 1)
 		}
 		tx.locked = nil
 		tx.undo = nil
+		tx.pundo = nil
 
 	default: // GlobalLock
 		wv := s.clock.Add(1)
 		for _, u := range tx.undo {
 			u.v.meta.Store(wv << 1)
 		}
+		for _, u := range tx.pundo {
+			u.b.base().meta.Store(wv << 1)
+		}
 		tx.undo = nil
+		tx.pundo = nil
 	}
 }
 
@@ -452,8 +610,8 @@ func (tx *Tx) releasePrepared() {
 	if tx.lockedMeta == nil {
 		return
 	}
-	for _, v := range tx.worder {
-		v.meta.Store(tx.lockedMeta[v])
+	for vb, m := range tx.lockedMeta {
+		vb.meta.Store(m)
 	}
 	tx.lockedMeta = nil
 }
@@ -464,7 +622,7 @@ func (tx *Tx) rollback() {
 	s := tx.s
 	switch s.engine {
 	case Eager:
-		if s.RollbackDelay != nil && len(tx.undo) > 0 {
+		if s.RollbackDelay != nil && len(tx.undo)+len(tx.pundo) > 0 {
 			// The anomaly window of §3.4: speculative values are visible
 			// to plain accesses until the undo log is applied.
 			s.RollbackDelay()
@@ -472,19 +630,29 @@ func (tx *Tx) rollback() {
 		for i := len(tx.undo) - 1; i >= 0; i-- {
 			tx.undo[i].v.val.Store(tx.undo[i].old)
 		}
-		for v, m := range tx.locked {
-			v.meta.Store(m) // release, version unchanged
+		for i := len(tx.pundo) - 1; i >= 0; i-- {
+			tx.pundo[i].b.storeBox(tx.pundo[i].old)
+		}
+		for vb, m := range tx.locked {
+			vb.meta.Store(m) // release, version unchanged
 		}
 		tx.locked = nil
 		tx.undo = nil
+		tx.pundo = nil
 	case GlobalLock:
 		for i := len(tx.undo) - 1; i >= 0; i-- {
 			tx.undo[i].v.val.Store(tx.undo[i].old)
 		}
+		for i := len(tx.pundo) - 1; i >= 0; i-- {
+			tx.pundo[i].b.storeBox(tx.pundo[i].old)
+		}
 		tx.undo = nil
+		tx.pundo = nil
 	default: // Lazy: nothing was published.
 		tx.reads = nil
 		tx.writes = nil
 		tx.worder = nil
+		tx.pwrites = nil
+		tx.pworder = nil
 	}
 }

@@ -25,6 +25,8 @@
 package modtx
 
 import (
+	"context"
+
 	"modtx/internal/core"
 	"modtx/internal/event"
 	"modtx/internal/exec"
@@ -96,16 +98,28 @@ func GenerateTraces(p *Program, cfg Config, maxTraces int) (*TraceSet, error) {
 	return ltrf.GenerateTraces(p, cfg, maxTraces)
 }
 
-// Runtime layer.
+// Runtime layer (API v2: typed vars, functional options, context-aware
+// execution).
 type (
 	// STM is a software transactional memory instance.
 	STM = stm.STM
-	// Var is a transactional variable supporting mixed-mode access.
+	// Var is an int64 transactional variable supporting mixed-mode
+	// access — the zero-cost word specialization of TVar.
 	Var = stm.Var
+	// TVar is a typed transactional variable holding any T behind a
+	// word-sized pointer box.
+	TVar[T any] = stm.TVar[T]
 	// Tx is a transaction handle.
 	Tx = stm.Tx
-	// STMOptions configures an STM instance.
-	STMOptions = stm.Options
+	// TxError carries diagnostics (attempts, conflicts, engine) for
+	// retry-budget exhaustion and cancellation; unwraps to its sentinel.
+	TxError = stm.TxError
+	// STMOption configures an STM instance (see WithEngine et al.).
+	STMOption = stm.Option
+	// Queue is a bounded transactional FIFO of T.
+	Queue[T any] = stm.Queue[T]
+	// TMap is a transactional hash map.
+	TMap[K comparable, V any] = stm.Map[K, V]
 )
 
 // STM engines.
@@ -118,11 +132,55 @@ const (
 	GlobalLockSTM = stm.GlobalLock
 )
 
-// ErrAbort aborts a transaction without retry when returned from its body.
-var ErrAbort = stm.ErrAbort
+// STM instance options.
+var (
+	// WithEngine selects the versioning strategy (default LazySTM).
+	WithEngine = stm.WithEngine
+	// WithMaxRetries bounds commit attempts per Atomically call.
+	WithMaxRetries = stm.WithMaxRetries
+	// WithQuiesceSlots sizes the active-transaction table for Quiesce.
+	WithQuiesceSlots = stm.WithQuiesceSlots
+)
+
+// Transactional error taxonomy: every runtime failure is errors.Is-able
+// against one of these sentinels (see stm.TxError for diagnostics).
+var (
+	// ErrAborted aborts a transaction without retry when returned from
+	// its body.
+	ErrAborted = stm.ErrAborted
+	// ErrAbort is the v1 name of ErrAborted.
+	//
+	// Deprecated: use ErrAborted.
+	ErrAbort = stm.ErrAborted
+	// ErrMaxRetries reports retry-budget exhaustion.
+	ErrMaxRetries = stm.ErrMaxRetries
+	// ErrCanceled reports context cancellation between retry attempts.
+	ErrCanceled = stm.ErrCanceled
+)
 
 // NewSTM creates a software transactional memory instance.
-func NewSTM(opts STMOptions) *STM { return stm.New(opts) }
+func NewSTM(opts ...STMOption) *STM { return stm.New(opts...) }
+
+// NewTVar creates a typed transactional variable on s.
+func NewTVar[T any](s *STM, name string, init T) *TVar[T] {
+	return stm.NewTVar(s, name, init)
+}
+
+// ReadT returns the transactional value of a typed variable.
+func ReadT[T any](tx *Tx, v *TVar[T]) T { return stm.ReadT(tx, v) }
+
+// WriteT sets the transactional value of a typed variable.
+func WriteT[T any](tx *Tx, v *TVar[T], x T) { stm.WriteT(tx, v, x) }
+
+// NewQueue creates a bounded transactional queue on s.
+func NewQueue[T any](s *STM, name string, capacity int) *Queue[T] {
+	return stm.NewQueue[T](s, name, capacity)
+}
+
+// NewTMap creates a transactional hash map on s.
+func NewTMap[K comparable, V any](s *STM, name string, buckets int) *TMap[K, V] {
+	return stm.NewMap[K, V](s, name, buckets)
+}
 
 // AtomicallyMulti runs fn as one transaction spanning several STM
 // instances with a two-phase cross-instance commit (see stm.AtomicallyMulti).
@@ -130,18 +188,39 @@ func AtomicallyMulti(stms []*STM, fn func(txs []*Tx) error) error {
 	return stm.AtomicallyMulti(stms, fn)
 }
 
+// AtomicallyMultiCtx is AtomicallyMulti honoring ctx between retry
+// attempts.
+func AtomicallyMultiCtx(ctx context.Context, stms []*STM, fn func(txs []*Tx) error) error {
+	return stm.AtomicallyMultiCtx(ctx, stms, fn)
+}
+
 // Serving layer.
 type (
 	// KV is a sharded transactional key-value store backed by the STM
-	// runtime (see internal/kv and cmd/mtx-kv).
+	// runtime (see internal/kv and cmd/mtx-kv). Values are arbitrary
+	// byte strings; counters ride the int64 specialization.
 	KV = kv.Store
-	// KVOptions configures a KV store.
-	KVOptions = kv.Options
+	// KVOption configures a KV store (see KVWithShards et al.).
+	KVOption = kv.Option
 	// KVTxn is the handle passed to KV.Update transaction bodies.
 	KVTxn = kv.Txn
 	// KVStats is an aggregate statistics snapshot across shards.
 	KVStats = kv.Stats
 )
 
+// KV store options.
+var (
+	// KVWithShards sets the shard count (rounded up to a power of two).
+	KVWithShards = kv.WithShards
+	// KVWithEngine selects the STM engine backing every shard.
+	KVWithEngine = kv.WithEngine
+	// KVWithMaxRetries bounds commit attempts per store operation.
+	KVWithMaxRetries = kv.WithMaxRetries
+)
+
+// ErrKVWrongType reports a kv operation against a key holding the other
+// kind of value (bytes vs. counter).
+var ErrKVWrongType = kv.ErrWrongType
+
 // NewKV creates a sharded transactional key-value store.
-func NewKV(opts KVOptions) *KV { return kv.New(opts) }
+func NewKV(opts ...KVOption) *KV { return kv.New(opts...) }

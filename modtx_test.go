@@ -1,6 +1,8 @@
 package modtx_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"modtx"
@@ -77,25 +79,28 @@ thread t2:
 	}
 }
 
-// TestFacadeRuntimeLayer exercises the re-exported STM API.
+// TestFacadeRuntimeLayer exercises the re-exported v2 STM API: functional
+// options, the int64 specialization, typed vars and the error taxonomy.
 func TestFacadeRuntimeLayer(t *testing.T) {
-	for _, e := range []modtx.STMOptions{
-		{Engine: modtx.LazySTM},
-		{Engine: modtx.EagerSTM},
-		{Engine: modtx.GlobalLockSTM},
+	for _, e := range []modtx.STMOption{
+		modtx.WithEngine(modtx.LazySTM),
+		modtx.WithEngine(modtx.EagerSTM),
+		modtx.WithEngine(modtx.GlobalLockSTM),
 	} {
 		s := modtx.NewSTM(e)
 		x := s.NewVar("x", 0)
+		label := modtx.NewTVar(s, "label", "init")
 		if err := s.Atomically(func(tx *modtx.Tx) error {
 			tx.Write(x, tx.Read(x)+41)
+			modtx.WriteT(tx, label, modtx.ReadT(tx, label)+"+done")
 			return nil
 		}); err != nil {
 			t.Fatal(err)
 		}
 		if err := s.Atomically(func(tx *modtx.Tx) error {
 			tx.Write(x, 0)
-			return modtx.ErrAbort
-		}); err != modtx.ErrAbort {
+			return modtx.ErrAborted
+		}); err != modtx.ErrAborted {
 			t.Fatalf("err = %v", err)
 		}
 		x.Store(x.Load() + 1)
@@ -103,5 +108,54 @@ func TestFacadeRuntimeLayer(t *testing.T) {
 		if got := x.Load(); got != 42 {
 			t.Errorf("x = %d, want 42", got)
 		}
+		if got := label.Load(); got != "init+done" {
+			t.Errorf("label = %q, want init+done", got)
+		}
+	}
+	// Context-aware execution and diagnostics through the facade.
+	s := modtx.NewSTM(modtx.WithMaxRetries(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.AtomicallyCtx(ctx, func(tx *modtx.Tx) error { return nil })
+	if !errors.Is(err, modtx.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	var txe *modtx.TxError
+	if !errors.As(err, &txe) {
+		t.Fatalf("err %T lacks TxError diagnostics", err)
+	}
+}
+
+// TestFacadeContainersAndKV exercises the generic containers and the
+// byte-valued KV re-exports.
+func TestFacadeContainersAndKV(t *testing.T) {
+	s := modtx.NewSTM()
+	q := modtx.NewQueue[string](s, "q", 4)
+	if ok, err := q.Enqueue("job-1"); err != nil || !ok {
+		t.Fatalf("enqueue: %v %v", ok, err)
+	}
+	if v, ok, err := q.Dequeue(); err != nil || !ok || v != "job-1" {
+		t.Fatalf("dequeue: %q %v %v", v, ok, err)
+	}
+	m := modtx.NewTMap[string, int](s, "m", 8)
+	if err := m.Put("k", 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := m.Get("k"); !ok || v != 7 {
+		t.Fatalf("map get: %d %v", v, ok)
+	}
+
+	store := modtx.NewKV(modtx.KVWithShards(4), modtx.KVWithEngine(modtx.LazySTM))
+	if err := store.Set("doc", []byte("payload with spaces")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := store.Get("doc"); !ok || string(v) != "payload with spaces" {
+		t.Fatalf("kv get: %q %v", v, ok)
+	}
+	if _, err := store.CounterAdd("hits", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.CounterAdd("doc", 1); !errors.Is(err, modtx.ErrKVWrongType) {
+		t.Fatalf("wrong-type err = %v", err)
 	}
 }
