@@ -206,7 +206,9 @@ func BenchmarkEnumerator(b *testing.B) {
 
 // --- STM performance experiments (S4, S5) ---
 
-var stmEngines = []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock}
+// stmEngines is every registered engine; the registry drives the whole
+// benchmark matrix, so a new engine is a new row, not a code change.
+var stmEngines = stm.Engines()
 
 // BenchmarkSTMCounter (S5): contended read-modify-write throughput per
 // engine.
@@ -229,22 +231,39 @@ func BenchmarkSTMCounter(b *testing.B) {
 }
 
 // BenchmarkSTMReadOnly (S5): read-only transaction throughput over a
-// shared array (no conflicts; lazy commits without locking).
+// shared array (no conflicts), comparing the default read-write path
+// (Atomically with an empty write set) against the dedicated read-only
+// API (AtomicallyRead) per engine. On the tl2 engine AtomicallyRead runs
+// with invisible reads: no read set, no allocation, O(1) commit.
 func BenchmarkSTMReadOnly(b *testing.B) {
 	for _, e := range stmEngines {
 		e := e
-		b.Run(e.String(), func(b *testing.B) {
-			s := stm.New(stm.WithEngine(e))
-			vars := make([]*stm.Var, 16)
-			for i := range vars {
-				vars[i] = s.NewVar(fmt.Sprintf("v%d", i), int64(i))
-			}
+		s := stm.New(stm.WithEngine(e))
+		vars := make([]*stm.Var, 16)
+		for i := range vars {
+			vars[i] = s.NewVar(fmt.Sprintf("v%d", i), int64(i))
+		}
+		b.Run(e.String()+"/atomically", func(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
 					_ = s.Atomically(func(tx *stm.Tx) error {
 						var sum int64
 						for _, v := range vars {
 							sum += tx.Read(v)
+						}
+						_ = sum
+						return nil
+					})
+				}
+			})
+		})
+		b.Run(e.String()+"/read", func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					_ = s.AtomicallyRead(func(r *stm.ReadTx) error {
+						var sum int64
+						for _, v := range vars {
+							sum += r.Read(v)
 						}
 						_ = sum
 						return nil
@@ -408,6 +427,66 @@ func BenchmarkKVFastPathBytes(b *testing.B) {
 						b.Fatal("missing key")
 					}
 					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkKVReadOnly (S6): consistent multi-key reads (8 counters
+// spread across shards), comparing the read-write transaction path
+// (Update) against the lock-free read-only snapshot path (View). The
+// acceptance check of the engine redesign: View on tl2 must beat the
+// Update-based read.
+func BenchmarkKVReadOnly(b *testing.B) {
+	for _, e := range stmEngines {
+		e := e
+		store := kv.New(kv.WithShards(64), kv.WithEngine(e))
+		keys := make([]string, 1024)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key-%04d", i)
+		}
+		store.EnsureCounters(keys...)
+		pick := func(i int) []string {
+			batch := make([]string, 8)
+			for j := range batch {
+				batch[j] = keys[(i*131+j*17)&1023]
+			}
+			return batch
+		}
+		b.Run(e.String()+"/update", func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					batch := pick(i)
+					i++
+					err := store.Update(batch, func(t *kv.Txn) error {
+						for _, k := range batch {
+							_, _ = t.Get(k)
+						}
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+		b.Run(e.String()+"/view", func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					batch := pick(i)
+					i++
+					err := store.View(batch, func(t *kv.ViewTxn) error {
+						for _, k := range batch {
+							_, _ = t.Counter(k)
+						}
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
 			})
 		})

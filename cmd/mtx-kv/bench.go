@@ -17,7 +17,7 @@ import (
 // and reports throughput and latency percentiles per engine.
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	engineName := fs.String("engine", "all", "engine to bench: lazy, eager, global-lock or all")
+	engineName := fs.String("engine", "all", engineFlagHelp(true))
 	shards := fs.Int("shards", 64, "shard count (rounded up to a power of two)")
 	nkeys := fs.Int("keys", 65536, "number of preloaded keys")
 	goroutines := fs.Int("goroutines", 8, "concurrent load goroutines")
@@ -32,7 +32,7 @@ func runBench(args []string) error {
 	if *fastPct+*readPct+*writePct > 100 {
 		return fmt.Errorf("op percentages exceed 100")
 	}
-	engines, err := parseEngine(*engineName)
+	engines, err := enginesForFlag(*engineName)
 	if err != nil {
 		return err
 	}

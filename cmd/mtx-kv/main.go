@@ -9,19 +9,27 @@
 //	             [-duration 2s] [-fastread-pct 70] [-read-pct 20]
 //	             [-write-pct 5] [-zipf 1.2]
 //
+// The -engine flag accepts any name from the stm engine registry (lazy,
+// eager, global-lock, tl2) or "all" (bench only) to run the whole
+// matrix.
+//
 // Protocol (one command per line). Values are arbitrary byte strings
 // without newlines: SET takes everything after the key, so values may
 // contain spaces. A key holds either a string value or an int64 counter
-// (ADD / TXN ADD), fixed at first use; reads format counters as decimal.
+// (ADD / TXN ADD), fixed at first use (deleting it frees the kind);
+// reads format counters as decimal.
 //
 //	PING                      -> PONG
-//	GET key                   -> VALUE v | NIL
+//	GET key                   -> VALUE v | NIL      (read-only txn; no write locks)
 //	FGET key                  -> VALUE v | NIL      (lock-free plain read)
 //	SET key value...          -> OK                 (value = rest of line)
+//	DEL k1 k2 ...             -> VALUE n            (keys removed; one txn per key)
 //	ADD key d                 -> VALUE n            (counter; new value)
 //	MGET k1 k2 ...            -> VALUES n, then one VALUE v | NIL line per key
+//	                             (one consistent lock-free cross-shard snapshot)
 //	MSET k1 v1 k2 v2 ...      -> OK                 (token values, no spaces)
 //	TXN ADD k1 d1 k2 d2 ...   -> VALUES n1 n2 ...   (one cross-shard txn)
+//	TXN DEL k1 k2 ...         -> VALUES b1 b2 ...   (1 if removed, else 0; one txn)
 //	STATS                     -> STATS ...
 //	QUIT                      -> BYE (connection closes)
 package main
@@ -29,6 +37,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"modtx/internal/stm"
 )
@@ -59,17 +68,25 @@ func main() {
 	}
 }
 
-// parseEngine maps a flag value to engines; "all" returns every engine.
-func parseEngine(name string) ([]stm.Engine, error) {
-	switch name {
-	case "lazy":
-		return []stm.Engine{stm.Lazy}, nil
-	case "eager":
-		return []stm.Engine{stm.Eager}, nil
-	case "global-lock", "global":
-		return []stm.Engine{stm.GlobalLock}, nil
-	case "all":
-		return []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock}, nil
+// enginesForFlag resolves an -engine value through the stm registry;
+// "all" expands to every registered engine, so new engines join the
+// bench matrix automatically.
+func enginesForFlag(name string) ([]stm.Engine, error) {
+	if name == "all" {
+		return stm.Engines(), nil
 	}
-	return nil, fmt.Errorf("unknown engine %q (want lazy, eager, global-lock or all)", name)
+	e, err := stm.ParseEngine(name)
+	if err != nil {
+		return nil, err
+	}
+	return []stm.Engine{e}, nil
+}
+
+// engineFlagHelp enumerates the registry for flag usage strings.
+func engineFlagHelp(withAll bool) string {
+	names := stm.EngineNames()
+	if withAll {
+		names = append(names, "all")
+	}
+	return "STM engine: " + strings.Join(names, ", ")
 }

@@ -16,11 +16,11 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":7700", "listen address")
 	shards := fs.Int("shards", 64, "shard count (rounded up to a power of two)")
-	engineName := fs.String("engine", "lazy", "STM engine: lazy, eager or global-lock")
+	engineName := fs.String("engine", "lazy", engineFlagHelp(false))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	engines, err := parseEngine(*engineName)
+	engines, err := enginesForFlag(*engineName)
 	if err != nil {
 		return err
 	}
@@ -125,6 +125,22 @@ func (s *server) exec(line string) (resp string, quit bool) {
 		}
 		return "OK", false
 
+	case "DEL":
+		if len(f) < 2 {
+			return "ERR usage: DEL key...", false
+		}
+		n := 0
+		for _, k := range f[1:] {
+			ok, err := s.store.Delete(k)
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+			if ok {
+				n++
+			}
+		}
+		return "VALUE " + strconv.Itoa(n), false
+
 	case "ADD":
 		if len(f) != 3 {
 			return "ERR usage: ADD key delta", false
@@ -176,41 +192,70 @@ func (s *server) exec(line string) (resp string, quit bool) {
 
 	case "TXN":
 		if len(f) < 2 {
-			return "ERR usage: TXN ADD key delta [key delta ...]", false
+			return "ERR usage: TXN {ADD key delta [key delta ...] | DEL key...}", false
 		}
-		if strings.ToUpper(f[1]) != "ADD" {
-			return "ERR unknown TXN op " + f[1] + " (want ADD)", false
-		}
-		rest := f[2:]
-		if len(rest) == 0 || len(rest)%2 != 0 {
-			return "ERR usage: TXN ADD key delta [key delta ...]", false
-		}
-		keys := make([]string, 0, len(rest)/2)
-		deltas := make([]int64, 0, len(rest)/2)
-		for i := 0; i < len(rest); i += 2 {
-			d, err := strconv.ParseInt(rest[i+1], 10, 64)
+		switch strings.ToUpper(f[1]) {
+		case "ADD":
+			rest := f[2:]
+			if len(rest) == 0 || len(rest)%2 != 0 {
+				return "ERR usage: TXN ADD key delta [key delta ...]", false
+			}
+			keys := make([]string, 0, len(rest)/2)
+			deltas := make([]int64, 0, len(rest)/2)
+			for i := 0; i < len(rest); i += 2 {
+				d, err := strconv.ParseInt(rest[i+1], 10, 64)
+				if err != nil {
+					return "ERR delta for " + rest[i] + ": " + err.Error(), false
+				}
+				keys = append(keys, rest[i])
+				deltas = append(deltas, d)
+			}
+			news := make([]int64, len(keys))
+			err := s.store.Update(keys, func(t *kv.Txn) error {
+				for i, k := range keys {
+					news[i] = t.Add(k, deltas[i])
+				}
+				return nil
+			})
 			if err != nil {
-				return "ERR delta for " + rest[i] + ": " + err.Error(), false
+				return "ERR " + err.Error(), false
 			}
-			keys = append(keys, rest[i])
-			deltas = append(deltas, d)
-		}
-		news := make([]int64, len(keys))
-		err := s.store.Update(keys, func(t *kv.Txn) error {
-			for i, k := range keys {
-				news[i] = t.Add(k, deltas[i])
+			parts := make([]string, 0, len(news)+1)
+			parts = append(parts, "VALUES")
+			for _, v := range news {
+				parts = append(parts, strconv.FormatInt(v, 10))
 			}
-			return nil
-		})
-		if err != nil {
-			return "ERR " + err.Error(), false
+			return strings.Join(parts, " "), false
+
+		case "DEL":
+			keys := f[2:]
+			if len(keys) == 0 {
+				return "ERR usage: TXN DEL key...", false
+			}
+			removed := make([]bool, len(keys))
+			err := s.store.Update(keys, func(t *kv.Txn) error {
+				for i, k := range keys {
+					removed[i] = t.Delete(k)
+				}
+				return nil
+			})
+			if err != nil {
+				return "ERR " + err.Error(), false
+			}
+			parts := make([]string, 0, len(keys)+1)
+			parts = append(parts, "VALUES")
+			for _, ok := range removed {
+				if ok {
+					parts = append(parts, "1")
+				} else {
+					parts = append(parts, "0")
+				}
+			}
+			return strings.Join(parts, " "), false
+
+		default:
+			return "ERR unknown TXN op " + f[1] + " (want ADD or DEL)", false
 		}
-		parts := make([]string, 0, len(news)+1)
-		parts = append(parts, "VALUES")
-		for _, v := range news {
-			parts = append(parts, strconv.FormatInt(v, 10))
-		}
-		return strings.Join(parts, " "), false
 
 	case "STATS":
 		return "STATS " + s.store.Stats().String(), false

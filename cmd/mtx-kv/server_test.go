@@ -11,79 +11,117 @@ import (
 )
 
 // TestServerProtocol drives the TCP server end to end over a loopback
-// connection, including arbitrary (space-containing) string values and
-// the counter lane.
+// connection on every registered engine, including arbitrary
+// (space-containing) string values, the counter lane, and deletion.
 func TestServerProtocol(t *testing.T) {
-	srv := &server{store: kv.New(kv.WithShards(4), kv.WithEngine(stm.Lazy))}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l.Close()
-	go srv.serve(l)
+	for _, e := range stm.Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			srv := &server{store: kv.New(kv.WithShards(4), kv.WithEngine(e))}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			go srv.serve(l)
 
-	conn, err := net.Dial("tcp", l.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	r := bufio.NewReader(conn)
-	readLine := func() string {
-		t.Helper()
-		line, err := r.ReadString('\n')
-		if err != nil {
-			t.Fatal(err)
-		}
-		return strings.TrimRight(line, "\n")
-	}
-	roundtrip := func(cmd string) string {
-		t.Helper()
-		if _, err := conn.Write([]byte(cmd + "\n")); err != nil {
-			t.Fatal(err)
-		}
-		return readLine()
-	}
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			readLine := func() string {
+				t.Helper()
+				line, err := r.ReadString('\n')
+				if err != nil {
+					t.Fatal(err)
+				}
+				return strings.TrimRight(line, "\n")
+			}
+			roundtrip := func(cmd string) string {
+				t.Helper()
+				if _, err := conn.Write([]byte(cmd + "\n")); err != nil {
+					t.Fatal(err)
+				}
+				return readLine()
+			}
 
-	for _, tc := range []struct{ cmd, want string }{
-		{"PING", "PONG"},
-		{"GET a", "NIL"},
-		{"SET a some value with spaces", "OK"},
-		{"GET a", "VALUE some value with spaces"},
-		{"FGET a", "VALUE some value with spaces"},
-		{"SET a short", "OK"},
-		{"GET a", "VALUE short"},
-		{"SET   sp\t padded  value", "OK"}, // token runs must not shift the key
-		{"GET sp", "VALUE padded  value"},
-		{"ADD ctr 3", "VALUE 3"},
-		{"ADD ctr 5", "VALUE 8"},
-		{"GET ctr", "VALUE 8"}, // counters read back as decimal
-		{"FGET ctr", "VALUE 8"},
-		{"ADD a 1", "ERR " + `kv: key "a": ` + kv.ErrWrongType.Error()},
-		{"MSET x 1 y two z 3", "OK"},
-		{"TXN ADD c1 -1 c2 1", "VALUES -1 1"},
-		{"SET a", "ERR usage: SET key value"},
-		{"TXN MUL x 2", "ERR unknown TXN op MUL (want ADD)"},
-		{"NOPE", "ERR unknown command NOPE"},
-	} {
-		if got := roundtrip(tc.cmd); got != tc.want {
-			t.Errorf("%s: got %q, want %q", tc.cmd, got, tc.want)
-		}
-	}
+			for _, tc := range []struct{ cmd, want string }{
+				{"PING", "PONG"},
+				{"GET a", "NIL"},
+				{"SET a some value with spaces", "OK"},
+				{"GET a", "VALUE some value with spaces"},
+				{"FGET a", "VALUE some value with spaces"},
+				{"SET a short", "OK"},
+				{"GET a", "VALUE short"},
+				{"SET   sp\t padded  value", "OK"}, // token runs must not shift the key
+				{"GET sp", "VALUE padded  value"},
+				{"ADD ctr 3", "VALUE 3"},
+				{"ADD ctr 5", "VALUE 8"},
+				{"GET ctr", "VALUE 8"}, // counters read back as decimal
+				{"FGET ctr", "VALUE 8"},
+				{"ADD a 1", "ERR " + `kv: key "a": ` + kv.ErrWrongType.Error()},
+				{"MSET x 1 y two z 3", "OK"},
+				{"TXN ADD c1 -1 c2 1", "VALUES -1 1"},
+				{"SET a", "ERR usage: SET key value"},
+				{"TXN MUL x 2", "ERR unknown TXN op MUL (want ADD or DEL)"},
+				{"NOPE", "ERR unknown command NOPE"},
+				// Deletion round trips: DEL counts removals, the key is gone
+				// on every path, and the freed key can change kind.
+				{"DEL a missing", "VALUE 1"},
+				{"GET a", "NIL"},
+				{"FGET a", "NIL"},
+				{"DEL a", "VALUE 0"},
+				{"DEL ctr", "VALUE 1"},
+				{"SET ctr was a counter", "OK"},
+				{"GET ctr", "VALUE was a counter"},
+				{"TXN DEL x y nope", "VALUES 1 1 0"},
+				{"GET x", "NIL"},
+				{"GET z", "VALUE 3"},
+				{"DEL", "ERR usage: DEL key..."},
+				{"TXN DEL", "ERR usage: TXN DEL key..."},
+			} {
+				if got := roundtrip(tc.cmd); got != tc.want {
+					t.Errorf("%s: got %q, want %q", tc.cmd, got, tc.want)
+				}
+			}
 
-	// MGET replies with a count header and one line per key.
-	if got := roundtrip("MGET x y z missing"); got != "VALUES 4" {
-		t.Fatalf("MGET header: got %q", got)
-	}
-	for i, want := range []string{"VALUE 1", "VALUE two", "VALUE 3", "NIL"} {
-		if got := readLine(); got != want {
-			t.Errorf("MGET line %d: got %q, want %q", i, got, want)
-		}
-	}
+			// MGET replies with a count header and one line per key; x was
+			// deleted above and must be NIL.
+			if got := roundtrip("MGET x y z missing"); got != "VALUES 4" {
+				t.Fatalf("MGET header: got %q", got)
+			}
+			for i, want := range []string{"NIL", "NIL", "VALUE 3", "NIL"} {
+				if got := readLine(); got != want {
+					t.Errorf("MGET line %d: got %q, want %q", i, got, want)
+				}
+			}
 
-	if got := roundtrip("STATS"); !strings.HasPrefix(got, "STATS kv: shards=4") {
-		t.Errorf("STATS: got %q", got)
+			if got := roundtrip("STATS"); !strings.HasPrefix(got, "STATS kv: shards=4") {
+				t.Errorf("STATS: got %q", got)
+			}
+			if got := roundtrip("QUIT"); got != "BYE" {
+				t.Errorf("QUIT: got %q", got)
+			}
+		})
 	}
-	if got := roundtrip("QUIT"); got != "BYE" {
-		t.Errorf("QUIT: got %q", got)
+}
+
+// TestEngineFlagRegistry pins the satellite change: the -engine flag is
+// backed by the stm registry, not a private switch.
+func TestEngineFlagRegistry(t *testing.T) {
+	all, err := enginesForFlag("all")
+	if err != nil || len(all) != len(stm.Engines()) {
+		t.Fatalf("all: %v, %v", all, err)
+	}
+	one, err := enginesForFlag("tl2")
+	if err != nil || len(one) != 1 || one[0] != stm.TL2 {
+		t.Fatalf("tl2: %v, %v", one, err)
+	}
+	if _, err := enginesForFlag("bogus"); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+	if help := engineFlagHelp(true); !strings.Contains(help, "tl2") || !strings.Contains(help, "all") {
+		t.Errorf("flag help missing names: %q", help)
 	}
 }

@@ -24,7 +24,7 @@ func main() {
 	}
 
 	bad := false
-	for _, engine := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock} {
+	for _, engine := range stm.Engines() {
 		s := stm.New(stm.WithEngine(engine))
 		row(stm.Publication(s, *iters))
 		for _, fenced := range []bool{false, true} {
@@ -36,11 +36,12 @@ func main() {
 		}
 	}
 
-	// Deterministic anomaly demonstrations (forced windows).
-	lazy := stm.New(stm.WithEngine(stm.Lazy))
-	row(stm.PrivatizationDeterministic(lazy, false))
-	lazyF := stm.New(stm.WithEngine(stm.Lazy))
-	row(stm.PrivatizationDeterministic(lazyF, true))
+	// Deterministic anomaly demonstrations (forced windows). Both
+	// write-buffering engines (lazy and tl2) exhibit delayed writeback.
+	for _, engine := range []stm.Engine{stm.Lazy, stm.TL2} {
+		row(stm.PrivatizationDeterministic(stm.New(stm.WithEngine(engine)), false))
+		row(stm.PrivatizationDeterministic(stm.New(stm.WithEngine(engine)), true))
+	}
 	eager := stm.New(stm.WithEngine(stm.Eager))
 	row(stm.LostUpdateDeterministic(eager))
 	eager2 := stm.New(stm.WithEngine(stm.Eager))

@@ -12,8 +12,10 @@ import (
 )
 
 func main() {
-	// 8 shards, each backed by its own TL2-style lazy STM instance.
-	store := kv.New(kv.WithShards(8), kv.WithEngine(stm.Lazy))
+	// 8 shards, each backed by its own STM instance on the tl2 snapshot
+	// engine — invisible reads make the read-only paths (Get, MGet, View)
+	// lock-free. Any registered engine works: stm.ParseEngine("eager"), …
+	store := kv.New(kv.WithShards(8), kv.WithEngine(stm.TL2))
 
 	// Values are arbitrary byte strings end-to-end.
 	_ = store.Set("user:alice", []byte(`{"name":"Alice","plan":"pro"}`))
@@ -36,6 +38,18 @@ func main() {
 	snap, _ := store.MGet("balance:alice", "balance:bob", "user:alice")
 	fmt.Printf("snapshot: alice=%s bob=%s profile=%s\n",
 		snap["balance:alice"], snap["balance:bob"], snap["user:alice"])
+
+	// View is the general read-only transaction: a multi-key snapshot
+	// consistent across shards that never takes write locks (and, on tl2,
+	// keeps no read set when the footprint is one shard).
+	var totalBalance int64
+	_ = store.View([]string{"balance:alice", "balance:bob"}, func(v *kv.ViewTxn) error {
+		a, _ := v.Counter("balance:alice")
+		b, _ := v.Counter("balance:bob")
+		totalBalance = a + b
+		return nil
+	})
+	fmt.Println("conserved total:", totalBalance)
 
 	// FastGet is the plain (non-transactional) mixed-mode read: lock-free,
 	// but — per the paper's implementation model — allowed to miss a
@@ -60,6 +74,12 @@ func main() {
 	_ = store.Publish(map[string][]byte{"user:carol": []byte(`{"name":"Carol"}`)})
 	c, _, _ := store.Get("user:carol")
 	fmt.Println("published carol:", string(c))
+
+	// Delete tombstones the key transactionally, then sweeps it from the
+	// table; the freed key can come back with a different kind.
+	existed, _ := store.Delete("user:bob")
+	_, stillThere := store.FastGet("user:bob")
+	fmt.Printf("deleted bob: %v (visible after: %v)\n", existed, stillThere)
 
 	fmt.Println(store.Stats())
 }

@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	for _, engine := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock} {
+	for _, engine := range stm.Engines() {
 		s := stm.New(stm.WithEngine(engine))
 		const rounds = 5000
 		violations := 0

@@ -30,6 +30,15 @@ func main() {
 	}
 	fmt.Printf("after deposit: balance=%d audit=%d\n", balance.Load(), audit.Load())
 
+	// Read-only transactions have a dedicated API that never takes write
+	// locks; on the tl2 snapshot engine it also keeps no read set.
+	var b, a int64
+	_ = s.AtomicallyRead(func(r *stm.ReadTx) error {
+		b, a = r.Read(balance), r.Read(audit)
+		return nil
+	})
+	fmt.Printf("read-only snapshot: balance=%d audit=%d\n", b, a)
+
 	// Returning stm.ErrAbort rolls the transaction back.
 	err = s.Atomically(func(tx *stm.Tx) error {
 		tx.Write(balance, 0)

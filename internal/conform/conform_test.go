@@ -36,7 +36,10 @@ func TestSequentialRunExplained(t *testing.T) {
 }
 
 func TestPublicationRunExplained(t *testing.T) {
-	for _, engine := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock} {
+	// Every registered engine must produce publication runs explainable
+	// in the implementation model — a new engine cannot merge without
+	// passing the litmus recording.
+	for _, engine := range stm.Engines() {
 		s := NewSession(stm.New(stm.WithEngine(engine)))
 		s.Var("x", 0)
 		s.Var("y", 0)
@@ -77,9 +80,18 @@ func TestPublicationRunExplained(t *testing.T) {
 // TestPrivatizationAnomalyLemma51Gap records the forced delayed-writeback
 // anomaly and checks the Lemma 5.1 gap: the behaviour is explainable in
 // the implementation model (it has a mixed race) but not in the programmer
-// model.
+// model. Both write-buffering engines (lazy and its tl2 refinement)
+// exhibit it.
 func TestPrivatizationAnomalyLemma51Gap(t *testing.T) {
-	eng := stm.New(stm.WithEngine(stm.Lazy))
+	for _, engine := range []stm.Engine{stm.Lazy, stm.TL2} {
+		t.Run(engine.String(), func(t *testing.T) {
+			testPrivatizationAnomalyLemma51Gap(t, engine)
+		})
+	}
+}
+
+func testPrivatizationAnomalyLemma51Gap(t *testing.T, engine stm.Engine) {
+	eng := stm.New(stm.WithEngine(engine))
 	s := NewSession(eng)
 	s.Var("x", 0)
 	s.Var("y", 0)

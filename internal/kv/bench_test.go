@@ -28,7 +28,7 @@ func benchStore(b *testing.B, e stm.Engine, nkeys int) (*Store, []string, []stri
 }
 
 func forEachEngineB(b *testing.B, f func(b *testing.B, e stm.Engine)) {
-	for _, e := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock} {
+	for _, e := range stm.Engines() {
 		b.Run(e.String(), func(b *testing.B) { f(b, e) })
 	}
 }

@@ -18,7 +18,13 @@
 // transaction two-phased across the shards touched via stm.AtomicallyMulti
 // with the shards in ascending index order, which makes cross-shard
 // commits deadlock-free and invisible in partial states to consistent
-// transactional readers.
+// transactional readers. Read-only multi-key snapshots (View, MGet) ride
+// stm.AtomicallyReadMulti instead and never take write locks at all.
+//
+// Deletion (Delete, Txn.Delete) is tombstone-then-sweep: a transactional
+// per-entry liveness flag commits first, then the key is removed from
+// the COW table, so concurrent transactions serialize against the
+// tombstone write rather than racing the table edit.
 //
 // Mixed-mode access follows the paper's §5 implementation model:
 //
@@ -71,10 +77,18 @@ func WithEngine(e stm.Engine) Option { return func(c *config) { c.engine = e } }
 func WithMaxRetries(n int) Option { return func(c *config) { c.maxRetries = n } }
 
 // entry is one key's storage: exactly one of b (bytes kind) or c
-// (counter kind) is non-nil, fixed at creation.
+// (counter kind) is non-nil, fixed at creation. dead is the tombstone —
+// a transactional liveness flag (0 live, 1 condemned) that makes
+// deletion serializable even though the key table itself is not
+// transactional: Delete commits dead=1 and only then removes the key
+// from the COW table (the sweep), so any transaction that read the key
+// concurrently validates against the tombstone write and retries onto
+// the updated table. Committed condemnation is permanent for an entry;
+// re-creating the key installs a fresh entry (which may change kind).
 type entry struct {
-	b *stm.TVar[[]byte]
-	c *stm.Var
+	b    *stm.TVar[[]byte]
+	c    *stm.Var
+	dead *stm.Var
 }
 
 func (e *entry) isCounter() bool { return e.c != nil }
@@ -185,10 +199,11 @@ func (s *Store) checkBytesKinds(keys []string) error {
 }
 
 func (sh *shard) newEntry(key string, counter bool) *entry {
+	dead := sh.stm.NewVar(key+"\x00dead", 0)
 	if counter {
-		return &entry{c: sh.stm.NewVar(key, 0)}
+		return &entry{c: sh.stm.NewVar(key, 0), dead: dead}
 	}
-	return &entry{b: stm.NewTVar(sh.stm, key, []byte(nil))}
+	return &entry{b: stm.NewTVar(sh.stm, key, []byte(nil)), dead: dead}
 }
 
 // ensure returns the key's entry of the requested kind, creating it on
@@ -221,8 +236,36 @@ func (sh *shard) ensure(key string, counter bool) (*entry, error) {
 	return e, nil
 }
 
+// ensureLive returns a live entry of the requested kind for key: like
+// ensure, but a condemned entry (tombstone committed, sweep not yet
+// done) is helped out of the table and re-created instead of being
+// handed to the caller, whose writes would otherwise be lost to the
+// concurrent sweep. The liveness check is transactional, so an in-flight
+// eager delete resolves before we judge the entry.
+func (s *Store) ensureLive(sh *shard, key string, counter bool) (*entry, error) {
+	for {
+		e, err := sh.ensure(key, counter)
+		if err != nil {
+			return nil, err
+		}
+		dead := false
+		if err := sh.stm.AtomicallyRead(func(r *stm.ReadTx) error {
+			dead = r.Read(e.dead) != 0
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if !dead {
+			return e, nil
+		}
+		s.sweep(map[string]*entry{key: e}) // help the deleter, then re-create
+	}
+}
+
 // ensureBulk creates all missing keys of one kind with one table copy per
-// shard instead of one per key. Existing keys keep their kind.
+// shard instead of one per key. Existing keys keep their kind; existing
+// condemned entries are help-swept and re-created (one transactional
+// liveness check per shard, not per key).
 func (s *Store) ensureBulk(counter bool, keys []string) {
 	byShard := make(map[int][]string)
 	for _, k := range keys {
@@ -231,19 +274,47 @@ func (s *Store) ensureBulk(counter bool, keys []string) {
 	}
 	for i, ks := range byShard {
 		sh := s.shards[i]
-		sh.mu.Lock()
-		old := *sh.vars.Load()
-		next := make(map[string]*entry, len(old)+len(ks))
-		for k, v := range old {
-			next[k] = v
-		}
-		for _, k := range ks {
-			if next[k] == nil {
-				next[k] = sh.newEntry(k, counter)
+		for {
+			reused := make(map[string]*entry)
+			sh.mu.Lock()
+			old := *sh.vars.Load()
+			next := make(map[string]*entry, len(old)+len(ks))
+			for k, v := range old {
+				next[k] = v
+			}
+			for _, k := range ks {
+				if e := next[k]; e != nil {
+					reused[k] = e
+				} else {
+					next[k] = sh.newEntry(k, counter)
+				}
+			}
+			sh.vars.Store(&next)
+			sh.mu.Unlock()
+			if len(reused) == 0 {
+				break
+			}
+			// Re-check reused entries' liveness in one transaction;
+			// condemned ones are swept and the loop re-creates them.
+			condemned := make(map[string]*entry)
+			err := sh.stm.AtomicallyRead(func(r *stm.ReadTx) error {
+				clear(condemned)
+				for k, e := range reused {
+					if r.Read(e.dead) != 0 {
+						condemned[k] = e
+					}
+				}
+				return nil
+			})
+			if err != nil || len(condemned) == 0 {
+				break
+			}
+			s.sweep(condemned)
+			ks = ks[:0]
+			for k := range condemned {
+				ks = append(ks, k)
 			}
 		}
-		sh.vars.Store(&next)
-		sh.mu.Unlock()
 	}
 }
 
@@ -285,7 +356,7 @@ func (s *Store) FastGet(key string) ([]byte, bool) {
 	s.fastGets[i].n.Add(1)
 	e := s.shards[i].lookup(key)
 	switch {
-	case e == nil:
+	case e == nil, e.dead.Load() != 0:
 		return nil, false
 	case e.isCounter():
 		return formatCounter(e.c.Load()), true
@@ -301,67 +372,83 @@ func (s *Store) FastCounterGet(key string) (int64, bool) {
 	i := s.ShardOf(key)
 	s.fastGets[i].n.Add(1)
 	e := s.shards[i].lookup(key)
-	if e == nil || !e.isCounter() {
+	if e == nil || !e.isCounter() || e.dead.Load() != 0 {
 		return 0, false
 	}
 	return e.c.Load(), true
 }
 
 // Get performs a consistent transactional read of one key (counters are
-// formatted as decimal). ok reports whether the key exists; a non-nil
-// error (retry-budget exhaustion) means the value could not be read and
-// val is meaningless.
+// formatted as decimal) on the read-only path: no write locks are ever
+// taken, and on the tl2 engine the read is invisible (no read set, O(1)
+// commit). ok reports whether the key exists; a non-nil error
+// (retry-budget exhaustion) means the value could not be read and val is
+// meaningless.
 func (s *Store) Get(key string) (val []byte, ok bool, err error) {
 	sh := s.shards[s.ShardOf(key)]
-	e := sh.lookup(key)
-	if e == nil {
+	if sh.lookup(key) == nil {
 		return nil, false, nil
 	}
-	err = sh.stm.Atomically(func(tx *stm.Tx) error {
-		if e.isCounter() {
-			val = formatCounter(tx.Read(e.c))
-		} else {
-			val = stm.ReadT(tx, e.b)
+	err = sh.stm.AtomicallyRead(func(r *stm.ReadTx) error {
+		val, ok = nil, false
+		e := sh.lookup(key) // re-resolve per attempt: the entry may be swept
+		if e == nil || r.Read(e.dead) != 0 {
+			return nil
 		}
+		if e.isCounter() {
+			val = formatCounter(r.Read(e.c))
+		} else {
+			val = stm.ReadTVar(r, e.b)
+		}
+		ok = true
 		return nil
 	})
 	if err != nil {
 		return nil, false, err
 	}
-	return val, true, nil
+	return val, ok, nil
 }
 
-// CounterGet transactionally reads a counter key. ok is false when the
-// key is absent; a bytes key returns ErrWrongType.
+// CounterGet transactionally reads a counter key on the read-only path.
+// ok is false when the key is absent; a bytes key returns ErrWrongType.
 func (s *Store) CounterGet(key string) (val int64, ok bool, err error) {
 	sh := s.shards[s.ShardOf(key)]
-	e := sh.lookup(key)
-	if e == nil {
+	if e := sh.lookup(key); e == nil {
 		return 0, false, nil
-	}
-	if !e.isCounter() {
+	} else if !e.isCounter() {
 		return 0, false, wrongType(key)
 	}
-	err = sh.stm.Atomically(func(tx *stm.Tx) error {
-		val = tx.Read(e.c)
+	err = sh.stm.AtomicallyRead(func(r *stm.ReadTx) error {
+		val, ok = 0, false
+		e := sh.lookup(key)
+		if e == nil || !e.isCounter() || r.Read(e.dead) != 0 {
+			return nil
+		}
+		val = r.Read(e.c)
+		ok = true
 		return nil
 	})
 	if err != nil {
 		return 0, false, err
 	}
-	return val, true, nil
+	return val, ok, nil
 }
 
 // Set transactionally writes one bytes key, creating it if absent. The
 // value is copied on the way in.
 func (s *Store) Set(key string, val []byte) error {
 	sh := s.shards[s.ShardOf(key)]
-	e, err := sh.ensure(key, false)
-	if err != nil {
-		return err
-	}
 	cp := copyVal(val)
 	return sh.stm.Atomically(func(tx *stm.Tx) error {
+		e, err := sh.ensure(key, false)
+		if err != nil {
+			return err
+		}
+		if tx.Read(e.dead) != 0 {
+			// Condemned by a concurrent Delete whose table removal is in
+			// flight; retry onto the swept table (a fresh entry).
+			tx.Retry()
+		}
 		stm.WriteT(tx, e.b, cp)
 		return nil
 	})
@@ -372,12 +459,15 @@ func (s *Store) Set(key string, val []byte) error {
 // on the int64 specialization: no boxing, no formatting.
 func (s *Store) CounterAdd(key string, delta int64) (int64, error) {
 	sh := s.shards[s.ShardOf(key)]
-	e, err := sh.ensure(key, true)
-	if err != nil {
-		return 0, err
-	}
 	var out int64
-	err = sh.stm.Atomically(func(tx *stm.Tx) error {
+	err := sh.stm.Atomically(func(tx *stm.Tx) error {
+		e, err := sh.ensure(key, true)
+		if err != nil {
+			return err
+		}
+		if tx.Read(e.dead) != 0 {
+			tx.Retry() // see Set
+		}
 		out = tx.Read(e.c) + delta
 		tx.Write(e.c, out)
 		return nil
@@ -385,12 +475,87 @@ func (s *Store) CounterAdd(key string, delta int64) (int64, error) {
 	return out, err
 }
 
-// MGet reads the given keys in one transaction spanning every shard
-// touched; the snapshot is consistent across shards. Missing keys are
-// omitted from the result; counters are formatted as decimal.
+// Delete transactionally removes a key of either kind. It reports
+// whether the key existed. Deletion is two-step: the entry's tombstone
+// commits first (serializing against every transaction that touched the
+// key), then the key is swept from the copy-on-write table. A later Set
+// or CounterAdd re-creates the key fresh — so deletion also frees the
+// key's kind.
+func (s *Store) Delete(key string) (bool, error) {
+	sh := s.shards[s.ShardOf(key)]
+	var condemned *entry
+	existed := false
+	err := sh.stm.Atomically(func(tx *stm.Tx) error {
+		condemned, existed = nil, false
+		e := sh.lookup(key)
+		if e == nil {
+			return nil
+		}
+		if tx.Read(e.dead) != 0 {
+			// Already condemned by a concurrent Delete; help its sweep.
+			condemned = e
+			return nil
+		}
+		tx.Write(e.dead, 1)
+		condemned = e
+		existed = true
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	if condemned != nil {
+		s.sweep(map[string]*entry{key: condemned})
+	}
+	return existed, nil
+}
+
+// sweep removes condemned entries from their shards' COW tables. The
+// identity check (table still maps the key to the condemned entry) makes
+// the sweep safe against concurrent re-creation: once an entry's
+// tombstone is committed nothing ever writes its dead flag again, so
+// matching identity implies the entry really is condemned.
+func (s *Store) sweep(condemned map[string]*entry) {
+	byShard := make(map[int]map[string]*entry)
+	for k, e := range condemned {
+		i := s.ShardOf(k)
+		if byShard[i] == nil {
+			byShard[i] = make(map[string]*entry)
+		}
+		byShard[i][k] = e
+	}
+	for i, kills := range byShard {
+		sh := s.shards[i]
+		sh.mu.Lock()
+		old := *sh.vars.Load()
+		any := false
+		for k, e := range kills {
+			if old[k] == e {
+				any = true
+				break
+			}
+		}
+		if any {
+			next := make(map[string]*entry, len(old))
+			for k, v := range old {
+				if e, kill := kills[k]; kill && v == e {
+					continue
+				}
+				next[k] = v
+			}
+			sh.vars.Store(&next)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// MGet reads the given keys in one read-only transaction spanning every
+// shard touched; the snapshot is consistent across shards and no write
+// locks are taken. Missing keys are omitted from the result; counters
+// are formatted as decimal.
 func (s *Store) MGet(keys ...string) (map[string][]byte, error) {
 	out := make(map[string][]byte, len(keys))
-	err := s.Update(keys, func(t *Txn) error {
+	err := s.View(keys, func(t *ViewTxn) error {
 		for _, k := range keys {
 			if v, ok := t.Get(k); ok {
 				out[k] = v
@@ -426,6 +591,12 @@ type Txn struct {
 	s   *Store
 	txs map[int]*stm.Tx // shard index -> per-shard transaction handle
 	err error
+
+	// deleted tracks keys tombstoned by this transaction, for the
+	// post-commit sweep and for in-transaction resurrection (a Set or Add
+	// after a Delete of the same key un-condemns the entry instead of
+	// spinning on it).
+	deleted map[string]*entry
 }
 
 func (t *Txn) fail(err error) {
@@ -438,17 +609,37 @@ func (t *Txn) outside(key string) error {
 	return fmt.Errorf("kv: key %q is outside the transaction footprint", key)
 }
 
-// Get reads key inside the transaction; ok is false when the key is
-// absent. Counter keys are formatted as decimal.
-func (t *Txn) Get(key string) ([]byte, bool) {
+// resolve routes key and returns its shard transaction, or fails the
+// transaction when the shard is outside the declared footprint.
+func (t *Txn) resolve(key string) (int, *stm.Tx, bool) {
 	i := t.s.ShardOf(key)
 	tx, declared := t.txs[i]
 	if !declared {
 		t.fail(t.outside(key))
+		return i, nil, false
+	}
+	return i, tx, true
+}
+
+// live returns whether e is readable by this transaction: not condemned,
+// or condemned by this very transaction and not resurrected.
+func (t *Txn) live(tx *stm.Tx, key string, e *entry) bool {
+	if _, mine := t.deleted[key]; mine {
+		return false // deleted earlier in this transaction
+	}
+	return tx.Read(e.dead) == 0
+}
+
+// Get reads key inside the transaction; ok is false when the key is
+// absent (including keys deleted earlier in this transaction). Counter
+// keys are formatted as decimal.
+func (t *Txn) Get(key string) ([]byte, bool) {
+	i, tx, ok := t.resolve(key)
+	if !ok {
 		return nil, false
 	}
 	e := t.s.shards[i].lookup(key)
-	if e == nil {
+	if e == nil || !t.live(tx, key, e) {
 		return nil, false
 	}
 	if e.isCounter() {
@@ -458,18 +649,24 @@ func (t *Txn) Get(key string) ([]byte, bool) {
 }
 
 // Set writes a bytes key inside the transaction, creating it if absent.
-// The value is copied on the way in.
+// The value is copied on the way in. Setting a key deleted earlier in
+// the same transaction resurrects it (same entry, so the kind must still
+// match).
 func (t *Txn) Set(key string, val []byte) {
-	i := t.s.ShardOf(key)
-	tx, declared := t.txs[i]
-	if !declared {
-		t.fail(t.outside(key))
+	i, tx, ok := t.resolve(key)
+	if !ok {
 		return
 	}
 	e, err := t.s.shards[i].ensure(key, false)
 	if err != nil {
 		t.fail(err)
 		return
+	}
+	if _, mine := t.deleted[key]; mine {
+		tx.Write(e.dead, 0) // resurrect our own tombstone
+		delete(t.deleted, key)
+	} else if tx.Read(e.dead) != 0 {
+		tx.Retry() // concurrent Delete's sweep in flight; see Store.Set
 	}
 	stm.WriteT(tx, e.b, copyVal(val))
 }
@@ -478,10 +675,8 @@ func (t *Txn) Set(key string, val []byte) {
 // new value. The key is routed and resolved once (this is the hot path of
 // TXN ADD and the transfer benchmarks).
 func (t *Txn) Add(key string, delta int64) int64 {
-	i := t.s.ShardOf(key)
-	tx, declared := t.txs[i]
-	if !declared {
-		t.fail(t.outside(key))
+	i, tx, ok := t.resolve(key)
+	if !ok {
 		return 0
 	}
 	e, err := t.s.shards[i].ensure(key, true)
@@ -489,9 +684,49 @@ func (t *Txn) Add(key string, delta int64) int64 {
 		t.fail(err)
 		return 0
 	}
+	if _, mine := t.deleted[key]; mine {
+		// Resurrect our own tombstone. The deleted key read as absent, so
+		// the counter restarts at zero — the same result a committed
+		// Delete followed by CounterAdd produces via a fresh entry.
+		tx.Write(e.dead, 0)
+		delete(t.deleted, key)
+		tx.Write(e.c, delta)
+		return delta
+	}
+	if tx.Read(e.dead) != 0 {
+		tx.Retry()
+	}
 	nv := tx.Read(e.c) + delta
 	tx.Write(e.c, nv)
 	return nv
+}
+
+// Delete tombstones a key of either kind inside the transaction,
+// reporting whether it existed. The committed removal from the key table
+// happens after the transaction commits (see Store.Delete); within the
+// transaction the key reads as absent, and a later Set/Add of the same
+// key resurrects it.
+func (t *Txn) Delete(key string) bool {
+	i, tx, ok := t.resolve(key)
+	if !ok {
+		return false
+	}
+	e := t.s.shards[i].lookup(key)
+	if e == nil {
+		return false
+	}
+	if _, mine := t.deleted[key]; mine {
+		return false // already deleted in this transaction
+	}
+	if tx.Read(e.dead) != 0 {
+		return false // already condemned by a committed Delete
+	}
+	tx.Write(e.dead, 1)
+	if t.deleted == nil {
+		t.deleted = make(map[string]*entry, 2)
+	}
+	t.deleted[key] = e
+	return true
 }
 
 // shardSet returns the sorted, deduplicated shard indices owning keys.
@@ -533,10 +768,100 @@ func (s *Store) Update(keys []string, fn func(*Txn) error) error {
 // stm.ErrCanceled and the context's error.
 func (s *Store) UpdateCtx(ctx context.Context, keys []string, fn func(*Txn) error) error {
 	idxs := s.shardSet(keys)
-	return stm.AtomicallyMultiCtx(ctx, s.stmsFor(idxs), func(txs []*stm.Tx) error {
+	var deleted map[string]*entry
+	err := stm.AtomicallyMultiCtx(ctx, s.stmsFor(idxs), func(txs []*stm.Tx) error {
 		t := &Txn{s: s, txs: make(map[int]*stm.Tx, len(idxs))}
 		for j, i := range idxs {
 			t.txs[i] = txs[j]
+		}
+		deleted = nil // only the committed attempt's tombstones are swept
+		if err := fn(t); err != nil {
+			return err
+		}
+		deleted = t.deleted
+		return t.err
+	})
+	if err == nil && len(deleted) > 0 {
+		s.sweep(deleted)
+	}
+	return err
+}
+
+// ViewTxn is the handle passed to View bodies: a consistent, read-only,
+// possibly cross-shard snapshot. It can only read, so the underlying
+// transactions never take write locks; on the tl2 engine a single-shard
+// View additionally keeps no read set and commits in O(1).
+type ViewTxn struct {
+	s    *Store
+	rtxs map[int]*stm.ReadTx // shard index -> read-only handle
+	err  error
+}
+
+func (t *ViewTxn) fail(err error) {
+	if t.err == nil {
+		t.err = err
+	}
+}
+
+// resolve routes key to its live entry within the view's footprint.
+// ok is false (with no error) for absent or condemned keys, and the view
+// fails when the key's shard is outside the footprint.
+func (t *ViewTxn) resolve(key string) (*stm.ReadTx, *entry, bool) {
+	i := t.s.ShardOf(key)
+	r, declared := t.rtxs[i]
+	if !declared {
+		t.fail(fmt.Errorf("kv: key %q is outside the view footprint", key))
+		return nil, nil, false
+	}
+	e := t.s.shards[i].lookup(key)
+	if e == nil || r.Read(e.dead) != 0 {
+		return nil, nil, false
+	}
+	return r, e, true
+}
+
+// Get reads key inside the view; ok is false when the key is absent.
+// Counter keys are formatted as decimal.
+func (t *ViewTxn) Get(key string) ([]byte, bool) {
+	r, e, ok := t.resolve(key)
+	if !ok {
+		return nil, false
+	}
+	if e.isCounter() {
+		return formatCounter(r.Read(e.c)), true
+	}
+	return stm.ReadTVar(r, e.b), true
+}
+
+// Counter reads a counter key inside the view on the int64 lane (no
+// boxing, no formatting). ok is false when the key is absent or holds
+// bytes.
+func (t *ViewTxn) Counter(key string) (int64, bool) {
+	r, e, ok := t.resolve(key)
+	if !ok || !e.isCounter() {
+		return 0, false
+	}
+	return r.Read(e.c), true
+}
+
+// View runs fn as one read-only transaction over the shards owning keys
+// (the view's footprint): a multi-key snapshot consistent across shards
+// that never takes write locks — commit validates the read sets with no
+// locking at all (see stm.AtomicallyReadMulti), and a single-shard view
+// on the tl2 engine runs with invisible reads. fn may read any key
+// routed to a declared shard; it may be re-executed on conflict and must
+// be pure.
+func (s *Store) View(keys []string, fn func(*ViewTxn) error) error {
+	return s.ViewCtx(context.Background(), keys, fn)
+}
+
+// ViewCtx is View honoring ctx between retry attempts.
+func (s *Store) ViewCtx(ctx context.Context, keys []string, fn func(*ViewTxn) error) error {
+	idxs := s.shardSet(keys)
+	return stm.AtomicallyReadMultiCtx(ctx, s.stmsFor(idxs), func(rtxs []*stm.ReadTx) error {
+		t := &ViewTxn{s: s, rtxs: make(map[int]*stm.ReadTx, len(idxs))}
+		for j, i := range idxs {
+			t.rtxs[i] = rtxs[j]
 		}
 		if err := fn(t); err != nil {
 			return err
@@ -561,7 +886,9 @@ func (s *Store) Privatize(keys ...string) ([]*stm.TVar[[]byte], error) {
 	}
 	vars := make([]*stm.TVar[[]byte], len(keys))
 	for i, k := range keys {
-		e, err := s.shards[s.ShardOf(k)].ensure(k, false)
+		// ensureLive, not ensure: a handle on a condemned entry would have
+		// every subsequent plain Store silently lost to the sweep.
+		e, err := s.ensureLive(s.shards[s.ShardOf(k)], k, false)
 		if err != nil {
 			return nil, err
 		}
@@ -593,7 +920,9 @@ func (s *Store) Publish(vals map[string][]byte) error {
 	}
 	entries := make([]*entry, 0, len(vals))
 	for _, k := range keys {
-		e, err := s.shards[s.ShardOf(k)].ensure(k, false)
+		// ensureLive, not ensure: plain stores into a condemned entry would
+		// be silently lost to the concurrent sweep.
+		e, err := s.ensureLive(s.shards[s.ShardOf(k)], k, false)
 		if err != nil {
 			return err
 		}
@@ -613,14 +942,15 @@ func (s *Store) Publish(vals map[string][]byte) error {
 
 // Stats is an aggregate snapshot across shards.
 type Stats struct {
-	Shards       int
-	Keys         int
-	FastGets     uint64
-	Commits      uint64
-	Conflicts    uint64
-	UserAborts   uint64
-	MultiCommits uint64
-	Quiesces     uint64
+	Shards          int
+	Keys            int
+	FastGets        uint64
+	Commits         uint64
+	Conflicts       uint64
+	UserAborts      uint64
+	MultiCommits    uint64
+	ReadOnlyCommits uint64
+	Quiesces        uint64
 }
 
 // Stats aggregates per-shard STM counters and store-level counters.
@@ -634,6 +964,7 @@ func (s *Store) Stats() Stats {
 		st.Conflicts += snap.Conflicts
 		st.UserAborts += snap.UserAborts
 		st.MultiCommits += snap.MultiCommits
+		st.ReadOnlyCommits += snap.ReadOnlyCommits
 		st.Quiesces += snap.Quiesces
 	}
 	return st
@@ -641,6 +972,6 @@ func (s *Store) Stats() Stats {
 
 // String implements fmt.Stringer for diagnostics.
 func (st Stats) String() string {
-	return fmt.Sprintf("kv: shards=%d keys=%d fastgets=%d commits=%d conflicts=%d user-aborts=%d multi-commits=%d quiesces=%d",
-		st.Shards, st.Keys, st.FastGets, st.Commits, st.Conflicts, st.UserAborts, st.MultiCommits, st.Quiesces)
+	return fmt.Sprintf("kv: shards=%d keys=%d fastgets=%d commits=%d conflicts=%d user-aborts=%d multi-commits=%d ro-commits=%d quiesces=%d",
+		st.Shards, st.Keys, st.FastGets, st.Commits, st.Conflicts, st.UserAborts, st.MultiCommits, st.ReadOnlyCommits, st.Quiesces)
 }

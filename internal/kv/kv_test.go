@@ -11,7 +11,9 @@ import (
 	"modtx/internal/stm"
 )
 
-var kvEngines = []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock}
+// kvEngines is every registered engine: the store-level suite runs
+// against each, so a new engine cannot merge without passing it.
+var kvEngines = stm.Engines()
 
 func TestShardRoundsToPowerOfTwo(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{

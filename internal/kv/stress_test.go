@@ -16,7 +16,7 @@ import (
 // keys through Set/Get. The total balance must hold at every
 // transactional snapshot and at the end. Run under -race in CI.
 func TestCrossShardTransferStress(t *testing.T) {
-	for _, e := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock} {
+	for _, e := range stm.Engines() {
 		t.Run(e.String(), func(t *testing.T) {
 			const (
 				accounts = 64

@@ -1,0 +1,188 @@
+package kv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"modtx/internal/stm"
+)
+
+func TestViewBasic(t *testing.T) {
+	for _, e := range kvEngines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithShards(4), WithEngine(e))
+			if err := s.MSet(map[string][]byte{"a": []byte("1"), "b": []byte("two")}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.CounterAdd("n", 9); err != nil {
+				t.Fatal(err)
+			}
+			// A missing key on a declared shard must read as a clean miss.
+			missing := ""
+			for i := 0; ; i++ {
+				k := fmt.Sprintf("miss-%d", i)
+				if s.ShardOf(k) == s.ShardOf("a") {
+					missing = k
+					break
+				}
+			}
+			var av, bv []byte
+			var nv int64
+			err := s.View([]string{"a", "b", "n"}, func(v *ViewTxn) error {
+				av, _ = v.Get("a")
+				bv, _ = v.Get("b")
+				var ok bool
+				nv, ok = v.Counter("n")
+				if !ok {
+					t.Error("Counter(n) reported absent")
+				}
+				if fm, ok := v.Get("n"); !ok || string(fm) != "9" {
+					t.Errorf("Get of counter inside view: %q,%v", fm, ok)
+				}
+				if _, ok := v.Get(missing); ok {
+					t.Error("missing key reported present")
+				}
+				if _, ok := v.Counter("a"); ok {
+					t.Error("Counter of a bytes key reported ok")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(av) != "1" || string(bv) != "two" || nv != 9 {
+				t.Fatalf("view read a=%q b=%q n=%d", av, bv, nv)
+			}
+			if st := s.Stats(); st.ReadOnlyCommits == 0 {
+				t.Errorf("read-only commits not plumbed: %v", st)
+			}
+		})
+	}
+}
+
+func TestViewFootprint(t *testing.T) {
+	s := New(WithShards(8))
+	s.EnsureKeys("in")
+	other := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if s.ShardOf(k) != s.ShardOf("in") {
+			other = k
+			break
+		}
+	}
+	s.EnsureKeys(other)
+	err := s.View([]string{"in"}, func(v *ViewTxn) error {
+		v.Get(other)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("out-of-footprint view read did not error")
+	}
+}
+
+func TestViewCtxPreCanceled(t *testing.T) {
+	s := New(WithShards(4))
+	s.EnsureKeys("a", "b")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.ViewCtx(ctx, []string{"a", "b"}, func(v *ViewTxn) error { return nil })
+	if !errors.Is(err, stm.ErrCanceled) {
+		t.Fatalf("err=%v, want stm.ErrCanceled", err)
+	}
+}
+
+// TestViewConsistentAcrossShards is the read-only acceptance check:
+// cross-shard transfers preserve a conserved total while View observers
+// take lock-free consistent snapshots of every account.
+func TestViewConsistentAcrossShards(t *testing.T) {
+	for _, e := range kvEngines {
+		t.Run(e.String(), func(t *testing.T) {
+			const accounts = 32
+			const initial = 100
+			s := New(WithShards(2), WithEngine(e))
+			keys := make([]string, accounts)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("acct-%02d", i)
+			}
+			s.EnsureCounters(keys...)
+			if err := s.Update(keys, func(tx *Txn) error {
+				for _, k := range keys {
+					tx.Add(k, initial)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			const total = accounts * initial
+
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 300; i++ {
+						from := keys[(i+w)%accounts]
+						to := keys[(i*7+w+13)%accounts]
+						if from == to {
+							continue
+						}
+						if err := s.Update([]string{from, to}, func(tx *Txn) error {
+							tx.Add(from, -1)
+							tx.Add(to, 1)
+							return nil
+						}); err != nil {
+							t.Errorf("transfer: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			obsErr := make(chan error, 1)
+			var obsWg sync.WaitGroup
+			obsWg.Add(1)
+			go func() {
+				defer obsWg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var sum int64
+					err := s.View(keys, func(v *ViewTxn) error {
+						sum = 0
+						for _, k := range keys {
+							n, ok := v.Counter(k)
+							if !ok {
+								return fmt.Errorf("account %s missing from view", k)
+							}
+							sum += n
+						}
+						return nil
+					})
+					if err != nil {
+						obsErr <- err
+						return
+					}
+					if sum != total {
+						obsErr <- fmt.Errorf("torn view snapshot: sum=%d, want %d", sum, total)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			obsWg.Wait()
+			select {
+			case err := <-obsErr:
+				t.Fatal(err)
+			default:
+			}
+		})
+	}
+}

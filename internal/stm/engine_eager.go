@@ -1,0 +1,113 @@
+package stm
+
+// eagerEngine is encounter-time locking with an undo log: writes lock
+// the variable on first touch and land in place; aborts restore the
+// logged values. Exhibits the speculative-lost-update and dirty-read
+// anomalies of §3.4 under mixed access.
+type eagerEngine struct{}
+
+func (eagerEngine) begin(tx *Tx)  { tx.rv = tx.s.clock.Load() }
+func (eagerEngine) finish(tx *Tx) {}
+
+func (eagerEngine) read(tx *Tx, v *Var) int64 {
+	if _, mine := tx.locked[&v.varBase]; mine {
+		return v.val.Load() // we hold the lock; in-place value is ours
+	}
+	return sampleVar(tx, v, true, false)
+}
+
+// encounterLock takes v's lock on first write, logging the pre-lock meta
+// for release and conflicting when the variable is locked elsewhere or
+// newer than the snapshot. Reports whether the caller must push an undo
+// entry (first touch).
+func (tx *Tx) encounterLock(vb *varBase) (firstTouch bool) {
+	if _, mine := tx.locked[vb]; mine {
+		return false
+	}
+	m, ok := vb.tryLock(tx.rv)
+	if !ok {
+		tx.conflict()
+	}
+	if tx.locked == nil {
+		tx.locked = make(map[*varBase]uint64, 4)
+	}
+	tx.locked[vb] = m
+	return true
+}
+
+func (eagerEngine) write(tx *Tx, v *Var, x int64) {
+	if tx.encounterLock(&v.varBase) {
+		tx.undo = append(tx.undo, undoEntry{v: v, old: v.val.Load()})
+	}
+	v.val.Store(x)
+}
+
+func (eagerEngine) readBoxed(tx *Tx, b boxed) any {
+	if _, mine := tx.locked[b.base()]; mine {
+		return b.loadBox()
+	}
+	return sampleBox(tx, b, true, false)
+}
+
+func (eagerEngine) writeBoxed(tx *Tx, b boxed, box any) {
+	if tx.encounterLock(b.base()) {
+		tx.pundo = append(tx.pundo, pundoEntry{b: b, old: b.loadBox()})
+	}
+	b.storeBox(box)
+}
+
+func (e eagerEngine) prepare(tx *Tx) bool {
+	// Locks were taken at encounter time; only the read set remains.
+	return e.validateReads(tx)
+}
+
+func (eagerEngine) lockWrites(tx *Tx) bool { return true }
+
+func (eagerEngine) validateReads(tx *Tx) bool {
+	for _, re := range tx.reads {
+		if _, mine := tx.locked[re.vb]; mine {
+			continue // we hold the lock; value unchanged since read
+		}
+		cur := re.vb.meta.Load()
+		if isLocked(cur) || version(cur) > tx.rv {
+			return false
+		}
+	}
+	return true
+}
+
+func (eagerEngine) commit(tx *Tx) {
+	if len(tx.locked) == 0 {
+		return // read-only: don't contend the clock for nothing
+	}
+	wv := tx.s.clock.Add(1)
+	for vb := range tx.locked {
+		vb.meta.Store(wv << 1)
+	}
+	tx.locked = nil
+	tx.undo = nil
+	tx.pundo = nil
+}
+
+func (eagerEngine) rollback(tx *Tx) {
+	s := tx.s
+	if s.RollbackDelay != nil && len(tx.undo)+len(tx.pundo) > 0 {
+		// The anomaly window of §3.4: speculative values are visible to
+		// plain accesses until the undo log is applied.
+		s.RollbackDelay()
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i].v.val.Store(tx.undo[i].old)
+	}
+	for i := len(tx.pundo) - 1; i >= 0; i-- {
+		tx.pundo[i].b.storeBox(tx.pundo[i].old)
+	}
+	for vb, m := range tx.locked {
+		vb.meta.Store(m) // release, version unchanged
+	}
+	tx.locked = nil
+	tx.undo = nil
+	tx.pundo = nil
+}
+
+func (eagerEngine) invisibleReadOnly() bool { return false }

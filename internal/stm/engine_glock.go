@@ -1,0 +1,68 @@
+package stm
+
+// glockEngine serializes every transaction of the instance under one
+// mutex (a buffered channel, so no TryLock gymnastics): the strongest —
+// and slowest — baseline. Reads and writes go straight to the variables;
+// an undo log supports user aborts.
+type glockEngine struct{}
+
+func (glockEngine) begin(tx *Tx) {
+	tx.s.glock <- struct{}{}
+	// Snapshot after acquisition so the transaction observes every commit
+	// serialized before it.
+	tx.rv = tx.s.clock.Load()
+}
+
+func (glockEngine) finish(tx *Tx) { <-tx.s.glock }
+
+func (glockEngine) read(tx *Tx, v *Var) int64 {
+	// The global mutex serializes transactions; plain load suffices.
+	return v.val.Load()
+}
+
+func (glockEngine) write(tx *Tx, v *Var, x int64) {
+	tx.undo = append(tx.undo, undoEntry{v: v, old: v.val.Load()})
+	v.val.Store(x)
+}
+
+func (glockEngine) readBoxed(tx *Tx, b boxed) any { return b.loadBox() }
+
+func (glockEngine) writeBoxed(tx *Tx, b boxed, box any) {
+	tx.pundo = append(tx.pundo, pundoEntry{b: b, old: b.loadBox()})
+	b.storeBox(box)
+}
+
+func (glockEngine) prepare(tx *Tx) bool       { return true }
+func (glockEngine) lockWrites(tx *Tx) bool    { return true }
+func (glockEngine) validateReads(tx *Tx) bool { return true }
+
+func (glockEngine) commit(tx *Tx) {
+	if len(tx.undo)+len(tx.pundo) == 0 {
+		return // read-only: don't contend the clock for nothing
+	}
+	// Bump written variables' versions so lazy-family readers on other
+	// instances (AtomicallyMulti) and quiescence-free fast paths observe
+	// the update order.
+	wv := tx.s.clock.Add(1)
+	for _, u := range tx.undo {
+		u.v.meta.Store(wv << 1)
+	}
+	for _, u := range tx.pundo {
+		u.b.base().meta.Store(wv << 1)
+	}
+	tx.undo = nil
+	tx.pundo = nil
+}
+
+func (glockEngine) rollback(tx *Tx) {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i].v.val.Store(tx.undo[i].old)
+	}
+	for i := len(tx.pundo) - 1; i >= 0; i-- {
+		tx.pundo[i].b.storeBox(tx.pundo[i].old)
+	}
+	tx.undo = nil
+	tx.pundo = nil
+}
+
+func (glockEngine) invisibleReadOnly() bool { return false }

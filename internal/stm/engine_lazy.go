@@ -1,0 +1,108 @@
+package stm
+
+// lazyEngine is TL2-style lazy versioning: writes are buffered in the
+// transaction and applied at commit under per-variable versioned locks,
+// validated against the global version clock. Reads validate against the
+// begin-time snapshot at read time and again (via the read set) at
+// commit. Exhibits the delayed-writeback privatization anomaly of
+// §3.5/§5 unless fences are used.
+type lazyEngine struct{}
+
+func (lazyEngine) begin(tx *Tx)  { tx.rv = tx.s.clock.Load() }
+func (lazyEngine) finish(tx *Tx) {}
+
+func (lazyEngine) read(tx *Tx, v *Var) int64 {
+	if val, ok := tx.writes[v]; ok {
+		return val
+	}
+	return sampleVar(tx, v, true, false)
+}
+
+func (lazyEngine) write(tx *Tx, v *Var, x int64) {
+	if tx.writes == nil {
+		tx.writes = make(map[*Var]int64, 4)
+	}
+	if _, seen := tx.writes[v]; !seen {
+		tx.worder = append(tx.worder, v)
+	}
+	tx.writes[v] = x
+}
+
+func (lazyEngine) readBoxed(tx *Tx, b boxed) any {
+	if box, ok := tx.pwrites[b]; ok {
+		return box
+	}
+	return sampleBox(tx, b, true, false)
+}
+
+func (lazyEngine) writeBoxed(tx *Tx, b boxed, box any) {
+	if tx.pwrites == nil {
+		tx.pwrites = make(map[boxed]any, 4)
+	}
+	if _, seen := tx.pwrites[b]; !seen {
+		tx.pworder = append(tx.pworder, b)
+	}
+	tx.pwrites[b] = box
+}
+
+func (e lazyEngine) prepare(tx *Tx) bool {
+	if len(tx.worder)+len(tx.pworder) == 0 {
+		// Single-instance read-only fast path: every read was validated
+		// against rv at read time, so the snapshot is consistent as of rv.
+		// (Not sound for multi-instance commits, whose serialization point
+		// is later than rv — they always run validateReads.)
+		return true
+	}
+	return e.lockWrites(tx) && e.validateReads(tx)
+}
+
+func (lazyEngine) lockWrites(tx *Tx) bool { return lockWriteSetSorted(tx) }
+
+func (lazyEngine) validateReads(tx *Tx) bool {
+	for _, re := range tx.reads {
+		if mv, mine := tx.lockedMeta[re.vb]; mine {
+			if version(re.meta) != version(mv) {
+				return false // someone updated between our read and our lock
+			}
+			continue
+		}
+		cur := re.vb.meta.Load()
+		if isLocked(cur) || version(cur) > tx.rv {
+			return false
+		}
+	}
+	return true
+}
+
+func (lazyEngine) commit(tx *Tx) {
+	s := tx.s
+	if len(tx.worder)+len(tx.pworder) == 0 {
+		return
+	}
+	wv := s.clock.Add(1)
+	// The anomaly window of §3.5: the transaction is logically committed
+	// but its buffered writes are not yet applied.
+	if s.WritebackDelay != nil {
+		s.WritebackDelay()
+	}
+	for _, v := range tx.worder {
+		v.val.Store(tx.writes[v])
+		v.meta.Store(wv << 1) // release with the new version
+	}
+	for _, b := range tx.pworder {
+		b.storeBox(tx.pwrites[b])
+		b.base().meta.Store(wv << 1)
+	}
+	tx.lockedMeta = nil
+}
+
+func (lazyEngine) rollback(tx *Tx) {
+	// Nothing was published; drop the buffers.
+	tx.reads = nil
+	tx.writes = nil
+	tx.worder = nil
+	tx.pwrites = nil
+	tx.pworder = nil
+}
+
+func (lazyEngine) invisibleReadOnly() bool { return false }

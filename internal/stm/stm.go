@@ -4,9 +4,13 @@
 // while mixed-mode idioms without direct dependencies (privatization)
 // require quiescence fences.
 //
-// Three engines are provided:
+// The versioning strategy is pluggable: every strategy implements the
+// unexported engine interface (per-location read/write hooks over both
+// value lanes plus the lock/validate/commit/rollback phases) and is
+// selected through the exported Engine enum, which is backed by a
+// registry (Engines, ParseEngine). Four engines are registered:
 //
-//   - Lazy: TL2-style lazy versioning — writes are buffered and applied at
+//   - Lazy: lazy versioning — writes are buffered and applied at
 //     commit under per-variable versioned locks, validated against a
 //     global version clock. Exhibits the delayed-writeback privatization
 //     anomaly of §3.5/§5 unless fences are used.
@@ -15,6 +19,10 @@
 //     lost-update and dirty-read anomalies of §3.4 under mixed access.
 //   - GlobalLock: a single global mutex around each transaction; the
 //     strongest (and slowest) baseline.
+//   - TL2: the snapshot engine — the lazy commit protocol plus TL2
+//     timestamp extension and invisible reads, making AtomicallyRead
+//     (read-only transactions) lock-free with O(1) commit. Inherits the
+//     lazy engine's mixed-access anomalies.
 //
 // Transactional locations come in two shapes sharing one engine:
 //
@@ -37,28 +45,6 @@ import (
 	"sync/atomic"
 	"time"
 )
-
-// Engine selects the versioning strategy.
-type Engine int
-
-// Available engines.
-const (
-	Lazy Engine = iota
-	Eager
-	GlobalLock
-)
-
-func (e Engine) String() string {
-	switch e {
-	case Lazy:
-		return "lazy"
-	case Eager:
-		return "eager"
-	case GlobalLock:
-		return "global-lock"
-	}
-	return "unknown"
-}
 
 const lockedBit = 1
 
@@ -128,26 +114,29 @@ func WithQuiesceSlots(n int) Option { return func(c *config) { c.quiesceSlots = 
 
 // Stats are cumulative counters, safe to read concurrently.
 type Stats struct {
-	Commits      atomic.Uint64
-	Conflicts    atomic.Uint64
-	UserAborts   atomic.Uint64
-	MultiCommits atomic.Uint64 // commits that were part of an AtomicallyMulti
-	Quiesces     atomic.Uint64 // quiescence fences executed
+	Commits         atomic.Uint64
+	Conflicts       atomic.Uint64
+	UserAborts      atomic.Uint64
+	MultiCommits    atomic.Uint64 // commits that were part of an AtomicallyMulti
+	ReadOnlyCommits atomic.Uint64 // commits through AtomicallyRead / AtomicallyReadMulti
+	Quiesces        atomic.Uint64 // quiescence fences executed
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
 type StatsSnapshot struct {
-	Commits      uint64
-	Conflicts    uint64
-	UserAborts   uint64
-	MultiCommits uint64
-	Quiesces     uint64
+	Commits         uint64
+	Conflicts       uint64
+	UserAborts      uint64
+	MultiCommits    uint64
+	ReadOnlyCommits uint64
+	Quiesces        uint64
 }
 
 // STM is a transactional memory instance. Vars belong to the instance that
 // created them; mixing instances is a programming error.
 type STM struct {
 	engine     Engine
+	eng        engine // the registered implementation behind the enum
 	maxRetries int
 	clock      atomic.Uint64 // global version clock (TL2)
 	txSeq      atomic.Uint64 // transaction admission sequence (quiescence)
@@ -169,7 +158,9 @@ type slot struct {
 	_   [7]uint64     // pad to a cache line to avoid false sharing
 }
 
-// New creates an STM instance.
+// New creates an STM instance. It panics on an unregistered engine — the
+// enum values and ParseEngine results are always registered, so this only
+// trips on a hand-rolled Engine literal.
 func New(opts ...Option) *STM {
 	var c config
 	for _, o := range opts {
@@ -185,8 +176,13 @@ func New(opts ...Option) *STM {
 			n = 64
 		}
 	}
+	info, ok := lookupEngine(c.engine)
+	if !ok {
+		panic(fmt.Sprintf("stm: engine %v is not registered", c.engine))
+	}
 	return &STM{
 		engine:     c.engine,
+		eng:        info.impl,
 		maxRetries: c.maxRetries,
 		glock:      make(chan struct{}, 1),
 		slots:      make([]slot, n),
@@ -209,11 +205,12 @@ func (s *STM) NewVar(name string, init int64) *Var {
 // Snapshot returns current statistics.
 func (s *STM) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Commits:      s.stats.Commits.Load(),
-		Conflicts:    s.stats.Conflicts.Load(),
-		UserAborts:   s.stats.UserAborts.Load(),
-		MultiCommits: s.stats.MultiCommits.Load(),
-		Quiesces:     s.stats.Quiesces.Load(),
+		Commits:         s.stats.Commits.Load(),
+		Conflicts:       s.stats.Conflicts.Load(),
+		UserAborts:      s.stats.UserAborts.Load(),
+		MultiCommits:    s.stats.MultiCommits.Load(),
+		ReadOnlyCommits: s.stats.ReadOnlyCommits.Load(),
+		Quiesces:        s.stats.Quiesces.Load(),
 	}
 }
 

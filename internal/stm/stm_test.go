@@ -8,7 +8,9 @@ import (
 	"time"
 )
 
-var engines = []Engine{Lazy, Eager, GlobalLock}
+// engines is every registered engine: the whole suite runs against each,
+// so a new engine cannot merge without passing these checks.
+var engines = Engines()
 
 func forEachEngine(t *testing.T, f func(t *testing.T, s *STM)) {
 	for _, e := range engines {
@@ -336,7 +338,7 @@ func TestStatsString(t *testing.T) {
 	if want := "stm(eager)"; len(str) < len(want) || str[:len(want)] != want {
 		t.Errorf("String() = %q", str)
 	}
-	for _, e := range []Engine{Lazy, Eager, GlobalLock, Engine(99)} {
+	for _, e := range append(Engines(), Engine(99)) {
 		if e.String() == "" {
 			t.Error("empty engine name")
 		}
@@ -355,17 +357,22 @@ func TestPublicationSafeAllEngines(t *testing.T) {
 }
 
 func TestPrivatizationDeterministicAnomalyLazy(t *testing.T) {
-	// Without a fence the lazy engine exhibits the delayed-writeback
-	// violation; with a fence it must not.
-	s := New(WithEngine(Lazy))
-	res := PrivatizationDeterministic(s, false)
-	if res.Violations != 1 {
-		t.Errorf("expected the forced anomaly, got %d violations", res.Violations)
-	}
-	s2 := New(WithEngine(Lazy))
-	res2 := PrivatizationDeterministic(s2, true)
-	if res2.Violations != 0 {
-		t.Errorf("fenced privatization violated %d times", res2.Violations)
+	// Without a fence the write-buffering engines (lazy and its tl2
+	// refinement) exhibit the delayed-writeback violation; with a fence
+	// they must not. New engines are new scenarios, not new guarantees.
+	for _, e := range []Engine{Lazy, TL2} {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithEngine(e))
+			res := PrivatizationDeterministic(s, false)
+			if res.Violations != 1 {
+				t.Errorf("expected the forced anomaly, got %d violations", res.Violations)
+			}
+			s2 := New(WithEngine(e))
+			res2 := PrivatizationDeterministic(s2, true)
+			if res2.Violations != 0 {
+				t.Errorf("fenced privatization violated %d times", res2.Violations)
+			}
+		})
 	}
 }
 

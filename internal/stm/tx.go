@@ -3,26 +3,37 @@ package stm
 import (
 	"context"
 	"runtime"
-	"sort"
 	"time"
 )
 
 // Tx is the per-attempt transaction handle passed to Atomically bodies.
 // It must not escape the body or be used concurrently.
 //
-// The engines run two value lanes over one protocol: an int64 lane for
-// Var (values logged inline, zero boxing) and a pointer lane for TVar[T]
-// (opaque boxes logged behind the boxed interface). The read set, lock
-// sets and commit protocol are shared — only value movement is per-lane.
+// Tx owns the attempt state shared by every engine — the read set, the
+// two write lanes (inline int64 for Var, opaque boxes for TVar[T]), the
+// undo logs and the lock tables; the selected engine is the strategy
+// that moves values through that state. Which fields are live depends on
+// the engine: the lazy family buffers writes, the eager and global-lock
+// engines write in place behind undo logs.
 type Tx struct {
 	s       *STM
+	e       engine // the instance's strategy, cached for dispatch
 	rv      uint64 // read version (TL2 snapshot)
 	slotIdx int    // quiescence slot held for the attempt's lifetime
 
-	// Read set, shared by both lanes (validation is meta-only).
-	reads []readEntry
+	// Read set, shared by both lanes (validation is meta-only). nreads
+	// counts every sampled read, including invisible ones that skip the
+	// read set (see engine.invisibleReadOnly and Tx.extendSnapshot).
+	reads  []readEntry
+	nreads int
 
-	// Lazy engine write sets.
+	// readOnly marks attempts driven by AtomicallyRead (the body cannot
+	// write); noReadSet additionally marks single-instance read-only
+	// attempts on engines with invisible reads.
+	readOnly  bool
+	noReadSet bool
+
+	// Lazy-family write sets.
 	writes     map[*Var]int64      // int64 lane
 	worder     []*Var              // int64 lane write order
 	pwrites    map[boxed]any       // pointer lane (pending boxes)
@@ -57,16 +68,26 @@ func (tx *Tx) conflict() {
 	panic(conflictSignal{})
 }
 
+// Retry aborts the current attempt and re-runs the transaction from the
+// beginning (counted as a conflict, with the usual backoff). Use it when
+// the body observes state that a concurrent transaction is about to
+// change — e.g. a tombstoned entry whose removal is in flight — and the
+// only correct move is to start over against fresh state. It never
+// returns.
+func (tx *Tx) Retry() {
+	tx.conflict()
+}
+
 // begin opens an unmanaged transaction attempt: it registers the
-// quiescence slot, takes the global lock when the engine demands it, and
-// snapshots the read version. The caller owns the attempt's lifecycle and
-// must end it with finishTx (after commitPrepared) or abortAttempt.
+// quiescence slot and hands the engine its begin hook (which snapshots
+// the read version and, for the global-lock engine, takes the instance
+// mutex). The caller owns the attempt's lifecycle and must end it with
+// finishTx (after commitPrepared) or abortAttempt.
 func (s *STM) begin() *Tx {
 	slotIdx, _ := s.acquireSlot()
-	if s.engine == GlobalLock {
-		s.glock <- struct{}{}
-	}
-	return &Tx{s: s, rv: s.clock.Load(), slotIdx: slotIdx}
+	tx := &Tx{s: s, e: s.eng, slotIdx: slotIdx}
+	tx.e.begin(tx)
+	return tx
 }
 
 // ctxErr returns the context's error if the context is cancelable and
@@ -158,6 +179,20 @@ func AtomicallyMultiCtx(ctx context.Context, stms []*STM, fn func(txs []*Tx) err
 	return atomicallyMulti(ctx, stms, fn)
 }
 
+// rejectDuplicates guards the multi-instance entry points: a duplicated
+// GlobalLock instance would self-deadlock on its mutex, so all
+// duplicates are rejected uniformly.
+func rejectDuplicates(stms []*STM) error {
+	for i := 1; i < len(stms); i++ {
+		for j := 0; j < i; j++ {
+			if stms[i] == stms[j] {
+				return ErrDuplicateInstance
+			}
+		}
+	}
+	return nil
+}
+
 func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error) error {
 	if len(stms) == 0 {
 		// Transactionally vacuous, but the cancellation contract still
@@ -170,14 +205,8 @@ func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error)
 	if len(stms) == 1 {
 		return stms[0].atomically(ctx, func(tx *Tx) error { return fn([]*Tx{tx}) })
 	}
-	for i := 1; i < len(stms); i++ {
-		for j := 0; j < i; j++ {
-			if stms[i] == stms[j] {
-				// A duplicated GlobalLock instance would self-deadlock on
-				// its mutex; reject all duplicates uniformly.
-				return ErrDuplicateInstance
-			}
-		}
+	if err := rejectDuplicates(stms); err != nil {
+		return err
 	}
 	txs := make([]*Tx, len(stms))
 	abortAll := func() {
@@ -260,18 +289,15 @@ func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error)
 
 // finishTx releases the engine-level resources of a resolved attempt.
 func (tx *Tx) finishTx() {
-	s := tx.s
-	if s.engine == GlobalLock {
-		<-s.glock
-	}
-	s.releaseSlot(tx.slotIdx)
+	tx.e.finish(tx)
+	tx.s.releaseSlot(tx.slotIdx)
 }
 
 // abortAttempt rolls back an attempt (releasing any prepare-phase locks)
 // and finishes it.
 func (tx *Tx) abortAttempt() {
 	tx.releasePrepared()
-	tx.rollback()
+	tx.e.rollback(tx)
 	tx.finishTx()
 }
 
@@ -314,295 +340,40 @@ func backoff(attempt int) {
 }
 
 // Read returns the transactional value of v (int64 lane).
-func (tx *Tx) Read(v *Var) int64 {
-	switch tx.s.engine {
-	case Lazy:
-		if val, ok := tx.writes[v]; ok {
-			return val
-		}
-		for {
-			m1 := v.meta.Load()
-			if isLocked(m1) {
-				tx.conflict()
-			}
-			val := v.val.Load()
-			if m2 := v.meta.Load(); m1 != m2 {
-				continue // torn read; retry the sample
-			}
-			if version(m1) > tx.rv {
-				tx.conflict() // written by a transaction after our snapshot
-			}
-			tx.reads = append(tx.reads, readEntry{vb: &v.varBase, meta: m1})
-			return val
-		}
-	case Eager:
-		if _, mine := tx.locked[&v.varBase]; mine {
-			return v.val.Load()
-		}
-		for {
-			m1 := v.meta.Load()
-			if isLocked(m1) {
-				tx.conflict()
-			}
-			val := v.val.Load()
-			if m2 := v.meta.Load(); m1 != m2 {
-				continue
-			}
-			if version(m1) > tx.rv {
-				tx.conflict()
-			}
-			tx.reads = append(tx.reads, readEntry{vb: &v.varBase, meta: m1})
-			return val
-		}
-	default: // GlobalLock: the global mutex serializes transactions.
-		return v.val.Load()
-	}
-}
+func (tx *Tx) Read(v *Var) int64 { return tx.e.read(tx, v) }
 
 // Write sets the transactional value of v (int64 lane).
-func (tx *Tx) Write(v *Var, x int64) {
-	switch tx.s.engine {
-	case Lazy:
-		if tx.writes == nil {
-			tx.writes = make(map[*Var]int64, 4)
-		}
-		if _, seen := tx.writes[v]; !seen {
-			tx.worder = append(tx.worder, v)
-		}
-		tx.writes[v] = x
-	case Eager:
-		vb := &v.varBase
-		if _, mine := tx.locked[vb]; !mine {
-			m, ok := vb.tryLock(tx.rv)
-			if !ok {
-				tx.conflict()
-			}
-			if tx.locked == nil {
-				tx.locked = make(map[*varBase]uint64, 4)
-			}
-			tx.locked[vb] = m
-			tx.undo = append(tx.undo, undoEntry{v: v, old: v.val.Load()})
-		}
-		v.val.Store(x)
-	default: // GlobalLock
-		tx.undo = append(tx.undo, undoEntry{v: v, old: v.val.Load()})
-		v.val.Store(x)
-	}
-}
+func (tx *Tx) Write(v *Var, x int64) { tx.e.write(tx, v, x) }
 
 // readBoxed is the pointer-lane twin of Read: same sampling, validation
-// and read-set protocol, moving an opaque box instead of an int64. Only
-// the own-write shortcut differs per engine; the versioned sample loop is
-// shared.
-func (tx *Tx) readBoxed(b boxed) any {
-	vb := b.base()
-	switch tx.s.engine {
-	case Lazy:
-		if box, ok := tx.pwrites[b]; ok {
-			return box
-		}
-	case Eager:
-		if _, mine := tx.locked[vb]; mine {
-			return b.loadBox()
-		}
-	default: // GlobalLock: the global mutex serializes transactions.
-		return b.loadBox()
-	}
-	for {
-		m1 := vb.meta.Load()
-		if isLocked(m1) {
-			tx.conflict()
-		}
-		box := b.loadBox()
-		if m2 := vb.meta.Load(); m1 != m2 {
-			continue // torn sample; retry
-		}
-		if version(m1) > tx.rv {
-			tx.conflict() // written by a transaction after our snapshot
-		}
-		tx.reads = append(tx.reads, readEntry{vb: vb, meta: m1})
-		return box
-	}
-}
+// and read-set protocol, moving an opaque box instead of an int64. The
+// typed wrappers ReadT and WriteT do the only casts.
+func (tx *Tx) readBoxed(b boxed) any { return tx.e.readBoxed(tx, b) }
 
 // writeBoxed is the pointer-lane twin of Write.
-func (tx *Tx) writeBoxed(b boxed, box any) {
-	switch tx.s.engine {
-	case Lazy:
-		if tx.pwrites == nil {
-			tx.pwrites = make(map[boxed]any, 4)
-		}
-		if _, seen := tx.pwrites[b]; !seen {
-			tx.pworder = append(tx.pworder, b)
-		}
-		tx.pwrites[b] = box
-	case Eager:
-		vb := b.base()
-		if _, mine := tx.locked[vb]; !mine {
-			m, ok := vb.tryLock(tx.rv)
-			if !ok {
-				tx.conflict()
-			}
-			if tx.locked == nil {
-				tx.locked = make(map[*varBase]uint64, 4)
-			}
-			tx.locked[vb] = m
-			tx.pundo = append(tx.pundo, pundoEntry{b: b, old: b.loadBox()})
-		}
-		b.storeBox(box)
-	default: // GlobalLock
-		tx.pundo = append(tx.pundo, pundoEntry{b: b, old: b.loadBox()})
-		b.storeBox(box)
-	}
-}
+func (tx *Tx) writeBoxed(b boxed, box any) { tx.e.writeBoxed(tx, b, box) }
 
 // Abort aborts the current attempt and makes Atomically return ErrAborted.
 // Provided for symmetry with the paper's abort statement; equivalent to
 // returning ErrAborted from the body.
 func (tx *Tx) Abort() error { return ErrAborted }
 
-// prepare is commit phase one for a single-instance transaction: take the
-// commit-time locks on the write set and validate the read set, publishing
-// nothing. After a successful prepare the transaction is guaranteed
-// committable; the caller must follow with commitPrepared (or
-// abortAttempt/releasePrepared to back out). On failure the caller's
-// abortAttempt releases any locks taken. Multi-instance commits call
-// lockWrites and validateReads separately, with a barrier between the two
-// phases across instances.
-func (tx *Tx) prepare() bool {
-	if tx.s.engine == Lazy && len(tx.worder)+len(tx.pworder) == 0 {
-		// Single-instance read-only fast path: every read was validated
-		// against rv at read time, so the snapshot is consistent as of rv.
-		// (Not sound for multi-instance commits, whose serialization point
-		// is later than rv — they always run validateReads.)
-		return true
-	}
-	return tx.lockWrites() && tx.validateReads()
-}
+// prepare is commit phase one for a single-instance transaction; see
+// engine.prepare. Multi-instance commits call lockWrites and
+// validateReads separately, with a barrier between the two phases across
+// instances.
+func (tx *Tx) prepare() bool { return tx.e.prepare(tx) }
 
-// lockWrites (commit phase 1a) acquires the commit-time locks on the write
-// set. Locks taken are recorded in tx.lockedMeta so releasePrepared — run
-// by abortAttempt on any later failure — can restore them.
-func (tx *Tx) lockWrites() bool {
-	switch tx.s.engine {
-	case Lazy:
-		n := len(tx.worder) + len(tx.pworder)
-		if n == 0 {
-			return true
-		}
-		// Lock the combined write set of both lanes in id order to avoid
-		// deadlock against concurrent committers.
-		targets := make([]*varBase, 0, n)
-		for _, v := range tx.worder {
-			targets = append(targets, &v.varBase)
-		}
-		for _, b := range tx.pworder {
-			targets = append(targets, b.base())
-		}
-		sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
-		lockedMeta := make(map[*varBase]uint64, n)
-		for i, vb := range targets {
-			m, ok := vb.tryLock(tx.rv)
-			if !ok {
-				for _, u := range targets[:i] {
-					u.meta.Store(lockedMeta[u])
-				}
-				return false
-			}
-			lockedMeta[vb] = m
-		}
-		tx.lockedMeta = lockedMeta
-		return true
-	default:
-		// Eager locked at encounter time; GlobalLock holds the mutex.
-		return true
-	}
-}
+// lockWrites is commit phase 1a; see engine.lockWrites.
+func (tx *Tx) lockWrites() bool { return tx.e.lockWrites(tx) }
 
-// validateReads (commit phase 1b) checks the read set against the
-// begin-time snapshot while the write locks are held. The read set is
-// lane-agnostic: only lock words are examined.
-func (tx *Tx) validateReads() bool {
-	switch tx.s.engine {
-	case Lazy:
-		for _, re := range tx.reads {
-			if mv, mine := tx.lockedMeta[re.vb]; mine {
-				if version(re.meta) != version(mv) {
-					return false // someone updated between our read and our lock
-				}
-				continue
-			}
-			cur := re.vb.meta.Load()
-			if isLocked(cur) || version(cur) > tx.rv {
-				return false
-			}
-		}
-		return true
-
-	case Eager:
-		for _, re := range tx.reads {
-			if _, mine := tx.locked[re.vb]; mine {
-				continue // we hold the lock; value unchanged since read
-			}
-			cur := re.vb.meta.Load()
-			if isLocked(cur) || version(cur) > tx.rv {
-				return false
-			}
-		}
-		return true
-
-	default: // GlobalLock: the mutex serialized this instance.
-		return true
-	}
-}
+// validateReads is commit phase 1b; see engine.validateReads.
+func (tx *Tx) validateReads() bool { return tx.e.validateReads(tx) }
 
 // commitPrepared is commit phase two: it publishes the write set and
 // releases the commit-time locks with a fresh version. Only legal after a
 // successful prepare.
-func (tx *Tx) commitPrepared() {
-	s := tx.s
-	switch s.engine {
-	case Lazy:
-		if len(tx.worder)+len(tx.pworder) == 0 {
-			return
-		}
-		wv := s.clock.Add(1)
-		// The anomaly window of §3.5: the transaction is logically
-		// committed but its buffered writes are not yet applied.
-		if s.WritebackDelay != nil {
-			s.WritebackDelay()
-		}
-		for _, v := range tx.worder {
-			v.val.Store(tx.writes[v])
-			v.meta.Store(wv << 1) // release with the new version
-		}
-		for _, b := range tx.pworder {
-			b.storeBox(tx.pwrites[b])
-			b.base().meta.Store(wv << 1)
-		}
-		tx.lockedMeta = nil
-
-	case Eager:
-		wv := s.clock.Add(1)
-		for vb := range tx.locked {
-			vb.meta.Store(wv << 1)
-		}
-		tx.locked = nil
-		tx.undo = nil
-		tx.pundo = nil
-
-	default: // GlobalLock
-		wv := s.clock.Add(1)
-		for _, u := range tx.undo {
-			u.v.meta.Store(wv << 1)
-		}
-		for _, u := range tx.pundo {
-			u.b.base().meta.Store(wv << 1)
-		}
-		tx.undo = nil
-		tx.pundo = nil
-	}
-}
+func (tx *Tx) commitPrepared() { tx.e.commit(tx) }
 
 // releasePrepared drops the phase-one locks without publishing, restoring
 // the pre-prepare lock words. A no-op unless prepare succeeded.
@@ -614,45 +385,4 @@ func (tx *Tx) releasePrepared() {
 		vb.meta.Store(m)
 	}
 	tx.lockedMeta = nil
-}
-
-// rollback undoes in-place effects (eager and global-lock engines); the
-// lazy engine simply drops its buffers.
-func (tx *Tx) rollback() {
-	s := tx.s
-	switch s.engine {
-	case Eager:
-		if s.RollbackDelay != nil && len(tx.undo)+len(tx.pundo) > 0 {
-			// The anomaly window of §3.4: speculative values are visible
-			// to plain accesses until the undo log is applied.
-			s.RollbackDelay()
-		}
-		for i := len(tx.undo) - 1; i >= 0; i-- {
-			tx.undo[i].v.val.Store(tx.undo[i].old)
-		}
-		for i := len(tx.pundo) - 1; i >= 0; i-- {
-			tx.pundo[i].b.storeBox(tx.pundo[i].old)
-		}
-		for vb, m := range tx.locked {
-			vb.meta.Store(m) // release, version unchanged
-		}
-		tx.locked = nil
-		tx.undo = nil
-		tx.pundo = nil
-	case GlobalLock:
-		for i := len(tx.undo) - 1; i >= 0; i-- {
-			tx.undo[i].v.val.Store(tx.undo[i].old)
-		}
-		for i := len(tx.pundo) - 1; i >= 0; i-- {
-			tx.pundo[i].b.storeBox(tx.pundo[i].old)
-		}
-		tx.undo = nil
-		tx.pundo = nil
-	default: // Lazy: nothing was published.
-		tx.reads = nil
-		tx.writes = nil
-		tx.worder = nil
-		tx.pwrites = nil
-		tx.pworder = nil
-	}
 }

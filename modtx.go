@@ -14,10 +14,11 @@
 //     correspondence (Lemma 5.1) and the suborder characterizations
 //     (Lemmas C.1/C.2) (internal/ltrf);
 //   - the §5 compiler-optimization soundness suite (internal/opt);
-//   - a production STM runtime with lazy (TL2-style), eager (undo-log) and
-//     global-lock engines, mixed-mode variables and quiescence fences
-//     (internal/stm), plus conformance checking of recorded runs against
-//     the model (internal/conform).
+//   - a production STM runtime with a pluggable engine registry — lazy,
+//     eager (undo-log), global-lock and tl2 (snapshot/invisible-read)
+//     strategies behind one protocol — mixed-mode variables, read-only
+//     transactions and quiescence fences (internal/stm), plus conformance
+//     checking of recorded runs against the model (internal/conform).
 //
 // This file re-exports the most useful entry points so that module-local
 // tools and benchmarks can use one import. See README.md for a tour and
@@ -111,6 +112,10 @@ type (
 	TVar[T any] = stm.TVar[T]
 	// Tx is a transaction handle.
 	Tx = stm.Tx
+	// ReadTx is the handle of read-only transactions (AtomicallyRead):
+	// it can only read, so commit never takes write locks, and on the
+	// TL2 snapshot engine reads are invisible (no read set, O(1) commit).
+	ReadTx = stm.ReadTx
 	// TxError carries diagnostics (attempts, conflicts, engine) for
 	// retry-budget exhaustion and cancellation; unwraps to its sentinel.
 	TxError = stm.TxError
@@ -122,15 +127,34 @@ type (
 	TMap[K comparable, V any] = stm.Map[K, V]
 )
 
-// STM engines.
+// STM engines. The enum is backed by a registry: ParseEngine resolves
+// names, Engines enumerates, and each engine's strategy lives behind an
+// internal interface — new engines are new registry rows, not new hot
+// paths.
 const (
-	// LazySTM buffers writes and applies them at commit (TL2-style).
+	// LazySTM buffers writes and applies them at commit.
 	LazySTM = stm.Lazy
 	// EagerSTM writes in place with an undo log.
 	EagerSTM = stm.Eager
 	// GlobalLockSTM serializes transactions under one mutex.
 	GlobalLockSTM = stm.GlobalLock
+	// TL2STM is the snapshot engine: lazy commits plus timestamp
+	// extension and invisible reads (lock-free read-only transactions).
+	TL2STM = stm.TL2
 )
+
+// Engine is the STM engine selector (see LazySTM et al.).
+type Engine = stm.Engine
+
+// Engines returns every registered engine in registry order.
+func Engines() []Engine { return stm.Engines() }
+
+// ParseEngine resolves an engine name ("lazy", "eager", "global-lock",
+// "tl2" or a registered alias) to its Engine value.
+func ParseEngine(name string) (Engine, error) { return stm.ParseEngine(name) }
+
+// EngineNames returns the canonical engine names in registry order.
+func EngineNames() []string { return stm.EngineNames() }
 
 // STM instance options.
 var (
@@ -169,6 +193,10 @@ func NewTVar[T any](s *STM, name string, init T) *TVar[T] {
 // ReadT returns the transactional value of a typed variable.
 func ReadT[T any](tx *Tx, v *TVar[T]) T { return stm.ReadT(tx, v) }
 
+// ReadTVar returns the transactional value of a typed variable inside a
+// read-only transaction.
+func ReadTVar[T any](r *ReadTx, v *TVar[T]) T { return stm.ReadTVar(r, v) }
+
 // WriteT sets the transactional value of a typed variable.
 func WriteT[T any](tx *Tx, v *TVar[T], x T) { stm.WriteT(tx, v, x) }
 
@@ -194,6 +222,19 @@ func AtomicallyMultiCtx(ctx context.Context, stms []*STM, fn func(txs []*Tx) err
 	return stm.AtomicallyMultiCtx(ctx, stms, fn)
 }
 
+// AtomicallyReadMulti runs fn as one read-only transaction spanning
+// several STM instances: a consistent cross-instance snapshot that takes
+// no locks at all at commit (see stm.AtomicallyReadMulti).
+func AtomicallyReadMulti(stms []*STM, fn func(rtxs []*ReadTx) error) error {
+	return stm.AtomicallyReadMulti(stms, fn)
+}
+
+// AtomicallyReadMultiCtx is AtomicallyReadMulti honoring ctx between
+// retry attempts.
+func AtomicallyReadMultiCtx(ctx context.Context, stms []*STM, fn func(rtxs []*ReadTx) error) error {
+	return stm.AtomicallyReadMultiCtx(ctx, stms, fn)
+}
+
 // Serving layer.
 type (
 	// KV is a sharded transactional key-value store backed by the STM
@@ -204,6 +245,9 @@ type (
 	KVOption = kv.Option
 	// KVTxn is the handle passed to KV.Update transaction bodies.
 	KVTxn = kv.Txn
+	// KVViewTxn is the handle passed to KV.View read-only snapshot
+	// bodies: multi-key reads consistent across shards, no write locks.
+	KVViewTxn = kv.ViewTxn
 	// KVStats is an aggregate statistics snapshot across shards.
 	KVStats = kv.Stats
 )

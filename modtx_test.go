@@ -82,12 +82,8 @@ thread t2:
 // TestFacadeRuntimeLayer exercises the re-exported v2 STM API: functional
 // options, the int64 specialization, typed vars and the error taxonomy.
 func TestFacadeRuntimeLayer(t *testing.T) {
-	for _, e := range []modtx.STMOption{
-		modtx.WithEngine(modtx.LazySTM),
-		modtx.WithEngine(modtx.EagerSTM),
-		modtx.WithEngine(modtx.GlobalLockSTM),
-	} {
-		s := modtx.NewSTM(e)
+	for _, e := range modtx.Engines() {
+		s := modtx.NewSTM(modtx.WithEngine(e))
 		x := s.NewVar("x", 0)
 		label := modtx.NewTVar(s, "label", "init")
 		if err := s.Atomically(func(tx *modtx.Tx) error {
@@ -157,5 +153,64 @@ func TestFacadeContainersAndKV(t *testing.T) {
 	}
 	if _, err := store.CounterAdd("doc", 1); !errors.Is(err, modtx.ErrKVWrongType) {
 		t.Fatalf("wrong-type err = %v", err)
+	}
+}
+
+// TestFacadeEngineRegistryAndReadOnly exercises the registry and the
+// read-only transaction re-exports end to end.
+func TestFacadeEngineRegistryAndReadOnly(t *testing.T) {
+	e, err := modtx.ParseEngine("tl2")
+	if err != nil || e != modtx.TL2STM {
+		t.Fatalf("ParseEngine(tl2) = %v, %v", e, err)
+	}
+	if len(modtx.Engines()) != len(modtx.EngineNames()) {
+		t.Fatal("Engines/EngineNames length mismatch")
+	}
+
+	s := modtx.NewSTM(modtx.WithEngine(modtx.TL2STM))
+	x := s.NewVar("x", 7)
+	label := modtx.NewTVar(s, "label", "snap")
+	var got int64
+	var lbl string
+	if err := s.AtomicallyRead(func(r *modtx.ReadTx) error {
+		got = r.Read(x)
+		lbl = modtx.ReadTVar(r, label)
+		return nil
+	}); err != nil || got != 7 || lbl != "snap" {
+		t.Fatalf("AtomicallyRead: %v, x=%d label=%q", err, got, lbl)
+	}
+
+	s2 := modtx.NewSTM(modtx.WithEngine(modtx.TL2STM))
+	y := s2.NewVar("y", 3)
+	var sum int64
+	if err := modtx.AtomicallyReadMulti([]*modtx.STM{s, s2}, func(rtxs []*modtx.ReadTx) error {
+		sum = rtxs[0].Read(x) + rtxs[1].Read(y)
+		return nil
+	}); err != nil || sum != 10 {
+		t.Fatalf("AtomicallyReadMulti: %v, sum=%d", err, sum)
+	}
+
+	// KV: View and Delete through the facade.
+	store := modtx.NewKV(modtx.KVWithShards(4), modtx.KVWithEngine(modtx.TL2STM))
+	if err := store.Set("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.CounterAdd("n", 5); err != nil {
+		t.Fatal(err)
+	}
+	var av []byte
+	var nv int64
+	if err := store.View([]string{"a", "n"}, func(v *modtx.KVViewTxn) error {
+		av, _ = v.Get("a")
+		nv, _ = v.Counter("n")
+		return nil
+	}); err != nil || string(av) != "1" || nv != 5 {
+		t.Fatalf("View: %v, a=%q n=%d", err, av, nv)
+	}
+	if ok, err := store.Delete("a"); err != nil || !ok {
+		t.Fatalf("Delete: %v, %v", ok, err)
+	}
+	if _, ok, _ := store.Get("a"); ok {
+		t.Fatal("deleted key still visible")
 	}
 }
