@@ -1,0 +1,154 @@
+// Command mtx-bench2json converts `go test -bench -benchmem` output into
+// a machine-readable JSON document, so benchmark runs can be checked in
+// (the repo's perf trajectory, e.g. BENCH_PR4.json) and uploaded as CI
+// artifacts without parsing text tables downstream.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem ./... | mtx-bench2json [-out file.json] [-note "..."]
+//
+// Input may concatenate several packages' bench sections; the goos /
+// goarch / cpu / pkg headers are tracked per section and attached to
+// each benchmark row. Lines that are not benchmark results are ignored,
+// so piping the whole `go test` output works.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchRow is one parsed benchmark result. Ns/B/allocs are per
+// operation, exactly as `go test -benchmem` reports them.
+type benchRow struct {
+	Name        string  `json:"name"`          // full name minus Benchmark prefix and -P suffix, e.g. KVGet/lazy
+	Bench       string  `json:"bench"`         // top-level benchmark, e.g. KVGet
+	Sub         string  `json:"sub,omitempty"` // sub-benchmark path, e.g. lazy
+	Pkg         string  `json:"pkg,omitempty"`
+	Procs       int     `json:"procs,omitempty"` // the -P suffix (GOMAXPROCS at run time)
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type document struct {
+	Note       string     `json:"note,omitempty"`
+	Goos       string     `json:"goos,omitempty"`
+	Goarch     string     `json:"goarch,omitempty"`
+	CPU        string     `json:"cpu,omitempty"`
+	Benchmarks []benchRow `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form note recorded in the document (e.g. the PR or commit)")
+	flag.Parse()
+
+	doc := document{Note: *note}
+	var pkg string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		row, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		row.Pkg = pkg
+		doc.Benchmarks = append(doc.Benchmarks, row)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "mtx-bench2json: read:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "mtx-bench2json: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtx-bench2json:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "mtx-bench2json: encode:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `go test -bench -benchmem` result line:
+//
+//	BenchmarkKVGet/lazy-4   632835   556.4 ns/op   264 B/op   4 allocs/op
+//
+// The B/op and allocs/op columns are optional (absent without
+// -benchmem); any other shape reports !ok.
+func parseBenchLine(line string) (benchRow, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+		return benchRow{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	procs := 0
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchRow{}, false
+	}
+	ns, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return benchRow{}, false
+	}
+	row := benchRow{Name: name, Bench: name, Procs: procs, Iterations: iters, NsPerOp: ns}
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		row.Bench, row.Sub = name[:i], name[i+1:]
+	}
+	// Optional -benchmem columns, in fixed order after ns/op.
+	rest := f[4:]
+	for len(rest) >= 2 {
+		v, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			break
+		}
+		switch rest[1] {
+		case "B/op":
+			row.BPerOp = v
+		case "allocs/op":
+			row.AllocsPerOp = v
+		}
+		rest = rest[2:]
+	}
+	return row, true
+}

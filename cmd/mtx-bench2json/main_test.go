@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	row, ok := parseBenchLine("BenchmarkKVGet/lazy-4   \t  632835\t       556.4 ns/op\t     264 B/op\t       4 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if row.Name != "KVGet/lazy" || row.Bench != "KVGet" || row.Sub != "lazy" {
+		t.Fatalf("name split = %q/%q/%q", row.Name, row.Bench, row.Sub)
+	}
+	if row.Procs != 4 || row.Iterations != 632835 {
+		t.Fatalf("procs=%d iters=%d", row.Procs, row.Iterations)
+	}
+	if row.NsPerOp != 556.4 || row.BPerOp != 264 || row.AllocsPerOp != 4 {
+		t.Fatalf("metrics = %v ns, %v B, %v allocs", row.NsPerOp, row.BPerOp, row.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLineNoBenchmem(t *testing.T) {
+	row, ok := parseBenchLine("BenchmarkSTMCounter/tl2-8 1868134 126.4 ns/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if row.NsPerOp != 126.4 || row.BPerOp != 0 || row.AllocsPerOp != 0 {
+		t.Fatalf("metrics = %v ns, %v B, %v allocs", row.NsPerOp, row.BPerOp, row.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLineSubless(t *testing.T) {
+	row, ok := parseBenchLine("BenchmarkRelClosure-4 10000 104000 ns/op 0 B/op 0 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if row.Bench != "RelClosure" || row.Sub != "" {
+		t.Fatalf("name split = %q/%q", row.Bench, row.Sub)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tmodtx/internal/kv\t5.4s",
+		"BenchmarkBroken-4 notanumber 1 ns/op",
+		"--- BENCH: BenchmarkFoo",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q should not parse", line)
+		}
+	}
+}

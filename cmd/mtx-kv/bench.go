@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,8 +15,37 @@ import (
 	"modtx/internal/stm"
 )
 
+// benchReport is the machine-readable form of one bench invocation
+// (-json): the workload configuration plus one row per engine. It is the
+// wire format of the repo's perf trajectory (see BENCH_PR4.json and the
+// CI bench artifact), so field names are stable.
+type benchReport struct {
+	Keys       int               `json:"keys"`
+	Shards     int               `json:"shards"`
+	Goroutines int               `json:"goroutines"`
+	DurationMs int64             `json:"duration_ms"`
+	FastPct    int               `json:"fastread_pct"`
+	ReadPct    int               `json:"read_pct"`
+	WritePct   int               `json:"write_pct"`
+	TxnPct     int               `json:"txn_pct"`
+	Zipf       float64           `json:"zipf"`
+	Engines    []benchEngineJSON `json:"engines"`
+}
+
+type benchEngineJSON struct {
+	Engine    string  `json:"engine"`
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ns     int64   `json:"p50_ns"`
+	P95Ns     int64   `json:"p95_ns"`
+	P99Ns     int64   `json:"p99_ns"`
+	MaxNs     int64   `json:"max_ns"`
+	Conflicts uint64  `json:"conflicts"`
+}
+
 // runBench drives the store in-process with a configurable mixed workload
-// and reports throughput and latency percentiles per engine.
+// and reports throughput and latency percentiles per engine, as a table
+// or (-json) as a machine-readable report on stdout.
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	engineName := fs.String("engine", "all", engineFlagHelp(true))
@@ -26,6 +57,7 @@ func runBench(args []string) error {
 	readPct := fs.Int("read-pct", 20, "percent of ops that are transactional Gets")
 	writePct := fs.Int("write-pct", 5, "percent of ops that are transactional Sets (remainder: cross-key TXN transfers)")
 	zipfS := fs.Float64("zipf", 1.2, "Zipf skew parameter s (<=1 means uniform key choice)")
+	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report instead of the table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,17 +69,48 @@ func runBench(args []string) error {
 		return err
 	}
 
-	fmt.Printf("mtx-kv bench: %d keys, %d shards, %d goroutines, %v per engine\n",
-		*nkeys, *shards, *goroutines, *duration)
-	fmt.Printf("op mix: %d%% fastget / %d%% get / %d%% set / %d%% txn-transfer, zipf=%.2f\n\n",
-		*fastPct, *readPct, *writePct, 100-*fastPct-*readPct-*writePct, *zipfS)
-	fmt.Printf("%-12s %12s %12s %10s %10s %10s %10s %12s\n",
-		"engine", "ops", "ops/sec", "p50", "p95", "p99", "max", "conflicts")
+	if !*asJSON {
+		fmt.Printf("mtx-kv bench: %d keys, %d shards, %d goroutines, %v per engine\n",
+			*nkeys, *shards, *goroutines, *duration)
+		fmt.Printf("op mix: %d%% fastget / %d%% get / %d%% set / %d%% txn-transfer, zipf=%.2f\n\n",
+			*fastPct, *readPct, *writePct, 100-*fastPct-*readPct-*writePct, *zipfS)
+		fmt.Printf("%-12s %12s %12s %10s %10s %10s %10s %12s\n",
+			"engine", "ops", "ops/sec", "p50", "p95", "p99", "max", "conflicts")
+	}
 
+	report := benchReport{
+		Keys:       *nkeys,
+		Shards:     *shards,
+		Goroutines: *goroutines,
+		DurationMs: duration.Milliseconds(),
+		FastPct:    *fastPct,
+		ReadPct:    *readPct,
+		WritePct:   *writePct,
+		TxnPct:     100 - *fastPct - *readPct - *writePct,
+		Zipf:       *zipfS,
+	}
 	for _, e := range engines {
 		r := benchOne(e, *shards, *nkeys, *goroutines, *duration, *fastPct, *readPct, *writePct, *zipfS)
+		if *asJSON {
+			report.Engines = append(report.Engines, benchEngineJSON{
+				Engine:    e.String(),
+				Ops:       r.ops,
+				OpsPerSec: r.opsPerSec,
+				P50Ns:     r.p50.Nanoseconds(),
+				P95Ns:     r.p95.Nanoseconds(),
+				P99Ns:     r.p99.Nanoseconds(),
+				MaxNs:     r.max.Nanoseconds(),
+				Conflicts: r.conflicts,
+			})
+			continue
+		}
 		fmt.Printf("%-12s %12d %12.0f %10v %10v %10v %10v %12d\n",
 			e, r.ops, r.opsPerSec, r.p50, r.p95, r.p99, r.max, r.conflicts)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
 	}
 	return nil
 }

@@ -7,7 +7,12 @@
 //	mtx-kv serve [-addr :7700] [-shards 64] [-engine lazy]
 //	mtx-kv bench [-engine all] [-shards 64] [-keys 65536] [-goroutines 8]
 //	             [-duration 2s] [-fastread-pct 70] [-read-pct 20]
-//	             [-write-pct 5] [-zipf 1.2]
+//	             [-write-pct 5] [-zipf 1.2] [-json]
+//
+// With -json, bench emits a machine-readable report (workload config +
+// per-engine ops/sec and latency percentiles) on stdout — the same
+// trajectory format CI uploads as an artifact; see also
+// cmd/mtx-bench2json for converting `go test -bench` output.
 //
 // The -engine flag accepts any name from the stm engine registry (lazy,
 // eager, global-lock, tl2) or "all" (bench only) to run the whole

@@ -58,6 +58,10 @@ func (s *server) handleConn(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	w := bufio.NewWriter(conn)
+	// One reply buffer per connection, reused across commands: exec
+	// appends the (possibly multi-line) response into it, so the
+	// steady-state reply path performs no per-command allocation.
+	reply := make([]byte, 0, 256)
 	for sc.Scan() {
 		// Trim only the CR of CRLF clients: SET values must keep their
 		// trailing bytes, and Fields-based dispatch tolerates leading
@@ -66,30 +70,43 @@ func (s *server) handleConn(conn net.Conn) {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
-		resp, quit := s.exec(line)
-		w.WriteString(resp)
-		w.WriteByte('\n')
+		var quit bool
+		reply, quit = s.exec(reply[:0], line)
+		reply = append(reply, '\n')
+		w.Write(reply)
 		w.Flush()
+		if cap(reply) > 64*1024 {
+			// Don't let one huge MGET pin its high-water mark for the
+			// rest of a long-lived connection.
+			reply = make([]byte, 0, 256)
+		}
 		if quit {
 			return
 		}
 	}
 }
 
-// exec runs one protocol command and returns the response (which may span
-// several lines, e.g. MGET). Values are arbitrary byte strings without
-// newlines: SET takes everything after the key as the value, so spaces
-// round-trip; the token-based multi-key commands (MSET) carry values
-// without spaces.
-func (s *server) exec(line string) (resp string, quit bool) {
+// appendErr appends "ERR <context><err>" to the reply buffer.
+func appendErr(reply []byte, context string, err error) []byte {
+	reply = append(reply, "ERR "...)
+	reply = append(reply, context...)
+	return append(reply, err.Error()...)
+}
+
+// exec runs one protocol command, appending the response (which may span
+// several lines, e.g. MGET) to reply and returning the extended buffer.
+// Values are arbitrary byte strings without newlines: SET takes
+// everything after the key as the value, so spaces round-trip; the
+// token-based multi-key commands (MSET) carry values without spaces.
+func (s *server) exec(reply []byte, line string) (resp []byte, quit bool) {
 	f := strings.Fields(line)
 	switch strings.ToUpper(f[0]) {
 	case "PING":
-		return "PONG", false
+		return append(reply, "PONG"...), false
 
 	case "GET", "FGET":
 		if len(f) != 2 {
-			return "ERR usage: GET key", false
+			return append(reply, "ERR usage: GET key"...), false
 		}
 		var v []byte
 		var ok bool
@@ -99,13 +116,14 @@ func (s *server) exec(line string) (resp string, quit bool) {
 			var err error
 			v, ok, err = s.store.Get(f[1])
 			if err != nil {
-				return "ERR " + err.Error(), false
+				return appendErr(reply, "", err), false
 			}
 		}
 		if !ok {
-			return "NIL", false
+			return append(reply, "NIL"...), false
 		}
-		return "VALUE " + string(v), false
+		reply = append(reply, "VALUE "...)
+		return append(reply, v...), false
 
 	case "SET":
 		// SET key value — the value is everything after the key (leading
@@ -115,97 +133,100 @@ func (s *server) exec(line string) (resp string, quit bool) {
 		// so no run of separators can shift the key or bleed into the
 		// value.
 		if len(f) < 3 {
-			return "ERR usage: SET key value", false
+			return append(reply, "ERR usage: SET key value"...), false
 		}
 		rest := strings.TrimLeftFunc(line, unicode.IsSpace)            // at the command
 		rest = strings.TrimLeftFunc(rest[len(f[0]):], unicode.IsSpace) // at the key
 		val := strings.TrimLeftFunc(rest[len(f[1]):], unicode.IsSpace) // the value
 		if err := s.store.Set(f[1], []byte(val)); err != nil {
-			return "ERR " + err.Error(), false
+			return appendErr(reply, "", err), false
 		}
-		return "OK", false
+		return append(reply, "OK"...), false
 
 	case "DEL":
 		if len(f) < 2 {
-			return "ERR usage: DEL key...", false
+			return append(reply, "ERR usage: DEL key..."...), false
 		}
 		n := 0
 		for _, k := range f[1:] {
 			ok, err := s.store.Delete(k)
 			if err != nil {
-				return "ERR " + err.Error(), false
+				return appendErr(reply, "", err), false
 			}
 			if ok {
 				n++
 			}
 		}
-		return "VALUE " + strconv.Itoa(n), false
+		reply = append(reply, "VALUE "...)
+		return strconv.AppendInt(reply, int64(n), 10), false
 
 	case "ADD":
 		if len(f) != 3 {
-			return "ERR usage: ADD key delta", false
+			return append(reply, "ERR usage: ADD key delta"...), false
 		}
 		d, err := strconv.ParseInt(f[2], 10, 64)
 		if err != nil {
-			return "ERR delta: " + err.Error(), false
+			return appendErr(reply, "delta: ", err), false
 		}
 		v, err := s.store.CounterAdd(f[1], d)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return appendErr(reply, "", err), false
 		}
-		return "VALUE " + strconv.FormatInt(v, 10), false
+		reply = append(reply, "VALUE "...)
+		return strconv.AppendInt(reply, v, 10), false
 
 	case "MGET":
 		if len(f) < 2 {
-			return "ERR usage: MGET key...", false
+			return append(reply, "ERR usage: MGET key..."...), false
 		}
 		keys := f[1:]
 		got, err := s.store.MGet(keys...)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return appendErr(reply, "", err), false
 		}
 		// Multi-line reply: a count header, then one VALUE/NIL line per
 		// key — unambiguous even when values contain spaces.
-		var b strings.Builder
-		fmt.Fprintf(&b, "VALUES %d", len(keys))
+		reply = append(reply, "VALUES "...)
+		reply = strconv.AppendInt(reply, int64(len(keys)), 10)
 		for _, k := range keys {
 			if v, ok := got[k]; ok {
-				b.WriteString("\nVALUE " + string(v))
+				reply = append(reply, "\nVALUE "...)
+				reply = append(reply, v...)
 			} else {
-				b.WriteString("\nNIL")
+				reply = append(reply, "\nNIL"...)
 			}
 		}
-		return b.String(), false
+		return reply, false
 
 	case "MSET":
 		if len(f) < 3 || len(f)%2 != 1 {
-			return "ERR usage: MSET key value [key value ...] (token values)", false
+			return append(reply, "ERR usage: MSET key value [key value ...] (token values)"...), false
 		}
 		vals := make(map[string][]byte, (len(f)-1)/2)
 		for i := 1; i < len(f); i += 2 {
 			vals[f[i]] = []byte(f[i+1])
 		}
 		if err := s.store.MSet(vals); err != nil {
-			return "ERR " + err.Error(), false
+			return appendErr(reply, "", err), false
 		}
-		return "OK", false
+		return append(reply, "OK"...), false
 
 	case "TXN":
 		if len(f) < 2 {
-			return "ERR usage: TXN {ADD key delta [key delta ...] | DEL key...}", false
+			return append(reply, "ERR usage: TXN {ADD key delta [key delta ...] | DEL key...}"...), false
 		}
 		switch strings.ToUpper(f[1]) {
 		case "ADD":
 			rest := f[2:]
 			if len(rest) == 0 || len(rest)%2 != 0 {
-				return "ERR usage: TXN ADD key delta [key delta ...]", false
+				return append(reply, "ERR usage: TXN ADD key delta [key delta ...]"...), false
 			}
 			keys := make([]string, 0, len(rest)/2)
 			deltas := make([]int64, 0, len(rest)/2)
 			for i := 0; i < len(rest); i += 2 {
 				d, err := strconv.ParseInt(rest[i+1], 10, 64)
 				if err != nil {
-					return "ERR delta for " + rest[i] + ": " + err.Error(), false
+					return appendErr(reply, "delta for "+rest[i]+": ", err), false
 				}
 				keys = append(keys, rest[i])
 				deltas = append(deltas, d)
@@ -218,19 +239,19 @@ func (s *server) exec(line string) (resp string, quit bool) {
 				return nil
 			})
 			if err != nil {
-				return "ERR " + err.Error(), false
+				return appendErr(reply, "", err), false
 			}
-			parts := make([]string, 0, len(news)+1)
-			parts = append(parts, "VALUES")
+			reply = append(reply, "VALUES"...)
 			for _, v := range news {
-				parts = append(parts, strconv.FormatInt(v, 10))
+				reply = append(reply, ' ')
+				reply = strconv.AppendInt(reply, v, 10)
 			}
-			return strings.Join(parts, " "), false
+			return reply, false
 
 		case "DEL":
 			keys := f[2:]
 			if len(keys) == 0 {
-				return "ERR usage: TXN DEL key...", false
+				return append(reply, "ERR usage: TXN DEL key..."...), false
 			}
 			removed := make([]bool, len(keys))
 			err := s.store.Update(keys, func(t *kv.Txn) error {
@@ -240,28 +261,27 @@ func (s *server) exec(line string) (resp string, quit bool) {
 				return nil
 			})
 			if err != nil {
-				return "ERR " + err.Error(), false
+				return appendErr(reply, "", err), false
 			}
-			parts := make([]string, 0, len(keys)+1)
-			parts = append(parts, "VALUES")
+			reply = append(reply, "VALUES"...)
 			for _, ok := range removed {
 				if ok {
-					parts = append(parts, "1")
+					reply = append(reply, " 1"...)
 				} else {
-					parts = append(parts, "0")
+					reply = append(reply, " 0"...)
 				}
 			}
-			return strings.Join(parts, " "), false
+			return reply, false
 
 		default:
-			return "ERR unknown TXN op " + f[1] + " (want ADD or DEL)", false
+			return append(reply, "ERR unknown TXN op "+f[1]+" (want ADD or DEL)"...), false
 		}
 
 	case "STATS":
-		return "STATS " + s.store.Stats().String(), false
+		return append(reply, "STATS "+s.store.Stats().String()...), false
 
 	case "QUIT":
-		return "BYE", true
+		return append(reply, "BYE"...), true
 	}
-	return "ERR unknown command " + f[0], false
+	return append(reply, "ERR unknown command "+f[0]...), false
 }

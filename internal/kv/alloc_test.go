@@ -1,0 +1,143 @@
+package kv
+
+import (
+	"testing"
+
+	"modtx/internal/stm"
+)
+
+// Allocation guards for the serving hot paths. The contract after the
+// zero-allocation rework: the plain fast path and the transactional
+// Get/CounterAdd steady states allocate nothing on any engine; Set pays
+// exactly its two inherent allocations (the defensive value copy and
+// the typed lane's box). AllocsPerRun truncates toward zero over 100
+// runs, absorbing a rare GC-emptied pool refill without masking a real
+// per-op allocation.
+
+func allocStore(t *testing.T, e stm.Engine) *Store {
+	t.Helper()
+	s := New(WithShards(8), WithEngine(e))
+	if err := s.Set("bytes-key", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CounterAdd("ctr-key", 5); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAllocsFastPaths: the lock-free plain reads allocate nothing
+// (bytes values are returned as the stored box; the int64 lane has no
+// formatting at all).
+func TestAllocsFastPaths(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, e := range stm.Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			s := allocStore(t, e)
+			if avg := testing.AllocsPerRun(100, func() {
+				if _, ok := s.FastGet("bytes-key"); !ok {
+					t.Fatal("missing key")
+				}
+			}); avg != 0 {
+				t.Errorf("FastGet: %v allocs/op, want 0", avg)
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if _, ok := s.FastCounterGet("ctr-key"); !ok {
+					t.Fatal("missing counter")
+				}
+			}); avg != 0 {
+				t.Errorf("FastCounterGet: %v allocs/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestAllocsGet: the transactional read-only Get of a bytes key is
+// allocation-free steady state (the returned slice is the stored box).
+func TestAllocsGet(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, e := range stm.Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			s := allocStore(t, e)
+			for i := 0; i < 32; i++ { // warm the op and Tx pools
+				if _, ok, err := s.Get("bytes-key"); err != nil || !ok {
+					t.Fatal("missing key")
+				}
+			}
+			avg := testing.AllocsPerRun(100, func() {
+				if _, ok, err := s.Get("bytes-key"); err != nil || !ok {
+					t.Fatal("missing key")
+				}
+			})
+			if avg != 0 {
+				t.Errorf("Get: %v allocs/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestAllocsCounterOps: the int64 compatibility lane — CounterAdd and
+// CounterGet — runs transactions with no boxing, no formatting and no
+// allocation.
+func TestAllocsCounterOps(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, e := range stm.Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			s := allocStore(t, e)
+			for i := 0; i < 32; i++ {
+				if _, err := s.CounterAdd("ctr-key", 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if _, err := s.CounterAdd("ctr-key", 1); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("CounterAdd: %v allocs/op, want 0", avg)
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if _, ok, err := s.CounterGet("ctr-key"); err != nil || !ok {
+					t.Fatal("missing counter")
+				}
+			}); avg != 0 {
+				t.Errorf("CounterGet: %v allocs/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestAllocsSetBounded: Set's only remaining allocations are inherent to
+// its semantics — the defensive copy of the incoming value and the
+// typed lane's immutable box. Anything above two means plumbing
+// regressed.
+func TestAllocsSetBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	val := []byte("steady-state-value")
+	for _, e := range stm.Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			s := allocStore(t, e)
+			for i := 0; i < 32; i++ {
+				if err := s.Set("bytes-key", val); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(100, func() {
+				if err := s.Set("bytes-key", val); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > 2 {
+				t.Errorf("Set: %v allocs/op, want <= 2 (copy + box)", avg)
+			}
+		})
+	}
+}

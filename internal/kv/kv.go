@@ -104,6 +104,12 @@ type Store struct {
 	// fastGets is indexed by shard and cache-line padded: the lock-free
 	// read path must not false-share one hot counter word across cores.
 	fastGets []paddedCount
+
+	// singleOps and multiOps recycle per-call scratch (operands, result
+	// slots and pre-bound transaction bodies) for the hot operations, so
+	// steady-state Get/Set/CounterAdd/Update/View allocate no closures.
+	singleOps sync.Pool
+	multiOps  sync.Pool
 }
 
 type paddedCount struct {
@@ -151,6 +157,20 @@ func New(opts ...Option) *Store {
 		empty := make(map[string]*entry)
 		sh.vars.Store(&empty)
 		s.shards[i] = sh
+	}
+	s.singleOps.New = func() any {
+		op := &singleOp{s: s}
+		op.getFn = op.runGet
+		op.cgetFn = op.runCounterGet
+		op.setFn = op.runSet
+		op.addFn = op.runAdd
+		return op
+	}
+	s.multiOps.New = func() any {
+		op := &multiOp{s: s}
+		op.runUpdate = op.update
+		op.runView = op.viewBody
+		return op
 	}
 	return s
 }
@@ -378,31 +398,105 @@ func (s *Store) FastCounterGet(key string) (int64, bool) {
 	return e.c.Load(), true
 }
 
+// singleOp is pooled per-call scratch for the single-key hot paths: the
+// operands and result slots travel through the op instead of a closure
+// environment, and the transaction bodies are method values bound once
+// at pool fill, so a steady-state Get/Set/CounterAdd allocates nothing
+// for its own plumbing.
+type singleOp struct {
+	s     *Store
+	sh    *shard
+	key   string
+	val   []byte // Set input (already copied) / Get output
+	delta int64  // CounterAdd input
+	n     int64  // CounterAdd / CounterGet output
+	ok    bool
+
+	getFn  func(*stm.ReadTx) error
+	cgetFn func(*stm.ReadTx) error
+	setFn  func(*stm.Tx) error
+	addFn  func(*stm.Tx) error
+}
+
+// release drops the operands so the pooled op does not pin values, and
+// returns it to the pool.
+func (op *singleOp) release() {
+	s := op.s
+	op.sh, op.key, op.val = nil, "", nil
+	op.delta, op.n, op.ok = 0, 0, false
+	s.singleOps.Put(op)
+}
+
+func (op *singleOp) runGet(r *stm.ReadTx) error {
+	op.val, op.ok = nil, false
+	e := op.sh.lookup(op.key) // re-resolve per attempt: the entry may be swept
+	if e == nil || r.Read(e.dead) != 0 {
+		return nil
+	}
+	if e.isCounter() {
+		op.val = formatCounter(r.Read(e.c))
+	} else {
+		op.val = stm.ReadTVar(r, e.b)
+	}
+	op.ok = true
+	return nil
+}
+
+func (op *singleOp) runCounterGet(r *stm.ReadTx) error {
+	op.n, op.ok = 0, false
+	e := op.sh.lookup(op.key)
+	if e == nil || !e.isCounter() || r.Read(e.dead) != 0 {
+		return nil
+	}
+	op.n = r.Read(e.c)
+	op.ok = true
+	return nil
+}
+
+func (op *singleOp) runSet(tx *stm.Tx) error {
+	e, err := op.sh.ensure(op.key, false)
+	if err != nil {
+		return err
+	}
+	if tx.Read(e.dead) != 0 {
+		// Condemned by a concurrent Delete whose table removal is in
+		// flight; retry onto the swept table (a fresh entry).
+		tx.Retry()
+	}
+	stm.WriteT(tx, e.b, op.val)
+	return nil
+}
+
+func (op *singleOp) runAdd(tx *stm.Tx) error {
+	e, err := op.sh.ensure(op.key, true)
+	if err != nil {
+		return err
+	}
+	if tx.Read(e.dead) != 0 {
+		tx.Retry() // see runSet
+	}
+	op.n = tx.Read(e.c) + op.delta
+	tx.Write(e.c, op.n)
+	return nil
+}
+
 // Get performs a consistent transactional read of one key (counters are
 // formatted as decimal) on the read-only path: no write locks are ever
 // taken, and on the tl2 engine the read is invisible (no read set, O(1)
 // commit). ok reports whether the key exists; a non-nil error
 // (retry-budget exhaustion) means the value could not be read and val is
-// meaningless.
+// meaningless. Steady-state Get of a bytes key performs no heap
+// allocation.
 func (s *Store) Get(key string) (val []byte, ok bool, err error) {
 	sh := s.shards[s.ShardOf(key)]
 	if sh.lookup(key) == nil {
 		return nil, false, nil
 	}
-	err = sh.stm.AtomicallyRead(func(r *stm.ReadTx) error {
-		val, ok = nil, false
-		e := sh.lookup(key) // re-resolve per attempt: the entry may be swept
-		if e == nil || r.Read(e.dead) != 0 {
-			return nil
-		}
-		if e.isCounter() {
-			val = formatCounter(r.Read(e.c))
-		} else {
-			val = stm.ReadTVar(r, e.b)
-		}
-		ok = true
-		return nil
-	})
+	op := s.singleOps.Get().(*singleOp)
+	op.sh, op.key = sh, key
+	err = sh.stm.AtomicallyRead(op.getFn)
+	val, ok = op.val, op.ok
+	op.release()
 	if err != nil {
 		return nil, false, err
 	}
@@ -418,16 +512,11 @@ func (s *Store) CounterGet(key string) (val int64, ok bool, err error) {
 	} else if !e.isCounter() {
 		return 0, false, wrongType(key)
 	}
-	err = sh.stm.AtomicallyRead(func(r *stm.ReadTx) error {
-		val, ok = 0, false
-		e := sh.lookup(key)
-		if e == nil || !e.isCounter() || r.Read(e.dead) != 0 {
-			return nil
-		}
-		val = r.Read(e.c)
-		ok = true
-		return nil
-	})
+	op := s.singleOps.Get().(*singleOp)
+	op.sh, op.key = sh, key
+	err = sh.stm.AtomicallyRead(op.cgetFn)
+	val, ok = op.n, op.ok
+	op.release()
 	if err != nil {
 		return 0, false, err
 	}
@@ -438,40 +527,24 @@ func (s *Store) CounterGet(key string) (val int64, ok bool, err error) {
 // value is copied on the way in.
 func (s *Store) Set(key string, val []byte) error {
 	sh := s.shards[s.ShardOf(key)]
-	cp := copyVal(val)
-	return sh.stm.Atomically(func(tx *stm.Tx) error {
-		e, err := sh.ensure(key, false)
-		if err != nil {
-			return err
-		}
-		if tx.Read(e.dead) != 0 {
-			// Condemned by a concurrent Delete whose table removal is in
-			// flight; retry onto the swept table (a fresh entry).
-			tx.Retry()
-		}
-		stm.WriteT(tx, e.b, cp)
-		return nil
-	})
+	op := s.singleOps.Get().(*singleOp)
+	op.sh, op.key, op.val = sh, key, copyVal(val)
+	err := sh.stm.Atomically(op.setFn)
+	op.release()
+	return err
 }
 
 // CounterAdd transactionally adds delta to a counter key (creating it at
 // 0 if absent) and returns the new value. This is the compatibility lane
-// on the int64 specialization: no boxing, no formatting.
+// on the int64 specialization: no boxing, no formatting, and (steady
+// state) no heap allocation.
 func (s *Store) CounterAdd(key string, delta int64) (int64, error) {
 	sh := s.shards[s.ShardOf(key)]
-	var out int64
-	err := sh.stm.Atomically(func(tx *stm.Tx) error {
-		e, err := sh.ensure(key, true)
-		if err != nil {
-			return err
-		}
-		if tx.Read(e.dead) != 0 {
-			tx.Retry() // see Set
-		}
-		out = tx.Read(e.c) + delta
-		tx.Write(e.c, out)
-		return nil
-	})
+	op := s.singleOps.Get().(*singleOp)
+	op.sh, op.key, op.delta = sh, key, delta
+	err := sh.stm.Atomically(op.addFn)
+	out := op.n
+	op.release()
 	return out, err
 }
 
@@ -556,6 +629,7 @@ func (s *Store) sweep(condemned map[string]*entry) {
 func (s *Store) MGet(keys ...string) (map[string][]byte, error) {
 	out := make(map[string][]byte, len(keys))
 	err := s.View(keys, func(t *ViewTxn) error {
+		clear(out) // only the committed attempt's reads survive a retry
 		for _, k := range keys {
 			if v, ok := t.Get(k); ok {
 				out[k] = v
@@ -588,9 +662,10 @@ func (s *Store) MSet(vals map[string][]byte) error {
 // against a key of the wrong kind — makes the transaction fail with an
 // error (no partial effects).
 type Txn struct {
-	s   *Store
-	txs map[int]*stm.Tx // shard index -> per-shard transaction handle
-	err error
+	s    *Store
+	idxs []int     // sorted footprint shard indices
+	txs  []*stm.Tx // per-shard transaction handles, aligned with idxs
+	err  error
 
 	// deleted tracks keys tombstoned by this transaction, for the
 	// post-commit sweep and for in-transaction resurrection (a Set or Add
@@ -610,15 +685,18 @@ func (t *Txn) outside(key string) error {
 }
 
 // resolve routes key and returns its shard transaction, or fails the
-// transaction when the shard is outside the declared footprint.
+// transaction when the shard is outside the declared footprint. The
+// footprint is a short sorted slice, so the membership test is a linear
+// scan, not a map lookup.
 func (t *Txn) resolve(key string) (int, *stm.Tx, bool) {
 	i := t.s.ShardOf(key)
-	tx, declared := t.txs[i]
-	if !declared {
-		t.fail(t.outside(key))
-		return i, nil, false
+	for j, idx := range t.idxs {
+		if idx == i {
+			return i, t.txs[j], true
+		}
 	}
-	return i, tx, true
+	t.fail(t.outside(key))
+	return i, nil, false
 }
 
 // live returns whether e is readable by this transaction: not condemned,
@@ -729,27 +807,85 @@ func (t *Txn) Delete(key string) bool {
 	return true
 }
 
-// shardSet returns the sorted, deduplicated shard indices owning keys.
-func (s *Store) shardSet(keys []string) []int {
-	seen := make(map[int]bool, len(keys))
-	idxs := make([]int, 0, len(keys))
+// appendShardSet appends the sorted, deduplicated shard indices owning
+// keys to idxs (pass a truncated scratch slice). Footprints are small,
+// so a sorted insert with linear shifts beats a map-and-sort and
+// allocates nothing once the scratch has capacity.
+func (s *Store) appendShardSet(idxs []int, keys []string) []int {
 	for _, k := range keys {
-		if i := s.ShardOf(k); !seen[i] {
-			seen[i] = true
-			idxs = append(idxs, i)
+		i := s.ShardOf(k)
+		pos := sort.SearchInts(idxs, i)
+		if pos < len(idxs) && idxs[pos] == i {
+			continue
 		}
+		idxs = append(idxs, 0)
+		copy(idxs[pos+1:], idxs[pos:])
+		idxs[pos] = i
 	}
-	sort.Ints(idxs)
 	return idxs
 }
 
-// stmsFor maps shard indices to their STM instances, preserving order.
-func (s *Store) stmsFor(idxs []int) []*stm.STM {
-	stms := make([]*stm.STM, len(idxs))
-	for j, i := range idxs {
-		stms[j] = s.shards[i].stm
+// appendSTMs appends the shards' STM instances in idxs order.
+func (s *Store) appendSTMs(stms []*stm.STM, idxs []int) []*stm.STM {
+	for _, i := range idxs {
+		stms = append(stms, s.shards[i].stm)
 	}
 	return stms
+}
+
+// multiOp is pooled per-call scratch for the footprint-scoped operations
+// (Update, View): the sorted shard set, the aligned instance list and
+// the reusable transaction handle, with the attempt bodies bound once at
+// pool fill so the per-attempt plumbing allocates nothing.
+type multiOp struct {
+	s    *Store
+	idxs []int
+	stms []*stm.STM
+	txn  Txn
+	view ViewTxn
+
+	updateFn  func(*Txn) error     // the user's Update body
+	viewFn    func(*ViewTxn) error // the user's View body
+	runUpdate func([]*stm.Tx) error
+	runView   func([]*stm.ReadTx) error
+}
+
+func (op *multiOp) update(txs []*stm.Tx) error {
+	t := &op.txn
+	t.s = op.s
+	t.idxs = op.idxs
+	t.txs = txs
+	t.err = nil
+	t.deleted = nil // only the committed attempt's tombstones are swept
+	if err := op.updateFn(t); err != nil {
+		return err
+	}
+	return t.err
+}
+
+func (op *multiOp) viewBody(rtxs []*stm.ReadTx) error {
+	t := &op.view
+	t.s = op.s
+	t.idxs = op.idxs
+	t.rtxs = rtxs
+	t.err = nil
+	if err := op.viewFn(t); err != nil {
+		return err
+	}
+	return t.err
+}
+
+// release drops the per-call references (keeping the scratch slices'
+// capacity) and returns the op to the pool.
+func (op *multiOp) release() {
+	s := op.s
+	op.idxs = op.idxs[:0]
+	clear(op.stms)
+	op.stms = op.stms[:0]
+	op.txn = Txn{}
+	op.view = ViewTxn{}
+	op.updateFn, op.viewFn = nil, nil
+	s.multiOps.Put(op)
 }
 
 // Update runs fn as one transaction over the shards owning keys (the
@@ -767,20 +903,13 @@ func (s *Store) Update(keys []string, fn func(*Txn) error) error {
 // stm.AtomicallyMultiCtx): cancellation surfaces as an error wrapping
 // stm.ErrCanceled and the context's error.
 func (s *Store) UpdateCtx(ctx context.Context, keys []string, fn func(*Txn) error) error {
-	idxs := s.shardSet(keys)
-	var deleted map[string]*entry
-	err := stm.AtomicallyMultiCtx(ctx, s.stmsFor(idxs), func(txs []*stm.Tx) error {
-		t := &Txn{s: s, txs: make(map[int]*stm.Tx, len(idxs))}
-		for j, i := range idxs {
-			t.txs[i] = txs[j]
-		}
-		deleted = nil // only the committed attempt's tombstones are swept
-		if err := fn(t); err != nil {
-			return err
-		}
-		deleted = t.deleted
-		return t.err
-	})
+	op := s.multiOps.Get().(*multiOp)
+	op.idxs = s.appendShardSet(op.idxs[:0], keys)
+	op.stms = s.appendSTMs(op.stms[:0], op.idxs)
+	op.updateFn = fn
+	err := stm.AtomicallyMultiCtx(ctx, op.stms, op.runUpdate)
+	deleted := op.txn.deleted
+	op.release()
 	if err == nil && len(deleted) > 0 {
 		s.sweep(deleted)
 	}
@@ -793,7 +922,8 @@ func (s *Store) UpdateCtx(ctx context.Context, keys []string, fn func(*Txn) erro
 // View additionally keeps no read set and commits in O(1).
 type ViewTxn struct {
 	s    *Store
-	rtxs map[int]*stm.ReadTx // shard index -> read-only handle
+	idxs []int         // sorted footprint shard indices
+	rtxs []*stm.ReadTx // read-only handles, aligned with idxs
 	err  error
 }
 
@@ -808,8 +938,14 @@ func (t *ViewTxn) fail(err error) {
 // fails when the key's shard is outside the footprint.
 func (t *ViewTxn) resolve(key string) (*stm.ReadTx, *entry, bool) {
 	i := t.s.ShardOf(key)
-	r, declared := t.rtxs[i]
-	if !declared {
+	var r *stm.ReadTx
+	for j, idx := range t.idxs {
+		if idx == i {
+			r = t.rtxs[j]
+			break
+		}
+	}
+	if r == nil {
 		t.fail(fmt.Errorf("kv: key %q is outside the view footprint", key))
 		return nil, nil, false
 	}
@@ -857,17 +993,13 @@ func (s *Store) View(keys []string, fn func(*ViewTxn) error) error {
 
 // ViewCtx is View honoring ctx between retry attempts.
 func (s *Store) ViewCtx(ctx context.Context, keys []string, fn func(*ViewTxn) error) error {
-	idxs := s.shardSet(keys)
-	return stm.AtomicallyReadMultiCtx(ctx, s.stmsFor(idxs), func(rtxs []*stm.ReadTx) error {
-		t := &ViewTxn{s: s, rtxs: make(map[int]*stm.ReadTx, len(idxs))}
-		for j, i := range idxs {
-			t.rtxs[i] = rtxs[j]
-		}
-		if err := fn(t); err != nil {
-			return err
-		}
-		return t.err
-	})
+	op := s.multiOps.Get().(*multiOp)
+	op.idxs = s.appendShardSet(op.idxs[:0], keys)
+	op.stms = s.appendSTMs(op.stms[:0], op.idxs)
+	op.viewFn = fn
+	err := stm.AtomicallyReadMultiCtx(ctx, op.stms, op.runView)
+	op.release()
+	return err
 }
 
 // Privatize fences the shards owning keys and returns the keys' raw
@@ -894,7 +1026,7 @@ func (s *Store) Privatize(keys ...string) ([]*stm.TVar[[]byte], error) {
 		}
 		vars[i] = e.b
 	}
-	for _, i := range s.shardSet(keys) {
+	for _, i := range s.appendShardSet(nil, keys) {
 		s.shards[i].stm.Quiesce()
 	}
 	return vars, nil
@@ -931,8 +1063,8 @@ func (s *Store) Publish(vals map[string][]byte) error {
 	for j, k := range keys {
 		entries[j].b.Store(copyVal(vals[k]))
 	}
-	idxs := s.shardSet(keys)
-	return stm.AtomicallyMulti(s.stmsFor(idxs), func(txs []*stm.Tx) error {
+	idxs := s.appendShardSet(nil, keys)
+	return stm.AtomicallyMulti(s.appendSTMs(nil, idxs), func(txs []*stm.Tx) error {
 		for j, i := range idxs {
 			txs[j].Write(s.shards[i].pub, txs[j].Read(s.shards[i].pub)+1)
 		}

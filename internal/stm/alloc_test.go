@@ -1,0 +1,134 @@
+package stm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The zero-allocation contract of the hot path: once the pooled Tx has
+// grown its attempt-state slices, steady-state transactions allocate
+// nothing — on every engine, for both the read-write and the read-only
+// entry points. testing.AllocsPerRun truncates toward zero over 100
+// runs, so a rare GC-emptied pool refill does not flake the guard while
+// a real per-op allocation (1/op = 100 over the window) fails it.
+
+// TestAllocsAtomicallySingleVar: the steady-state single-var
+// read-modify-write transaction performs no heap allocation.
+func TestAllocsAtomicallySingleVar(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, e := range engines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithEngine(e))
+			v := s.NewVar("v", 0)
+			body := func(tx *Tx) error {
+				tx.Write(v, tx.Read(v)+1)
+				return nil
+			}
+			for i := 0; i < 32; i++ { // grow the pooled capacity
+				if err := s.Atomically(body); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(100, func() {
+				if err := s.Atomically(body); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("Atomically single-var: %v allocs/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestAllocsAtomicallyRead: the steady-state read-only transaction (a
+// 4-var snapshot sum) performs no heap allocation — with a read set on
+// the validating engines, without one on tl2.
+func TestAllocsAtomicallyRead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, e := range engines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithEngine(e))
+			vars := make([]*Var, 4)
+			for i := range vars {
+				vars[i] = s.NewVar(fmt.Sprintf("v%d", i), int64(i))
+			}
+			var sink int64
+			body := func(r *ReadTx) error {
+				var sum int64
+				for _, v := range vars {
+					sum += r.Read(v)
+				}
+				sink = sum
+				return nil
+			}
+			for i := 0; i < 32; i++ {
+				if err := s.AtomicallyRead(body); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(100, func() {
+				if err := s.AtomicallyRead(body); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("AtomicallyRead: %v allocs/op, want 0 (sink=%d)", avg, sink)
+			}
+		})
+	}
+}
+
+// TestAllocsMixedModeLoadStore: plain Load/Store never allocated; pin it
+// so the mixed-mode lane stays at native atomic cost.
+func TestAllocsMixedModeLoadStore(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	s := New()
+	v := s.NewVar("v", 1)
+	var sink int64
+	avg := testing.AllocsPerRun(100, func() {
+		v.Store(sink)
+		sink += v.Load()
+	})
+	if avg != 0 {
+		t.Errorf("plain Load/Store: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestAllocsLargeWriteSetSpills sanity-checks the spill path: a
+// transaction writing far more than writeSetSpill vars still commits
+// correctly (the map index takes over) — allocation-freedom is only
+// promised for the small-footprint steady state.
+func TestAllocsLargeWriteSetSpills(t *testing.T) {
+	for _, e := range engines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithEngine(e))
+			vars := make([]*Var, 3*writeSetSpill)
+			for i := range vars {
+				vars[i] = s.NewVar(fmt.Sprintf("v%d", i), 0)
+			}
+			err := s.Atomically(func(tx *Tx) error {
+				for pass := 0; pass < 2; pass++ { // second pass overwrites via lookup
+					for i, v := range vars {
+						tx.Write(v, int64(pass*1000+i))
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range vars {
+				if got := v.Load(); got != int64(1000+i) {
+					t.Fatalf("var %d = %d, want %d", i, got, 1000+i)
+				}
+			}
+		})
+	}
+}

@@ -2,7 +2,7 @@ package stm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -257,32 +257,43 @@ func (tx *Tx) extendSnapshot() bool {
 // lockWriteSetSorted acquires the commit-time locks on the combined
 // write set of both lanes in id order (deterministic across committers,
 // so concurrent commits cannot deadlock). Locks taken are recorded in
-// tx.lockedMeta so releasePrepared can restore them on any later
-// failure. Shared by the lazy-family engines.
+// tx.lockedMeta — a capacity-retained slice sorted by id, so the hot
+// path allocates nothing — and releasePrepared restores them on any
+// later failure. Shared by the lazy-family engines.
 func lockWriteSetSorted(tx *Tx) bool {
-	n := len(tx.worder) + len(tx.pworder)
+	n := len(tx.writes) + len(tx.pwrites)
 	if n == 0 {
 		return true
 	}
-	targets := make([]*varBase, 0, n)
-	for _, v := range tx.worder {
-		targets = append(targets, &v.varBase)
+	lm := tx.lockedMeta[:0]
+	for i := range tx.writes {
+		lm = append(lm, lockedEntry{vb: &tx.writes[i].v.varBase})
 	}
-	for _, b := range tx.pworder {
-		targets = append(targets, b.base())
+	for i := range tx.pwrites {
+		lm = append(lm, lockedEntry{vb: tx.pwrites[i].b.base()})
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
-	lockedMeta := make(map[*varBase]uint64, n)
-	for i, vb := range targets {
-		m, ok := vb.tryLock(tx.rv)
+	slices.SortFunc(lm, func(a, b lockedEntry) int {
+		switch {
+		case a.vb.id < b.vb.id:
+			return -1
+		case a.vb.id > b.vb.id:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for i := range lm {
+		m, ok := lm[i].vb.tryLock(tx.rv)
 		if !ok {
-			for _, u := range targets[:i] {
-				u.meta.Store(lockedMeta[u])
+			for j := i - 1; j >= 0; j-- {
+				lm[j].vb.meta.Store(lm[j].meta)
 			}
+			clear(lm)
+			tx.lockedMeta = lm[:0]
 			return false
 		}
-		lockedMeta[vb] = m
+		lm[i].meta = m
 	}
-	tx.lockedMeta = lockedMeta
+	tx.lockedMeta = lm
 	return true
 }

@@ -10,7 +10,7 @@ func (eagerEngine) begin(tx *Tx)  { tx.rv = tx.s.clock.Load() }
 func (eagerEngine) finish(tx *Tx) {}
 
 func (eagerEngine) read(tx *Tx, v *Var) int64 {
-	if _, mine := tx.locked[&v.varBase]; mine {
+	if tx.ownsLock(&v.varBase) {
 		return v.val.Load() // we hold the lock; in-place value is ours
 	}
 	return sampleVar(tx, v, true, false)
@@ -21,17 +21,14 @@ func (eagerEngine) read(tx *Tx, v *Var) int64 {
 // newer than the snapshot. Reports whether the caller must push an undo
 // entry (first touch).
 func (tx *Tx) encounterLock(vb *varBase) (firstTouch bool) {
-	if _, mine := tx.locked[vb]; mine {
+	if tx.ownsLock(vb) {
 		return false
 	}
 	m, ok := vb.tryLock(tx.rv)
 	if !ok {
 		tx.conflict()
 	}
-	if tx.locked == nil {
-		tx.locked = make(map[*varBase]uint64, 4)
-	}
-	tx.locked[vb] = m
+	tx.addLocked(vb, m)
 	return true
 }
 
@@ -43,7 +40,7 @@ func (eagerEngine) write(tx *Tx, v *Var, x int64) {
 }
 
 func (eagerEngine) readBoxed(tx *Tx, b boxed) any {
-	if _, mine := tx.locked[b.base()]; mine {
+	if tx.ownsLock(b.base()) {
 		return b.loadBox()
 	}
 	return sampleBox(tx, b, true, false)
@@ -64,8 +61,9 @@ func (e eagerEngine) prepare(tx *Tx) bool {
 func (eagerEngine) lockWrites(tx *Tx) bool { return true }
 
 func (eagerEngine) validateReads(tx *Tx) bool {
-	for _, re := range tx.reads {
-		if _, mine := tx.locked[re.vb]; mine {
+	for i := range tx.reads {
+		re := &tx.reads[i]
+		if tx.ownsLock(re.vb) {
 			continue // we hold the lock; value unchanged since read
 		}
 		cur := re.vb.meta.Load()
@@ -81,12 +79,10 @@ func (eagerEngine) commit(tx *Tx) {
 		return // read-only: don't contend the clock for nothing
 	}
 	wv := tx.s.clock.Add(1)
-	for vb := range tx.locked {
-		vb.meta.Store(wv << 1)
+	for i := range tx.locked {
+		tx.locked[i].vb.meta.Store(wv << 1)
 	}
-	tx.locked = nil
-	tx.undo = nil
-	tx.pundo = nil
+	// The lock table and undo logs are dropped by the Tx reset.
 }
 
 func (eagerEngine) rollback(tx *Tx) {
@@ -102,12 +98,10 @@ func (eagerEngine) rollback(tx *Tx) {
 	for i := len(tx.pundo) - 1; i >= 0; i-- {
 		tx.pundo[i].b.storeBox(tx.pundo[i].old)
 	}
-	for vb, m := range tx.locked {
-		vb.meta.Store(m) // release, version unchanged
+	for i := range tx.locked {
+		tx.locked[i].vb.meta.Store(tx.locked[i].meta) // release, version unchanged
 	}
-	tx.locked = nil
-	tx.undo = nil
-	tx.pundo = nil
+	// The lock table and undo logs are dropped by the Tx reset.
 }
 
 func (eagerEngine) invisibleReadOnly() bool { return false }

@@ -44,14 +44,13 @@ func (glockEngine) commit(tx *Tx) {
 	// instances (AtomicallyMulti) and quiescence-free fast paths observe
 	// the update order.
 	wv := tx.s.clock.Add(1)
-	for _, u := range tx.undo {
-		u.v.meta.Store(wv << 1)
+	for i := range tx.undo {
+		tx.undo[i].v.meta.Store(wv << 1)
 	}
-	for _, u := range tx.pundo {
-		u.b.base().meta.Store(wv << 1)
+	for i := range tx.pundo {
+		tx.pundo[i].b.base().meta.Store(wv << 1)
 	}
-	tx.undo = nil
-	tx.pundo = nil
+	// The undo logs are dropped by the Tx reset.
 }
 
 func (glockEngine) rollback(tx *Tx) {
@@ -61,8 +60,7 @@ func (glockEngine) rollback(tx *Tx) {
 	for i := len(tx.pundo) - 1; i >= 0; i-- {
 		tx.pundo[i].b.storeBox(tx.pundo[i].old)
 	}
-	tx.undo = nil
-	tx.pundo = nil
+	// The undo logs are dropped by the Tx reset.
 }
 
 func (glockEngine) invisibleReadOnly() bool { return false }

@@ -12,41 +12,25 @@ func (lazyEngine) begin(tx *Tx)  { tx.rv = tx.s.clock.Load() }
 func (lazyEngine) finish(tx *Tx) {}
 
 func (lazyEngine) read(tx *Tx, v *Var) int64 {
-	if val, ok := tx.writes[v]; ok {
+	if val, ok := tx.lookupWrite(v); ok {
 		return val
 	}
 	return sampleVar(tx, v, true, false)
 }
 
-func (lazyEngine) write(tx *Tx, v *Var, x int64) {
-	if tx.writes == nil {
-		tx.writes = make(map[*Var]int64, 4)
-	}
-	if _, seen := tx.writes[v]; !seen {
-		tx.worder = append(tx.worder, v)
-	}
-	tx.writes[v] = x
-}
+func (lazyEngine) write(tx *Tx, v *Var, x int64) { tx.putWrite(v, x) }
 
 func (lazyEngine) readBoxed(tx *Tx, b boxed) any {
-	if box, ok := tx.pwrites[b]; ok {
+	if box, ok := tx.lookupPWrite(b); ok {
 		return box
 	}
 	return sampleBox(tx, b, true, false)
 }
 
-func (lazyEngine) writeBoxed(tx *Tx, b boxed, box any) {
-	if tx.pwrites == nil {
-		tx.pwrites = make(map[boxed]any, 4)
-	}
-	if _, seen := tx.pwrites[b]; !seen {
-		tx.pworder = append(tx.pworder, b)
-	}
-	tx.pwrites[b] = box
-}
+func (lazyEngine) writeBoxed(tx *Tx, b boxed, box any) { tx.putPWrite(b, box) }
 
 func (e lazyEngine) prepare(tx *Tx) bool {
-	if len(tx.worder)+len(tx.pworder) == 0 {
+	if len(tx.writes)+len(tx.pwrites) == 0 {
 		// Single-instance read-only fast path: every read was validated
 		// against rv at read time, so the snapshot is consistent as of rv.
 		// (Not sound for multi-instance commits, whose serialization point
@@ -59,8 +43,9 @@ func (e lazyEngine) prepare(tx *Tx) bool {
 func (lazyEngine) lockWrites(tx *Tx) bool { return lockWriteSetSorted(tx) }
 
 func (lazyEngine) validateReads(tx *Tx) bool {
-	for _, re := range tx.reads {
-		if mv, mine := tx.lockedMeta[re.vb]; mine {
+	for i := range tx.reads {
+		re := &tx.reads[i]
+		if mv, mine := tx.lockedMetaFor(re.vb); mine {
 			if version(re.meta) != version(mv) {
 				return false // someone updated between our read and our lock
 			}
@@ -76,7 +61,7 @@ func (lazyEngine) validateReads(tx *Tx) bool {
 
 func (lazyEngine) commit(tx *Tx) {
 	s := tx.s
-	if len(tx.worder)+len(tx.pworder) == 0 {
+	if len(tx.writes)+len(tx.pwrites) == 0 {
 		return
 	}
 	wv := s.clock.Add(1)
@@ -85,24 +70,22 @@ func (lazyEngine) commit(tx *Tx) {
 	if s.WritebackDelay != nil {
 		s.WritebackDelay()
 	}
-	for _, v := range tx.worder {
-		v.val.Store(tx.writes[v])
-		v.meta.Store(wv << 1) // release with the new version
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		w.v.val.Store(w.val)
+		w.v.meta.Store(wv << 1) // release with the new version
 	}
-	for _, b := range tx.pworder {
-		b.storeBox(tx.pwrites[b])
-		b.base().meta.Store(wv << 1)
+	for i := range tx.pwrites {
+		p := &tx.pwrites[i]
+		p.b.storeBox(p.box)
+		p.b.base().meta.Store(wv << 1)
 	}
-	tx.lockedMeta = nil
+	clear(tx.lockedMeta)
+	tx.lockedMeta = tx.lockedMeta[:0]
 }
 
 func (lazyEngine) rollback(tx *Tx) {
-	// Nothing was published; drop the buffers.
-	tx.reads = nil
-	tx.writes = nil
-	tx.worder = nil
-	tx.pwrites = nil
-	tx.pworder = nil
+	// Nothing was published; the buffers are dropped by the Tx reset.
 }
 
 func (lazyEngine) invisibleReadOnly() bool { return false }

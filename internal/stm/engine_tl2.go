@@ -21,14 +21,14 @@ package stm
 type tl2Engine struct{ lazyEngine }
 
 func (tl2Engine) read(tx *Tx, v *Var) int64 {
-	if val, ok := tx.writes[v]; ok {
+	if val, ok := tx.lookupWrite(v); ok {
 		return val
 	}
 	return sampleVar(tx, v, !tx.noReadSet, true)
 }
 
 func (tl2Engine) readBoxed(tx *Tx, b boxed) any {
-	if box, ok := tx.pwrites[b]; ok {
+	if box, ok := tx.lookupPWrite(b); ok {
 		return box
 	}
 	return sampleBox(tx, b, !tx.noReadSet, true)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package stm
+
+const raceEnabled = false

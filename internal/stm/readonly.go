@@ -53,13 +53,13 @@ func (s *STM) atomicallyRead(ctx context.Context, fn func(*ReadTx) error) error 
 		tx := s.begin()
 		tx.readOnly = true
 		tx.noReadSet = s.eng.invisibleReadOnly()
-		err, conflicted := catchConflict(func() error { return fn(&ReadTx{tx: tx}) })
+		err, conflicted := tx.runReadBody(fn)
 		switch {
 		case conflicted:
 			tx.abortAttempt()
 			s.stats.Conflicts.Add(1)
 			conflicts++
-			backoff(attempt)
+			backoff(ctx, attempt)
 			continue
 		case err != nil:
 			tx.abortAttempt()
@@ -79,7 +79,7 @@ func (s *STM) atomicallyRead(ctx context.Context, fn func(*ReadTx) error) error 
 		tx.abortAttempt()
 		s.stats.Conflicts.Add(1)
 		conflicts++
-		backoff(attempt)
+		backoff(ctx, attempt)
 	}
 	return s.txError("atomically-read", s.maxRetries, conflicts, ErrMaxRetries, nil)
 }
@@ -143,9 +143,9 @@ func atomicallyReadMulti(ctx context.Context, stms []*STM, fn func(rtxs []*ReadT
 		for i, s := range stms {
 			tx := s.begin()
 			tx.readOnly = true // read sets stay on: see the soundness note
-			rtxs[i] = &ReadTx{tx: tx}
+			rtxs[i] = &tx.rtx
 		}
-		err, conflicted := catchConflict(func() error { return fn(rtxs) })
+		err, conflicted := runReadMultiBody(rtxs, fn)
 		switch {
 		case conflicted:
 			abortAll()
@@ -153,7 +153,7 @@ func atomicallyReadMulti(ctx context.Context, stms []*STM, fn func(rtxs []*ReadT
 				s.stats.Conflicts.Add(1)
 			}
 			conflicts++
-			backoff(attempt)
+			backoff(ctx, attempt)
 			continue
 		case err != nil:
 			abortAll()
@@ -175,7 +175,7 @@ func atomicallyReadMulti(ctx context.Context, stms []*STM, fn func(rtxs []*ReadT
 				s.stats.Conflicts.Add(1)
 			}
 			conflicts++
-			backoff(attempt)
+			backoff(ctx, attempt)
 			continue
 		}
 		// Nothing to publish; resolve the attempts.

@@ -42,6 +42,7 @@ package stm
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -145,6 +146,11 @@ type STM struct {
 	slots      []slot
 	stats      Stats
 
+	// txPool recycles attempt handles: begin takes one, finishTx resets
+	// it (retaining slice capacity) and puts it back, so the steady-state
+	// transaction path allocates nothing.
+	txPool sync.Pool
+
 	// Test hooks, called at anomaly windows when non-nil. WritebackDelay
 	// runs after validation and before lazy writeback; RollbackDelay runs
 	// before eager undo is applied. They let tests and the stress harness
@@ -180,13 +186,19 @@ func New(opts ...Option) *STM {
 	if !ok {
 		panic(fmt.Sprintf("stm: engine %v is not registered", c.engine))
 	}
-	return &STM{
+	s := &STM{
 		engine:     c.engine,
 		eng:        info.impl,
 		maxRetries: c.maxRetries,
 		glock:      make(chan struct{}, 1),
 		slots:      make([]slot, n),
 	}
+	s.txPool.New = func() any {
+		tx := &Tx{s: s, e: s.eng}
+		tx.rtx.tx = tx
+		return tx
+	}
+	return s
 }
 
 // Engine returns the instance's engine.

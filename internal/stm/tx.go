@@ -7,7 +7,9 @@ import (
 )
 
 // Tx is the per-attempt transaction handle passed to Atomically bodies.
-// It must not escape the body or be used concurrently.
+// It must not escape the body or be used concurrently: resolved handles
+// are pooled and reused by later transactions of the same STM instance,
+// so a leaked Tx aliases somebody else's attempt state.
 //
 // Tx owns the attempt state shared by every engine — the read set, the
 // two write lanes (inline int64 for Var, opaque boxes for TVar[T]), the
@@ -15,6 +17,12 @@ import (
 // that moves values through that state. Which fields are live depends on
 // the engine: the lazy family buffers writes, the eager and global-lock
 // engines write in place behind undo logs.
+//
+// All per-attempt collections are insertion-ordered slices sized for the
+// common small footprint: lookups linear-scan up to writeSetSpill
+// entries and spill to a map index beyond that, and reset retains the
+// slices' capacity across reuses, so the steady-state hot path performs
+// no heap allocation at all.
 type Tx struct {
 	s       *STM
 	e       engine // the instance's strategy, cached for dispatch
@@ -33,22 +41,47 @@ type Tx struct {
 	readOnly  bool
 	noReadSet bool
 
-	// Lazy-family write sets.
-	writes     map[*Var]int64      // int64 lane
-	worder     []*Var              // int64 lane write order
-	pwrites    map[boxed]any       // pointer lane (pending boxes)
-	pworder    []boxed             // pointer lane write order
-	lockedMeta map[*varBase]uint64 // commit-time lock state while prepared
+	// Lazy-family write sets: insertion-ordered entries (the slice is
+	// the write order) with a map index spill for large transactions.
+	writes  []wEntry      // int64 lane
+	windex  map[*Var]int  // spill: var -> index into writes
+	pwrites []pEntry      // pointer lane (pending boxes)
+	pindex  map[boxed]int // spill: box -> index into pwrites
+
+	// Commit-time lock state while prepared, sorted by variable id (the
+	// deterministic lock order); meta holds the pre-lock word for
+	// restoration on abort.
+	lockedMeta []lockedEntry
 
 	// Eager and global-lock engines.
-	undo   []undoEntry         // int64 lane
-	pundo  []pundoEntry        // pointer lane
-	locked map[*varBase]uint64 // var -> meta observed before locking
+	undo   []undoEntry      // int64 lane
+	pundo  []pundoEntry     // pointer lane
+	locked []lockedEntry    // encounter-time locks, insertion order
+	lindex map[*varBase]int // spill: var -> index into locked
+
+	// rtx is the read-only view handed to AtomicallyRead bodies; it
+	// points back at this Tx so no per-attempt wrapper is allocated.
+	rtx ReadTx
 }
 
 type readEntry struct {
 	vb   *varBase
 	meta uint64
+}
+
+type wEntry struct {
+	v   *Var
+	val int64
+}
+
+type pEntry struct {
+	b   boxed
+	box any
+}
+
+type lockedEntry struct {
+	vb   *varBase
+	meta uint64 // pre-lock word, restored on abort
 }
 
 type undoEntry struct {
@@ -59,6 +92,173 @@ type undoEntry struct {
 type pundoEntry struct {
 	b   boxed
 	old any
+}
+
+// writeSetSpill is the footprint size beyond which the linear-scan
+// write sets and lock tables build a map index. Up to this size a scan
+// over a contiguous slice beats map hashing; past it the map wins.
+const writeSetSpill = 16
+
+// lookupWrite returns the buffered int64-lane value of v, if any.
+func (tx *Tx) lookupWrite(v *Var) (int64, bool) {
+	if tx.windex != nil {
+		if i, ok := tx.windex[v]; ok {
+			return tx.writes[i].val, true
+		}
+		return 0, false
+	}
+	for i := range tx.writes {
+		if tx.writes[i].v == v {
+			return tx.writes[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// putWrite buffers an int64-lane write, preserving first-write order.
+func (tx *Tx) putWrite(v *Var, x int64) {
+	if tx.windex != nil {
+		if i, ok := tx.windex[v]; ok {
+			tx.writes[i].val = x
+			return
+		}
+	} else {
+		for i := range tx.writes {
+			if tx.writes[i].v == v {
+				tx.writes[i].val = x
+				return
+			}
+		}
+	}
+	tx.writes = append(tx.writes, wEntry{v: v, val: x})
+	if tx.windex != nil {
+		tx.windex[v] = len(tx.writes) - 1
+	} else if len(tx.writes) > writeSetSpill {
+		tx.windex = make(map[*Var]int, 2*writeSetSpill)
+		for i := range tx.writes {
+			tx.windex[tx.writes[i].v] = i
+		}
+	}
+}
+
+// lookupPWrite returns the buffered pointer-lane box of b, if any.
+func (tx *Tx) lookupPWrite(b boxed) (any, bool) {
+	if tx.pindex != nil {
+		if i, ok := tx.pindex[b]; ok {
+			return tx.pwrites[i].box, true
+		}
+		return nil, false
+	}
+	for i := range tx.pwrites {
+		if tx.pwrites[i].b == b {
+			return tx.pwrites[i].box, true
+		}
+	}
+	return nil, false
+}
+
+// putPWrite buffers a pointer-lane write, preserving first-write order.
+func (tx *Tx) putPWrite(b boxed, box any) {
+	if tx.pindex != nil {
+		if i, ok := tx.pindex[b]; ok {
+			tx.pwrites[i].box = box
+			return
+		}
+	} else {
+		for i := range tx.pwrites {
+			if tx.pwrites[i].b == b {
+				tx.pwrites[i].box = box
+				return
+			}
+		}
+	}
+	tx.pwrites = append(tx.pwrites, pEntry{b: b, box: box})
+	if tx.pindex != nil {
+		tx.pindex[b] = len(tx.pwrites) - 1
+	} else if len(tx.pwrites) > writeSetSpill {
+		tx.pindex = make(map[boxed]int, 2*writeSetSpill)
+		for i := range tx.pwrites {
+			tx.pindex[tx.pwrites[i].b] = i
+		}
+	}
+}
+
+// ownsLock reports whether this transaction holds vb's encounter-time
+// lock (eager engine).
+func (tx *Tx) ownsLock(vb *varBase) bool {
+	if tx.lindex != nil {
+		_, ok := tx.lindex[vb]
+		return ok
+	}
+	for i := range tx.locked {
+		if tx.locked[i].vb == vb {
+			return true
+		}
+	}
+	return false
+}
+
+// addLocked records an encounter-time lock and its pre-lock word.
+func (tx *Tx) addLocked(vb *varBase, meta uint64) {
+	tx.locked = append(tx.locked, lockedEntry{vb: vb, meta: meta})
+	if tx.lindex != nil {
+		tx.lindex[vb] = len(tx.locked) - 1
+	} else if len(tx.locked) > writeSetSpill {
+		tx.lindex = make(map[*varBase]int, 2*writeSetSpill)
+		for i := range tx.locked {
+			tx.lindex[tx.locked[i].vb] = i
+		}
+	}
+}
+
+// lockedMetaFor returns the pre-lock word recorded for vb by a
+// successful lockWrites, if this transaction locked it. lockedMeta is
+// sorted by id (the deterministic lock order), so membership is a
+// binary search.
+func (tx *Tx) lockedMetaFor(vb *varBase) (uint64, bool) {
+	lm := tx.lockedMeta
+	lo, hi := 0, len(lm)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if lm[mid].vb.id < vb.id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(lm) && lm[lo].vb == vb {
+		return lm[lo].meta, true
+	}
+	return 0, false
+}
+
+// reset clears the attempt state for reuse, retaining the capacity of
+// every slice (reads, writes, pwrites, lockedMeta, undo, pundo, locked)
+// so steady-state transactions never re-grow them. Elements are zeroed
+// before truncation so the pooled Tx does not pin dead variables. The
+// rare spill indexes are dropped: small transactions must not pay the
+// map path just because one large transaction came through earlier.
+func (tx *Tx) reset() {
+	clear(tx.reads)
+	tx.reads = tx.reads[:0]
+	tx.nreads = 0
+	tx.readOnly, tx.noReadSet = false, false
+	clear(tx.writes)
+	tx.writes = tx.writes[:0]
+	tx.windex = nil
+	clear(tx.pwrites)
+	tx.pwrites = tx.pwrites[:0]
+	tx.pindex = nil
+	clear(tx.lockedMeta)
+	tx.lockedMeta = tx.lockedMeta[:0]
+	clear(tx.undo)
+	tx.undo = tx.undo[:0]
+	clear(tx.pundo)
+	tx.pundo = tx.pundo[:0]
+	clear(tx.locked)
+	tx.locked = tx.locked[:0]
+	tx.lindex = nil
+	tx.rv = 0
 }
 
 // conflictSignal aborts the current attempt; Atomically recovers it.
@@ -78,14 +278,16 @@ func (tx *Tx) Retry() {
 	tx.conflict()
 }
 
-// begin opens an unmanaged transaction attempt: it registers the
-// quiescence slot and hands the engine its begin hook (which snapshots
-// the read version and, for the global-lock engine, takes the instance
-// mutex). The caller owns the attempt's lifecycle and must end it with
-// finishTx (after commitPrepared) or abortAttempt.
+// begin opens an unmanaged transaction attempt: it takes a pooled (or
+// fresh) Tx, registers the quiescence slot and hands the engine its
+// begin hook (which snapshots the read version and, for the global-lock
+// engine, takes the instance mutex). The caller owns the attempt's
+// lifecycle and must end it with finishTx (after commitPrepared) or
+// abortAttempt; both return the Tx to the pool.
 func (s *STM) begin() *Tx {
 	slotIdx, _ := s.acquireSlot()
-	tx := &Tx{s: s, e: s.eng, slotIdx: slotIdx}
+	tx := s.txPool.Get().(*Tx)
+	tx.slotIdx = slotIdx
 	tx.e.begin(tx)
 	return tx
 }
@@ -114,11 +316,12 @@ func (s *STM) Atomically(fn func(*Tx) error) error {
 	return s.atomically(nil, fn)
 }
 
-// AtomicallyCtx is Atomically honoring ctx between retry attempts: when
-// the context is canceled or its deadline passes, the call stops retrying
-// and returns a *TxError wrapping ErrCanceled and the context's error.
-// An attempt already executing is never interrupted mid-body, so a nil
-// return still means exactly one committed execution of fn.
+// AtomicallyCtx is Atomically honoring ctx between retry attempts and
+// during backoff sleeps: when the context is canceled or its deadline
+// passes, the call stops retrying and returns a *TxError wrapping
+// ErrCanceled and the context's error. An attempt already executing is
+// never interrupted mid-body, so a nil return still means exactly one
+// committed execution of fn.
 func (s *STM) AtomicallyCtx(ctx context.Context, fn func(*Tx) error) error {
 	return s.atomically(ctx, fn)
 }
@@ -136,7 +339,7 @@ func (s *STM) atomically(ctx context.Context, fn func(*Tx) error) error {
 			tx.abortAttempt()
 			s.stats.Conflicts.Add(1)
 			conflicts++
-			backoff(attempt)
+			backoff(ctx, attempt)
 			continue
 		case err != nil:
 			tx.abortAttempt()
@@ -152,7 +355,7 @@ func (s *STM) atomically(ctx context.Context, fn func(*Tx) error) error {
 		tx.abortAttempt()
 		s.stats.Conflicts.Add(1)
 		conflicts++
-		backoff(attempt)
+		backoff(ctx, attempt)
 	}
 	return s.txError("atomically", s.maxRetries, conflicts, ErrMaxRetries, nil)
 }
@@ -193,6 +396,14 @@ func rejectDuplicates(stms []*STM) error {
 	return nil
 }
 
+// abortAllTx unwinds a multi-instance attempt in reverse so global locks
+// release LIFO.
+func abortAllTx(txs []*Tx) {
+	for i := len(txs) - 1; i >= 0; i-- {
+		txs[i].abortAttempt()
+	}
+}
+
 func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error) error {
 	if len(stms) == 0 {
 		// Transactionally vacuous, but the cancellation contract still
@@ -203,18 +414,17 @@ func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error)
 		return fn(nil)
 	}
 	if len(stms) == 1 {
-		return stms[0].atomically(ctx, func(tx *Tx) error { return fn([]*Tx{tx}) })
+		// One handle-slice per call, not per attempt.
+		var one [1]*Tx
+		return stms[0].atomically(ctx, func(tx *Tx) error {
+			one[0] = tx
+			return fn(one[:])
+		})
 	}
 	if err := rejectDuplicates(stms); err != nil {
 		return err
 	}
 	txs := make([]*Tx, len(stms))
-	abortAll := func() {
-		// Unwind in reverse so global locks release LIFO.
-		for i := len(txs) - 1; i >= 0; i-- {
-			txs[i].abortAttempt()
-		}
-	}
 	conflicts := 0
 	for attempt := 0; attempt < stms[0].maxRetries; attempt++ {
 		if err := ctxErr(ctx); err != nil {
@@ -226,15 +436,15 @@ func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error)
 		err, conflicted := runMultiBody(txs, fn)
 		switch {
 		case conflicted:
-			abortAll()
+			abortAllTx(txs)
 			for _, s := range stms {
 				s.stats.Conflicts.Add(1)
 			}
 			conflicts++
-			backoff(attempt)
+			backoff(ctx, attempt)
 			continue
 		case err != nil:
-			abortAll()
+			abortAllTx(txs)
 			for _, s := range stms {
 				s.stats.UserAborts.Add(1)
 			}
@@ -264,12 +474,12 @@ func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error)
 			}
 		}
 		if !prepared {
-			abortAll()
+			abortAllTx(txs)
 			for _, s := range stms {
 				s.stats.Conflicts.Add(1)
 			}
 			conflicts++
-			backoff(attempt)
+			backoff(ctx, attempt)
 			continue
 		}
 		for _, tx := range txs {
@@ -287,10 +497,14 @@ func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error)
 	return stms[0].txError("atomically-multi", stms[0].maxRetries, conflicts, ErrMaxRetries, nil)
 }
 
-// finishTx releases the engine-level resources of a resolved attempt.
+// finishTx releases the engine-level resources of a resolved attempt and
+// returns the Tx to the instance pool. The handle must not be used after
+// this call.
 func (tx *Tx) finishTx() {
 	tx.e.finish(tx)
 	tx.s.releaseSlot(tx.slotIdx)
+	tx.reset()
+	tx.s.txPool.Put(tx)
 }
 
 // abortAttempt rolls back an attempt (releasing any prepare-phase locks)
@@ -301,41 +515,70 @@ func (tx *Tx) abortAttempt() {
 	tx.finishTx()
 }
 
-// catchConflict runs fn, converting conflict signals into a flag. Both the
-// single- and multi-instance bodies funnel through it so the abort
-// protocol lives in one place.
-func catchConflict(fn func() error) (err error, conflicted bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(conflictSignal); ok {
-				conflicted = true
-				return
-			}
-			panic(r)
+// recoverConflict is the deferred half of the body runners: it converts
+// a conflict signal into a flag and re-raises anything else. Keeping it
+// a named function (rather than a closure) lets every attempt run
+// without allocating.
+func recoverConflict(conflicted *bool) {
+	if r := recover(); r != nil {
+		if _, ok := r.(conflictSignal); ok {
+			*conflicted = true
+			return
 		}
-	}()
-	return fn(), false
+		panic(r)
+	}
 }
 
 // runBody executes fn, converting conflict signals into a flag.
-func (tx *Tx) runBody(fn func(*Tx) error) (error, bool) {
-	return catchConflict(func() error { return fn(tx) })
+func (tx *Tx) runBody(fn func(*Tx) error) (err error, conflicted bool) {
+	defer recoverConflict(&conflicted)
+	return fn(tx), false
+}
+
+// runReadBody executes a read-only body against the Tx's embedded
+// ReadTx view.
+func (tx *Tx) runReadBody(fn func(*ReadTx) error) (err error, conflicted bool) {
+	defer recoverConflict(&conflicted)
+	return fn(&tx.rtx), false
 }
 
 // runMultiBody executes fn over the attempt's handles; a conflict raised
 // by any participating instance aborts the whole attempt.
-func runMultiBody(txs []*Tx, fn func([]*Tx) error) (error, bool) {
-	return catchConflict(func() error { return fn(txs) })
+func runMultiBody(txs []*Tx, fn func([]*Tx) error) (err error, conflicted bool) {
+	defer recoverConflict(&conflicted)
+	return fn(txs), false
 }
 
-func backoff(attempt int) {
+// runReadMultiBody is runMultiBody for read-only views.
+func runReadMultiBody(rtxs []*ReadTx, fn func([]*ReadTx) error) (err error, conflicted bool) {
+	defer recoverConflict(&conflicted)
+	return fn(rtxs), false
+}
+
+// backoff yields (early attempts) or sleeps (persistent conflicts)
+// before the next attempt. A sleeping backoff selects on ctx so
+// cancellation aborts the wait promptly instead of burning the full
+// 4ms ceiling; the caller's loop then surfaces ErrCanceled.
+func backoff(ctx context.Context, attempt int) {
+	var d time.Duration
 	switch {
 	case attempt < 8:
 		runtime.Gosched()
+		return
 	case attempt < 20:
-		time.Sleep(time.Microsecond << uint(attempt-8))
+		d = time.Microsecond << uint(attempt-8)
 	default:
-		time.Sleep(4 * time.Millisecond)
+		d = 4 * time.Millisecond
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
 	}
 }
 
@@ -376,13 +619,12 @@ func (tx *Tx) validateReads() bool { return tx.e.validateReads(tx) }
 func (tx *Tx) commitPrepared() { tx.e.commit(tx) }
 
 // releasePrepared drops the phase-one locks without publishing, restoring
-// the pre-prepare lock words. A no-op unless prepare succeeded.
+// the pre-prepare lock words. A no-op unless lockWrites succeeded (commit
+// truncates the table, and a failed lockWrites restores its own prefix).
 func (tx *Tx) releasePrepared() {
-	if tx.lockedMeta == nil {
-		return
+	for i := range tx.lockedMeta {
+		tx.lockedMeta[i].vb.meta.Store(tx.lockedMeta[i].meta)
 	}
-	for vb, m := range tx.lockedMeta {
-		vb.meta.Store(m)
-	}
-	tx.lockedMeta = nil
+	clear(tx.lockedMeta)
+	tx.lockedMeta = tx.lockedMeta[:0]
 }
