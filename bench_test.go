@@ -6,7 +6,9 @@
 package modtx_test
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -525,6 +527,111 @@ func BenchmarkKVCrossShardTxn(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// --- Blocking & composition experiments (S7) ---
+
+// BenchmarkSTMBlocked (S7): wakeup latency of the commit-notification
+// subsystem — a round-trip handoff between two goroutines through two
+// one-slot queues, where every PopWait parks until the peer's enqueue
+// commits. Each op is one full park→notify→wake→dequeue round trip on
+// each side; before the event-driven rework the same pattern cost up to
+// two 4ms backoff sleeps per hop.
+func BenchmarkSTMBlocked(b *testing.B) {
+	for _, e := range stmEngines {
+		e := e
+		b.Run(e.String(), func(b *testing.B) {
+			s := stm.New(stm.WithEngine(e))
+			ping := stm.NewQueue[int](s, "ping", 1)
+			pong := stm.NewQueue[int](s, "pong", 1)
+			ctx := context.Background()
+			go func() {
+				for {
+					v, err := ping.PopWait(ctx)
+					if err != nil || v < 0 {
+						return
+					}
+					if err := pong.PushWait(ctx, v); err != nil {
+						return
+					}
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ping.PushWait(ctx, i); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pong.PopWait(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_ = ping.PushWait(ctx, -1) // stop the echo goroutine
+		})
+	}
+}
+
+// BenchmarkKVWaitGet (S7): the blocking read path of the KV store.
+// The hit case measures WaitGet on a present key — the non-blocking
+// fast path, which must stay within sight of plain Get; the handoff
+// case measures a blocking value handoff between two goroutines via
+// WatchFrom (park → Set commit → notified wakeup → read), the KV
+// equivalent of the STMBlocked round trip.
+func BenchmarkKVWaitGet(b *testing.B) {
+	for _, e := range stmEngines {
+		e := e
+		b.Run(e.String()+"/hit", func(b *testing.B) {
+			store := kv.New(kv.WithShards(64), kv.WithEngine(e))
+			if err := store.Set("k", []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.WaitGet(ctx, "k"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(e.String()+"/handoff", func(b *testing.B) {
+			store := kv.New(kv.WithShards(64), kv.WithEngine(e))
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if err := store.Set("ping", []byte("0")); err != nil {
+				b.Fatal(err)
+			}
+			if err := store.Set("pong", []byte("0")); err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				last := []byte("0")
+				for {
+					v, ok, err := store.WatchFrom(ctx, "ping", last, true)
+					if err != nil || !ok {
+						return
+					}
+					last = v
+					if err := store.Set("pong", v); err != nil {
+						return
+					}
+				}
+			}()
+			lastPong := []byte("0")
+			buf := make([]byte, 0, 20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = strconv.AppendInt(buf[:0], int64(i+1), 10)
+				if err := store.Set("ping", buf); err != nil {
+					b.Fatal(err)
+				}
+				v, ok, err := store.WatchFrom(ctx, "pong", lastPong, true)
+				if err != nil || !ok {
+					b.Fatal(err)
+				}
+				lastPong = append(lastPong[:0], v...)
+			}
 		})
 	}
 }

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -38,19 +40,47 @@ type benchRow struct {
 }
 
 type document struct {
-	Note       string     `json:"note,omitempty"`
+	Note string `json:"note,omitempty"`
+
+	// Provenance stamp: which code and environment produced the numbers,
+	// so trajectory points (BENCH_PR*.json) are comparable run to run.
+	// Commit is taken from -commit or `git rev-parse HEAD`; GoVersion and
+	// GoMaxProcs describe the toolchain/host of this conversion, which in
+	// CI is the same job that ran the benchmarks.
+	Commit     string `json:"commit,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
 	Goos       string     `json:"goos,omitempty"`
 	Goarch     string     `json:"goarch,omitempty"`
 	CPU        string     `json:"cpu,omitempty"`
 	Benchmarks []benchRow `json:"benchmarks"`
 }
 
+// gitCommit resolves HEAD's hash, or "" when not in a git checkout.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-form note recorded in the document (e.g. the PR or commit)")
+	commit := flag.String("commit", "", "git commit to stamp the document with (default: git rev-parse HEAD)")
 	flag.Parse()
 
-	doc := document{Note: *note}
+	doc := document{
+		Note:       *note,
+		Commit:     *commit,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if doc.Commit == "" {
+		doc.Commit = gitCommit()
+	}
 	var pkg string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)

@@ -1,6 +1,37 @@
 package main
 
-import "testing"
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestDocumentStamp pins the provenance satellite: every document
+// carries the Go version and GOMAXPROCS of the run, and the commit
+// resolves from git when not supplied (this test runs inside the repo's
+// checkout, so a 40-hex hash must come back).
+func TestDocumentStamp(t *testing.T) {
+	doc := document{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Commit:     gitCommit(),
+	}
+	if !strings.HasPrefix(doc.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want a go toolchain version", doc.GoVersion)
+	}
+	if doc.GoMaxProcs < 1 {
+		t.Errorf("GoMaxProcs = %d", doc.GoMaxProcs)
+	}
+	if len(doc.Commit) != 40 {
+		t.Errorf("Commit = %q, want a full git hash", doc.Commit)
+	}
+	for _, c := range doc.Commit {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Errorf("Commit %q contains non-hex %q", doc.Commit, c)
+			break
+		}
+	}
+}
 
 func TestParseBenchLine(t *testing.T) {
 	row, ok := parseBenchLine("BenchmarkKVGet/lazy-4   \t  632835\t       556.4 ns/op\t     264 B/op\t       4 allocs/op")

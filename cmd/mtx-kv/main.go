@@ -27,6 +27,12 @@
 //	PING                      -> PONG
 //	GET key                   -> VALUE v | NIL      (read-only txn; no write locks)
 //	FGET key                  -> VALUE v | NIL      (lock-free plain read)
+//	BGET key timeoutMs        -> VALUE v | TIMEOUT  (blocking GET: parks until the
+//	                             key exists, waking on the creating commit)
+//	WATCH key [timeoutMs]     -> VALUE v | NIL | TIMEOUT (blocks until the key's
+//	                             value or existence changes; NIL = deleted;
+//	                             default timeout 60s; both commands cap the
+//	                             timeout at 10min)
 //	SET key value...          -> OK                 (value = rest of line)
 //	DEL k1 k2 ...             -> VALUE n            (keys removed; one txn per key)
 //	ADD key d                 -> VALUE n            (counter; new value)

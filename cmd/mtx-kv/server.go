@@ -2,14 +2,18 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"strconv"
 	"strings"
+	"time"
 	"unicode"
 
 	"modtx/internal/kv"
+	"modtx/internal/stm"
 )
 
 func runServe(args []string) error {
@@ -86,6 +90,26 @@ func (s *server) handleConn(conn net.Conn) {
 	}
 }
 
+// maxBlockTimeout caps BGET/WATCH waits: it bounds how long a dead
+// connection can pin a parked goroutine (the wait context is not tied
+// to the connection's lifetime) and keeps the millisecond→Duration
+// conversion far from int64 overflow, which would turn a huge requested
+// timeout into an instantly-expired context.
+const maxBlockTimeout = 10 * time.Minute
+
+// parseBlockTimeout parses a BGET/WATCH timeoutMs operand: a positive
+// integer, clamped to maxBlockTimeout.
+func parseBlockTimeout(arg string) (time.Duration, bool) {
+	ms, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, false
+	}
+	if ms > int64(maxBlockTimeout/time.Millisecond) {
+		return maxBlockTimeout, true
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
 // appendErr appends "ERR <context><err>" to the reply buffer.
 func appendErr(reply []byte, context string, err error) []byte {
 	reply = append(reply, "ERR "...)
@@ -120,6 +144,61 @@ func (s *server) exec(reply []byte, line string) (resp []byte, quit bool) {
 			}
 		}
 		if !ok {
+			return append(reply, "NIL"...), false
+		}
+		reply = append(reply, "VALUE "...)
+		return append(reply, v...), false
+
+	case "BGET":
+		// BGET key timeoutMs — blocking GET: parks server-side (on this
+		// connection only) until the key exists, waking on the commit
+		// that creates it; TIMEOUT after the deadline. The wait is
+		// event-driven — a parked BGET burns no server CPU.
+		if len(f) != 3 {
+			return append(reply, "ERR usage: BGET key timeoutMs"...), false
+		}
+		d, ok := parseBlockTimeout(f[2])
+		if !ok {
+			return append(reply, "ERR timeoutMs must be a positive integer"...), false
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		v, err := s.store.WaitGet(ctx, f[1])
+		cancel()
+		switch {
+		case errors.Is(err, stm.ErrCanceled):
+			return append(reply, "TIMEOUT"...), false
+		case err != nil:
+			return appendErr(reply, "", err), false
+		}
+		reply = append(reply, "VALUE "...)
+		return append(reply, v...), false
+
+	case "WATCH":
+		// WATCH key [timeoutMs] — block until the key's value (or
+		// existence) changes from its state at command time, then reply
+		// with the new state: VALUE v, NIL (deleted), or TIMEOUT. The
+		// default timeout bounds how long a dead connection can keep its
+		// goroutine parked.
+		if len(f) != 2 && len(f) != 3 {
+			return append(reply, "ERR usage: WATCH key [timeoutMs]"...), false
+		}
+		d := time.Minute
+		if len(f) == 3 {
+			var okArg bool
+			d, okArg = parseBlockTimeout(f[2])
+			if !okArg {
+				return append(reply, "ERR timeoutMs must be a positive integer"...), false
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		v, ok, err := s.store.Watch(ctx, f[1])
+		cancel()
+		switch {
+		case errors.Is(err, stm.ErrCanceled):
+			return append(reply, "TIMEOUT"...), false
+		case err != nil:
+			return appendErr(reply, "", err), false
+		case !ok:
 			return append(reply, "NIL"...), false
 		}
 		reply = append(reply, "VALUE "...)

@@ -5,6 +5,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"modtx/internal/kv"
 	"modtx/internal/stm"
@@ -107,6 +108,132 @@ func TestServerProtocol(t *testing.T) {
 	}
 }
 
+// TestServerBlockingCommands drives BGET and WATCH over two loopback
+// connections: one parks server-side, the other commits the change that
+// wakes it. Also pins the TIMEOUT replies and usage errors.
+func TestServerBlockingCommands(t *testing.T) {
+	for _, e := range stm.Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			srv := &server{store: kv.New(kv.WithShards(4), kv.WithEngine(e))}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			go srv.serve(l)
+
+			dial := func() (net.Conn, *bufio.Reader) {
+				t.Helper()
+				conn, err := net.Dial("tcp", l.Addr().String())
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { conn.Close() })
+				return conn, bufio.NewReader(conn)
+			}
+			send := func(conn net.Conn, cmd string) {
+				t.Helper()
+				if _, err := conn.Write([]byte(cmd + "\n")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			readLine := func(r *bufio.Reader) string {
+				t.Helper()
+				line, err := r.ReadString('\n')
+				if err != nil {
+					t.Fatal(err)
+				}
+				return strings.TrimRight(line, "\n")
+			}
+			roundtrip := func(conn net.Conn, r *bufio.Reader, cmd string) string {
+				t.Helper()
+				send(conn, cmd)
+				return readLine(r)
+			}
+
+			blocked, br := dial()
+			other, or := dial()
+
+			// Fast paths and errors first.
+			if got := roundtrip(other, or, "SET live here"); got != "OK" {
+				t.Fatalf("SET: %q", got)
+			}
+			if got := roundtrip(blocked, br, "BGET live 1000"); got != "VALUE here" {
+				t.Fatalf("BGET existing: %q", got)
+			}
+			if got := roundtrip(blocked, br, "BGET missing 50"); got != "TIMEOUT" {
+				t.Fatalf("BGET timeout: %q", got)
+			}
+			if got := roundtrip(blocked, br, "BGET missing nope"); got != "ERR timeoutMs must be a positive integer" {
+				t.Fatalf("BGET bad timeout: %q", got)
+			}
+			if got := roundtrip(blocked, br, "BGET missing"); got != "ERR usage: BGET key timeoutMs" {
+				t.Fatalf("BGET usage: %q", got)
+			}
+			if got := roundtrip(blocked, br, "WATCH live 50"); got != "TIMEOUT" {
+				t.Fatalf("WATCH unchanged: %q", got)
+			}
+			// Absurd timeouts clamp instead of overflowing into an
+			// instantly-expired context: the key exists, so the capped
+			// BGET must answer with the value, not TIMEOUT.
+			if got := roundtrip(blocked, br, "BGET live 99999999999999999"); got != "VALUE here" {
+				t.Fatalf("BGET huge timeout: %q", got)
+			}
+
+			// BGET parks until another connection creates the key.
+			send(blocked, "BGET newkey 10000")
+			waitForServerPark(t, srv.store, 1)
+			if got := roundtrip(other, or, "SET newkey born now"); got != "OK" {
+				t.Fatalf("SET newkey: %q", got)
+			}
+			if got := readLine(br); got != "VALUE born now" {
+				t.Fatalf("BGET woke with %q", got)
+			}
+
+			// WATCH wakes on a value change...
+			parked := srv.store.Stats().Waits
+			send(blocked, "WATCH live 10000")
+			waitForServerPark(t, srv.store, int(parked)+1)
+			if got := roundtrip(other, or, "SET live changed"); got != "OK" {
+				t.Fatalf("SET live: %q", got)
+			}
+			if got := readLine(br); got != "VALUE changed" {
+				t.Fatalf("WATCH woke with %q", got)
+			}
+
+			// ...and reports deletion as NIL.
+			parked = srv.store.Stats().Waits
+			send(blocked, "WATCH live 10000")
+			waitForServerPark(t, srv.store, int(parked)+1)
+			if got := roundtrip(other, or, "DEL live"); got != "VALUE 1" {
+				t.Fatalf("DEL live: %q", got)
+			}
+			if got := readLine(br); got != "NIL" {
+				t.Fatalf("WATCH after delete: %q", got)
+			}
+
+			// STATS surfaces the blocking counters.
+			if got := roundtrip(other, or, "STATS"); !strings.Contains(got, "waits=") || !strings.Contains(got, "wakeups=") {
+				t.Errorf("STATS missing blocking counters: %q", got)
+			}
+		})
+	}
+}
+
+// waitForServerPark blocks until the store has recorded at least n
+// parks, so the waking command is only sent after the blocked one is
+// actually asleep.
+func waitForServerPark(t *testing.T, store *kv.Store, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for store.Stats().Waits < uint64(n) {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never parked: %+v", store.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestEngineFlagRegistry pins the satellite change: the -engine flag is
 // backed by the stm registry, not a private switch.
 func TestEngineFlagRegistry(t *testing.T) {
@@ -123,5 +250,22 @@ func TestEngineFlagRegistry(t *testing.T) {
 	}
 	if help := engineFlagHelp(true); !strings.Contains(help, "tl2") || !strings.Contains(help, "all") {
 		t.Errorf("flag help missing names: %q", help)
+	}
+}
+
+// TestParseBlockTimeout pins the clamp: positive values pass through in
+// milliseconds, oversized ones cap at maxBlockTimeout (no int64
+// overflow into negative durations), garbage and non-positives reject.
+func TestParseBlockTimeout(t *testing.T) {
+	if d, ok := parseBlockTimeout("250"); !ok || d != 250*time.Millisecond {
+		t.Fatalf("250 -> %v, %v", d, ok)
+	}
+	if d, ok := parseBlockTimeout("99999999999999999"); !ok || d != maxBlockTimeout {
+		t.Fatalf("huge -> %v, %v (want clamp to %v)", d, ok, maxBlockTimeout)
+	}
+	for _, bad := range []string{"0", "-5", "nope", ""} {
+		if _, ok := parseBlockTimeout(bad); ok {
+			t.Errorf("%q accepted", bad)
+		}
 	}
 }

@@ -121,6 +121,15 @@ type shard struct {
 	stm *stm.STM
 	pub *stm.Var // publication sentinel (see Publish)
 
+	// kvers is the keyspace version: a transactional variable Touched
+	// (version-stamped and waiter-notified, value untouched) after every
+	// insertion into or sweep from the copy-on-write key table. The key
+	// table itself is not transactional, so this is how a blocked
+	// WaitGet/Watch observes key creation and deletion: its transaction
+	// reads kvers when the key is absent or condemned, and the Touch
+	// wakes it to re-route the key (see stm.STM.Touch).
+	kvers *stm.Var
+
 	mu   sync.Mutex                        // guards insertions into vars
 	vars atomic.Pointer[map[string]*entry] // copy-on-write key table
 }
@@ -153,7 +162,11 @@ func New(opts ...Option) *Store {
 	}
 	for i := range s.shards {
 		inst := stm.New(stmOpts...)
-		sh := &shard{stm: inst, pub: inst.NewVar(fmt.Sprintf("shard%d.pub", i), 0)}
+		sh := &shard{
+			stm:   inst,
+			pub:   inst.NewVar(fmt.Sprintf("shard%d.pub", i), 0),
+			kvers: inst.NewVar(fmt.Sprintf("shard%d.keys", i), 0),
+		}
 		empty := make(map[string]*entry)
 		sh.vars.Store(&empty)
 		s.shards[i] = sh
@@ -238,9 +251,9 @@ func (sh *shard) ensure(key string, counter bool) (*entry, error) {
 		return e, nil
 	}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	old := *sh.vars.Load()
 	if e := old[key]; e != nil {
+		sh.mu.Unlock()
 		if e.isCounter() != counter {
 			return nil, wrongType(key)
 		}
@@ -253,6 +266,11 @@ func (sh *shard) ensure(key string, counter bool) (*entry, error) {
 	e := sh.newEntry(key, counter)
 	next[key] = e
 	sh.vars.Store(&next)
+	sh.mu.Unlock()
+	// The keyspace changed: wake WaitGet/Watch transactions parked on
+	// the key's absence. Touch takes only leaf locks, so it is safe here
+	// even when ensure runs inside an open transaction (Txn.Set/Add).
+	sh.stm.Touch(sh.kvers)
 	return e, nil
 }
 
@@ -311,6 +329,9 @@ func (s *Store) ensureBulk(counter bool, keys []string) {
 			}
 			sh.vars.Store(&next)
 			sh.mu.Unlock()
+			if len(reused) < len(ks) {
+				sh.stm.Touch(sh.kvers) // created at least one key
+			}
 			if len(reused) == 0 {
 				break
 			}
@@ -619,6 +640,13 @@ func (s *Store) sweep(condemned map[string]*entry) {
 			sh.vars.Store(&next)
 		}
 		sh.mu.Unlock()
+		if any {
+			// The swept entries' variables will never change again, so
+			// waiters parked through them (a WaitGet that saw the
+			// tombstone) move to the keyspace version — announce the
+			// table change there.
+			sh.stm.Touch(sh.kvers)
+		}
 	}
 }
 
@@ -1083,6 +1111,13 @@ type Stats struct {
 	MultiCommits    uint64
 	ReadOnlyCommits uint64
 	Quiesces        uint64
+
+	// Blocking counters (WaitGet/Watch and any blocked Update bodies):
+	// parks taken, parks ended by a commit notification, and parks ended
+	// by the safety-net timer (see stm.Stats).
+	Waits           uint64
+	Wakeups         uint64
+	SpuriousWakeups uint64
 }
 
 // Stats aggregates per-shard STM counters and store-level counters.
@@ -1098,12 +1133,15 @@ func (s *Store) Stats() Stats {
 		st.MultiCommits += snap.MultiCommits
 		st.ReadOnlyCommits += snap.ReadOnlyCommits
 		st.Quiesces += snap.Quiesces
+		st.Waits += snap.Waits
+		st.Wakeups += snap.Wakeups
+		st.SpuriousWakeups += snap.SpuriousWakeups
 	}
 	return st
 }
 
 // String implements fmt.Stringer for diagnostics.
 func (st Stats) String() string {
-	return fmt.Sprintf("kv: shards=%d keys=%d fastgets=%d commits=%d conflicts=%d user-aborts=%d multi-commits=%d ro-commits=%d quiesces=%d",
-		st.Shards, st.Keys, st.FastGets, st.Commits, st.Conflicts, st.UserAborts, st.MultiCommits, st.ReadOnlyCommits, st.Quiesces)
+	return fmt.Sprintf("kv: shards=%d keys=%d fastgets=%d commits=%d conflicts=%d user-aborts=%d multi-commits=%d ro-commits=%d quiesces=%d waits=%d wakeups=%d spurious-wakeups=%d",
+		st.Shards, st.Keys, st.FastGets, st.Commits, st.Conflicts, st.UserAborts, st.MultiCommits, st.ReadOnlyCommits, st.Quiesces, st.Waits, st.Wakeups, st.SpuriousWakeups)
 }

@@ -1,0 +1,131 @@
+// Blocking reads: WaitGet and Watch, built on the STM runtime's
+// commit-notification subsystem (stm.Tx.Block). A blocked reader parks
+// on the variables it read — the key's value and tombstone, or the
+// shard's keyspace version when the key is absent — and is woken by the
+// commit (or table Touch) that changes them, instead of polling.
+//
+// Tombstones and the key table interact with blocking as follows. A key
+// that does not exist — never created, or condemned by a Delete whose
+// sweep may still be in flight — reads as absent, and the waiting
+// transaction joins the shard's keyspace version (kvers) instead:
+// entry creation and sweep completion Touch it, so re-creation of the
+// key wakes the waiter even though the fresh entry's variables did not
+// exist when it parked. Privatize's quiescence fence broadcasts to all
+// waiters of the fenced shards (a privatized variable's plain writes
+// would otherwise never wake them); after the fence, a still-blocked
+// reader of a privatized key re-parks and relies on the safety-net
+// recheck, which is the documented cost of blocking on state you have
+// made private.
+package kv
+
+import (
+	"bytes"
+	"context"
+
+	"modtx/internal/stm"
+)
+
+// blockOnKeyspace parks the transaction on the shard's keyspace version
+// because key routed to no live entry (have is the entry the caller
+// observed: nil, or a condemned one). The order is load-bearing for the
+// no-lost-wakeup guarantee: the kvers read happens first, and the table
+// is re-checked after it — a creation or sweep whose Touch landed before
+// our kvers read necessarily stored its table first, so the re-lookup
+// observes it and restarts instead of parking past an already-delivered
+// notification (on the glock and tl2 engines the kvers read alone would
+// absorb such a Touch without conflicting). A Touch after the kvers read
+// is caught by the park's register-then-revalidate protocol. Never
+// returns.
+func blockOnKeyspace(tx *stm.Tx, sh *shard, key string, have *entry) {
+	tx.Read(sh.kvers)
+	if sh.lookup(key) != have {
+		tx.Retry() // the keyspace moved under us: re-run against it now
+	}
+	tx.Block()
+}
+
+// WaitGet returns key's value, blocking until the key exists: if the key
+// is present (and not condemned) it behaves like Get, otherwise the call
+// parks until a Set, CounterAdd, MSet, Update or Publish brings the key
+// to life, and then returns the value it observes. Counters are
+// formatted as decimal, exactly as Get. The wait is event-driven — a
+// parked WaitGet consumes no CPU and wakes on the next relevant commit.
+// Cancellation or deadline on ctx ends the wait with a *stm.TxError
+// wrapping stm.ErrCanceled.
+func (s *Store) WaitGet(ctx context.Context, key string) ([]byte, error) {
+	sh := s.shards[s.ShardOf(key)]
+	var out []byte
+	err := sh.stm.AtomicallyCtx(ctx, func(tx *stm.Tx) error {
+		out = nil
+		e := sh.lookup(key)
+		if e == nil || tx.Read(e.dead) != 0 {
+			// Absent, or condemned (the entry is dead forever — the
+			// wakeup that matters is the sweep and later re-creation,
+			// both of which Touch the keyspace version). Park on kvers.
+			blockOnKeyspace(tx, sh, key, e)
+		}
+		if e.isCounter() {
+			out = formatCounter(tx.Read(e.c))
+		} else {
+			out = stm.ReadT(tx, e.b)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Watch blocks until key's state differs from what Watch itself observes
+// at call time, then returns the new state: the value and ok=true while
+// the key exists, ok=false when it was deleted. Equality is by value
+// (bytes.Equal on the surfaced representation), so a Set that rewrites
+// the same bytes does not wake the caller, and intermediate states
+// between wakeups are not observed (Watch is level-triggered, not an
+// event log). Use WatchFrom to supply the baseline yourself — e.g. to
+// re-arm a watch loop without re-reading.
+func (s *Store) Watch(ctx context.Context, key string) ([]byte, bool, error) {
+	base, present, err := s.Get(key)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.WatchFrom(ctx, key, base, present)
+}
+
+// WatchFrom blocks until key's state differs from the given baseline
+// (val compared by bytes.Equal, present for existence) and returns the
+// state it observes then. It returns immediately if the current state
+// already differs. The wait is event-driven, like WaitGet.
+func (s *Store) WatchFrom(ctx context.Context, key string, val []byte, present bool) ([]byte, bool, error) {
+	sh := s.shards[s.ShardOf(key)]
+	var out []byte
+	var ok bool
+	err := sh.stm.AtomicallyCtx(ctx, func(tx *stm.Tx) error {
+		out, ok = nil, false
+		e := sh.lookup(key)
+		if e != nil && tx.Read(e.dead) == 0 {
+			if e.isCounter() {
+				out = formatCounter(tx.Read(e.c))
+			} else {
+				out = stm.ReadT(tx, e.b)
+			}
+			ok = true
+		}
+		if ok == present && (!ok || bytes.Equal(out, val)) {
+			// Unchanged from the baseline: keep waiting. A live entry's
+			// own variables are the footprint; an absent/condemned key
+			// parks on the keyspace version (with the same read-then-
+			// recheck ordering as WaitGet).
+			if !ok {
+				blockOnKeyspace(tx, sh, key, e)
+			}
+			tx.Block()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return out, ok, nil
+}

@@ -3,6 +3,7 @@ package stm
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 // The zero-allocation contract of the hot path: once the pooled Tx has
@@ -98,6 +99,70 @@ func TestAllocsMixedModeLoadStore(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Errorf("plain Load/Store: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestAllocsCommitWithParkedWaiter: the commit-notification hook keeps
+// the non-blocking fast path allocation-free even when the waiter table
+// is active — including the worst case, a parked waiter hashed into the
+// same bucket as the committed variable (the notify scan and channel
+// signal allocate nothing).
+func TestAllocsCommitWithParkedWaiter(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, e := range engines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithEngine(e))
+			parkedVar := s.NewVar("parked", 0) // id 1
+			var hot *Var
+			for i := 0; ; i++ {
+				v := s.NewVar(fmt.Sprintf("v%d", i), 0)
+				if v.id != parkedVar.id && v.id%waitBuckets == parkedVar.id%waitBuckets {
+					hot = v // same bucket as the parked waiter, different id
+					break
+				}
+			}
+			parked := make(chan error, 1)
+			go func() {
+				parked <- s.Atomically(func(tx *Tx) error {
+					if tx.Read(parkedVar) == 0 {
+						tx.Block()
+					}
+					return nil
+				})
+			}()
+			deadline := time.Now().Add(10 * time.Second)
+			for s.Snapshot().Waits == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("waiter never parked")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			body := func(tx *Tx) error {
+				tx.Write(hot, tx.Read(hot)+1)
+				return nil
+			}
+			for i := 0; i < 32; i++ {
+				if err := s.Atomically(body); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(100, func() {
+				if err := s.Atomically(body); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("commit with parked waiter: %v allocs/op, want 0", avg)
+			}
+			if err := s.Atomically(func(tx *Tx) error { tx.Write(parkedVar, 1); return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-parked; err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 )
@@ -85,6 +86,38 @@ func (q *Queue[T]) Dequeue() (v T, ok bool, err error) {
 		return nil
 	})
 	return v, ok, err
+}
+
+// PopWait dequeues the head, blocking while the queue is empty: the
+// transaction parks on the queue's state (see Tx.Block) and is woken by
+// the commit that enqueues — no polling, no lost wakeups, no CPU while
+// parked. Cancel the wait through ctx; cancellation (or deadline)
+// surfaces as a *TxError wrapping ErrCanceled. Multiple concurrent
+// PopWaits race fairly for elements: each enqueue wakes the parked
+// consumers and exactly one of them dequeues the element (the others
+// re-park).
+func (q *Queue[T]) PopWait(ctx context.Context) (T, error) {
+	var out T
+	err := q.s.AtomicallyCtx(ctx, func(tx *Tx) error {
+		v, ok := q.DequeueTx(tx)
+		if !ok {
+			tx.Block()
+		}
+		out = v
+		return nil
+	})
+	return out, err
+}
+
+// PushWait enqueues v, blocking while the queue is full — the blocking
+// dual of PopWait, woken by the commit that dequeues.
+func (q *Queue[T]) PushWait(ctx context.Context, v T) error {
+	return q.s.AtomicallyCtx(ctx, func(tx *Tx) error {
+		if !q.EnqueueTx(tx, v) {
+			tx.Block()
+		}
+		return nil
+	})
 }
 
 // Len returns the current size (its own read-only transaction).

@@ -73,6 +73,14 @@ type engine interface {
 	// rollback undoes in-place effects and drops buffers.
 	rollback(tx *Tx)
 
+	// wakeSet calls f for every variable the just-committed transaction
+	// published, in the engine's own write-set representation — the hook
+	// the commit-notification subsystem (notify.go) uses to wake parked
+	// transactions. Called by commitPrepared after commit, so the new
+	// version words are visible before any waiter is signaled, and only
+	// when the instance has registered waiters.
+	wakeSet(tx *Tx, f func(*varBase))
+
 	// invisibleReadOnly reports whether a single-instance read-only
 	// transaction (AtomicallyRead) can run with no read set at all:
 	// every read validates against tx.rv at read time, so commit needs
@@ -181,16 +189,19 @@ func sampleVar(tx *Tx, v *Var, record, extend bool) int64 {
 	for {
 		m1 := v.meta.Load()
 		if isLocked(m1) {
-			tx.conflict()
+			// A commit is in flight on v: park on it — its writeback (or
+			// the fallback timer, if it aborts) re-runs us.
+			tx.conflictOn(&v.varBase, m1)
 		}
 		val := v.val.Load()
 		if m2 := v.meta.Load(); m1 != m2 {
 			continue // torn sample; retry
 		}
 		if version(m1) > tx.rv {
-			// Written by a transaction after our snapshot.
+			// Written by a transaction after our snapshot: the world
+			// already changed, so retry immediately — never park.
 			if !extend || !tx.extendSnapshot() {
-				tx.conflict()
+				tx.conflictRetryNow()
 			}
 			continue
 		}
@@ -208,7 +219,7 @@ func sampleBox(tx *Tx, b boxed, record, extend bool) any {
 	for {
 		m1 := vb.meta.Load()
 		if isLocked(m1) {
-			tx.conflict()
+			tx.conflictOn(vb, m1)
 		}
 		box := b.loadBox()
 		if m2 := vb.meta.Load(); m1 != m2 {
@@ -216,7 +227,7 @@ func sampleBox(tx *Tx, b boxed, record, extend bool) any {
 		}
 		if version(m1) > tx.rv {
 			if !extend || !tx.extendSnapshot() {
-				tx.conflict()
+				tx.conflictRetryNow()
 			}
 			continue
 		}
@@ -285,6 +296,14 @@ func lockWriteSetSorted(tx *Tx) bool {
 	for i := range lm {
 		m, ok := lm[i].vb.tryLock(tx.rv)
 		if !ok {
+			// Attribute the failure for the parking retry loop: a locked
+			// write target is worth parking on (its committer will wake
+			// us), a too-new or torn one means retry immediately.
+			if isLocked(m) {
+				tx.conflictVB, tx.conflictMeta = lm[i].vb, m
+			} else {
+				tx.conflictChanged = true
+			}
 			for j := i - 1; j >= 0; j-- {
 				lm[j].vb.meta.Store(lm[j].meta)
 			}

@@ -26,7 +26,10 @@ func (tx *Tx) encounterLock(vb *varBase) (firstTouch bool) {
 	}
 	m, ok := vb.tryLock(tx.rv)
 	if !ok {
-		tx.conflict()
+		if isLocked(m) {
+			tx.conflictOn(vb, m) // park: the holder's commit wakes us
+		}
+		tx.conflictRetryNow() // too new or torn: the world already moved
 	}
 	tx.addLocked(vb, m)
 	return true
@@ -102,6 +105,14 @@ func (eagerEngine) rollback(tx *Tx) {
 		tx.locked[i].vb.meta.Store(tx.locked[i].meta) // release, version unchanged
 	}
 	// The lock table and undo logs are dropped by the Tx reset.
+}
+
+// wakeSet announces the encounter-time lock table: every lock was taken
+// by a write, so it is exactly the published write set.
+func (eagerEngine) wakeSet(tx *Tx, f func(*varBase)) {
+	for i := range tx.locked {
+		f(tx.locked[i].vb)
+	}
 }
 
 func (eagerEngine) invisibleReadOnly() bool { return false }

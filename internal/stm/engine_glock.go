@@ -16,7 +16,13 @@ func (glockEngine) begin(tx *Tx) {
 func (glockEngine) finish(tx *Tx) { <-tx.s.glock }
 
 func (glockEngine) read(tx *Tx, v *Var) int64 {
-	// The global mutex serializes transactions; plain load suffices.
+	// The global mutex serializes transactions, so a plain load suffices
+	// for consistency — but the read still joins the read set (with the
+	// version word the notification subsystem compares) so a blocked or
+	// conflicted attempt knows what footprint to park on. validateReads
+	// stays trivially true; the entries are wait registrations only.
+	tx.reads = append(tx.reads, readEntry{vb: &v.varBase, meta: v.meta.Load()})
+	tx.nreads++
 	return v.val.Load()
 }
 
@@ -25,7 +31,12 @@ func (glockEngine) write(tx *Tx, v *Var, x int64) {
 	v.val.Store(x)
 }
 
-func (glockEngine) readBoxed(tx *Tx, b boxed) any { return b.loadBox() }
+func (glockEngine) readBoxed(tx *Tx, b boxed) any {
+	vb := b.base()
+	tx.reads = append(tx.reads, readEntry{vb: vb, meta: vb.meta.Load()})
+	tx.nreads++
+	return b.loadBox()
+}
 
 func (glockEngine) writeBoxed(tx *Tx, b boxed, box any) {
 	tx.pundo = append(tx.pundo, pundoEntry{b: b, old: b.loadBox()})
@@ -61,6 +72,19 @@ func (glockEngine) rollback(tx *Tx) {
 		tx.pundo[i].b.storeBox(tx.pundo[i].old)
 	}
 	// The undo logs are dropped by the Tx reset.
+}
+
+// wakeSet announces the undo logs — every in-place write logged its
+// variable, so the logs cover the published write set (repeat writes
+// re-signal the same variable, which the buffered waiter channel
+// collapses).
+func (glockEngine) wakeSet(tx *Tx, f func(*varBase)) {
+	for i := range tx.undo {
+		f(&tx.undo[i].v.varBase)
+	}
+	for i := range tx.pundo {
+		f(tx.pundo[i].b.base())
+	}
 }
 
 func (glockEngine) invisibleReadOnly() bool { return false }

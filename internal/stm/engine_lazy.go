@@ -88,4 +88,16 @@ func (lazyEngine) rollback(tx *Tx) {
 	// Nothing was published; the buffers are dropped by the Tx reset.
 }
 
+// wakeSet announces the buffered write set (both lanes) — the variables
+// whose version words commit just advanced. The tl2 engine inherits
+// this along with the commit protocol.
+func (lazyEngine) wakeSet(tx *Tx, f func(*varBase)) {
+	for i := range tx.writes {
+		f(&tx.writes[i].v.varBase)
+	}
+	for i := range tx.pwrites {
+		f(tx.pwrites[i].b.base())
+	}
+}
+
 func (lazyEngine) invisibleReadOnly() bool { return false }

@@ -17,7 +17,14 @@ package stm
 //
 // Writes are buffered exactly as in the lazy engine, so tl2 inherits the
 // §3.5 delayed-writeback privatization anomaly — new engines are new
-// scenarios, not new guarantees; use Quiesce for privatization.
+// scenarios, not new guarantees; use Quiesce for privatization. It also
+// inherits the lazy engine's commit path wholesale, including wakeSet:
+// commit notification announces the buffered write set after writeback.
+//
+// Invisible reads interact with blocking: a read-only tl2 attempt keeps
+// no read set, so when its body calls Block the runtime re-runs it once
+// with the read set forced on (see atomicallyRead) — visible reads for
+// that call only — and parks precisely from then on.
 type tl2Engine struct{ lazyEngine }
 
 func (tl2Engine) read(tx *Tx, v *Var) int64 {

@@ -1,0 +1,170 @@
+package stm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestOrElseFirstMatch: alternatives are tried in order and exactly one
+// commits — the first that neither blocks nor conflicts.
+func TestOrElseFirstMatch(t *testing.T) {
+	for _, e := range engines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithEngine(e))
+			hi := NewQueue[string](s, "hi", 4)
+			lo := NewQueue[string](s, "lo", 4)
+			popOr := func(q *Queue[string], out *string) func(*Tx) error {
+				return func(tx *Tx) error {
+					v, ok := q.DequeueTx(tx)
+					if !ok {
+						tx.Block()
+					}
+					*out = v
+					return nil
+				}
+			}
+			if _, err := lo.Enqueue("low"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := hi.Enqueue("high"); err != nil {
+				t.Fatal(err)
+			}
+			var got string
+			// Both non-empty: the first alternative wins.
+			if err := s.OrElse(popOr(hi, &got), popOr(lo, &got)); err != nil {
+				t.Fatal(err)
+			}
+			if got != "high" {
+				t.Fatalf("got %q, want high", got)
+			}
+			// First empty and blocking: the second commits.
+			if err := s.OrElse(popOr(hi, &got), popOr(lo, &got)); err != nil {
+				t.Fatal(err)
+			}
+			if got != "low" {
+				t.Fatalf("got %q, want low", got)
+			}
+			// The high-priority element was consumed by the first choice
+			// only: first-match semantics commit exactly one alternative.
+			if n, err := hi.Len(); err != nil || n != 0 {
+				t.Fatalf("hi len = %d, %v", n, err)
+			}
+			if n, err := lo.Len(); err != nil || n != 0 {
+				t.Fatalf("lo len = %d, %v", n, err)
+			}
+		})
+	}
+}
+
+// TestOrElseParksOnUnion: when every alternative blocks, the choice
+// parks on the union of their footprints — a commit into either queue
+// wakes and resolves it.
+func TestOrElseParksOnUnion(t *testing.T) {
+	for _, e := range engines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithEngine(e))
+			q1 := NewQueue[int](s, "q1", 4)
+			q2 := NewQueue[int](s, "q2", 4)
+			for round, feed := range []*Queue[int]{q1, q2} {
+				base := s.Snapshot().Waits
+				got := make(chan int, 1)
+				go func() {
+					var v int
+					err := s.OrElse(
+						func(tx *Tx) error {
+							x, ok := q1.DequeueTx(tx)
+							if !ok {
+								tx.Block()
+							}
+							v = x
+							return nil
+						},
+						func(tx *Tx) error {
+							x, ok := q2.DequeueTx(tx)
+							if !ok {
+								tx.Block()
+							}
+							v = -x
+							return nil
+						},
+					)
+					if err != nil {
+						t.Error(err)
+					}
+					got <- v
+				}()
+				waitForParks(t, s, base+1)
+				if _, err := feed.Enqueue(10 + round); err != nil {
+					t.Fatal(err)
+				}
+				select {
+				case v := <-got:
+					want := 10 + round
+					if round == 1 {
+						want = -want
+					}
+					if v != want {
+						t.Fatalf("round %d: got %d, want %d", round, v, want)
+					}
+				case <-time.After(10 * time.Second):
+					t.Fatalf("round %d: OrElse lost the wakeup", round)
+				}
+			}
+		})
+	}
+}
+
+// TestOrElseCtxCanceledWhileParked: cancellation releases a fully
+// blocked choice with the canonical error chain.
+func TestOrElseCtxCanceledWhileParked(t *testing.T) {
+	s := New()
+	v := s.NewVar("v", 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- s.OrElseCtx(ctx,
+			func(tx *Tx) error { _ = tx.Read(v); tx.Block(); return nil },
+			func(tx *Tx) error { _ = tx.Read(v); tx.Block(); return nil },
+		)
+	}()
+	waitForParks(t, s, 1)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled OrElse never returned")
+	}
+}
+
+// TestOrElseUserError: an alternative's non-nil error aborts the whole
+// choice without trying later alternatives.
+func TestOrElseUserError(t *testing.T) {
+	s := New()
+	boom := errors.New("boom")
+	ran2 := false
+	err := s.OrElse(
+		func(tx *Tx) error { return boom },
+		func(tx *Tx) error { ran2 = true; return nil },
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran2 {
+		t.Fatal("second alternative ran after the first returned an error")
+	}
+}
+
+// TestOrElseNoAlternativesPanics pins the programming-error contract.
+func TestOrElseNoAlternativesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OrElse() with no alternatives did not panic")
+		}
+	}()
+	_ = New().OrElse()
+}

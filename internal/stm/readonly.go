@@ -22,6 +22,12 @@ func (r *ReadTx) Read(v *Var) int64 { return r.tx.Read(v) }
 // beginning (counted as a conflict); see Tx.Retry.
 func (r *ReadTx) Retry() { r.tx.Retry() }
 
+// Block parks the read-only transaction until a variable it has read is
+// changed by another commit; see Tx.Block. On engines with invisible
+// read-only reads (tl2) the first Block of a call re-runs the body once
+// with the read set forced on, so the park registers a real footprint.
+func (r *ReadTx) Block() { r.tx.Block() }
+
 // ReadTVar returns the transactional value of a typed variable inside a
 // read-only transaction — the ReadTx twin of ReadT.
 func ReadTVar[T any](r *ReadTx, v *TVar[T]) T {
@@ -45,21 +51,34 @@ func (s *STM) AtomicallyReadCtx(ctx context.Context, fn func(*ReadTx) error) err
 }
 
 func (s *STM) atomicallyRead(ctx context.Context, fn func(*ReadTx) error) error {
-	conflicts := 0
-	for attempt := 0; attempt < s.maxRetries; attempt++ {
+	conflicts, parks := 0, 0
+	blockNeedsReadSet := false
+	for attempt := 0; attempt < s.maxRetries; {
 		if err := ctxErr(ctx); err != nil {
 			return s.txError("atomically-read", attempt, conflicts, ErrCanceled, err)
 		}
 		tx := s.begin()
 		tx.readOnly = true
-		tx.noReadSet = s.eng.invisibleReadOnly()
-		err, conflicted := tx.runReadBody(fn)
+		tx.noReadSet = s.eng.invisibleReadOnly() && !blockNeedsReadSet
+		err, st := tx.runReadBody(fn)
 		switch {
-		case conflicted:
+		case st == txBlocked:
+			if tx.noReadSet && tx.nreads > 0 {
+				// Invisible reads left nothing to park on: re-run once
+				// with the read set forced on so the park is precise.
+				blockNeedsReadSet = true
+				tx.abortAttempt()
+				continue
+			}
+			w := s.newWaiter()
+			w.captureTx(tx)
 			tx.abortAttempt()
-			s.stats.Conflicts.Add(1)
+			s.parkBlocked(ctx, w, parks)
+			parks++
+			continue
+		case st == txConflicted:
+			attempt = s.conflictedAttempt(ctx, tx, attempt)
 			conflicts++
-			backoff(ctx, attempt)
 			continue
 		case err != nil:
 			tx.abortAttempt()
@@ -76,10 +95,8 @@ func (s *STM) atomicallyRead(ctx context.Context, fn func(*ReadTx) error) error 
 			s.stats.ReadOnlyCommits.Add(1)
 			return nil
 		}
-		tx.abortAttempt()
-		s.stats.Conflicts.Add(1)
+		attempt = s.conflictedAttempt(ctx, tx, attempt)
 		conflicts++
-		backoff(ctx, attempt)
 	}
 	return s.txError("atomically-read", s.maxRetries, conflicts, ErrMaxRetries, nil)
 }
@@ -135,8 +152,15 @@ func atomicallyReadMulti(ctx context.Context, stms []*STM, fn func(rtxs []*ReadT
 			rtxs[i].tx.abortAttempt()
 		}
 	}
-	conflicts := 0
-	for attempt := 0; attempt < stms[0].maxRetries; attempt++ {
+	captureAll := func(attempt int) (*waiter, bool) {
+		txs := make([]*Tx, len(rtxs))
+		for i, r := range rtxs {
+			txs[i] = r.tx
+		}
+		return captureConflictMulti(stms[0], txs, attempt)
+	}
+	conflicts, parks := 0, 0
+	for attempt := 0; attempt < stms[0].maxRetries; {
 		if err := ctxErr(ctx); err != nil {
 			return stms[0].txError("atomically-read-multi", attempt, conflicts, ErrCanceled, err)
 		}
@@ -145,15 +169,26 @@ func atomicallyReadMulti(ctx context.Context, stms []*STM, fn func(rtxs []*ReadT
 			tx.readOnly = true // read sets stay on: see the soundness note
 			rtxs[i] = &tx.rtx
 		}
-		err, conflicted := runReadMultiBody(rtxs, fn)
+		err, st := runReadMultiBody(rtxs, fn)
 		switch {
-		case conflicted:
+		case st == txBlocked:
+			w := stms[0].newWaiter()
+			for _, r := range rtxs {
+				w.captureTx(r.tx)
+			}
+			abortAll()
+			stms[0].parkBlocked(ctx, w, parks)
+			parks++
+			continue
+		case st == txConflicted:
+			w, changed := captureAll(attempt)
 			abortAll()
 			for _, s := range stms {
 				s.stats.Conflicts.Add(1)
 			}
 			conflicts++
-			backoff(ctx, attempt)
+			attempt++
+			stms[0].afterConflict(ctx, w, changed, attempt)
 			continue
 		case err != nil:
 			abortAll()
@@ -170,12 +205,14 @@ func atomicallyReadMulti(ctx context.Context, stms []*STM, fn func(rtxs []*ReadT
 			}
 		}
 		if !valid {
+			w, changed := captureAll(attempt)
 			abortAll()
 			for _, s := range stms {
 				s.stats.Conflicts.Add(1)
 			}
 			conflicts++
-			backoff(ctx, attempt)
+			attempt++
+			stms[0].afterConflict(ctx, w, changed, attempt)
 			continue
 		}
 		// Nothing to publish; resolve the attempts.

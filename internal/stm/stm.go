@@ -51,11 +51,14 @@ const lockedBit = 1
 
 // varBase is the engine-facing core every transactional variable embeds:
 // a stable identity for deterministic lock ordering, a diagnostic name,
-// and a TL2-style versioned lock packed as version<<1 | lockedBit.
+// a TL2-style versioned lock packed as version<<1 | lockedBit, and the
+// owning instance (whose waiter table parked transactions register in —
+// see notify.go).
 type varBase struct {
-	id   uint64
-	name string
-	meta atomic.Uint64
+	id    uint64
+	name  string
+	owner *STM
+	meta  atomic.Uint64
 }
 
 // Name returns the variable's diagnostic name.
@@ -66,11 +69,13 @@ func isLocked(meta uint64) bool  { return meta&lockedBit != 0 }
 
 // tryLock CASes the lock bit in, failing when the variable is locked or
 // was written after the snapshot rv. On success the pre-lock meta is
-// returned for restoration on abort.
+// returned for restoration on abort; on failure the sampled meta is
+// returned so the caller can attribute the conflict (park on a locked
+// variable, retry immediately past a too-new one).
 func (vb *varBase) tryLock(rv uint64) (uint64, bool) {
 	m := vb.meta.Load()
 	if isLocked(m) || version(m) > rv || !vb.meta.CompareAndSwap(m, m|lockedBit) {
-		return 0, false
+		return m, false
 	}
 	return m, true
 }
@@ -121,6 +126,17 @@ type Stats struct {
 	MultiCommits    atomic.Uint64 // commits that were part of an AtomicallyMulti
 	ReadOnlyCommits atomic.Uint64 // commits through AtomicallyRead / AtomicallyReadMulti
 	Quiesces        atomic.Uint64 // quiescence fences executed
+
+	// Blocking subsystem (see notify.go). Waits counts parks — attempts
+	// that registered their footprint, revalidated and went to sleep;
+	// Wakeups counts parks ended by a commit notification (or the
+	// quiescence broadcast); SpuriousWakeups counts parks ended by the
+	// bounded fallback timer with no notification — the rare windows
+	// notification cannot cover, such as a lock-holder that aborted.
+	// Parks ended by context cancellation count in neither.
+	Waits           atomic.Uint64
+	Wakeups         atomic.Uint64
+	SpuriousWakeups atomic.Uint64
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
@@ -131,6 +147,9 @@ type StatsSnapshot struct {
 	MultiCommits    uint64
 	ReadOnlyCommits uint64
 	Quiesces        uint64
+	Waits           uint64
+	Wakeups         uint64
+	SpuriousWakeups uint64
 }
 
 // STM is a transactional memory instance. Vars belong to the instance that
@@ -146,10 +165,18 @@ type STM struct {
 	slots      []slot
 	stats      Stats
 
+	// waiters is the commit-notification table: parked transactions
+	// register their footprints here and every commit announces its
+	// write set through it (see notify.go).
+	waiters waitTable
+
 	// txPool recycles attempt handles: begin takes one, finishTx resets
 	// it (retaining slice capacity) and puts it back, so the steady-state
 	// transaction path allocates nothing.
 	txPool sync.Pool
+
+	// waiterPool recycles park registrations the same way.
+	waiterPool sync.Pool
 
 	// Test hooks, called at anomaly windows when non-nil. WritebackDelay
 	// runs after validation and before lazy writeback; RollbackDelay runs
@@ -198,6 +225,9 @@ func New(opts ...Option) *STM {
 		tx.rtx.tx = tx
 		return tx
 	}
+	s.waiterPool.New = func() any {
+		return &waiter{s: s, ch: make(chan struct{}, 1)}
+	}
 	return s
 }
 
@@ -209,7 +239,7 @@ func (s *STM) MaxRetries() int { return s.maxRetries }
 
 // NewVar creates an int64 transactional variable with an initial value.
 func (s *STM) NewVar(name string, init int64) *Var {
-	v := &Var{varBase: varBase{id: s.nextVarID.Add(1), name: name}}
+	v := &Var{varBase: varBase{id: s.nextVarID.Add(1), name: name, owner: s}}
 	v.val.Store(init)
 	return v
 }
@@ -223,6 +253,9 @@ func (s *STM) Snapshot() StatsSnapshot {
 		MultiCommits:    s.stats.MultiCommits.Load(),
 		ReadOnlyCommits: s.stats.ReadOnlyCommits.Load(),
 		Quiesces:        s.stats.Quiesces.Load(),
+		Waits:           s.stats.Waits.Load(),
+		Wakeups:         s.stats.Wakeups.Load(),
+		SpuriousWakeups: s.stats.SpuriousWakeups.Load(),
 	}
 }
 
@@ -260,7 +293,7 @@ func (s *STM) Quiesce(vars ...*Var) {
 			}
 		}
 		if !busy {
-			return
+			break
 		}
 		if spins < 64 {
 			runtime.Gosched()
@@ -268,6 +301,11 @@ func (s *STM) Quiesce(vars ...*Var) {
 			time.Sleep(time.Microsecond)
 		}
 	}
+	// Privatization must not strand waiters: once the fence passes, the
+	// privatized locations may change through plain writes that no
+	// commit will announce, so every transaction parked at fence time is
+	// woken to re-read the world (see waitTable.broadcast).
+	s.waiters.broadcast()
 }
 
 // String implements fmt.Stringer for diagnostics.

@@ -19,7 +19,7 @@ type TVar[T any] struct {
 // NewTVar creates a typed transactional variable with an initial value.
 // (A free function because Go methods cannot introduce type parameters.)
 func NewTVar[T any](s *STM, name string, init T) *TVar[T] {
-	v := &TVar[T]{varBase: varBase{id: s.nextVarID.Add(1), name: name}}
+	v := &TVar[T]{varBase: varBase{id: s.nextVarID.Add(1), name: name, owner: s}}
 	v.val.Store(&init)
 	return v
 }

@@ -59,6 +59,16 @@ type Tx struct {
 	locked []lockedEntry    // encounter-time locks, insertion order
 	lindex map[*varBase]int // spill: var -> index into locked
 
+	// Conflict attribution, consumed by the parking retry loops: the
+	// variable (and the word observed on it) whose lock raised the
+	// conflict, so the waiter can park on it even though it never joined
+	// the read set — or conflictChanged, meaning the conflict itself
+	// proved the world moved (too-new version, torn CAS) and the attempt
+	// should retry immediately instead of parking.
+	conflictVB      *varBase
+	conflictMeta    uint64
+	conflictChanged bool
+
 	// rtx is the read-only view handed to AtomicallyRead bodies; it
 	// points back at this Tx so no per-attempt wrapper is allocated.
 	rtx ReadTx
@@ -259,23 +269,61 @@ func (tx *Tx) reset() {
 	tx.locked = tx.locked[:0]
 	tx.lindex = nil
 	tx.rv = 0
+	tx.conflictVB, tx.conflictMeta, tx.conflictChanged = nil, 0, false
 }
 
 // conflictSignal aborts the current attempt; Atomically recovers it.
 type conflictSignal struct{}
 
+// blockSignal aborts the current attempt and parks the transaction on
+// its footprint; Tx.Block raises it.
+type blockSignal struct{}
+
 func (tx *Tx) conflict() {
 	panic(conflictSignal{})
 }
 
+// conflictOn aborts the attempt attributing the conflict to vb, observed
+// locked (or otherwise busy) with the word meta: the retry loop can park
+// on vb and be woken by the commit that releases it.
+func (tx *Tx) conflictOn(vb *varBase, meta uint64) {
+	tx.conflictVB, tx.conflictMeta = vb, meta
+	panic(conflictSignal{})
+}
+
+// conflictRetryNow aborts the attempt marking the world as already
+// changed (a too-new version, a torn CAS): the retry loop re-runs
+// immediately instead of parking, because the next attempt's fresh
+// snapshot will observe the new state.
+func (tx *Tx) conflictRetryNow() {
+	tx.conflictChanged = true
+	panic(conflictSignal{})
+}
+
 // Retry aborts the current attempt and re-runs the transaction from the
-// beginning (counted as a conflict, with the usual backoff). Use it when
-// the body observes state that a concurrent transaction is about to
-// change — e.g. a tombstoned entry whose removal is in flight — and the
-// only correct move is to start over against fresh state. It never
+// beginning (counted as a conflict; prompt for the first few attempts,
+// then under the bounded fallback). Use it when the body observes state
+// that a concurrent actor is about to change outside the transactional
+// world — e.g. a tombstoned entry whose table removal is in flight — and
+// the only correct move is to start over against fresh state. To wait
+// for transactional state to change, use Block instead. It never
 // returns.
 func (tx *Tx) Retry() {
 	tx.conflict()
+}
+
+// Block aborts the current attempt and parks the transaction until a
+// variable it has read (its footprint: the read set, plus any write
+// targets) is changed by another commit, at which point the body re-runs
+// from the beginning against fresh state. This is the composable
+// blocking primitive of the transactional API — the body expresses only
+// the condition ("queue empty, so block"), and the commit-notification
+// subsystem supplies the wakeup, with no polling and no lost wakeups
+// (the footprint is registered and revalidated before parking). A
+// blocked attempt consumes no retry budget and no measurable CPU while
+// parked; cancel it with the context of AtomicallyCtx. It never returns.
+func (tx *Tx) Block() {
+	panic(blockSignal{})
 }
 
 // begin opens an unmanaged transaction attempt: it takes a pooled (or
@@ -327,21 +375,29 @@ func (s *STM) AtomicallyCtx(ctx context.Context, fn func(*Tx) error) error {
 }
 
 func (s *STM) atomically(ctx context.Context, fn func(*Tx) error) error {
-	conflicts := 0
-	for attempt := 0; attempt < s.maxRetries; attempt++ {
+	conflicts, parks := 0, 0
+	for attempt := 0; attempt < s.maxRetries; {
 		if err := ctxErr(ctx); err != nil {
 			return s.txError("atomically", attempt, conflicts, ErrCanceled, err)
 		}
 		tx := s.begin()
-		err, conflicted := tx.runBody(fn)
-		switch {
-		case conflicted:
+		err, st := tx.runBody(fn)
+		switch st {
+		case txBlocked:
+			// An explicit Block consumes no retry budget: a long-lived
+			// waiter may legitimately park thousands of times.
+			w := s.newWaiter()
+			w.captureTx(tx)
 			tx.abortAttempt()
-			s.stats.Conflicts.Add(1)
-			conflicts++
-			backoff(ctx, attempt)
+			s.parkBlocked(ctx, w, parks)
+			parks++
 			continue
-		case err != nil:
+		case txConflicted:
+			attempt = s.conflictedAttempt(ctx, tx, attempt)
+			conflicts++
+			continue
+		}
+		if err != nil {
 			tx.abortAttempt()
 			s.stats.UserAborts.Add(1)
 			return err
@@ -352,10 +408,8 @@ func (s *STM) atomically(ctx context.Context, fn func(*Tx) error) error {
 			s.stats.Commits.Add(1)
 			return nil
 		}
-		tx.abortAttempt()
-		s.stats.Conflicts.Add(1)
+		attempt = s.conflictedAttempt(ctx, tx, attempt)
 		conflicts++
-		backoff(ctx, attempt)
 	}
 	return s.txError("atomically", s.maxRetries, conflicts, ErrMaxRetries, nil)
 }
@@ -425,23 +479,34 @@ func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error)
 		return err
 	}
 	txs := make([]*Tx, len(stms))
-	conflicts := 0
-	for attempt := 0; attempt < stms[0].maxRetries; attempt++ {
+	conflicts, parks := 0, 0
+	for attempt := 0; attempt < stms[0].maxRetries; {
 		if err := ctxErr(ctx); err != nil {
 			return stms[0].txError("atomically-multi", attempt, conflicts, ErrCanceled, err)
 		}
 		for i, s := range stms {
 			txs[i] = s.begin()
 		}
-		err, conflicted := runMultiBody(txs, fn)
+		err, st := runMultiBody(txs, fn)
 		switch {
-		case conflicted:
+		case st == txBlocked:
+			w := stms[0].newWaiter()
+			for _, tx := range txs {
+				w.captureTx(tx)
+			}
+			abortAllTx(txs)
+			stms[0].parkBlocked(ctx, w, parks)
+			parks++
+			continue
+		case st == txConflicted:
+			w, changed := captureConflictMulti(stms[0], txs, attempt)
 			abortAllTx(txs)
 			for _, s := range stms {
 				s.stats.Conflicts.Add(1)
 			}
 			conflicts++
-			backoff(ctx, attempt)
+			attempt++
+			stms[0].afterConflict(ctx, w, changed, attempt)
 			continue
 		case err != nil:
 			abortAllTx(txs)
@@ -474,12 +539,14 @@ func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error)
 			}
 		}
 		if !prepared {
+			w, changed := captureConflictMulti(stms[0], txs, attempt)
 			abortAllTx(txs)
 			for _, s := range stms {
 				s.stats.Conflicts.Add(1)
 			}
 			conflicts++
-			backoff(ctx, attempt)
+			attempt++
+			stms[0].afterConflict(ctx, w, changed, attempt)
 			continue
 		}
 		for _, tx := range txs {
@@ -515,58 +582,74 @@ func (tx *Tx) abortAttempt() {
 	tx.finishTx()
 }
 
-// recoverConflict is the deferred half of the body runners: it converts
-// a conflict signal into a flag and re-raises anything else. Keeping it
-// a named function (rather than a closure) lets every attempt run
-// without allocating.
-func recoverConflict(conflicted *bool) {
-	if r := recover(); r != nil {
-		if _, ok := r.(conflictSignal); ok {
-			*conflicted = true
-			return
-		}
+// txStatus is how a body attempt resolved: ran to completion, aborted
+// by a conflict signal, or parked itself with Tx.Block.
+type txStatus int
+
+const (
+	txRan txStatus = iota
+	txConflicted
+	txBlocked
+)
+
+// recoverSignal is the deferred half of the body runners: it converts a
+// conflict or block signal into a status and re-raises anything else.
+// Keeping it a named function (rather than a closure) lets every attempt
+// run without allocating.
+func recoverSignal(st *txStatus) {
+	switch r := recover(); r.(type) {
+	case nil:
+	case conflictSignal:
+		*st = txConflicted
+	case blockSignal:
+		*st = txBlocked
+	default:
 		panic(r)
 	}
 }
 
-// runBody executes fn, converting conflict signals into a flag.
-func (tx *Tx) runBody(fn func(*Tx) error) (err error, conflicted bool) {
-	defer recoverConflict(&conflicted)
-	return fn(tx), false
+// runBody executes fn, converting conflict and block signals into a
+// status.
+func (tx *Tx) runBody(fn func(*Tx) error) (err error, st txStatus) {
+	defer recoverSignal(&st)
+	return fn(tx), txRan
 }
 
 // runReadBody executes a read-only body against the Tx's embedded
 // ReadTx view.
-func (tx *Tx) runReadBody(fn func(*ReadTx) error) (err error, conflicted bool) {
-	defer recoverConflict(&conflicted)
-	return fn(&tx.rtx), false
+func (tx *Tx) runReadBody(fn func(*ReadTx) error) (err error, st txStatus) {
+	defer recoverSignal(&st)
+	return fn(&tx.rtx), txRan
 }
 
 // runMultiBody executes fn over the attempt's handles; a conflict raised
 // by any participating instance aborts the whole attempt.
-func runMultiBody(txs []*Tx, fn func([]*Tx) error) (err error, conflicted bool) {
-	defer recoverConflict(&conflicted)
-	return fn(txs), false
+func runMultiBody(txs []*Tx, fn func([]*Tx) error) (err error, st txStatus) {
+	defer recoverSignal(&st)
+	return fn(txs), txRan
 }
 
 // runReadMultiBody is runMultiBody for read-only views.
-func runReadMultiBody(rtxs []*ReadTx, fn func([]*ReadTx) error) (err error, conflicted bool) {
-	defer recoverConflict(&conflicted)
-	return fn(rtxs), false
+func runReadMultiBody(rtxs []*ReadTx, fn func([]*ReadTx) error) (err error, st txStatus) {
+	defer recoverSignal(&st)
+	return fn(rtxs), txRan
 }
 
 // backoff yields (early attempts) or sleeps (persistent conflicts)
-// before the next attempt. A sleeping backoff selects on ctx so
-// cancellation aborts the wait promptly instead of burning the full
-// 4ms ceiling; the caller's loop then surfaces ErrCanceled.
+// before the next attempt — the pre-notification pause, surviving only
+// as the fallback for attempts with nothing to park on (empty
+// footprints) and as the duration schedule of conflictFallback. A
+// sleeping backoff selects on ctx so cancellation aborts the wait
+// promptly instead of burning the full 4ms ceiling; the caller's loop
+// then surfaces ErrCanceled.
 func backoff(ctx context.Context, attempt int) {
 	var d time.Duration
 	switch {
-	case attempt < 8:
+	case attempt < spinAttempts:
 		runtime.Gosched()
 		return
 	case attempt < 20:
-		d = time.Microsecond << uint(attempt-8)
+		d = time.Microsecond << uint(attempt-spinAttempts)
 	default:
 		d = 4 * time.Millisecond
 	}
@@ -614,9 +697,16 @@ func (tx *Tx) lockWrites() bool { return tx.e.lockWrites(tx) }
 func (tx *Tx) validateReads() bool { return tx.e.validateReads(tx) }
 
 // commitPrepared is commit phase two: it publishes the write set and
-// releases the commit-time locks with a fresh version. Only legal after a
-// successful prepare.
-func (tx *Tx) commitPrepared() { tx.e.commit(tx) }
+// releases the commit-time locks with a fresh version; once the new
+// version words are visible it announces the written variables to the
+// instance's waiter table (skipped entirely — one atomic load — while no
+// transaction is parked).
+func (tx *Tx) commitPrepared() {
+	tx.e.commit(tx)
+	if tx.s.waiters.active.Load() != 0 {
+		tx.e.wakeSet(tx, wakeVarBase)
+	}
+}
 
 // releasePrepared drops the phase-one locks without publishing, restoring
 // the pre-prepare lock words. A no-op unless lockWrites succeeded (commit

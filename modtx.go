@@ -17,7 +17,10 @@
 //   - a production STM runtime with a pluggable engine registry — lazy,
 //     eager (undo-log), global-lock and tl2 (snapshot/invisible-read)
 //     strategies behind one protocol — mixed-mode variables, read-only
-//     transactions and quiescence fences (internal/stm), plus conformance
+//     transactions, quiescence fences, and event-driven blocking: an
+//     internal commit-notification subsystem wakes transactions parked
+//     with Tx.Block (or composed with STM.OrElse) on the next relevant
+//     commit instead of polling (internal/stm), plus conformance
 //     checking of recorded runs against the model (internal/conform).
 //
 // This file re-exports the most useful entry points so that module-local
@@ -110,7 +113,9 @@ type (
 	// TVar is a typed transactional variable holding any T behind a
 	// word-sized pointer box.
 	TVar[T any] = stm.TVar[T]
-	// Tx is a transaction handle.
+	// Tx is a transaction handle. Tx.Block parks the transaction until
+	// a variable it has read changes (event-driven, no polling); see
+	// also STM.OrElse for composable blocking alternatives.
 	Tx = stm.Tx
 	// ReadTx is the handle of read-only transactions (AtomicallyRead):
 	// it can only read, so commit never takes write locks, and on the
@@ -121,7 +126,8 @@ type (
 	TxError = stm.TxError
 	// STMOption configures an STM instance (see WithEngine et al.).
 	STMOption = stm.Option
-	// Queue is a bounded transactional FIFO of T.
+	// Queue is a bounded transactional FIFO of T, with blocking
+	// PopWait/PushWait built on the commit-notification subsystem.
 	Queue[T any] = stm.Queue[T]
 	// TMap is a transactional hash map.
 	TMap[K comparable, V any] = stm.Map[K, V]
@@ -239,7 +245,10 @@ func AtomicallyReadMultiCtx(ctx context.Context, stms []*STM, fn func(rtxs []*Re
 type (
 	// KV is a sharded transactional key-value store backed by the STM
 	// runtime (see internal/kv and cmd/mtx-kv). Values are arbitrary
-	// byte strings; counters ride the int64 specialization.
+	// byte strings; counters ride the int64 specialization. Blocking
+	// reads — WaitGet (wait for a key to exist) and Watch (wait for a
+	// key to change) — park on the commit-notification subsystem and
+	// back the server's BGET/WATCH commands.
 	KV = kv.Store
 	// KVOption configures a KV store (see KVWithShards et al.).
 	KVOption = kv.Option

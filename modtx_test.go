@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"modtx"
 )
@@ -212,5 +213,82 @@ func TestFacadeEngineRegistryAndReadOnly(t *testing.T) {
 	}
 	if _, ok, _ := store.Get("a"); ok {
 		t.Fatal("deleted key still visible")
+	}
+}
+
+// TestFacadeBlocking exercises the blocking surface through the facade:
+// Tx.Block + OrElse on the STM, PopWait on the queue, WaitGet/Watch on
+// the KV store.
+func TestFacadeBlocking(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	s := modtx.NewSTM(modtx.WithEngine(modtx.TL2STM))
+	q := modtx.NewQueue[string](s, "q", 4)
+	got := make(chan string, 1)
+	go func() {
+		v, err := q.PopWait(ctx)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- v
+	}()
+	if err := q.PushWait(ctx, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != "hello" {
+			t.Fatalf("PopWait = %q", v)
+		}
+	case <-ctx.Done():
+		t.Fatal("PopWait lost the wakeup")
+	}
+
+	// OrElse: the first non-blocking alternative commits.
+	var src string
+	if _, err := q.Enqueue("from-q"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.OrElse(
+		func(tx *modtx.Tx) error {
+			v, ok := q.DequeueTx(tx)
+			if !ok {
+				tx.Block()
+			}
+			src = v
+			return nil
+		},
+		func(tx *modtx.Tx) error { src = "fallback"; return nil },
+	)
+	if err != nil || src != "from-q" {
+		t.Fatalf("OrElse: %v, src=%q", err, src)
+	}
+
+	store := modtx.NewKV(modtx.KVWithShards(4))
+	vc := make(chan []byte, 1)
+	go func() {
+		v, err := store.WaitGet(ctx, "k")
+		if err != nil {
+			t.Error(err)
+		}
+		vc <- v
+	}()
+	for store.Stats().Waits == 0 && ctx.Err() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	if err := store.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-vc:
+		if string(v) != "v" {
+			t.Fatalf("WaitGet = %q", v)
+		}
+	case <-ctx.Done():
+		t.Fatal("WaitGet lost the wakeup")
+	}
+	if st := store.Stats(); st.Waits == 0 || st.Wakeups == 0 {
+		t.Fatalf("blocking counters not surfaced: %+v", st)
 	}
 }
