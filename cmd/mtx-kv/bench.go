@@ -6,12 +6,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"modtx/internal/kv"
+	"modtx/internal/obs"
 	"modtx/internal/stm"
 )
 
@@ -33,14 +33,16 @@ type benchReport struct {
 }
 
 type benchEngineJSON struct {
-	Engine    string  `json:"engine"`
-	Ops       uint64  `json:"ops"`
-	OpsPerSec float64 `json:"ops_per_sec"`
-	P50Ns     int64   `json:"p50_ns"`
-	P95Ns     int64   `json:"p95_ns"`
-	P99Ns     int64   `json:"p99_ns"`
-	MaxNs     int64   `json:"max_ns"`
-	Conflicts uint64  `json:"conflicts"`
+	Engine    string      `json:"engine"`
+	Ops       uint64      `json:"ops"`
+	OpsPerSec float64     `json:"ops_per_sec"`
+	P50Ns     int64       `json:"p50_ns"`
+	P95Ns     int64       `json:"p95_ns"`
+	P99Ns     int64       `json:"p99_ns"`
+	P999Ns    int64       `json:"p999_ns"`
+	MaxNs     int64       `json:"max_ns"`
+	Conflicts uint64      `json:"conflicts"`
+	HotKeys   []kv.HotKey `json:"hot_keys"`
 }
 
 // runBench drives the store in-process with a configurable mixed workload
@@ -74,8 +76,8 @@ func runBench(args []string) error {
 			*nkeys, *shards, *goroutines, *duration)
 		fmt.Printf("op mix: %d%% fastget / %d%% get / %d%% set / %d%% txn-transfer, zipf=%.2f\n\n",
 			*fastPct, *readPct, *writePct, 100-*fastPct-*readPct-*writePct, *zipfS)
-		fmt.Printf("%-12s %12s %12s %10s %10s %10s %10s %12s\n",
-			"engine", "ops", "ops/sec", "p50", "p95", "p99", "max", "conflicts")
+		fmt.Printf("%-12s %12s %12s %10s %10s %10s %10s %10s %12s\n",
+			"engine", "ops", "ops/sec", "p50", "p95", "p99", "p999", "max", "conflicts")
 	}
 
 	report := benchReport{
@@ -99,13 +101,22 @@ func runBench(args []string) error {
 				P50Ns:     r.p50.Nanoseconds(),
 				P95Ns:     r.p95.Nanoseconds(),
 				P99Ns:     r.p99.Nanoseconds(),
+				P999Ns:    r.p999.Nanoseconds(),
 				MaxNs:     r.max.Nanoseconds(),
 				Conflicts: r.conflicts,
+				HotKeys:   r.hot,
 			})
 			continue
 		}
-		fmt.Printf("%-12s %12d %12.0f %10v %10v %10v %10v %12d\n",
-			e, r.ops, r.opsPerSec, r.p50, r.p95, r.p99, r.max, r.conflicts)
+		fmt.Printf("%-12s %12d %12.0f %10v %10v %10v %10v %10v %12d\n",
+			e, r.ops, r.opsPerSec, r.p50, r.p95, r.p99, r.p999, r.max, r.conflicts)
+		if len(r.hot) > 0 {
+			fmt.Printf("%-12s hot keys:", "")
+			for _, h := range r.hot {
+				fmt.Printf(" %s(%d)", h.Key, h.Count)
+			}
+			fmt.Println()
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -116,10 +127,11 @@ func runBench(args []string) error {
 }
 
 type benchResult struct {
-	ops                uint64
-	opsPerSec          float64
-	p50, p95, p99, max time.Duration
-	conflicts          uint64
+	ops                      uint64
+	opsPerSec                float64
+	p50, p95, p99, p999, max time.Duration
+	conflicts                uint64
+	hot                      []kv.HotKey
 }
 
 // benchOne runs the workload against a fresh store on one engine.
@@ -140,7 +152,12 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 	var ops atomic.Uint64
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
-	samples := make([][]time.Duration, goroutines)
+	// One obs.Histogram per goroutine: the write side is two atomic adds
+	// into a private cache-line-padded array (no slice growth, no sort at
+	// the end), and the snapshots merge exactly. Quantiles are then upper
+	// bounds with log-bucket (2x) resolution, which is what the admin
+	// plane reports too — the bench and the server agree on the math.
+	hists := make([]obs.Histogram, goroutines)
 
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
@@ -157,13 +174,12 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 				}
 				return rng.Intn(nkeys)
 			}
-			local := make([]time.Duration, 0, 1<<16)
+			h := &hists[g]
 			var n uint64
 			for {
 				select {
 				case <-stop:
 					ops.Add(n)
-					samples[g] = local
 					return
 				default:
 				}
@@ -194,7 +210,7 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 					})
 				}
 				if sample {
-					local = append(local, time.Since(start))
+					h.Observe(time.Since(start).Nanoseconds())
 				}
 				n++
 			}
@@ -204,17 +220,12 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 	close(stop)
 	wg.Wait()
 
-	var all []time.Duration
-	for _, s := range samples {
-		all = append(all, s...)
+	var agg obs.Snapshot
+	for g := range hists {
+		agg.Merge(hists[g].Snapshot())
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	pct := func(p float64) time.Duration {
-		if len(all) == 0 {
-			return 0
-		}
-		i := int(float64(len(all)-1) * p)
-		return all[i]
+		return time.Duration(agg.Quantile(p))
 	}
 	st := s.Stats()
 	total := ops.Load()
@@ -224,7 +235,9 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 		p50:       pct(0.50),
 		p95:       pct(0.95),
 		p99:       pct(0.99),
+		p999:      pct(0.999),
 		max:       pct(1.0),
 		conflicts: st.Conflicts,
+		hot:       s.HotKeys(8),
 	}
 }

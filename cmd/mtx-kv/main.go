@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mtx-kv serve [-addr :7700] [-shards 64] [-engine lazy]
+//	             [-admin :6060] [-slowtxn 1ms]
 //	mtx-kv bench [-engine all] [-shards 64] [-keys 65536] [-goroutines 8]
 //	             [-duration 2s] [-fastread-pct 70] [-read-pct 20]
 //	             [-write-pct 5] [-zipf 1.2] [-json]
@@ -41,8 +42,18 @@
 //	MSET k1 v1 k2 v2 ...      -> OK                 (token values, no spaces)
 //	TXN ADD k1 d1 k2 d2 ...   -> VALUES n1 n2 ...   (one cross-shard txn)
 //	TXN DEL k1 k2 ...         -> VALUES b1 b2 ...   (1 if removed, else 0; one txn)
-//	STATS                     -> STATS ...
+//	STATS                     -> STATS ...          (aggregate counters)
+//	STATS SHARDS              -> per-shard stats, one JSON line
+//	STATS HIST                -> op + STM latency histograms, one JSON line
+//	STATS HOT                 -> hottest keys by attributed conflicts, JSON
+//	STATS RESET               -> OK                 (zero histograms/contention)
 //	QUIT                      -> BYE (connection closes)
+//
+// With -admin, serve additionally listens on an HTTP admin plane:
+// /metrics (Prometheus text), /debug/vars (expvar), /debug/pprof/*
+// (profiler) and /healthz. With -slowtxn, commands slower than the
+// threshold are logged through log/slog with the verb, duration and
+// remote address.
 package main
 
 import (

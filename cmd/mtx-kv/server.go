@@ -6,7 +6,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"strconv"
 	"strings"
 	"time"
@@ -21,6 +23,10 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":7700", "listen address")
 	shards := fs.Int("shards", 64, "shard count (rounded up to a power of two)")
 	engineName := fs.String("engine", "lazy", engineFlagHelp(false))
+	adminAddr := fs.String("admin", "",
+		"admin plane listen address (/metrics, /debug/pprof, /debug/vars, /healthz); empty disables")
+	slowTxn := fs.Duration("slowtxn", 0,
+		"log commands slower than this threshold via slog (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -31,10 +37,25 @@ func runServe(args []string) error {
 	if len(engines) != 1 {
 		return fmt.Errorf("serve needs a single engine, not %q", *engineName)
 	}
-	srv := &server{store: kv.New(kv.WithShards(*shards), kv.WithEngine(engines[0]))}
+	srv := &server{
+		store: kv.New(kv.WithShards(*shards), kv.WithEngine(engines[0])),
+		slow:  *slowTxn,
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *adminAddr != "" {
+		al, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		fmt.Printf("mtx-kv: admin plane on http://%s\n", al.Addr())
+		go func() {
+			if err := http.Serve(al, adminMux(srv.store)); err != nil {
+				slog.Error("admin plane exited", "err", err)
+			}
+		}()
 	}
 	fmt.Printf("mtx-kv: serving %s engine, %d shards on %s\n",
 		engines[0], srv.store.NumShards(), l.Addr())
@@ -45,6 +66,7 @@ func runServe(args []string) error {
 // connection; the store itself is the only shared state.
 type server struct {
 	store *kv.Store
+	slow  time.Duration // log commands at least this slow; 0 disables
 }
 
 func (s *server) serve(l net.Listener) error {
@@ -74,8 +96,21 @@ func (s *server) handleConn(conn net.Conn) {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
+		var start time.Time
+		if s.slow > 0 {
+			start = time.Now()
+		}
 		var quit bool
 		reply, quit = s.exec(reply[:0], line)
+		if s.slow > 0 {
+			if elapsed := time.Since(start); elapsed >= s.slow {
+				// Log only the verb: values are user data and BGET/WATCH
+				// park by design, which is exactly what this surfaces.
+				verb := strings.Fields(line)[0]
+				slog.Warn("slow command", "cmd", strings.ToUpper(verb),
+					"elapsed", elapsed, "remote", conn.RemoteAddr().String())
+			}
+		}
 		reply = append(reply, '\n')
 		w.Write(reply)
 		w.Flush()
@@ -357,7 +392,28 @@ func (s *server) exec(reply []byte, line string) (resp []byte, quit bool) {
 		}
 
 	case "STATS":
-		return append(reply, "STATS "+s.store.Stats().String()...), false
+		// STATS            -> the human-readable aggregate counters
+		// STATS SHARDS     -> per-shard stats, one JSON line
+		// STATS HIST       -> op + STM latency histograms, one JSON line
+		// STATS HOT        -> hottest keys by attributed conflicts, JSON
+		// STATS RESET      -> zero histograms and contention tables
+		if len(f) == 1 {
+			return append(reply, "STATS "+s.store.Stats().String()...), false
+		}
+		switch strings.ToUpper(f[1]) {
+		case "SHARDS":
+			return appendStatsJSON(reply, s.store.ShardStats()), false
+		case "HIST":
+			return appendStatsJSON(reply, histReportFor(s.store)), false
+		case "HOT":
+			return appendStatsJSON(reply, hotKeysFor(s.store)), false
+		case "RESET":
+			s.store.ResetMetrics()
+			return append(reply, "OK"...), false
+		default:
+			return append(reply, "ERR unknown STATS sub "+f[1]+
+				" (want SHARDS, HIST, HOT or RESET)"...), false
+		}
 
 	case "QUIT":
 		return append(reply, "BYE"...), true

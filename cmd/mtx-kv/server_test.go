@@ -2,12 +2,16 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"log/slog"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"modtx/internal/kv"
+	"modtx/internal/obs"
 	"modtx/internal/stm"
 )
 
@@ -218,6 +222,159 @@ func TestServerBlockingCommands(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestServerStatsSubcommands drives the JSON observability subcommands
+// over the wire on every engine: each reply must be one parseable JSON
+// line whose content reflects the traffic just sent, and RESET must
+// clear the histograms but not the cumulative counters.
+func TestServerStatsSubcommands(t *testing.T) {
+	for _, e := range stm.Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			srv := &server{store: kv.New(kv.WithShards(4), kv.WithEngine(e),
+				kv.WithMetricsSampling(1))}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			go srv.serve(l)
+
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			roundtrip := func(cmd string) string {
+				t.Helper()
+				if _, err := conn.Write([]byte(cmd + "\n")); err != nil {
+					t.Fatal(err)
+				}
+				line, err := r.ReadString('\n')
+				if err != nil {
+					t.Fatal(err)
+				}
+				return strings.TrimRight(line, "\n")
+			}
+
+			if got := roundtrip("SET k some value"); got != "OK" {
+				t.Fatalf("SET: %q", got)
+			}
+			if got := roundtrip("GET k"); got != "VALUE some value" {
+				t.Fatalf("GET: %q", got)
+			}
+			if got := roundtrip("ADD ctr 2"); got != "VALUE 2" {
+				t.Fatalf("ADD: %q", got)
+			}
+
+			var shards []kv.ShardStat
+			if err := json.Unmarshal([]byte(roundtrip("STATS SHARDS")), &shards); err != nil {
+				t.Fatalf("STATS SHARDS not JSON: %v", err)
+			}
+			if len(shards) != srv.store.NumShards() {
+				t.Fatalf("STATS SHARDS: %d entries, want %d", len(shards), srv.store.NumShards())
+			}
+			var commits uint64
+			for _, sh := range shards {
+				commits += sh.Stm.Commits
+			}
+			if commits == 0 {
+				t.Fatal("STATS SHARDS shows no commits after traffic")
+			}
+
+			var hist struct {
+				Ops map[string]obs.Snapshot `json:"ops"`
+				Stm kv.StmLatencies         `json:"stm"`
+			}
+			if err := json.Unmarshal([]byte(roundtrip("STATS HIST")), &hist); err != nil {
+				t.Fatalf("STATS HIST not JSON: %v", err)
+			}
+			if hist.Ops["get"].Count == 0 || hist.Ops["set"].Count == 0 ||
+				hist.Ops["counter_add"].Count == 0 {
+				t.Fatalf("STATS HIST missing op data: %+v", hist.Ops)
+			}
+			if hist.Stm.CommitNs.Count == 0 {
+				t.Fatal("STATS HIST missing STM commit latencies")
+			}
+
+			// HOT parses as an array even when nothing is contended.
+			var hot []kv.HotKey
+			if err := json.Unmarshal([]byte(roundtrip("STATS HOT")), &hot); err != nil {
+				t.Fatalf("STATS HOT not JSON: %v", err)
+			}
+
+			if got := roundtrip("STATS RESET"); got != "OK" {
+				t.Fatalf("STATS RESET: %q", got)
+			}
+			if err := json.Unmarshal([]byte(roundtrip("STATS HIST")), &hist); err != nil {
+				t.Fatal(err)
+			}
+			if hist.Ops["get"].Count != 0 {
+				t.Fatal("STATS RESET left op histograms")
+			}
+			if got := roundtrip("STATS"); !strings.Contains(got, " commits=") ||
+				strings.Contains(got, " commits=0 ") {
+				t.Errorf("cumulative STATS should survive RESET: %q", got)
+			}
+			if got := roundtrip("STATS BOGUS"); !strings.HasPrefix(got, "ERR unknown STATS sub") {
+				t.Errorf("STATS BOGUS: %q", got)
+			}
+		})
+	}
+}
+
+// TestServerSlowCommandLog pins the -slowtxn path: with a threshold of
+// one nanosecond every command is "slow", and the structured log line
+// carries the verb (never the value bytes) and the duration.
+func TestServerSlowCommandLog(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	prev := slog.Default()
+	slog.SetDefault(slog.New(slog.NewTextHandler(lockedWriter{&mu, &buf}, nil)))
+	defer slog.SetDefault(prev)
+
+	srv := &server{store: kv.New(kv.WithShards(2)), slow: time.Nanosecond}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.serve(l)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	if _, err := conn.Write([]byte("SET secret do not log this\n")); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := r.ReadString('\n'); err != nil || strings.TrimSpace(line) != "OK" {
+		t.Fatalf("SET: %q, %v", line, err)
+	}
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "slow command") || !strings.Contains(logged, "cmd=SET") {
+		t.Fatalf("slow command not logged: %q", logged)
+	}
+	if strings.Contains(logged, "do not log this") {
+		t.Fatalf("slow log leaked the value: %q", logged)
+	}
+}
+
+// lockedWriter serializes the slog handler's writes with the test's
+// reads (the handler runs on the connection goroutine).
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
 }
 
 // waitForServerPark blocks until the store has recorded at least n

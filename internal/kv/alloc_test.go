@@ -113,6 +113,61 @@ func TestAllocsCounterOps(t *testing.T) {
 	}
 }
 
+// TestAllocsInstrumented: full observability — every call sampled, both
+// clock reads taken, histograms recorded — adds zero allocations to the
+// read and counter hot paths. The metrics write side is atomic adds into
+// preallocated buckets plus a pooled tick; nothing escapes.
+func TestAllocsInstrumented(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, e := range stm.Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithShards(8), WithEngine(e), WithMetricsSampling(1))
+			if err := s.Set("bytes-key", []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.CounterAdd("ctr-key", 5); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 32; i++ { // warm the op and Tx pools
+				if _, ok, err := s.Get("bytes-key"); err != nil || !ok {
+					t.Fatal("missing key")
+				}
+				if _, err := s.CounterAdd("ctr-key", 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if _, ok, err := s.Get("bytes-key"); err != nil || !ok {
+					t.Fatal("missing key")
+				}
+			}); avg != 0 {
+				t.Errorf("instrumented Get: %v allocs/op, want 0", avg)
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if _, err := s.CounterAdd("ctr-key", 1); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("instrumented CounterAdd: %v allocs/op, want 0", avg)
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if _, ok := s.FastGet("bytes-key"); !ok {
+					t.Fatal("missing key")
+				}
+			}); avg != 0 {
+				t.Errorf("instrumented FastGet: %v allocs/op, want 0", avg)
+			}
+			// The guard must be exercising the instrumentation, not a
+			// disabled store.
+			if s.OpLatency(OpGet).Count == 0 || s.OpLatency(OpCounterAdd).Count == 0 {
+				t.Fatal("sampling=1 store recorded no latencies; guard is vacuous")
+			}
+		})
+	}
+}
+
 // TestAllocsSetBounded: Set's only remaining allocations are inherent to
 // its semantics — the defensive copy of the incoming value and the
 // typed lane's immutable box. Anything above two means plumbing

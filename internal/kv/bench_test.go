@@ -8,10 +8,11 @@ import (
 	"modtx/internal/stm"
 )
 
-// benchStore preloads nkeys byte-valued keys and nkeys counters.
-func benchStore(b *testing.B, e stm.Engine, nkeys int) (*Store, []string, []string) {
+// benchStore preloads nkeys byte-valued keys and nkeys counters. Extra
+// options are appended after the defaults.
+func benchStore(b *testing.B, e stm.Engine, nkeys int, opts ...Option) (*Store, []string, []string) {
 	b.Helper()
-	s := New(WithShards(64), WithEngine(e))
+	s := New(append([]Option{WithShards(64), WithEngine(e)}, opts...)...)
 	keys := make([]string, nkeys)
 	ctrs := make([]string, nkeys)
 	vals := make(map[string][]byte, nkeys)
@@ -137,6 +138,60 @@ func BenchmarkKVTxnTransfer(b *testing.B) {
 					return nil
 				})
 				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkInstrumentedKVGet measures the transactional read path with
+// every call sampled (WithMetricsSampling(1)) — the worst-case
+// observability cost: two clock reads and a histogram record per op.
+// The default configuration (BenchmarkKVGet) samples 1-in-256 and pays
+// ~1/256th of the delta between this and BenchmarkInstrumentedKVGetOff.
+func BenchmarkInstrumentedKVGet(b *testing.B) {
+	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
+		s, keys, _ := benchStore(b, e, 4096, WithMetricsSampling(1))
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(2))
+			for pb.Next() {
+				if _, ok, err := s.Get(keys[rng.Intn(len(keys))]); err != nil || !ok {
+					b.Fatal("missing key")
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkInstrumentedKVGetOff is the floor for the pair: the same read
+// with metrics compiled out of the path (nil histograms, no ticks).
+func BenchmarkInstrumentedKVGetOff(b *testing.B) {
+	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
+		s, keys, _ := benchStore(b, e, 4096, WithMetrics(false))
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(2))
+			for pb.Next() {
+				if _, ok, err := s.Get(keys[rng.Intn(len(keys))]); err != nil || !ok {
+					b.Fatal("missing key")
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkInstrumentedKVCounterAdd is the write-side twin: the counter
+// hot path with every call sampled.
+func BenchmarkInstrumentedKVCounterAdd(b *testing.B) {
+	forEachEngineB(b, func(b *testing.B, e stm.Engine) {
+		s, _, ctrs := benchStore(b, e, 4096, WithMetricsSampling(1))
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(6))
+			for pb.Next() {
+				if _, err := s.CounterAdd(ctrs[rng.Intn(len(ctrs))], 1); err != nil {
 					b.Fatal(err)
 				}
 			}

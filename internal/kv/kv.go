@@ -44,11 +44,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"modtx/internal/obs"
 	"modtx/internal/stm"
 )
 
@@ -60,9 +63,11 @@ var ErrWrongType = errors.New("kv: operation against a key holding the wrong kin
 type Option func(*config)
 
 type config struct {
-	shards     int
-	engine     stm.Engine
-	maxRetries int
+	shards      int
+	engine      stm.Engine
+	maxRetries  int
+	metricsOff  bool
+	sampleEvery int
 }
 
 // WithShards sets the shard count, rounded up to a power of two
@@ -75,6 +80,23 @@ func WithEngine(e stm.Engine) Option { return func(c *config) { c.engine = e } }
 // WithMaxRetries bounds commit attempts per operation (default: the stm
 // package default).
 func WithMaxRetries(n int) Option { return func(c *config) { c.maxRetries = n } }
+
+// WithMetrics enables or disables metrics — the store's per-op latency
+// histograms and every shard's stm.Metrics together (default enabled).
+func WithMetrics(on bool) Option { return func(c *config) { c.metricsOff = !on } }
+
+// WithMetricsSampling sets the latency-sampling period for both the
+// store's per-op histograms and the shards' STM distributions: one call
+// in every n carries timestamps (default 256, rounded up to a power of
+// two). n <= 1 samples everything — the deterministic setting tests use.
+func WithMetricsSampling(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.sampleEvery = n
+	}
+}
 
 // entry is one key's storage: exactly one of b (bytes kind) or c
 // (counter kind) is non-nil, fixed at creation. dead is the tombstone —
@@ -110,6 +132,12 @@ type Store struct {
 	// steady-state Get/Set/CounterAdd/Update/View allocate no closures.
 	singleOps sync.Pool
 	multiOps  sync.Pool
+
+	// opHists holds the sampled per-operation latency histograms, nil
+	// when metrics are disabled; sampleMask is the sampling period minus
+	// one (period a power of two), shared by every pooled op's tick.
+	opHists    *[numOps]obs.Histogram
+	sampleMask uint64
 }
 
 type paddedCount struct {
@@ -156,9 +184,24 @@ func New(opts ...Option) *Store {
 		engine:   c.engine,
 		fastGets: make([]paddedCount, n),
 	}
-	stmOpts := []stm.Option{stm.WithEngine(c.engine)}
+	se := uint64(c.sampleEvery)
+	if se == 0 {
+		se = 256
+	}
+	if se&(se-1) != 0 {
+		se = 1 << bits.Len64(se) // round up to a power of two
+	}
+	s.sampleMask = se - 1
+	stmOpts := []stm.Option{
+		stm.WithEngine(c.engine),
+		stm.WithMetrics(!c.metricsOff),
+		stm.WithMetricsSampling(int(se)),
+	}
 	if c.maxRetries > 0 {
 		stmOpts = append(stmOpts, stm.WithMaxRetries(c.maxRetries))
+	}
+	if !c.metricsOff {
+		s.opHists = new([numOps]obs.Histogram)
 	}
 	for i := range s.shards {
 		inst := stm.New(stmOpts...)
@@ -437,6 +480,10 @@ type singleOp struct {
 	cgetFn func(*stm.ReadTx) error
 	setFn  func(*stm.Tx) error
 	addFn  func(*stm.Tx) error
+
+	// tick is the latency-sampling tick (see nextSample in metrics.go);
+	// deliberately NOT cleared by release, so it survives pool reuse.
+	tick uint64
 }
 
 // release drops the operands so the pooled op does not pin values, and
@@ -515,9 +562,17 @@ func (s *Store) Get(key string) (val []byte, ok bool, err error) {
 	}
 	op := s.singleOps.Get().(*singleOp)
 	op.sh, op.key = sh, key
+	var t0 time.Time
+	sampled := s.opHists != nil && op.nextSample()
+	if sampled {
+		t0 = time.Now()
+	}
 	err = sh.stm.AtomicallyRead(op.getFn)
 	val, ok = op.val, op.ok
 	op.release()
+	if sampled {
+		s.opHists[OpGet].Observe(time.Since(t0).Nanoseconds())
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -535,9 +590,17 @@ func (s *Store) CounterGet(key string) (val int64, ok bool, err error) {
 	}
 	op := s.singleOps.Get().(*singleOp)
 	op.sh, op.key = sh, key
+	var t0 time.Time
+	sampled := s.opHists != nil && op.nextSample()
+	if sampled {
+		t0 = time.Now()
+	}
 	err = sh.stm.AtomicallyRead(op.cgetFn)
 	val, ok = op.n, op.ok
 	op.release()
+	if sampled {
+		s.opHists[OpCounterGet].Observe(time.Since(t0).Nanoseconds())
+	}
 	if err != nil {
 		return 0, false, err
 	}
@@ -550,8 +613,16 @@ func (s *Store) Set(key string, val []byte) error {
 	sh := s.shards[s.ShardOf(key)]
 	op := s.singleOps.Get().(*singleOp)
 	op.sh, op.key, op.val = sh, key, copyVal(val)
+	var t0 time.Time
+	sampled := s.opHists != nil && op.nextSample()
+	if sampled {
+		t0 = time.Now()
+	}
 	err := sh.stm.Atomically(op.setFn)
 	op.release()
+	if sampled {
+		s.opHists[OpSet].Observe(time.Since(t0).Nanoseconds())
+	}
 	return err
 }
 
@@ -563,9 +634,17 @@ func (s *Store) CounterAdd(key string, delta int64) (int64, error) {
 	sh := s.shards[s.ShardOf(key)]
 	op := s.singleOps.Get().(*singleOp)
 	op.sh, op.key, op.delta = sh, key, delta
+	var t0 time.Time
+	sampled := s.opHists != nil && op.nextSample()
+	if sampled {
+		t0 = time.Now()
+	}
 	err := sh.stm.Atomically(op.addFn)
 	out := op.n
 	op.release()
+	if sampled {
+		s.opHists[OpCounterAdd].Observe(time.Since(t0).Nanoseconds())
+	}
 	return out, err
 }
 
@@ -876,6 +955,10 @@ type multiOp struct {
 	viewFn    func(*ViewTxn) error // the user's View body
 	runUpdate func([]*stm.Tx) error
 	runView   func([]*stm.ReadTx) error
+
+	// tick is the latency-sampling tick; like singleOp's it survives
+	// release on purpose.
+	tick uint64
 }
 
 func (op *multiOp) update(txs []*stm.Tx) error {
@@ -935,9 +1018,17 @@ func (s *Store) UpdateCtx(ctx context.Context, keys []string, fn func(*Txn) erro
 	op.idxs = s.appendShardSet(op.idxs[:0], keys)
 	op.stms = s.appendSTMs(op.stms[:0], op.idxs)
 	op.updateFn = fn
+	var t0 time.Time
+	sampled := s.opHists != nil && op.nextSample()
+	if sampled {
+		t0 = time.Now()
+	}
 	err := stm.AtomicallyMultiCtx(ctx, op.stms, op.runUpdate)
 	deleted := op.txn.deleted
 	op.release()
+	if sampled {
+		s.opHists[OpUpdate].Observe(time.Since(t0).Nanoseconds())
+	}
 	if err == nil && len(deleted) > 0 {
 		s.sweep(deleted)
 	}
@@ -1025,8 +1116,16 @@ func (s *Store) ViewCtx(ctx context.Context, keys []string, fn func(*ViewTxn) er
 	op.idxs = s.appendShardSet(op.idxs[:0], keys)
 	op.stms = s.appendSTMs(op.stms[:0], op.idxs)
 	op.viewFn = fn
+	var t0 time.Time
+	sampled := s.opHists != nil && op.nextSample()
+	if sampled {
+		t0 = time.Now()
+	}
 	err := stm.AtomicallyReadMultiCtx(ctx, op.stms, op.runView)
 	op.release()
+	if sampled {
+		s.opHists[OpView].Observe(time.Since(t0).Nanoseconds())
+	}
 	return err
 }
 
@@ -1100,24 +1199,25 @@ func (s *Store) Publish(vals map[string][]byte) error {
 	})
 }
 
-// Stats is an aggregate snapshot across shards.
+// Stats is an aggregate snapshot across shards. The JSON field names are
+// a stable wire format — the admin plane and bench reports emit them.
 type Stats struct {
-	Shards          int
-	Keys            int
-	FastGets        uint64
-	Commits         uint64
-	Conflicts       uint64
-	UserAborts      uint64
-	MultiCommits    uint64
-	ReadOnlyCommits uint64
-	Quiesces        uint64
+	Shards          int    `json:"shards"`
+	Keys            int    `json:"keys"`
+	FastGets        uint64 `json:"fast_gets"`
+	Commits         uint64 `json:"commits"`
+	Conflicts       uint64 `json:"conflicts"`
+	UserAborts      uint64 `json:"user_aborts"`
+	MultiCommits    uint64 `json:"multi_commits"`
+	ReadOnlyCommits uint64 `json:"read_only_commits"`
+	Quiesces        uint64 `json:"quiesces"`
 
 	// Blocking counters (WaitGet/Watch and any blocked Update bodies):
 	// parks taken, parks ended by a commit notification, and parks ended
 	// by the safety-net timer (see stm.Stats).
-	Waits           uint64
-	Wakeups         uint64
-	SpuriousWakeups uint64
+	Waits           uint64 `json:"waits"`
+	Wakeups         uint64 `json:"wakeups"`
+	SpuriousWakeups uint64 `json:"spurious_wakeups"`
 }
 
 // Stats aggregates per-shard STM counters and store-level counters.

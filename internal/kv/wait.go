@@ -21,6 +21,7 @@ package kv
 import (
 	"bytes"
 	"context"
+	"time"
 
 	"modtx/internal/stm"
 )
@@ -54,6 +55,13 @@ func blockOnKeyspace(tx *stm.Tx, sh *shard, key string, have *entry) {
 // wrapping stm.ErrCanceled.
 func (s *Store) WaitGet(ctx context.Context, key string) ([]byte, error) {
 	sh := s.shards[s.ShardOf(key)]
+	// WaitGet is timed unsampled: a call that parks is milliseconds and a
+	// call that does not is still a full transaction, so the clock pair is
+	// noise — and the wait distribution's tail is the interesting part.
+	var t0 time.Time
+	if s.opHists != nil {
+		t0 = time.Now()
+	}
 	var out []byte
 	err := sh.stm.AtomicallyCtx(ctx, func(tx *stm.Tx) error {
 		out = nil
@@ -71,6 +79,9 @@ func (s *Store) WaitGet(ctx context.Context, key string) ([]byte, error) {
 		}
 		return nil
 	})
+	if s.opHists != nil {
+		s.opHists[OpWaitGet].Observe(time.Since(t0).Nanoseconds())
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,172 @@
+// Package obs is the dependency-free metrics core of the runtime: the
+// fixed-layout, allocation-free primitives every layer above (internal/stm,
+// internal/kv, cmd/mtx-kv) records into and every read side (the /metrics
+// admin plane, STATS wire commands, the bench tools) snapshots out of.
+//
+// The paper's contribution is *attribution* — which access pair raced,
+// under which bound — so the package provides exactly two shapes:
+//
+//   - Histogram: a log-bucketed latency (or any int64) distribution.
+//     64 power-of-two buckets of atomic counters, so the write side is a
+//     single atomic add with no locks, no allocation and no floating
+//     point, and snapshots merge across shards and engines by plain
+//     addition.
+//   - HotTable: a fixed-size lossy top-K frequency table keyed by uint64
+//     ids (variable ids, in practice), so conflicts can be attributed to
+//     the losing location without unbounded memory or a map on the abort
+//     path.
+//
+// Both types are usable at their zero value, safe for concurrent use, and
+// never allocate on the write side — the invariants the PR-4 alloc guards
+// pin for the paths that embed them. Read-side snapshots allocate freely;
+// they are for operators, not hot loops.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: one bucket
+// per power of two of the observed value, which for nanosecond latencies
+// spans 1ns to ~292 years.
+const NumBuckets = 64
+
+// Histogram is a concurrent, allocation-free, log-bucketed distribution.
+// Bucket i counts observations v with bucketOf(v) == i: bucket 0 holds
+// v <= 1 and bucket i (i >= 1) holds 2^i <= v < 2^(i+1). The write side
+// (Observe) is two uncontended atomic adds; the read side (Snapshot)
+// copies the buckets and derives counts and quantiles offline, so
+// histograms merge across shards, engines and goroutines by addition.
+//
+// The leading and trailing padding keeps a histogram's counter words off
+// its neighbors' cache lines when histograms are embedded in arrays
+// (per-op tables, per-shard metrics), so one hot op's write side does not
+// false-share with another's.
+//
+// The zero value is an empty histogram, ready for use.
+type Histogram struct {
+	_       [64]byte // pad from the previous neighbor's write side
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Uint64 // running total of observed values
+	_       [56]byte      // pad the sum word from the next neighbor
+}
+
+// bucketOf maps an observation to its bucket: floor(log2(v)), with
+// everything <= 1 (including the degenerate negatives) in bucket 0.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) - 1
+}
+
+// BucketUpper returns the largest value bucket i admits — the inclusive
+// upper bound reported by quantiles and rendered as the Prometheus "le"
+// label. The last bucket is unbounded and reports MaxInt64.
+func BucketUpper(i int) int64 {
+	if i >= NumBuckets-1 {
+		return math.MaxInt64
+	}
+	return (int64(1) << (i + 1)) - 1
+}
+
+// Observe records one value. It never allocates and never blocks: one
+// atomic add on the value's bucket, one on the running sum.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	if v > 0 {
+		h.sum.Add(uint64(v))
+	}
+}
+
+// Snapshot copies the histogram. Concurrent Observes may land between
+// the bucket loads, so a snapshot is consistent only up to in-flight
+// observations — the usual contract of monitoring counters.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Reset zeroes the histogram. Observations racing the reset may be
+// partially kept; Reset is an operator action, not a synchronization
+// point.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+}
+
+// Snapshot is a point-in-time copy of a Histogram: plain integers, so it
+// marshals to JSON directly and merges by addition.
+type Snapshot struct {
+	Buckets [NumBuckets]uint64 `json:"buckets"`
+	Count   uint64             `json:"count"`
+	Sum     uint64             `json:"sum"`
+}
+
+// Merge adds o into s. Histograms share the fixed bucket layout, so
+// merging across shards, engines or goroutines is exact.
+func (s *Snapshot) Merge(o Snapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// inclusive upper bound of the first bucket whose cumulative count
+// reaches rank ceil(q*Count). The log bucketing bounds the overestimate
+// by 2x, which is the deliberate trade for an allocation-free write side.
+// An empty snapshot returns 0.
+func (s *Snapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// Mean returns the average observed value, or 0 for an empty snapshot.
+// Unlike quantiles it is exact: the write side keeps the true sum.
+func (s *Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// MaxBucket returns the index of the highest non-empty bucket, or -1 for
+// an empty snapshot — the resolution ceiling of Quantile(1).
+func (s *Snapshot) MaxBucket() int {
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1}, {3, 1},
+		{4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {1025, 10},
+		{1 << 62, 62}, {math.MaxInt64, 62},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketUpperCoversBucket(t *testing.T) {
+	for i := 0; i < NumBuckets; i++ {
+		up := BucketUpper(i)
+		if got := bucketOf(up); got != i && i < NumBuckets-1 {
+			t.Errorf("bucketOf(BucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		// i == 62's upper bound is MaxInt64 (bucket 63 is unreachable
+		// for int64 observations), so the +1 probe stops below it.
+		if i < NumBuckets-2 && bucketOf(up+1) != i+1 {
+			t.Errorf("BucketUpper(%d)+1 should fall in bucket %d", i, i+1)
+		}
+	}
+	if BucketUpper(NumBuckets-1) != math.MaxInt64 {
+		t.Errorf("last bucket must be unbounded")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 observations around 100ns (bucket 6, upper 127), 9 around 1µs
+	// (bucket 9, upper 1023), 1 at 1ms (bucket 19, upper ~1.05ms).
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(1_000_000)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if got := s.Quantile(0.5); got != 127 {
+		t.Errorf("p50 = %d, want 127", got)
+	}
+	if got := s.Quantile(0.95); got != 1023 {
+		t.Errorf("p95 = %d, want 1023", got)
+	}
+	if got := s.Quantile(0.999); got != (1<<20)-1 {
+		t.Errorf("p999 = %d, want %d", got, (1<<20)-1)
+	}
+	if got := s.Quantile(1); got != (1<<20)-1 {
+		t.Errorf("max = %d, want %d", got, (1<<20)-1)
+	}
+	wantSum := uint64(90*100 + 9*1000 + 1_000_000)
+	if s.Sum != wantSum {
+		t.Errorf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if mean := s.Mean(); mean != float64(wantSum)/100 {
+		t.Errorf("mean = %v", mean)
+	}
+	if mb := s.MaxBucket(); mb != 19 {
+		t.Errorf("max bucket = %d, want 19", mb)
+	}
+}
+
+func TestHistogramEmptyAndReset(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 || s.MaxBucket() != -1 {
+		t.Fatalf("empty snapshot misbehaves: %+v", s)
+	}
+	h.Observe(500)
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("reset left residue: %+v", s)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Observe(64)
+		b.Observe(4096)
+	}
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 20 {
+		t.Fatalf("merged count = %d, want 20", s.Count)
+	}
+	if got := s.Quantile(0.5); got != 127 {
+		t.Errorf("merged p50 = %d, want 127", got)
+	}
+	if got := s.Quantile(1); got != 8191 {
+		t.Errorf("merged max = %d, want 8191", got)
+	}
+	if s.Sum != 10*64+10*4096 {
+		t.Errorf("merged sum = %d", s.Sum)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	h.Observe(200)
+	s := h.Snapshot()
+	b, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed snapshot:\n  %+v\n  %+v", s, back)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(1 << (g % 12)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+}
+
+func TestHotTableTopK(t *testing.T) {
+	var ht HotTable
+	// A skewed workload over many more ids than slots: id i gets
+	// weight proportional to its heat, with two clear leaders.
+	for round := 0; round < 1000; round++ {
+		ht.Record(1)
+		ht.Record(1)
+		ht.Record(1)
+		ht.Record(2)
+		ht.Record(2)
+		ht.Record(uint64(3 + round%50)) // 50 cold ids share the tail
+	}
+	snap := ht.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	if snap[0].ID != 1 {
+		t.Fatalf("hottest id = %d, want 1 (snapshot %+v)", snap[0].ID, snap)
+	}
+	if len(snap) < 2 || snap[1].ID != 2 {
+		t.Fatalf("second id = %+v, want 2", snap)
+	}
+	if snap[0].Count < snap[1].Count {
+		t.Fatal("snapshot not sorted by count")
+	}
+	// The leaders' counts should be near their true frequencies: they
+	// are never the minimum slot, so decay cannot touch them.
+	if snap[0].Count != 3000 {
+		t.Errorf("leader count = %d, want 3000", snap[0].Count)
+	}
+	if snap[1].Count != 2000 {
+		t.Errorf("runner-up count = %d, want 2000", snap[1].Count)
+	}
+}
+
+func TestHotTableZeroIDIgnored(t *testing.T) {
+	var ht HotTable
+	ht.Record(0)
+	if snap := ht.Snapshot(); len(snap) != 0 {
+		t.Fatalf("id 0 must be ignored, got %+v", snap)
+	}
+}
+
+func TestHotTableReset(t *testing.T) {
+	var ht HotTable
+	for i := uint64(1); i <= 2*hotSlots; i++ {
+		ht.Record(i)
+	}
+	if ht.Dropped() == 0 {
+		t.Fatal("overflow should have dropped records")
+	}
+	ht.Reset()
+	if snap := ht.Snapshot(); len(snap) != 0 || ht.Dropped() != 0 {
+		t.Fatalf("reset left residue: %+v dropped=%d", snap, ht.Dropped())
+	}
+}
+
+func TestHotTableConcurrent(t *testing.T) {
+	var ht HotTable
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				ht.Record(uint64(1 + (g+i)%4))
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := ht.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("want 4 resident ids, got %+v", snap)
+	}
+	var total uint64
+	for _, e := range snap {
+		total += e.Count
+	}
+	if total != 80000 {
+		t.Fatalf("total = %d, want 80000 (no decay should occur with 4 ids)", total)
+	}
+}
+
+// TestAllocsWriteSide pins the package contract: Observe and Record
+// allocate nothing.
+func TestAllocsWriteSide(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	var h Histogram
+	if avg := testing.AllocsPerRun(100, func() { h.Observe(12345) }); avg != 0 {
+		t.Errorf("Observe: %v allocs/op, want 0", avg)
+	}
+	var ht HotTable
+	var id uint64
+	if avg := testing.AllocsPerRun(100, func() {
+		id++
+		ht.Record(1 + id%32) // exercises resident, free and decay paths
+	}); avg != 0 {
+		t.Errorf("Record: %v allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkHistObserve measures the histogram write side — the cost every
+// sampled operation pays.
+func BenchmarkHistObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkHistHotRecord measures the contention table write side — the
+// cost every attributed conflict pays (resident-id fast path).
+func BenchmarkHistHotRecord(b *testing.B) {
+	var ht HotTable
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ht.Record(1 + uint64(i)%4)
+	}
+}
+
+// BenchmarkHistSnapshotQuantile measures the read side (allocation is
+// expected here; it is not a hot path).
+func BenchmarkHistSnapshotQuantile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		h.Observe(int64(i))
+	}
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		sink += s.Quantile(0.99)
+	}
+	_ = sink
+}

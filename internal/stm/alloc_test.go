@@ -166,6 +166,56 @@ func TestAllocsCommitWithParkedWaiter(t *testing.T) {
 	}
 }
 
+// TestAllocsAtomicallyInstrumented: the zero-allocation contract holds
+// with metrics fully on and every transaction sampled — the histogram
+// write side, the sampling tick and the timestamps live on the stack or
+// in fixed atomics, so observability costs time (nanoseconds), never
+// garbage.
+func TestAllocsAtomicallyInstrumented(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, e := range engines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithEngine(e), WithMetricsSampling(1))
+			v := s.NewVar("v", 0)
+			body := func(tx *Tx) error {
+				tx.Write(v, tx.Read(v)+1)
+				return nil
+			}
+			rbody := func(r *ReadTx) error {
+				_ = r.Read(v)
+				return nil
+			}
+			for i := 0; i < 32; i++ {
+				if err := s.Atomically(body); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.AtomicallyRead(rbody); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if err := s.Atomically(body); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("instrumented Atomically: %v allocs/op, want 0", avg)
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if err := s.AtomicallyRead(rbody); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("instrumented AtomicallyRead: %v allocs/op, want 0", avg)
+			}
+			if got := s.Metrics().CommitNs.Snapshot().Count; got == 0 {
+				t.Error("sampling=1 should have recorded every commit")
+			}
+		})
+	}
+}
+
 // TestAllocsLargeWriteSetSpills sanity-checks the spill path: a
 // transaction writing far more than writeSetSpill vars still commits
 // correctly (the map index takes over) — allocation-freedom is only

@@ -201,6 +201,7 @@ func sampleVar(tx *Tx, v *Var, record, extend bool) int64 {
 			// Written by a transaction after our snapshot: the world
 			// already changed, so retry immediately — never park.
 			if !extend || !tx.extendSnapshot() {
+				noteContention(&v.varBase)
 				tx.conflictRetryNow()
 			}
 			continue
@@ -227,6 +228,7 @@ func sampleBox(tx *Tx, b boxed, record, extend bool) any {
 		}
 		if version(m1) > tx.rv {
 			if !extend || !tx.extendSnapshot() {
+				noteContention(vb)
 				tx.conflictRetryNow()
 			}
 			continue
@@ -298,7 +300,9 @@ func lockWriteSetSorted(tx *Tx) bool {
 		if !ok {
 			// Attribute the failure for the parking retry loop: a locked
 			// write target is worth parking on (its committer will wake
-			// us), a too-new or torn one means retry immediately.
+			// us), a too-new or torn one means retry immediately. Either
+			// way the contention table learns who we lost to.
+			noteContention(lm[i].vb)
 			if isLocked(m) {
 				tx.conflictVB, tx.conflictMeta = lm[i].vb, m
 			} else {

@@ -29,6 +29,7 @@ func (tx *Tx) encounterLock(vb *varBase) (firstTouch bool) {
 		if isLocked(m) {
 			tx.conflictOn(vb, m) // park: the holder's commit wakes us
 		}
+		noteContention(vb)
 		tx.conflictRetryNow() // too new or torn: the world already moved
 	}
 	tx.addLocked(vb, m)
@@ -71,6 +72,7 @@ func (eagerEngine) validateReads(tx *Tx) bool {
 		}
 		cur := re.vb.meta.Load()
 		if isLocked(cur) || version(cur) > tx.rv {
+			noteContention(re.vb)
 			return false
 		}
 	}

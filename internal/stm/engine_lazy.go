@@ -47,12 +47,14 @@ func (lazyEngine) validateReads(tx *Tx) bool {
 		re := &tx.reads[i]
 		if mv, mine := tx.lockedMetaFor(re.vb); mine {
 			if version(re.meta) != version(mv) {
+				noteContention(re.vb)
 				return false // someone updated between our read and our lock
 			}
 			continue
 		}
 		cur := re.vb.meta.Load()
 		if isLocked(cur) || version(cur) > tx.rv {
+			noteContention(re.vb)
 			return false
 		}
 	}

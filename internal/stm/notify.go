@@ -221,6 +221,12 @@ func (w *waiter) park(ctx context.Context, fallback time.Duration) {
 		return
 	}
 	s.stats.Waits.Add(1)
+	// Park duration is recorded unsampled: a park is microseconds at
+	// minimum, so the clock reads are free relative to the sleep.
+	var t0 time.Time
+	if s.metrics != nil {
+		t0 = time.Now()
+	}
 	var timeC <-chan time.Time
 	var timer *time.Timer
 	if fallback > 0 {
@@ -242,6 +248,9 @@ func (w *waiter) park(ctx context.Context, fallback time.Duration) {
 	}
 	if timer != nil {
 		timer.Stop()
+	}
+	if s.metrics != nil {
+		s.metrics.ParkNs.Observe(time.Since(t0).Nanoseconds())
 	}
 	w.unregister()
 	w.release()

@@ -1,6 +1,9 @@
 package stm
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // ReadTx is the handle passed to AtomicallyRead bodies: a transaction
 // that can only read, never write. Because the body provably has an
@@ -53,11 +56,21 @@ func (s *STM) AtomicallyReadCtx(ctx context.Context, fn func(*ReadTx) error) err
 func (s *STM) atomicallyRead(ctx context.Context, fn func(*ReadTx) error) error {
 	conflicts, parks := 0, 0
 	blockNeedsReadSet := false
+	m := s.metrics
+	var t0 time.Time
+	sampled, first := false, true
 	for attempt := 0; attempt < s.maxRetries; {
 		if err := ctxErr(ctx); err != nil {
 			return s.txError("atomically-read", attempt, conflicts, ErrCanceled, err)
 		}
 		tx := s.begin()
+		if first {
+			first = false
+			if m != nil && tx.nextSample() {
+				sampled = true
+				t0 = time.Now()
+			}
+		}
 		tx.readOnly = true
 		tx.noReadSet = s.eng.invisibleReadOnly() && !blockNeedsReadSet
 		err, st := tx.runReadBody(fn)
@@ -93,6 +106,10 @@ func (s *STM) atomicallyRead(ctx context.Context, fn func(*ReadTx) error) error 
 			tx.finishTx()
 			s.stats.Commits.Add(1)
 			s.stats.ReadOnlyCommits.Add(1)
+			if sampled {
+				m.ReadOnlyNs.Observe(time.Since(t0).Nanoseconds())
+				m.Attempts.Observe(int64(conflicts) + 1)
+			}
 			return nil
 		}
 		attempt = s.conflictedAttempt(ctx, tx, attempt)
@@ -160,6 +177,9 @@ func atomicallyReadMulti(ctx context.Context, stms []*STM, fn func(rtxs []*ReadT
 		return captureConflictMulti(stms[0], txs, attempt)
 	}
 	conflicts, parks := 0, 0
+	m := stms[0].metrics // multi commits account to the lead instance
+	var t0 time.Time
+	sampled, first := false, true
 	for attempt := 0; attempt < stms[0].maxRetries; {
 		if err := ctxErr(ctx); err != nil {
 			return stms[0].txError("atomically-read-multi", attempt, conflicts, ErrCanceled, err)
@@ -168,6 +188,13 @@ func atomicallyReadMulti(ctx context.Context, stms []*STM, fn func(rtxs []*ReadT
 			tx := s.begin()
 			tx.readOnly = true // read sets stay on: see the soundness note
 			rtxs[i] = &tx.rtx
+		}
+		if first {
+			first = false
+			if m != nil && rtxs[0].tx.nextSample() {
+				sampled = true
+				t0 = time.Now()
+			}
 		}
 		err, st := runReadMultiBody(rtxs, fn)
 		switch {
@@ -223,6 +250,10 @@ func atomicallyReadMulti(ctx context.Context, stms []*STM, fn func(rtxs []*ReadT
 			s.stats.Commits.Add(1)
 			s.stats.MultiCommits.Add(1)
 			s.stats.ReadOnlyCommits.Add(1)
+		}
+		if sampled {
+			m.ReadOnlyNs.Observe(time.Since(t0).Nanoseconds())
+			m.Attempts.Observe(int64(conflicts) + 1)
 		}
 		return nil
 	}

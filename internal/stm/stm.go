@@ -41,6 +41,7 @@ package stm
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -105,6 +106,8 @@ type config struct {
 	engine       Engine
 	maxRetries   int
 	quiesceSlots int
+	metricsOff   bool
+	sampleEvery  uint64
 }
 
 // WithEngine selects the versioning strategy (default Lazy).
@@ -117,6 +120,25 @@ func WithMaxRetries(n int) Option { return func(c *config) { c.maxRetries = n } 
 // WithQuiesceSlots sizes the active-transaction table used by Quiesce
 // (default 8×GOMAXPROCS, minimum 64).
 func WithQuiesceSlots(n int) Option { return func(c *config) { c.quiesceSlots = n } }
+
+// WithMetrics enables or disables the instance's Metrics (default
+// enabled). Disabled means Metrics() returns nil and every
+// instrumentation site reduces to a nil check.
+func WithMetrics(on bool) Option { return func(c *config) { c.metricsOff = !on } }
+
+// WithMetricsSampling sets the latency-sampling period: one transaction
+// in every n carries a timestamp (default 256; n is rounded up to a power
+// of two so the decision is a mask test). n <= 1 samples every
+// transaction — the deterministic setting tests use. Park durations and
+// conflict attribution are always recorded regardless of n.
+func WithMetricsSampling(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.sampleEvery = uint64(n)
+	}
+}
 
 // Stats are cumulative counters, safe to read concurrently.
 type Stats struct {
@@ -139,17 +161,19 @@ type Stats struct {
 	SpuriousWakeups atomic.Uint64
 }
 
-// StatsSnapshot is a point-in-time copy of Stats.
+// StatsSnapshot is a point-in-time copy of Stats. The JSON field names
+// are a stable wire format — the admin plane and bench reports emit
+// them; renaming one is a breaking change.
 type StatsSnapshot struct {
-	Commits         uint64
-	Conflicts       uint64
-	UserAborts      uint64
-	MultiCommits    uint64
-	ReadOnlyCommits uint64
-	Quiesces        uint64
-	Waits           uint64
-	Wakeups         uint64
-	SpuriousWakeups uint64
+	Commits         uint64 `json:"commits"`
+	Conflicts       uint64 `json:"conflicts"`
+	UserAborts      uint64 `json:"user_aborts"`
+	MultiCommits    uint64 `json:"multi_commits"`
+	ReadOnlyCommits uint64 `json:"read_only_commits"`
+	Quiesces        uint64 `json:"quiesces"`
+	Waits           uint64 `json:"waits"`
+	Wakeups         uint64 `json:"wakeups"`
+	SpuriousWakeups uint64 `json:"spurious_wakeups"`
 }
 
 // STM is a transactional memory instance. Vars belong to the instance that
@@ -164,6 +188,12 @@ type STM struct {
 	glock      chan struct{} // global-lock engine's mutex (chan for TryLock-free simplicity)
 	slots      []slot
 	stats      Stats
+
+	// metrics is the observability surface (nil when disabled with
+	// WithMetrics(false)); sampleMask gates which transactions carry a
+	// latency timestamp (period-1, period a power of two).
+	metrics    *Metrics
+	sampleMask uint64
 
 	// waiters is the commit-notification table: parked transactions
 	// register their footprints here and every commit announces its
@@ -213,12 +243,23 @@ func New(opts ...Option) *STM {
 	if !ok {
 		panic(fmt.Sprintf("stm: engine %v is not registered", c.engine))
 	}
+	se := c.sampleEvery
+	if se == 0 {
+		se = 256
+	}
+	if se&(se-1) != 0 {
+		se = 1 << bits.Len64(se) // round up to a power of two
+	}
 	s := &STM{
 		engine:     c.engine,
 		eng:        info.impl,
 		maxRetries: c.maxRetries,
 		glock:      make(chan struct{}, 1),
 		slots:      make([]slot, n),
+		sampleMask: se - 1,
+	}
+	if !c.metricsOff {
+		s.metrics = &Metrics{}
 	}
 	s.txPool.New = func() any {
 		tx := &Tx{s: s, e: s.eng}

@@ -72,6 +72,12 @@ type Tx struct {
 	// rtx is the read-only view handed to AtomicallyRead bodies; it
 	// points back at this Tx so no per-attempt wrapper is allocated.
 	rtx ReadTx
+
+	// mTick is the latency-sampling tick (see Tx.nextSample). It is
+	// deliberately NOT cleared by reset: surviving pool round-trips is
+	// what lets each pooled handle carry an even 1-in-N sample stream
+	// without a shared atomic counter.
+	mTick uint64
 }
 
 type readEntry struct {
@@ -285,9 +291,11 @@ func (tx *Tx) conflict() {
 
 // conflictOn aborts the attempt attributing the conflict to vb, observed
 // locked (or otherwise busy) with the word meta: the retry loop can park
-// on vb and be woken by the commit that releases it.
+// on vb and be woken by the commit that releases it. The contention
+// table records the same attribution.
 func (tx *Tx) conflictOn(vb *varBase, meta uint64) {
 	tx.conflictVB, tx.conflictMeta = vb, meta
+	noteContention(vb)
 	panic(conflictSignal{})
 }
 
@@ -376,11 +384,23 @@ func (s *STM) AtomicallyCtx(ctx context.Context, fn func(*Tx) error) error {
 
 func (s *STM) atomically(ctx context.Context, fn func(*Tx) error) error {
 	conflicts, parks := 0, 0
+	m := s.metrics
+	var t0 time.Time
+	sampled, first := false, true
 	for attempt := 0; attempt < s.maxRetries; {
 		if err := ctxErr(ctx); err != nil {
 			return s.txError("atomically", attempt, conflicts, ErrCanceled, err)
 		}
 		tx := s.begin()
+		if first {
+			// The sampling decision is made once per call, on the first
+			// attempt's pooled handle; retries reuse it.
+			first = false
+			if m != nil && tx.nextSample() {
+				sampled = true
+				t0 = time.Now()
+			}
+		}
 		err, st := tx.runBody(fn)
 		switch st {
 		case txBlocked:
@@ -406,6 +426,10 @@ func (s *STM) atomically(ctx context.Context, fn func(*Tx) error) error {
 			tx.commitPrepared()
 			tx.finishTx()
 			s.stats.Commits.Add(1)
+			if sampled {
+				m.CommitNs.Observe(time.Since(t0).Nanoseconds())
+				m.Attempts.Observe(int64(conflicts) + 1)
+			}
 			return nil
 		}
 		attempt = s.conflictedAttempt(ctx, tx, attempt)
@@ -480,12 +504,22 @@ func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error)
 	}
 	txs := make([]*Tx, len(stms))
 	conflicts, parks := 0, 0
+	m := stms[0].metrics // multi commits account to the lead instance
+	var t0 time.Time
+	sampled, first := false, true
 	for attempt := 0; attempt < stms[0].maxRetries; {
 		if err := ctxErr(ctx); err != nil {
 			return stms[0].txError("atomically-multi", attempt, conflicts, ErrCanceled, err)
 		}
 		for i, s := range stms {
 			txs[i] = s.begin()
+		}
+		if first {
+			first = false
+			if m != nil && txs[0].nextSample() {
+				sampled = true
+				t0 = time.Now()
+			}
 		}
 		err, st := runMultiBody(txs, fn)
 		switch {
@@ -558,6 +592,10 @@ func atomicallyMulti(ctx context.Context, stms []*STM, fn func(txs []*Tx) error)
 		for _, s := range stms {
 			s.stats.Commits.Add(1)
 			s.stats.MultiCommits.Add(1)
+		}
+		if sampled {
+			m.CommitNs.Observe(time.Since(t0).Nanoseconds())
+			m.Attempts.Observe(int64(conflicts) + 1)
 		}
 		return nil
 	}
