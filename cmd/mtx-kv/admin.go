@@ -3,7 +3,8 @@
 // JSON-emitting STATS wire subcommands shared with the line protocol.
 //
 //	/metrics      Prometheus text format (op/STM latency histograms,
-//	              cumulative counters, hot-key contention gauges)
+//	              cumulative counters, WAL/changefeed durability
+//	              counters, hot-key contention gauges)
 //	/debug/vars   expvar JSON (the same data, one document)
 //	/debug/pprof  the standard Go profiler endpoints
 //	/healthz      liveness ("ok")
@@ -73,6 +74,7 @@ func publishExpvars(store *kv.Store) {
 				"shards":    s.ShardStats(),
 				"latencies": histReportFor(s),
 				"hot_keys":  hotKeysFor(s),
+				"wal":       s.WALStats(),
 			}
 		}))
 	})
@@ -165,6 +167,41 @@ func renderMetrics(s *kv.Store) []byte {
 	b = append(b, "\n# HELP mtxkv_keys Resident keys.\n# TYPE mtxkv_keys gauge\nmtxkv_keys "...)
 	b = strconv.AppendInt(b, int64(st.Keys), 10)
 	b = append(b, '\n')
+
+	// Durability + changefeed. All of this renders (as zeros and a
+	// level of "off") on a non-durable store, so dashboards need no
+	// conditional scrape config.
+	ws := s.WALStats()
+	b = append(b, "# HELP mtxkv_wal_append_ns WAL record append (encode + buffer) latency in nanoseconds.\n"...)
+	b = append(b, "# TYPE mtxkv_wal_append_ns histogram\n"...)
+	b = appendPromHist(b, "mtxkv_wal_append_ns", "", ws.AppendNs)
+	b = append(b, "# HELP mtxkv_wal_fsync_ns WAL group-commit write+fsync latency in nanoseconds.\n"...)
+	b = append(b, "# TYPE mtxkv_wal_fsync_ns histogram\n"...)
+	b = appendPromHist(b, "mtxkv_wal_fsync_ns", "", ws.FsyncNs)
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"mtxkv_wal_appends_total", "WAL records appended.", ws.Appends},
+		{"mtxkv_wal_batches_total", "WAL group-commit batches drained.", ws.Batches},
+		{"mtxkv_wal_fsyncs_total", "WAL fsync calls.", ws.Fsyncs},
+		{"mtxkv_wal_bytes_total", "WAL bytes written.", ws.Bytes},
+		{"mtxkv_wal_rotations_total", "WAL segment rotations.", ws.Rotations},
+		{"mtxkv_wal_truncations_total", "Torn WAL tails repaired during recovery.", ws.Truncations},
+		{"mtxkv_wal_checkpoints_total", "Snapshot checkpoints taken.", ws.Checkpoints},
+		{"mtxkv_changefeed_dropped_total", "Changefeed events dropped on slow subscribers.", ws.ChangefeedDropped},
+	} {
+		b = append(b, "# HELP "+c.name+" "+c.help+"\n"...)
+		b = append(b, "# TYPE "+c.name+" counter\n"...)
+		b = append(b, c.name+" "...)
+		b = strconv.AppendUint(b, c.v, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, "# HELP mtxkv_changefeed_subscribers Registered changefeed subscriptions.\n"...)
+	b = append(b, "# TYPE mtxkv_changefeed_subscribers gauge\nmtxkv_changefeed_subscribers "...)
+	b = strconv.AppendInt(b, int64(ws.Subscribers), 10)
+	b = append(b, "\n# HELP mtxkv_wal_level Durability level as an info gauge (1 = active level).\n"...)
+	b = append(b, "# TYPE mtxkv_wal_level gauge\nmtxkv_wal_level{level=\""+ws.Level+"\"} 1\n"...)
 
 	b = append(b, "# HELP mtxkv_hot_key_conflicts Approximate conflicts attributed to the hottest keys.\n"...)
 	b = append(b, "# TYPE mtxkv_hot_key_conflicts gauge\n"...)

@@ -13,6 +13,7 @@ import (
 	"modtx/internal/kv"
 	"modtx/internal/obs"
 	"modtx/internal/stm"
+	"modtx/internal/wal"
 )
 
 // adminStore builds a store with every call sampled and a little traffic
@@ -177,6 +178,93 @@ func checkCumulative(t *testing.T, body, name, label string) {
 	if inf != count {
 		t.Fatalf("+Inf bucket %d != _count %d", inf, count)
 	}
+}
+
+// TestAdminPlaneWAL pins the durability observability surface: a
+// durable store's /metrics carries the WAL counters, level gauge and
+// latency histograms, and the expvar tree gains a "wal" subtree — all
+// well-formed exposition text.
+func TestAdminPlaneWAL(t *testing.T) {
+	store, err := kv.Open(kv.WithShards(4), kv.WithMetricsSampling(1),
+		kv.WithDurability(t.TempDir(), wal.Fsync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.CounterAdd("ctr", 7); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(adminMux(store))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`mtxkv_wal_level{level="fsync"} 1`,
+		"mtxkv_wal_fsyncs_total ",
+		"mtxkv_wal_bytes_total ",
+		"mtxkv_changefeed_dropped_total 0",
+		"mtxkv_changefeed_subscribers 0",
+		`mtxkv_wal_append_ns_bucket{le="+Inf"}`,
+		"mtxkv_wal_fsync_ns_count ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if metricValue(t, text, "mtxkv_wal_appends_total") < 2 {
+		t.Errorf("mtxkv_wal_appends_total below traffic:\n%s", text)
+	}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !promLine.MatchString(line) {
+			t.Errorf("malformed metrics line %q", line)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Mtxkv struct {
+			Wal kv.WALStats `json:"wal"`
+		} `json:"mtxkv"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Mtxkv.Wal.Level != "fsync" || vars.Mtxkv.Wal.Appends < 2 {
+		t.Fatalf("expvar wal subtree: %+v", vars.Mtxkv.Wal)
+	}
+}
+
+// metricValue extracts one unlabeled counter/gauge sample from
+// exposition text.
+func metricValue(t *testing.T, body, name string) uint64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
 }
 
 // TestExpvarRepublish pins the multi-store behavior: building a second

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"modtx/internal/kv"
 	"modtx/internal/obs"
 	"modtx/internal/stm"
+	"modtx/internal/wal"
 )
 
 // benchReport is the machine-readable form of one bench invocation
@@ -29,6 +31,7 @@ type benchReport struct {
 	WritePct   int               `json:"write_pct"`
 	TxnPct     int               `json:"txn_pct"`
 	Zipf       float64           `json:"zipf"`
+	Durability string            `json:"durability,omitempty"` // "off" omitted
 	Engines    []benchEngineJSON `json:"engines"`
 }
 
@@ -59,6 +62,10 @@ func runBench(args []string) error {
 	readPct := fs.Int("read-pct", 20, "percent of ops that are transactional Gets")
 	writePct := fs.Int("write-pct", 5, "percent of ops that are transactional Sets (remainder: cross-key TXN transfers)")
 	zipfS := fs.Float64("zipf", 1.2, "Zipf skew parameter s (<=1 means uniform key choice)")
+	durability := fs.String("durability", "off",
+		"write-ahead log level for the benched store: off, none, batch, fsync")
+	dataDir := fs.String("data", "",
+		"durability directory with -durability (default: a temp dir, removed afterwards)")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report instead of the table")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,10 +77,31 @@ func runBench(args []string) error {
 	if err != nil {
 		return err
 	}
+	// durOpts builds the per-engine durability options: each engine gets
+	// its own subdirectory so a matrix run never recovers a predecessor's
+	// state.
+	durOpts := func(string) []kv.Option { return nil }
+	if *durability != "off" {
+		level, err := wal.ParseLevel(*durability)
+		if err != nil {
+			return err
+		}
+		base := *dataDir
+		if base == "" {
+			base, err = os.MkdirTemp("", "mtx-kv-bench-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(base)
+		}
+		durOpts = func(engine string) []kv.Option {
+			return []kv.Option{kv.WithDurability(filepath.Join(base, engine), level)}
+		}
+	}
 
 	if !*asJSON {
-		fmt.Printf("mtx-kv bench: %d keys, %d shards, %d goroutines, %v per engine\n",
-			*nkeys, *shards, *goroutines, *duration)
+		fmt.Printf("mtx-kv bench: %d keys, %d shards, %d goroutines, %v per engine, durability %s\n",
+			*nkeys, *shards, *goroutines, *duration, *durability)
 		fmt.Printf("op mix: %d%% fastget / %d%% get / %d%% set / %d%% txn-transfer, zipf=%.2f\n\n",
 			*fastPct, *readPct, *writePct, 100-*fastPct-*readPct-*writePct, *zipfS)
 		fmt.Printf("%-12s %12s %12s %10s %10s %10s %10s %10s %12s\n",
@@ -91,8 +119,15 @@ func runBench(args []string) error {
 		TxnPct:     100 - *fastPct - *readPct - *writePct,
 		Zipf:       *zipfS,
 	}
+	if *durability != "off" {
+		report.Durability = *durability
+	}
 	for _, e := range engines {
-		r := benchOne(e, *shards, *nkeys, *goroutines, *duration, *fastPct, *readPct, *writePct, *zipfS)
+		r, err := benchOne(e, *shards, *nkeys, *goroutines, *duration, *fastPct, *readPct, *writePct, *zipfS,
+			durOpts(e.String()))
+		if err != nil {
+			return err
+		}
 		if *asJSON {
 			report.Engines = append(report.Engines, benchEngineJSON{
 				Engine:    e.String(),
@@ -135,10 +170,17 @@ type benchResult struct {
 }
 
 // benchOne runs the workload against a fresh store on one engine.
+// extra carries the durability options, if any; the store is closed at
+// the end so a durable run flushes its logs before the next engine (or
+// temp-dir removal).
 func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
-	fastPct, readPct, writePct int, zipfS float64) benchResult {
+	fastPct, readPct, writePct int, zipfS float64, extra []kv.Option) (benchResult, error) {
 
-	s := kv.New(kv.WithShards(shards), kv.WithEngine(e))
+	s, err := kv.Open(append([]kv.Option{kv.WithShards(shards), kv.WithEngine(e)}, extra...)...)
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer s.Close()
 	keys := make([]string, nkeys)
 	ctrs := make([]string, nkeys)
 	for i := range keys {
@@ -239,5 +281,5 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 		max:       pct(1.0),
 		conflicts: st.Conflicts,
 		hot:       s.HotKeys(8),
-	}
+	}, nil
 }

@@ -5,10 +5,22 @@
 // Usage:
 //
 //	mtx-kv serve [-addr :7700] [-shards 64] [-engine lazy]
+//	             [-data DIR] [-durability fsync]
 //	             [-admin :6060] [-slowtxn 1ms]
 //	mtx-kv bench [-engine all] [-shards 64] [-keys 65536] [-goroutines 8]
 //	             [-duration 2s] [-fastread-pct 70] [-read-pct 20]
-//	             [-write-pct 5] [-zipf 1.2] [-json]
+//	             [-write-pct 5] [-zipf 1.2]
+//	             [-durability off] [-data DIR] [-json]
+//
+// With -data, serve recovers the store from DIR's per-shard write-ahead
+// logs and snapshots on boot, then logs every commit at the chosen
+// -durability level: fsync (group commit — every acknowledged write is
+// on disk), batch (interval fsync), or none (OS page cache only; the
+// log survives process crashes but not power loss). A clean shutdown
+// (SIGINT/SIGTERM) flushes and fsyncs the logs; after a kill, the next
+// boot repairs and replays a commit-order prefix. bench accepts the
+// same pair to measure logging cost; its default "off" benches the
+// undisturbed in-memory store.
 //
 // With -json, bench emits a machine-readable report (workload config +
 // per-engine ops/sec and latency percentiles) on stdout — the same
@@ -42,10 +54,21 @@
 //	MSET k1 v1 k2 v2 ...      -> OK                 (token values, no spaces)
 //	TXN ADD k1 d1 k2 d2 ...   -> VALUES n1 n2 ...   (one cross-shard txn)
 //	TXN DEL k1 k2 ...         -> VALUES b1 b2 ...   (1 if removed, else 0; one txn)
+//	SUBSCRIBE [prefix]        -> OK subscribed, then a stream of
+//	                             EVENT seq op key [value] lines, one per
+//	                             committed write under the prefix in
+//	                             per-shard commit order (op = set, cset,
+//	                             del; cset carries the counter's new
+//	                             value). A slow reader loses events, each
+//	                             loss reported as a cumulative DROPPED n
+//	                             line. Any input (or disconnect) ends the
+//	                             stream; the connection leaves command
+//	                             mode for good.
 //	STATS                     -> STATS ...          (aggregate counters)
 //	STATS SHARDS              -> per-shard stats, one JSON line
 //	STATS HIST                -> op + STM latency histograms, one JSON line
 //	STATS HOT                 -> hottest keys by attributed conflicts, JSON
+//	STATS WAL                 -> durability + changefeed stats, JSON
 //	STATS RESET               -> OK                 (zero histograms/contention)
 //	QUIT                      -> BYE (connection closes)
 //

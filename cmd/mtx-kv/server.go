@@ -9,13 +9,17 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 	"unicode"
 
 	"modtx/internal/kv"
 	"modtx/internal/stm"
+	"modtx/internal/wal"
 )
 
 func runServe(args []string) error {
@@ -23,6 +27,10 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":7700", "listen address")
 	shards := fs.Int("shards", 64, "shard count (rounded up to a power of two)")
 	engineName := fs.String("engine", "lazy", engineFlagHelp(false))
+	dataDir := fs.String("data", "",
+		"durability directory: recover state from it on boot and log every commit; empty = in-memory only")
+	durLevel := fs.String("durability", "fsync",
+		"durability level with -data: fsync (group commit), batch (interval fsync), none (OS page cache)")
 	adminAddr := fs.String("admin", "",
 		"admin plane listen address (/metrics, /debug/pprof, /debug/vars, /healthz); empty disables")
 	slowTxn := fs.Duration("slowtxn", 0,
@@ -37,17 +45,33 @@ func runServe(args []string) error {
 	if len(engines) != 1 {
 		return fmt.Errorf("serve needs a single engine, not %q", *engineName)
 	}
-	srv := &server{
-		store: kv.New(kv.WithShards(*shards), kv.WithEngine(engines[0])),
-		slow:  *slowTxn,
+	opts := []kv.Option{kv.WithShards(*shards), kv.WithEngine(engines[0])}
+	if *dataDir != "" {
+		level, err := wal.ParseLevel(*durLevel)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, kv.WithDurability(*dataDir, level))
+	}
+	store, err := kv.Open(opts...)
+	if err != nil {
+		return err
+	}
+	srv := &server{store: store, slow: *slowTxn}
+	if *dataDir != "" {
+		ri := store.WALStats().Recover
+		fmt.Printf("mtx-kv: recovered %s: %d snapshot records + %d log records over %d shards, max seq %d\n",
+			*dataDir, ri.SnapshotRecords, ri.Records, ri.Shards, ri.MaxSeq)
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
+		store.Close()
 		return err
 	}
 	if *adminAddr != "" {
 		al, err := net.Listen("tcp", *adminAddr)
 		if err != nil {
+			store.Close()
 			return fmt.Errorf("admin listen: %w", err)
 		}
 		fmt.Printf("mtx-kv: admin plane on http://%s\n", al.Addr())
@@ -57,9 +81,26 @@ func runServe(args []string) error {
 			}
 		}()
 	}
-	fmt.Printf("mtx-kv: serving %s engine, %d shards on %s\n",
-		engines[0], srv.store.NumShards(), l.Addr())
-	return srv.serve(l)
+	fmt.Printf("mtx-kv: serving %s engine, %d shards on %s, durability %s\n",
+		engines[0], srv.store.NumShards(), l.Addr(), store.WALStats().Level)
+	// SIGINT/SIGTERM close the listener so serve returns; Close then
+	// flushes and fsyncs a durable store's logs, so the next boot
+	// replays no tail. A SIGKILL skips all of this by design — recovery
+	// repairs whatever the crash left.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		l.Close()
+	}()
+	err = srv.serve(l)
+	if errors.Is(err, net.ErrClosed) {
+		err = nil
+	}
+	if cerr := store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // server wraps a kv.Store with the line protocol. One goroutine per
@@ -96,6 +137,12 @@ func (s *server) handleConn(conn net.Conn) {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
+		if f := strings.Fields(line); strings.EqualFold(f[0], "SUBSCRIBE") {
+			// SUBSCRIBE flips the connection into streaming mode for the
+			// rest of its life; it never returns to command dispatch.
+			s.handleSubscribe(sc, w, f)
+			return
+		}
 		var start time.Time
 		if s.slow > 0 {
 			start = time.Now()
@@ -123,6 +170,85 @@ func (s *server) handleConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// handleSubscribe serves SUBSCRIBE [prefix]: acknowledge with
+// "OK subscribed", then stream one "EVENT seq op key [value]" line per
+// committed write under the prefix, in per-shard commit order, until
+// the client sends any line or disconnects. seq is the per-shard commit
+// sequence; op is set, cset or del; set carries the value bytes (no
+// newlines, spaces allowed), cset the counter's new absolute value.
+//
+// Delivery is buffered and non-blocking on the commit path: a client
+// that reads slower than the store commits loses events, and each loss
+// is reported in-stream as a cumulative "DROPPED n" line, so consumers
+// can tell a gap from a quiet store.
+func (s *server) handleSubscribe(sc *bufio.Scanner, w *bufio.Writer, f []string) {
+	if len(f) > 2 {
+		w.WriteString("ERR usage: SUBSCRIBE [prefix]\n")
+		w.Flush()
+		return
+	}
+	prefix := ""
+	if len(f) == 2 {
+		prefix = f[1]
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sub := s.store.Subscribe(ctx, prefix)
+	defer sub.Close()
+	// The registration must be visible before the ack: a client that
+	// reads "OK" and then triggers a write on another connection is
+	// guaranteed to see its event.
+	w.WriteString("OK subscribed\n")
+	if w.Flush() != nil {
+		return
+	}
+	// Any further input — or EOF when the client goes away — ends the
+	// stream; parking on the scanner costs nothing while the client is
+	// quietly reading.
+	go func() {
+		defer cancel()
+		sc.Scan()
+	}()
+	reply := make([]byte, 0, 256)
+	var reported uint64
+	for ev := range sub.Events() {
+		reply = appendEvent(reply[:0], ev)
+		reply = append(reply, '\n')
+		if d := sub.Dropped(); d > reported {
+			reported = d
+			reply = append(reply, "DROPPED "...)
+			reply = strconv.AppendUint(reply, d, 10)
+			reply = append(reply, '\n')
+		}
+		if _, err := w.Write(reply); err != nil {
+			return
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+}
+
+// appendEvent formats one changefeed event as a protocol line (without
+// the trailing newline).
+func appendEvent(b []byte, ev kv.Event) []byte {
+	b = append(b, "EVENT "...)
+	b = strconv.AppendUint(b, ev.Seq, 10)
+	b = append(b, ' ')
+	b = append(b, ev.Kind.String()...)
+	b = append(b, ' ')
+	b = append(b, ev.Key...)
+	switch ev.Kind {
+	case wal.KindSet:
+		b = append(b, ' ')
+		b = append(b, ev.Val...)
+	case wal.KindCounterAdd, wal.KindCounterSet:
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, ev.N, 10)
+	}
+	return b
 }
 
 // maxBlockTimeout caps BGET/WATCH waits: it bounds how long a dead
@@ -396,6 +522,7 @@ func (s *server) exec(reply []byte, line string) (resp []byte, quit bool) {
 		// STATS SHARDS     -> per-shard stats, one JSON line
 		// STATS HIST       -> op + STM latency histograms, one JSON line
 		// STATS HOT        -> hottest keys by attributed conflicts, JSON
+		// STATS WAL        -> durability + changefeed stats, one JSON line
 		// STATS RESET      -> zero histograms and contention tables
 		if len(f) == 1 {
 			return append(reply, "STATS "+s.store.Stats().String()...), false
@@ -407,12 +534,14 @@ func (s *server) exec(reply []byte, line string) (resp []byte, quit bool) {
 			return appendStatsJSON(reply, histReportFor(s.store)), false
 		case "HOT":
 			return appendStatsJSON(reply, hotKeysFor(s.store)), false
+		case "WAL":
+			return appendStatsJSON(reply, s.store.WALStats()), false
 		case "RESET":
 			s.store.ResetMetrics()
 			return append(reply, "OK"...), false
 		default:
 			return append(reply, "ERR unknown STATS sub "+f[1]+
-				" (want SHARDS, HIST, HOT or RESET)"...), false
+				" (want SHARDS, HIST, HOT, WAL or RESET)"...), false
 		}
 
 	case "QUIT":

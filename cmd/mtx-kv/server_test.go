@@ -13,6 +13,7 @@ import (
 	"modtx/internal/kv"
 	"modtx/internal/obs"
 	"modtx/internal/stm"
+	"modtx/internal/wal"
 )
 
 // TestServerProtocol drives the TCP server end to end over a loopback
@@ -321,6 +322,224 @@ func TestServerStatsSubcommands(t *testing.T) {
 				t.Errorf("STATS BOGUS: %q", got)
 			}
 		})
+	}
+}
+
+// TestServerSubscribe drives the changefeed over two loopback
+// connections: one subscribes to a prefix, the other commits writes.
+// The subscriber must see exactly the matching commits, as EVENT lines
+// in commit order (one shard, so the per-shard sequence is total),
+// carrying the right op names and payloads — and any input must end the
+// stream by closing the connection.
+func TestServerSubscribe(t *testing.T) {
+	srv := &server{store: kv.New(kv.WithShards(1))}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.serve(l)
+
+	dial := func() (net.Conn, *bufio.Reader) {
+		t.Helper()
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		return conn, bufio.NewReader(conn)
+	}
+	readLine := func(r *bufio.Reader) string {
+		t.Helper()
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimRight(line, "\n")
+	}
+
+	subConn, sr := dial()
+	other, or := dial()
+	roundtrip := func(cmd string) string {
+		t.Helper()
+		if _, err := other.Write([]byte(cmd + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		return readLine(or)
+	}
+
+	// The ack guarantees the subscription is registered before any of
+	// the writes below commit.
+	if _, err := subConn.Write([]byte("SUBSCRIBE user:\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readLine(sr); got != "OK subscribed" {
+		t.Fatalf("SUBSCRIBE ack: %q", got)
+	}
+
+	if got := roundtrip("SET user:1 alice smith"); got != "OK" {
+		t.Fatalf("SET: %q", got)
+	}
+	if got := roundtrip("SET noise:x y"); got != "OK" { // filtered, but takes seq 2
+		t.Fatalf("SET noise: %q", got)
+	}
+	if got := roundtrip("ADD user:ctr 5"); got != "VALUE 5" {
+		t.Fatalf("ADD: %q", got)
+	}
+	if got := roundtrip("DEL user:1"); got != "VALUE 1" {
+		t.Fatalf("DEL: %q", got)
+	}
+	for i, want := range []string{
+		"EVENT 1 set user:1 alice smith", // values keep their spaces
+		"EVENT 3 cset user:ctr 5",        // seq 2 was the filtered write
+		"EVENT 4 del user:1",
+	} {
+		if got := readLine(sr); got != want {
+			t.Errorf("event %d: got %q, want %q", i, got, want)
+		}
+	}
+
+	// Any input ends the stream: the server closes the connection.
+	if _, err := subConn.Write([]byte("anything\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.ReadString('\n'); err == nil {
+		t.Fatal("stream did not end after client input")
+	}
+
+	// A malformed SUBSCRIBE replies with usage and closes the
+	// connection — it already left command mode.
+	bad, br := dial()
+	if _, err := bad.Write([]byte("SUBSCRIBE too many args\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readLine(br); got != "ERR usage: SUBSCRIBE [prefix]" {
+		t.Fatalf("SUBSCRIBE usage: %q", got)
+	}
+}
+
+// TestServerStatsWAL pins the STATS WAL wire subcommand: one JSON line
+// that parses as kv.WALStats, reporting "off" on an in-memory store and
+// live append counters on a durable one.
+func TestServerStatsWAL(t *testing.T) {
+	drive := func(t *testing.T, srv *server) kv.WALStats {
+		t.Helper()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go srv.serve(l)
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		roundtrip := func(cmd string) string {
+			t.Helper()
+			if _, err := conn.Write([]byte(cmd + "\n")); err != nil {
+				t.Fatal(err)
+			}
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatal(err)
+			}
+			return strings.TrimRight(line, "\n")
+		}
+		if got := roundtrip("SET k some value"); got != "OK" {
+			t.Fatalf("SET: %q", got)
+		}
+		if got := roundtrip("ADD ctr 2"); got != "VALUE 2" {
+			t.Fatalf("ADD: %q", got)
+		}
+		var ws kv.WALStats
+		if err := json.Unmarshal([]byte(roundtrip("STATS WAL")), &ws); err != nil {
+			t.Fatalf("STATS WAL not JSON: %v", err)
+		}
+		return ws
+	}
+
+	t.Run("off", func(t *testing.T) {
+		ws := drive(t, &server{store: kv.New(kv.WithShards(4))})
+		if ws.Level != "off" || ws.Appends != 0 {
+			t.Fatalf("in-memory STATS WAL: %+v", ws)
+		}
+	})
+	t.Run("durable", func(t *testing.T) {
+		store, err := kv.Open(kv.WithShards(4), kv.WithDurability(t.TempDir(), wal.Batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		ws := drive(t, &server{store: store})
+		if ws.Level != "batch" {
+			t.Fatalf("level: %q, want batch", ws.Level)
+		}
+		if ws.Appends < 2 {
+			t.Fatalf("appends: %d, want >= 2 after SET+ADD", ws.Appends)
+		}
+	})
+}
+
+// TestServerDurableRestart pins wire-level durability: values written
+// over one server generation are served by the next one from the same
+// data directory.
+func TestServerDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	roundtrip := func(t *testing.T, addr, cmd string) string {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte(cmd + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimRight(line, "\n")
+	}
+
+	s1, err := kv.Open(kv.WithShards(4), kv.WithDurability(dir, wal.Fsync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go (&server{store: s1}).serve(l1)
+	if got := roundtrip(t, l1.Addr().String(), "SET greeting hello from gen one"); got != "OK" {
+		t.Fatalf("SET: %q", got)
+	}
+	if got := roundtrip(t, l1.Addr().String(), "ADD hits 3"); got != "VALUE 3" {
+		t.Fatalf("ADD: %q", got)
+	}
+	l1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := kv.Open(kv.WithShards(4), kv.WithDurability(dir, wal.Fsync))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	go (&server{store: s2}).serve(l2)
+	if got := roundtrip(t, l2.Addr().String(), "GET greeting"); got != "VALUE hello from gen one" {
+		t.Fatalf("recovered GET: %q", got)
+	}
+	if got := roundtrip(t, l2.Addr().String(), "ADD hits 1"); got != "VALUE 4" {
+		t.Fatalf("recovered counter: %q", got)
 	}
 }
 

@@ -168,6 +168,64 @@ func TestAllocsInstrumented(t *testing.T) {
 	}
 }
 
+// TestAllocsDurabilityOff: the durability wiring costs the non-durable
+// hot paths nothing but one atomic load — Get and CounterAdd stay at
+// zero allocations and Set within its two inherent ones on a store
+// opened without WithDurability (explicitly, through the same Open
+// path a durable store takes).
+func TestAllocsDurabilityOff(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	val := []byte("steady-state-value")
+	for _, e := range stm.Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			s, err := Open(WithShards(8), WithEngine(e))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Durable() || s.tapOn.Load() {
+				t.Fatal("store unexpectedly durable or tapped")
+			}
+			if err := s.Set("bytes-key", val); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 32; i++ { // warm the op and Tx pools
+				if _, ok, er := s.Get("bytes-key"); er != nil || !ok {
+					t.Fatal("missing key")
+				}
+				if _, er := s.CounterAdd("ctr-key", 1); er != nil {
+					t.Fatal(er)
+				}
+				if er := s.Set("bytes-key", val); er != nil {
+					t.Fatal(er)
+				}
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if _, ok, er := s.Get("bytes-key"); er != nil || !ok {
+					t.Fatal("missing key")
+				}
+			}); avg != 0 {
+				t.Errorf("Get with durability off: %v allocs/op, want 0", avg)
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if _, er := s.CounterAdd("ctr-key", 1); er != nil {
+					t.Fatal(er)
+				}
+			}); avg != 0 {
+				t.Errorf("CounterAdd with durability off: %v allocs/op, want 0", avg)
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if er := s.Set("bytes-key", val); er != nil {
+					t.Fatal(er)
+				}
+			}); avg > 2 {
+				t.Errorf("Set with durability off: %v allocs/op, want <= 2 (copy + box)", avg)
+			}
+		})
+	}
+}
+
 // TestAllocsSetBounded: Set's only remaining allocations are inherent to
 // its semantics — the defensive copy of the incoming value and the
 // typed lane's immutable box. Anything above two means plumbing

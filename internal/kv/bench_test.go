@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"modtx/internal/stm"
+	"modtx/internal/wal"
 )
 
 // benchStore preloads nkeys byte-valued keys and nkeys counters. Extra
@@ -100,6 +101,66 @@ func BenchmarkKVSet(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkKVDurableSet measures the single-key write path under each
+// durability level on the default engine: "none" shows the pure
+// logging overhead (encode + buffered append, no fsync), "batch" adds
+// the interval fsync off the hot path, and "fsync" is the full
+// group-commit wait — the number that shows how many concurrent
+// writers share one fsync. "off" is the undisturbed baseline through
+// the same harness.
+func BenchmarkKVDurableSet(b *testing.B) {
+	run := func(b *testing.B, opts ...Option) {
+		s := New(append([]Option{WithShards(64), WithMetrics(false)}, opts...)...)
+		defer s.Close()
+		keys := make([]string, 4096)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key-%06d", i)
+		}
+		val := []byte("benchmark-value")
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(9))
+			for pb.Next() {
+				if err := s.Set(keys[rng.Intn(len(keys))], val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	for _, level := range []wal.Level{wal.None, wal.Batch, wal.Fsync} {
+		b.Run(level.String(), func(b *testing.B) {
+			run(b, WithDurability(b.TempDir(), level))
+		})
+	}
+}
+
+// BenchmarkKVDurableCounterAdd is the counter lane under durability:
+// the logged record is fixed-size, so this isolates sequencing and
+// group-commit cost from value copying.
+func BenchmarkKVDurableCounterAdd(b *testing.B) {
+	for _, level := range []wal.Level{wal.None, wal.Fsync} {
+		b.Run(level.String(), func(b *testing.B) {
+			s := New(WithShards(64), WithMetrics(false), WithDurability(b.TempDir(), level))
+			defer s.Close()
+			ctrs := make([]string, 4096)
+			for i := range ctrs {
+				ctrs[i] = fmt.Sprintf("ctr-%06d", i)
+			}
+			s.EnsureCounters(ctrs...)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(10))
+				for pb.Next() {
+					if _, err := s.CounterAdd(ctrs[rng.Intn(len(ctrs))], 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkKVCounterAdd measures the int64-specialized counter hot path.

@@ -1,0 +1,479 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modtx/internal/obs"
+	"modtx/internal/stm"
+	"modtx/internal/wal"
+)
+
+// Durability: each shard's commits stream into a per-shard write-ahead
+// log (internal/wal), sequenced by the STM commit tap so log order is
+// commit order, and recovery replays snapshot + log tail back into the
+// shard on Open.
+//
+// The flow of one durable write: the operation's transaction body
+// records its effects as wal.Ops in a pooled pendingOps and attaches
+// it with Tx.SetTapData; if (and only if) the attempt commits, the
+// shard's tap runs at the serialization point, assigns the next
+// per-shard commit sequence under the feed lock, hands the encoded
+// record to the log's group-commit batcher, and fans the ops out to
+// subscribers (feed.go) — all without blocking on I/O, so commits are
+// never held up by the disk. At the Fsync level the operation then
+// waits (after its transaction is fully committed and unlocked) for
+// the batcher's fsync to cover its sequence number.
+//
+// Ops are logged in absolute form — counter writes as KindCounterSet
+// with the post-transaction value — so replay is idempotent and
+// recovery can splice a snapshot anywhere into the record stream.
+//
+// Two mixed-mode paths are, by design, outside the log: key creation
+// via EnsureKeys/EnsureCounters (present-but-unwritten keys reappear
+// on first write) and plain writes through Privatize'd handles.
+// Publish IS logged: its sentinel transactions carry the published
+// values as SET ops.
+
+// ErrNotDurable reports a durability operation on a store opened
+// without WithDurability.
+var ErrNotDurable = errors.New("kv: store has no durability configured")
+
+// pendingOps is one transaction's effect list, attached to the attempt
+// via Tx.SetTapData and consumed by the shard's commit tap, which
+// stamps it with the commit sequence it assigned.
+type pendingOps struct {
+	ops []wal.Op
+	seq uint64
+}
+
+func (p *pendingOps) reset() {
+	clear(p.ops)
+	p.ops = p.ops[:0]
+	p.seq = 0
+}
+
+// shardFeed is the per-shard commit stream state: the sequence
+// counter, the shard's log (nil without durability), and the lock
+// under which the tap assigns sequences, appends, and fans out —
+// making all three agree on one per-shard order.
+type shardFeed struct {
+	mu  sync.Mutex
+	seq uint64
+	log *wal.Log
+}
+
+// durState is the store's durability state (nil when disabled).
+type durState struct {
+	dir     string
+	level   wal.Level
+	opts    wal.Options // template for per-shard logs
+	m       wal.Metrics
+	results []wal.RecoverResult // per-shard, consumed by log attach
+	info    RecoverInfo
+
+	recovered bool
+	attached  bool
+	closed    atomic.Bool
+
+	ckptBusy  []atomic.Bool // per-shard: one checkpoint at a time
+	ckpts     atomic.Uint64
+	ckptFails atomic.Uint64
+
+	// ckptMu + ckptWG fence rotation-triggered checkpoints against
+	// Close: the mutex makes "passed the closed check" and "counted in
+	// the WaitGroup" one atomic step, so Close can drain stragglers
+	// before it closes the logs.
+	ckptMu sync.Mutex
+	ckptWG sync.WaitGroup
+}
+
+// RecoverInfo summarizes a store's boot-time recovery, aggregated over
+// shards. The JSON names are a stable wire format (STATS WAL emits it).
+type RecoverInfo struct {
+	Shards          int    `json:"shards"`
+	Records         int    `json:"records"`          // log records replayed
+	SnapshotRecords int    `json:"snapshot_records"` // snapshot chunks applied
+	Snapshots       int    `json:"snapshots"`        // shards restored from a snapshot
+	Truncations     int    `json:"truncations"`      // shards with a repaired torn tail
+	TruncatedBytes  int64  `json:"truncated_bytes"`
+	MaxSeq          uint64 `json:"max_seq"` // highest recovered commit sequence
+}
+
+// storeMetaName guards against reopening a directory with a different
+// shard count (keys would re-route and recovery would interleave
+// shards' states).
+const storeMetaName = "store.meta"
+
+func (s *Store) shardDir(i int) string {
+	return filepath.Join(s.dur.dir, fmt.Sprintf("shard-%04d", i))
+}
+
+// checkMeta verifies (or, first time, records) the directory's shard
+// count.
+func (s *Store) checkMeta() error {
+	path := filepath.Join(s.dur.dir, storeMetaName)
+	want := fmt.Sprintf("mtxkv shards=%d\n", len(s.shards))
+	b, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if string(b) != want {
+			return fmt.Errorf("kv: durability dir %s was written with %q, reopened with %d shards", s.dur.dir, strings.TrimSpace(string(b)), len(s.shards))
+		}
+		return nil
+	case os.IsNotExist(err):
+		if err := os.MkdirAll(s.dur.dir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(path, []byte(want), 0o644)
+	default:
+		return err
+	}
+}
+
+// Recover replays the durability directory into the store: per shard,
+// the newest usable snapshot plus the log tail past it, with torn
+// tails truncated (see wal.Recover). Open calls it before attaching
+// the logs and the commit taps, so nothing replayed is re-logged;
+// calling it again afterwards just returns the boot-time summary.
+func (s *Store) Recover() (RecoverInfo, error) {
+	if s.dur == nil {
+		return RecoverInfo{}, ErrNotDurable
+	}
+	if s.dur.recovered {
+		return s.dur.info, nil
+	}
+	if err := s.checkMeta(); err != nil {
+		return RecoverInfo{}, err
+	}
+	info := RecoverInfo{Shards: len(s.shards)}
+	s.dur.results = make([]wal.RecoverResult, len(s.shards))
+	for i, sh := range s.shards {
+		res, err := wal.Recover(s.shardDir(i), uint32(i), func(rec wal.Record) error {
+			return applyRecovered(sh, rec)
+		}, &s.dur.m)
+		if err != nil {
+			return info, fmt.Errorf("kv: recover shard %d: %w", i, err)
+		}
+		s.dur.results[i] = res
+		sh.feed.seq = res.LastSeq
+		info.Records += res.Records
+		info.SnapshotRecords += res.SnapshotRecords
+		if res.SnapshotSeq != 0 {
+			info.Snapshots++
+		}
+		if res.Truncated {
+			info.Truncations++
+			info.TruncatedBytes += res.TruncatedBytes
+		}
+		if res.LastSeq > info.MaxSeq {
+			info.MaxSeq = res.LastSeq
+		}
+	}
+	s.dur.recovered = true
+	s.dur.info = info
+	return info, nil
+}
+
+// applyRecovered replays one record into a shard. Recovery is
+// single-threaded and runs before the store serves, so it mutates the
+// shard's table in place instead of copy-on-write — replaying K keys
+// is O(K), not O(K²).
+func applyRecovered(sh *shard, rec wal.Record) error {
+	for _, op := range rec.Ops {
+		switch op.Kind {
+		case wal.KindSet:
+			sh.replayEntry(op.Key, false).b.Store(copyVal(op.Val))
+		case wal.KindCounterSet:
+			sh.replayEntry(op.Key, true).c.Store(op.N)
+		case wal.KindCounterAdd:
+			e := sh.replayEntry(op.Key, true)
+			e.c.Store(e.c.Load() + op.N)
+		case wal.KindDelete:
+			delete(*sh.vars.Load(), op.Key)
+		default:
+			return fmt.Errorf("kv: replay: unknown op kind %d", op.Kind)
+		}
+	}
+	return nil
+}
+
+// replayEntry returns key's entry of the requested kind, creating or
+// kind-replacing it in place. Replacement is what makes replay of a
+// SET → DELETE → ADD history land on the right kind at every step.
+func (sh *shard) replayEntry(key string, counter bool) *entry {
+	tbl := *sh.vars.Load()
+	if e := tbl[key]; e != nil && e.isCounter() == counter {
+		return e
+	}
+	e := sh.newEntry(key, counter)
+	tbl[key] = e
+	return e
+}
+
+// attachLogs opens every shard's log (continuing each repaired tail)
+// and installs the commit taps. Open-time only.
+func (s *Store) attachLogs() error {
+	for i, sh := range s.shards {
+		i := i
+		o := s.dur.opts
+		o.Metrics = &s.dur.m
+		o.OnRotate = func(uint64) { go s.checkpointShardAsync(i) }
+		log, err := wal.OpenLog(s.shardDir(i), uint32(i), s.dur.results[i], o)
+		if err != nil {
+			for _, prev := range s.shards[:i] {
+				prev.feed.log.Close()
+			}
+			return err
+		}
+		sh.feed.log = log
+	}
+	s.dur.attached = true
+	s.dur.results = nil
+	s.tapOnce.Do(s.installTaps)
+	return nil
+}
+
+// installTaps installs the per-shard commit taps (idempotent via
+// tapOnce at the call sites). The tap runs at the committing
+// transaction's serialization point with commit locks held: it only
+// assigns the sequence, buffers the record (Log.Append does no I/O)
+// and fans out to subscribers — the disk never gates a commit.
+func (s *Store) installTaps() {
+	for _, sh := range s.shards {
+		sh := sh
+		f := sh.feed
+		sh.stm.SetCommitTap(func(data any) {
+			p := data.(*pendingOps)
+			f.mu.Lock()
+			f.seq++
+			p.seq = f.seq
+			if f.log != nil {
+				// Errors are sticky inside the Log and surface on
+				// WaitDurable/Sync; the commit itself must not fail here —
+				// it is already past its serialization point.
+				_ = f.log.Append(p.seq, p.ops)
+			}
+			if subs := s.subs.Load(); subs != nil && len(p.ops) > 0 {
+				notifySubscribers(s, *subs, sh.index, p)
+			}
+			f.mu.Unlock()
+		})
+	}
+	s.tapOn.Store(true)
+}
+
+// tapWrites reports whether transaction bodies should record their
+// effects (durability attached, or at least one subscriber ever
+// registered). One atomic load on the write path when disabled.
+func (s *Store) tapWrites() bool { return s.tapOn.Load() }
+
+// fsyncLevel reports whether acknowledged writes wait for fsync.
+func (s *Store) fsyncLevel() bool { return s.dur != nil && s.dur.level == wal.Fsync }
+
+// waitDurable blocks until p's record is fsynced, at the Fsync level.
+// Called after the transaction has fully committed and released its
+// locks; p.seq is 0 when the attempt logged nothing.
+func (s *Store) waitDurable(sh *shard, p *pendingOps) error {
+	if p.seq == 0 || !s.fsyncLevel() {
+		return nil
+	}
+	return sh.feed.log.WaitDurable(p.seq)
+}
+
+// Checkpoint snapshots every shard and compacts its log. Each shard's
+// snapshot is exact at a commit sequence: it is taken by a marker
+// transaction that reads the shard's whole table (and its keyspace and
+// publication versions, so concurrent key creation or publication
+// conflicts it) and goes through the commit tap — the sequence the tap
+// assigns the (empty) marker record is precisely the state the
+// transaction read. The log is then fsynced through that sequence
+// before the snapshot is installed, so a surviving snapshot never
+// outruns the surviving log.
+func (s *Store) Checkpoint() error {
+	if s.dur == nil {
+		return ErrNotDurable
+	}
+	var first error
+	for i := range s.shards {
+		if err := s.checkpointShard(i); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// checkpointShardAsync is the rotation hook: best-effort, one at a
+// time per shard, failures counted rather than returned.
+func (s *Store) checkpointShardAsync(i int) {
+	d := s.dur
+	d.ckptMu.Lock()
+	if d.closed.Load() {
+		d.ckptMu.Unlock()
+		return
+	}
+	d.ckptWG.Add(1)
+	d.ckptMu.Unlock()
+	defer d.ckptWG.Done()
+	if err := s.checkpointShard(i); err != nil {
+		d.ckptFails.Add(1)
+	}
+}
+
+func (s *Store) checkpointShard(i int) error {
+	if !s.dur.ckptBusy[i].CompareAndSwap(false, true) {
+		return nil // already in progress
+	}
+	defer s.dur.ckptBusy[i].Store(false)
+	sh := s.shards[i]
+	var (
+		pend pendingOps
+		ops  []wal.Op
+	)
+	err := sh.stm.Atomically(func(tx *stm.Tx) error {
+		ops = ops[:0]
+		pend.reset()
+		// Key creations touch the keyspace version and publications
+		// bump the sentinel; reading both makes either conflict this
+		// snapshot instead of slipping past it.
+		_ = tx.Read(sh.kvers)
+		_ = tx.Read(sh.pub)
+		for k, e := range *sh.vars.Load() {
+			if tx.Read(e.dead) != 0 {
+				continue
+			}
+			if e.isCounter() {
+				ops = append(ops, wal.Op{Kind: wal.KindCounterSet, Key: k, N: tx.Read(e.c)})
+			} else {
+				ops = append(ops, wal.Op{Kind: wal.KindSet, Key: k, Val: stm.ReadT(tx, e.b)})
+			}
+		}
+		tx.SetTapData(&pend) // the marker: its tap seq is the snapshot's position
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("kv: checkpoint shard %d: %w", i, err)
+	}
+	if err := sh.feed.log.Sync(); err != nil {
+		return fmt.Errorf("kv: checkpoint shard %d: %w", i, err)
+	}
+	if err := wal.WriteSnapshot(s.shardDir(i), uint32(i), pend.seq, ops); err != nil {
+		return fmt.Errorf("kv: checkpoint shard %d: %w", i, err)
+	}
+	s.dur.ckpts.Add(1)
+	// Keep the previous snapshot as a fallback against bit rot in the
+	// new one; prune segments both still cover.
+	if err := wal.Compact(s.shardDir(i), 2); err != nil {
+		return fmt.Errorf("kv: compact shard %d: %w", i, err)
+	}
+	return nil
+}
+
+// Close flushes and closes every shard's log (a Fsync/Batch-level
+// close fsyncs the tail). The store itself remains usable for
+// non-durable operation but further writes are no longer logged;
+// Close is for orderly shutdown. Safe to call more than once.
+func (s *Store) Close() error {
+	if s.dur == nil {
+		return nil
+	}
+	if !s.dur.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Drain in-flight rotation checkpoints before closing the logs, so
+	// no background goroutine touches the directory after Close returns.
+	s.dur.ckptMu.Lock()
+	s.dur.ckptMu.Unlock() //nolint:staticcheck // barrier, not a critical section
+	s.dur.ckptWG.Wait()
+	var first error
+	for _, sh := range s.shards {
+		if sh.feed.log == nil {
+			continue
+		}
+		if err := sh.feed.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Durable reports whether the store was opened with WithDurability.
+func (s *Store) Durable() bool { return s.dur != nil }
+
+// WALStats is the durability and changefeed observability snapshot.
+// The JSON names are a stable wire format (STATS WAL, /debug/vars).
+type WALStats struct {
+	Level             string       `json:"level"` // "off" without durability
+	Appends           uint64       `json:"appends"`
+	Batches           uint64       `json:"batches"`
+	Fsyncs            uint64       `json:"fsyncs"`
+	Bytes             uint64       `json:"bytes"`
+	Rotations         uint64       `json:"rotations"`
+	Truncations       uint64       `json:"truncations"`
+	TruncatedBytes    uint64       `json:"truncated_bytes"`
+	Checkpoints       uint64       `json:"checkpoints"`
+	CheckpointFails   uint64       `json:"checkpoint_fails"`
+	AppendNs          obs.Snapshot `json:"append_ns"`
+	FsyncNs           obs.Snapshot `json:"fsync_ns"`
+	Subscribers       int          `json:"subscribers"`
+	ChangefeedDropped uint64       `json:"changefeed_dropped"`
+	Recover           RecoverInfo  `json:"recover"`
+	Err               string       `json:"err,omitempty"` // first sticky log error
+}
+
+// WALStats snapshots the durability metrics; with durability off only
+// the changefeed fields are live.
+func (s *Store) WALStats() WALStats {
+	st := WALStats{Level: "off", ChangefeedDropped: s.feedDropped.Load()}
+	if subs := s.subs.Load(); subs != nil {
+		st.Subscribers = len(*subs)
+	}
+	if s.dur == nil {
+		return st
+	}
+	m := s.dur.m.Snapshot()
+	st.Level = s.dur.level.String()
+	st.Appends, st.Batches, st.Fsyncs, st.Bytes = m.Appends, m.Batches, m.Fsyncs, m.Bytes
+	st.Rotations, st.Truncations, st.TruncatedBytes = m.Rotations, m.Truncations, m.TruncatedBytes
+	st.Checkpoints, st.CheckpointFails = s.dur.ckpts.Load(), s.dur.ckptFails.Load()
+	st.AppendNs, st.FsyncNs = m.AppendNs, m.FsyncNs
+	st.Recover = s.dur.info
+	for _, sh := range s.shards {
+		if sh.feed.log != nil {
+			if err := sh.feed.log.Err(); err != nil {
+				st.Err = err.Error()
+				break
+			}
+		}
+	}
+	return st
+}
+
+// WithDurability opens the store over a write-ahead log rooted at dir
+// (one subdirectory per shard), recovering existing state on Open and
+// logging every committed write thereafter at the given level. Stores
+// with durability must be created with Open (New panics on error).
+func WithDurability(dir string, level wal.Level) Option {
+	return func(c *config) {
+		c.durDir = dir
+		c.durLevel = level
+	}
+}
+
+// WithWALSegmentBytes sets the log segment rotation threshold
+// (default 64 MiB; each rotation triggers a background checkpoint).
+func WithWALSegmentBytes(n int64) Option {
+	return func(c *config) { c.segmentBytes = n }
+}
+
+// WithWALFlushInterval sets the Batch level's fsync cadence
+// (default 20ms).
+func WithWALFlushInterval(d time.Duration) Option {
+	return func(c *config) { c.flushEvery = d }
+}

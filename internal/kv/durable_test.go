@@ -1,0 +1,300 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"modtx/internal/stm"
+	"modtx/internal/wal"
+)
+
+// openDurable opens a small durable store over dir with deterministic
+// settings (2 shards keep the directories small, fsync level makes
+// every acknowledged write durable without sleeping).
+func openDurable(t *testing.T, dir string, level wal.Level, extra ...Option) *Store {
+	t.Helper()
+	opts := append([]Option{
+		WithShards(2),
+		WithDurability(dir, level),
+		WithMetrics(false),
+	}, extra...)
+	s, err := Open(opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.Fsync)
+
+	if err := s.Set("greeting", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CounterAdd("hits", 41); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CounterAdd("hits", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("doomed", []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	// A cross-shard transaction, to cover the Txn emission paths.
+	if err := s.Update([]string{"greeting", "hits", "txn-key"}, func(tx *Txn) error {
+		tx.Set("txn-key", []byte("txn-val"))
+		tx.Add("hits", 8)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openDurable(t, dir, wal.Fsync)
+	defer r.Close()
+	if v, ok, _ := r.Get("greeting"); !ok || string(v) != "hello" {
+		t.Fatalf("greeting = %q, %v", v, ok)
+	}
+	if n, ok, _ := r.CounterGet("hits"); !ok || n != 50 {
+		t.Fatalf("hits = %d, %v", n, ok)
+	}
+	if v, ok, _ := r.Get("txn-key"); !ok || string(v) != "txn-val" {
+		t.Fatalf("txn-key = %q, %v", v, ok)
+	}
+	if _, ok, _ := r.Get("doomed"); ok {
+		t.Fatal("deleted key survived recovery")
+	}
+	info := r.WALStats().Recover
+	if info.Records == 0 {
+		t.Fatalf("recovery replayed no records: %+v", info)
+	}
+}
+
+func TestDurablePublishLogged(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.Fsync)
+	if err := s.Publish(map[string][]byte{"pub1": []byte("v1"), "pub2": []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openDurable(t, dir, wal.Fsync)
+	defer r.Close()
+	for k, want := range map[string]string{"pub1": "v1", "pub2": "v2"} {
+		if v, ok, _ := r.Get(k); !ok || string(v) != want {
+			t.Fatalf("%s = %q, %v (want %q)", k, v, ok, want)
+		}
+	}
+}
+
+func TestDurableDeleteRecreateChangesKind(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.Fsync)
+	if err := s.Set("k", []byte("bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CounterAdd("k", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openDurable(t, dir, wal.Fsync)
+	defer r.Close()
+	if n, ok, _ := r.CounterGet("k"); !ok || n != 7 {
+		t.Fatalf("k = %d, %v after kind change", n, ok)
+	}
+}
+
+func TestCheckpointAndCompactReopen(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotations (and their background checkpoints).
+	s := openDurable(t, dir, wal.Fsync, WithWALSegmentBytes(512))
+	for i := 0; i < 200; i++ {
+		if err := s.Set(fmt.Sprintf("key-%03d", i), []byte(strings.Repeat("x", 32))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An explicit checkpoint on top of whatever the rotations started.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.WALStats()
+	if st.Rotations == 0 {
+		t.Fatalf("expected rotations with 512-byte segments: %+v", st)
+	}
+	if st.Checkpoints == 0 {
+		t.Fatalf("expected checkpoints: %+v", st)
+	}
+	// More writes after the checkpoint, to exercise snapshot + tail.
+	for i := 0; i < 50; i++ {
+		if err := s.Set(fmt.Sprintf("key-%03d", i), []byte("updated")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openDurable(t, dir, wal.Fsync, WithWALSegmentBytes(512))
+	defer r.Close()
+	for i := 0; i < 200; i++ {
+		want := strings.Repeat("x", 32)
+		if i < 50 {
+			want = "updated"
+		}
+		if v, ok, _ := r.Get(fmt.Sprintf("key-%03d", i)); !ok || string(v) != want {
+			t.Fatalf("key-%03d = %q, %v", i, v, ok)
+		}
+	}
+	if r.WALStats().Recover.Snapshots == 0 {
+		t.Fatalf("expected snapshot-based recovery: %+v", r.WALStats().Recover)
+	}
+}
+
+func TestDurableShardCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.None)
+	if err := s.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(WithShards(8), WithDurability(dir, wal.None), WithMetrics(false)); err == nil {
+		t.Fatal("reopening with a different shard count must fail")
+	} else if !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("unhelpful mismatch error: %v", err)
+	}
+}
+
+func TestDurableBatchLevelFlushes(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.Batch, WithWALFlushInterval(time.Millisecond))
+	if err := s.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Close fsyncs the tail at every level, so the write must survive.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openDurable(t, dir, wal.Batch)
+	defer r.Close()
+	if v, ok, _ := r.Get("k"); !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("k = %q, %v", v, ok)
+	}
+}
+
+func TestDurableNoneLevelSurvivesClose(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.None)
+	if _, err := s.CounterAdd("n", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openDurable(t, dir, wal.None)
+	defer r.Close()
+	if n, ok, _ := r.CounterGet("n"); !ok || n != 5 {
+		t.Fatalf("n = %d, %v", n, ok)
+	}
+}
+
+func TestWALStatsShape(t *testing.T) {
+	s := New(WithShards(2), WithMetrics(false))
+	if st := s.WALStats(); st.Level != "off" {
+		t.Fatalf("non-durable level = %q", st.Level)
+	}
+	if s.Durable() {
+		t.Fatal("Durable() on a plain store")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close on a plain store: %v", err)
+	}
+	if _, err := s.Recover(); err != ErrNotDurable {
+		t.Fatalf("Recover on a plain store: %v", err)
+	}
+	if err := s.Checkpoint(); err != ErrNotDurable {
+		t.Fatalf("Checkpoint on a plain store: %v", err)
+	}
+
+	dir := t.TempDir()
+	d := openDurable(t, dir, wal.Fsync)
+	defer d.Close()
+	if err := d.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st := d.WALStats()
+	if st.Level != "fsync" || st.Appends == 0 || st.Fsyncs == 0 || st.Bytes == 0 {
+		t.Fatalf("stats not counting: %+v", st)
+	}
+	if st.Err != "" {
+		t.Fatalf("unexpected sticky error: %s", st.Err)
+	}
+}
+
+// TestDurableDirLayout pins the on-disk layout: a meta file at the
+// root and one subdirectory per shard holding segments.
+func TestDurableDirLayout(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, wal.Fsync)
+	if err := s.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "store.meta")); err != nil {
+		t.Fatalf("store.meta: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		sub := filepath.Join(dir, fmt.Sprintf("shard-%04d", i))
+		ents, err := os.ReadDir(sub)
+		if err != nil {
+			t.Fatalf("%s: %v", sub, err)
+		}
+		if len(ents) == 0 {
+			t.Fatalf("%s is empty", sub)
+		}
+	}
+}
+
+// TestDurableAllEngines runs the round-trip on every engine: the tap
+// contract (log order = commit order) must hold regardless of engine.
+func TestDurableAllEngines(t *testing.T) {
+	for _, eng := range stm.Engines() {
+		t.Run(eng.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			s := openDurable(t, dir, wal.Fsync, WithEngine(eng))
+			for i := 0; i < 20; i++ {
+				if _, err := s.CounterAdd("n", 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r := openDurable(t, dir, wal.Fsync, WithEngine(eng))
+			defer r.Close()
+			if n, ok, _ := r.CounterGet("n"); !ok || n != 20 {
+				t.Fatalf("n = %d, %v", n, ok)
+			}
+		})
+	}
+}

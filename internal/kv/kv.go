@@ -53,6 +53,7 @@ import (
 
 	"modtx/internal/obs"
 	"modtx/internal/stm"
+	"modtx/internal/wal"
 )
 
 // ErrWrongType reports an operation against a key holding the other kind
@@ -68,6 +69,12 @@ type config struct {
 	maxRetries  int
 	metricsOff  bool
 	sampleEvery int
+
+	// Durability (see durable.go / WithDurability).
+	durDir       string
+	durLevel     wal.Level
+	segmentBytes int64
+	flushEvery   time.Duration
 }
 
 // WithShards sets the shard count, rounded up to a power of two
@@ -138,6 +145,16 @@ type Store struct {
 	// one (period a power of two), shared by every pooled op's tick.
 	opHists    *[numOps]obs.Histogram
 	sampleMask uint64
+
+	// Durability and changefeed state (durable.go, feed.go). tapOn is
+	// the write paths' single gate: when false (no durability, no
+	// subscriber ever registered) the only cost is its atomic load.
+	dur         *durState
+	tapOn       atomic.Bool
+	tapOnce     sync.Once
+	subs        atomic.Pointer[[]*Subscription]
+	subMu       sync.Mutex
+	feedDropped atomic.Uint64
 }
 
 type paddedCount struct {
@@ -146,8 +163,14 @@ type paddedCount struct {
 }
 
 type shard struct {
-	stm *stm.STM
-	pub *stm.Var // publication sentinel (see Publish)
+	stm   *stm.STM
+	index int
+	pub   *stm.Var // publication sentinel (see Publish)
+
+	// feed is the shard's commit stream: sequence counter, log and the
+	// lock the commit tap runs under (durable.go). Always allocated;
+	// feed.log is nil without durability.
+	feed *shardFeed
 
 	// kvers is the keyspace version: a transactional variable Touched
 	// (version-stamped and waiter-notified, value untouched) after every
@@ -162,12 +185,51 @@ type shard struct {
 	vars atomic.Pointer[map[string]*entry] // copy-on-write key table
 }
 
-// New creates a Store.
+// New creates a Store. It panics if the options cannot be honored,
+// which only durability options can cause — stores opened with
+// WithDurability should use Open to handle recovery errors.
 func New(opts ...Option) *Store {
+	s, err := Open(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open creates a Store and, when WithDurability is set, recovers the
+// durability directory into it and starts logging: per shard, the
+// newest usable snapshot plus the log tail replay, then the log
+// attaches and every subsequent committed write is appended in commit
+// order at the configured level.
+func Open(opts ...Option) (*Store, error) {
 	var c config
 	for _, o := range opts {
 		o(&c)
 	}
+	s := newStore(&c)
+	if c.durDir == "" {
+		return s, nil
+	}
+	s.dur = &durState{
+		dir:   c.durDir,
+		level: c.durLevel,
+		opts: wal.Options{
+			Level:         c.durLevel,
+			SegmentBytes:  c.segmentBytes,
+			FlushInterval: c.flushEvery,
+		},
+		ckptBusy: make([]atomic.Bool, len(s.shards)),
+	}
+	if _, err := s.Recover(); err != nil {
+		return nil, err
+	}
+	if err := s.attachLogs(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func newStore(c *config) *Store {
 	n := c.shards
 	if n <= 0 {
 		n = 16
@@ -207,8 +269,10 @@ func New(opts ...Option) *Store {
 		inst := stm.New(stmOpts...)
 		sh := &shard{
 			stm:   inst,
+			index: i,
 			pub:   inst.NewVar(fmt.Sprintf("shard%d.pub", i), 0),
 			kvers: inst.NewVar(fmt.Sprintf("shard%d.keys", i), 0),
+			feed:  &shardFeed{},
 		}
 		empty := make(map[string]*entry)
 		sh.vars.Store(&empty)
@@ -481,6 +545,11 @@ type singleOp struct {
 	setFn  func(*stm.Tx) error
 	addFn  func(*stm.Tx) error
 
+	// pend is the op's durability effect list (durable.go), attached to
+	// the write bodies' transactions when the commit tap is on. Pooled
+	// with the op, so steady-state emission reuses its capacity.
+	pend pendingOps
+
 	// tick is the latency-sampling tick (see nextSample in metrics.go);
 	// deliberately NOT cleared by release, so it survives pool reuse.
 	tick uint64
@@ -492,6 +561,7 @@ func (op *singleOp) release() {
 	s := op.s
 	op.sh, op.key, op.val = nil, "", nil
 	op.delta, op.n, op.ok = 0, 0, false
+	op.pend.reset()
 	s.singleOps.Put(op)
 }
 
@@ -532,6 +602,11 @@ func (op *singleOp) runSet(tx *stm.Tx) error {
 		tx.Retry()
 	}
 	stm.WriteT(tx, e.b, op.val)
+	if op.s.tapOn.Load() {
+		op.pend.reset()
+		op.pend.ops = append(op.pend.ops, wal.Op{Kind: wal.KindSet, Key: op.key, Val: op.val})
+		tx.SetTapData(&op.pend)
+	}
 	return nil
 }
 
@@ -545,6 +620,13 @@ func (op *singleOp) runAdd(tx *stm.Tx) error {
 	}
 	op.n = tx.Read(e.c) + op.delta
 	tx.Write(e.c, op.n)
+	if op.s.tapOn.Load() {
+		// Logged absolute (KindCounterSet, the post-transaction value),
+		// so replay over a snapshot is idempotent.
+		op.pend.reset()
+		op.pend.ops = append(op.pend.ops, wal.Op{Kind: wal.KindCounterSet, Key: op.key, N: op.n})
+		tx.SetTapData(&op.pend)
+	}
 	return nil
 }
 
@@ -619,6 +701,9 @@ func (s *Store) Set(key string, val []byte) error {
 		t0 = time.Now()
 	}
 	err := sh.stm.Atomically(op.setFn)
+	if err == nil {
+		err = s.waitDurable(sh, &op.pend)
+	}
 	op.release()
 	if sampled {
 		s.opHists[OpSet].Observe(time.Since(t0).Nanoseconds())
@@ -640,6 +725,9 @@ func (s *Store) CounterAdd(key string, delta int64) (int64, error) {
 		t0 = time.Now()
 	}
 	err := sh.stm.Atomically(op.addFn)
+	if err == nil {
+		err = s.waitDurable(sh, &op.pend)
+	}
 	out := op.n
 	op.release()
 	if sampled {
@@ -657,9 +745,11 @@ func (s *Store) CounterAdd(key string, delta int64) (int64, error) {
 func (s *Store) Delete(key string) (bool, error) {
 	sh := s.shards[s.ShardOf(key)]
 	var condemned *entry
+	var pend pendingOps
 	existed := false
 	err := sh.stm.Atomically(func(tx *stm.Tx) error {
 		condemned, existed = nil, false
+		pend.reset()
 		e := sh.lookup(key)
 		if e == nil {
 			return nil
@@ -672,6 +762,10 @@ func (s *Store) Delete(key string) (bool, error) {
 		tx.Write(e.dead, 1)
 		condemned = e
 		existed = true
+		if s.tapOn.Load() {
+			pend.ops = append(pend.ops, wal.Op{Kind: wal.KindDelete, Key: key})
+			tx.SetTapData(&pend)
+		}
 		return nil
 	})
 	if err != nil {
@@ -679,6 +773,9 @@ func (s *Store) Delete(key string) (bool, error) {
 	}
 	if condemned != nil {
 		s.sweep(map[string]*entry{key: condemned})
+	}
+	if werr := s.waitDurable(sh, &pend); werr != nil {
+		return existed, werr
 	}
 	return existed, nil
 }
@@ -774,11 +871,33 @@ type Txn struct {
 	txs  []*stm.Tx // per-shard transaction handles, aligned with idxs
 	err  error
 
+	// tap and pends are the durability effect lists, aligned with idxs
+	// (durable.go): each shard transaction the body writes through gets
+	// its shard's pendingOps attached on first emission. Cross-shard
+	// transactions log one record per shard, so durability's prefix
+	// guarantee is per shard — a crash can recover one shard's half of a
+	// cross-shard transaction without the other's.
+	tap   bool
+	pends []pendingOps
+
 	// deleted tracks keys tombstoned by this transaction, for the
 	// post-commit sweep and for in-transaction resurrection (a Set or Add
 	// after a Delete of the same key un-condemns the entry instead of
 	// spinning on it).
 	deleted map[string]*entry
+}
+
+// emit appends op to footprint position j's effect list, attaching the
+// list to the shard transaction on first use.
+func (t *Txn) emit(j int, tx *stm.Tx, op wal.Op) {
+	if !t.tap {
+		return
+	}
+	p := &t.pends[j]
+	p.ops = append(p.ops, op)
+	if len(p.ops) == 1 {
+		tx.SetTapData(p)
+	}
 }
 
 func (t *Txn) fail(err error) {
@@ -791,19 +910,19 @@ func (t *Txn) outside(key string) error {
 	return fmt.Errorf("kv: key %q is outside the transaction footprint", key)
 }
 
-// resolve routes key and returns its shard transaction, or fails the
-// transaction when the shard is outside the declared footprint. The
-// footprint is a short sorted slice, so the membership test is a linear
-// scan, not a map lookup.
-func (t *Txn) resolve(key string) (int, *stm.Tx, bool) {
+// resolve routes key and returns its shard index, footprint position
+// and shard transaction, or fails the transaction when the shard is
+// outside the declared footprint. The footprint is a short sorted
+// slice, so the membership test is a linear scan, not a map lookup.
+func (t *Txn) resolve(key string) (int, int, *stm.Tx, bool) {
 	i := t.s.ShardOf(key)
 	for j, idx := range t.idxs {
 		if idx == i {
-			return i, t.txs[j], true
+			return i, j, t.txs[j], true
 		}
 	}
 	t.fail(t.outside(key))
-	return i, nil, false
+	return i, 0, nil, false
 }
 
 // live returns whether e is readable by this transaction: not condemned,
@@ -819,7 +938,7 @@ func (t *Txn) live(tx *stm.Tx, key string, e *entry) bool {
 // absent (including keys deleted earlier in this transaction). Counter
 // keys are formatted as decimal.
 func (t *Txn) Get(key string) ([]byte, bool) {
-	i, tx, ok := t.resolve(key)
+	i, _, tx, ok := t.resolve(key)
 	if !ok {
 		return nil, false
 	}
@@ -838,7 +957,7 @@ func (t *Txn) Get(key string) ([]byte, bool) {
 // the same transaction resurrects it (same entry, so the kind must still
 // match).
 func (t *Txn) Set(key string, val []byte) {
-	i, tx, ok := t.resolve(key)
+	i, j, tx, ok := t.resolve(key)
 	if !ok {
 		return
 	}
@@ -853,14 +972,16 @@ func (t *Txn) Set(key string, val []byte) {
 	} else if tx.Read(e.dead) != 0 {
 		tx.Retry() // concurrent Delete's sweep in flight; see Store.Set
 	}
-	stm.WriteT(tx, e.b, copyVal(val))
+	v := copyVal(val)
+	stm.WriteT(tx, e.b, v)
+	t.emit(j, tx, wal.Op{Kind: wal.KindSet, Key: key, Val: v})
 }
 
 // Add adds delta to a counter key inside the transaction and returns the
 // new value. The key is routed and resolved once (this is the hot path of
 // TXN ADD and the transfer benchmarks).
 func (t *Txn) Add(key string, delta int64) int64 {
-	i, tx, ok := t.resolve(key)
+	i, j, tx, ok := t.resolve(key)
 	if !ok {
 		return 0
 	}
@@ -876,6 +997,7 @@ func (t *Txn) Add(key string, delta int64) int64 {
 		tx.Write(e.dead, 0)
 		delete(t.deleted, key)
 		tx.Write(e.c, delta)
+		t.emit(j, tx, wal.Op{Kind: wal.KindCounterSet, Key: key, N: delta})
 		return delta
 	}
 	if tx.Read(e.dead) != 0 {
@@ -883,6 +1005,7 @@ func (t *Txn) Add(key string, delta int64) int64 {
 	}
 	nv := tx.Read(e.c) + delta
 	tx.Write(e.c, nv)
+	t.emit(j, tx, wal.Op{Kind: wal.KindCounterSet, Key: key, N: nv})
 	return nv
 }
 
@@ -892,7 +1015,7 @@ func (t *Txn) Add(key string, delta int64) int64 {
 // transaction the key reads as absent, and a later Set/Add of the same
 // key resurrects it.
 func (t *Txn) Delete(key string) bool {
-	i, tx, ok := t.resolve(key)
+	i, j, tx, ok := t.resolve(key)
 	if !ok {
 		return false
 	}
@@ -911,6 +1034,7 @@ func (t *Txn) Delete(key string) bool {
 		t.deleted = make(map[string]*entry, 2)
 	}
 	t.deleted[key] = e
+	t.emit(j, tx, wal.Op{Kind: wal.KindDelete, Key: key})
 	return true
 }
 
@@ -945,11 +1069,12 @@ func (s *Store) appendSTMs(stms []*stm.STM, idxs []int) []*stm.STM {
 // the reusable transaction handle, with the attempt bodies bound once at
 // pool fill so the per-attempt plumbing allocates nothing.
 type multiOp struct {
-	s    *Store
-	idxs []int
-	stms []*stm.STM
-	txn  Txn
-	view ViewTxn
+	s     *Store
+	idxs  []int
+	stms  []*stm.STM
+	pends []pendingOps // durability effect lists, aligned with idxs
+	txn   Txn
+	view  ViewTxn
 
 	updateFn  func(*Txn) error     // the user's Update body
 	viewFn    func(*ViewTxn) error // the user's View body
@@ -968,6 +1093,18 @@ func (op *multiOp) update(txs []*stm.Tx) error {
 	t.txs = txs
 	t.err = nil
 	t.deleted = nil // only the committed attempt's tombstones are swept
+	t.tap = op.s.tapOn.Load()
+	if t.tap {
+		for len(op.pends) < len(op.idxs) {
+			op.pends = append(op.pends, pendingOps{})
+		}
+		t.pends = op.pends[:len(op.idxs)]
+		for j := range t.pends {
+			t.pends[j].reset() // only the committed attempt's ops are logged
+		}
+	} else {
+		t.pends = nil
+	}
 	if err := op.updateFn(t); err != nil {
 		return err
 	}
@@ -993,6 +1130,9 @@ func (op *multiOp) release() {
 	op.idxs = op.idxs[:0]
 	clear(op.stms)
 	op.stms = op.stms[:0]
+	for j := range op.pends {
+		op.pends[j].reset() // drop key/value references, keep capacity
+	}
 	op.txn = Txn{}
 	op.view = ViewTxn{}
 	op.updateFn, op.viewFn = nil, nil
@@ -1024,12 +1164,25 @@ func (s *Store) UpdateCtx(ctx context.Context, keys []string, fn func(*Txn) erro
 		t0 = time.Now()
 	}
 	err := stm.AtomicallyMultiCtx(ctx, op.stms, op.runUpdate)
+	committed := err == nil
 	deleted := op.txn.deleted
+	if committed && op.txn.tap && s.fsyncLevel() {
+		for j, i := range op.idxs {
+			if p := &op.pends[j]; p.seq != 0 {
+				if werr := s.shards[i].feed.log.WaitDurable(p.seq); werr != nil {
+					err = werr
+					break
+				}
+			}
+		}
+	}
 	op.release()
 	if sampled {
 		s.opHists[OpUpdate].Observe(time.Since(t0).Nanoseconds())
 	}
-	if err == nil && len(deleted) > 0 {
+	// The sweep keys off the commit, not the durable wait: a failed wait
+	// reports the log's sticky error, but the tombstones are committed.
+	if committed && len(deleted) > 0 {
 		s.sweep(deleted)
 	}
 	return err
@@ -1187,16 +1340,48 @@ func (s *Store) Publish(vals map[string][]byte) error {
 		}
 		entries = append(entries, e)
 	}
+	copies := make([][]byte, len(keys))
 	for j, k := range keys {
-		entries[j].b.Store(copyVal(vals[k]))
+		copies[j] = copyVal(vals[k])
+		entries[j].b.Store(copies[j])
 	}
 	idxs := s.appendShardSet(nil, keys)
-	return stm.AtomicallyMulti(s.appendSTMs(nil, idxs), func(txs []*stm.Tx) error {
+	// The sentinel transactions carry the published values as SET ops,
+	// so publication is logged (and fed to subscribers) even though the
+	// value writes themselves were plain.
+	var pends []pendingOps
+	if s.tapOn.Load() {
+		pends = make([]pendingOps, len(idxs))
+		pos := make(map[int]int, len(idxs))
+		for j, i := range idxs {
+			pos[i] = j
+		}
+		for j, k := range keys {
+			p := &pends[pos[s.ShardOf(k)]]
+			p.ops = append(p.ops, wal.Op{Kind: wal.KindSet, Key: k, Val: copies[j]})
+		}
+	}
+	err := stm.AtomicallyMulti(s.appendSTMs(nil, idxs), func(txs []*stm.Tx) error {
 		for j, i := range idxs {
 			txs[j].Write(s.shards[i].pub, txs[j].Read(s.shards[i].pub)+1)
+			if pends != nil {
+				pends[j].seq = 0 // ops are attempt-invariant; only the stamp resets
+				txs[j].SetTapData(&pends[j])
+			}
 		}
 		return nil
 	})
+	if err != nil || pends == nil || !s.fsyncLevel() {
+		return err
+	}
+	for j, i := range idxs {
+		if pends[j].seq != 0 {
+			if werr := s.shards[i].feed.log.WaitDurable(pends[j].seq); werr != nil {
+				return werr
+			}
+		}
+	}
+	return nil
 }
 
 // Stats is an aggregate snapshot across shards. The JSON field names are

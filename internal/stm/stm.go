@@ -200,6 +200,13 @@ type STM struct {
 	// write set through it (see notify.go).
 	waiters waitTable
 
+	// commitTap, when installed (SetCommitTap), is invoked by
+	// commitPrepared for every committing attempt that attached a
+	// payload with Tx.SetTapData — at the serialization point, before
+	// the write set is published. Behind a pointer so it can be
+	// installed on a live instance with one atomic store.
+	commitTap atomic.Pointer[func(any)]
+
 	// txPool recycles attempt handles: begin takes one, finishTx resets
 	// it (retaining slice capacity) and puts it back, so the steady-state
 	// transaction path allocates nothing.
@@ -274,6 +281,29 @@ func New(opts ...Option) *STM {
 
 // Engine returns the instance's engine.
 func (s *STM) Engine() Engine { return s.engine }
+
+// SetCommitTap installs f as the instance's commit tap, replacing any
+// previous tap (nil removes it). The tap is called once per committing
+// attempt that attached a payload with Tx.SetTapData, at the attempt's
+// serialization point: the commit outcome is already decided (write
+// locks held, read set validated) but the write set is not yet
+// published and the locks not yet released. Two transactions that
+// conflict therefore invoke the tap in their serialization order — the
+// property the durability and changefeed layers rely on to sequence a
+// per-shard log in commit order. Taps of non-conflicting commits may
+// run concurrently; the callee orders them itself if it must.
+//
+// f runs on the committing goroutine with commit-time locks held: it
+// must be fast, must not block on I/O, and must not run transactions
+// on this instance. Installing a tap costs committing transactions
+// nothing until a body attaches tap data (one nil check otherwise).
+func (s *STM) SetCommitTap(f func(data any)) {
+	if f == nil {
+		s.commitTap.Store(nil)
+		return
+	}
+	s.commitTap.Store(&f)
+}
 
 // MaxRetries returns the per-call retry budget.
 func (s *STM) MaxRetries() int { return s.maxRetries }

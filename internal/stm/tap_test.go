@@ -1,0 +1,122 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestCommitTapSerializationOrder pins the property the durability layer
+// is built on: for transactions that conflict (here: all increment one
+// variable), the commit tap observes them in serialization order, on
+// every engine. Each body attaches the post-increment value as its tap
+// payload; if the tap ran after lock release, a dependent commit could
+// overtake and the recorded sequence would have an inversion.
+func TestCommitTapSerializationOrder(t *testing.T) {
+	const (
+		goroutines = 8
+		increments = 200
+	)
+	for _, e := range Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithEngine(e))
+			x := s.NewVar("x", 0)
+
+			var mu sync.Mutex
+			seen := make([]int64, 0, goroutines*increments)
+			s.SetCommitTap(func(data any) {
+				// Disjoint commits may tap concurrently; the tap orders
+				// itself. Conflicting commits (all of these) must arrive
+				// already ordered.
+				mu.Lock()
+				seen = append(seen, data.(int64))
+				mu.Unlock()
+			})
+
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < increments; i++ {
+						err := s.Atomically(func(tx *Tx) error {
+							v := tx.Read(x) + 1
+							tx.Write(x, v)
+							tx.SetTapData(v)
+							return nil
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			if len(seen) != goroutines*increments {
+				t.Fatalf("tap fired %d times, want %d", len(seen), goroutines*increments)
+			}
+			for i, v := range seen {
+				if v != int64(i+1) {
+					t.Fatalf("tap order inversion at %d: got %d, want %d", i, v, i+1)
+				}
+			}
+		})
+	}
+}
+
+// TestCommitTapSkipped pins the negative space: attempts without tap
+// data never invoke the tap, aborted attempts drop their payload, and
+// attaching data with no tap installed is harmless.
+func TestCommitTapSkipped(t *testing.T) {
+	for _, e := range Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			s := New(WithEngine(e))
+			x := s.NewVar("x", 0)
+
+			var fired int
+			s.SetCommitTap(func(any) { fired++ })
+
+			// No tap data: the tap must not fire.
+			if err := s.Atomically(func(tx *Tx) error {
+				tx.Write(x, 1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if fired != 0 {
+				t.Fatalf("tap fired %d times for an attempt without data", fired)
+			}
+
+			// Aborted attempt: the payload is dropped with the attempt.
+			boom := errors.New("boom")
+			if err := s.Atomically(func(tx *Tx) error {
+				tx.Write(x, 2)
+				tx.SetTapData(42)
+				return boom
+			}); !errors.Is(err, boom) {
+				t.Fatalf("got %v, want %v", err, boom)
+			}
+			if fired != 0 {
+				t.Fatalf("tap fired %d times for an aborted attempt", fired)
+			}
+
+			// Tap removed: data-carrying commits proceed without it.
+			s.SetCommitTap(nil)
+			if err := s.Atomically(func(tx *Tx) error {
+				tx.Write(x, 3)
+				tx.SetTapData(43)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if fired != 0 {
+				t.Fatalf("tap fired %d times after removal", fired)
+			}
+			if got := x.Load(); got != 3 {
+				t.Fatalf("x = %d, want 3", got)
+			}
+		})
+	}
+}

@@ -69,6 +69,10 @@ type Tx struct {
 	conflictMeta    uint64
 	conflictChanged bool
 
+	// tapData is the attempt's commit-tap payload (see SetTapData);
+	// attempt-scoped: cleared on reset and consumed by commitPrepared.
+	tapData any
+
 	// rtx is the read-only view handed to AtomicallyRead bodies; it
 	// points back at this Tx so no per-attempt wrapper is allocated.
 	rtx ReadTx
@@ -276,7 +280,16 @@ func (tx *Tx) reset() {
 	tx.lindex = nil
 	tx.rv = 0
 	tx.conflictVB, tx.conflictMeta, tx.conflictChanged = nil, 0, false
+	tx.tapData = nil
 }
+
+// SetTapData attaches an opaque payload to the current attempt, handed
+// to the instance's commit tap (STM.SetCommitTap) if and only if this
+// attempt commits. The payload is attempt-scoped: an aborted or
+// conflicted attempt drops it, so a retried body must re-attach on
+// re-execution. Attempts that attach nothing skip the tap entirely —
+// the disabled path costs one nil check at commit.
+func (tx *Tx) SetTapData(d any) { tx.tapData = d }
 
 // conflictSignal aborts the current attempt; Atomically recovers it.
 type conflictSignal struct{}
@@ -739,7 +752,18 @@ func (tx *Tx) validateReads() bool { return tx.e.validateReads(tx) }
 // version words are visible it announces the written variables to the
 // instance's waiter table (skipped entirely — one atomic load — while no
 // transaction is parked).
+//
+// The commit tap runs first, while the commit-time locks are still
+// held: the attempt is at its serialization point (guaranteed to
+// commit, not yet visible), so conflicting commits invoke the tap in
+// serialization order — see STM.SetCommitTap.
 func (tx *Tx) commitPrepared() {
+	if tx.tapData != nil {
+		if tap := tx.s.commitTap.Load(); tap != nil {
+			(*tap)(tx.tapData)
+		}
+		tx.tapData = nil
+	}
 	tx.e.commit(tx)
 	if tx.s.waiters.active.Load() != 0 {
 		tx.e.wakeSet(tx, wakeVarBase)

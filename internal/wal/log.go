@@ -1,0 +1,453 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Segment files: seg-<firstSeq>.wal, a 20-byte header then records.
+// The name and the header agree on the first sequence number the
+// segment may hold; records inside are dense (seq strictly +1).
+const (
+	segMagic      = "MTXWAL1\n"
+	snapMagic     = "MTXSNP1\n"
+	fileHeaderLen = 20 // magic(8) + shard(4) + firstSeq/replayFrom(8)
+
+	defaultSegmentBytes  = 64 << 20
+	defaultFlushInterval = 20 * time.Millisecond
+)
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options configures a Log.
+type Options struct {
+	// Level is the durability level (default None — callers that want
+	// durability say so explicitly).
+	Level Level
+	// SegmentBytes is the rotation threshold (default 64 MiB).
+	SegmentBytes int64
+	// FlushInterval is the Batch level's fsync cadence (default 20ms).
+	FlushInterval time.Duration
+	// Metrics receives write-side observations when non-nil; several
+	// Logs may share one.
+	Metrics *Metrics
+	// OnRotate, when non-nil, is called on its own goroutine after a
+	// rotation with the last sequence number of the finished segment —
+	// the checkpoint hook.
+	OnRotate func(lastSeq uint64)
+}
+
+// Log is one shard's append-only write-ahead log with group commit.
+//
+// Appends are sequenced by the caller (the kv layer calls Append under
+// its per-shard feed lock, in commit order) and only buffer the encoded
+// record; a single batcher goroutine drains the buffer, so any number
+// of commits that arrive while a write or fsync is in flight are
+// flushed by the next pass as one write and one fsync. Fsync-level
+// callers then block in WaitDurable until the batch covering their
+// sequence number has been synced — the group-commit rendezvous.
+//
+// I/O errors are sticky: the first one fails the Log, every waiter is
+// released with it, and subsequent appends are dropped with the same
+// error. A WAL that cannot write must fail loudly, not silently
+// acknowledge.
+type Log struct {
+	dir        string
+	shard      uint32
+	level      Level
+	segBytes   int64
+	flushEvery time.Duration
+	m          *Metrics
+	onRotate   func(uint64)
+
+	// mu guards the append side: the pending buffer and the queue
+	// cursor. Held only for an in-memory encode — never across I/O.
+	mu         sync.Mutex
+	pending    []byte
+	npending   int
+	lastQueued uint64 // seq of the newest queued (or written) record
+	syncReq    bool   // an explicit Sync wants an fsync regardless of level
+	closed     bool
+
+	kick chan struct{} // wakes the batcher; capacity 1
+	done chan struct{} // closed when the batcher exits
+
+	// Batcher-owned file state (no lock: single goroutine).
+	f     *os.File
+	fsize int64
+
+	// durMu guards the durability watermarks and the sticky error;
+	// durCond wakes WaitDurable/Sync waiters after each fsync.
+	durMu   sync.Mutex
+	durCond *sync.Cond
+	written uint64 // last seq handed to write(2)
+	synced  uint64 // last seq covered by an fsync
+	err     error  // sticky I/O failure
+}
+
+// OpenLog opens shard's log in dir for appending, continuing from the
+// state recovery established: the repaired tail segment if one exists,
+// a fresh segment at res.LastSeq+1 otherwise. Run Recover first — it
+// owns truncation and directory repair; OpenLog assumes a clean tail.
+func OpenLog(dir string, shard uint32, res RecoverResult, o Options) (*Log, error) {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = defaultFlushInterval
+	}
+	l := &Log{
+		dir:        dir,
+		shard:      shard,
+		level:      o.Level,
+		segBytes:   o.SegmentBytes,
+		flushEvery: o.FlushInterval,
+		m:          o.Metrics,
+		onRotate:   o.OnRotate,
+		kick:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		lastQueued: res.LastSeq,
+		written:    res.LastSeq,
+		synced:     res.LastSeq,
+	}
+	l.durCond = sync.NewCond(&l.durMu)
+	if res.tailPath != "" {
+		f, err := os.OpenFile(res.tailPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopen tail: %w", err)
+		}
+		l.f, l.fsize = f, res.tailSize
+	} else {
+		f, err := createSegment(dir, shard, res.LastSeq+1)
+		if err != nil {
+			return nil, err
+		}
+		l.f, l.fsize = f, fileHeaderLen
+	}
+	go l.run()
+	return l, nil
+}
+
+// segmentName returns the file name of the segment starting at firstSeq.
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("seg-%020d.wal", firstSeq)
+}
+
+// createSegment creates (exclusively) a new segment file, writes its
+// header, fsyncs it and the directory, and returns it open for append.
+func createSegment(dir string, shard uint32, firstSeq uint64) (*os.File, error) {
+	path := filepath.Join(dir, segmentName(firstSeq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create segment: %w", err)
+	}
+	var hdr [fileHeaderLen]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], shard)
+	binary.LittleEndian.PutUint64(hdr[12:20], firstSeq)
+	if _, err := f.Write(hdr[:]); err == nil {
+		err = f.Sync()
+	} else {
+		f.Close()
+		return nil, fmt.Errorf("wal: write segment header: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so renames and creations within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Append encodes ops as record seq and queues it for the batcher.
+// Calls must arrive in commit order with dense sequence numbers (the
+// caller holds its own sequencing lock around Append); the record is
+// on its way to disk when Append returns, durable once WaitDurable(seq)
+// returns at the Fsync level. Append itself never does I/O.
+func (l *Log) Append(seq uint64, ops []Op) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if seq != l.lastQueued+1 {
+		l.mu.Unlock()
+		// Sticky: a skipped sequence can never be repaired, and the
+		// caller's tap may not check the return — surface it on every
+		// later WaitDurable/Sync instead of dropping records silently.
+		err := fmt.Errorf("wal: append seq %d, want %d (out-of-order commit tap?)", seq, l.lastQueued+1)
+		l.fail(err)
+		return err
+	}
+	var err error
+	l.pending, err = AppendRecord(l.pending, l.shard, seq, ops)
+	if err != nil {
+		l.mu.Unlock()
+		l.fail(err) // same reasoning: a missing record is a broken chain
+		return err
+	}
+	l.lastQueued = seq
+	l.npending++
+	l.mu.Unlock()
+	l.kickBatcher()
+	return nil
+}
+
+func (l *Log) kickBatcher() {
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+// WaitDurable blocks until every record up to and including seq is
+// fsynced, returning the Log's sticky error if it failed instead. At
+// levels below Fsync it still waits for the next periodic or explicit
+// fsync to cover seq — which is why fsync-level acknowledgment simply
+// is a WaitDurable call.
+func (l *Log) WaitDurable(seq uint64) error {
+	l.durMu.Lock()
+	for l.synced < seq && l.err == nil {
+		l.durCond.Wait()
+	}
+	err := l.err
+	l.durMu.Unlock()
+	return err
+}
+
+// Sync flushes everything queued so far and fsyncs it, at every level
+// (including None — Sync is the explicit durability barrier snapshots
+// use before installing a watermark).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		target := l.lastQueued
+		l.mu.Unlock()
+		// The batcher has drained; settle for the watermark check.
+		l.durMu.Lock()
+		err := l.err
+		synced := l.synced
+		l.durMu.Unlock()
+		if err == nil && synced < target {
+			err = ErrClosed
+		}
+		return err
+	}
+	target := l.lastQueued
+	l.syncReq = true
+	l.mu.Unlock()
+	l.kickBatcher()
+	return l.WaitDurable(target)
+}
+
+// Err returns the sticky I/O error, if any.
+func (l *Log) Err() error {
+	l.durMu.Lock()
+	defer l.durMu.Unlock()
+	return l.err
+}
+
+// LastQueued returns the newest sequence number handed to Append.
+func (l *Log) LastQueued() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastQueued
+}
+
+// Close drains the batcher, fsyncs at levels above None, and closes
+// the segment. Appends after Close fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return l.Err()
+	}
+	l.closed = true
+	if l.level != None {
+		l.syncReq = true
+	}
+	l.mu.Unlock()
+	l.kickBatcher()
+	<-l.done
+	if err := l.f.Close(); err != nil {
+		l.fail(err)
+	}
+	// Release anyone parked in WaitDurable past what was ever queued.
+	l.durCond.Broadcast()
+	return l.Err()
+}
+
+// run is the batcher: the only goroutine that touches the segment
+// file. Each pass swaps out everything queued since the last one and
+// issues one write — group commit is this drain being a batch, not a
+// record. Fsync policy per pass: always at Fsync level, on the flush
+// interval at Batch level, on explicit request (Sync) at any level.
+func (l *Log) run() {
+	defer close(l.done)
+	var (
+		buf      []byte
+		lastSync = time.Now()
+	)
+	for {
+		l.mu.Lock()
+		buf, l.pending = l.pending, buf[:0]
+		n := l.npending
+		l.npending = 0
+		end := l.lastQueued
+		syncReq := l.syncReq
+		l.syncReq = false
+		closed := l.closed
+		l.mu.Unlock()
+
+		if len(buf) > 0 {
+			l.writeBatch(buf, n, end)
+		}
+		unsynced := l.unsyncedLocked(end)
+		switch {
+		case syncReq && unsynced,
+			l.level == Fsync && unsynced,
+			l.level == Batch && unsynced && time.Since(lastSync) >= l.flushEvery:
+			l.syncFile(end)
+			lastSync = time.Now()
+		}
+		if closed {
+			return
+		}
+		if l.fsize >= l.segBytes {
+			l.rotate(end)
+		}
+
+		// Sleep until kicked; at Batch level with an unsynced tail,
+		// also wake at the flush deadline so idle stores still sync.
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if l.level == Batch && l.unsyncedLocked(end) {
+			d := l.flushEvery - time.Since(lastSync)
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			timer = time.NewTimer(d)
+			timerC = timer.C
+		}
+		select {
+		case <-l.kick:
+		case <-timerC:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// unsyncedLocked reports whether records up to end are written but not
+// yet covered by an fsync. The batcher writes everything it captures
+// before calling this, so written >= end holds whenever it matters.
+func (l *Log) unsyncedLocked(end uint64) bool {
+	l.durMu.Lock()
+	defer l.durMu.Unlock()
+	return l.err == nil && l.synced < end && l.written >= end
+}
+
+// writeBatch writes one coalesced batch and advances the written
+// watermark.
+func (l *Log) writeBatch(buf []byte, n int, end uint64) {
+	t0 := time.Now()
+	_, err := l.f.Write(buf)
+	if l.m != nil {
+		l.m.AppendNs.Observe(time.Since(t0).Nanoseconds())
+		l.m.Appends.Add(uint64(n))
+		l.m.Batches.Add(1)
+		l.m.Bytes.Add(uint64(len(buf)))
+	}
+	if err != nil {
+		l.fail(fmt.Errorf("wal: write: %w", err))
+		return
+	}
+	l.fsize += int64(len(buf))
+	l.durMu.Lock()
+	if end > l.written {
+		l.written = end
+	}
+	l.durMu.Unlock()
+}
+
+// syncFile fsyncs the segment and releases every waiter at or below end.
+func (l *Log) syncFile(end uint64) {
+	if l.Err() != nil {
+		return
+	}
+	t0 := time.Now()
+	err := l.f.Sync()
+	if l.m != nil {
+		l.m.FsyncNs.Observe(time.Since(t0).Nanoseconds())
+		l.m.Fsyncs.Add(1)
+	}
+	if err != nil {
+		l.fail(fmt.Errorf("wal: fsync: %w", err))
+		return
+	}
+	l.durMu.Lock()
+	if end > l.synced {
+		l.synced = end
+	}
+	l.durMu.Unlock()
+	l.durCond.Broadcast()
+}
+
+// rotate finishes the current segment (fsyncing it so the prefix the
+// next segment builds on is durable) and opens the next one at end+1.
+func (l *Log) rotate(end uint64) {
+	if l.Err() != nil {
+		return
+	}
+	l.syncFile(end)
+	if err := l.f.Close(); err != nil {
+		l.fail(fmt.Errorf("wal: close rotated segment: %w", err))
+		return
+	}
+	f, err := createSegment(l.dir, l.shard, end+1)
+	if err != nil {
+		l.fail(err)
+		return
+	}
+	l.f, l.fsize = f, fileHeaderLen
+	if l.m != nil {
+		l.m.Rotations.Add(1)
+	}
+	if l.onRotate != nil {
+		go l.onRotate(end)
+	}
+}
+
+// fail records the first I/O error and releases every waiter with it.
+func (l *Log) fail(err error) {
+	l.durMu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.durMu.Unlock()
+	l.durCond.Broadcast()
+}

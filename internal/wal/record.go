@@ -1,0 +1,264 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"slices"
+)
+
+// The record codec: fixed layout, explicit offsets, little-endian, no
+// reflection. One record is one committed transaction's operations on
+// one shard. On disk:
+//
+//	offset  size  field
+//	0       4     payload length (bytes after the checksum)
+//	4       4     CRC32C of the payload
+//	8       ...   payload:
+//	  +0    1     format version (recordVersion)
+//	  +1    1     reserved (zero)
+//	  +2    2     op count
+//	  +4    4     shard
+//	  +8    8     commit sequence
+//	  +16   ...   ops, each:
+//	    +0  1     kind (KindSet, KindCounterAdd, KindCounterSet, KindDelete)
+//	    +1  1     reserved (zero)
+//	    +2  2     key length
+//	    +4  4     value length (SET: len(Val); counters: 8; DELETE: 0)
+//	    +8  ...   key bytes, then value bytes (counters: int64, LE)
+//
+// The checksum covers the payload only; the length prefix is validated
+// structurally (bounds, exact op consumption). A record that fails any
+// check decodes to ErrCorrupt; a record that runs past the end of the
+// input decodes to ErrShortRecord — the torn-tail signal recovery
+// truncates at.
+
+const (
+	recordVersion = 1
+
+	recordHeaderSize  = 8  // payload length + CRC32C
+	payloadHeaderSize = 16 // version, reserved, nops, shard, seq
+	opHeaderSize      = 8  // kind, reserved, key length, value length
+
+	// MaxRecordSize bounds one record's payload (and therefore one
+	// transaction's encoded write set): a defense against hostile
+	// length prefixes, far above anything the store emits.
+	MaxRecordSize = 1 << 28
+
+	// MaxKeyLen is the largest encodable key (the wire field is 16 bits).
+	MaxKeyLen = 1<<16 - 1
+
+	// maxOps is the largest encodable op count per record.
+	maxOps = 1<<16 - 1
+)
+
+// Codec errors. Recovery distinguishes them: a short record is the
+// expected shape of a torn tail (the crash interrupted a write), while
+// a corrupt record means the bytes are there but wrong — both truncate,
+// but they are counted and reported separately where it matters.
+var (
+	ErrShortRecord = errors.New("wal: short record")
+	ErrCorrupt     = errors.New("wal: corrupt record")
+)
+
+// crcTable is the Castagnoli table (CRC32C) — hardware-accelerated on
+// the platforms this runs on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Kind identifies one operation within a record.
+type Kind uint8
+
+// Operation kinds. KindCounterSet is what the store emits for counter
+// writes (the absolute post-transaction value, so replay is
+// idempotent); KindCounterAdd is the relative form, part of the wire
+// format for producers that cannot supply absolute values — appliers
+// must not replay it over state that may already include it.
+const (
+	KindSet        Kind = 1 // bytes lane: set Key to Val
+	KindCounterAdd Kind = 2 // counter lane: add N to Key
+	KindCounterSet Kind = 3 // counter lane: set Key to N
+	KindDelete     Kind = 4 // remove Key from the table
+)
+
+var kindNames = [...]string{KindSet: "set", KindCounterAdd: "cadd", KindCounterSet: "cset", KindDelete: "del"}
+
+// String returns the kind's wire name (stable: EVENT lines emit it).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// valid reports whether k is an encodable kind.
+func (k Kind) valid() bool { return k >= KindSet && k <= KindDelete }
+
+// Op is one operation: a key and, depending on Kind, a byte-slice
+// value (KindSet) or an int64 (counters). Delete carries the key only.
+type Op struct {
+	Kind Kind
+	Key  string
+	Val  []byte // KindSet payload; nil otherwise
+	N    int64  // KindCounterAdd delta / KindCounterSet absolute value
+}
+
+// Record is one decoded log record: the operations of one committed
+// transaction on one shard, at one commit sequence number.
+type Record struct {
+	Shard uint32
+	Seq   uint64
+	Ops   []Op
+}
+
+// opWireSize returns the encoded size of op, or an error if it exceeds
+// a wire limit.
+func opWireSize(op *Op) (int, error) {
+	if !op.Kind.valid() {
+		return 0, fmt.Errorf("%w: op kind %d", ErrCorrupt, op.Kind)
+	}
+	if len(op.Key) > MaxKeyLen {
+		return 0, fmt.Errorf("wal: key of %d bytes exceeds the %d-byte wire limit", len(op.Key), MaxKeyLen)
+	}
+	n := opHeaderSize + len(op.Key)
+	switch op.Kind {
+	case KindSet:
+		n += len(op.Val)
+	case KindCounterAdd, KindCounterSet:
+		n += 8
+	}
+	return n, nil
+}
+
+// AppendRecord encodes one record and appends it to dst, returning the
+// extended slice. It is the only encoder: the Log's group-commit
+// buffer, the snapshot writer and the tests all append through it.
+func AppendRecord(dst []byte, shard uint32, seq uint64, ops []Op) ([]byte, error) {
+	if len(ops) > maxOps {
+		return dst, fmt.Errorf("wal: %d ops exceed the %d-op record limit", len(ops), maxOps)
+	}
+	payload := payloadHeaderSize
+	for i := range ops {
+		n, err := opWireSize(&ops[i])
+		if err != nil {
+			return dst, err
+		}
+		payload += n
+	}
+	if payload > MaxRecordSize {
+		return dst, fmt.Errorf("wal: %d-byte payload exceeds MaxRecordSize", payload)
+	}
+
+	start := len(dst)
+	dst = slices.Grow(dst, recordHeaderSize+payload)[:start+recordHeaderSize+payload]
+	b := dst[start:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(payload))
+	p := b[recordHeaderSize:]
+	p[0] = recordVersion
+	p[1] = 0
+	binary.LittleEndian.PutUint16(p[2:4], uint16(len(ops)))
+	binary.LittleEndian.PutUint32(p[4:8], shard)
+	binary.LittleEndian.PutUint64(p[8:16], seq)
+	off := payloadHeaderSize
+	for i := range ops {
+		op := &ops[i]
+		var vlen int
+		switch op.Kind {
+		case KindSet:
+			vlen = len(op.Val)
+		case KindCounterAdd, KindCounterSet:
+			vlen = 8
+		}
+		p[off] = byte(op.Kind)
+		p[off+1] = 0
+		binary.LittleEndian.PutUint16(p[off+2:off+4], uint16(len(op.Key)))
+		binary.LittleEndian.PutUint32(p[off+4:off+8], uint32(vlen))
+		off += opHeaderSize
+		copy(p[off:], op.Key)
+		off += len(op.Key)
+		switch op.Kind {
+		case KindSet:
+			copy(p[off:], op.Val)
+		case KindCounterAdd, KindCounterSet:
+			binary.LittleEndian.PutUint64(p[off:], uint64(op.N))
+		}
+		off += vlen
+	}
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(p, crcTable))
+	return dst, nil
+}
+
+// DecodeRecord decodes the record at the front of b, returning it and
+// the number of bytes consumed. The returned record does not alias b.
+// It returns ErrShortRecord when b ends inside the record (a torn
+// tail) and ErrCorrupt when the bytes are structurally or
+// checksum-invalid; it never panics, whatever the input.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recordHeaderSize {
+		return Record{}, 0, ErrShortRecord
+	}
+	plen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if plen < payloadHeaderSize || plen > MaxRecordSize {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, plen)
+	}
+	if len(b) < recordHeaderSize+plen {
+		return Record{}, 0, ErrShortRecord
+	}
+	p := b[recordHeaderSize : recordHeaderSize+plen]
+	if got, want := crc32.Checksum(p, crcTable), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return Record{}, 0, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	// The checksum passed, so from here every failure is structural
+	// corruption written by a buggy or foreign encoder, not bit rot.
+	if p[0] != recordVersion {
+		return Record{}, 0, fmt.Errorf("%w: record version %d", ErrCorrupt, p[0])
+	}
+	if p[1] != 0 {
+		return Record{}, 0, fmt.Errorf("%w: reserved byte %d", ErrCorrupt, p[1])
+	}
+	nops := int(binary.LittleEndian.Uint16(p[2:4]))
+	rec := Record{
+		Shard: binary.LittleEndian.Uint32(p[4:8]),
+		Seq:   binary.LittleEndian.Uint64(p[8:16]),
+		// Cap the pre-allocation by what the payload could possibly
+		// hold, so a hostile op count cannot force a large allocation.
+		Ops: make([]Op, 0, min(nops, (plen-payloadHeaderSize)/opHeaderSize)),
+	}
+	off := payloadHeaderSize
+	for i := 0; i < nops; i++ {
+		if off+opHeaderSize > plen {
+			return Record{}, 0, fmt.Errorf("%w: op %d header past payload end", ErrCorrupt, i)
+		}
+		kind := Kind(p[off])
+		klen := int(binary.LittleEndian.Uint16(p[off+2 : off+4]))
+		vlen := int(binary.LittleEndian.Uint32(p[off+4 : off+8]))
+		if !kind.valid() || p[off+1] != 0 {
+			return Record{}, 0, fmt.Errorf("%w: op %d header", ErrCorrupt, i)
+		}
+		off += opHeaderSize
+		if off+klen+vlen > plen || klen+vlen < 0 {
+			return Record{}, 0, fmt.Errorf("%w: op %d body past payload end", ErrCorrupt, i)
+		}
+		op := Op{Kind: kind, Key: string(p[off : off+klen])}
+		off += klen
+		switch kind {
+		case KindSet:
+			op.Val = append([]byte(nil), p[off:off+vlen]...)
+		case KindCounterAdd, KindCounterSet:
+			if vlen != 8 {
+				return Record{}, 0, fmt.Errorf("%w: op %d counter value length %d", ErrCorrupt, i, vlen)
+			}
+			op.N = int64(binary.LittleEndian.Uint64(p[off : off+8]))
+		case KindDelete:
+			if vlen != 0 {
+				return Record{}, 0, fmt.Errorf("%w: op %d delete value length %d", ErrCorrupt, i, vlen)
+			}
+		}
+		off += vlen
+		rec.Ops = append(rec.Ops, op)
+	}
+	if off != plen {
+		return Record{}, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, plen-off)
+	}
+	return rec, recordHeaderSize + plen, nil
+}

@@ -1,0 +1,132 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot files: snap-<seq>.snap — the shard's full state as of
+// commit sequence seq, so recovery is "load snapshot, replay records
+// seq+1 onward". The layout is the segment layout with a different
+// magic: a 20-byte header (magic, shard, seq) followed by ordinary
+// records, each stamped with seq and carrying a chunk of absolute ops
+// (KindSet / KindCounterSet). A snapshot is only ever installed by
+// rename, and only after the log is fsynced through seq — so on any
+// crash the records a surviving snapshot makes redundant are already
+// durable, and a snapshot "from the future" of the log can only mean
+// byte corruption, which recovery detects and falls back from.
+const snapChunkOps = 1024
+
+// snapshotName returns the file name of the snapshot at seq.
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("snap-%020d.snap", seq)
+}
+
+// WriteSnapshot atomically writes shard's snapshot at seq: temp file,
+// fsync, rename, directory fsync. ops must be the shard's full state
+// at exactly commit sequence seq, in absolute form.
+func WriteSnapshot(dir string, shard uint32, seq uint64, ops []Op) error {
+	buf := make([]byte, fileHeaderLen, fileHeaderLen+64*len(ops))
+	copy(buf[:8], snapMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], shard)
+	binary.LittleEndian.PutUint64(buf[12:20], seq)
+	for len(ops) > 0 {
+		chunk := ops
+		if len(chunk) > snapChunkOps {
+			chunk = chunk[:snapChunkOps]
+		}
+		var err error
+		if buf, err = AppendRecord(buf, shard, seq, chunk); err != nil {
+			return err
+		}
+		ops = ops[len(chunk):]
+	}
+
+	path := filepath.Join(dir, snapshotName(seq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot: %w", err)
+	}
+	if _, err = f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshot parses a snapshot file completely before returning, so
+// a caller never applies half of a corrupt snapshot. Any defect —
+// short file, wrong magic or shard, bad record — is an error; the
+// caller falls back to an older snapshot.
+func loadSnapshot(path string, shard uint32) (seq uint64, recs []Record, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(b) < fileHeaderLen || string(b[:8]) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint32(b[8:12]); got != shard {
+		return 0, nil, fmt.Errorf("%w: snapshot for shard %d, want %d", ErrCorrupt, got, shard)
+	}
+	seq = binary.LittleEndian.Uint64(b[12:20])
+	for off := fileHeaderLen; off < len(b); {
+		rec, n, derr := DecodeRecord(b[off:])
+		if derr != nil {
+			return 0, nil, derr
+		}
+		if rec.Shard != shard || rec.Seq != seq {
+			return 0, nil, fmt.Errorf("%w: snapshot record stamp", ErrCorrupt)
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return seq, recs, nil
+}
+
+// Compact prunes the durability directory: it keeps the newest
+// keepSnaps snapshots (older ones are deleted) and deletes every
+// closed segment whose records are all covered by the oldest retained
+// snapshot. The active (newest) segment is never touched, so Compact
+// is safe to run while a Log is appending.
+func Compact(dir string, keepSnaps int) error {
+	if keepSnaps < 1 {
+		keepSnaps = 1
+	}
+	snaps, segs, err := listDir(dir)
+	if err != nil {
+		return err
+	}
+	for len(snaps) > keepSnaps {
+		if err := os.Remove(snaps[0].path); err != nil {
+			return err
+		}
+		snaps = snaps[1:]
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	floor := snaps[0].seq
+	for i := 0; i+1 < len(segs); i++ {
+		// Everything in segment i precedes segs[i+1].firstSeq.
+		if segs[i+1].seq > floor+1 {
+			break
+		}
+		if err := os.Remove(segs[i].path); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,484 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testOps(i int) []Op {
+	return []Op{
+		{Kind: KindSet, Key: fmt.Sprintf("k%d", i), Val: []byte(fmt.Sprintf("v%d", i))},
+		{Kind: KindCounterSet, Key: "ctr", N: int64(i)},
+	}
+}
+
+// replayAll recovers dir and returns the applied records in order.
+func replayAll(t *testing.T, dir string, shard uint32) ([]Record, RecoverResult) {
+	t.Helper()
+	var recs []Record
+	res, err := Recover(dir, shard, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return recs, res
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: KindSet, Key: "alpha", Val: []byte("value-1")},
+		{Kind: KindSet, Key: "empty", Val: nil},
+		{Kind: KindCounterAdd, Key: "hits", N: -17},
+		{Kind: KindCounterSet, Key: "hits", N: 1 << 60},
+		{Kind: KindDelete, Key: "gone"},
+	}
+	buf, err := AppendRecord(nil, 3, 42, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, n, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if rec.Shard != 3 || rec.Seq != 42 {
+		t.Fatalf("stamp = (%d,%d), want (3,42)", rec.Shard, rec.Seq)
+	}
+	want := append([]Op(nil), ops...)
+	want[1].Val = []byte{} // nil and empty are the same wire value
+	if len(rec.Ops) != len(want) {
+		t.Fatalf("got %d ops, want %d", len(rec.Ops), len(want))
+	}
+	for i := range want {
+		got := rec.Ops[i]
+		if got.Kind != want[i].Kind || got.Key != want[i].Key || got.N != want[i].N || !bytes.Equal(got.Val, want[i].Val) {
+			t.Fatalf("op %d = %+v, want %+v", i, got, want[i])
+		}
+	}
+
+	// Empty records (checkpoint markers) round-trip too.
+	buf2, err := AppendRecord(nil, 0, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, _, err := DecodeRecord(buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Seq != 7 || len(rec2.Ops) != 0 {
+		t.Fatalf("marker decoded to %+v", rec2)
+	}
+}
+
+func TestRecordCorruptionDetected(t *testing.T) {
+	buf, err := AppendRecord(nil, 1, 9, testOps(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point is a short record, never a panic.
+	for n := 0; n < len(buf); n++ {
+		if _, _, err := DecodeRecord(buf[:n]); !errors.Is(err, ErrShortRecord) {
+			t.Fatalf("truncated at %d: err = %v, want ErrShortRecord", n, err)
+		}
+	}
+	// Every single-bit flip past the length prefix is corruption (a
+	// flip inside the length prefix may also report short).
+	for i := 0; i < len(buf); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), buf...)
+			mut[i] ^= 1 << bit
+			_, _, err := DecodeRecord(mut)
+			if err == nil {
+				t.Fatalf("flip byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+}
+
+func TestLogAppendRecover(t *testing.T) {
+	for _, level := range []Level{None, Batch, Fsync} {
+		t.Run(level.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			res0, err := Recover(dir, 0, func(Record) error { return nil }, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := OpenLog(dir, 0, res0, Options{Level: level})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 50
+			for i := 1; i <= n; i++ {
+				if err := l.Append(uint64(i), testOps(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if level == Fsync {
+				if err := l.WaitDurable(n); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			recs, res := replayAll(t, dir, 0)
+			if res.LastSeq != n || len(recs) != n {
+				t.Fatalf("recovered %d records to seq %d, want %d", len(recs), res.LastSeq, n)
+			}
+			for i, rec := range recs {
+				if rec.Seq != uint64(i+1) {
+					t.Fatalf("record %d has seq %d", i, rec.Seq)
+				}
+			}
+			if res.Truncated {
+				t.Fatal("clean log reported a truncation")
+			}
+		})
+	}
+}
+
+// TestChainWithNoRecordsFallsBackToSnapshot: damage that wipes every
+// record of the surviving chain (here: the segment's first record is
+// corrupt) must not strand recovery — the snapshot stands alone, and
+// the empty segments are dropped so appending restarts consistently.
+func TestChainWithNoRecordsFallsBackToSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	res0, err := Recover(dir, 0, func(Record) error { return nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(dir, 0, res0, Options{Level: Fsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := l.Append(uint64(i), testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var snapOps []Op
+	for i := 1; i <= 10; i++ {
+		snapOps = append(snapOps, testOps(i)...)
+	}
+	if err := WriteSnapshot(dir, 0, 10, snapOps); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first record: the whole chain survives zero records.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, fileHeaderLen); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, res := replayAll(t, dir, 0)
+	if res.LastSeq != 10 || res.SnapshotSeq != 10 {
+		t.Fatalf("recovered to seq %d (snapshot %d), want 10", res.LastSeq, res.SnapshotSeq)
+	}
+	if len(recs) == 0 {
+		t.Fatal("snapshot not applied")
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal")); len(left) != 0 {
+		t.Fatalf("empty chain segments not dropped: %v", left)
+	}
+	// The log must extend cleanly from the snapshot.
+	l2, err := OpenLog(dir, 0, res, Options{Level: Fsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(11, testOps(11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, res = replayAll(t, dir, 0)
+	if res.LastSeq != 11 {
+		t.Fatalf("after re-append, recovered to %d, want 11", res.LastSeq)
+	}
+	_ = recs
+}
+
+func TestLogGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	var m Metrics
+	res0, err := Recover(dir, 0, func(Record) error { return nil }, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(dir, 0, res0, Options{Level: Fsync, Metrics: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent committers with externally sequenced appends: the
+	// batcher must coalesce them into far fewer fsyncs than records.
+	const n = 400
+	var (
+		mu   sync.Mutex
+		seq  uint64
+		wg   sync.WaitGroup
+		fail error
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				mu.Lock()
+				seq++
+				s := seq
+				err := l.Append(s, testOps(int(s)))
+				mu.Unlock()
+				if err == nil {
+					err = l.WaitDurable(s)
+				}
+				if err != nil {
+					mu.Lock()
+					fail = err
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Appends != n {
+		t.Fatalf("Appends = %d, want %d", snap.Appends, n)
+	}
+	if snap.Fsyncs == 0 || snap.Fsyncs >= n {
+		t.Fatalf("Fsyncs = %d: group commit should need more than zero and fewer than %d", snap.Fsyncs, n)
+	}
+	if snap.Batches == 0 || snap.Bytes == 0 || snap.AppendNs.Count == 0 || snap.FsyncNs.Count == 0 {
+		t.Fatalf("write-side metrics not recorded: %+v", snap)
+	}
+	recs, _ := replayAll(t, dir, 0)
+	if len(recs) != n {
+		t.Fatalf("recovered %d records, want %d", len(recs), n)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	res0, _ := Recover(dir, 0, func(Record) error { return nil }, nil)
+	l, err := OpenLog(dir, 0, res0, Options{Level: Fsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if err := l.Append(uint64(i), testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-record: drop the last 7 bytes.
+	if err := os.Truncate(seg, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	var m Metrics
+	var recs []Record
+	res, err := Recover(dir, 0, func(r Record) error { recs = append(recs, r); return nil }, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.TruncatedBytes == 0 {
+		t.Fatalf("truncation not reported: %+v", res)
+	}
+	if res.LastSeq != 19 || len(recs) != 19 {
+		t.Fatalf("recovered to seq %d with %d records, want 19", res.LastSeq, len(recs))
+	}
+	if m.Truncations.Load() != 1 {
+		t.Fatalf("Truncations = %d, want 1", m.Truncations.Load())
+	}
+
+	// The repaired log accepts appends at the truncated position.
+	l2, err := OpenLog(dir, 0, res, Options{Level: Fsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(20, testOps(20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs2, res2 := replayAll(t, dir, 0)
+	if res2.LastSeq != 20 || len(recs2) != 20 || res2.Truncated {
+		t.Fatalf("after repair+append: %d records to seq %d (truncated=%v)", len(recs2), res2.LastSeq, res2.Truncated)
+	}
+}
+
+func TestRotationAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	res0, _ := Recover(dir, 0, func(Record) error { return nil }, nil)
+	var m Metrics
+	rotated := make(chan uint64, 64)
+	l, err := OpenLog(dir, 0, res0, Options{
+		Level:        Fsync,
+		SegmentBytes: 256, // rotate constantly
+		Metrics:      &m,
+		OnRotate:     func(last uint64) { rotated <- last },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	for i := 1; i <= n; i++ {
+		if err := l.Append(uint64(i), testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.WaitDurable(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Rotations.Load() == 0 {
+		t.Fatal("no rotations at a 256-byte segment size")
+	}
+	select {
+	case <-rotated:
+	default:
+		t.Fatal("OnRotate never fired")
+	}
+
+	// Snapshot at seq 30, then compact: recovery must splice snapshot
+	// + tail and the early segments must be gone.
+	state := []Op{{Kind: KindSet, Key: "k30", Val: []byte("v30")}, {Kind: KindCounterSet, Key: "ctr", N: 30}}
+	if err := WriteSnapshot(dir, 0, 30, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compact(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, res := replayAll(t, dir, 0)
+	if res.SnapshotSeq != 30 {
+		t.Fatalf("SnapshotSeq = %d, want 30", res.SnapshotSeq)
+	}
+	if res.LastSeq != n {
+		t.Fatalf("LastSeq = %d, want %d", res.LastSeq, n)
+	}
+	// Applied stream: snapshot chunks (seq 30) then records 31..n.
+	if recs[0].Seq != 30 {
+		t.Fatalf("first applied record has seq %d, want snapshot seq 30", recs[0].Seq)
+	}
+	wantSeq := uint64(31)
+	for _, rec := range recs[res.SnapshotRecords:] {
+		if rec.Seq != wantSeq {
+			t.Fatalf("replayed seq %d, want %d", rec.Seq, wantSeq)
+		}
+		wantSeq++
+	}
+	snaps, segs, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("%d snapshots after compact, want 1", len(snaps))
+	}
+	for _, sg := range segs {
+		if sg.seq > 1 && sg.seq <= 30 {
+			// Segments fully covered by the snapshot (next segment
+			// starts <= 31) must have been pruned.
+			if next := segAfter(segs, sg.seq); next != 0 && next <= 31 {
+				t.Fatalf("segment %d not pruned by Compact", sg.seq)
+			}
+		}
+	}
+}
+
+// segAfter returns the firstSeq of the segment following the one at
+// firstSeq, or 0 if it is the last.
+func segAfter(segs []fileInfo, firstSeq uint64) uint64 {
+	for i, sg := range segs {
+		if sg.seq == firstSeq && i+1 < len(segs) {
+			return segs[i+1].seq
+		}
+	}
+	return 0
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	res0, _ := Recover(dir, 0, func(Record) error { return nil }, nil)
+	l, err := OpenLog(dir, 0, res0, Options{Level: Fsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := l.Append(uint64(i), testOps(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(dir, 0, 5, []Op{{Kind: KindSet, Key: "snap", Val: []byte("state")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the snapshot body.
+	path := filepath.Join(dir, snapshotName(5))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, res := replayAll(t, dir, 0)
+	if res.SnapshotSeq != 0 {
+		t.Fatalf("used corrupt snapshot (seq %d)", res.SnapshotSeq)
+	}
+	if res.LastSeq != 10 || len(recs) != 10 {
+		t.Fatalf("full-log fallback recovered %d records to seq %d", len(recs), res.LastSeq)
+	}
+}
+
+func TestLevelParse(t *testing.T) {
+	for _, l := range []Level{None, Batch, Fsync} {
+		got, err := ParseLevel(l.String())
+		if err != nil || got != l {
+			t.Fatalf("ParseLevel(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	if _, err := ParseLevel("always"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}

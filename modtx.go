@@ -38,6 +38,7 @@ import (
 	"modtx/internal/ltrf"
 	"modtx/internal/prog"
 	"modtx/internal/stm"
+	"modtx/internal/wal"
 )
 
 // Model layer.
@@ -259,6 +260,32 @@ type (
 	KVViewTxn = kv.ViewTxn
 	// KVStats is an aggregate statistics snapshot across shards.
 	KVStats = kv.Stats
+	// KVEvent is one committed write delivered on a changefeed: shard,
+	// per-shard commit sequence number, operation kind, key and payload.
+	KVEvent = kv.Event
+	// KVSubscription is a prefix changefeed handle (see KV.Subscribe):
+	// Events() streams commits in per-shard order; slow consumers drop
+	// rather than block committers (Dropped() counts the gap).
+	KVSubscription = kv.Subscription
+	// KVWALStats is the durability-plane statistics snapshot: append and
+	// fsync counts/latencies, recovery summary, changefeed accounting.
+	KVWALStats = kv.WALStats
+	// WALLevel selects when a durable store's log reaches disk (see
+	// WALFsync et al.).
+	WALLevel = wal.Level
+)
+
+// Write-ahead-log durability levels for KVWithDurability.
+const (
+	// WALNone appends to the log but leaves flushing to the OS page
+	// cache: fast, survives process crashes, not power loss.
+	WALNone = wal.None
+	// WALBatch fsyncs on a timer off the commit path, bounding loss to
+	// the flush interval.
+	WALBatch = wal.Batch
+	// WALFsync group-commits: every commit waits until its record is on
+	// disk, amortizing one fsync over concurrent committers.
+	WALFsync = wal.Fsync
 )
 
 // KV store options.
@@ -269,6 +296,9 @@ var (
 	KVWithEngine = kv.WithEngine
 	// KVWithMaxRetries bounds commit attempts per store operation.
 	KVWithMaxRetries = kv.WithMaxRetries
+	// KVWithDurability attaches a per-shard write-ahead log under dir;
+	// use OpenKV (not NewKV) so recovery errors are reported.
+	KVWithDurability = kv.WithDurability
 )
 
 // ErrKVWrongType reports a kv operation against a key holding the other
@@ -277,3 +307,8 @@ var ErrKVWrongType = kv.ErrWrongType
 
 // NewKV creates a sharded transactional key-value store.
 func NewKV(opts ...KVOption) *KV { return kv.New(opts...) }
+
+// OpenKV creates a sharded transactional key-value store, recovering
+// from the data directory first when KVWithDurability is set. Close a
+// durable store to flush and fsync its logs.
+func OpenKV(opts ...KVOption) (*KV, error) { return kv.Open(opts...) }

@@ -292,3 +292,53 @@ func TestFacadeBlocking(t *testing.T) {
 		t.Fatalf("blocking counters not surfaced: %+v", st)
 	}
 }
+
+// TestFacadeDurability exercises the durability surface through the
+// facade: OpenKV with a write-ahead log, a prefix changefeed, WAL
+// statistics, and recovery on reopen.
+func TestFacadeDurability(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dir := t.TempDir()
+
+	store, err := modtx.OpenKV(modtx.KVWithShards(4),
+		modtx.KVWithDurability(dir, modtx.WALFsync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := store.Subscribe(ctx, "user:")
+	if err := store.Set("user:1", []byte("ada")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Set("other", []byte("filtered")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-sub.Events():
+		var got modtx.KVEvent = ev
+		if got.Key != "user:1" || string(got.Val) != "ada" {
+			t.Fatalf("event = %+v", got)
+		}
+	case <-ctx.Done():
+		t.Fatal("changefeed delivered nothing")
+	}
+	sub.Close()
+
+	var ws modtx.KVWALStats = store.WALStats()
+	if ws.Level != modtx.WALFsync.String() || ws.Appends < 2 {
+		t.Fatalf("WALStats = %+v", ws)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := modtx.OpenKV(modtx.KVWithShards(4),
+		modtx.KVWithDurability(dir, modtx.WALBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if v, ok, _ := reopened.Get("user:1"); !ok || string(v) != "ada" {
+		t.Fatalf("recovered get = %q %v", v, ok)
+	}
+}
