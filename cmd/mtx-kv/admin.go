@@ -31,6 +31,13 @@ import (
 // separate function (rather than inlined into runServe) so loopback
 // tests can mount it on httptest servers.
 func adminMux(store *kv.Store) *http.ServeMux {
+	return adminMuxFor(&server{store: store})
+}
+
+// adminMuxFor is adminMux with the server's replication role attached,
+// so /metrics includes the streamer or replica gauges when one exists.
+func adminMuxFor(srv *server) *http.ServeMux {
+	store := srv.store
 	publishExpvars(store)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -38,7 +45,7 @@ func adminMux(store *kv.Store) *http.ServeMux {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		w.Write(renderMetrics(store))
+		w.Write(renderReplMetrics(renderMetrics(store), srv))
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	// net/http/pprof registers on http.DefaultServeMux as an import side

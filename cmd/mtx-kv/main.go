@@ -6,7 +6,10 @@
 //
 //	mtx-kv serve [-addr :7700] [-shards 64] [-engine lazy]
 //	             [-data DIR] [-durability fsync]
+//	             [-replicate-addr :7800]
 //	             [-admin :6060] [-slowtxn 1ms]
+//	mtx-kv replica -primary host:7800 [-addr :7701] [-engine lazy]
+//	             [-admin :6061] [-slowtxn 1ms]
 //	mtx-kv bench [-engine all] [-shards 64] [-keys 65536] [-goroutines 8]
 //	             [-duration 2s] [-fastread-pct 70] [-read-pct 20]
 //	             [-write-pct 5] [-zipf 1.2]
@@ -21,6 +24,16 @@
 // boot repairs and replays a commit-order prefix. bench accepts the
 // same pair to measure logging cost; its default "off" benches the
 // undisturbed in-memory store.
+//
+// With -replicate-addr (requires -data), serve additionally ships every
+// shard's WAL — and the cross-shard commit marker log — to connected
+// replicas over TCP: catch-up from segments (or the latest snapshot when
+// the cursor predates compaction), then the live tail. mtx-kv replica
+// dials that address, mirrors the primary's shard count, and serves the
+// read-side commands from its local store while applying the stream;
+// mutating commands answer "ERR read-only replica". See the README's
+// Replication section for what a replica observer may see (per-shard
+// prefix always; cross-shard transactions atomically, never partially).
 //
 // With -json, bench emits a machine-readable report (workload config +
 // per-engine ops/sec and latency percentiles) on stdout — the same
@@ -69,6 +82,7 @@
 //	STATS HIST                -> op + STM latency histograms, one JSON line
 //	STATS HOT                 -> hottest keys by attributed conflicts, JSON
 //	STATS WAL                 -> durability + changefeed stats, JSON
+//	STATS REPL                -> replication role + progress, JSON
 //	STATS RESET               -> OK                 (zero histograms/contention)
 //	QUIT                      -> BYE (connection closes)
 //
@@ -100,15 +114,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mtx-kv serve:", err)
 			os.Exit(1)
 		}
+	case "replica":
+		if err := runReplica(args); err != nil {
+			fmt.Fprintln(os.Stderr, "mtx-kv replica:", err)
+			os.Exit(1)
+		}
 	case "bench":
 		if err := runBench(args); err != nil {
 			fmt.Fprintln(os.Stderr, "mtx-kv bench:", err)
 			os.Exit(1)
 		}
 	case "-h", "--help", "help":
-		fmt.Println("usage: mtx-kv {serve|bench} [flags]  (see -h of each subcommand)")
+		fmt.Println("usage: mtx-kv {serve|replica|bench} [flags]  (see -h of each subcommand)")
 	default:
-		fmt.Fprintf(os.Stderr, "mtx-kv: unknown subcommand %q (want serve or bench)\n", cmd)
+		fmt.Fprintf(os.Stderr, "mtx-kv: unknown subcommand %q (want serve, replica or bench)\n", cmd)
 		os.Exit(2)
 	}
 }

@@ -13,10 +13,12 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 	"unicode"
 
+	"modtx/internal/cluster"
 	"modtx/internal/kv"
 	"modtx/internal/stm"
 	"modtx/internal/wal"
@@ -31,6 +33,8 @@ func runServe(args []string) error {
 		"durability directory: recover state from it on boot and log every commit; empty = in-memory only")
 	durLevel := fs.String("durability", "fsync",
 		"durability level with -data: fsync (group commit), batch (interval fsync), none (OS page cache)")
+	replAddr := fs.String("replicate-addr", "",
+		"listen address for WAL shipping to replicas (requires -data); empty disables")
 	adminAddr := fs.String("admin", "",
 		"admin plane listen address (/metrics, /debug/pprof, /debug/vars, /healthz); empty disables")
 	slowTxn := fs.Duration("slowtxn", 0,
@@ -68,36 +72,93 @@ func runServe(args []string) error {
 		store.Close()
 		return err
 	}
-	if *adminAddr != "" {
-		al, err := net.Listen("tcp", *adminAddr)
+	if *replAddr != "" {
+		st, err := cluster.NewStreamer(store)
 		if err != nil {
 			store.Close()
-			return fmt.Errorf("admin listen: %w", err)
+			return fmt.Errorf("-replicate-addr: %w (use -data)", err)
 		}
-		fmt.Printf("mtx-kv: admin plane on http://%s\n", al.Addr())
+		rl, err := net.Listen("tcp", *replAddr)
+		if err != nil {
+			store.Close()
+			return fmt.Errorf("replication listen: %w", err)
+		}
+		srv.streamer = st
+		fmt.Printf("mtx-kv: shipping WAL to replicas on %s\n", rl.Addr())
 		go func() {
-			if err := http.Serve(al, adminMux(srv.store)); err != nil {
-				slog.Error("admin plane exited", "err", err)
+			if err := st.Serve(rl); err != nil {
+				slog.Error("replication streamer exited", "err", err)
 			}
 		}()
 	}
+	if err := startAdmin(srv, *adminAddr); err != nil {
+		store.Close()
+		return err
+	}
 	fmt.Printf("mtx-kv: serving %s engine, %d shards on %s, durability %s\n",
 		engines[0], srv.store.NumShards(), l.Addr(), store.WALStats().Level)
-	// SIGINT/SIGTERM close the listener so serve returns; Close then
+	// SIGINT/SIGTERM trigger the graceful path in serveUntil: stop
+	// accepting, drain in-flight connections, then Close — which
 	// flushes and fsyncs a durable store's logs, so the next boot
 	// replays no tail. A SIGKILL skips all of this by design — recovery
 	// repairs whatever the crash left.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	return serveUntil(srv, l, sig)
+}
+
+// startAdmin mounts the admin plane when addr is non-empty.
+func startAdmin(srv *server, addr string) error {
+	if addr == "" {
+		return nil
+	}
+	al, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("admin listen: %w", err)
+	}
+	fmt.Printf("mtx-kv: admin plane on http://%s\n", al.Addr())
 	go func() {
-		<-sig
-		l.Close()
+		if err := http.Serve(al, adminMuxFor(srv)); err != nil {
+			slog.Error("admin plane exited", "err", err)
+		}
 	}()
-	err = srv.serve(l)
+	return nil
+}
+
+// drainTimeout bounds the graceful-shutdown drain: connections still
+// busy after this long are force-closed so shutdown cannot hang on a
+// parked subscriber or a dead client.
+const drainTimeout = 5 * time.Second
+
+// serveUntil accepts connections until stop delivers a signal, then
+// shuts down gracefully: stop accepting, drain in-flight connections
+// (force-closing stragglers after drainTimeout), stop the replication
+// streamer, and flush + close the store's WAL. Factored out of
+// runServe so tests can drive the whole shutdown path in-process.
+func serveUntil(srv *server, l net.Listener, stop <-chan os.Signal) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-stop:
+			l.Close()
+		case <-done:
+		}
+	}()
+	err := srv.serve(l)
 	if errors.Is(err, net.ErrClosed) {
 		err = nil
 	}
-	if cerr := store.Close(); cerr != nil && err == nil {
+	wait := srv.drainWait
+	if wait == 0 {
+		wait = drainTimeout
+	}
+	srv.drain(wait)
+	if srv.streamer != nil {
+		srv.streamer.Close()
+	}
+	if cerr := srv.store.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
 	return err
@@ -106,8 +167,22 @@ func runServe(args []string) error {
 // server wraps a kv.Store with the line protocol. One goroutine per
 // connection; the store itself is the only shared state.
 type server struct {
-	store *kv.Store
-	slow  time.Duration // log commands at least this slow; 0 disables
+	store     *kv.Store
+	slow      time.Duration // log commands at least this slow; 0 disables
+	readonly  bool          // replica role: reject mutating commands
+	drainWait time.Duration // shutdown drain bound; 0 = drainTimeout
+
+	// Replication role, at most one non-nil: streamer on a primary
+	// shipping its WAL, client+replica on a follower applying it.
+	// STATS REPL and the admin plane report whichever is set.
+	streamer *cluster.Streamer
+	repl     *cluster.Client
+	replica  *kv.Replica
+
+	// Connection tracking for the graceful drain.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
 }
 
 func (s *server) serve(l net.Listener) error {
@@ -116,7 +191,49 @@ func (s *server) serve(l net.Listener) error {
 		if err != nil {
 			return err
 		}
-		go s.handleConn(conn)
+		s.track(conn)
+		go func() {
+			defer s.untrack(conn)
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *server) track(c net.Conn) {
+	s.connMu.Lock()
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+	s.connWG.Add(1)
+}
+
+func (s *server) untrack(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+	s.connWG.Done()
+}
+
+// drain waits for in-flight connection handlers to finish, up to
+// timeout; stragglers (idle keep-alives, parked subscribers) have
+// their connections force-closed, which unwinds their handlers.
+func (s *server) drain(timeout time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
 	}
 }
 
@@ -285,7 +402,17 @@ func appendErr(reply []byte, context string, err error) []byte {
 // token-based multi-key commands (MSET) carry values without spaces.
 func (s *server) exec(reply []byte, line string) (resp []byte, quit bool) {
 	f := strings.Fields(line)
-	switch strings.ToUpper(f[0]) {
+	verb := strings.ToUpper(f[0])
+	if s.readonly {
+		// A replica serves reads only: writing through its store would
+		// fork it from the primary's history (replication applies the
+		// primary's records by absolute sequence, not by merging).
+		switch verb {
+		case "SET", "DEL", "ADD", "MSET", "TXN":
+			return append(reply, "ERR read-only replica"...), false
+		}
+	}
+	switch verb {
 	case "PING":
 		return append(reply, "PONG"...), false
 
@@ -523,6 +650,7 @@ func (s *server) exec(reply []byte, line string) (resp []byte, quit bool) {
 		// STATS HIST       -> op + STM latency histograms, one JSON line
 		// STATS HOT        -> hottest keys by attributed conflicts, JSON
 		// STATS WAL        -> durability + changefeed stats, one JSON line
+		// STATS REPL       -> replication role + progress, one JSON line
 		// STATS RESET      -> zero histograms and contention tables
 		if len(f) == 1 {
 			return append(reply, "STATS "+s.store.Stats().String()...), false
@@ -536,12 +664,14 @@ func (s *server) exec(reply []byte, line string) (resp []byte, quit bool) {
 			return appendStatsJSON(reply, hotKeysFor(s.store)), false
 		case "WAL":
 			return appendStatsJSON(reply, s.store.WALStats()), false
+		case "REPL":
+			return appendStatsJSON(reply, s.replStats()), false
 		case "RESET":
 			s.store.ResetMetrics()
 			return append(reply, "OK"...), false
 		default:
 			return append(reply, "ERR unknown STATS sub "+f[1]+
-				" (want SHARDS, HIST, HOT, WAL or RESET)"...), false
+				" (want SHARDS, HIST, HOT, WAL, REPL or RESET)"...), false
 		}
 
 	case "QUIT":

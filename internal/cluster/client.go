@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modtx/internal/kv"
+	"modtx/internal/wal"
+)
+
+// readTimeout bounds frame reads; the primary pings every second, so
+// a silent connection this long is dead.
+const readTimeout = 15 * time.Second
+
+// Discover dials a primary and returns its handshake hello (shard
+// count and positions) without starting a stream — how a fresh
+// replica sizes itself before building its store.
+func Discover(ctx context.Context, addr string) (Hello, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return Hello{}, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	return ReadHello(conn)
+}
+
+// Client feeds a primary's stream into a kv.Replica, reconnecting with
+// backoff: every reconnect re-handshakes from the replica's current
+// watermarks, and the replica's duplicate suppression absorbs overlap,
+// so the loop needs no resume state of its own.
+type Client struct {
+	Addr    string
+	Replica *kv.Replica
+	// Logf, when set, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+
+	connects  atomic.Uint64
+	connected atomic.Bool
+	mu        sync.Mutex
+	lastErr   string
+}
+
+// ClientStats is the replica-side connection snapshot, merged with
+// kv.ReplicaStats into STATS REPL.
+type ClientStats struct {
+	Role      string `json:"role"` // "replica"
+	Primary   string `json:"primary"`
+	Connected bool   `json:"connected"`
+	Connects  uint64 `json:"connects"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Stats snapshots the client.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	lastErr := c.lastErr
+	c.mu.Unlock()
+	return ClientStats{
+		Role:      "replica",
+		Primary:   c.Addr,
+		Connected: c.connected.Load(),
+		Connects:  c.connects.Load(),
+		LastError: lastErr,
+	}
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Client) noteErr(err error) {
+	c.mu.Lock()
+	c.lastErr = err.Error()
+	c.mu.Unlock()
+}
+
+// Run streams until ctx is done, reconnecting on transient errors.
+// A protocol-level mismatch (wrong magic, wrong shard count) is a
+// configuration error and returns immediately instead of retrying.
+func (c *Client) Run(ctx context.Context) error {
+	backoff := 250 * time.Millisecond
+	for {
+		start := time.Now()
+		err := c.session(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if errors.Is(err, ErrProto) {
+			return err
+		}
+		if err != nil {
+			c.noteErr(err)
+			c.logf("replica: stream from %s: %v (reconnecting)", c.Addr, err)
+		}
+		if time.Since(start) > 10*time.Second {
+			backoff = 250 * time.Millisecond // the last session was healthy
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 4*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// snapState accumulates one in-flight snapshot transfer for a shard.
+type snapState struct {
+	seq  uint64
+	recs []wal.Record
+}
+
+func (c *Client) session(ctx context.Context) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	r := c.Replica
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	hello, err := ReadHello(conn)
+	if err != nil {
+		return err
+	}
+	if len(hello.Seqs) != r.Shards() {
+		return fmt.Errorf("%w: primary has %d shards, replica %d", ErrProto, len(hello.Seqs), r.Shards())
+	}
+	r.SetTarget(hello.Seqs)
+	cur := Hello{Seqs: make([]uint64, r.Shards()), Marker: r.Stats().MarkerSeq + 1}
+	for i := range cur.Seqs {
+		cur.Seqs[i] = r.Watermark(i) + 1
+	}
+	if _, err := conn.Write(AppendHello(nil, cur)); err != nil {
+		return err
+	}
+	conn.SetDeadline(time.Time{})
+	c.connects.Add(1)
+	c.connected.Store(true)
+	defer c.connected.Store(false)
+	c.logf("replica: streaming from %s (%d shards)", c.Addr, r.Shards())
+
+	snaps := make(map[uint32]*snapState)
+	// Buffered reads: frames are small and the catch-up path sends them
+	// in dense batches, so reading through a buffer collapses thousands
+	// of read syscalls; the per-frame deadline still applies to the
+	// underlying conn.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	// Records accumulate while more frames are already buffered and
+	// apply in one batch when the read would block (or at the cap):
+	// batch apply is what lets the replica merge catch-up runs into few
+	// local transactions instead of one per record.
+	const maxPending = 1024
+	var pending []wal.Record
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		err := r.ApplyRecords(pending)
+		pending = pending[:0]
+		return err
+	}
+	var buf []byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(readTimeout))
+		var f Frame
+		f, buf, err = ReadFrame(br, buf)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case FramePing:
+			if err := flush(); err != nil {
+				return err
+			}
+		case FrameRecord:
+			rec, n, derr := wal.DecodeRecord(f.Payload)
+			if derr != nil || n != len(f.Payload) || rec.Shard != f.Shard {
+				return fmt.Errorf("%w: bad record frame", ErrProto)
+			}
+			pending = append(pending, rec)
+			if len(pending) >= maxPending || br.Buffered() == 0 {
+				if aerr := flush(); aerr != nil {
+					// A gap means our cursor raced compaction; reconnecting
+					// re-handshakes and takes the snapshot path.
+					return aerr
+				}
+			}
+		case FrameSnapBegin:
+			if err := flush(); err != nil {
+				return err
+			}
+			if len(f.Payload) != 8 {
+				return fmt.Errorf("%w: bad snapshot begin", ErrProto)
+			}
+			snaps[f.Shard] = &snapState{seq: binary.LittleEndian.Uint64(f.Payload)}
+		case FrameSnapRec:
+			st := snaps[f.Shard]
+			if st == nil {
+				return fmt.Errorf("%w: snapshot record outside transfer", ErrProto)
+			}
+			rec, n, derr := wal.DecodeRecord(f.Payload)
+			if derr != nil || n != len(f.Payload) {
+				return fmt.Errorf("%w: bad snapshot record", ErrProto)
+			}
+			st.recs = append(st.recs, rec)
+		case FrameSnapEnd:
+			if err := flush(); err != nil {
+				return err
+			}
+			st := snaps[f.Shard]
+			if st == nil {
+				return fmt.Errorf("%w: snapshot end outside transfer", ErrProto)
+			}
+			delete(snaps, f.Shard)
+			if err := r.ResetShard(int(f.Shard), st.seq, st.recs); err != nil {
+				return err
+			}
+		}
+	}
+}

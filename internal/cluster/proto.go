@@ -1,0 +1,153 @@
+// Package cluster is the replication wire layer: a primary-side
+// Streamer that ships each shard's WAL (and the cross-shard commit
+// marker log) over TCP, and a replica-side Client that feeds the
+// stream into a kv.Replica. The protocol is deliberately dumb — raw
+// WAL records in self-checking frames — because all replication
+// semantics (per-shard prefix order, atomic cross-shard surfacing,
+// idempotent replay) live in the record format and the replica's
+// apply rules, not in the transport.
+//
+// Wire layout, all little-endian:
+//
+//	server hello:  "MTXREPL1\n" | u32 nshards | u64 pos[nshards] | u64 markerPos
+//	client cursor: "MTXREPL1\n" | u32 nshards | u64 from[nshards] | u64 markerFrom
+//	frames:        u8 type | u32 shard | u32 len | payload[len]
+//
+// The server speaks first, so a fresh replica discovers the shard
+// count before committing to one. Cursors are "next sequence wanted";
+// positions are "newest sequence committed". The marker log rides the
+// same machinery under the pseudo-shard wal.TxnShard.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic opens both hellos. The trailing newline makes an accidental
+// HTTP or text client mis-speak visibly.
+const Magic = "MTXREPL1\n"
+
+// Frame types.
+const (
+	// FrameRecord carries one encoded wal.Record for Shard (which is
+	// wal.TxnShard for commit markers).
+	FrameRecord = uint8(1)
+	// FrameSnapBegin announces a snapshot transfer replacing Shard's
+	// state: payload is the u64 snapshot sequence. Sent when the
+	// replica's cursor predates the primary's oldest retained segment.
+	FrameSnapBegin = uint8(2)
+	// FrameSnapRec carries one snapshot chunk (an encoded wal.Record
+	// holding a batch of KindSet/KindCounterSet ops).
+	FrameSnapRec = uint8(3)
+	// FrameSnapEnd closes the snapshot transfer; the stream then
+	// resumes with FrameRecord at snapshot sequence + 1.
+	FrameSnapEnd = uint8(4)
+	// FramePing is a liveness beacon on an otherwise idle stream.
+	FramePing = uint8(5)
+)
+
+const (
+	frameHeaderLen = 9
+	// MaxFrame bounds a frame payload: comfortably above the WAL's
+	// segment-roll threshold, so any legitimately encoded record fits,
+	// while a garbage length field fails fast instead of allocating.
+	MaxFrame = 64 << 20
+	// MaxShards bounds the hello's shard count the same way.
+	MaxShards = 1 << 16
+)
+
+// ErrProto reports a malformed hello or frame; the connection is dead.
+var ErrProto = errors.New("cluster: protocol error")
+
+// Frame is one wire frame. Payload aliases the read buffer passed to
+// ReadFrame and is valid only until the next call with that buffer.
+type Frame struct {
+	Type    uint8
+	Shard   uint32
+	Payload []byte
+}
+
+// AppendFrame appends a frame to dst and returns the extended slice.
+func AppendFrame(dst []byte, typ uint8, shard uint32, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.LittleEndian.AppendUint32(dst, shard)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one frame from r, reusing buf (grown as needed) for
+// the payload. It validates the type and length bounds; payload
+// contents are the next layer's problem (records self-check via their
+// CRC when decoded).
+func ReadFrame(r io.Reader, buf []byte) (f Frame, _ []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return f, buf, err
+	}
+	f.Type = hdr[0]
+	f.Shard = binary.LittleEndian.Uint32(hdr[1:5])
+	n := binary.LittleEndian.Uint32(hdr[5:9])
+	if f.Type < FrameRecord || f.Type > FramePing {
+		return f, buf, fmt.Errorf("%w: frame type %d", ErrProto, f.Type)
+	}
+	if n > MaxFrame {
+		return f, buf, fmt.Errorf("%w: frame length %d", ErrProto, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return f, buf, err
+	}
+	f.Payload = buf
+	return f, buf, nil
+}
+
+// Hello is either side's handshake: the server's positions (newest
+// committed sequence per shard, plus the marker log's), or the
+// client's cursors (next sequence wanted). Shards len(Seqs) is the
+// shard count; Marker is the marker-log entry.
+type Hello struct {
+	Seqs   []uint64
+	Marker uint64
+}
+
+// AppendHello appends a hello to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = append(dst, Magic...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(h.Seqs)))
+	for _, s := range h.Seqs {
+		dst = binary.LittleEndian.AppendUint64(dst, s)
+	}
+	return binary.LittleEndian.AppendUint64(dst, h.Marker)
+}
+
+// ReadHello reads and validates a hello.
+func ReadHello(r io.Reader) (Hello, error) {
+	var h Hello
+	hdr := make([]byte, len(Magic)+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return h, err
+	}
+	if string(hdr[:len(Magic)]) != Magic {
+		return h, fmt.Errorf("%w: bad magic", ErrProto)
+	}
+	n := binary.LittleEndian.Uint32(hdr[len(Magic):])
+	if n == 0 || n > MaxShards {
+		return h, fmt.Errorf("%w: shard count %d", ErrProto, n)
+	}
+	body := make([]byte, (int(n)+1)*8)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return h, err
+	}
+	h.Seqs = make([]uint64, n)
+	for i := range h.Seqs {
+		h.Seqs[i] = binary.LittleEndian.Uint64(body[i*8:])
+	}
+	h.Marker = binary.LittleEndian.Uint64(body[int(n)*8:])
+	return h, nil
+}

@@ -1,0 +1,438 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modtx/internal/kv"
+	"modtx/internal/wal"
+)
+
+// Streamer is the primary side: it serves each connected replica every
+// shard's WAL plus the marker log, catch-up then live tail.
+//
+// Per stream (one goroutine per shard per connection) the loop is:
+//
+//  1. Catch-up: wal.ScanSegments from the replica's cursor — read-only
+//     against the live appender — sending raw records. If the cursor
+//     predates the oldest retained segment (ErrCompacted), ship the
+//     latest snapshot instead and resume from its sequence.
+//  2. Attach a wal.Follower. If its low-water mark is above the scan
+//     frontier (records were queued between scan and attach), drop it
+//     and rescan; otherwise switch to the live tail.
+//  3. Tail: forward the follower's batches, skipping the overlap below
+//     the cursor. A follower killed by overflow or log rotation-gap
+//     just falls back to step 1 — slow replicas and reconnects share
+//     one repair path.
+type Streamer struct {
+	store *kv.Store
+	limit int // follower buffer bytes per stream
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Stats, exposed via STATS REPL on the primary.
+	connected atomic.Int64  // current sessions
+	served    atomic.Uint64 // sessions ever
+	records   atomic.Uint64 // record frames sent
+	snapshots atomic.Uint64 // snapshot transfers sent
+}
+
+// followLimit is each stream's live-tail buffer: a replica falling
+// this far behind the appender is re-fed from segments instead.
+const followLimit = 4 << 20
+
+const pingEvery = 1 * time.Second
+
+// catchupBatch is the flush threshold for batched catch-up frames.
+const catchupBatch = 32 << 10
+
+// NewStreamer wraps a durable store. Opening fails on a store with no
+// WAL — there is nothing to ship.
+func NewStreamer(s *kv.Store) (*Streamer, error) {
+	if !s.Durable() {
+		return nil, kv.ErrNotDurable
+	}
+	return &Streamer{store: s, limit: followLimit, sessions: make(map[*session]struct{})}, nil
+}
+
+// Serve accepts replica connections on ln until Close (or a listener
+// error). It owns ln and closes it on return.
+func (st *Streamer) Serve(ln net.Listener) error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		ln.Close()
+		return errors.New("cluster: streamer closed")
+	}
+	st.ln = ln
+	st.mu.Unlock()
+	defer ln.Close()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			st.mu.Lock()
+			closed := st.closed
+			st.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s := newSession(st, conn)
+		st.mu.Lock()
+		if st.closed {
+			st.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		st.sessions[s] = struct{}{}
+		st.wg.Add(1)
+		st.mu.Unlock()
+		go func() {
+			defer st.wg.Done()
+			st.serveSession(s)
+		}()
+	}
+}
+
+// Close stops accepting, tears down every session, and waits for the
+// per-stream goroutines to drain.
+func (st *Streamer) Close() {
+	st.mu.Lock()
+	st.closed = true
+	ln := st.ln
+	ss := make([]*session, 0, len(st.sessions))
+	for s := range st.sessions {
+		ss = append(ss, s)
+	}
+	st.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, s := range ss {
+		s.close()
+	}
+	st.wg.Wait()
+}
+
+// StreamerStats is the primary-side replication snapshot (STATS REPL).
+type StreamerStats struct {
+	Role      string `json:"role"` // "primary"
+	Connected int64  `json:"connected"`
+	Served    uint64 `json:"served"`
+	Records   uint64 `json:"records"`
+	Snapshots uint64 `json:"snapshots"`
+}
+
+// Stats snapshots the streamer.
+func (st *Streamer) Stats() StreamerStats {
+	return StreamerStats{
+		Role:      "primary",
+		Connected: st.connected.Load(),
+		Served:    st.served.Load(),
+		Records:   st.records.Load(),
+		Snapshots: st.snapshots.Load(),
+	}
+}
+
+// session is one replica connection: a shared write lock over the
+// conn, the set of live followers (closed on teardown so blocked
+// Take calls unwind), and a cancel fanning out to every stream.
+type session struct {
+	st     *Streamer
+	conn   net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wmu     sync.Mutex
+	scratch []byte
+
+	fmu       sync.Mutex
+	followers map[*wal.Follower]struct{}
+	dead      bool
+}
+
+func newSession(st *Streamer, conn net.Conn) *session {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &session{
+		st: st, conn: conn, ctx: ctx, cancel: cancel,
+		followers: make(map[*wal.Follower]struct{}),
+	}
+}
+
+func (s *session) close() {
+	s.cancel()
+	s.conn.Close()
+	s.fmu.Lock()
+	s.dead = true
+	fs := make([]*wal.Follower, 0, len(s.followers))
+	for f := range s.followers {
+		fs = append(fs, f)
+	}
+	s.followers = nil
+	s.fmu.Unlock()
+	for _, f := range fs {
+		f.Close()
+	}
+}
+
+// track registers a follower for teardown; false means the session is
+// already closing and the caller must not block on the follower.
+func (s *session) track(f *wal.Follower) bool {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	if s.dead {
+		return false
+	}
+	s.followers[f] = struct{}{}
+	return true
+}
+
+func (s *session) untrack(f *wal.Follower) {
+	s.fmu.Lock()
+	if s.followers != nil {
+		delete(s.followers, f)
+	}
+	s.fmu.Unlock()
+}
+
+// writeFrame serializes frame writes from the per-shard goroutines.
+func (s *session) writeFrame(typ uint8, shard uint32, payload []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.scratch = AppendFrame(s.scratch[:0], typ, shard, payload)
+	_, err := s.conn.Write(s.scratch)
+	return err
+}
+
+// writeRaw sends pre-framed bytes — the catch-up path batches many
+// record frames into one write, which is worth an order of magnitude
+// in catch-up throughput over a syscall per record.
+func (s *session) writeRaw(b []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	_, err := s.conn.Write(b)
+	return err
+}
+
+func (st *Streamer) serveSession(s *session) {
+	defer func() {
+		s.close()
+		st.mu.Lock()
+		delete(st.sessions, s)
+		st.mu.Unlock()
+		st.connected.Add(-1)
+	}()
+	st.connected.Add(1)
+	st.served.Add(1)
+
+	// Handshake: our positions first (so a fresh replica can size
+	// itself), then the replica's cursors.
+	shards, marker, err := st.store.ReplPositions()
+	if err != nil {
+		return
+	}
+	s.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := s.conn.Write(AppendHello(nil, Hello{Seqs: shards, Marker: marker})); err != nil {
+		return
+	}
+	cur, err := ReadHello(s.conn)
+	if err != nil || len(cur.Seqs) != len(shards) {
+		return
+	}
+	s.conn.SetDeadline(time.Time{})
+
+	// The replica sends nothing after its cursor hello: any read
+	// result — data or EOF — means the connection is done.
+	go func() {
+		var one [1]byte
+		s.conn.Read(one[:])
+		s.close()
+	}()
+
+	var wg sync.WaitGroup
+	streamErr := func(err error) {
+		if err != nil && s.ctx.Err() == nil {
+			s.close() // one stream failing kills the session
+		}
+	}
+	for i := range cur.Seqs {
+		wg.Add(1)
+		go func(shard uint32, from uint64) {
+			defer wg.Done()
+			streamErr(st.streamShard(s, shard, from))
+		}(uint32(i), cur.Seqs[i])
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		streamErr(st.streamShard(s, wal.TxnShard, cur.Marker))
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(pingEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-t.C:
+				if err := s.writeFrame(FramePing, 0, nil); err != nil {
+					s.close()
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// streamShard runs one shard's stream (the marker log's for
+// wal.TxnShard) until the session dies: catch-up from segments (or
+// snapshot when compacted), then live tail, looping on follower death.
+func (st *Streamer) streamShard(s *session, shard uint32, from uint64) error {
+	dir, err := st.store.ReplDir(shard)
+	if err != nil {
+		return err
+	}
+	cursor := from
+	if cursor == 0 {
+		cursor = 1
+	}
+	var tail []byte  // follower batch buffer, recycled through Take
+	var batch []byte // catch-up frame batch, flushed every catchupBatch bytes
+	for s.ctx.Err() == nil {
+		progressed := false
+		// Catch-up until the follower attach races no queued records.
+		var f *wal.Follower
+		for {
+			batch = batch[:0]
+			next, err := wal.ScanSegments(dir, shard, cursor, func(rec wal.Record, raw []byte) error {
+				st.records.Add(1)
+				batch = AppendFrame(batch, FrameRecord, shard, raw)
+				if len(batch) >= catchupBatch {
+					werr := s.writeRaw(batch)
+					batch = batch[:0]
+					return werr
+				}
+				return nil
+			})
+			if len(batch) > 0 {
+				if werr := s.writeRaw(batch); werr != nil && err == nil {
+					err = werr
+				}
+				batch = batch[:0]
+			}
+			if next > cursor {
+				cursor = next
+				progressed = true
+			}
+			if errors.Is(err, wal.ErrCompacted) {
+				if shard == wal.TxnShard {
+					// The marker log is never compacted; this is corruption.
+					return fmt.Errorf("cluster: marker log: %w", err)
+				}
+				seq, recs, serr := wal.LatestSnapshot(dir, shard)
+				if serr != nil {
+					return serr
+				}
+				if err := st.sendSnapshot(s, shard, seq, recs); err != nil {
+					return err
+				}
+				cursor = seq + 1
+				progressed = true
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			ff, low, ferr := st.store.ReplFollow(shard, st.limit)
+			if ferr != nil {
+				return ferr
+			}
+			if low > cursor {
+				ff.Close() // records queued between scan and attach: rescan
+				continue
+			}
+			if !s.track(ff) {
+				ff.Close()
+				return nil
+			}
+			f = ff
+			break
+		}
+		// Live tail.
+		for {
+			b, _, ok := f.Take(tail)
+			if !ok {
+				break // dead: overflow, gap, or log/session close → re-catch-up
+			}
+			off := 0
+			for off < len(b) {
+				rec, n, derr := wal.DecodeRecord(b[off:])
+				if derr != nil {
+					s.untrack(f)
+					f.Close()
+					return derr // a log batch is always whole records
+				}
+				if rec.Seq >= cursor {
+					if werr := s.writeFrame(FrameRecord, shard, b[off:off+n]); werr != nil {
+						s.untrack(f)
+						f.Close()
+						return werr
+					}
+					st.records.Add(1)
+					cursor = rec.Seq + 1
+					progressed = true
+				}
+				off += n
+			}
+			tail = b
+		}
+		s.untrack(f)
+		f.Close()
+		if !progressed {
+			// A dead-on-arrival follower with nothing new on disk (e.g.
+			// the log is closing): don't spin.
+			select {
+			case <-s.ctx.Done():
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}
+	return nil
+}
+
+// sendSnapshot ships a shard snapshot: begin (with its sequence), the
+// chunk records re-encoded, end.
+func (st *Streamer) sendSnapshot(s *session, shard uint32, seq uint64, recs []wal.Record) error {
+	st.snapshots.Add(1)
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], seq)
+	if err := s.writeFrame(FrameSnapBegin, shard, p[:]); err != nil {
+		return err
+	}
+	var enc []byte
+	for _, rec := range recs {
+		var err error
+		enc, err = wal.AppendRecord(enc[:0], rec.Shard, rec.Seq, rec.Ops)
+		if err != nil {
+			return err
+		}
+		if err := s.writeFrame(FrameSnapRec, shard, enc); err != nil {
+			return err
+		}
+	}
+	return s.writeFrame(FrameSnapEnd, shard, nil)
+}

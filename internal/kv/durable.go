@@ -3,6 +3,7 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,16 +48,61 @@ var ErrNotDurable = errors.New("kv: store has no durability configured")
 
 // pendingOps is one transaction's effect list, attached to the attempt
 // via Tx.SetTapData and consumed by the shard's commit tap, which
-// stamps it with the commit sequence it assigned.
+// stamps it with the commit sequence it assigned. txn links the
+// participants of one cross-shard commit (nil for single-shard
+// writes): the tap flags their records and the last participant's tap
+// appends the commit marker.
 type pendingOps struct {
 	ops []wal.Op
 	seq uint64
+	txn *pendingTxn
 }
 
 func (p *pendingOps) reset() {
 	clear(p.ops)
 	p.ops = p.ops[:0]
 	p.seq = 0
+	p.txn = nil
+}
+
+// pendingTxn coordinates the commit taps of one cross-shard
+// transaction. The taps of one commit run sequentially (the two-phase
+// cross-shard commit fires them shard by shard at the serialization
+// point), each under its shard's feed lock: every tap records its
+// (shard, seq) participant, and the last one appends the commit
+// marker — participant vector included — to the store's marker log.
+//
+// Allocated per cross-shard durable commit; between the first and
+// last tap it sits in the marker feed's open set, which is the
+// checkpoint barrier's view of commits whose records are not all
+// queued yet (see checkpointShard).
+type pendingTxn struct {
+	id     uint64        // random transaction id binding records and marker
+	need   int           // participant count
+	parts  []wal.TxnPart // filled by each tap, in tap order
+	marker uint64        // marker-log seq, set by the last tap
+	done   chan struct{} // closed by the last tap
+}
+
+// newPendingTxn allocates the coordination state of one cross-shard
+// durable commit. The random id — not the (shard, seq) pairs — is the
+// transaction's durable identity: sequence numbers are reused after a
+// recovery rollback, the marker log is never rewritten, and a marker
+// from a previous incarnation must never vouch for a later
+// transaction's records (see Recover).
+func newPendingTxn(need int) *pendingTxn {
+	return &pendingTxn{id: rand.Uint64(), need: need, parts: make([]wal.TxnPart, 0, need), done: make(chan struct{})}
+}
+
+// txnFeed is the store-level cross-shard marker stream: a wal.Log of
+// KindTxnMarker records under the sentinel wal.TxnShard, with its own
+// dense sequence. mu also guards the open set of in-flight
+// cross-shard commits.
+type txnFeed struct {
+	mu   sync.Mutex
+	seq  uint64
+	log  *wal.Log
+	open map[*pendingTxn]struct{}
 }
 
 // shardFeed is the per-shard commit stream state: the sequence
@@ -76,7 +122,11 @@ type durState struct {
 	opts    wal.Options // template for per-shard logs
 	m       wal.Metrics
 	results []wal.RecoverResult // per-shard, consumed by log attach
+	xres    wal.RecoverResult   // marker log, consumed by log attach
 	info    RecoverInfo
+
+	// xfeed is the cross-shard commit marker stream (txn/ directory).
+	xfeed txnFeed
 
 	recovered bool
 	attached  bool
@@ -104,6 +154,16 @@ type RecoverInfo struct {
 	Truncations     int    `json:"truncations"`      // shards with a repaired torn tail
 	TruncatedBytes  int64  `json:"truncated_bytes"`
 	MaxSeq          uint64 `json:"max_seq"` // highest recovered commit sequence
+
+	// Cross-shard atomicity: markers recovered from the txn log, and
+	// what the all-or-nothing rule rolled back — incomplete cross-shard
+	// transactions whose marker or sibling records did not survive the
+	// crash, unwound by truncating each participant shard at the
+	// incomplete record.
+	TxnMarkers       int `json:"txn_markers"`
+	TxnRollbacks     int `json:"txn_rollbacks"`      // transactions rolled back
+	TxnRolledRecords int `json:"txn_rolled_records"` // records dropped by rollbacks
+	TxnRolledShards  int `json:"txn_rolled_shards"`  // shards truncated by rollbacks
 }
 
 // storeMetaName guards against reopening a directory with a different
@@ -113,6 +173,11 @@ const storeMetaName = "store.meta"
 
 func (s *Store) shardDir(i int) string {
 	return filepath.Join(s.dur.dir, fmt.Sprintf("shard-%04d", i))
+}
+
+// txnDir is the cross-shard commit marker log's directory.
+func (s *Store) txnDir() string {
+	return filepath.Join(s.dur.dir, "txn")
 }
 
 // checkMeta verifies (or, first time, records) the directory's shard
@@ -142,6 +207,18 @@ func (s *Store) checkMeta() error {
 // tails truncated (see wal.Recover). Open calls it before attaching
 // the logs and the commit taps, so nothing replayed is re-logged;
 // calling it again afterwards just returns the boot-time summary.
+//
+// Cross-shard transactions recover all-or-nothing: a record flagged
+// as a cross-shard participant replays only if the transaction's
+// commit marker survived in the txn log AND every sibling participant
+// record survived on its own shard (or is baked into that shard's
+// snapshot — the checkpoint barrier guarantees a snapshot never bakes
+// an incomplete transaction). An incomplete transaction is unwound by
+// truncating each participant shard at its record; because later
+// records on those shards may depend on the unwound writes, the
+// truncation takes the shard's whole tail from that point, which can
+// render further cross-shard transactions incomplete — the cut
+// therefore iterates to a fixed point before anything replays.
 func (s *Store) Recover() (RecoverInfo, error) {
 	if s.dur == nil {
 		return RecoverInfo{}, ErrNotDurable
@@ -153,15 +230,139 @@ func (s *Store) Recover() (RecoverInfo, error) {
 		return RecoverInfo{}, err
 	}
 	info := RecoverInfo{Shards: len(s.shards)}
-	s.dur.results = make([]wal.RecoverResult, len(s.shards))
-	for i, sh := range s.shards {
+
+	// Phase 1 — scan-and-repair every log, buffering the tails instead
+	// of applying them: the marker log's surviving markers and each
+	// shard's surviving chain past its snapshot. (Tails are bounded by
+	// segment rotation + compaction, so buffering is proportional to
+	// one checkpoint interval, not history.)
+	var markers []wal.Record
+	xres, err := wal.Recover(s.txnDir(), wal.TxnShard, func(rec wal.Record) error {
+		markers = append(markers, rec)
+		return nil
+	}, &s.dur.m)
+	if err != nil {
+		return info, fmt.Errorf("kv: recover txn log: %w", err)
+	}
+	s.dur.xres = xres
+	s.dur.xfeed.seq = xres.LastSeq
+	info.TxnMarkers = len(markers)
+
+	nshards := len(s.shards)
+	s.dur.results = make([]wal.RecoverResult, nshards)
+	bufs := make([][]wal.Record, nshards)
+	for i := range s.shards {
 		res, err := wal.Recover(s.shardDir(i), uint32(i), func(rec wal.Record) error {
-			return applyRecovered(sh, rec)
+			bufs[i] = append(bufs[i], rec)
+			return nil
 		}, &s.dur.m)
 		if err != nil {
 			return info, fmt.Errorf("kv: recover shard %d: %w", i, err)
 		}
 		s.dur.results[i] = res
+	}
+
+	// Phase 2 — the all-or-nothing cut. byTxn maps each surviving
+	// marker's transaction id to its participant vector, and flagged
+	// maps each surviving cross record's (shard, seq) to its id; cut[i]
+	// is the highest seq shard i keeps. A flagged record above the
+	// snapshot with no surviving marker for its id, or whose marker
+	// names a sibling not accounted for under the same id within that
+	// shard's kept horizon, moves the cut below itself; cuts cascade
+	// until stable. Matching by transaction id — never by (shard, seq)
+	// alone — is what makes markers from before an earlier rollback
+	// harmless: the freed sequence numbers are reused by later commits,
+	// and a stale marker must not vouch for them. A participant at or
+	// below a shard's snapshot seq is always satisfied: the checkpoint
+	// barrier ensures snapshots only bake complete transactions.
+	byTxn := make(map[uint64][]wal.TxnPart)
+	for _, mrec := range markers {
+		if !mrec.Cross {
+			continue // a marker without an id can vouch for nothing
+		}
+		for _, op := range mrec.Ops {
+			if op.Kind != wal.KindTxnMarker {
+				continue
+			}
+			parts, derr := wal.DecodeTxnParts(op.Val)
+			if derr != nil {
+				continue // an undecodable marker commits nothing
+			}
+			byTxn[mrec.Txn] = parts
+		}
+	}
+	flagged := make(map[wal.TxnPart]uint64)
+	for i := range s.shards {
+		for _, rec := range bufs[i] {
+			if rec.Cross {
+				flagged[wal.TxnPart{Shard: uint32(i), Seq: rec.Seq}] = rec.Txn
+			}
+		}
+	}
+	cut := make([]uint64, nshards)
+	for i := range cut {
+		cut[i] = s.dur.results[i].LastSeq
+	}
+	satisfied := func(p wal.TxnPart, txn uint64) bool {
+		if int(p.Shard) >= nshards {
+			return false // corrupt marker: the sibling cannot exist
+		}
+		if p.Seq <= s.dur.results[p.Shard].SnapshotSeq {
+			return true
+		}
+		return p.Seq <= cut[p.Shard] && flagged[p] == txn
+	}
+	rolled := make(map[wal.TxnPart]bool) // first record cut per incomplete txn
+	for changed := true; changed; {
+		changed = false
+		for i := range s.shards {
+			for _, rec := range bufs[i] {
+				if !rec.Cross || rec.Seq > cut[i] {
+					continue
+				}
+				parts, ok := byTxn[rec.Txn]
+				complete := ok
+				for _, p := range parts {
+					if !satisfied(p, rec.Txn) {
+						complete = false
+						break
+					}
+				}
+				if !complete {
+					cut[i] = rec.Seq - 1
+					rolled[wal.TxnPart{Shard: uint32(i), Seq: rec.Seq}] = true
+					changed = true
+					break // later records on this shard are gone too
+				}
+			}
+		}
+	}
+	info.TxnRollbacks = len(rolled)
+
+	// Phase 3 — replay. Untouched shards apply their buffered snapshot
+	// chunks + tail directly; cut shards re-run recovery with the cut
+	// as a hard ceiling, which also repairs the files on disk so the
+	// rolled-back records never resurface on the next boot.
+	for i, sh := range s.shards {
+		res := s.dur.results[i]
+		if cut[i] < res.LastSeq {
+			info.TxnRolledShards++
+			info.TxnRolledRecords += int(res.LastSeq - cut[i])
+			res, err = wal.RecoverLimited(s.shardDir(i), uint32(i), cut[i], func(rec wal.Record) error {
+				return applyRecovered(sh, rec)
+			}, &s.dur.m)
+			if err != nil {
+				return info, fmt.Errorf("kv: recover shard %d (cross-shard rollback to seq %d): %w", i, cut[i], err)
+			}
+			s.dur.results[i] = res
+		} else {
+			for _, rec := range bufs[i] {
+				if err := applyRecovered(sh, rec); err != nil {
+					return info, fmt.Errorf("kv: recover shard %d: %w", i, err)
+				}
+			}
+		}
+		bufs[i] = nil
 		sh.feed.seq = res.LastSeq
 		info.Records += res.Records
 		info.SnapshotRecords += res.SnapshotRecords
@@ -218,8 +419,17 @@ func (sh *shard) replayEntry(key string, counter bool) *entry {
 }
 
 // attachLogs opens every shard's log (continuing each repaired tail)
-// and installs the commit taps. Open-time only.
+// plus the cross-shard marker log, and installs the commit taps.
+// Open-time only.
 func (s *Store) attachLogs() error {
+	xo := s.dur.opts
+	xo.Metrics = &s.dur.m
+	xlog, err := wal.OpenLog(s.txnDir(), wal.TxnShard, s.dur.xres, xo)
+	if err != nil {
+		return err
+	}
+	s.dur.xfeed.log = xlog
+	s.dur.xfeed.open = make(map[*pendingTxn]struct{})
 	for i, sh := range s.shards {
 		i := i
 		o := s.dur.opts
@@ -230,6 +440,7 @@ func (s *Store) attachLogs() error {
 			for _, prev := range s.shards[:i] {
 				prev.feed.log.Close()
 			}
+			xlog.Close()
 			return err
 		}
 		sh.feed.log = log
@@ -245,6 +456,15 @@ func (s *Store) attachLogs() error {
 // transaction's serialization point with commit locks held: it only
 // assigns the sequence, buffers the record (Log.Append does no I/O)
 // and fans out to subscribers — the disk never gates a commit.
+//
+// A cross-shard commit's taps additionally thread its pendingTxn: the
+// record is flagged, the participant (shard, seq) recorded, and the
+// last participant's tap appends the commit marker. Registration in
+// the marker feed's open set happens inside the shard feed lock, so
+// a checkpoint's marker transaction on any participant shard strictly
+// orders with it (the checkpoint barrier's correctness hinges on
+// that: any cross-shard commit sequenced below a snapshot is either
+// fully queued or in the open set when the barrier looks).
 func (s *Store) installTaps() {
 	for _, sh := range s.shards {
 		sh := sh
@@ -254,11 +474,19 @@ func (s *Store) installTaps() {
 			f.mu.Lock()
 			f.seq++
 			p.seq = f.seq
+			var flags uint8
+			var txnID uint64
+			if p.txn != nil {
+				flags, txnID = wal.FlagCross, p.txn.id
+			}
 			if f.log != nil {
 				// Errors are sticky inside the Log and surface on
 				// WaitDurable/Sync; the commit itself must not fail here —
 				// it is already past its serialization point.
-				_ = f.log.Append(p.seq, p.ops)
+				_ = f.log.AppendFlags(p.seq, flags, txnID, p.ops)
+			}
+			if p.txn != nil {
+				s.xtap(p.txn, uint32(sh.index), p.seq)
 			}
 			if subs := s.subs.Load(); subs != nil && len(p.ops) > 0 {
 				notifySubscribers(s, *subs, sh.index, p)
@@ -267,6 +495,31 @@ func (s *Store) installTaps() {
 		})
 	}
 	s.tapOn.Store(true)
+}
+
+// xtap records one participant of a cross-shard commit and, on the
+// last participant, appends the commit marker. Runs under the
+// participant shard's feed lock; takes the marker feed lock inside it
+// (that order — shard feed, then marker feed — holds everywhere).
+func (s *Store) xtap(t *pendingTxn, shard uint32, seq uint64) {
+	x := &s.dur.xfeed
+	x.mu.Lock()
+	if len(t.parts) == 0 {
+		x.open[t] = struct{}{}
+	}
+	t.parts = append(t.parts, wal.TxnPart{Shard: shard, Seq: seq})
+	if len(t.parts) == t.need {
+		x.seq++
+		t.marker = x.seq
+		if x.log != nil {
+			// The marker is itself cross-flagged, carrying the same
+			// transaction id its participants do.
+			_ = x.log.AppendFlags(t.marker, wal.FlagCross, t.id, []wal.Op{{Kind: wal.KindTxnMarker, Val: wal.AppendTxnParts(nil, t.parts)}})
+		}
+		delete(x.open, t)
+		close(t.done)
+	}
+	x.mu.Unlock()
 }
 
 // tapWrites reports whether transaction bodies should record their
@@ -285,6 +538,17 @@ func (s *Store) waitDurable(sh *shard, p *pendingOps) error {
 		return nil
 	}
 	return sh.feed.log.WaitDurable(p.seq)
+}
+
+// waitTxnDurable blocks until a cross-shard commit's marker is
+// fsynced, at the Fsync level. The caller has already waited for the
+// participant records; marker + participants durable together is what
+// makes the acknowledgment an atomic cross-shard guarantee.
+func (s *Store) waitTxnDurable(t *pendingTxn) error {
+	if t == nil || t.marker == 0 || !s.fsyncLevel() {
+		return nil
+	}
+	return s.dur.xfeed.log.WaitDurable(t.marker)
 }
 
 // Checkpoint snapshots every shard and compacts its log. Each shard's
@@ -360,6 +624,18 @@ func (s *Store) checkpointShard(i int) error {
 	if err != nil {
 		return fmt.Errorf("kv: checkpoint shard %d: %w", i, err)
 	}
+	// Cross-shard barrier: recovery trusts that a snapshot never bakes
+	// an incomplete cross-shard transaction, so before this snapshot
+	// installs, every cross-shard commit sequenced below it must be
+	// fully queued on every participant shard AND durable there. Any
+	// such commit either finished its taps before our marker
+	// transaction's tap (fully queued) or is in the open set right
+	// after it (the tap registers under the shard feed lock) — wait
+	// those out, then fsync every log so all their records, and the
+	// markers proving them complete, are on disk before the snapshot.
+	if err := s.crossShardBarrier(); err != nil {
+		return fmt.Errorf("kv: checkpoint shard %d: %w", i, err)
+	}
 	if err := sh.feed.log.Sync(); err != nil {
 		return fmt.Errorf("kv: checkpoint shard %d: %w", i, err)
 	}
@@ -371,6 +647,39 @@ func (s *Store) checkpointShard(i int) error {
 	// new one; prune segments both still cover.
 	if err := wal.Compact(s.shardDir(i), 2); err != nil {
 		return fmt.Errorf("kv: compact shard %d: %w", i, err)
+	}
+	return nil
+}
+
+// crossShardBarrier waits out every in-flight cross-shard commit and
+// then fsyncs every shard log plus the marker log. A store that never
+// committed cross-shard skips it entirely (the common path: one fsync
+// per checkpoint, not one per shard). The marker log is never
+// compacted — markers are ~30 bytes per cross-shard commit and stale
+// ones (naming rolled-back or snapshot-covered records) are inert at
+// recovery, so correctness never depends on pruning them.
+func (s *Store) crossShardBarrier() error {
+	x := &s.dur.xfeed
+	x.mu.Lock()
+	if x.seq == 0 && len(x.open) == 0 {
+		x.mu.Unlock()
+		return nil
+	}
+	waits := make([]chan struct{}, 0, len(x.open))
+	for t := range x.open {
+		waits = append(waits, t.done)
+	}
+	x.mu.Unlock()
+	for _, ch := range waits {
+		<-ch
+	}
+	for j, other := range s.shards {
+		if err := other.feed.log.Sync(); err != nil {
+			return fmt.Errorf("cross-shard barrier: sync shard %d: %w", j, err)
+		}
+	}
+	if err := x.log.Sync(); err != nil {
+		return fmt.Errorf("cross-shard barrier: sync txn log: %w", err)
 	}
 	return nil
 }
@@ -400,6 +709,11 @@ func (s *Store) Close() error {
 			first = err
 		}
 	}
+	if s.dur.xfeed.log != nil {
+		if err := s.dur.xfeed.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	return first
 }
 
@@ -419,6 +733,7 @@ type WALStats struct {
 	TruncatedBytes    uint64       `json:"truncated_bytes"`
 	Checkpoints       uint64       `json:"checkpoints"`
 	CheckpointFails   uint64       `json:"checkpoint_fails"`
+	TxnMarkers        uint64       `json:"txn_markers"` // cross-shard commit markers logged (ever)
 	AppendNs          obs.Snapshot `json:"append_ns"`
 	FsyncNs           obs.Snapshot `json:"fsync_ns"`
 	Subscribers       int          `json:"subscribers"`
@@ -442,6 +757,9 @@ func (s *Store) WALStats() WALStats {
 	st.Appends, st.Batches, st.Fsyncs, st.Bytes = m.Appends, m.Batches, m.Fsyncs, m.Bytes
 	st.Rotations, st.Truncations, st.TruncatedBytes = m.Rotations, m.Truncations, m.TruncatedBytes
 	st.Checkpoints, st.CheckpointFails = s.dur.ckpts.Load(), s.dur.ckptFails.Load()
+	s.dur.xfeed.mu.Lock()
+	st.TxnMarkers = s.dur.xfeed.seq
+	s.dur.xfeed.mu.Unlock()
 	st.AppendNs, st.FsyncNs = m.AppendNs, m.FsyncNs
 	st.Recover = s.dur.info
 	for _, sh := range s.shards {

@@ -1009,6 +1009,31 @@ func (t *Txn) Add(key string, delta int64) int64 {
 	return nv
 }
 
+// CounterSet sets a counter key to an absolute value inside the
+// transaction, creating it if absent. It is the write the replication
+// apply path uses to replay KindCounterSet records (counters are
+// logged absolute so replay is idempotent), and is useful anywhere an
+// absolute counter write is wanted transactionally.
+func (t *Txn) CounterSet(key string, n int64) {
+	i, j, tx, ok := t.resolve(key)
+	if !ok {
+		return
+	}
+	e, err := t.s.shards[i].ensure(key, true)
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	if _, mine := t.deleted[key]; mine {
+		tx.Write(e.dead, 0) // resurrect our own tombstone
+		delete(t.deleted, key)
+	} else if tx.Read(e.dead) != 0 {
+		tx.Retry() // concurrent Delete's sweep in flight; see Store.Set
+	}
+	tx.Write(e.c, n)
+	t.emit(j, tx, wal.Op{Kind: wal.KindCounterSet, Key: key, N: n})
+}
+
 // Delete tombstones a key of either kind inside the transaction,
 // reporting whether it existed. The committed removal from the key table
 // happens after the transaction commits (see Store.Delete); within the
@@ -1108,7 +1133,38 @@ func (op *multiOp) update(txs []*stm.Tx) error {
 	if err := op.updateFn(t); err != nil {
 		return err
 	}
+	if t.err == nil {
+		t.linkCross()
+	}
 	return t.err
+}
+
+// linkCross links this attempt's effect lists into one pendingTxn when
+// the attempt wrote through more than one shard on a durable store:
+// the commit taps then flag each shard's record as a cross-shard
+// participant and the last tap appends the commit marker (durable.go).
+// Runs at body end, before the two-phase commit; a retried attempt
+// simply links a fresh pendingTxn (reset clears the old link, and taps
+// only ever fire for the committing attempt).
+func (t *Txn) linkCross() {
+	if !t.tap || t.s.dur == nil || !t.s.dur.attached {
+		return
+	}
+	n := 0
+	for j := range t.pends {
+		if len(t.pends[j].ops) > 0 {
+			n++
+		}
+	}
+	if n < 2 {
+		return
+	}
+	pt := newPendingTxn(n)
+	for j := range t.pends {
+		if len(t.pends[j].ops) > 0 {
+			t.pends[j].txn = pt
+		}
+	}
 }
 
 func (op *multiOp) viewBody(rtxs []*stm.ReadTx) error {
@@ -1167,12 +1223,23 @@ func (s *Store) UpdateCtx(ctx context.Context, keys []string, fn func(*Txn) erro
 	committed := err == nil
 	deleted := op.txn.deleted
 	if committed && op.txn.tap && s.fsyncLevel() {
+		var xt *pendingTxn
 		for j, i := range op.idxs {
 			if p := &op.pends[j]; p.seq != 0 {
+				if p.txn != nil {
+					xt = p.txn
+				}
 				if werr := s.shards[i].feed.log.WaitDurable(p.seq); werr != nil {
 					err = werr
 					break
 				}
+			}
+		}
+		// A cross-shard commit is acknowledged only once its marker is
+		// durable too: records without the marker roll back on recovery.
+		if err == nil {
+			if werr := s.waitTxnDurable(xt); werr != nil {
+				err = werr
 			}
 		}
 	}
@@ -1361,11 +1428,20 @@ func (s *Store) Publish(vals map[string][]byte) error {
 			p.ops = append(p.ops, wal.Op{Kind: wal.KindSet, Key: k, Val: copies[j]})
 		}
 	}
+	durable := s.dur != nil && s.dur.attached
 	err := stm.AtomicallyMulti(s.appendSTMs(nil, idxs), func(txs []*stm.Tx) error {
+		// A multi-shard publication links its sentinels into one
+		// cross-shard commit, fresh per attempt, so the logged records
+		// recover all-or-nothing like any other cross-shard write.
+		var pt *pendingTxn
+		if pends != nil && durable && len(idxs) > 1 {
+			pt = newPendingTxn(len(idxs))
+		}
 		for j, i := range idxs {
 			txs[j].Write(s.shards[i].pub, txs[j].Read(s.shards[i].pub)+1)
 			if pends != nil {
 				pends[j].seq = 0 // ops are attempt-invariant; only the stamp resets
+				pends[j].txn = pt
 				txs[j].SetTapData(&pends[j])
 			}
 		}
@@ -1381,7 +1457,7 @@ func (s *Store) Publish(vals map[string][]byte) error {
 			}
 		}
 	}
-	return nil
+	return s.waitTxnDurable(pends[0].txn)
 }
 
 // Stats is an aggregate snapshot across shards. The JSON field names are

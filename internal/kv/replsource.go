@@ -1,0 +1,70 @@
+package kv
+
+import (
+	"errors"
+
+	"modtx/internal/wal"
+)
+
+// Replication source: the primary side's handles, consumed by the
+// cluster streamer. A replica's stream per shard is exactly the
+// shard's WAL — catch-up reads the segment files (wal.ScanSegments on
+// ReplDir), the live tail attaches a wal.Follower to the shard's log
+// (ReplFollow) — plus the cross-shard marker log, addressed as the
+// pseudo-shard wal.TxnShard throughout.
+
+// ReplPositions returns each shard's newest committed WAL sequence and
+// the marker log's: the handshake-time positions a replica must reach
+// before it reports Ready.
+func (s *Store) ReplPositions() (shards []uint64, marker uint64, err error) {
+	if s.dur == nil || !s.dur.attached {
+		return nil, 0, ErrNotDurable
+	}
+	shards = make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		sh.feed.mu.Lock()
+		shards[i] = sh.feed.seq
+		sh.feed.mu.Unlock()
+	}
+	x := &s.dur.xfeed
+	x.mu.Lock()
+	marker = x.seq
+	x.mu.Unlock()
+	return shards, marker, nil
+}
+
+// ReplDir returns the directory holding shard's segment files (the
+// marker log's for wal.TxnShard), for wal.ScanSegments /
+// wal.LatestSnapshot catch-up reads.
+func (s *Store) ReplDir(shard uint32) (string, error) {
+	if s.dur == nil {
+		return "", ErrNotDurable
+	}
+	if shard == wal.TxnShard {
+		return s.txnDir(), nil
+	}
+	if int(shard) >= len(s.shards) {
+		return "", errors.New("kv: no such shard")
+	}
+	return s.shardDir(int(shard)), nil
+}
+
+// ReplFollow attaches a live-tail follower to shard's log (the marker
+// log for wal.TxnShard). See wal.Log.Follow for the low-water/overflow
+// contract; the caller must Close the follower.
+func (s *Store) ReplFollow(shard uint32, limitBytes int) (*wal.Follower, uint64, error) {
+	if s.dur == nil || !s.dur.attached {
+		return nil, 0, ErrNotDurable
+	}
+	var l *wal.Log
+	if shard == wal.TxnShard {
+		l = s.dur.xfeed.log
+	} else {
+		if int(shard) >= len(s.shards) {
+			return nil, 0, errors.New("kv: no such shard")
+		}
+		l = s.shards[shard].feed.log
+	}
+	f, low := l.Follow(limitBytes)
+	return f, low, nil
+}

@@ -1,0 +1,198 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"modtx/internal/stm"
+	"modtx/internal/wal"
+)
+
+// The cross-shard crash-recovery torture test: every transaction moves
+// an amount between counters on two distinct shards, so the sum over
+// all counters is zero in every committed state. A crash is simulated
+// by abandoning the store (no Close) and then damaging WAL tails — the
+// participant shards', the commit marker log's, or both, covering the
+// kill points on either side of the marker append. Recovery must be
+// all-or-nothing per transaction: a surviving state where one leg of a
+// transfer applied without the other shows up as a nonzero sum.
+//
+// Runs the full grid: every engine × every durability level. (At
+// wal.None nothing is promised across a crash, but whatever does
+// survive must still be a consistent cut — the atomicity rule is about
+// which prefix recovery chooses, not about fsync.)
+//
+// The stores run at the default segment size so no rotation-triggered
+// checkpoint writes snapshots: every record stays in the chain, where
+// the all-or-nothing cut can physically unwind it. That matches the
+// guarantee — state baked into a snapshot is only atomic against
+// crashes (the checkpoint barrier fsyncs every participant first),
+// not against arbitrary damage to other shards' already-synced logs,
+// which this test's bit flips would otherwise inflict.
+
+// xtortureCtrs finds one counter key per shard, so transfers between
+// two of them are genuinely cross-shard transactions.
+func xtortureCtrs(s *Store) []string {
+	ctr := make([]string, s.NumShards())
+	missing := s.NumShards()
+	for i := 0; missing > 0; i++ {
+		k := fmt.Sprintf("xctr-%d", i)
+		if sh := s.ShardOf(k); ctr[sh] == "" {
+			ctr[sh], missing = k, missing-1
+		}
+	}
+	return ctr
+}
+
+// xtortureMangle damages a round-dependent set of WAL directories:
+// marker log only (participant records survive their marker's loss),
+// one participant shard only (the marker survives a participant's
+// loss), or a random subset of everything. Returns a description.
+func xtortureMangle(t *testing.T, dir string, s *Store, round int, rng *rand.Rand) string {
+	t.Helper()
+	shardSub := func(sh int) string { return filepath.Join(dir, fmt.Sprintf("shard-%04d", sh)) }
+	switch round % 3 {
+	case 0:
+		return "txn: " + mangleTail(t, filepath.Join(dir, "txn"), rng)
+	case 1:
+		sh := rng.Intn(s.NumShards())
+		return fmt.Sprintf("shard %d: %s", sh, mangleTail(t, shardSub(sh), rng))
+	default:
+		desc := ""
+		hit := false
+		for sh := 0; sh < s.NumShards(); sh++ {
+			if rng.Intn(2) == 0 {
+				desc += fmt.Sprintf("shard %d: %s; ", sh, mangleTail(t, shardSub(sh), rng))
+				hit = true
+			}
+		}
+		if rng.Intn(2) == 0 || !hit {
+			desc += "txn: " + mangleTail(t, filepath.Join(dir, "txn"), rng)
+		}
+		return desc
+	}
+}
+
+func TestCrossShardCrashRecoveryTorture(t *testing.T) {
+	for _, eng := range stm.Engines() {
+		for _, level := range []wal.Level{wal.None, wal.Batch, wal.Fsync} {
+			t.Run(eng.String()+"/"+level.String(), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(0x8A2C + int64(eng)*7 + int64(level)))
+				dir := t.TempDir()
+				const rounds = 3
+				var prevSum int64 // always 0; kept for the failure message
+				for round := 0; round < rounds; round++ {
+					s, err := Open(
+						WithShards(4),
+						WithEngine(eng),
+						WithMetrics(false),
+						WithDurability(dir, level),
+					)
+					if err != nil {
+						t.Fatalf("round %d: Open: %v", round, err)
+					}
+					ctr := xtortureCtrs(s)
+
+					// The recovered cut must be transaction-atomic: the sum
+					// over all counters is zero in every committed state, so
+					// any partially surfaced transfer shows here.
+					var sum int64
+					for _, k := range ctr {
+						v, _, _ := s.CounterGet(k)
+						sum += v
+					}
+					if sum != prevSum {
+						info := s.WALStats().Recover
+						t.Fatalf("round %d: recovered counter sum %d, want %d — a cross-shard transfer was torn apart (recover: %+v)",
+							round, sum, prevSum, info)
+					}
+					if info := s.WALStats().Recover; info.TxnRollbacks > 0 {
+						t.Logf("round %d: rolled back %d incomplete cross-shard txns (%d records across %d shards)",
+							round, info.TxnRollbacks, info.TxnRolledRecords, info.TxnRolledShards)
+					}
+
+					// Transfer concurrently between random distinct shards,
+					// with single-shard churn mixed in so the logs hold both
+					// plain and cross-flagged records.
+					const writers, each = 4, 15
+					var wg sync.WaitGroup
+					for w := 0; w < writers; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							r := rand.New(rand.NewSource(int64(round*writers + w)))
+							for i := 0; i < each; i++ {
+								a := r.Intn(len(ctr))
+								b := (a + 1 + r.Intn(len(ctr)-1)) % len(ctr)
+								d := int64(1 + r.Intn(9))
+								keys := []string{ctr[a], ctr[b]}
+								if err := s.Update(keys, func(tx *Txn) error {
+									tx.Add(keys[0], -d)
+									tx.Add(keys[1], d)
+									return nil
+								}); err != nil {
+									t.Error(err)
+									return
+								}
+								if i%3 == 0 {
+									_ = s.Set(fmt.Sprintf("churn-%d-%d", w, i%4), []byte("x"))
+								}
+							}
+						}(w)
+					}
+					wg.Wait()
+
+					// Crash: no Close — abandon the logs mid-flight, then
+					// damage this round's target directories.
+					t.Logf("round %d: %s", round, xtortureMangle(t, dir, s, round, rng))
+					_ = s.Close() // release the batchers so TempDir can clean up
+				}
+
+				// A final clean generation: the last recovery must leave
+				// logs that extend and survive a clean close intact.
+				s, err := Open(WithShards(4), WithEngine(eng), WithMetrics(false), WithDurability(dir, level))
+				if err != nil {
+					t.Fatalf("final open: %v", err)
+				}
+				ctr := xtortureCtrs(s)
+				{
+					var sum int64
+					for _, k := range ctr {
+						v, _, _ := s.CounterGet(k)
+						sum += v
+					}
+					if sum != 0 {
+						t.Fatalf("final open: recovered counter sum %d, want 0 (recover: %+v)", sum, s.WALStats().Recover)
+					}
+				}
+				if err := s.Update([]string{ctr[0], ctr[1]}, func(tx *Txn) error {
+					tx.Add(ctr[0], -5)
+					tx.Add(ctr[1], 5)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+				f, err := Open(WithShards(4), WithEngine(eng), WithMetrics(false), WithDurability(dir, level))
+				if err != nil {
+					t.Fatalf("reopen after clean close: %v", err)
+				}
+				defer f.Close()
+				var sum int64
+				for _, k := range ctr {
+					v, _, _ := f.CounterGet(k)
+					sum += v
+				}
+				if sum != 0 {
+					t.Fatalf("after clean close, counter sum %d, want 0", sum)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Segment-cursor reads: the replication catch-up path. A streamer
+// serving a follower from sequence N reads records N.. straight from
+// the segment files — read-only, concurrent with the live appender —
+// and stops cleanly at the first defect, which on a healthy log is
+// simply the not-yet-written tail (the live boundary where the
+// Follower takes over). Unlike Recover, a scan never repairs: the
+// appender owns the files.
+
+// ErrCompacted reports that the requested sequence predates the
+// oldest on-disk record: compaction pruned it. The caller must fall
+// back to a snapshot (LatestSnapshot) and resume from its sequence.
+var ErrCompacted = errors.New("wal: requested records compacted away")
+
+// ScanSegments streams every decodable record with seq >= fromSeq
+// from shard's segment files in dir, in sequence order, stopping at
+// the first defect (torn tail, gap, or checksum failure — on a live
+// log, the write frontier). fn receives the decoded record and its
+// raw encoded bytes (valid only during the call). It returns next,
+// the first sequence NOT streamed: fn was called for exactly
+// [fromSeq, next). next == fromSeq means nothing was available yet.
+//
+// Scanning is read-only and safe concurrently with the appender; a
+// partially visible in-flight write decodes as a short record and
+// ends the scan at that boundary.
+func ScanSegments(dir string, shard uint32, fromSeq uint64, fn func(rec Record, raw []byte) error) (next uint64, err error) {
+	if fromSeq == 0 {
+		fromSeq = 1
+	}
+	next = fromSeq
+	snaps, segs, err := listDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return next, nil // nothing logged yet
+		}
+		return next, err
+	}
+	if len(segs) == 0 {
+		for _, sn := range snaps {
+			if sn.seq >= fromSeq {
+				return next, ErrCompacted
+			}
+		}
+		return next, nil
+	}
+	// Start at the newest segment whose first sequence is <= fromSeq.
+	start := 0
+	for i, sg := range segs {
+		if sg.seq <= fromSeq {
+			start = i
+		}
+	}
+	if segs[start].seq > fromSeq {
+		return next, ErrCompacted
+	}
+	expected := segs[start].seq
+	for i := start; i < len(segs); i++ {
+		sg := segs[i]
+		b, rerr := os.ReadFile(sg.path)
+		if rerr != nil {
+			return next, rerr
+		}
+		headerOK := len(b) >= fileHeaderLen &&
+			string(b[:8]) == segMagic &&
+			binary.LittleEndian.Uint32(b[8:12]) == shard &&
+			binary.LittleEndian.Uint64(b[12:20]) == sg.seq
+		if !headerOK || sg.seq != expected {
+			return next, nil // defect boundary: stop cleanly
+		}
+		off := fileHeaderLen
+		for off < len(b) {
+			rec, n, derr := DecodeRecord(b[off:])
+			if derr != nil || rec.Shard != shard || rec.Seq != expected {
+				return next, nil
+			}
+			if rec.Seq >= fromSeq {
+				if err := fn(rec, b[off:off+n]); err != nil {
+					return next, err
+				}
+				next = rec.Seq + 1
+			}
+			expected++
+			off += n
+		}
+	}
+	return next, nil
+}
+
+// LatestSnapshot loads the newest loadable snapshot of shard in dir,
+// returning its sequence and records. seq == 0 means no snapshot
+// exists (an empty store prefix — not an error).
+func LatestSnapshot(dir string, shard uint32) (seq uint64, recs []Record, err error) {
+	snaps, _, err := listDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, nil
+		}
+		return 0, nil, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		s, r, lerr := loadSnapshot(snaps[i].path, shard)
+		if lerr != nil {
+			continue
+		}
+		return s, r, nil
+	}
+	if len(snaps) > 0 {
+		return 0, nil, fmt.Errorf("wal: shard %d: no snapshot is loadable", shard)
+	}
+	return 0, nil, nil
+}

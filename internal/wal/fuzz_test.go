@@ -3,13 +3,15 @@ package wal
 import (
 	"bytes"
 	"encoding/binary"
+	"hash/crc32"
 	"testing"
 )
 
 // FuzzWALRecord drives the decoder with arbitrary bytes — it must
-// never panic, never over-consume, and on success re-encode to the
-// exact input (the codec has one canonical form, so decode∘encode is
-// the identity on valid records).
+// never panic, never over-consume, and on success the record must
+// survive a re-encode/decode round trip. For canonical (current-
+// version) inputs the re-encode is byte-identical; a version-1 input
+// re-encodes as version 2 with the same meaning.
 func FuzzWALRecord(f *testing.F) {
 	// A valid record, for the round-trip arm of the property.
 	valid, err := AppendRecord(nil, 2, 77, []Op{
@@ -34,6 +36,27 @@ func FuzzWALRecord(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(marker)
+	// A cross-shard participant and a commit marker (v2 features).
+	cross, err := AppendRecordFlags(nil, 3, 9, FlagCross, 0xDEADBEEFCAFE,
+		[]Op{{Kind: KindCounterSet, Key: "acct", N: 7}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cross)
+	txm, err := AppendRecordFlags(nil, TxnShard, 4, FlagCross, 0xDEADBEEFCAFE, []Op{{
+		Kind: KindTxnMarker,
+		Val:  AppendTxnParts(nil, []TxnPart{{Shard: 0, Seq: 12}, {Shard: 3, Seq: 9}}),
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(txm)
+	// The same record downgraded to version 1 (the PR 7 format: same
+	// layout, reserved-zero flags byte), re-checksummed.
+	v1 := append([]byte(nil), valid...)
+	v1[recordHeaderSize] = 1
+	binary.LittleEndian.PutUint32(v1[4:8], crc32.Checksum(v1[recordHeaderSize:], crcTable))
+	f.Add(v1)
 	// A hostile length prefix.
 	huge := make([]byte, 12)
 	binary.LittleEndian.PutUint32(huge, 1<<30)
@@ -47,12 +70,29 @@ func FuzzWALRecord(f *testing.F) {
 		if n <= 0 || n > len(data) {
 			t.Fatalf("consumed %d of %d bytes", n, len(data))
 		}
-		re, rerr := AppendRecord(nil, rec.Shard, rec.Seq, rec.Ops)
+		var flags uint8
+		if rec.Cross {
+			flags = FlagCross
+		}
+		re, rerr := AppendRecordFlags(nil, rec.Shard, rec.Seq, flags, rec.Txn, rec.Ops)
 		if rerr != nil {
 			t.Fatalf("re-encode of a decoded record failed: %v", rerr)
 		}
-		if !bytes.Equal(re, data[:n]) {
-			t.Fatalf("decode∘encode not identity:\n in  %x\n out %x", data[:n], re)
+		if data[recordHeaderSize] == recordVersion {
+			// Canonical inputs have one form: decode∘encode is identity.
+			if !bytes.Equal(re, data[:n]) {
+				t.Fatalf("decode∘encode not identity:\n in  %x\n out %x", data[:n], re)
+			}
+			return
+		}
+		// A v1 input upgrades on re-encode; meaning must be preserved.
+		rec2, n2, err2 := DecodeRecord(re)
+		if err2 != nil || n2 != len(re) {
+			t.Fatalf("re-decode failed: %v (consumed %d of %d)", err2, n2, len(re))
+		}
+		if rec2.Shard != rec.Shard || rec2.Seq != rec.Seq || rec2.Cross != rec.Cross ||
+			rec2.Txn != rec.Txn || len(rec2.Ops) != len(rec.Ops) {
+			t.Fatalf("v1 upgrade changed the record: %+v vs %+v", rec, rec2)
 		}
 	})
 }

@@ -89,6 +89,12 @@ type Log struct {
 	written uint64 // last seq handed to write(2)
 	synced  uint64 // last seq covered by an fsync
 	err     error  // sticky I/O failure
+
+	// followers receive a copy of every appended record's encoded
+	// bytes — the replication live tail. Guarded by mu; empty on
+	// every store that isn't replicating, so Append pays one nil
+	// check.
+	followers []*Follower
 }
 
 // OpenLog opens shard's log in dir for appending, continuing from the
@@ -181,12 +187,18 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// Append encodes ops as record seq and queues it for the batcher.
-// Calls must arrive in commit order with dense sequence numbers (the
-// caller holds its own sequencing lock around Append); the record is
-// on its way to disk when Append returns, durable once WaitDurable(seq)
-// returns at the Fsync level. Append itself never does I/O.
-func (l *Log) Append(seq uint64, ops []Op) error {
+// Append encodes ops as record seq (zero flags) and queues it for the
+// batcher. See AppendFlags.
+func (l *Log) Append(seq uint64, ops []Op) error { return l.AppendFlags(seq, 0, 0, ops) }
+
+// AppendFlags encodes ops as record seq with the given v2 flags byte
+// (and, for FlagCross, the cross-shard transaction id) and queues it
+// for the batcher. Calls must arrive in commit order
+// with dense sequence numbers (the caller holds its own sequencing
+// lock around Append); the record is on its way to disk when Append
+// returns, durable once WaitDurable(seq) returns at the Fsync level.
+// Append itself never does I/O.
+func (l *Log) AppendFlags(seq uint64, flags uint8, txn uint64, ops []Op) error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -201,8 +213,9 @@ func (l *Log) Append(seq uint64, ops []Op) error {
 		l.fail(err)
 		return err
 	}
+	start := len(l.pending)
 	var err error
-	l.pending, err = AppendRecord(l.pending, l.shard, seq, ops)
+	l.pending, err = AppendRecordFlags(l.pending, l.shard, seq, flags, txn, ops)
 	if err != nil {
 		l.mu.Unlock()
 		l.fail(err) // same reasoning: a missing record is a broken chain
@@ -210,6 +223,9 @@ func (l *Log) Append(seq uint64, ops []Op) error {
 	}
 	l.lastQueued = seq
 	l.npending++
+	if len(l.followers) > 0 {
+		l.pushFollowersLocked(seq, l.pending[start:])
+	}
 	l.mu.Unlock()
 	l.kickBatcher()
 	return nil
@@ -290,6 +306,7 @@ func (l *Log) Close() error {
 		l.syncReq = true
 	}
 	l.mu.Unlock()
+	l.dropFollowers()
 	l.kickBatcher()
 	<-l.done
 	if err := l.f.Close(); err != nil {
@@ -443,6 +460,7 @@ func (l *Log) rotate(end uint64) {
 }
 
 // fail records the first I/O error and releases every waiter with it.
+// Followers are killed too: a broken chain must not keep shipping.
 func (l *Log) fail(err error) {
 	l.durMu.Lock()
 	if l.err == nil {
@@ -450,4 +468,5 @@ func (l *Log) fail(err error) {
 	}
 	l.durMu.Unlock()
 	l.durCond.Broadcast()
+	l.dropFollowers()
 }

@@ -109,6 +109,17 @@ func listDir(dir string) (snaps, segs []fileInfo, err error) {
 // were compacted away — state that no longer exists on disk). Torn and
 // corrupt tails are repaired, not errors.
 func Recover(dir string, shard uint32, apply func(Record) error, m *Metrics) (RecoverResult, error) {
+	return RecoverLimited(dir, shard, ^uint64(0), apply, m)
+}
+
+// RecoverLimited is Recover with a sequence ceiling: any record with
+// seq > limit is treated exactly like a torn tail — the chain is
+// physically truncated there and everything beyond dropped. The store
+// uses this to roll back cross-shard transactions whose commit marker
+// or sibling records did not survive; the caller must pick a limit no
+// lower than the newest usable snapshot's seq, since state baked into
+// a snapshot cannot be unwound.
+func RecoverLimited(dir string, shard uint32, limit uint64, apply func(Record) error, m *Metrics) (RecoverResult, error) {
 	var res RecoverResult
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return res, fmt.Errorf("wal: create dir: %w", err)
@@ -151,7 +162,7 @@ scan:
 		off := int64(fileHeaderLen)
 		for int(off) < len(b) {
 			rec, n, derr := DecodeRecord(b[off:])
-			if derr != nil || rec.Shard != shard || rec.Seq != expected {
+			if derr != nil || rec.Shard != shard || rec.Seq != expected || rec.Seq > limit {
 				truncAt, truncOff = i, off
 				bodies = append(bodies, b[fileHeaderLen:off])
 				break scan
@@ -214,19 +225,55 @@ scan:
 
 	// Pass 2 — choose a snapshot the chain can extend: newest loadable
 	// one with chainStart-1 <= seq <= lastValid (with no chain at all,
-	// any loadable snapshot stands alone).
+	// any loadable snapshot stands alone). A chain-anchoring snapshot is
+	// preferred over a newer standalone one even though the newer one
+	// holds more committed state: records kept in the chain remain
+	// unwindable (RecoverLimited — the cross-shard all-or-nothing cut
+	// depends on that), while state baked into a snapshot is not.
 	var snapRecs []Record
 	for i := len(snaps) - 1; i >= 0; i-- {
 		seq, recs, lerr := loadSnapshot(snaps[i].path, shard)
 		if lerr != nil {
 			continue // corrupt or unreadable: fall back to an older one
 		}
-		if chainStart != 0 && (seq+1 < chainStart || seq > lastValid) {
-			continue
+		if seq > limit {
+			continue // beyond the ceiling: cannot be unwound, so skip it
+		}
+		if chainStart != 0 && (seq > lastValid || seq+1 < chainStart) {
+			continue // outside the chain's window
 		}
 		res.SnapshotSeq = seq
 		snapRecs = recs
 		break
+	}
+	if snapRecs == nil && chainStart > 1 {
+		// Last resort before declaring the state unrecoverable: a
+		// loadable snapshot NEWER than the entire surviving chain is
+		// itself a complete commit prefix (every surviving record is
+		// already baked into it), so it supersedes the chain. Mid-log
+		// damage plus compaction produces this — the chain truncates
+		// below the oldest retained snapshot — and insisting on a
+		// chain-anchoring snapshot would turn recoverable state into an
+		// error.
+		for i := len(snaps) - 1; i >= 0; i-- {
+			seq, recs, lerr := loadSnapshot(snaps[i].path, shard)
+			if lerr != nil || seq > limit || seq <= lastValid {
+				continue
+			}
+			for _, sg := range segs {
+				if err := os.Remove(sg.path); err != nil {
+					return res, fmt.Errorf("wal: drop superseded chain: %w", err)
+				}
+			}
+			segs, bodies = nil, nil
+			chainStart, lastValid = 0, 0
+			if err := syncDir(dir); err != nil {
+				return res, err
+			}
+			res.SnapshotSeq = seq
+			snapRecs = recs
+			break
+		}
 	}
 	if snapRecs == nil && chainStart > 1 {
 		return res, fmt.Errorf("wal: shard %d: no usable snapshot and the log starts at seq %d — records 1..%d were compacted away", shard, chainStart, chainStart-1)

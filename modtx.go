@@ -31,6 +31,7 @@ package modtx
 import (
 	"context"
 
+	"modtx/internal/cluster"
 	"modtx/internal/core"
 	"modtx/internal/event"
 	"modtx/internal/exec"
@@ -312,3 +313,43 @@ func NewKV(opts ...KVOption) *KV { return kv.New(opts...) }
 // from the data directory first when KVWithDurability is set. Close a
 // durable store to flush and fsync its logs.
 func OpenKV(opts ...KVOption) (*KV, error) { return kv.Open(opts...) }
+
+// Replication layer (see internal/cluster and the README's Replication
+// section). A primary ships its per-shard WALs plus the cross-shard
+// commit marker log; a follower applies them through idempotent replay
+// and serves reads under the specified replica semantics: each shard's
+// history surfaces as a dense prefix, and cross-shard transactions
+// surface atomically at the watermark boundary, never partially.
+type (
+	// KVReplica is the follower side: it wraps an in-memory KV and
+	// applies the primary's record stream (see NewKVReplica).
+	KVReplica = kv.Replica
+	// KVReplicaStats is the replica's progress snapshot (watermarks,
+	// applied counts, readiness).
+	KVReplicaStats = kv.ReplicaStats
+	// ReplStreamer is the primary side: it serves each connected
+	// replica every shard's WAL, catch-up then live tail.
+	ReplStreamer = cluster.Streamer
+	// ReplClient feeds a primary's stream into a KVReplica,
+	// reconnecting with backoff.
+	ReplClient = cluster.Client
+)
+
+// Replication errors.
+var (
+	// ErrKVNotDurable reports a replication primary opened without
+	// KVWithDurability — there is no log to ship.
+	ErrKVNotDurable = kv.ErrNotDurable
+	// ErrKVReplicaGap reports a record that does not extend the
+	// replica's dense per-shard prefix; the feeder must re-catch-up.
+	ErrKVReplicaGap = kv.ErrReplicaGap
+)
+
+// NewKVReplica creates a replica over a fresh in-memory store. The
+// shard count must match the primary's; durability options are
+// rejected (a replica's durability is the primary's log).
+func NewKVReplica(opts ...KVOption) (*KVReplica, error) { return kv.NewReplica(opts...) }
+
+// NewReplStreamer wraps a durable KV for replication serving; call
+// Serve with a listener to accept replicas.
+func NewReplStreamer(s *KV) (*ReplStreamer, error) { return cluster.NewStreamer(s) }
