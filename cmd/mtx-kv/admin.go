@@ -17,6 +17,7 @@ package main
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -41,11 +42,19 @@ func adminMuxFor(srv *server) *http.ServeMux {
 	publishExpvars(store)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Degraded is a health failure even when the store still serves
+		// (shed-durability): orchestrators should rotate traffic away and
+		// operators should page. The body names the cause.
+		if deg, err := store.Degraded(); deg {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "degraded: %v\n", err)
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		w.Write(renderReplMetrics(renderMetrics(store), srv))
+		w.Write(renderServerMetrics(renderReplMetrics(renderMetrics(store), srv), srv))
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	// net/http/pprof registers on http.DefaultServeMux as an import side
@@ -219,6 +228,38 @@ func renderMetrics(s *kv.Store) []byte {
 		b = strconv.AppendInt(b, int64(h.Shard), 10)
 		b = append(b, `"} `...)
 		b = strconv.AppendUint(b, h.Count, 10)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// renderServerMetrics appends the overload-protection and degraded-mode
+// series: whether the store has latched a WAL failure, how many commits
+// it acknowledged without durability, how many commands admission shed,
+// and how many handler panics were contained.
+func renderServerMetrics(b []byte, srv *server) []byte {
+	ws := srv.store.WALStats()
+	b = append(b, "# HELP mtxkv_degraded Store has latched a WAL failure (1 = degraded).\n"...)
+	b = append(b, "# TYPE mtxkv_degraded gauge\nmtxkv_degraded "...)
+	if ws.Degraded {
+		b = append(b, '1')
+	} else {
+		b = append(b, '0')
+	}
+	b = append(b, "\n# HELP mtxkv_degraded_mode Configured WAL-failure policy (1 = active mode).\n"...)
+	b = append(b, "# TYPE mtxkv_degraded_mode gauge\nmtxkv_degraded_mode{mode=\""...)
+	b = append(b, srv.store.DegradedMode().String()...)
+	b = append(b, "\"} 1\n"...)
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"mtxkv_wal_shed_writes_total", "Commits acknowledged without durability while degraded (shed-durability mode).", ws.ShedWrites},
+		{"mtxkv_shed_total", "Commands refused with ERR overloaded by admission control.", srv.shed.Load()},
+		{"mtxkv_conn_panics_total", "Connection handler panics recovered (each cost one connection).", srv.panics.Load()},
+	} {
+		b = append(b, "# HELP "+c.name+" "+c.help+"\n# TYPE "+c.name+" counter\n"+c.name+" "...)
+		b = strconv.AppendUint(b, c.v, 10)
 		b = append(b, '\n')
 	}
 	return b

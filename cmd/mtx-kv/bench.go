@@ -45,6 +45,8 @@ type benchEngineJSON struct {
 	P999Ns    int64       `json:"p999_ns"`
 	MaxNs     int64       `json:"max_ns"`
 	Conflicts uint64      `json:"conflicts"`
+	Errors    uint64      `json:"errors"`
+	Shed      uint64      `json:"shed"`
 	HotKeys   []kv.HotKey `json:"hot_keys"`
 }
 
@@ -104,8 +106,8 @@ func runBench(args []string) error {
 			*nkeys, *shards, *goroutines, *duration, *durability)
 		fmt.Printf("op mix: %d%% fastget / %d%% get / %d%% set / %d%% txn-transfer, zipf=%.2f\n\n",
 			*fastPct, *readPct, *writePct, 100-*fastPct-*readPct-*writePct, *zipfS)
-		fmt.Printf("%-12s %12s %12s %10s %10s %10s %10s %10s %12s\n",
-			"engine", "ops", "ops/sec", "p50", "p95", "p99", "p999", "max", "conflicts")
+		fmt.Printf("%-12s %12s %12s %10s %10s %10s %10s %10s %12s %8s %8s\n",
+			"engine", "ops", "ops/sec", "p50", "p95", "p99", "p999", "max", "conflicts", "errors", "shed")
 	}
 
 	report := benchReport{
@@ -139,12 +141,14 @@ func runBench(args []string) error {
 				P999Ns:    r.p999.Nanoseconds(),
 				MaxNs:     r.max.Nanoseconds(),
 				Conflicts: r.conflicts,
+				Errors:    r.errs,
+				Shed:      r.shed,
 				HotKeys:   r.hot,
 			})
 			continue
 		}
-		fmt.Printf("%-12s %12d %12.0f %10v %10v %10v %10v %10v %12d\n",
-			e, r.ops, r.opsPerSec, r.p50, r.p95, r.p99, r.p999, r.max, r.conflicts)
+		fmt.Printf("%-12s %12d %12.0f %10v %10v %10v %10v %10v %12d %8d %8d\n",
+			e, r.ops, r.opsPerSec, r.p50, r.p95, r.p99, r.p999, r.max, r.conflicts, r.errs, r.shed)
 		if len(r.hot) > 0 {
 			fmt.Printf("%-12s hot keys:", "")
 			for _, h := range r.hot {
@@ -166,6 +170,8 @@ type benchResult struct {
 	opsPerSec                float64
 	p50, p95, p99, p999, max time.Duration
 	conflicts                uint64
+	errs                     uint64 // operations that returned an error
+	shed                     uint64 // commits acknowledged without durability (degraded shed mode)
 	hot                      []kv.HotKey
 }
 
@@ -191,7 +197,7 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 	s.EnsureCounters(ctrs...)
 	val := []byte("benchmark-payload-value")
 
-	var ops atomic.Uint64
+	var ops, opErrs atomic.Uint64
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	// One obs.Histogram per goroutine: the write side is two atomic adds
@@ -217,11 +223,12 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 				return rng.Intn(nkeys)
 			}
 			h := &hists[g]
-			var n uint64
+			var n, nerr uint64
 			for {
 				select {
 				case <-stop:
 					ops.Add(n)
+					opErrs.Add(nerr)
 					return
 				default:
 				}
@@ -233,23 +240,32 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 				if sample {
 					start = time.Now()
 				}
+				// Errors are counted, not dropped: a degraded or read-only
+				// store failing every write would otherwise report as a
+				// healthy run with inflated throughput.
 				switch {
 				case p < fastPct:
 					s.FastGet(keys[pickIdx()])
 				case p < fastPct+readPct:
-					_, _, _ = s.Get(keys[pickIdx()])
+					if _, _, err := s.Get(keys[pickIdx()]); err != nil {
+						nerr++
+					}
 				case p < fastPct+readPct+writePct:
-					_ = s.Set(keys[pickIdx()], val)
+					if err := s.Set(keys[pickIdx()], val); err != nil {
+						nerr++
+					}
 				default:
 					from, to := ctrs[pickIdx()], ctrs[pickIdx()]
 					if from == to {
 						break
 					}
-					_ = s.Update([]string{from, to}, func(t *kv.Txn) error {
+					if err := s.Update([]string{from, to}, func(t *kv.Txn) error {
 						t.Add(from, -1)
 						t.Add(to, 1)
 						return nil
-					})
+					}); err != nil {
+						nerr++
+					}
 				}
 				if sample {
 					h.Observe(time.Since(start).Nanoseconds())
@@ -280,6 +296,8 @@ func benchOne(e stm.Engine, shards, nkeys, goroutines int, dur time.Duration,
 		p999:      pct(0.999),
 		max:       pct(1.0),
 		conflicts: st.Conflicts,
+		errs:      opErrs.Load(),
+		shed:      s.WALStats().ShedWrites,
 		hot:       s.HotKeys(8),
 	}, nil
 }

@@ -5,11 +5,13 @@
 // Usage:
 //
 //	mtx-kv serve [-addr :7700] [-shards 64] [-engine lazy]
-//	             [-data DIR] [-durability fsync]
+//	             [-data DIR] [-durability fsync] [-degraded-mode fail]
 //	             [-replicate-addr :7800]
 //	             [-admin :6060] [-slowtxn 1ms]
+//	             [-maxconns 0] [-maxinflight 0] [-idletimeout 0] [-maxreq 1048576]
 //	mtx-kv replica -primary host:7800 [-addr :7701] [-engine lazy]
 //	             [-admin :6061] [-slowtxn 1ms]
+//	             [-maxconns 0] [-maxinflight 0] [-idletimeout 0] [-maxreq 1048576]
 //	mtx-kv bench [-engine all] [-shards 64] [-keys 65536] [-goroutines 8]
 //	             [-duration 2s] [-fastread-pct 70] [-read-pct 20]
 //	             [-write-pct 5] [-zipf 1.2]
@@ -24,6 +26,23 @@
 // boot repairs and replays a commit-order prefix. bench accepts the
 // same pair to measure logging cost; its default "off" benches the
 // undisturbed in-memory store.
+//
+// -degraded-mode picks the policy after a WAL write or sync failure
+// latches a shard's log (the store never silently drops durability):
+// fail keeps surfacing the error on every write, readonly rejects
+// writes but serves reads, and shed-durability keeps serving while
+// counting every commit the dead log refused (mtxkv_wal_shed_writes_total).
+// A degraded store answers /healthz with 503 naming the cause.
+//
+// The overload valves (all opt-in): -maxconns caps simultaneous
+// connections with accept backpressure (excess dials wait in the listen
+// backlog), -maxinflight caps concurrently executing store commands —
+// excess answer "ERR overloaded" immediately (PING/QUIT/STATS are
+// exempt so operators keep visibility), -idletimeout drops silent
+// connections and bounds stalled writes (SUBSCRIBE reads exempt), and
+// -maxreq bounds a request line; longer requests answer "ERR request
+// too large" and disconnect. A panic in one connection handler costs
+// that connection only. See cmd/mtx-kv/limits.go.
 //
 // With -replicate-addr (requires -data), serve additionally ships every
 // shard's WAL — and the cross-shard commit marker log — to connected

@@ -33,6 +33,7 @@ func runReplica(args []string) error {
 		"admin plane listen address (/metrics, /debug/pprof, /debug/vars, /healthz); empty disables")
 	slowTxn := fs.Duration("slowtxn", 0,
 		"log commands slower than this threshold via slog (0 disables)")
+	lim := limitFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,7 +63,7 @@ func runReplica(args []string) error {
 	client := &cluster.Client{Addr: *primary, Replica: r, Logf: func(format string, args ...any) {
 		slog.Info(fmt.Sprintf(format, args...))
 	}}
-	srv := &server{store: r.Store(), slow: *slowTxn, readonly: true, repl: client, replica: r}
+	srv := &server{store: r.Store(), slow: *slowTxn, readonly: true, repl: client, replica: r, limits: lim()}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -35,10 +35,14 @@ func runServe(args []string) error {
 		"durability level with -data: fsync (group commit), batch (interval fsync), none (OS page cache)")
 	replAddr := fs.String("replicate-addr", "",
 		"listen address for WAL shipping to replicas (requires -data); empty disables")
+	degraded := fs.String("degraded-mode", "fail",
+		"policy after a latched WAL failure with -data: fail (writes keep surfacing the error), "+
+			"readonly (writes rejected, reads served), shed-durability (keep serving, count unlogged commits)")
 	adminAddr := fs.String("admin", "",
 		"admin plane listen address (/metrics, /debug/pprof, /debug/vars, /healthz); empty disables")
 	slowTxn := fs.Duration("slowtxn", 0,
 		"log commands slower than this threshold via slog (0 disables)")
+	lim := limitFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,7 +53,11 @@ func runServe(args []string) error {
 	if len(engines) != 1 {
 		return fmt.Errorf("serve needs a single engine, not %q", *engineName)
 	}
-	opts := []kv.Option{kv.WithShards(*shards), kv.WithEngine(engines[0])}
+	mode, err := kv.ParseDegradedMode(*degraded)
+	if err != nil {
+		return err
+	}
+	opts := []kv.Option{kv.WithShards(*shards), kv.WithEngine(engines[0]), kv.WithDegradedMode(mode)}
 	if *dataDir != "" {
 		level, err := wal.ParseLevel(*durLevel)
 		if err != nil {
@@ -61,7 +69,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := &server{store: store, slow: *slowTxn}
+	srv := &server{store: store, slow: *slowTxn, limits: lim()}
 	if *dataDir != "" {
 		ri := store.WALStats().Recover
 		fmt.Printf("mtx-kv: recovered %s: %d snapshot records + %d log records over %d shards, max seq %d\n",
@@ -171,6 +179,7 @@ type server struct {
 	slow      time.Duration // log commands at least this slow; 0 disables
 	readonly  bool          // replica role: reject mutating commands
 	drainWait time.Duration // shutdown drain bound; 0 = drainTimeout
+	limits                  // overload protection; see limits.go
 
 	// Replication role, at most one non-nil: streamer on a primary
 	// shipping its WAL, client+replica on a follower applying it.
@@ -186,14 +195,30 @@ type server struct {
 }
 
 func (s *server) serve(l net.Listener) error {
+	s.initLimits()
+	// Accept backpressure: with -maxconns, a full house stops the accept
+	// loop instead of spawning handlers — excess dials wait in the
+	// kernel's listen backlog, costing the server nothing.
+	var sem chan struct{}
+	if s.maxConns > 0 {
+		sem = make(chan struct{}, s.maxConns)
+	}
 	for {
+		if sem != nil {
+			sem <- struct{}{}
+		}
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
 		s.track(conn)
 		go func() {
-			defer s.untrack(conn)
+			defer func() {
+				s.untrack(conn)
+				if sem != nil {
+					<-sem
+				}
+			}()
 			s.handleConn(conn)
 		}()
 	}
@@ -239,14 +264,40 @@ func (s *server) drain(timeout time.Duration) {
 
 func (s *server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	// A panic in one handler must cost one connection, not the process:
+	// every other client keeps its session and the store its state.
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			slog.Error("connection handler panic", "panic", p,
+				"remote", conn.RemoteAddr().String())
+		}
+	}()
+	maxReq := s.reqCap()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	initial := 64 * 1024
+	if maxReq < initial {
+		initial = maxReq
+	}
+	sc.Buffer(make([]byte, initial), maxReq)
 	w := bufio.NewWriter(conn)
 	// One reply buffer per connection, reused across commands: exec
 	// appends the (possibly multi-line) response into it, so the
 	// steady-state reply path performs no per-command allocation.
 	reply := make([]byte, 0, 256)
-	for sc.Scan() {
+	for {
+		if s.idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idle))
+		}
+		if !sc.Scan() {
+			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+				// The scanner cannot resynchronize to the next line once
+				// its buffer overflows, so answer and hang up.
+				w.WriteString("ERR request too large\n")
+				w.Flush()
+			}
+			return
+		}
 		// Trim only the CR of CRLF clients: SET values must keep their
 		// trailing bytes, and Fields-based dispatch tolerates leading
 		// whitespace on its own.
@@ -256,8 +307,10 @@ func (s *server) handleConn(conn net.Conn) {
 		}
 		if f := strings.Fields(line); strings.EqualFold(f[0], "SUBSCRIBE") {
 			// SUBSCRIBE flips the connection into streaming mode for the
-			// rest of its life; it never returns to command dispatch.
-			s.handleSubscribe(sc, w, f)
+			// rest of its life; it never returns to command dispatch. A
+			// quiet subscriber is normal, so the idle deadline comes off.
+			conn.SetReadDeadline(time.Time{})
+			s.handleSubscribe(conn, sc, w, f)
 			return
 		}
 		var start time.Time
@@ -265,7 +318,7 @@ func (s *server) handleConn(conn net.Conn) {
 			start = time.Now()
 		}
 		var quit bool
-		reply, quit = s.exec(reply[:0], line)
+		reply, quit = s.execAdmitted(reply[:0], line)
 		if s.slow > 0 {
 			if elapsed := time.Since(start); elapsed >= s.slow {
 				// Log only the verb: values are user data and BGET/WATCH
@@ -276,8 +329,15 @@ func (s *server) handleConn(conn net.Conn) {
 			}
 		}
 		reply = append(reply, '\n')
+		if s.idle > 0 {
+			// The write deadline bounds how long a stalled client (full
+			// socket buffer, dead peer) can pin this goroutine.
+			conn.SetWriteDeadline(time.Now().Add(s.idle))
+		}
 		w.Write(reply)
-		w.Flush()
+		if w.Flush() != nil {
+			return
+		}
 		if cap(reply) > 64*1024 {
 			// Don't let one huge MGET pin its high-water mark for the
 			// rest of a long-lived connection.
@@ -300,7 +360,7 @@ func (s *server) handleConn(conn net.Conn) {
 // that reads slower than the store commits loses events, and each loss
 // is reported in-stream as a cumulative "DROPPED n" line, so consumers
 // can tell a gap from a quiet store.
-func (s *server) handleSubscribe(sc *bufio.Scanner, w *bufio.Writer, f []string) {
+func (s *server) handleSubscribe(conn net.Conn, sc *bufio.Scanner, w *bufio.Writer, f []string) {
 	if len(f) > 2 {
 		w.WriteString("ERR usage: SUBSCRIBE [prefix]\n")
 		w.Flush()
@@ -339,6 +399,11 @@ func (s *server) handleSubscribe(sc *bufio.Scanner, w *bufio.Writer, f []string)
 			reply = strconv.AppendUint(reply, d, 10)
 			reply = append(reply, '\n')
 		}
+		if s.idle > 0 {
+			// Subscribers may read slowly but not stall forever: a full
+			// socket buffer past the deadline ends the stream.
+			conn.SetWriteDeadline(time.Now().Add(s.idle))
+		}
 		if _, err := w.Write(reply); err != nil {
 			return
 		}
@@ -376,14 +441,16 @@ func appendEvent(b []byte, ev kv.Event) []byte {
 const maxBlockTimeout = 10 * time.Minute
 
 // parseBlockTimeout parses a BGET/WATCH timeoutMs operand: a positive
-// integer, clamped to maxBlockTimeout.
-func parseBlockTimeout(arg string) (time.Duration, bool) {
+// integer, clamped to the server's block cap (maxBlockTimeout unless a
+// test or fuzz harness shrinks it).
+func (s *server) parseBlockTimeout(arg string) (time.Duration, bool) {
 	ms, err := strconv.ParseInt(arg, 10, 64)
 	if err != nil || ms <= 0 {
 		return 0, false
 	}
-	if ms > int64(maxBlockTimeout/time.Millisecond) {
-		return maxBlockTimeout, true
+	cap := s.blockTimeoutCap()
+	if ms > int64(cap/time.Millisecond) {
+		return cap, true
 	}
 	return time.Duration(ms) * time.Millisecond, true
 }
@@ -445,7 +512,7 @@ func (s *server) exec(reply []byte, line string) (resp []byte, quit bool) {
 		if len(f) != 3 {
 			return append(reply, "ERR usage: BGET key timeoutMs"...), false
 		}
-		d, ok := parseBlockTimeout(f[2])
+		d, ok := s.parseBlockTimeout(f[2])
 		if !ok {
 			return append(reply, "ERR timeoutMs must be a positive integer"...), false
 		}
@@ -471,9 +538,12 @@ func (s *server) exec(reply []byte, line string) (resp []byte, quit bool) {
 			return append(reply, "ERR usage: WATCH key [timeoutMs]"...), false
 		}
 		d := time.Minute
+		if cap := s.blockTimeoutCap(); d > cap {
+			d = cap
+		}
 		if len(f) == 3 {
 			var okArg bool
-			d, okArg = parseBlockTimeout(f[2])
+			d, okArg = s.parseBlockTimeout(f[2])
 			if !okArg {
 				return append(reply, "ERR timeoutMs must be a positive integer"...), false
 			}

@@ -630,18 +630,24 @@ func TestEngineFlagRegistry(t *testing.T) {
 }
 
 // TestParseBlockTimeout pins the clamp: positive values pass through in
-// milliseconds, oversized ones cap at maxBlockTimeout (no int64
-// overflow into negative durations), garbage and non-positives reject.
+// milliseconds, oversized ones cap at the server's blocking ceiling (no
+// int64 overflow into negative durations), garbage and non-positives
+// reject, and a configured blockCap lowers the ceiling.
 func TestParseBlockTimeout(t *testing.T) {
-	if d, ok := parseBlockTimeout("250"); !ok || d != 250*time.Millisecond {
+	srv := &server{}
+	if d, ok := srv.parseBlockTimeout("250"); !ok || d != 250*time.Millisecond {
 		t.Fatalf("250 -> %v, %v", d, ok)
 	}
-	if d, ok := parseBlockTimeout("99999999999999999"); !ok || d != maxBlockTimeout {
+	if d, ok := srv.parseBlockTimeout("99999999999999999"); !ok || d != maxBlockTimeout {
 		t.Fatalf("huge -> %v, %v (want clamp to %v)", d, ok, maxBlockTimeout)
 	}
 	for _, bad := range []string{"0", "-5", "nope", ""} {
-		if _, ok := parseBlockTimeout(bad); ok {
+		if _, ok := srv.parseBlockTimeout(bad); ok {
 			t.Errorf("%q accepted", bad)
 		}
+	}
+	capped := &server{limits: limits{blockCap: 5 * time.Millisecond}}
+	if d, ok := capped.parseBlockTimeout("250"); !ok || d != 5*time.Millisecond {
+		t.Fatalf("capped 250 -> %v, %v (want clamp to 5ms)", d, ok)
 	}
 }

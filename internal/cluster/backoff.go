@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// backoff produces reconnect delays: exponential doubling from base up
+// to max, jittered so a fleet of replicas that lost the same primary
+// does not reconnect in lockstep. Each delay is drawn uniformly from
+// [d/2, d) — half the nominal value is kept as a floor so the schedule
+// still backs off meaningfully. Not safe for concurrent use; each
+// reconnect loop owns one.
+type backoff struct {
+	base, max time.Duration
+	cur       time.Duration
+	rng       *rand.Rand
+}
+
+func newBackoff(base, max time.Duration, seed uint64) *backoff {
+	return &backoff{
+		base: base, max: max, cur: base,
+		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// next returns the delay to sleep before the coming attempt and
+// advances the schedule toward max.
+func (b *backoff) next() time.Duration {
+	d := b.cur
+	if b.cur < b.max {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	return d/2 + time.Duration(b.rng.Int64N(int64(d/2)))
+}
+
+// reset rewinds to the base delay after a healthy session.
+func (b *backoff) reset() { b.cur = b.base }

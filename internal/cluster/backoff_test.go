@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule pins the shape of the reconnect schedule: every
+// delay jitters within [nominal/2, nominal), nominal doubles to the cap
+// and stays there, and reset rewinds to base.
+func TestBackoffSchedule(t *testing.T) {
+	base, max := 250*time.Millisecond, 4*time.Second
+	b := newBackoff(base, max, 42)
+
+	nominal := base
+	for i := 0; i < 10; i++ {
+		d := b.next()
+		if d < nominal/2 || d >= nominal {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", i, d, nominal/2, nominal)
+		}
+		if nominal < max {
+			nominal *= 2
+			if nominal > max {
+				nominal = max
+			}
+		}
+	}
+	if nominal != max {
+		t.Fatalf("schedule never reached cap: nominal %v", nominal)
+	}
+
+	b.reset()
+	if d := b.next(); d < base/2 || d >= base {
+		t.Fatalf("after reset: delay %v outside [%v, %v)", d, base/2, base)
+	}
+}
+
+// TestBackoffJitterVaries: consecutive capped delays are not identical
+// — the whole point of jitter.
+func TestBackoffJitterVaries(t *testing.T) {
+	b := newBackoff(250*time.Millisecond, 4*time.Second, 7)
+	for i := 0; i < 8; i++ {
+		b.next() // drive to the cap
+	}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 16; i++ {
+		seen[b.next()] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("16 capped delays were all identical: %v", seen)
+	}
+}
+
+// TestBackoffDeterministic: the same seed yields the same schedule —
+// chaos runs must be reproducible.
+func TestBackoffDeterministic(t *testing.T) {
+	a := newBackoff(250*time.Millisecond, 4*time.Second, 99)
+	b := newBackoff(250*time.Millisecond, 4*time.Second, 99)
+	for i := 0; i < 12; i++ {
+		if da, db := a.next(), b.next(); da != db {
+			t.Fatalf("attempt %d: %v != %v under the same seed", i, da, db)
+		}
+	}
+}

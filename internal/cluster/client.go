@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,9 @@ type Client struct {
 	Replica *kv.Replica
 	// Logf, when set, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
+	// Dial, when set, replaces the default dialer. The fault-injection
+	// harness uses it to interpose a chaos network; nil means net.Dialer.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
 
 	connects  atomic.Uint64
 	connected atomic.Bool
@@ -89,7 +93,7 @@ func (c *Client) noteErr(err error) {
 // A protocol-level mismatch (wrong magic, wrong shard count) is a
 // configuration error and returns immediately instead of retrying.
 func (c *Client) Run(ctx context.Context) error {
-	backoff := 250 * time.Millisecond
+	bo := newBackoff(250*time.Millisecond, 4*time.Second, rand.Uint64())
 	for {
 		start := time.Now()
 		err := c.session(ctx)
@@ -104,15 +108,12 @@ func (c *Client) Run(ctx context.Context) error {
 			c.logf("replica: stream from %s: %v (reconnecting)", c.Addr, err)
 		}
 		if time.Since(start) > 10*time.Second {
-			backoff = 250 * time.Millisecond // the last session was healthy
+			bo.reset() // the last session was healthy
 		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
-		}
-		if backoff < 4*time.Second {
-			backoff *= 2
+		case <-time.After(bo.next()):
 		}
 	}
 }
@@ -123,9 +124,16 @@ type snapState struct {
 	recs []wal.Record
 }
 
-func (c *Client) session(ctx context.Context) error {
+func (c *Client) dial(ctx context.Context) (net.Conn, error) {
+	if c.Dial != nil {
+		return c.Dial(ctx, "tcp", c.Addr)
+	}
 	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", c.Addr)
+	return d.DialContext(ctx, "tcp", c.Addr)
+}
+
+func (c *Client) session(ctx context.Context) error {
+	conn, err := c.dial(ctx)
 	if err != nil {
 		return err
 	}

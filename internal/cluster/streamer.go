@@ -317,6 +317,10 @@ func (st *Streamer) streamShard(s *session, shard uint32, from uint64) error {
 		// Catch-up until the follower attach races no queued records.
 		var f *wal.Follower
 		for {
+			if s.ctx.Err() != nil {
+				return nil
+			}
+			scanFrom := cursor
 			batch = batch[:0]
 			next, err := wal.ScanSegments(dir, shard, cursor, func(rec wal.Record, raw []byte) error {
 				st.records.Add(1)
@@ -363,6 +367,16 @@ func (st *Streamer) streamShard(s *session, shard uint32, from uint64) error {
 			}
 			if low > cursor {
 				ff.Close() // records queued between scan and attach: rescan
+				if cursor == scanFrom {
+					// The log is ahead of the segments but the rescan found
+					// nothing: a failed log's frontier never reaches disk, so
+					// poll instead of spinning (and notice session close).
+					select {
+					case <-s.ctx.Done():
+						return nil
+					case <-time.After(20 * time.Millisecond):
+					}
+				}
 				continue
 			}
 			if !s.track(ff) {

@@ -1,0 +1,51 @@
+// Package fault is the deterministic fault-injection layer: seeded,
+// in-process fault models for the store's three I/O boundaries — WAL
+// file operations (DiskFS, behind the wal.FS seam), replication
+// connections (Conn / Dialer, wrapping net.Conn), and, through those
+// two, everything the chaos tests drive end-to-end.
+//
+// Two principles shape the package:
+//
+//   - Determinism. Every probabilistic decision is drawn from a PCG
+//     stream seeded by the caller, so a failing chaos run replays from
+//     its seed. (Goroutine interleaving still varies between runs; the
+//     seed fixes the fault schedule, not the scheduler.)
+//   - Enumerability. Faults are injected only at the named seams, and
+//     every injection is counted per kind (Stats), so a test can assert
+//     not just "the system survived" but "the system survived N sync
+//     failures and M connection cuts".
+//
+// Both injectors also take scripted one-shot faults (FailNextWrite,
+// FailNextSync, ...) for tests that need a fault at an exact point
+// rather than a seeded schedule, and both can be healed at runtime
+// (Heal), which is what recovery-convergence tests do before asserting
+// the system climbs back to a consistent state.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"syscall"
+)
+
+// Injected fault errors. They wrap the real errno so code under test
+// exercises its genuine errno-handling paths (errors.Is(err,
+// syscall.ENOSPC) holds), while ErrInjected lets tests tell an
+// injected fault from an organic one.
+var (
+	// ErrInjected marks every error this package fabricates.
+	ErrInjected = errors.New("fault: injected")
+	// ErrDiskFull is an injected ENOSPC.
+	ErrDiskFull = fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+	// ErrIO is an injected EIO.
+	ErrIO = fmt.Errorf("%w: %w", ErrInjected, syscall.EIO)
+	// ErrPartitioned is an injected network partition.
+	ErrPartitioned = fmt.Errorf("%w: network partitioned", ErrInjected)
+)
+
+// newRNG builds the package's seeded PCG stream. The second word just
+// decorrelates streams built from small consecutive seeds.
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}

@@ -132,6 +132,18 @@ type durState struct {
 	attached  bool
 	closed    atomic.Bool
 
+	// Degraded-mode policy (degrade.go): mode is fixed at Open; the
+	// flag and first error latch on the WAL's OnFail hook; shed counts
+	// commits served while the log was down in DegradeShed.
+	mode     DegradedMode
+	degraded atomic.Bool
+	degErr   atomic.Pointer[error]
+	shed     atomic.Uint64
+
+	// fs is the filesystem seam threaded into every wal call (nil =
+	// the real filesystem); fault-injection tests swap it.
+	fs wal.FS
+
 	ckptBusy  []atomic.Bool // per-shard: one checkpoint at a time
 	ckpts     atomic.Uint64
 	ckptFails atomic.Uint64
@@ -237,7 +249,7 @@ func (s *Store) Recover() (RecoverInfo, error) {
 	// segment rotation + compaction, so buffering is proportional to
 	// one checkpoint interval, not history.)
 	var markers []wal.Record
-	xres, err := wal.Recover(s.txnDir(), wal.TxnShard, func(rec wal.Record) error {
+	xres, err := wal.RecoverFS(s.dur.fs, s.txnDir(), wal.TxnShard, func(rec wal.Record) error {
 		markers = append(markers, rec)
 		return nil
 	}, &s.dur.m)
@@ -252,7 +264,7 @@ func (s *Store) Recover() (RecoverInfo, error) {
 	s.dur.results = make([]wal.RecoverResult, nshards)
 	bufs := make([][]wal.Record, nshards)
 	for i := range s.shards {
-		res, err := wal.Recover(s.shardDir(i), uint32(i), func(rec wal.Record) error {
+		res, err := wal.RecoverFS(s.dur.fs, s.shardDir(i), uint32(i), func(rec wal.Record) error {
 			bufs[i] = append(bufs[i], rec)
 			return nil
 		}, &s.dur.m)
@@ -348,7 +360,7 @@ func (s *Store) Recover() (RecoverInfo, error) {
 		if cut[i] < res.LastSeq {
 			info.TxnRolledShards++
 			info.TxnRolledRecords += int(res.LastSeq - cut[i])
-			res, err = wal.RecoverLimited(s.shardDir(i), uint32(i), cut[i], func(rec wal.Record) error {
+			res, err = wal.RecoverLimitedFS(s.dur.fs, s.shardDir(i), uint32(i), cut[i], func(rec wal.Record) error {
 				return applyRecovered(sh, rec)
 			}, &s.dur.m)
 			if err != nil {
@@ -482,8 +494,12 @@ func (s *Store) installTaps() {
 			if f.log != nil {
 				// Errors are sticky inside the Log and surface on
 				// WaitDurable/Sync; the commit itself must not fail here —
-				// it is already past its serialization point.
-				_ = f.log.AppendFlags(p.seq, flags, txnID, p.ops)
+				// it is already past its serialization point. In
+				// shed-durability mode each commit the dead log refused is
+				// counted: served, not durable, loudly.
+				if err := f.log.AppendFlags(p.seq, flags, txnID, p.ops); err != nil && s.dur.mode == DegradeShed {
+					s.dur.shed.Add(1)
+				}
 			}
 			if p.txn != nil {
 				s.xtap(p.txn, uint32(sh.index), p.seq)
@@ -537,7 +553,10 @@ func (s *Store) waitDurable(sh *shard, p *pendingOps) error {
 	if p.seq == 0 || !s.fsyncLevel() {
 		return nil
 	}
-	return sh.feed.log.WaitDurable(p.seq)
+	if err := sh.feed.log.WaitDurable(p.seq); err != nil {
+		return s.degradeWriteErr(err)
+	}
+	return nil
 }
 
 // waitTxnDurable blocks until a cross-shard commit's marker is
@@ -548,7 +567,10 @@ func (s *Store) waitTxnDurable(t *pendingTxn) error {
 	if t == nil || t.marker == 0 || !s.fsyncLevel() {
 		return nil
 	}
-	return s.dur.xfeed.log.WaitDurable(t.marker)
+	if err := s.dur.xfeed.log.WaitDurable(t.marker); err != nil {
+		return s.degradeWriteErr(err)
+	}
+	return nil
 }
 
 // Checkpoint snapshots every shard and compacts its log. Each shard's
@@ -639,13 +661,13 @@ func (s *Store) checkpointShard(i int) error {
 	if err := sh.feed.log.Sync(); err != nil {
 		return fmt.Errorf("kv: checkpoint shard %d: %w", i, err)
 	}
-	if err := wal.WriteSnapshot(s.shardDir(i), uint32(i), pend.seq, ops); err != nil {
+	if err := wal.WriteSnapshotFS(s.dur.fs, s.shardDir(i), uint32(i), pend.seq, ops); err != nil {
 		return fmt.Errorf("kv: checkpoint shard %d: %w", i, err)
 	}
 	s.dur.ckpts.Add(1)
 	// Keep the previous snapshot as a fallback against bit rot in the
 	// new one; prune segments both still cover.
-	if err := wal.Compact(s.shardDir(i), 2); err != nil {
+	if err := wal.CompactFS(s.dur.fs, s.shardDir(i), 2); err != nil {
 		return fmt.Errorf("kv: compact shard %d: %w", i, err)
 	}
 	return nil
@@ -740,6 +762,11 @@ type WALStats struct {
 	ChangefeedDropped uint64       `json:"changefeed_dropped"`
 	Recover           RecoverInfo  `json:"recover"`
 	Err               string       `json:"err,omitempty"` // first sticky log error
+
+	// Degraded-mode policy state (degrade.go).
+	Degraded     bool   `json:"degraded"`
+	DegradedMode string `json:"degraded_mode,omitempty"`
+	ShedWrites   uint64 `json:"shed_writes"` // commits served without durability (DegradeShed)
 }
 
 // WALStats snapshots the durability metrics; with durability off only
@@ -762,11 +789,21 @@ func (s *Store) WALStats() WALStats {
 	s.dur.xfeed.mu.Unlock()
 	st.AppendNs, st.FsyncNs = m.AppendNs, m.FsyncNs
 	st.Recover = s.dur.info
-	for _, sh := range s.shards {
-		if sh.feed.log != nil {
-			if err := sh.feed.log.Err(); err != nil {
-				st.Err = err.Error()
-				break
+	st.DegradedMode = s.dur.mode.String()
+	st.ShedWrites = s.dur.shed.Load()
+	if deg, derr := s.Degraded(); deg {
+		st.Degraded = true
+		if derr != nil {
+			st.Err = derr.Error()
+		}
+	}
+	if st.Err == "" {
+		for _, sh := range s.shards {
+			if sh.feed.log != nil {
+				if err := sh.feed.log.Err(); err != nil {
+					st.Err = err.Error()
+					break
+				}
 			}
 		}
 	}
@@ -794,4 +831,12 @@ func WithWALSegmentBytes(n int64) Option {
 // (default 20ms).
 func WithWALFlushInterval(d time.Duration) Option {
 	return func(c *config) { c.flushEvery = d }
+}
+
+// WithWALFS threads a filesystem seam under the store's WAL — every
+// segment, snapshot and recovery file operation goes through it. The
+// fault-injection tests pass a fault.DiskFS; production code never
+// needs this (nil means the real filesystem).
+func WithWALFS(fsys wal.FS) Option {
+	return func(c *config) { c.walFS = fsys }
 }

@@ -75,6 +75,8 @@ type config struct {
 	durLevel     wal.Level
 	segmentBytes int64
 	flushEvery   time.Duration
+	degradedMode DegradedMode
+	walFS        wal.FS
 }
 
 // WithShards sets the shard count, rounded up to a power of two
@@ -217,7 +219,11 @@ func Open(opts ...Option) (*Store, error) {
 			Level:         c.durLevel,
 			SegmentBytes:  c.segmentBytes,
 			FlushInterval: c.flushEvery,
+			FS:            c.walFS,
+			OnFail:        s.noteWALFault,
 		},
+		mode:     c.degradedMode,
+		fs:       c.walFS,
 		ckptBusy: make([]atomic.Bool, len(s.shards)),
 	}
 	if _, err := s.Recover(); err != nil {
@@ -692,6 +698,9 @@ func (s *Store) CounterGet(key string) (val int64, ok bool, err error) {
 // Set transactionally writes one bytes key, creating it if absent. The
 // value is copied on the way in.
 func (s *Store) Set(key string, val []byte) error {
+	if err := s.degradedGate(); err != nil {
+		return err
+	}
 	sh := s.shards[s.ShardOf(key)]
 	op := s.singleOps.Get().(*singleOp)
 	op.sh, op.key, op.val = sh, key, copyVal(val)
@@ -716,6 +725,9 @@ func (s *Store) Set(key string, val []byte) error {
 // on the int64 specialization: no boxing, no formatting, and (steady
 // state) no heap allocation.
 func (s *Store) CounterAdd(key string, delta int64) (int64, error) {
+	if err := s.degradedGate(); err != nil {
+		return 0, err
+	}
 	sh := s.shards[s.ShardOf(key)]
 	op := s.singleOps.Get().(*singleOp)
 	op.sh, op.key, op.delta = sh, key, delta
@@ -743,6 +755,9 @@ func (s *Store) CounterAdd(key string, delta int64) (int64, error) {
 // or CounterAdd re-creates the key fresh — so deletion also frees the
 // key's kind.
 func (s *Store) Delete(key string) (bool, error) {
+	if err := s.degradedGate(); err != nil {
+		return false, err
+	}
 	sh := s.shards[s.ShardOf(key)]
 	var condemned *entry
 	var pend pendingOps
@@ -1210,6 +1225,9 @@ func (s *Store) Update(keys []string, fn func(*Txn) error) error {
 // stm.AtomicallyMultiCtx): cancellation surfaces as an error wrapping
 // stm.ErrCanceled and the context's error.
 func (s *Store) UpdateCtx(ctx context.Context, keys []string, fn func(*Txn) error) error {
+	if err := s.degradedGate(); err != nil {
+		return err
+	}
 	op := s.multiOps.Get().(*multiOp)
 	op.idxs = s.appendShardSet(op.idxs[:0], keys)
 	op.stms = s.appendSTMs(op.stms[:0], op.idxs)
@@ -1387,6 +1405,9 @@ func (s *Store) Privatize(keys ...string) ([]*stm.TVar[[]byte], error) {
 // every engine without fences. Counter keys return ErrWrongType before
 // any write happens.
 func (s *Store) Publish(vals map[string][]byte) error {
+	if err := s.degradedGate(); err != nil {
+		return err
+	}
 	keys := make([]string, 0, len(vals))
 	for k := range vals {
 		keys = append(keys, k)

@@ -36,7 +36,7 @@ func ScanSegments(dir string, shard uint32, fromSeq uint64, fn func(rec Record, 
 		fromSeq = 1
 	}
 	next = fromSeq
-	snaps, segs, err := listDir(dir)
+	snaps, segs, err := listDir(OSFS, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return next, nil // nothing logged yet
@@ -98,7 +98,7 @@ func ScanSegments(dir string, shard uint32, fromSeq uint64, fn func(rec Record, 
 // returning its sequence and records. seq == 0 means no snapshot
 // exists (an empty store prefix — not an error).
 func LatestSnapshot(dir string, shard uint32) (seq uint64, recs []Record, err error) {
-	snaps, _, err := listDir(dir)
+	snaps, _, err := listDir(OSFS, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil, nil
@@ -106,7 +106,7 @@ func LatestSnapshot(dir string, shard uint32) (seq uint64, recs []Record, err er
 		return 0, nil, err
 	}
 	for i := len(snaps) - 1; i >= 0; i-- {
-		s, r, lerr := loadSnapshot(snaps[i].path, shard)
+		s, r, lerr := loadSnapshot(OSFS, snaps[i].path, shard)
 		if lerr != nil {
 			continue
 		}

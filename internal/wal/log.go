@@ -41,6 +41,16 @@ type Options struct {
 	// rotation with the last sequence number of the finished segment —
 	// the checkpoint hook.
 	OnRotate func(lastSeq uint64)
+	// OnFail, when non-nil, is called exactly once with the Log's first
+	// sticky I/O error, from whichever goroutine hit it (often the
+	// batcher). It must not block or call back into the Log; the kv
+	// layer uses it to flip the store into its degraded mode the moment
+	// the WAL fails rather than on the next append.
+	OnFail func(err error)
+	// FS is the filesystem seam (default OSFS). Fault-injection tests
+	// swap in an implementation that fails writes, syncs or opens on a
+	// seeded schedule.
+	FS FS
 }
 
 // Log is one shard's append-only write-ahead log with group commit.
@@ -65,6 +75,8 @@ type Log struct {
 	flushEvery time.Duration
 	m          *Metrics
 	onRotate   func(uint64)
+	onFail     func(error)
+	fs         FS
 
 	// mu guards the append side: the pending buffer and the queue
 	// cursor. Held only for an in-memory encode — never across I/O.
@@ -79,7 +91,7 @@ type Log struct {
 	done chan struct{} // closed when the batcher exits
 
 	// Batcher-owned file state (no lock: single goroutine).
-	f     *os.File
+	f     File
 	fsize int64
 
 	// durMu guards the durability watermarks and the sticky error;
@@ -116,6 +128,8 @@ func OpenLog(dir string, shard uint32, res RecoverResult, o Options) (*Log, erro
 		flushEvery: o.FlushInterval,
 		m:          o.Metrics,
 		onRotate:   o.OnRotate,
+		onFail:     o.OnFail,
+		fs:         fsOrOS(o.FS),
 		kick:       make(chan struct{}, 1),
 		done:       make(chan struct{}),
 		lastQueued: res.LastSeq,
@@ -124,13 +138,13 @@ func OpenLog(dir string, shard uint32, res RecoverResult, o Options) (*Log, erro
 	}
 	l.durCond = sync.NewCond(&l.durMu)
 	if res.tailPath != "" {
-		f, err := os.OpenFile(res.tailPath, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := l.fs.OpenFile(res.tailPath, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: reopen tail: %w", err)
 		}
 		l.f, l.fsize = f, res.tailSize
 	} else {
-		f, err := createSegment(dir, shard, res.LastSeq+1)
+		f, err := createSegment(l.fs, dir, shard, res.LastSeq+1)
 		if err != nil {
 			return nil, err
 		}
@@ -147,9 +161,9 @@ func segmentName(firstSeq uint64) string {
 
 // createSegment creates (exclusively) a new segment file, writes its
 // header, fsyncs it and the directory, and returns it open for append.
-func createSegment(dir string, shard uint32, firstSeq uint64) (*os.File, error) {
+func createSegment(fsys FS, dir string, shard uint32, firstSeq uint64) (File, error) {
 	path := filepath.Join(dir, segmentName(firstSeq))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create segment: %w", err)
 	}
@@ -163,28 +177,11 @@ func createSegment(dir string, shard uint32, firstSeq uint64) (*os.File, error) 
 		f.Close()
 		return nil, fmt.Errorf("wal: write segment header: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return f, nil
-}
-
-// syncDir fsyncs a directory so renames and creations within it are
-// durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: open dir for sync: %w", err)
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("wal: sync dir: %w", err)
-	}
-	return nil
 }
 
 // Append encodes ops as record seq (zero flags) and queues it for the
@@ -203,6 +200,18 @@ func (l *Log) AppendFlags(seq uint64, flags uint8, txn uint64, ops []Op) error {
 	if l.closed {
 		l.mu.Unlock()
 		return ErrClosed
+	}
+	l.durMu.Lock()
+	sticky := l.err
+	l.durMu.Unlock()
+	if sticky != nil {
+		// The chain is broken: buffering more records could only tear a
+		// hole in the log if the disk came back. Refuse, with the original
+		// failure (this is what the doc's "subsequent appends are dropped
+		// with the same error" means — and what the kv layer's
+		// shed-durability accounting counts).
+		l.mu.Unlock()
+		return sticky
 	}
 	if seq != l.lastQueued+1 {
 		l.mu.Unlock()
@@ -445,7 +454,7 @@ func (l *Log) rotate(end uint64) {
 		l.fail(fmt.Errorf("wal: close rotated segment: %w", err))
 		return
 	}
-	f, err := createSegment(l.dir, l.shard, end+1)
+	f, err := createSegment(l.fs, l.dir, l.shard, end+1)
 	if err != nil {
 		l.fail(err)
 		return
@@ -461,12 +470,23 @@ func (l *Log) rotate(end uint64) {
 
 // fail records the first I/O error and releases every waiter with it.
 // Followers are killed too: a broken chain must not keep shipping.
+// Only the first failure counts in Metrics and fires OnFail; repeats
+// of a sticky error are not new faults.
 func (l *Log) fail(err error) {
 	l.durMu.Lock()
-	if l.err == nil {
+	first := l.err == nil
+	if first {
 		l.err = err
 	}
 	l.durMu.Unlock()
 	l.durCond.Broadcast()
 	l.dropFollowers()
+	if first {
+		if l.m != nil {
+			l.m.Failures.Add(1)
+		}
+		if l.onFail != nil {
+			l.onFail(err)
+		}
+	}
 }

@@ -3,7 +3,6 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -61,15 +60,15 @@ type fileInfo struct {
 // listDir parses the durability directory into snapshots and segments,
 // each sorted by sequence. Unrecognized names are ignored, except that
 // leftover temp files from an interrupted snapshot write are removed.
-func listDir(dir string) (snaps, segs []fileInfo, err error) {
-	ents, err := os.ReadDir(dir)
+func listDir(fsys FS, dir string) (snaps, segs []fileInfo, err error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, ent := range ents {
 		name := ent.Name()
 		if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(dir, name))
+			fsys.Remove(filepath.Join(dir, name))
 			continue
 		}
 		var seq uint64
@@ -109,7 +108,13 @@ func listDir(dir string) (snaps, segs []fileInfo, err error) {
 // were compacted away — state that no longer exists on disk). Torn and
 // corrupt tails are repaired, not errors.
 func Recover(dir string, shard uint32, apply func(Record) error, m *Metrics) (RecoverResult, error) {
-	return RecoverLimited(dir, shard, ^uint64(0), apply, m)
+	return RecoverLimitedFS(nil, dir, shard, ^uint64(0), apply, m)
+}
+
+// RecoverFS is Recover through an explicit filesystem seam (nil = the
+// real one).
+func RecoverFS(fsys FS, dir string, shard uint32, apply func(Record) error, m *Metrics) (RecoverResult, error) {
+	return RecoverLimitedFS(fsys, dir, shard, ^uint64(0), apply, m)
 }
 
 // RecoverLimited is Recover with a sequence ceiling: any record with
@@ -120,11 +125,18 @@ func Recover(dir string, shard uint32, apply func(Record) error, m *Metrics) (Re
 // lower than the newest usable snapshot's seq, since state baked into
 // a snapshot cannot be unwound.
 func RecoverLimited(dir string, shard uint32, limit uint64, apply func(Record) error, m *Metrics) (RecoverResult, error) {
+	return RecoverLimitedFS(nil, dir, shard, limit, apply, m)
+}
+
+// RecoverLimitedFS is RecoverLimited through an explicit filesystem
+// seam (nil = the real one).
+func RecoverLimitedFS(fsys FS, dir string, shard uint32, limit uint64, apply func(Record) error, m *Metrics) (RecoverResult, error) {
+	fsys = fsOrOS(fsys)
 	var res RecoverResult
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return res, fmt.Errorf("wal: create dir: %w", err)
 	}
-	snaps, segs, err := listDir(dir)
+	snaps, segs, err := listDir(fsys, dir)
 	if err != nil {
 		return res, err
 	}
@@ -140,7 +152,7 @@ func RecoverLimited(dir string, shard uint32, limit uint64, apply func(Record) e
 	)
 scan:
 	for i, sg := range segs {
-		b, err := os.ReadFile(sg.path)
+		b, err := fsys.ReadFile(sg.path)
 		if err != nil {
 			return res, err
 		}
@@ -181,11 +193,11 @@ scan:
 			}
 			res.TruncatedBytes += segs[i].size - keep
 			if keep > 0 {
-				if err := os.Truncate(segs[i].path, keep); err != nil {
+				if err := fsys.Truncate(segs[i].path, keep); err != nil {
 					return res, fmt.Errorf("wal: truncate torn tail: %w", err)
 				}
 				segs[i].size = keep
-			} else if err := os.Remove(segs[i].path); err != nil {
+			} else if err := fsys.Remove(segs[i].path); err != nil {
 				return res, fmt.Errorf("wal: drop torn segment: %w", err)
 			}
 		}
@@ -199,7 +211,7 @@ scan:
 		} else {
 			segs = segs[:truncAt]
 		}
-		if err := syncDir(dir); err != nil {
+		if err := fsys.SyncDir(dir); err != nil {
 			return res, err
 		}
 	}
@@ -213,12 +225,12 @@ scan:
 	// segment at the snapshot's sequence.
 	if chainStart != 0 && lastValid == 0 {
 		for _, sg := range segs {
-			if err := os.Remove(sg.path); err != nil {
+			if err := fsys.Remove(sg.path); err != nil {
 				return res, fmt.Errorf("wal: drop empty chain: %w", err)
 			}
 		}
 		segs, bodies, chainStart = nil, nil, 0
-		if err := syncDir(dir); err != nil {
+		if err := fsys.SyncDir(dir); err != nil {
 			return res, err
 		}
 	}
@@ -232,7 +244,7 @@ scan:
 	// depends on that), while state baked into a snapshot is not.
 	var snapRecs []Record
 	for i := len(snaps) - 1; i >= 0; i-- {
-		seq, recs, lerr := loadSnapshot(snaps[i].path, shard)
+		seq, recs, lerr := loadSnapshot(fsys, snaps[i].path, shard)
 		if lerr != nil {
 			continue // corrupt or unreadable: fall back to an older one
 		}
@@ -256,18 +268,18 @@ scan:
 		// chain-anchoring snapshot would turn recoverable state into an
 		// error.
 		for i := len(snaps) - 1; i >= 0; i-- {
-			seq, recs, lerr := loadSnapshot(snaps[i].path, shard)
+			seq, recs, lerr := loadSnapshot(fsys, snaps[i].path, shard)
 			if lerr != nil || seq > limit || seq <= lastValid {
 				continue
 			}
 			for _, sg := range segs {
-				if err := os.Remove(sg.path); err != nil {
+				if err := fsys.Remove(sg.path); err != nil {
 					return res, fmt.Errorf("wal: drop superseded chain: %w", err)
 				}
 			}
 			segs, bodies = nil, nil
 			chainStart, lastValid = 0, 0
-			if err := syncDir(dir); err != nil {
+			if err := fsys.SyncDir(dir); err != nil {
 				return res, err
 			}
 			res.SnapshotSeq = seq

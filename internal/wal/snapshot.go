@@ -28,6 +28,13 @@ func snapshotName(seq uint64) string {
 // fsync, rename, directory fsync. ops must be the shard's full state
 // at exactly commit sequence seq, in absolute form.
 func WriteSnapshot(dir string, shard uint32, seq uint64, ops []Op) error {
+	return WriteSnapshotFS(nil, dir, shard, seq, ops)
+}
+
+// WriteSnapshotFS is WriteSnapshot through an explicit filesystem seam
+// (nil = the real one).
+func WriteSnapshotFS(fsys FS, dir string, shard uint32, seq uint64, ops []Op) error {
+	fsys = fsOrOS(fsys)
 	buf := make([]byte, fileHeaderLen, fileHeaderLen+64*len(ops))
 	copy(buf[:8], snapMagic)
 	binary.LittleEndian.PutUint32(buf[8:12], shard)
@@ -46,7 +53,7 @@ func WriteSnapshot(dir string, shard uint32, seq uint64, ops []Op) error {
 
 	path := filepath.Join(dir, snapshotName(seq))
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create snapshot: %w", err)
 	}
@@ -57,21 +64,21 @@ func WriteSnapshot(dir string, shard uint32, seq uint64, ops []Op) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, path)
+		err = fsys.Rename(tmp, path)
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: write snapshot: %w", err)
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 // loadSnapshot parses a snapshot file completely before returning, so
 // a caller never applies half of a corrupt snapshot. Any defect —
 // short file, wrong magic or shard, bad record — is an error; the
 // caller falls back to an older snapshot.
-func loadSnapshot(path string, shard uint32) (seq uint64, recs []Record, err error) {
-	b, err := os.ReadFile(path)
+func loadSnapshot(fsys FS, path string, shard uint32) (seq uint64, recs []Record, err error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -102,15 +109,22 @@ func loadSnapshot(path string, shard uint32) (seq uint64, recs []Record, err err
 // snapshot. The active (newest) segment is never touched, so Compact
 // is safe to run while a Log is appending.
 func Compact(dir string, keepSnaps int) error {
+	return CompactFS(nil, dir, keepSnaps)
+}
+
+// CompactFS is Compact through an explicit filesystem seam (nil = the
+// real one).
+func CompactFS(fsys FS, dir string, keepSnaps int) error {
+	fsys = fsOrOS(fsys)
 	if keepSnaps < 1 {
 		keepSnaps = 1
 	}
-	snaps, segs, err := listDir(dir)
+	snaps, segs, err := listDir(fsys, dir)
 	if err != nil {
 		return err
 	}
 	for len(snaps) > keepSnaps {
-		if err := os.Remove(snaps[0].path); err != nil {
+		if err := fsys.Remove(snaps[0].path); err != nil {
 			return err
 		}
 		snaps = snaps[1:]
@@ -124,7 +138,7 @@ func Compact(dir string, keepSnaps int) error {
 		if segs[i+1].seq > floor+1 {
 			break
 		}
-		if err := os.Remove(segs[i].path); err != nil {
+		if err := fsys.Remove(segs[i].path); err != nil {
 			return err
 		}
 	}

@@ -91,6 +91,7 @@ type Metrics struct {
 	Rotations      atomic.Uint64 // segment rotations
 	Truncations    atomic.Uint64 // torn tails truncated during recovery
 	TruncatedBytes atomic.Uint64 // bytes dropped by those truncations
+	Failures       atomic.Uint64 // Logs failed by a sticky I/O error
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics. The JSON names
@@ -103,6 +104,7 @@ type MetricsSnapshot struct {
 	Rotations      uint64       `json:"rotations"`
 	Truncations    uint64       `json:"truncations"`
 	TruncatedBytes uint64       `json:"truncated_bytes"`
+	Failures       uint64       `json:"failures"`
 	AppendNs       obs.Snapshot `json:"append_ns"`
 	FsyncNs        obs.Snapshot `json:"fsync_ns"`
 }
@@ -117,6 +119,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Rotations:      m.Rotations.Load(),
 		Truncations:    m.Truncations.Load(),
 		TruncatedBytes: m.TruncatedBytes.Load(),
+		Failures:       m.Failures.Load(),
 		AppendNs:       m.AppendNs.Snapshot(),
 		FsyncNs:        m.FsyncNs.Snapshot(),
 	}

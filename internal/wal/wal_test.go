@@ -404,7 +404,7 @@ func TestRotationAndSnapshot(t *testing.T) {
 		}
 		wantSeq++
 	}
-	snaps, segs, err := listDir(dir)
+	snaps, segs, err := listDir(OSFS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
