@@ -6,11 +6,23 @@
 // Usage:
 //
 //	go test -run=NONE -bench=. -benchmem ./... | mtx-bench2json [-out file.json] [-note "..."]
+//	go test -run=NONE -bench=. -benchmem -cpu 1,4,16 . | mtx-bench2json -sweep [-gate KVReadHeavy] [-gate-ratio 1.0]
 //
 // Input may concatenate several packages' bench sections; the goos /
 // goarch / cpu / pkg headers are tracked per section and attached to
 // each benchmark row. Lines that are not benchmark results are ignored,
 // so piping the whole `go test` output works.
+//
+// With -sweep, the input is a GOMAXPROCS sweep (`go test -cpu 1,4,16`):
+// rows are grouped by their -P name suffix (no suffix = 1 proc) and the
+// output is a JSON array with one document per GOMAXPROCS value, each
+// stamped with that proc count — the scaling-curve shape BENCH_PR10.json
+// records. -gate names a top-level benchmark to check scaling on: for
+// every sub-benchmark, the highest-proc row's throughput must be at
+// least -gate-ratio times its lowest-proc throughput, or the exit status
+// is 1. The default ratio 1.0 demands genuine scaling (never slower
+// with more procs); CI runners with fewer cores than the sweep's top
+// proc count pass a documented allowance for oversubscription instead.
 package main
 
 import (
@@ -21,6 +33,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -70,6 +83,9 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-form note recorded in the document (e.g. the PR or commit)")
 	commit := flag.String("commit", "", "git commit to stamp the document with (default: git rev-parse HEAD)")
+	sweep := flag.Bool("sweep", false, "treat input as a -cpu sweep: emit one document per GOMAXPROCS value (JSON array)")
+	gate := flag.String("gate", "", "with -sweep: top-level benchmark whose sub-benchmarks must scale (e.g. KVReadHeavy)")
+	gateRatio := flag.Float64("gate-ratio", 1.0, "with -gate: minimum highest-proc/lowest-proc throughput ratio")
 	flag.Parse()
 
 	doc := document{
@@ -128,10 +144,110 @@ func main() {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "mtx-bench2json: encode:", err)
+	var encodeErr error
+	if *sweep {
+		encodeErr = enc.Encode(splitByProcs(doc))
+	} else {
+		encodeErr = enc.Encode(doc)
+	}
+	if encodeErr != nil {
+		fmt.Fprintln(os.Stderr, "mtx-bench2json: encode:", encodeErr)
 		os.Exit(1)
 	}
+	if *gate != "" {
+		if !*sweep {
+			fmt.Fprintln(os.Stderr, "mtx-bench2json: -gate requires -sweep")
+			os.Exit(2)
+		}
+		if !checkScalingGate(doc.Benchmarks, *gate, *gateRatio) {
+			os.Exit(1)
+		}
+	}
+}
+
+// splitByProcs groups a sweep's rows into one document per GOMAXPROCS
+// value, in ascending proc order. A row with no -P suffix ran at
+// GOMAXPROCS=1 (go test only appends the suffix above 1).
+func splitByProcs(doc document) []document {
+	byProcs := map[int][]benchRow{}
+	var order []int
+	for _, row := range doc.Benchmarks {
+		p := row.Procs
+		if p == 0 {
+			p = 1
+		}
+		if _, seen := byProcs[p]; !seen {
+			order = append(order, p)
+		}
+		byProcs[p] = append(byProcs[p], row)
+	}
+	sort.Ints(order)
+	docs := make([]document, 0, len(order))
+	for _, p := range order {
+		d := doc
+		d.GoMaxProcs = p
+		d.Benchmarks = byProcs[p]
+		docs = append(docs, d)
+	}
+	return docs
+}
+
+// checkScalingGate verifies that every sub-benchmark of the named
+// top-level benchmark retains at least ratio× its lowest-proc
+// throughput at its highest proc count, printing one verdict line per
+// sub-benchmark on stderr. ns/op is inversely proportional to
+// throughput, so the check is nsLow/nsHigh >= ratio.
+func checkScalingGate(rows []benchRow, bench string, ratio float64) bool {
+	type pair struct {
+		loP, hiP   int
+		loNs, hiNs float64
+	}
+	subs := map[string]*pair{}
+	var names []string
+	for _, row := range rows {
+		if row.Bench != bench {
+			continue
+		}
+		p := row.Procs
+		if p == 0 {
+			p = 1
+		}
+		s, seen := subs[row.Sub]
+		if !seen {
+			subs[row.Sub] = &pair{loP: p, hiP: p, loNs: row.NsPerOp, hiNs: row.NsPerOp}
+			names = append(names, row.Sub)
+			continue
+		}
+		if p < s.loP {
+			s.loP, s.loNs = p, row.NsPerOp
+		}
+		if p > s.hiP {
+			s.hiP, s.hiNs = p, row.NsPerOp
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "mtx-bench2json: gate: no rows for benchmark %q\n", bench)
+		return false
+	}
+	ok := true
+	for _, name := range names {
+		s := subs[name]
+		if s.loP == s.hiP {
+			fmt.Fprintf(os.Stderr, "mtx-bench2json: gate: %s/%s has a single proc count (%d); nothing to compare\n",
+				bench, name, s.loP)
+			ok = false
+			continue
+		}
+		got := s.loNs / s.hiNs // throughput at hiP relative to loP
+		verdict := "ok"
+		if got < ratio {
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "mtx-bench2json: gate: %s/%s %dp->%dp throughput ratio %.2f (min %.2f) %s\n",
+			bench, name, s.loP, s.hiP, got, ratio, verdict)
+	}
+	return ok
 }
 
 // parseBenchLine parses one `go test -bench -benchmem` result line:

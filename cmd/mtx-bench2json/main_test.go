@@ -69,6 +69,62 @@ func TestParseBenchLineSubless(t *testing.T) {
 	}
 }
 
+// TestSplitByProcs pins the -sweep grouping: rows split by their -P
+// suffix into ascending per-proc documents, suffixless rows counting as
+// one proc, with the shared provenance stamp copied into each.
+func TestSplitByProcs(t *testing.T) {
+	doc := document{
+		Commit: "abc",
+		Benchmarks: []benchRow{
+			{Name: "KVReadHeavy/tl2", Bench: "KVReadHeavy", Sub: "tl2", Procs: 16, NsPerOp: 300},
+			{Name: "KVReadHeavy/tl2", Bench: "KVReadHeavy", Sub: "tl2", Procs: 0, NsPerOp: 400},
+			{Name: "KVReadHeavy/tl2", Bench: "KVReadHeavy", Sub: "tl2", Procs: 4, NsPerOp: 350},
+		},
+	}
+	docs := splitByProcs(doc)
+	if len(docs) != 3 {
+		t.Fatalf("got %d documents, want 3", len(docs))
+	}
+	wantProcs := []int{1, 4, 16}
+	for i, d := range docs {
+		if d.GoMaxProcs != wantProcs[i] {
+			t.Errorf("docs[%d].GoMaxProcs = %d, want %d", i, d.GoMaxProcs, wantProcs[i])
+		}
+		if len(d.Benchmarks) != 1 {
+			t.Errorf("docs[%d] has %d rows, want 1", i, len(d.Benchmarks))
+		}
+		if d.Commit != "abc" {
+			t.Errorf("docs[%d] lost the provenance stamp", i)
+		}
+	}
+}
+
+// TestScalingGate pins the -gate arithmetic: the highest-proc row must
+// retain ratio× the lowest-proc throughput, per sub-benchmark.
+func TestScalingGate(t *testing.T) {
+	rows := []benchRow{
+		{Bench: "KVReadHeavy", Sub: "tl2", Procs: 0, NsPerOp: 400},
+		{Bench: "KVReadHeavy", Sub: "tl2", Procs: 4, NsPerOp: 500},
+		{Bench: "KVReadHeavy", Sub: "tl2", Procs: 16, NsPerOp: 200},
+		{Bench: "KVReadHeavy", Sub: "lazy", Procs: 0, NsPerOp: 400},
+		{Bench: "KVReadHeavy", Sub: "lazy", Procs: 16, NsPerOp: 500},
+		{Bench: "Other", Sub: "x", Procs: 16, NsPerOp: 1},
+	}
+	// tl2 doubles its throughput (400->200 ns), lazy degrades to 0.8.
+	if !checkScalingGate(rows, "KVReadHeavy", 0.75) {
+		t.Error("gate at 0.75 should pass: worst ratio is 0.8")
+	}
+	if checkScalingGate(rows, "KVReadHeavy", 1.0) {
+		t.Error("gate at 1.0 should fail: lazy is below parity")
+	}
+	if checkScalingGate(rows, "Nope", 0.5) {
+		t.Error("gate on an absent benchmark must fail")
+	}
+	if checkScalingGate(rows, "Other", 0.5) {
+		t.Error("gate on a single-proc benchmark must fail")
+	}
+}
+
 func TestParseBenchLineRejectsNoise(t *testing.T) {
 	for _, line := range []string{
 		"goos: linux",

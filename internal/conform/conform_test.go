@@ -36,11 +36,19 @@ func TestSequentialRunExplained(t *testing.T) {
 }
 
 func TestPublicationRunExplained(t *testing.T) {
-	// Every registered engine must produce publication runs explainable
-	// in the implementation model — a new engine cannot merge without
-	// passing the litmus recording.
+	// Every registered engine × clock-mode pair must produce publication
+	// runs explainable in the implementation model — a new engine or
+	// clock variant cannot merge without passing the litmus recording.
 	for _, engine := range stm.Engines() {
-		s := NewSession(stm.New(stm.WithEngine(engine)))
+		for _, clock := range stm.ClockModes() {
+			testPublicationRunExplained(t, engine, clock)
+		}
+	}
+}
+
+func testPublicationRunExplained(t *testing.T, engine stm.Engine, clock stm.ClockMode) {
+	t.Run(engine.String()+"/"+clock.String(), func(t *testing.T) {
+		s := NewSession(stm.New(stm.WithEngine(engine), stm.WithClock(clock)))
 		s.Var("x", 0)
 		s.Var("y", 0)
 		t1 := s.Thread()
@@ -74,7 +82,7 @@ func TestPublicationRunExplained(t *testing.T) {
 		if !x.ExplainedBy(core.Implementation) {
 			t.Errorf("%v: publication run not explainable in the implementation model", engine)
 		}
-	}
+	})
 }
 
 // TestPrivatizationAnomalyLemma51Gap records the forced delayed-writeback

@@ -196,115 +196,121 @@ func TestReplicaReadiness(t *testing.T) {
 }
 
 // TestReplicaCrossShardLitmus is the replica-semantics litmus, run
-// against all four engines: a stream of cross-shard transfers between
-// two counters whose sum is invariant. Concurrent transactional
-// readers must never see the sum mid-transfer — cross-shard
-// transactions surface atomically — no matter how the record and
-// marker streams interleave.
+// against every registered engine × clock-mode pair: a stream of
+// cross-shard transfers between two counters whose sum is invariant.
+// Concurrent transactional readers must never see the sum mid-transfer
+// — cross-shard transactions surface atomically — no matter how the
+// record and marker streams interleave.
 func TestReplicaCrossShardLitmus(t *testing.T) {
-	for _, eng := range []stm.Engine{stm.Lazy, stm.Eager, stm.GlobalLock, stm.TL2} {
-		t.Run(eng.String(), func(t *testing.T) {
-			r, err := NewReplica(WithShards(4), WithEngine(eng))
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer r.Store().Close()
-			a, b := twoShardKeys(t, r, "acct")
-			f := newFeeder(t, r)
-			f.buffer = true
-
-			// Seed both accounts at 500 (sum 1000), then 200 transfers
-			// of 1 from a to b, as absolute CounterSets.
-			const seed, n = int64(500), 200
-			f.xfer(a, b, seed, seed)
-			for k := int64(1); k <= n; k++ {
-				f.xfer(a, b, seed-k, seed+k)
-			}
-			recs := f.recs
-
-			// Interleave: per-stream order must hold (per shard and for
-			// markers), but across streams anything goes. Walk three
-			// cursors, picking randomly among streams with pending work.
-			rng := rand.New(rand.NewSource(42))
-			byStream := map[uint32][]wal.Record{}
-			for _, rec := range recs {
-				byStream[rec.Shard] = append(byStream[rec.Shard], rec)
-			}
-			var streams [][]wal.Record
-			for _, s := range byStream {
-				streams = append(streams, s)
-			}
-
-			stop := make(chan struct{})
-			var violations atomic.Int64
-			var wg sync.WaitGroup
-			for w := 0; w < 4; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						select {
-						case <-stop:
-							return
-						default:
-						}
-						var sum int64
-						var seen, half bool
-						if err := r.Store().View([]string{a, b}, func(t *ViewTxn) error {
-							va, oka := t.Counter(a)
-							vb, okb := t.Counter(b)
-							seen = oka || okb
-							half = oka != okb
-							sum = va + vb
-							return nil
-						}); err != nil {
-							violations.Add(1)
-							return
-						}
-						if seen && (half || sum != 2*seed) {
-							violations.Add(1)
-						}
-					}
-				}()
-			}
-
-			for len(streams) > 0 {
-				i := rng.Intn(len(streams))
-				rec := streams[i][0]
-				streams[i] = streams[i][1:]
-				if len(streams[i]) == 0 {
-					streams = append(streams[:i], streams[i+1:]...)
-				}
-				if err := r.ApplyRecord(rec); err != nil {
-					t.Fatalf("ApplyRecord: %v", err)
-				}
-			}
-			close(stop)
-			wg.Wait()
-			if v := violations.Load(); v != 0 {
-				t.Fatalf("%d atomicity violations: readers saw a partial cross-shard transaction", v)
-			}
-			var spread int64
-			if err := r.Store().View([]string{a, b}, func(t *ViewTxn) error {
-				va, _ := t.Counter(a)
-				vb, _ := t.Counter(b)
-				spread = vb - va
-				return nil
-			}); err != nil {
-				t.Fatal(err)
-			}
-			if spread != 2*n {
-				t.Fatalf("final spread = %d, want %d", spread, 2*n)
-			}
-			st := r.Stats()
-			if st.XApplied != n+1 {
-				t.Fatalf("xapplied = %d, want %d", st.XApplied, n+1)
-			}
-			if st.Pending != 0 || len(r.markers) != 0 {
-				t.Fatalf("leftover pending %d / markers %d", st.Pending, len(r.markers))
-			}
-		})
+	for _, eng := range stm.Engines() {
+		for _, clock := range stm.ClockModes() {
+			testReplicaCrossShardLitmus(t, eng, clock)
+		}
 	}
+}
+
+func testReplicaCrossShardLitmus(t *testing.T, eng stm.Engine, clock stm.ClockMode) {
+	t.Run(eng.String()+"/"+clock.String(), func(t *testing.T) {
+		r, err := NewReplica(WithShards(4), WithEngine(eng), WithClock(clock))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Store().Close()
+		a, b := twoShardKeys(t, r, "acct")
+		f := newFeeder(t, r)
+		f.buffer = true
+
+		// Seed both accounts at 500 (sum 1000), then 200 transfers
+		// of 1 from a to b, as absolute CounterSets.
+		const seed, n = int64(500), 200
+		f.xfer(a, b, seed, seed)
+		for k := int64(1); k <= n; k++ {
+			f.xfer(a, b, seed-k, seed+k)
+		}
+		recs := f.recs
+
+		// Interleave: per-stream order must hold (per shard and for
+		// markers), but across streams anything goes. Walk three
+		// cursors, picking randomly among streams with pending work.
+		rng := rand.New(rand.NewSource(42))
+		byStream := map[uint32][]wal.Record{}
+		for _, rec := range recs {
+			byStream[rec.Shard] = append(byStream[rec.Shard], rec)
+		}
+		var streams [][]wal.Record
+		for _, s := range byStream {
+			streams = append(streams, s)
+		}
+
+		stop := make(chan struct{})
+		var violations atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var sum int64
+					var seen, half bool
+					if err := r.Store().View([]string{a, b}, func(t *ViewTxn) error {
+						va, oka := t.Counter(a)
+						vb, okb := t.Counter(b)
+						seen = oka || okb
+						half = oka != okb
+						sum = va + vb
+						return nil
+					}); err != nil {
+						violations.Add(1)
+						return
+					}
+					if seen && (half || sum != 2*seed) {
+						violations.Add(1)
+					}
+				}
+			}()
+		}
+
+		for len(streams) > 0 {
+			i := rng.Intn(len(streams))
+			rec := streams[i][0]
+			streams[i] = streams[i][1:]
+			if len(streams[i]) == 0 {
+				streams = append(streams[:i], streams[i+1:]...)
+			}
+			if err := r.ApplyRecord(rec); err != nil {
+				t.Fatalf("ApplyRecord: %v", err)
+			}
+		}
+		close(stop)
+		wg.Wait()
+		if v := violations.Load(); v != 0 {
+			t.Fatalf("%d atomicity violations: readers saw a partial cross-shard transaction", v)
+		}
+		var spread int64
+		if err := r.Store().View([]string{a, b}, func(t *ViewTxn) error {
+			va, _ := t.Counter(a)
+			vb, _ := t.Counter(b)
+			spread = vb - va
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if spread != 2*n {
+			t.Fatalf("final spread = %d, want %d", spread, 2*n)
+		}
+		st := r.Stats()
+		if st.XApplied != n+1 {
+			t.Fatalf("xapplied = %d, want %d", st.XApplied, n+1)
+		}
+		if st.Pending != 0 || len(r.markers) != 0 {
+			t.Fatalf("leftover pending %d / markers %d", st.Pending, len(r.markers))
+		}
+	})
 }
 
 // TestReplicaStallsWithoutMarker: a cross-shard participant must NOT

@@ -26,6 +26,10 @@ const (
 	// transactions (AtomicallyRead) that keep no read set and commit in
 	// O(1) without locks or validation.
 	TL2
+	// Adaptive delegates per instance to tl2 or eager, flipped by the
+	// contention controller when the conflict rate crosses its
+	// hysteresis thresholds (see adapt.go and engine_adaptive.go).
+	Adaptive
 )
 
 // engine is the seam behind the transactional protocol: per-location
@@ -86,8 +90,9 @@ type engine interface {
 	// every read validates against tx.rv at read time, so commit needs
 	// no validation. Multi-instance read-only transactions always keep
 	// read sets regardless (their serialization point is later than any
-	// single rv).
-	invisibleReadOnly() bool
+	// single rv). It takes the attempt so the adaptive engine can answer
+	// for the delegate the attempt actually began under.
+	invisibleReadOnly(tx *Tx) bool
 }
 
 // engineInfo is one registry row.
@@ -110,6 +115,8 @@ var engineTable = []engineInfo{
 		"one mutex per instance; the strongest and slowest baseline"},
 	{TL2, "tl2", []string{"snapshot"}, tl2Engine{},
 		"global-version-clock snapshots: invisible reads, timestamp extension, lock-free read-only transactions"},
+	{Adaptive, "adaptive", nil, adaptiveEngine{},
+		"contention-adaptive: starts on tl2, flips to eager encounter locking while the conflict rate stays above the hysteresis threshold"},
 }
 
 func lookupEngine(e Engine) (engineInfo, bool) {
@@ -199,7 +206,10 @@ func sampleVar(tx *Tx, v *Var, record, extend bool) int64 {
 		}
 		if version(m1) > tx.rv {
 			// Written by a transaction after our snapshot: the world
-			// already changed, so retry immediately — never park.
+			// already changed, so retry immediately — never park. Under
+			// the deferred clock the observation itself must advance the
+			// clock first, or the next snapshot would be no fresher.
+			tx.s.clockObserve(version(m1))
 			if !extend || !tx.extendSnapshot() {
 				noteContention(&v.varBase)
 				tx.conflictRetryNow()
@@ -227,6 +237,7 @@ func sampleBox(tx *Tx, b boxed, record, extend bool) any {
 			continue // torn sample; retry
 		}
 		if version(m1) > tx.rv {
+			tx.s.clockObserve(version(m1))
 			if !extend || !tx.extendSnapshot() {
 				noteContention(vb)
 				tx.conflictRetryNow()
@@ -251,12 +262,12 @@ func (tx *Tx) extendSnapshot() bool {
 		// Some reads were invisible: extension would silently invalidate
 		// them, except when none have happened at all.
 		if tx.nreads == 0 {
-			tx.rv = tx.s.clock.Load()
+			tx.rv = tx.s.clockBegin()
 			return true
 		}
 		return false
 	}
-	newRV := tx.s.clock.Load()
+	newRV := tx.s.clockBegin()
 	for _, re := range tx.reads {
 		cur := re.vb.meta.Load()
 		if isLocked(cur) || version(cur) > tx.rv {
@@ -295,27 +306,42 @@ func lockWriteSetSorted(tx *Tx) bool {
 			return 0
 		}
 	})
-	for i := range lm {
+	for i := 0; i < len(lm); {
 		m, ok := lm[i].vb.tryLock(tx.rv)
-		if !ok {
-			// Attribute the failure for the parking retry loop: a locked
-			// write target is worth parking on (its committer will wake
-			// us), a too-new or torn one means retry immediately. Either
-			// way the contention table learns who we lost to.
-			noteContention(lm[i].vb)
-			if isLocked(m) {
-				tx.conflictVB, tx.conflictMeta = lm[i].vb, m
-			} else {
-				tx.conflictChanged = true
-			}
-			for j := i - 1; j >= 0; j-- {
-				lm[j].vb.meta.Store(lm[j].meta)
-			}
-			clear(lm)
-			tx.lockedMeta = lm[:0]
-			return false
+		if ok {
+			lm[i].meta = m
+			i++
+			continue
 		}
-		lm[i].meta = m
+		// Back out the locks taken so far before deciding how to fail —
+		// or, under the deferred clock, whether to fail at all.
+		for j := i - 1; j >= 0; j-- {
+			lm[j].vb.meta.Store(lm[j].meta)
+		}
+		if !isLocked(m) {
+			// Too new (or torn): any future snapshot must be able to see
+			// past m — advance the deferred clock first.
+			tx.s.clockObserve(version(m))
+			if tx.s.clockMode == ClockDeferred && tx.extendSnapshot() {
+				// Deferred-mode commits never publish to the clock, so a
+				// write target newer than rv is the systematic common
+				// case (every writer trips over its own last commit), not
+				// evidence of a race. Extend the snapshot — revalidating
+				// the read set exactly as the read path would — and
+				// relock at the fresh rv instead of paying an abort.
+				i = 0
+				continue
+			}
+			tx.conflictChanged = true
+		} else {
+			// A locked write target is worth parking on: its committer
+			// will wake us. The contention table learns who we lost to.
+			tx.conflictVB, tx.conflictMeta = lm[i].vb, m
+		}
+		noteContention(lm[i].vb)
+		clear(lm)
+		tx.lockedMeta = lm[:0]
+		return false
 	}
 	tx.lockedMeta = lm
 	return true

@@ -1,0 +1,58 @@
+package stm
+
+// adaptiveEngine is the contention-adaptive strategy: it owns no
+// protocol of its own, but delegates every attempt to one of two
+// registered protocols chosen per instance by the contention controller
+// (see adapt.go) — tl2 while the instance is calm, eager encounter
+// locking while it is contended. Each attempt pins its delegate at
+// begin (tx.del), so a mid-attempt flip never mixes protocols within
+// one attempt.
+//
+// Soundness of mixing attempts across a flip: tl2 (write-buffering with
+// commit-time locks) and eager (encounter locking with undo) speak the
+// same versioned-lock wire protocol over the same varBase words — the
+// lock bit excludes concurrent owners, a version above the snapshot
+// aborts the reader, and commits release with a fresh version while
+// holding the lock. Each protocol is correct against any peer honoring
+// those invariants, not just against itself, so an in-flight tl2
+// attempt racing a post-flip eager attempt composes exactly like two
+// attempts of either fixed engine. (The global-lock engine is excluded
+// from the rotation precisely because it does not speak this protocol:
+// its reads take no locks and tolerate no concurrent committers.)
+//
+// The anomaly surface is the union of the delegates': write-buffering
+// attempts exhibit the §3.5 delayed-writeback window, eager attempts
+// the §3.4 speculative windows. Fences are required for privatization
+// exactly as on the fixed engines.
+type adaptiveEngine struct{}
+
+// strategy values stored in STM.strategy; indexes adaptiveStrategies.
+const (
+	strategyTL2 int32 = iota
+	strategyEager
+)
+
+// adaptiveStrategies are the delegate protocols, by strategy value.
+var adaptiveStrategies = [...]engine{strategyTL2: tl2Engine{}, strategyEager: eagerEngine{}}
+
+func (adaptiveEngine) begin(tx *Tx) {
+	tx.del = adaptiveStrategies[tx.s.strategy.Load()]
+	tx.del.begin(tx)
+}
+
+func (adaptiveEngine) finish(tx *Tx) { tx.del.finish(tx) }
+
+func (adaptiveEngine) read(tx *Tx, v *Var) int64         { return tx.del.read(tx, v) }
+func (adaptiveEngine) write(tx *Tx, v *Var, x int64)     { tx.del.write(tx, v, x) }
+func (adaptiveEngine) readBoxed(tx *Tx, b boxed) any     { return tx.del.readBoxed(tx, b) }
+func (adaptiveEngine) writeBoxed(tx *Tx, b boxed, x any) { tx.del.writeBoxed(tx, b, x) }
+
+func (adaptiveEngine) prepare(tx *Tx) bool       { return tx.del.prepare(tx) }
+func (adaptiveEngine) lockWrites(tx *Tx) bool    { return tx.del.lockWrites(tx) }
+func (adaptiveEngine) validateReads(tx *Tx) bool { return tx.del.validateReads(tx) }
+func (adaptiveEngine) commit(tx *Tx)             { tx.del.commit(tx) }
+func (adaptiveEngine) rollback(tx *Tx)           { tx.del.rollback(tx) }
+
+func (adaptiveEngine) wakeSet(tx *Tx, f func(*varBase)) { tx.del.wakeSet(tx, f) }
+
+func (adaptiveEngine) invisibleReadOnly(tx *Tx) bool { return tx.del.invisibleReadOnly(tx) }

@@ -6,7 +6,7 @@ package stm
 // anomalies of §3.4 under mixed access.
 type eagerEngine struct{}
 
-func (eagerEngine) begin(tx *Tx)  { tx.rv = tx.s.clock.Load() }
+func (eagerEngine) begin(tx *Tx)  { tx.rv = tx.s.clockBegin() }
 func (eagerEngine) finish(tx *Tx) {}
 
 func (eagerEngine) read(tx *Tx, v *Var) int64 {
@@ -24,16 +24,29 @@ func (tx *Tx) encounterLock(vb *varBase) (firstTouch bool) {
 	if tx.ownsLock(vb) {
 		return false
 	}
-	m, ok := vb.tryLock(tx.rv)
-	if !ok {
+	for {
+		m, ok := vb.tryLock(tx.rv)
+		if ok {
+			tx.addLocked(vb, m)
+			return true
+		}
 		if isLocked(m) {
 			tx.conflictOn(vb, m) // park: the holder's commit wakes us
 		}
+		// Too new or torn: the world already moved. Advance the deferred
+		// clock past what we saw so the next snapshot covers it.
+		tx.s.clockObserve(version(m))
+		if tx.s.clockMode == ClockDeferred && tx.extendSnapshot() {
+			// Under the deferred clock a write target newer than rv is
+			// the common case, not a race: commits never publish to the
+			// clock, so every writer finds its own last commit ahead of
+			// its snapshot. Extend (revalidating the read set) and
+			// relock rather than aborting.
+			continue
+		}
 		noteContention(vb)
-		tx.conflictRetryNow() // too new or torn: the world already moved
+		tx.conflictRetryNow()
 	}
-	tx.addLocked(vb, m)
-	return true
 }
 
 func (eagerEngine) write(tx *Tx, v *Var, x int64) {
@@ -83,10 +96,15 @@ func (eagerEngine) commit(tx *Tx) {
 	if len(tx.locked) == 0 {
 		return // read-only: don't contend the clock for nothing
 	}
-	wv := tx.s.clock.Add(1)
+	// Encounter locks are all held here — the deferred clock's
+	// load-after-lock requirement is met (see clock.go).
+	wv := tx.s.clockWV()
 	for i := range tx.locked {
-		tx.locked[i].vb.meta.Store(wv << 1)
+		tx.locked[i].vb.meta.Store(tx.s.releaseWord(wv, tx.locked[i].vb))
 	}
+	// Publish wv under the deferred clock (no-op otherwise) so the next
+	// snapshot covers this commit; see the lazy engine's commit.
+	tx.s.clockObserve(wv)
 	// The lock table and undo logs are dropped by the Tx reset.
 }
 
@@ -117,4 +135,4 @@ func (eagerEngine) wakeSet(tx *Tx, f func(*varBase)) {
 	}
 }
 
-func (eagerEngine) invisibleReadOnly() bool { return false }
+func (eagerEngine) invisibleReadOnly(tx *Tx) bool { return false }

@@ -10,7 +10,7 @@ func (glockEngine) begin(tx *Tx) {
 	tx.s.glock <- struct{}{}
 	// Snapshot after acquisition so the transaction observes every commit
 	// serialized before it.
-	tx.rv = tx.s.clock.Load()
+	tx.rv = tx.s.clockBegin()
 }
 
 func (glockEngine) finish(tx *Tx) { <-tx.s.glock }
@@ -53,14 +53,21 @@ func (glockEngine) commit(tx *Tx) {
 	}
 	// Bump written variables' versions so lazy-family readers on other
 	// instances (AtomicallyMulti) and quiescence-free fast paths observe
-	// the update order.
-	wv := tx.s.clock.Add(1)
+	// the update order. The instance mutex is the commit-time lock, so
+	// clockWV's load-after-lock requirement holds trivially.
+	wv := tx.s.clockWV()
 	for i := range tx.undo {
-		tx.undo[i].v.meta.Store(wv << 1)
+		vb := &tx.undo[i].v.varBase
+		vb.meta.Store(tx.s.releaseWord(wv, vb))
 	}
 	for i := range tx.pundo {
-		tx.pundo[i].b.base().meta.Store(wv << 1)
+		vb := tx.pundo[i].b.base()
+		vb.meta.Store(tx.s.releaseWord(wv, vb))
 	}
+	// Publish wv under the deferred clock (no-op otherwise) so later
+	// snapshots — including other engines' in AtomicallyMulti — cover
+	// this commit; see the lazy engine's commit.
+	tx.s.clockObserve(wv)
 	// The undo logs are dropped by the Tx reset.
 }
 
@@ -87,4 +94,4 @@ func (glockEngine) wakeSet(tx *Tx, f func(*varBase)) {
 	}
 }
 
-func (glockEngine) invisibleReadOnly() bool { return false }
+func (glockEngine) invisibleReadOnly(tx *Tx) bool { return false }

@@ -47,8 +47,11 @@ type waitTable struct {
 	// active counts live registrations across all buckets. The commit
 	// path loads it once per written variable and skips the bucket scan
 	// entirely while it is zero, so instances with no waiters pay one
-	// uncontended atomic load per written var and nothing else.
+	// uncontended atomic load per written var and nothing else. Padded
+	// to a line of its own: it is the gate word every writing commit
+	// loads, and park/unpark RMWs on it must not invalidate the buckets.
 	active atomic.Int64
+	_      [56]byte
 
 	buckets [waitBuckets]waitBucket
 }
@@ -63,6 +66,11 @@ type waitBucket struct {
 	// appended, removals swap with the tail, so the steady-state park
 	// path stops allocating once a bucket has seen its high-water mark.
 	regs []waitReg
+
+	// Tail padding rounds the bucket to one cache line (4+8+4 pad+24+24
+	// = 64) so neighboring buckets — hashed to by unrelated variables —
+	// never false-share their n gate words.
+	_ [24]byte
 }
 
 type waitReg struct {
@@ -328,7 +336,7 @@ func (s *STM) Touch(vs ...*Var) {
 				runtime.Gosched()
 				continue
 			}
-			if vb.meta.CompareAndSwap(m, s.clock.Add(1)<<1) {
+			if vb.meta.CompareAndSwap(m, s.clockTouch(m)<<1) {
 				break
 			}
 		}
@@ -338,21 +346,28 @@ func (s *STM) Touch(vs ...*Var) {
 
 // --- pause policy of the retry loops ---
 
-// spinAttempts is the number of leading conflicted attempts that just
-// yield the processor before the loops start parking: immediate retry
-// wins while conflicts are transient, and it also keeps the short
-// "retry onto fresh state" idiom (kv's tombstone handling) prompt.
-const spinAttempts = 8
+// The number of leading conflicted attempts that just yield the
+// processor before the loops start parking used to be a constant 8;
+// it is now the per-instance adaptive spin budget (see adapt.go and
+// STM.SpinBudget). Immediate retry wins while conflicts are transient,
+// and it also keeps the short "retry onto fresh state" idiom (kv's
+// tombstone handling) prompt; persistent contention shrinks the budget
+// so losers park promptly instead of bouncing hot cache lines.
 
 // conflictFallback is the pre-notification backoff schedule, demoted to
 // the fallback timer of a conflict-park: it only fires when the
 // conflicting transaction aborted (publishing nothing), so the parked
-// attempt still makes progress instead of waiting forever.
-func conflictFallback(attempt int) time.Duration {
-	if attempt < 20 {
-		return time.Microsecond << uint(max(attempt-spinAttempts, 0))
+// attempt still makes progress instead of waiting forever. spin is the
+// instance's spin budget, aligning the schedule with backoff's.
+func conflictFallback(attempt, spin int) time.Duration {
+	shift := attempt - spin
+	if shift < 0 {
+		shift = 0
 	}
-	return 4 * time.Millisecond
+	if shift > 12 {
+		return 4 * time.Millisecond
+	}
+	return time.Microsecond << uint(shift)
 }
 
 // blockFallback is the safety-net recheck cadence of an explicit
@@ -376,6 +391,7 @@ func blockFallback(parks int) time.Duration {
 // wait on (empty footprint, or still in the spin phase) the old blind
 // backoff remains.
 func (s *STM) afterConflict(ctx context.Context, w *waiter, changed bool, attempt int) {
+	spin := s.SpinBudget()
 	switch {
 	case changed:
 		runtime.Gosched()
@@ -383,20 +399,23 @@ func (s *STM) afterConflict(ctx context.Context, w *waiter, changed bool, attemp
 		if w != nil {
 			w.release()
 		}
-		backoff(ctx, attempt)
+		backoff(ctx, attempt, spin)
 	default:
-		w.park(ctx, conflictFallback(attempt))
+		w.park(ctx, conflictFallback(attempt, spin))
 	}
 }
 
 // captureConflict decides whether a conflicted attempt should park and,
 // if so, snapshots its footprint before the abort wipes it. It returns
-// changed=true when the conflict already proved a state change.
+// changed=true when the conflict already proved a state change. Every
+// conflicted attempt also ticks the adaptive controller here — the
+// conflict slow path is the only place contention telemetry accrues.
 func (s *STM) captureConflict(tx *Tx, attempt int) (w *waiter, changed bool) {
+	s.maybeAdapt()
 	if tx.conflictChanged {
 		return nil, true
 	}
-	if attempt < spinAttempts {
+	if attempt < s.SpinBudget() {
 		return nil, false
 	}
 	w = s.newWaiter()
@@ -423,12 +442,13 @@ func (s *STM) conflictedAttempt(ctx context.Context, tx *Tx, attempt int) int {
 // and any instance's proof of change forces immediate retry. The waiter
 // is pooled on (and its park accounted to) lead.
 func captureConflictMulti(lead *STM, txs []*Tx, attempt int) (w *waiter, changed bool) {
+	lead.maybeAdapt()
 	for _, tx := range txs {
 		if tx.conflictChanged {
 			return nil, true
 		}
 	}
-	if attempt < spinAttempts {
+	if attempt < lead.SpinBudget() {
 		return nil, false
 	}
 	w = lead.newWaiter()
@@ -445,7 +465,8 @@ func captureConflictMulti(lead *STM, txs []*Tx, attempt int) (w *waiter, changed
 func (s *STM) parkBlocked(ctx context.Context, w *waiter, parks int) {
 	if len(w.entries) == 0 {
 		w.release()
-		backoff(ctx, spinAttempts+12+parks) // deep-backoff regime: 4ms sleeps
+		bo := s.SpinBudget()
+		backoff(ctx, bo+12+parks, bo) // deep-backoff regime: 4ms sleeps
 		return
 	}
 	w.park(ctx, blockFallback(parks))

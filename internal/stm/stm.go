@@ -8,7 +8,7 @@
 // unexported engine interface (per-location read/write hooks over both
 // value lanes plus the lock/validate/commit/rollback phases) and is
 // selected through the exported Engine enum, which is backed by a
-// registry (Engines, ParseEngine). Four engines are registered:
+// registry (Engines, ParseEngine). Five engines are registered:
 //
 //   - Lazy: lazy versioning — writes are buffered and applied at
 //     commit under per-variable versioned locks, validated against a
@@ -23,6 +23,10 @@
 //     timestamp extension and invisible reads, making AtomicallyRead
 //     (read-only transactions) lock-free with O(1) commit. Inherits the
 //     lazy engine's mixed-access anomalies.
+//   - Adaptive: contention-adaptive — starts every instance on the TL2
+//     protocol and flips new attempts to eager encounter locking while
+//     the instance's windowed conflict rate stays above a hysteresis
+//     threshold (see adapt.go and engine_adaptive.go).
 //
 // Transactional locations come in two shapes sharing one engine:
 //
@@ -104,10 +108,12 @@ type Option func(*config)
 
 type config struct {
 	engine       Engine
+	clock        ClockMode
 	maxRetries   int
 	quiesceSlots int
 	metricsOff   bool
 	sampleEvery  uint64
+	spin         int // 0 = adaptive (default); >0 pins the spin budget
 }
 
 // WithEngine selects the versioning strategy (default Lazy).
@@ -140,14 +146,22 @@ func WithMetricsSampling(n int) Option {
 	}
 }
 
-// Stats are cumulative counters, safe to read concurrently.
+// Stats are cumulative counters, safe to read concurrently. The
+// counters are grouped by the path that bumps them — commit, conflict,
+// park — with a cache line of padding between groups, so the commit
+// path's adds do not false-share with the conflict path's on many-core
+// hardware (each group still shares its own line: that sharing is true,
+// not false).
 type Stats struct {
 	Commits         atomic.Uint64
-	Conflicts       atomic.Uint64
-	UserAborts      atomic.Uint64
 	MultiCommits    atomic.Uint64 // commits that were part of an AtomicallyMulti
 	ReadOnlyCommits atomic.Uint64 // commits through AtomicallyRead / AtomicallyReadMulti
-	Quiesces        atomic.Uint64 // quiescence fences executed
+	_               [40]byte      // commit-path group ends its cache line here
+
+	Conflicts  atomic.Uint64
+	UserAborts atomic.Uint64
+	Quiesces   atomic.Uint64 // quiescence fences executed
+	_          [40]byte      // conflict-path group ends its cache line here
 
 	// Blocking subsystem (see notify.go). Waits counts parks — attempts
 	// that registered their footprint, revalidated and went to sleep;
@@ -178,27 +192,44 @@ type StatsSnapshot struct {
 
 // STM is a transactional memory instance. Vars belong to the instance that
 // created them; mixing instances is a programming error.
+//
+// structlayout (pinned — keep when editing): the struct is laid out in
+// three bands so that many-core commit traffic never false-shares.
+//
+//	band 1  read-mostly configuration and pointers, written only by New
+//	        (engine … RollbackDelay): any number of cores may cache
+//	        these lines shared; nothing on the hot path stores to them.
+//	band 2  write-hot words, one per 64-byte cache line, each isolated
+//	        by a cacheLinePad *before* it (the pad absorbs the tail of
+//	        the previous line) — clock (every begin loads it and, in
+//	        shared clock mode, every writing commit RMWs it), txSeq
+//	        (every begin RMWs it), nextVarID (every NewVar/NewTVar,
+//	        which kv's key-insert path hits at runtime), and the
+//	        spin/strategy pair (read per conflict, stored only by the
+//	        adaptive controller).
+//	band 3  self-padding aggregates: adapt (slow path, own mutex),
+//	        stats (internally grouped by path — see Stats), waiters
+//	        (gate word and buckets padded in notify.go), and the pools
+//	        (sync.Pool shards itself per P).
+//
+// TestSTMHotFieldLayout pins the band-2 isolation with unsafe.Offsetof,
+// so an accidental reorder fails the build's tests rather than a
+// 16-core benchmark three PRs later.
 type STM struct {
+	// --- band 1: read-mostly ---
 	engine     Engine
 	eng        engine // the registered implementation behind the enum
 	maxRetries int
-	clock      atomic.Uint64 // global version clock (TL2)
-	txSeq      atomic.Uint64 // transaction admission sequence (quiescence)
-	nextVarID  atomic.Uint64
+	clockMode  ClockMode     // version-clock strategy (see clock.go)
+	spinPinned bool          // WithSpinAttempts: adaptive controller disabled
 	glock      chan struct{} // global-lock engine's mutex (chan for TryLock-free simplicity)
 	slots      []slot
-	stats      Stats
 
 	// metrics is the observability surface (nil when disabled with
 	// WithMetrics(false)); sampleMask gates which transactions carry a
 	// latency timestamp (period-1, period a power of two).
 	metrics    *Metrics
 	sampleMask uint64
-
-	// waiters is the commit-notification table: parked transactions
-	// register their footprints here and every commit announces its
-	// write set through it (see notify.go).
-	waiters waitTable
 
 	// commitTap, when installed (SetCommitTap), is invoked by
 	// commitPrepared for every committing attempt that attached a
@@ -207,6 +238,38 @@ type STM struct {
 	// installed on a live instance with one atomic store.
 	commitTap atomic.Pointer[func(any)]
 
+	// Test hooks, called at anomaly windows when non-nil. WritebackDelay
+	// runs after validation and before lazy writeback; RollbackDelay runs
+	// before eager undo is applied. They let tests and the stress harness
+	// make the §3.4/§3.5 anomaly windows deterministic.
+	WritebackDelay func()
+	RollbackDelay  func()
+
+	// --- band 2: write-hot words, one per cache line ---
+	_         cacheLinePad
+	clock     atomic.Uint64 // global version clock (TL2); ops in clock.go
+	_         cacheLinePad
+	txSeq     atomic.Uint64 // transaction admission sequence (quiescence)
+	_         cacheLinePad
+	nextVarID atomic.Uint64
+	_         cacheLinePad
+	spin      atomic.Int32 // adaptive spin-before-park budget (see adapt.go)
+	strategy  atomic.Int32 // Adaptive engine's current delegate (engine_adaptive.go)
+	_         cacheLinePad
+
+	// --- band 3: self-padding aggregates ---
+
+	// adapt is the contention controller's bookkeeping (see adapt.go);
+	// touched only on the conflict slow path.
+	adapt adaptState
+
+	stats Stats
+
+	// waiters is the commit-notification table: parked transactions
+	// register their footprints here and every commit announces its
+	// write set through it (see notify.go).
+	waiters waitTable
+
 	// txPool recycles attempt handles: begin takes one, finishTx resets
 	// it (retaining slice capacity) and puts it back, so the steady-state
 	// transaction path allocates nothing.
@@ -214,14 +277,13 @@ type STM struct {
 
 	// waiterPool recycles park registrations the same way.
 	waiterPool sync.Pool
-
-	// Test hooks, called at anomaly windows when non-nil. WritebackDelay
-	// runs after validation and before lazy writeback; RollbackDelay runs
-	// before eager undo is applied. They let tests and the stress harness
-	// make the §3.4/§3.5 anomaly windows deterministic.
-	WritebackDelay func()
-	RollbackDelay  func()
 }
+
+// cacheLinePad isolates the band-2 hot words of STM: placed before each
+// word, it guarantees at least 64 bytes between any two of them (and
+// between the first word and band 1), so a store to one never
+// invalidates another's line.
+type cacheLinePad struct{ _ [64]byte }
 
 type slot struct {
 	seq atomic.Uint64 // 0 = free, otherwise transaction admission number
@@ -261,10 +323,20 @@ func New(opts ...Option) *STM {
 		engine:     c.engine,
 		eng:        info.impl,
 		maxRetries: c.maxRetries,
+		clockMode:  c.clock,
 		glock:      make(chan struct{}, 1),
 		slots:      make([]slot, n),
 		sampleMask: se - 1,
 	}
+	spin := c.spin
+	if spin > 0 {
+		s.spinPinned = true
+	} else {
+		spin = spinDefault
+	}
+	s.spin.Store(int32(spin))
+	// The Adaptive engine starts every instance on tl2 (strategyTL2 is
+	// the zero value); the controller flips it under contention.
 	if !c.metricsOff {
 		s.metrics = &Metrics{}
 	}

@@ -26,6 +26,7 @@ import (
 type Tx struct {
 	s       *STM
 	e       engine // the instance's strategy, cached for dispatch
+	del     engine // adaptive engine's delegate, pinned per attempt at begin
 	rv      uint64 // read version (TL2 snapshot)
 	slotIdx int    // quiescence slot held for the attempt's lifetime
 
@@ -689,21 +690,22 @@ func runReadMultiBody(rtxs []*ReadTx, fn func([]*ReadTx) error) (err error, st t
 // backoff yields (early attempts) or sleeps (persistent conflicts)
 // before the next attempt — the pre-notification pause, surviving only
 // as the fallback for attempts with nothing to park on (empty
-// footprints) and as the duration schedule of conflictFallback. A
-// sleeping backoff selects on ctx so cancellation aborts the wait
-// promptly instead of burning the full 4ms ceiling; the caller's loop
-// then surfaces ErrCanceled.
-func backoff(ctx context.Context, attempt int) {
-	var d time.Duration
-	switch {
-	case attempt < spinAttempts:
+// footprints) and as the duration schedule of conflictFallback. spin is
+// the instance's current spin-before-park budget (see adapt.go): below
+// it the backoff only yields, above it the sleep doubles from 1µs to a
+// 4ms ceiling. A sleeping backoff selects on ctx so cancellation aborts
+// the wait promptly instead of burning the full ceiling; the caller's
+// loop then surfaces ErrCanceled.
+func backoff(ctx context.Context, attempt, spin int) {
+	if attempt < spin {
 		runtime.Gosched()
 		return
-	case attempt < 20:
-		d = time.Microsecond << uint(attempt-spinAttempts)
-	default:
-		d = 4 * time.Millisecond
 	}
+	shift := attempt - spin
+	if shift > 12 {
+		shift = 12 // cap the schedule at ~4ms
+	}
+	d := time.Microsecond << uint(shift)
 	if ctx == nil {
 		time.Sleep(d)
 		return
